@@ -1,0 +1,66 @@
+"""Exp-1 bench (Table III / Table V): per-algorithm matching runtime.
+
+Regenerates Table III's comparison at benchmark scale: every algorithm on
+the default workload (q1, tc2) on two dataset stand-ins.  The ordering to
+look for (the paper's headline): tcsm-eve <= tcsm-e2e <= tcsm-v2v, all
+well below the baselines; sj-tree and ri-ds slowest.
+"""
+
+import pytest
+
+from repro.core import count_matches
+
+ALGORITHMS = (
+    "tcsm-eve",
+    "tcsm-e2e",
+    "tcsm-v2v",
+    "ri-ds",
+    "graphflow",
+    "symbi",
+    "turboflux",
+    "iedyn",
+    "rapidflow",
+    "calig",
+    "newsp",
+)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_runtime_cm(benchmark, cm_graph, workload, algorithm):
+    query, constraints = workload
+    count = benchmark(
+        count_matches,
+        query,
+        constraints,
+        cm_graph,
+        algorithm=algorithm,
+        time_budget=20.0,
+    )
+    benchmark.extra_info["matches"] = count
+
+
+@pytest.mark.parametrize("algorithm", ("tcsm-eve", "tcsm-e2e", "tcsm-v2v"))
+def test_runtime_ub(benchmark, ub_graph, workload, algorithm):
+    query, constraints = workload
+    count = benchmark(
+        count_matches,
+        query,
+        constraints,
+        ub_graph,
+        algorithm=algorithm,
+        time_budget=20.0,
+    )
+    benchmark.extra_info["matches"] = count
+
+
+# One slow-baseline representative, bounded by rounds: SJ-Tree's cost is
+# the point (materialised partials), not a regression to chase.
+def test_runtime_sjtree(benchmark, ub_graph, workload):
+    query, constraints = workload
+    benchmark.pedantic(
+        count_matches,
+        args=(query, constraints, ub_graph),
+        kwargs=dict(algorithm="sj-tree", time_budget=5.0),
+        rounds=1,
+        iterations=1,
+    )

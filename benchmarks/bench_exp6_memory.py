@@ -1,0 +1,50 @@
+"""Exp-6 bench (Table IV): working-set memory of the algorithms.
+
+pytest-benchmark measures time; the peak-allocation numbers (the actual
+Table IV content) are attached as ``extra_info`` so ``--benchmark-json``
+exports them.  Expected shape: sj-tree's materialised partials dwarf
+everything; tcsm-v2v is the lightest of the TCSM family.
+"""
+
+import tracemalloc
+
+import pytest
+
+from repro.core import count_matches
+
+ALGORITHMS = ("tcsm-v2v", "tcsm-e2e", "tcsm-eve", "ri-ds", "graphflow")
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_memory(benchmark, ub_graph, workload, algorithm):
+    query, constraints = workload
+
+    def tracked_run():
+        tracemalloc.start()
+        count_matches(
+            query, constraints, ub_graph,
+            algorithm=algorithm, time_budget=10.0,
+        )
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return peak
+
+    peak = benchmark.pedantic(tracked_run, rounds=2, iterations=1)
+    benchmark.extra_info["peak_mb"] = round(peak / (1024 * 1024), 3)
+
+
+def test_memory_sjtree(benchmark, ub_graph, workload):
+    query, constraints = workload
+
+    def tracked_run():
+        tracemalloc.start()
+        count_matches(
+            query, constraints, ub_graph,
+            algorithm="sj-tree", time_budget=5.0,
+        )
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return peak
+
+    peak = benchmark.pedantic(tracked_run, rounds=1, iterations=1)
+    benchmark.extra_info["peak_mb"] = round(peak / (1024 * 1024), 3)

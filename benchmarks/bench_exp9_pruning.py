@@ -1,0 +1,31 @@
+"""Exp-9 bench (Fig. 21): pruning efficiency (failed enumerations).
+
+The timing here is secondary; the Fig. 21 metrics — total failed
+enumerations and the first-failure layer — are attached as extra_info.
+Expected shape: eve <= e2e < v2v failed enumerations on the same
+workload.
+"""
+
+import pytest
+
+from repro.core import SearchStats, create_matcher
+
+ALGORITHMS = ("tcsm-v2v", "tcsm-e2e", "tcsm-eve")
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_pruning(benchmark, cm_graph, workload, algorithm):
+    query, constraints = workload
+
+    def run():
+        matcher = create_matcher(algorithm, query, constraints, cm_graph)
+        matcher.prepare()
+        stats = SearchStats()
+        for _ in matcher.run(stats=stats):
+            pass
+        return stats
+
+    stats = benchmark(run)
+    benchmark.extra_info["failed_enumerations"] = stats.failed_enumerations
+    benchmark.extra_info["first_fail_layer"] = stats.first_fail_layer
+    benchmark.extra_info["matches"] = stats.matches

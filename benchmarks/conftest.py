@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks mirror the experiment drivers (one file per paper table or
+figure, see DESIGN.md §4) at reduced scale so ``pytest benchmarks/
+--benchmark-only`` completes in minutes.  The full-scale numbers come from
+``python -m repro.experiments.exp_*``; EXPERIMENTS.md records those.
+"""
+
+import pytest
+
+from repro.datasets import load_dataset, paper_constraints, paper_query
+
+BENCH_SCALE = 0.02
+BENCH_SEED = 1
+
+
+@pytest.fixture(scope="session")
+def cm_graph():
+    """A small CollegeMsg stand-in (dense; ~1.4k temporal edges)."""
+    return load_dataset("CM", scale=BENCH_SCALE, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def ub_graph():
+    """A small sx-askubuntu stand-in (sparse)."""
+    return load_dataset("UB", scale=0.004, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def workload():
+    """The paper's default workload: (q1, tc2)."""
+    query = paper_query(1)
+    constraints = paper_constraints(2, num_edges=query.num_edges)
+    return query, constraints

@@ -1,0 +1,92 @@
+"""Edge-labeled matching: distinguishing transfer channels.
+
+Section II of the paper notes that the TCSM algorithms generalise to
+edge-labeled graphs.  This example exercises that generalisation: in a
+payment network, the *channel* of each transaction (wire / cash / card)
+is an edge label, and a laundering pattern is characterised not just by
+who-pays-whom timing but by the channel sequence — cash in, wire out,
+within a day.
+
+Run with::
+
+    python examples/edge_labeled_transfers.py
+"""
+
+import random
+
+from repro import (
+    QueryBuilder,
+    TemporalConstraints,
+    TemporalGraphBuilder,
+    find_matches,
+)
+
+HOUR = 3_600
+DAY = 24 * HOUR
+
+
+def build_query():
+    """Cash-in then wire-out through the same account, within 24 h."""
+    builder = QueryBuilder()
+    builder.vertex("source", "acct")
+    builder.vertex("mule", "acct")
+    builder.vertex("sink", "acct")
+    cash_in = builder.edge("source", "mule", label="cash")
+    wire_out = builder.edge("mule", "sink", label="wire")
+    query, _ = builder.build()
+    constraints = TemporalConstraints(
+        [(cash_in, wire_out, DAY)], num_edges=query.num_edges
+    )
+    return query, constraints
+
+
+def build_network(seed=3):
+    rng = random.Random(seed)
+    builder = TemporalGraphBuilder()
+    accounts = [f"acct{i}" for i in range(25)]
+    for name in accounts:
+        builder.vertex(name, "acct")
+
+    horizon = 30 * DAY
+    channels = ["wire", "card", "cash"]
+    for _ in range(300):
+        a, b = rng.sample(accounts, 2)
+        builder.edge(a, b, rng.randint(0, horizon),
+                     label=rng.choice(channels))
+
+    # Planted laundering hop: cash in at noon, wire out that evening.
+    t0 = 12 * DAY
+    builder.edge("acct3", "acct7", t0, label="cash")
+    builder.edge("acct7", "acct19", t0 + 7 * HOUR, label="wire")
+    # Same timing, wrong channels: card in, card out (not flagged).
+    builder.edge("acct5", "acct11", t0, label="card")
+    builder.edge("acct11", "acct20", t0 + 7 * HOUR, label="card")
+    return builder.build()
+
+
+def main():
+    query, constraints = build_query()
+    graph, names = build_network()
+    id_to_name = {v: k for k, v in names.items()}
+
+    result = find_matches(query, constraints, graph, algorithm="tcsm-eve")
+    print(f"channel-aware pattern: {result.num_matches} match(es)")
+    for match in result.matches:
+        hops = " ; ".join(
+            f"{id_to_name[e.u]} -({graph.edge_label(e.u, e.v, e.t)})-> "
+            f"{id_to_name[e.v]} @ {e.t / DAY:.2f}d"
+            for e in match.edge_map
+        )
+        print(f"  {hops}")
+
+    # Without edge labels, timing alone over-reports.
+    from repro.graphs import QueryGraph
+
+    wildcard = QueryGraph(query.labels, query.edges)
+    blind = find_matches(wildcard, constraints, graph, algorithm="tcsm-eve")
+    print(f"\nchannel-blind version finds {blind.num_matches} matches — "
+          f"{blind.num_matches - result.num_matches} would be noise")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,177 @@
+"""Bill-intermediary fraud detection (the paper's Figure 1 / case study).
+
+The motivating application: in a financial bill-circulation network, a
+*risk intermediary* buys acceptance bills from an enterprise with cash and
+rapidly transfers them onward to a bank to pocket the interest margin.
+What makes the pattern suspicious is not its shape alone — legitimate
+discounting looks similar — but the **temporal coupling**: the purchase,
+the transfer and the settlement all happen within a designated window Δt.
+
+This example builds a synthetic bill-circulation network with honest
+traffic, a planted intermediary ring operating within hours, and a
+look-alike ring whose steps are spread over weeks (a legitimate broker).
+A temporal-constraint query flags the former and ignores the latter;
+the same query *without* constraints flags both — the false positive the
+paper's dual-constraint framework eliminates.
+
+Run with::
+
+    python examples/fraud_detection.py
+"""
+
+import random
+
+from repro import (
+    QueryBuilder,
+    TemporalConstraints,
+    TemporalGraphBuilder,
+    find_matches,
+)
+
+HOUR = 3_600
+DAY = 24 * HOUR
+
+# Entity labels, as in Figure 1.
+ENTERPRISE = "enterprise"
+BANK = "bank"
+INTERMEDIARY = "intermediary"
+INDIVIDUAL = "individual"
+
+
+def build_intermediary_query():
+    """The red-highlighted risk pattern of Figure 1.
+
+    cash:   intermediary -> enterprise     (e0: buys the bill with cash)
+    bill:   enterprise  -> intermediary    (e1: bill changes hands)
+    trans:  intermediary -> bank           (e2: rapid onward transfer)
+    settle: bank        -> intermediary    (e3: margin settles back)
+
+    Constraints: each step happens within 12 hours of the previous one,
+    and the settlement within 24 hours of the original cash payment —
+    the dual order + interval bound that cuts false positives.
+    """
+    builder = QueryBuilder()
+    builder.vertex("intermediary", INTERMEDIARY)
+    builder.vertex("enterprise", ENTERPRISE)
+    builder.vertex("bank", BANK)
+    cash = builder.edge("intermediary", "enterprise")
+    bill = builder.edge("enterprise", "intermediary")
+    trans = builder.edge("intermediary", "bank")
+    settle = builder.edge("bank", "intermediary")
+    query, names = builder.build()
+    constraints = TemporalConstraints(
+        [
+            (cash, bill, 12 * HOUR),
+            (bill, trans, 12 * HOUR),
+            (trans, settle, 12 * HOUR),
+            (cash, settle, 24 * HOUR),  # global bound on the whole ring
+        ],
+        num_edges=query.num_edges,
+    )
+    return query, constraints, names
+
+
+def build_bill_network(seed=7):
+    """A synthetic bill-circulation network.
+
+    Background: individuals and enterprises transacting with banks at
+    random times.  Planted: one *fast* intermediary ring (suspicious) and
+    one *slow* ring with the same shape spread over three weeks
+    (legitimate brokering).
+    """
+    rng = random.Random(seed)
+    builder = TemporalGraphBuilder()
+
+    enterprises = [f"ent{i}" for i in range(12)]
+    banks = [f"bank{i}" for i in range(4)]
+    individuals = [f"ind{i}" for i in range(20)]
+    intermediaries = ["fast_broker", "slow_broker", "idle_broker"]
+
+    for name in enterprises:
+        builder.vertex(name, ENTERPRISE)
+    for name in banks:
+        builder.vertex(name, BANK)
+    for name in individuals:
+        builder.vertex(name, INDIVIDUAL)
+    for name in intermediaries:
+        builder.vertex(name, INTERMEDIARY)
+
+    horizon = 60 * DAY
+    # Honest background traffic.
+    for _ in range(400):
+        kind = rng.random()
+        t = rng.randint(0, horizon)
+        if kind < 0.4:
+            builder.edge(rng.choice(individuals), rng.choice(banks), t)
+        elif kind < 0.7:
+            builder.edge(rng.choice(enterprises), rng.choice(banks), t)
+        else:
+            builder.edge(rng.choice(banks), rng.choice(enterprises), t)
+
+    # The suspicious ring: all four steps inside one afternoon.
+    t0 = 10 * DAY
+    builder.edge("fast_broker", "ent3", t0)
+    builder.edge("ent3", "fast_broker", t0 + 2 * HOUR)
+    builder.edge("fast_broker", "bank1", t0 + 5 * HOUR)
+    builder.edge("bank1", "fast_broker", t0 + 9 * HOUR)
+
+    # The look-alike: same shape, spread over three weeks.
+    t1 = 20 * DAY
+    builder.edge("slow_broker", "ent7", t1)
+    builder.edge("ent7", "slow_broker", t1 + 6 * DAY)
+    builder.edge("slow_broker", "bank2", t1 + 13 * DAY)
+    builder.edge("bank2", "slow_broker", t1 + 20 * DAY)
+
+    return builder.build()
+
+
+def main():
+    query, constraints, _ = build_intermediary_query()
+    graph, vertex_names = build_bill_network()
+    id_to_name = {v: k for k, v in vertex_names.items()}
+
+    print(f"bill network: {graph.num_vertices} entities, "
+          f"{graph.num_temporal_edges} transactions over "
+          f"{graph.time_span / DAY:.0f} days\n")
+
+    # Without temporal constraints: structural matching only.
+    from repro import TemporalConstraints as TC
+
+    unconstrained = TC([], num_edges=query.num_edges)
+    structural = find_matches(query, unconstrained, graph,
+                              algorithm="tcsm-eve")
+    suspects_structural = {
+        id_to_name[m.vertex_map[0]] for m in structural.matches
+    }
+    print("structure-only matching flags:", sorted(suspects_structural))
+
+    # With temporal constraints: the dual order + window test.
+    result = find_matches(query, constraints, graph, algorithm="tcsm-eve")
+    suspects = {id_to_name[m.vertex_map[0]] for m in result.matches}
+    print("temporal-constraint matching flags:", sorted(suspects))
+
+    print(f"\n{len(suspects_structural) - len(suspects)} false positive(s) "
+          f"eliminated by the temporal constraints")
+    for match in result.matches:
+        steps = [
+            f"{id_to_name[e.u]} -> {id_to_name[e.v]} @ day {e.t / DAY:.2f}"
+            for e in match.edge_map
+        ]
+        print("suspicious ring:")
+        for step in steps:
+            print(f"  {step}")
+
+    # Analyst view: per-constraint slack shows how tightly coordinated
+    # the ring is (slack near zero = right at the detection threshold).
+    from repro import explain_match
+
+    print("\nanalyst report:")
+    print(explain_match(
+        query, constraints, graph, result.matches[0],
+        vertex_names=id_to_name,
+        time_format=lambda t: f"{t / HOUR:.0f}h",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""repro: temporal-constraint subgraph matching (TCSM).
+
+A from-scratch Python reproduction of *On Temporal-Constraint Subgraph
+Matching* (Leng et al., ICDE 2025): the TCSM-V2V / TCSM-E2E / TCSM-EVE
+algorithms, the baselines they are compared against, synthetic stand-ins
+for the evaluation datasets, and a harness that regenerates every table
+and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import QueryBuilder, TemporalGraphBuilder, TemporalConstraints
+    from repro import find_matches
+
+    qb = QueryBuilder()
+    qb.vertex("a", "acct").vertex("b", "acct").vertex("c", "acct")
+    qb.edge("a", "b"); qb.edge("b", "c")
+    query, _ = qb.build()
+    tc = TemporalConstraints([(0, 1, 3)], num_edges=query.num_edges)
+    # ... build a TemporalGraph `data` ...
+    # matches = list(find_matches(query, tc, data, algorithm="eve"))
+"""
+
+from .errors import (
+    AlgorithmError,
+    BudgetExceededError,
+    ConstraintError,
+    DatasetError,
+    GraphError,
+    InfeasibleConstraintsError,
+    QueryError,
+    ReproError,
+    UnknownAlgorithmError,
+)
+from .core import (
+    Match,
+    MatchResult,
+    SearchStats,
+    available_algorithms,
+    constraint_slack,
+    count_matches,
+    count_motif,
+    create_matcher,
+    estimate_match_count,
+    explain_match,
+    find_matches,
+    is_valid_match,
+    ordered_motif_constraints,
+    register_algorithm,
+)
+from .graphs import (
+    Constraint,
+    QueryBuilder,
+    QueryGraph,
+    StaticGraph,
+    TemporalEdge,
+    TemporalGraph,
+    TemporalGraphBuilder,
+    TemporalConstraints,
+    load_snap_temporal,
+    save_snap_temporal,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "AlgorithmError",
+    "BudgetExceededError",
+    "Constraint",
+    "ConstraintError",
+    "DatasetError",
+    "GraphError",
+    "InfeasibleConstraintsError",
+    "Match",
+    "MatchResult",
+    "QueryBuilder",
+    "QueryError",
+    "QueryGraph",
+    "ReproError",
+    "SearchStats",
+    "StaticGraph",
+    "TemporalEdge",
+    "TemporalGraph",
+    "TemporalGraphBuilder",
+    "TemporalConstraints",
+    "UnknownAlgorithmError",
+    "available_algorithms",
+    "constraint_slack",
+    "count_matches",
+    "count_motif",
+    "create_matcher",
+    "estimate_match_count",
+    "explain_match",
+    "find_matches",
+    "is_valid_match",
+    "load_snap_temporal",
+    "ordered_motif_constraints",
+    "register_algorithm",
+    "save_snap_temporal",
+    "__version__",
+]

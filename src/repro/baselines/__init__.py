@@ -1,0 +1,77 @@
+"""Baseline matchers the paper compares against.
+
+Importing this package registers every baseline with the engine registry,
+so ``find_matches(..., algorithm="ri-ds")`` works after a plain
+``import repro``.  Registered names::
+
+    ri          RI without domains (extra point of comparison)
+    ri-ds       RI-DS: static matching + temporal post-check (paper baseline)
+    graphflow   index-free continuous matching
+    sj-tree     join-tree with materialised partial matches
+    turboflux   spanning-tree candidate index (DCG)
+    symbi       bidirectional DAG candidate space (DCS)
+    iedyn       dynamic Yannakakis for tree queries
+    rapidflow   query reduction before enumeration
+    calig       candidate lighting (local look-ahead)
+    newsp       cached-expansion search process
+"""
+
+from ..core.engine import register_algorithm
+from .csm import (
+    CaLiGMatcher,
+    CSMMatcherBase,
+    GraphflowMatcher,
+    IEDynMatcher,
+    NewSPMatcher,
+    RapidFlowMatcher,
+    SJTreeMatcher,
+    SymBiMatcher,
+    TurboFluxMatcher,
+)
+from .ri import RIMatcher, greatest_constraint_first_order
+
+__all__ = [
+    "CSMMatcherBase",
+    "CaLiGMatcher",
+    "GraphflowMatcher",
+    "IEDynMatcher",
+    "NewSPMatcher",
+    "RIMatcher",
+    "RapidFlowMatcher",
+    "SJTreeMatcher",
+    "SymBiMatcher",
+    "TurboFluxMatcher",
+    "greatest_constraint_first_order",
+    "BASELINE_NAMES",
+]
+
+BASELINE_NAMES: tuple[str, ...] = (
+    "ri",
+    "ri-ds",
+    "graphflow",
+    "sj-tree",
+    "turboflux",
+    "symbi",
+    "iedyn",
+    "rapidflow",
+    "calig",
+    "newsp",
+)
+
+
+def _register() -> None:
+    register_algorithm(
+        "ri", lambda q, c, g, **kw: RIMatcher(q, c, g, use_domains=False, **kw)
+    )
+    register_algorithm("ri-ds", RIMatcher)
+    register_algorithm("graphflow", GraphflowMatcher)
+    register_algorithm("sj-tree", SJTreeMatcher)
+    register_algorithm("turboflux", TurboFluxMatcher)
+    register_algorithm("symbi", SymBiMatcher)
+    register_algorithm("iedyn", IEDynMatcher)
+    register_algorithm("rapidflow", RapidFlowMatcher)
+    register_algorithm("calig", CaLiGMatcher)
+    register_algorithm("newsp", NewSPMatcher)
+
+
+_register()

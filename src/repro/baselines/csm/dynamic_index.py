@@ -1,0 +1,150 @@
+"""Incremental candidate index shared by the index-based CSM baselines.
+
+TurboFlux's DCG, SymBi's DCS and IEDyn's delta structures are all, at
+their core, *dynamically maintained necessary-condition candidate sets*:
+data vertex ``v`` remains a candidate for query vertex ``u`` only while
+``v``'s neighbourhood can still supply candidates for ``u``'s dependent
+query vertices.  This module implements that core once, parameterised by
+the dependency structure:
+
+* **TurboFlux**: dependencies = children of a query spanning tree
+  (bottom-up evaluation over the tree);
+* **SymBi**: dependencies = children of the full query DAG, maintained in
+  both directions (bottom-up and top-down indexes);
+* **IEDyn**: both directions over the tree — exact on tree queries.
+
+The dependency relation must be acyclic; candidate flags are then the
+unique bottom-up fixpoint, and because edge insertions only ever *add*
+support, flags flip monotonically from off to on and can be maintained by
+counter propagation in amortised constant time per (edge, dependency).
+"""
+
+from __future__ import annotations
+
+from ...graphs import QueryGraph, TemporalGraph
+
+__all__ = ["Dependency", "DynamicCandidateIndex"]
+
+
+class Dependency:
+    """``cand[owner][v]`` requires a *direction*-neighbour in ``cand[child]``.
+
+    ``direction`` is ``"out"`` when the query edge runs ``owner -> child``
+    (so the data witness must be an out-neighbour of ``v``), ``"in"`` for
+    ``child -> owner``.
+    """
+
+    __slots__ = ("owner", "child", "direction")
+
+    def __init__(self, owner: int, child: int, direction: str) -> None:
+        if direction not in ("out", "in"):
+            raise ValueError(f"direction must be 'out' or 'in', not {direction!r}")
+        self.owner = owner
+        self.child = child
+        self.direction = direction
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        arrow = "->" if self.direction == "out" else "<-"
+        return f"Dependency({self.owner}{arrow}{self.child})"
+
+
+class DynamicCandidateIndex:
+    """Maintains per-(query vertex, data vertex) candidate flags.
+
+    Parameters
+    ----------
+    query:
+        The query graph (labels and vertex count).
+    snapshot:
+        The *empty* snapshot graph that the CSM driver will grow; the
+        index reads labels and adjacency from it during propagation.
+    dependencies:
+        Acyclic dependency list (see module docstring).  Acyclicity is the
+        caller's responsibility (trees and BFS-DAGs used by the baselines
+        satisfy it by construction).
+    """
+
+    def __init__(
+        self,
+        query: QueryGraph,
+        snapshot: TemporalGraph,
+        dependencies: list[Dependency],
+    ) -> None:
+        self.query = query
+        self.snapshot = snapshot
+        self.deps_by_owner: dict[int, list[tuple[int, Dependency]]] = {}
+        self.deps_by_child: dict[int, list[tuple[int, Dependency]]] = {}
+        self.dep_count = [0] * query.num_vertices
+        for dep in dependencies:
+            slot = self.dep_count[dep.owner]
+            self.dep_count[dep.owner] += 1
+            self.deps_by_owner.setdefault(dep.owner, []).append((slot, dep))
+            self.deps_by_child.setdefault(dep.child, []).append((slot, dep))
+        # cand[u]: set of data vertices currently candidate for u.
+        # support[u]: data vertex -> per-dependency witness counters.
+        self.cand: list[set[int]] = [set() for _ in query.vertices()]
+        self.support: list[dict[int, list[int]]] = [
+            {} for _ in query.vertices()
+        ]
+        # Dependency-free query vertices are candidates by label alone.
+        for u in query.vertices():
+            if self.dep_count[u] == 0:
+                self.cand[u] = set(
+                    snapshot.vertices_with_label(query.label(u))
+                )
+
+    def allows(self, qv: int, dv: int) -> bool:
+        """Is *dv* currently a candidate for *qv*?"""
+        return dv in self.cand[qv]
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def insert_pair(self, src: int, dst: int) -> None:
+        """Register the new static pair ``src -> dst`` and propagate.
+
+        Call only when the de-temporal pair is new (extra timestamps on an
+        existing pair change no structure the index looks at).
+        """
+        query = self.query
+        snapshot = self.snapshot
+        pending: list[tuple[int, int]] = []  # (query vertex, data vertex)
+
+        def add_support(owner: int, v: int, slot: int) -> None:
+            if snapshot.label(v) != query.label(owner):
+                return
+            counters = self.support[owner].get(v)
+            if counters is None:
+                counters = [0] * self.dep_count[owner]
+                self.support[owner][v] = counters
+            counters[slot] += 1
+            if counters[slot] == 1 and all(c > 0 for c in counters):
+                if v not in self.cand[owner]:
+                    self.cand[owner].add(v)
+                    pending.append((owner, v))
+
+        # Direct effect of the new pair: src gained out-neighbour dst, dst
+        # gained in-neighbour src.
+        for u in range(query.num_vertices):
+            for slot, dep in self.deps_by_owner.get(u, ()):
+                if dep.direction == "out" and dst in self.cand[dep.child]:
+                    add_support(u, src, slot)
+                elif dep.direction == "in" and src in self.cand[dep.child]:
+                    add_support(u, dst, slot)
+
+        # Transitive effects of flags that flipped on.
+        while pending:
+            child_q, w = pending.pop()
+            for slot, dep in self.deps_by_child.get(child_q, ()):
+                owner = dep.owner
+                if dep.direction == "out":
+                    # Owners reach w through an out-edge: scan in-neighbours.
+                    for z in self.snapshot.in_neighbor_ids(w):
+                        add_support(owner, z, slot)
+                else:
+                    for z in self.snapshot.out_neighbor_ids(w):
+                        add_support(owner, z, slot)
+
+    def candidate_counts(self) -> list[int]:
+        """Current candidate-set size per query vertex (for diagnostics)."""
+        return [len(c) for c in self.cand]

@@ -1,0 +1,20 @@
+"""Graphflow baseline [29]: index-free continuous matching.
+
+Graphflow evaluates each edge insertion by directly re-enumerating, with
+the new edge pinned — no auxiliary index is maintained, so insertion
+processing is free but every search pays full price.  That is exactly the
+shared :class:`CSMMatcherBase` machinery with the default (always-true)
+candidate test.
+"""
+
+from __future__ import annotations
+
+from .stream import CSMMatcherBase
+
+__all__ = ["GraphflowMatcher"]
+
+
+class GraphflowMatcher(CSMMatcherBase):
+    """Index-free delta enumeration (Graphflow)."""
+
+    name = "graphflow"

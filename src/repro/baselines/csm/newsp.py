@@ -1,0 +1,47 @@
+"""NewSP baseline [11]: redundancy-reduced search process.
+
+NewSP restructures continuous matching to avoid recomputing the same
+intermediate results across a search: candidate lists are computed once
+and reused instead of being regenerated at every backtracking node.  We
+reproduce that mechanism by memoising the frontier expansions
+(``da -> *`` / ``* -> db`` candidate edge lists) for the duration of one
+insertion's searches — the snapshot is immutable between them, so the
+cache is sound, and repeated visits to the same frontier (the dominant
+redundancy in backtracking search) become dictionary lookups.
+"""
+
+from __future__ import annotations
+
+from ...graphs import TemporalEdge
+from .stream import CSMMatcherBase
+
+__all__ = ["NewSPMatcher"]
+
+
+class NewSPMatcher(CSMMatcherBase):
+    """Cached-expansion delta enumeration (NewSP)."""
+
+    name = "newsp"
+
+    def _on_prepare(self) -> None:
+        self._cache: dict[tuple, tuple[TemporalEdge, ...]] = {}
+
+    def _begin_insertion_searches(self) -> None:
+        # The snapshot grew: previously cached expansions are stale.
+        self._cache.clear()
+
+    def _expand_out(self, da: int, target_label) -> tuple[TemporalEdge, ...]:
+        key = ("out", da, target_label)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = tuple(super()._expand_out(da, target_label))
+            self._cache[key] = cached
+        return cached
+
+    def _expand_in(self, db: int, source_label) -> tuple[TemporalEdge, ...]:
+        key = ("in", db, source_label)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = tuple(super()._expand_in(db, source_label))
+            self._cache[key] = cached
+        return cached

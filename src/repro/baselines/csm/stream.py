@@ -1,0 +1,362 @@
+"""Shared substrate for the continuous-subgraph-matching (CSM) baselines.
+
+The paper adapts eight CSM systems as baselines by feeding them the
+temporal graph as an insertion stream and bolting the temporal-constraint
+check onto match reporting ("we also modified algorithms to satisfy
+temporal-constraints").  This module provides that shared machinery:
+
+* the **edge stream**: temporal edges sorted by time, inserted one by one
+  into an initially empty *snapshot* graph (all vertices/labels known up
+  front, as in the CSM literature);
+* **delta semantics**: after each insertion, exactly the matches that
+  contain the new edge are searched for, by pinning the new edge to every
+  compatible query-edge position — each match is thus reported exactly
+  once, when its stream-latest edge arrives;
+* a generic **backtracking search** over a connected query-edge order,
+  parameterised by a per-baseline candidate test (``vertex_allowed``);
+* the **temporal post-filter**: constraints are checked only on complete
+  matches, never used for pruning — precisely the handicap the paper's
+  TCSM algorithms remove.
+
+Every concrete baseline subclasses :class:`CSMMatcherBase` and supplies
+its candidate index through the ``_on_prepare`` / ``_on_insert`` /
+``vertex_allowed`` hooks (SJ-Tree overrides the search itself).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterator
+
+from ...core.match import Match
+from ...core.stats import SearchStats
+from ...errors import AlgorithmError
+from ...graphs import (
+    QueryGraph,
+    TemporalConstraints,
+    TemporalEdge,
+    TemporalGraph,
+)
+
+__all__ = ["CSMMatcherBase", "connected_edge_order"]
+
+
+def connected_edge_order(query: QueryGraph, start_edge: int) -> list[int]:
+    """A query-edge order starting at *start_edge*, connected prefix first.
+
+    BFS over edge adjacency (shared query vertex); edges in components not
+    reachable from the start edge are appended in index order (their
+    searches fall back to label scans).
+    """
+    m = query.num_edges
+    order = [start_edge]
+    seen = {start_edge}
+    frontier = [start_edge]
+    while frontier:
+        nxt: list[int] = []
+        for e in frontier:
+            for other in range(m):
+                if other in seen:
+                    continue
+                if query.edges_share_vertex(e, other):
+                    seen.add(other)
+                    order.append(other)
+                    nxt.append(other)
+        frontier = nxt
+    for other in range(m):
+        if other not in seen:
+            order.append(other)
+    return order
+
+
+class CSMMatcherBase:
+    """Base class for CSM baselines (see module docstring).
+
+    Subclass hooks
+    --------------
+    ``_on_prepare()``
+        Build the (empty-graph) candidate index; called from ``prepare``.
+    ``_on_insert(edge, pair_is_new)``
+        Maintain the index after ``edge`` enters the snapshot;
+        ``pair_is_new`` is True when the static pair did not exist before
+        (indexes over de-temporal structure only care about those).
+    ``vertex_allowed(qv, dv)``
+        Necessary-condition candidate test consulted during search.
+    ``_begin_insertion_searches()``
+        Called once per insertion, before the pin loop (cache resets).
+    """
+
+    name = "csm-base"
+
+    def __init__(
+        self,
+        query: QueryGraph,
+        constraints: TemporalConstraints,
+        graph: TemporalGraph,
+    ) -> None:
+        if constraints.num_edges != query.num_edges:
+            raise AlgorithmError(
+                f"constraints expect {constraints.num_edges} query edges, "
+                f"query has {query.num_edges}"
+            )
+        if query.num_edges == 0:
+            raise AlgorithmError("CSM baselines need at least one query edge")
+        self.query = query
+        self.constraints = constraints
+        self.graph = graph
+        self._prepared = False
+
+    # ------------------------------------------------------------------
+    # hooks
+    # ------------------------------------------------------------------
+    def _on_prepare(self) -> None:
+        """Index initialisation hook (default: none)."""
+
+    def _on_insert(self, edge: TemporalEdge, pair_is_new: bool) -> None:
+        """Index maintenance hook (default: none)."""
+
+    def _begin_insertion_searches(self) -> None:
+        """Per-insertion hook before pinned searches (default: none)."""
+
+    def vertex_allowed(self, qv: int, dv: int) -> bool:
+        """Candidate test; the default accepts everything label-compatible
+        (labels are already enforced by candidate generation)."""
+        return True
+
+    def edge_assignment_allowed(
+        self,
+        pin: int,
+        pos: int,
+        edge_index: int,
+        cand: TemporalEdge,
+        edge_map: list[TemporalEdge | None],
+    ) -> bool:
+        """Per-assignment test before recursing (default: accept).
+
+        The CSM baselines deliberately leave this open — their
+        temporal-constraint handling is the leaf post-filter, exactly as
+        the paper adapted them.  The continuous TCSM extension
+        (:mod:`repro.core.continuous`) overrides it to prune with the
+        constraints *during* the delta search.
+        """
+        return True
+
+    def _expand_out(self, da: int, target_label) -> Iterator[TemporalEdge]:
+        """All snapshot edges ``da -> x`` with ``label(x) == target_label``.
+
+        Overridable frontier expansion (NewSP caches these lists).
+        """
+        labels = self.snapshot.labels
+        for x, times in self.snapshot.out_adjacency[da].items():
+            if labels[x] != target_label:
+                continue
+            for t in times:
+                yield TemporalEdge(da, x, t)
+
+    def _expand_in(self, db: int, source_label) -> Iterator[TemporalEdge]:
+        """All snapshot edges ``x -> db`` with ``label(x) == source_label``."""
+        labels = self.snapshot.labels
+        for x, times in self.snapshot.in_adjacency[db].items():
+            if labels[x] != source_label:
+                continue
+            for t in times:
+                yield TemporalEdge(x, db, t)
+
+    # ------------------------------------------------------------------
+    # protocol
+    # ------------------------------------------------------------------
+    def prepare(self) -> None:
+        """Sort the stream, allocate the snapshot, build pin orders."""
+        if self._prepared:
+            return
+        query = self.query
+        self._stream = self.graph.edges_by_time()
+        self.snapshot = TemporalGraph(self.graph.labels)
+        self._pin_orders = [
+            connected_edge_order(query, e) for e in range(query.num_edges)
+        ]
+        self._pin_labels = [
+            (query.label(u), query.label(v)) for (u, v) in query.edges
+        ]
+        # Hot-loop caches (avoid bounds-checked accessors during search).
+        self._edge_endpoints = query.edges
+        self._query_labels = query.labels
+        self._on_prepare()
+        self._prepared = True
+
+    def run(
+        self,
+        limit: int | None = None,
+        stats: SearchStats | None = None,
+        deadline: float | None = None,
+    ) -> Iterator[Match]:
+        """Replay the stream, reporting TC-satisfying delta matches."""
+        self.prepare()
+        if stats is None:
+            stats = SearchStats()
+        emitted = 0
+        for edge in self._stream:
+            if deadline is not None and time.monotonic() > deadline:
+                stats.budget_exhausted = True
+                return
+            before_static = self.snapshot.num_static_edges
+            self.snapshot.add_edge(
+                edge.u, edge.v, edge.t,
+                label=self.graph.edge_label(edge.u, edge.v, edge.t),
+            )
+            pair_is_new = self.snapshot.num_static_edges != before_static
+            self._on_insert(edge, pair_is_new)
+            self._begin_insertion_searches()
+            src_label = self.snapshot.label(edge.u)
+            dst_label = self.snapshot.label(edge.v)
+            for pin in range(self.query.num_edges):
+                if self._pin_labels[pin] != (src_label, dst_label):
+                    continue
+                for match in self._pinned_search(pin, edge, stats, deadline):
+                    emitted += 1
+                    stats.matches += 1
+                    yield match
+                    if limit is not None and emitted >= limit:
+                        stats.budget_exhausted = True
+                        return
+        return
+
+    # ------------------------------------------------------------------
+    # pinned backtracking search
+    # ------------------------------------------------------------------
+    def _pinned_search(
+        self,
+        pin: int,
+        pinned_edge: TemporalEdge,
+        stats: SearchStats,
+        deadline: float | None,
+    ) -> Iterator[Match]:
+        query = self.query
+        snapshot = self.snapshot
+        order = self._pin_orders[pin]
+        edge_endpoints = self._edge_endpoints
+        query_labels = self._query_labels
+        out_adj = snapshot.out_adjacency
+        m = query.num_edges
+        n = query.num_vertices
+        edge_map: list[TemporalEdge | None] = [None] * m
+        vertex_map: list[int | None] = [None] * n
+        used: set[int] = set()
+
+        qa, qb = edge_endpoints[pin]
+        stats.candidates_generated += 1
+        stats.validations += 1
+        if not (
+            self.vertex_allowed(qa, pinned_edge.u)
+            and self.vertex_allowed(qb, pinned_edge.v)
+        ):
+            stats.record_fail(1)
+            return
+        pin_label = query.edge_label(pin)
+        if pin_label is not None and snapshot.edge_label(
+            pinned_edge.u, pinned_edge.v, pinned_edge.t
+        ) != pin_label:
+            stats.record_fail(1)
+            return
+        required_labels = query.edge_labels
+        check_edge_labels = query.has_edge_labels
+        edge_map[pin] = pinned_edge
+        vertex_map[qa] = pinned_edge.u
+        vertex_map[qb] = pinned_edge.v
+        used.add(pinned_edge.u)
+        used.add(pinned_edge.v)
+
+        def candidates(pos: int) -> Iterator[TemporalEdge]:
+            edge_index = order[pos]
+            a, b = edge_endpoints[edge_index]
+            da, db = vertex_map[a], vertex_map[b]
+            if da is not None and db is not None:
+                times = out_adj[da].get(db)
+                if times:
+                    for t in times:
+                        yield TemporalEdge(da, db, t)
+            elif da is not None:
+                label_b = query_labels[b]
+                for cand in self._expand_out(da, label_b):
+                    if cand.v in used or not self.vertex_allowed(b, cand.v):
+                        continue
+                    yield cand
+            elif db is not None:
+                label_a = query_labels[a]
+                for cand in self._expand_in(db, label_a):
+                    if cand.u in used or not self.vertex_allowed(a, cand.u):
+                        continue
+                    yield cand
+            else:
+                # Disconnected component seed: label-indexed scan.
+                label_a = query_labels[a]
+                label_b = query_labels[b]
+                data_labels = snapshot.labels
+                for du in snapshot.vertices_with_label(label_a):
+                    if du in used or not self.vertex_allowed(a, du):
+                        continue
+                    for dv, times in out_adj[du].items():
+                        if dv in used or data_labels[dv] != label_b:
+                            continue
+                        if not self.vertex_allowed(b, dv):
+                            continue
+                        for t in times:
+                            yield TemporalEdge(du, dv, t)
+
+        def dfs(pos: int) -> Iterator[Match]:
+            if deadline is not None and time.monotonic() > deadline:
+                stats.budget_exhausted = True
+                return
+            if pos == m:
+                times = [edge_map[i].t for i in range(m)]
+                if self.constraints.check(times):
+                    yield Match(tuple(edge_map), tuple(vertex_map))
+                else:
+                    stats.record_fail(pos)
+                return
+            edge_index = order[pos]
+            if edge_index == pin:
+                yield from dfs(pos + 1)
+                return
+            stats.nodes_expanded += 1
+            a, b = edge_endpoints[edge_index]
+            produced = False
+            required = required_labels[edge_index] if check_edge_labels else None
+            for cand in candidates(pos):
+                stats.candidates_generated += 1
+                stats.validations += 1
+                if required is not None and snapshot.edge_label(
+                    cand.u, cand.v, cand.t
+                ) != required:
+                    stats.record_fail(pos + 1)
+                    continue
+                if not self.edge_assignment_allowed(
+                    pin, pos, edge_index, cand, edge_map
+                ):
+                    stats.record_fail(pos + 1)
+                    continue
+                new_a = vertex_map[a] is None
+                new_b = vertex_map[b] is None
+                if new_a and new_b and cand.u == cand.v:
+                    stats.record_fail(pos + 1)
+                    continue
+                edge_map[edge_index] = cand
+                if new_a:
+                    vertex_map[a] = cand.u
+                    used.add(cand.u)
+                if new_b:
+                    vertex_map[b] = cand.v
+                    used.add(cand.v)
+                produced = True
+                yield from dfs(pos + 1)
+                if new_a:
+                    used.discard(cand.u)
+                    vertex_map[a] = None
+                if new_b:
+                    used.discard(cand.v)
+                    vertex_map[b] = None
+                edge_map[edge_index] = None
+            if not produced:
+                stats.record_fail(pos + 1)
+
+        yield from dfs(0)

@@ -1,0 +1,78 @@
+"""SymBi baseline [14]: bidirectional dynamic candidate space (DCS).
+
+SymBi turns the query into a rooted DAG and maintains, per (query vertex,
+data vertex), two kinds of states: one aggregated from DAG parents
+(top-down) and one from DAG children (bottom-up), updated under edge
+insertions by dynamic programming.  We reproduce this with *two*
+:class:`DynamicCandidateIndex` instances over the full query DAG — unlike
+TurboFlux's spanning tree, every query edge contributes a dependency — and
+admit a data vertex only when both directions agree.
+"""
+
+from __future__ import annotations
+
+from ...graphs import QueryGraph
+from .dynamic_index import Dependency, DynamicCandidateIndex
+from .stream import CSMMatcherBase
+
+__all__ = ["SymBiMatcher", "query_dag_orientation"]
+
+
+def query_dag_orientation(query: QueryGraph) -> list[tuple[int, int, int]]:
+    """Orient every query edge along BFS levels from a max-degree root.
+
+    Returns one ``(dag_parent, dag_child, edge_index)`` triple per query
+    edge.  Edges between equal BFS levels are oriented from the smaller
+    vertex id, which keeps the orientation acyclic.
+    """
+    n = query.num_vertices
+    level = [-1] * n
+    order = sorted(query.vertices(), key=lambda u: (-query.degree(u), u))
+    for seed in order:
+        if level[seed] != -1:
+            continue
+        level[seed] = 0
+        frontier = [seed]
+        while frontier:
+            nxt: list[int] = []
+            for u in frontier:
+                for w in sorted(query.neighbors(u)):
+                    if level[w] == -1:
+                        level[w] = level[u] + 1
+                        nxt.append(w)
+            frontier = nxt
+    oriented: list[tuple[int, int, int]] = []
+    for index, (a, b) in enumerate(query.edges):
+        if (level[a], a) <= (level[b], b):
+            oriented.append((a, b, index))
+        else:
+            oriented.append((b, a, index))
+    return oriented
+
+
+class SymBiMatcher(CSMMatcherBase):
+    """Bidirectional DAG-indexed delta enumeration (SymBi)."""
+
+    name = "symbi"
+
+    def _on_prepare(self) -> None:
+        query = self.query
+        down_deps: list[Dependency] = []
+        up_deps: list[Dependency] = []
+        for parent, child, edge_index in query_dag_orientation(query):
+            qa, _qb = query.edge(edge_index)
+            # Witness direction from the owner's perspective.
+            parent_dir = "out" if qa == parent else "in"
+            child_dir = "in" if qa == parent else "out"
+            down_deps.append(Dependency(parent, child, parent_dir))
+            up_deps.append(Dependency(child, parent, child_dir))
+        self._down = DynamicCandidateIndex(query, self.snapshot, down_deps)
+        self._up = DynamicCandidateIndex(query, self.snapshot, up_deps)
+
+    def _on_insert(self, edge, pair_is_new: bool) -> None:
+        if pair_is_new:
+            self._down.insert_pair(edge.u, edge.v)
+            self._up.insert_pair(edge.u, edge.v)
+
+    def vertex_allowed(self, qv: int, dv: int) -> bool:
+        return self._down.allows(qv, dv) and self._up.allows(qv, dv)

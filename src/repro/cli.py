@@ -1,0 +1,191 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands
+-----------
+``match``
+    Run TCSM matching: a SNAP temporal edge list (plus optional label
+    sidecar) against a JSON pattern file (see
+    :mod:`repro.graphs.query_io`).
+``generate``
+    Write a dataset stand-in (or any catalog entry) as a SNAP file with a
+    label sidecar — useful for trying the CLI end to end offline.
+``pattern-example``
+    Write a sample pattern JSON (the paper's q1 with tc2) to edit.
+``algorithms``
+    List the registered matcher names.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from . import __version__
+from .core import available_algorithms, find_matches
+from .datasets import dataset_keys, load_dataset, paper_constraints, paper_query
+from .errors import ReproError
+from .graphs import load_pattern, load_snap_temporal, save_pattern, save_snap_temporal
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Temporal-constraint subgraph matching (TCSM).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    match = sub.add_parser(
+        "match", help="match a pattern against a temporal graph"
+    )
+    match.add_argument("--graph", required=True,
+                       help="SNAP temporal edge list ('src dst t' lines)")
+    match.add_argument("--pattern", required=True,
+                       help="pattern JSON (query + constraints)")
+    match.add_argument("--algorithm", default="tcsm-eve",
+                       help="matcher name (see 'repro algorithms')")
+    match.add_argument("--limit", type=int, default=None,
+                       help="stop after this many matches")
+    match.add_argument("--time-budget", type=float, default=None,
+                       help="wall-clock budget in seconds")
+    match.add_argument("--count-only", action="store_true",
+                       help="print only the match count")
+    match.add_argument("--json", action="store_true",
+                       help="emit matches as JSON lines")
+    match.add_argument("--output", default=None,
+                       help="also save matches to this .json or .csv file")
+    match.add_argument("--num-labels", type=int, default=8,
+                       help="random labels when no sidecar exists (default 8)")
+    match.add_argument("--seed", type=int, default=0,
+                       help="seed for random label assignment")
+
+    generate = sub.add_parser(
+        "generate", help="write a dataset stand-in as a SNAP file"
+    )
+    generate.add_argument("--dataset", default="CM",
+                          help=f"catalog key ({', '.join(dataset_keys())})")
+    generate.add_argument("--out", required=True, help="output path")
+    generate.add_argument("--scale", type=float, default=None)
+    generate.add_argument("--num-labels", type=int, default=8)
+    generate.add_argument("--seed", type=int, default=0)
+
+    example = sub.add_parser(
+        "pattern-example", help="write a sample pattern JSON"
+    )
+    example.add_argument("--out", required=True, help="output path")
+
+    sub.add_parser("algorithms", help="list registered matcher names")
+    return parser
+
+
+def _cmd_match(args: argparse.Namespace) -> int:
+    from .core import lint_pattern
+
+    graph = load_snap_temporal(
+        args.graph, num_labels=args.num_labels, seed=args.seed
+    )
+    query, constraints = load_pattern(args.pattern)
+    diagnostics = lint_pattern(query, constraints, graph)
+    for diagnostic in diagnostics:
+        print(diagnostic, file=sys.stderr)
+    if any(d.severity == "error" for d in diagnostics):
+        print("error: pattern cannot match this graph", file=sys.stderr)
+        return 2
+    result = find_matches(
+        query,
+        constraints,
+        graph,
+        algorithm=args.algorithm,
+        limit=args.limit,
+        time_budget=args.time_budget,
+        collect_matches=not args.count_only,
+    )
+    if args.count_only:
+        print(result.stats.matches)
+        return 0
+    if args.output:
+        from .core.results import MatchSet
+
+        match_set = MatchSet(result.matches)
+        out_path = Path(args.output)
+        if out_path.suffix == ".csv":
+            match_set.save_csv(out_path)
+        else:
+            match_set.save_json(out_path, query=query)
+        print(f"# saved: {match_set.summary()} -> {out_path}",
+              file=sys.stderr)
+    for match in result.matches:
+        if args.json:
+            print(json.dumps({
+                "vertices": list(match.vertex_map),
+                "edges": [list(edge) for edge in match.edge_map],
+            }))
+        else:
+            edges = " ".join(
+                f"({e.u}->{e.v}@{e.t})" for e in match.edge_map
+            )
+            print(f"vertices={list(match.vertex_map)} edges={edges}")
+    truncated = " (stopped at budget)" if result.stats.budget_exhausted else ""
+    print(
+        f"# {result.num_matches} matches in "
+        f"{result.total_seconds:.3f}s with {result.algorithm}{truncated}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .graphs import graph_statistics
+
+    graph = load_dataset(
+        args.dataset,
+        scale=args.scale,
+        num_labels=args.num_labels,
+        seed=args.seed,
+    )
+    save_snap_temporal(graph, args.out)
+    print(
+        f"wrote {args.out} (labels in {Path(args.out).name}.labels)",
+        file=sys.stderr,
+    )
+    print(graph_statistics(graph).describe(), file=sys.stderr)
+    return 0
+
+
+def _cmd_pattern_example(args: argparse.Namespace) -> int:
+    query = paper_query(1)
+    constraints = paper_constraints(2, num_edges=query.num_edges)
+    save_pattern(query, constraints, args.out)
+    print(f"wrote sample pattern (q1, tc2) to {args.out}", file=sys.stderr)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "match":
+            return _cmd_match(args)
+        if args.command == "generate":
+            return _cmd_generate(args)
+        if args.command == "pattern-example":
+            return _cmd_pattern_example(args)
+        if args.command == "algorithms":
+            for name in available_algorithms():
+                print(name)
+            return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    parser.error(f"unknown command {args.command!r}")
+    return 2  # pragma: no cover - parser.error raises
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry
+    sys.exit(main())

@@ -1,0 +1,78 @@
+"""Core TCSM algorithms: TCQ/TCQ+ construction and the three matchers."""
+
+from .bruteforce import BruteForceMatcher, brute_force_matches
+from .e2e import E2EMatcher
+from .engine import (
+    MatchResult,
+    Matcher,
+    available_algorithms,
+    count_matches,
+    create_matcher,
+    find_matches,
+    register_algorithm,
+)
+from .estimate import estimate_match_count
+from .eve import EVEMatcher
+from .explain import constraint_slack, explain_match
+from .filters import (
+    initial_edge_candidate_pairs,
+    initial_vertex_candidates,
+    ldf,
+    nlf,
+)
+from .match import Match, is_valid_match
+from .motifs import count_motif, ordered_motif_constraints
+from .render import render_tcq, render_tcq_plus
+from .stats import SearchStats
+from .tcf import TCF, build_tcf
+from .tcq import TCQ, build_tcq, vertex_tsup
+from .tcq_plus import TCQPlus, build_tcq_plus, edge_tsup
+from .validate import Diagnostic, lint_pattern
+from .timestamps import (
+    count_timestamp_assignments,
+    iter_timestamp_assignments,
+    windows_compatible,
+)
+from .v2v import V2VMatcher
+
+__all__ = [
+    "BruteForceMatcher",
+    "Diagnostic",
+    "lint_pattern",
+    "E2EMatcher",
+    "EVEMatcher",
+    "Match",
+    "MatchResult",
+    "Matcher",
+    "SearchStats",
+    "TCF",
+    "TCQ",
+    "TCQPlus",
+    "V2VMatcher",
+    "available_algorithms",
+    "brute_force_matches",
+    "build_tcf",
+    "build_tcq",
+    "build_tcq_plus",
+    "constraint_slack",
+    "count_matches",
+    "count_motif",
+    "estimate_match_count",
+    "explain_match",
+    "ordered_motif_constraints",
+    "count_timestamp_assignments",
+    "create_matcher",
+    "edge_tsup",
+    "find_matches",
+    "initial_edge_candidate_pairs",
+    "initial_vertex_candidates",
+    "is_valid_match",
+    "iter_timestamp_assignments",
+    "ldf",
+    "nlf",
+    "register_algorithm",
+    "render_tcq",
+    "render_tcq_plus",
+    "vertex_tsup",
+    "windows_compatible",
+]

@@ -1,0 +1,132 @@
+"""Brute-force TCSM oracle.
+
+A deliberately simple enumerator implementing Definition 4 with none of
+the paper's machinery: vertices are matched in id order with only label,
+injectivity and edge-existence checks; per-edge timestamps are enumerated
+by brute product with full constraint re-checks.  It shares no ordering,
+filtering or pruning code with the real matchers, which is what makes it a
+trustworthy differential-testing oracle for them.
+
+Only use on small instances: complexity is the full
+``O(|V|^{|V_q|} * prod |T(pair)|)`` search space.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterator
+
+from ..errors import AlgorithmError
+from ..graphs import QueryGraph, TemporalConstraints, TemporalGraph
+
+from .match import Match
+from .stats import SearchStats
+
+__all__ = ["BruteForceMatcher", "brute_force_matches"]
+
+
+class BruteForceMatcher:
+    """Oracle matcher with the same protocol as the real matchers."""
+
+    name = "brute-force"
+
+    def __init__(
+        self,
+        query: QueryGraph,
+        constraints: TemporalConstraints,
+        graph: TemporalGraph,
+    ) -> None:
+        if constraints.num_edges != query.num_edges:
+            raise AlgorithmError(
+                f"constraints expect {constraints.num_edges} query edges, "
+                f"query has {query.num_edges}"
+            )
+        self.query = query
+        self.constraints = constraints
+        self.graph = graph
+
+    def prepare(self) -> None:
+        """Nothing to precompute (kept for protocol compatibility)."""
+
+    def run(
+        self,
+        limit: int | None = None,
+        stats: SearchStats | None = None,
+        deadline: float | None = None,
+    ) -> Iterator[Match]:
+        """Yield every match, in deterministic order."""
+        if stats is None:
+            stats = SearchStats()
+        query = self.query
+        graph = self.graph
+        n = query.num_vertices
+        vertex_map: list[int | None] = [None] * n
+        used: set[int] = set()
+        emitted = 0
+
+        # Edges checkable once vertex u is bound (both endpoints <= u).
+        edges_closing_at: list[list[int]] = [[] for _ in range(n)]
+        for index, (a, b) in enumerate(query.edges):
+            edges_closing_at[max(a, b)].append(index)
+
+        def assignments(full_map: tuple[int, ...]) -> Iterator[tuple[int, ...]]:
+            options = []
+            for index, (a, b) in enumerate(query.edges):
+                required = query.edge_label(index)
+                if required is None:
+                    options.append(graph.timestamps(full_map[a], full_map[b]))
+                else:
+                    options.append(
+                        graph.timestamps_with_label(
+                            full_map[a], full_map[b], required
+                        )
+                    )
+            for times in itertools.product(*options):
+                if all(
+                    c.is_satisfied(times[c.earlier], times[c.later])
+                    for c in self.constraints
+                ):
+                    yield times
+
+        def dfs(u: int) -> Iterator[Match]:
+            if u == n:
+                full_map = tuple(vertex_map)
+                for times in assignments(full_map):
+                    yield Match.from_vertex_map(query, full_map, times)
+                return
+            for v in graph.vertices_with_label(query.label(u)):
+                if v in used:
+                    continue
+                ok = True
+                for index in edges_closing_at[u]:
+                    a, b = query.edge(index)
+                    da = v if a == u else vertex_map[a]
+                    db = v if b == u else vertex_map[b]
+                    if not graph.has_pair(da, db):
+                        ok = False
+                        break
+                if not ok:
+                    continue
+                vertex_map[u] = v
+                used.add(v)
+                yield from dfs(u + 1)
+                used.discard(v)
+                vertex_map[u] = None
+
+        for match in dfs(0):
+            emitted += 1
+            stats.matches += 1
+            yield match
+            if limit is not None and emitted >= limit:
+                stats.budget_exhausted = True
+                return
+
+
+def brute_force_matches(
+    query: QueryGraph,
+    constraints: TemporalConstraints,
+    graph: TemporalGraph,
+    limit: int | None = None,
+) -> list[Match]:
+    """All matches of the instance, as a list (convenience wrapper)."""
+    return list(BruteForceMatcher(query, constraints, graph).run(limit=limit))

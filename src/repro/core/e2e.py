@@ -1,0 +1,286 @@
+"""TCSM-E2E: edge-to-edge expansion matching (Algorithm 4).
+
+Query edges are matched in TCQ+ order.  Each candidate is a concrete
+*temporal* edge, so timestamps are bound immediately and every temporal
+constraint is checked exactly once — at the position of its later edge —
+with no post-hoc permutation.  Candidates come from the data adjacency of
+the prec's match (Algorithm 4 line 14); endpoint consistency with the
+partial vertex map subsumes the forward-edge (FE) intersection check and
+additionally enforces vertex injectivity, which Definition 4's isomorphism
+semantics require.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterator
+
+from ..errors import AlgorithmError
+from ..graphs import (
+    QueryGraph,
+    TemporalConstraints,
+    TemporalEdge,
+    TemporalGraph,
+)
+
+from .filters import initial_edge_candidate_pairs
+from .match import Match
+from .stats import SearchStats
+from .tcq_plus import TCQPlus, build_tcq_plus
+
+__all__ = ["E2EMatcher"]
+
+
+class E2EMatcher:
+    """Matcher implementing TCSM-E2E.
+
+    Parameters
+    ----------
+    query, constraints, graph:
+        The matching problem.
+    intersect_candidates:
+        When True (default), DFS candidates must belong to the initial LDF
+        candidate set of their query edge (Algorithm 4 lines 1-3); line 15
+        alone would filter by endpoint labels only.  Sound either way;
+        ablation knob.
+    """
+
+    name = "tcsm-e2e"
+
+    #: Subclass hook (TCSM-EVE): vertex pre-matching on newly introduced
+    #: query vertices.  E2E performs no vertex look-ahead.
+    vertex_prematching = False
+
+    def __init__(
+        self,
+        query: QueryGraph,
+        constraints: TemporalConstraints,
+        graph: TemporalGraph,
+        intersect_candidates: bool = True,
+    ) -> None:
+        if constraints.num_edges != query.num_edges:
+            raise AlgorithmError(
+                f"constraints expect {constraints.num_edges} query edges, "
+                f"query has {query.num_edges}"
+            )
+        if query.num_edges == 0:
+            raise AlgorithmError(
+                "edge-based matchers need at least one query edge"
+            )
+        self.query = query
+        self.constraints = constraints
+        self.graph = graph
+        self.intersect_candidates = intersect_candidates
+        self.pair_candidates: list[frozenset[tuple[int, int]]] | None = None
+        self.tcq_plus: TCQPlus | None = None
+        self._prepared = False
+
+    # ------------------------------------------------------------------
+    # preparation (Algorithm 4 lines 1-4)
+    # ------------------------------------------------------------------
+    def prepare(self) -> None:
+        """Compute LDF candidates and build the TCQ+ (idempotent)."""
+        if self._prepared:
+            return
+        self.pair_candidates = initial_edge_candidate_pairs(
+            self.query, self.graph
+        )
+        self.tcq_plus = build_tcq_plus(
+            self.query,
+            self.constraints,
+            candidate_counts=[len(c) for c in self.pair_candidates],
+        )
+        self._vmatch_plan = self._build_vmatch_plan()
+        self._prepared = True
+
+    def _build_vmatch_plan(
+        self,
+    ) -> tuple[tuple[tuple[int, frozenset], ...], ...]:
+        """Per position: (new query vertex, labels its BN requires).
+
+        ``BN(u)`` (Definition 8) is ``N(u)`` minus the vertex shared
+        between the introducing edge and its prec (for the seed edge: the
+        other endpoint).  Only the *labels* of BN matter to ``Vmatch``, so
+        the plan stores the deduplicated label set.
+        """
+        query = self.query
+        tcq = self.tcq_plus
+        plan: list[tuple[tuple[int, frozenset], ...]] = []
+        for pos, edge_index in enumerate(tcq.order):
+            entries: list[tuple[int, frozenset]] = []
+            endpoints = set(query.edge(edge_index))
+            prec = tcq.prec[pos]
+            if prec is None:
+                # Seed edge (or component seed): exclude the other endpoint.
+                excluded_by_vertex = {
+                    u: endpoints - {u} for u in tcq.new_vertices[pos]
+                }
+            else:
+                shared = query.edges_share_vertex(edge_index, prec)
+                excluded_by_vertex = {
+                    u: set(shared) for u in tcq.new_vertices[pos]
+                }
+            for u in tcq.new_vertices[pos]:
+                backward = query.neighbors(u) - excluded_by_vertex[u]
+                labels = frozenset(query.label(w) for w in backward)
+                entries.append((u, labels))
+            plan.append(tuple(entries))
+        return tuple(plan)
+
+    # ------------------------------------------------------------------
+    # matching (Algorithm 4 lines 5-27)
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        limit: int | None = None,
+        stats: SearchStats | None = None,
+        deadline: float | None = None,
+    ) -> Iterator[Match]:
+        """Yield all matches (generator; stops early at *limit*/deadline)."""
+        self.prepare()
+        if stats is None:
+            stats = SearchStats()
+        tcq = self.tcq_plus
+        query = self.query
+        graph = self.graph
+        data = graph.de_temporal()
+        m = query.num_edges
+        n = query.num_vertices
+        edge_map: list[TemporalEdge | None] = [None] * m
+        vertex_map: list[int | None] = [None] * n
+        used: set[int] = set()
+        emitted = 0
+        edge_times: list[int | None] = [None] * m
+
+        def vmatch(u: int, v: int, required_labels: frozenset) -> bool:
+            """Vmatch (Algorithm 5 lines 24-28): label look-ahead on BN."""
+            counts = data.neighbor_label_counts(v)
+            return all(label in counts for label in required_labels)
+
+        def temporal_ok(pos: int) -> bool:
+            for c in tcq.check_at[pos]:
+                delta = edge_times[c.later] - edge_times[c.earlier]
+                if not 0 <= delta <= c.gap:
+                    return False
+            return True
+
+        required_labels = query.edge_labels
+
+        def admissible_times(edge_index: int, du: int, dv: int):
+            required = required_labels[edge_index]
+            if required is None:
+                return graph.timestamps_list(du, dv)
+            return graph.timestamps_with_label(du, dv, required)
+
+        def candidate_edges(pos: int) -> Iterator[TemporalEdge]:
+            """Candidates per Algorithm 4 line 14, driven by the vertex map."""
+            edge_index = tcq.order[pos]
+            qa, qb = query.edge(edge_index)
+            da, db = vertex_map[qa], vertex_map[qb]
+            allowed = self.pair_candidates[edge_index]
+            if da is not None and db is not None:
+                # Closing edge: both endpoints pinned (prec + FE combined).
+                if self.intersect_candidates and (da, db) not in allowed:
+                    return
+                for t in admissible_times(edge_index, da, db):
+                    yield TemporalEdge(da, db, t)
+            elif da is not None:
+                target_label = query.label(qb)
+                for x in graph.out_neighbor_ids(da):
+                    if self.intersect_candidates:
+                        if (da, x) not in allowed:
+                            continue
+                    elif graph.label(x) != target_label:
+                        continue
+                    if x in used:
+                        continue
+                    for t in admissible_times(edge_index, da, x):
+                        yield TemporalEdge(da, x, t)
+            elif db is not None:
+                source_label = query.label(qa)
+                for x in graph.in_neighbor_ids(db):
+                    if self.intersect_candidates:
+                        if (x, db) not in allowed:
+                            continue
+                    elif graph.label(x) != source_label:
+                        continue
+                    if x in used:
+                        continue
+                    for t in admissible_times(edge_index, x, db):
+                        yield TemporalEdge(x, db, t)
+            else:
+                # Seed edge of a (possibly disconnected) component.
+                for du, dv in allowed:
+                    if du in used or dv in used:
+                        continue
+                    for t in admissible_times(edge_index, du, dv):
+                        yield TemporalEdge(du, dv, t)
+
+        def dfs(pos: int) -> Iterator[Match]:
+            nonlocal emitted
+            if deadline is not None and time.monotonic() > deadline:
+                stats.budget_exhausted = True
+                return
+            if pos == m:
+                yield Match(tuple(edge_map), tuple(vertex_map))
+                return
+            stats.nodes_expanded += 1
+            edge_index = tcq.order[pos]
+            qa, qb = query.edge(edge_index)
+            produced = False
+            for cand in candidate_edges(pos):
+                if deadline is not None and time.monotonic() > deadline:
+                    stats.budget_exhausted = True
+                    return
+                stats.candidates_generated += 1
+                stats.validations += 1
+                # Injectivity: a newly bound data vertex must be fresh and
+                # the two endpoints of a seed edge must differ.
+                new_a = vertex_map[qa] is None
+                new_b = vertex_map[qb] is None
+                if new_a and new_b and cand.u == cand.v:
+                    stats.record_fail(pos + 1)
+                    continue
+                edge_map[edge_index] = cand
+                edge_times[edge_index] = cand.t
+                if not temporal_ok(pos):
+                    edge_map[edge_index] = None
+                    edge_times[edge_index] = None
+                    stats.record_fail(pos + 1)
+                    continue
+                if self.vertex_prematching and not all(
+                    vmatch(u, cand.u if u == qa else cand.v, labels)
+                    for u, labels in self._vmatch_plan[pos]
+                ):
+                    edge_map[edge_index] = None
+                    edge_times[edge_index] = None
+                    stats.record_fail(pos + 1)
+                    continue
+                if new_a:
+                    vertex_map[qa] = cand.u
+                    used.add(cand.u)
+                if new_b:
+                    vertex_map[qb] = cand.v
+                    used.add(cand.v)
+                produced = True
+                yield from dfs(pos + 1)
+                if new_a:
+                    used.discard(cand.u)
+                    vertex_map[qa] = None
+                if new_b:
+                    used.discard(cand.v)
+                    vertex_map[qb] = None
+                edge_map[edge_index] = None
+                edge_times[edge_index] = None
+                if limit is not None and emitted >= limit:
+                    return
+            if not produced:
+                stats.record_fail(pos + 1)
+
+        for match in dfs(0):
+            emitted += 1
+            stats.matches += 1
+            yield match
+            if limit is not None and emitted >= limit:
+                stats.budget_exhausted = True
+                return

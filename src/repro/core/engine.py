@@ -1,0 +1,219 @@
+"""Unified matcher engine: registry, dispatch, timing.
+
+Every matcher — the paper's three algorithms, the brute-force oracle, and
+all baselines — implements the same protocol (``prepare()`` +
+``run(limit, stats, deadline)``).  The engine registers them by name and
+wraps a run with phase timing (preparation vs matching, the split plotted
+in Fig. 14 / Table VI of the paper).
+
+Baselines live in :mod:`repro.baselines` and are imported lazily on first
+use of an unknown name, so ``import repro`` stays cheap and the core has
+no dependency on the baselines package.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from ..errors import UnknownAlgorithmError
+from ..graphs import QueryGraph, TemporalConstraints, TemporalGraph
+
+from .bruteforce import BruteForceMatcher
+from .e2e import E2EMatcher
+from .eve import EVEMatcher
+from .match import Match
+from .stats import SearchStats
+from .v2v import V2VMatcher
+
+__all__ = [
+    "Matcher",
+    "MatchResult",
+    "available_algorithms",
+    "count_matches",
+    "create_matcher",
+    "find_matches",
+    "register_algorithm",
+]
+
+
+class Matcher(Protocol):
+    """Protocol all matchers implement."""
+
+    name: str
+
+    def prepare(self) -> None:  # pragma: no cover - protocol
+        ...
+
+    def run(
+        self,
+        limit: int | None = None,
+        stats: SearchStats | None = None,
+        deadline: float | None = None,
+    ) -> Iterator[Match]:  # pragma: no cover - protocol
+        ...
+
+
+MatcherFactory = Callable[..., Matcher]
+
+_REGISTRY: dict[str, MatcherFactory] = {}
+
+
+def register_algorithm(
+    name: str, factory: MatcherFactory, overwrite: bool = False
+) -> None:
+    """Register a matcher factory under *name* (lowercase, stable)."""
+    key = name.lower()
+    if key in _REGISTRY and not overwrite:
+        raise ValueError(f"algorithm {name!r} already registered")
+    _REGISTRY[key] = factory
+
+
+def _ensure_baselines_loaded() -> None:
+    """Import deferred modules so their algorithms self-register.
+
+    Covers the baselines package and the continuous-TCSM extension, both
+    of which register at import time; deferring keeps ``import repro``
+    cheap and breaks the engine <-> baselines import cycle.
+    """
+    from .. import baselines  # noqa: F401  (import has side effects)
+    from . import continuous  # noqa: F401
+
+
+def available_algorithms(include_baselines: bool = True) -> tuple[str, ...]:
+    """Sorted names accepted by :func:`find_matches`."""
+    if include_baselines:
+        _ensure_baselines_loaded()
+    return tuple(sorted(_REGISTRY))
+
+
+def create_matcher(
+    algorithm: str,
+    query: QueryGraph,
+    constraints: TemporalConstraints,
+    graph: TemporalGraph,
+    **options,
+) -> Matcher:
+    """Instantiate the matcher registered under *algorithm*."""
+    key = algorithm.lower()
+    if key not in _REGISTRY:
+        _ensure_baselines_loaded()
+    try:
+        factory = _REGISTRY[key]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise UnknownAlgorithmError(
+            f"unknown algorithm {algorithm!r}; available: {known}"
+        ) from None
+    return factory(query, constraints, graph, **options)
+
+
+@dataclass
+class MatchResult:
+    """Outcome of one engine run."""
+
+    algorithm: str
+    matches: list[Match]
+    stats: SearchStats = field(default_factory=SearchStats)
+    build_seconds: float = 0.0
+    match_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.build_seconds + self.match_seconds
+
+    @property
+    def num_matches(self) -> int:
+        return len(self.matches)
+
+
+def find_matches(
+    query: QueryGraph,
+    constraints: TemporalConstraints,
+    graph: TemporalGraph,
+    algorithm: str = "tcsm-eve",
+    limit: int | None = None,
+    time_budget: float | None = None,
+    tighten: bool = False,
+    collect_matches: bool = True,
+    **options,
+) -> MatchResult:
+    """Run a matcher end to end and return matches plus measurements.
+
+    Parameters
+    ----------
+    algorithm:
+        Registered name, e.g. ``"tcsm-eve"``, ``"tcsm-e2e"``,
+        ``"tcsm-v2v"``, ``"brute-force"``, or any baseline
+        (``"ri-ds"``, ``"graphflow"``, ...).  See
+        :func:`available_algorithms`.
+    limit:
+        Stop after this many matches.
+    time_budget:
+        Wall-clock seconds for the matching phase; on expiry the run stops
+        with ``stats.budget_exhausted`` set.
+    tighten:
+        Replace the constraint set by its STN closure before matching
+        (never changes the result set; ablated in the benchmarks).
+    collect_matches:
+        When False, matches are counted but not retained — use for
+        benchmarks on match-dense instances.
+    options:
+        Forwarded to the matcher constructor.
+    """
+    if tighten:
+        constraints = constraints.closed()
+    matcher = create_matcher(algorithm, query, constraints, graph, **options)
+    stats = SearchStats()
+
+    build_start = time.perf_counter()
+    matcher.prepare()
+    build_seconds = time.perf_counter() - build_start
+
+    deadline = None
+    if time_budget is not None:
+        deadline = time.monotonic() + time_budget
+
+    matches: list[Match] = []
+    match_start = time.perf_counter()
+    for match in matcher.run(limit=limit, stats=stats, deadline=deadline):
+        if collect_matches:
+            matches.append(match)
+    match_seconds = time.perf_counter() - match_start
+
+    result = MatchResult(
+        algorithm=matcher.name,
+        matches=matches,
+        stats=stats,
+        build_seconds=build_seconds,
+        match_seconds=match_seconds,
+    )
+    return result
+
+
+def count_matches(
+    query: QueryGraph,
+    constraints: TemporalConstraints,
+    graph: TemporalGraph,
+    algorithm: str = "tcsm-eve",
+    **kwargs,
+) -> int:
+    """Number of matches (does not retain match objects)."""
+    result = find_matches(
+        query,
+        constraints,
+        graph,
+        algorithm=algorithm,
+        collect_matches=False,
+        **kwargs,
+    )
+    return result.stats.matches
+
+
+# The core algorithms and the oracle register eagerly.
+register_algorithm("tcsm-v2v", V2VMatcher)
+register_algorithm("tcsm-e2e", E2EMatcher)
+register_algorithm("tcsm-eve", EVEMatcher)
+register_algorithm("brute-force", BruteForceMatcher)

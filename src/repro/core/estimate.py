@@ -1,0 +1,150 @@
+"""Sampling-based cardinality estimation for TCSM.
+
+Match counts explode with the constraint gap (Exp-10) and with graph
+size; an analyst tuning a fraud pattern often needs "roughly how many
+matches would this produce?" *before* paying for full enumeration.
+This module implements the classic Horvitz-Thompson estimator over the
+matching tree (the filtering-sampling idea the paper's related work [8]
+cites for static subgraph matching), adapted to the temporal setting:
+
+Starting from the TCSM-EVE search structure (TCQ+ order, LDF candidates),
+a random root-to-leaf probe is drawn by choosing uniformly among the
+*valid* candidates at every layer; a probe reaching a full match
+contributes the product of the branching factors along its path, zero
+otherwise.  The mean over probes is an unbiased estimate of the match
+count (unbiasedness is a property of the estimator; the test-suite checks
+it statistically against exact counts).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..graphs import QueryGraph, TemporalConstraints, TemporalGraph
+
+from .eve import EVEMatcher
+
+__all__ = ["estimate_match_count"]
+
+
+def estimate_match_count(
+    query: QueryGraph,
+    constraints: TemporalConstraints,
+    graph: TemporalGraph,
+    probes: int = 200,
+    seed: int = 0,
+) -> float:
+    """Unbiased estimate of the TCSM match count via random probes.
+
+    Parameters
+    ----------
+    probes:
+        Number of root-to-leaf probes (estimator variance shrinks as
+        ``1/probes``; counts concentrated in few branches need more).
+    seed:
+        RNG seed; estimates are deterministic for a given seed.
+
+    Notes
+    -----
+    Cost per probe is ``O(sum of candidate-list lengths)`` along one
+    path — orders of magnitude below full enumeration on match-dense
+    instances.
+    """
+    if probes < 1:
+        raise ValueError(f"probes must be >= 1, got {probes}")
+    rng = random.Random(seed)
+
+    # Reuse EVE's prepared structures (LDF pairs + TCQ+) for candidates.
+    matcher = EVEMatcher(query, constraints, graph)
+    matcher.prepare()
+    tcq = matcher.tcq_plus
+    pair_candidates = matcher.pair_candidates
+    m = query.num_edges
+    n = query.num_vertices
+    check_plans = tcq.check_at
+
+    total = 0.0
+    for _ in range(probes):
+        vertex_map: list[int | None] = [None] * n
+        used: set[int] = set()
+        edge_times: list[int | None] = [None] * m
+        weight = 1.0
+        alive = True
+        for pos in range(m):
+            edge_index = tcq.order[pos]
+            qa, qb = query.edge(edge_index)
+            da, db = vertex_map[qa], vertex_map[qb]
+            required = query.edge_label(edge_index)
+
+            candidates = []
+            if da is not None and db is not None:
+                if (da, db) in pair_candidates[edge_index]:
+                    times = (
+                        graph.timestamps_list(da, db)
+                        if required is None
+                        else graph.timestamps_with_label(da, db, required)
+                    )
+                    candidates = [(da, db, t) for t in times]
+            elif da is not None:
+                for x in graph.out_neighbor_ids(da):
+                    if x in used or (da, x) not in pair_candidates[edge_index]:
+                        continue
+                    times = (
+                        graph.timestamps_list(da, x)
+                        if required is None
+                        else graph.timestamps_with_label(da, x, required)
+                    )
+                    candidates.extend((da, x, t) for t in times)
+            elif db is not None:
+                for x in graph.in_neighbor_ids(db):
+                    if x in used or (x, db) not in pair_candidates[edge_index]:
+                        continue
+                    times = (
+                        graph.timestamps_list(x, db)
+                        if required is None
+                        else graph.timestamps_with_label(x, db, required)
+                    )
+                    candidates.extend((x, db, t) for t in times)
+            else:
+                for du, dv in pair_candidates[edge_index]:
+                    if du in used or dv in used:
+                        continue
+                    times = (
+                        graph.timestamps_list(du, dv)
+                        if required is None
+                        else graph.timestamps_with_label(du, dv, required)
+                    )
+                    candidates.extend((du, dv, t) for t in times)
+
+            # Keep only candidates passing the temporal checks due at pos.
+            valid = []
+            for du, dv, t in candidates:
+                ok = True
+                for c in check_plans[pos]:
+                    t_earlier = (
+                        t if c.earlier == edge_index else edge_times[c.earlier]
+                    )
+                    t_later = (
+                        t if c.later == edge_index else edge_times[c.later]
+                    )
+                    if not 0 <= t_later - t_earlier <= c.gap:
+                        ok = False
+                        break
+                if ok:
+                    valid.append((du, dv, t))
+
+            if not valid:
+                alive = False
+                break
+            weight *= len(valid)
+            du, dv, t = rng.choice(valid)
+            edge_times[edge_index] = t
+            if vertex_map[qa] is None:
+                vertex_map[qa] = du
+                used.add(du)
+            if vertex_map[qb] is None:
+                vertex_map[qb] = dv
+                used.add(dv)
+        if alive:
+            total += weight
+    return total / probes

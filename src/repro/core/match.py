@@ -1,0 +1,99 @@
+"""Match objects: the result type shared by all matchers.
+
+A TCSM match (Definition 4) is an injective mapping from query edges to
+temporal edges; the induced mapping on vertices must be an injective,
+label-preserving homomorphism.  :class:`Match` stores both views so
+downstream code can pick whichever is convenient.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import NamedTuple
+
+from ..graphs import QueryGraph, TemporalConstraints, TemporalEdge, TemporalGraph
+
+__all__ = ["Match", "is_valid_match"]
+
+
+class Match(NamedTuple):
+    """One temporal-constraint subgraph match.
+
+    Attributes
+    ----------
+    edge_map:
+        ``edge_map[i]`` is the temporal edge matched to query edge ``i``.
+    vertex_map:
+        ``vertex_map[u]`` is the data vertex matched to query vertex ``u``.
+    """
+
+    edge_map: tuple[TemporalEdge, ...]
+    vertex_map: tuple[int, ...]
+
+    @classmethod
+    def from_vertex_map(
+        cls,
+        query: QueryGraph,
+        vertex_map: Sequence[int],
+        timestamps: Sequence[int],
+    ) -> "Match":
+        """Assemble a match from a vertex embedding plus per-edge timestamps.
+
+        ``timestamps[i]`` is the interaction time chosen for query edge
+        ``i``; endpoints come from the embedding.
+        """
+        edge_map = tuple(
+            TemporalEdge(vertex_map[u], vertex_map[v], timestamps[i])
+            for i, (u, v) in enumerate(query.edges)
+        )
+        return cls(edge_map, tuple(vertex_map))
+
+    def timestamp_vector(self) -> tuple[int, ...]:
+        """Per-query-edge timestamps, in edge-index order."""
+        return tuple(edge.t for edge in self.edge_map)
+
+
+def is_valid_match(
+    query: QueryGraph,
+    constraints: TemporalConstraints,
+    graph: TemporalGraph,
+    match: Match,
+) -> bool:
+    """Check a match against Definition 4 from first principles.
+
+    Used by the test-suite oracle and available to users as a debugging
+    aid.  Verifies: arity, vertex injectivity, label preservation, edge
+    consistency (endpoints follow the vertex map and the temporal edge
+    exists in the data graph), and every temporal constraint.
+    """
+    if len(match.edge_map) != query.num_edges:
+        return False
+    if len(match.vertex_map) != query.num_vertices:
+        return False
+    # Vertex injectivity and label preservation.
+    if len(set(match.vertex_map)) != query.num_vertices:
+        return False
+    for u in query.vertices():
+        v = match.vertex_map[u]
+        if not 0 <= v < graph.num_vertices:
+            return False
+        if graph.label(v) != query.label(u):
+            return False
+    # Edge consistency, existence, and (optional) edge-label agreement.
+    for i, (qu, qv) in enumerate(query.edges):
+        edge = match.edge_map[i]
+        if edge.u != match.vertex_map[qu] or edge.v != match.vertex_map[qv]:
+            return False
+        if edge.t not in graph.timestamps(edge.u, edge.v):
+            return False
+        required = query.edge_label(i)
+        if required is not None and graph.edge_label(
+            edge.u, edge.v, edge.t
+        ) != required:
+            return False
+    # Temporal constraints.
+    times = match.timestamp_vector()
+    for c in constraints:
+        if not c.is_satisfied(times[c.earlier], times[c.later]):
+            return False
+    return True

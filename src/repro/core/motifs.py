@@ -1,0 +1,82 @@
+"""Temporal-motif helpers: motif counting as a TCSM special case.
+
+The paper's related work traces TCSM's lineage to temporal motifs
+(Paranjape, Benson & Leskovec): small patterns whose edges must appear in
+a prescribed order within a window δ.  That is exactly a TCSM instance
+whose constraint set is a chain over the edge order plus a global window,
+so this module provides the translation — letting the TCSM machinery
+count ordered motifs directly and giving the library a bridge to the
+motif literature.
+
+* :func:`ordered_motif_constraints` — the (σ, δ) motif semantics as a
+  :class:`TemporalConstraints`: consecutive edges in the given order must
+  not decrease in time, and the whole motif spans at most δ.
+* :func:`count_motif` — count occurrences of a small query under those
+  semantics with any registered algorithm.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..errors import ConstraintError
+from ..graphs import QueryGraph, TemporalConstraints, TemporalGraph
+
+__all__ = ["ordered_motif_constraints", "count_motif"]
+
+
+def ordered_motif_constraints(
+    num_edges: int,
+    delta: float,
+    order: Sequence[int] | None = None,
+) -> TemporalConstraints:
+    """Constraints expressing a (σ, δ)-temporal motif.
+
+    Parameters
+    ----------
+    num_edges:
+        Number of query edges.
+    delta:
+        Global window: the last edge happens at most ``delta`` after the
+        first (in the prescribed order).
+    order:
+        Edge indices in required temporal order; defaults to index order
+        (``e_0 <= e_1 <= ... <= e_{m-1}``).
+
+    Notes
+    -----
+    Consecutive pairs get the full ``delta`` as their pairwise gap (the
+    binding bound is the first-to-last constraint); the STN closure
+    tightens the rest automatically if a matcher opts into ``tighten``.
+    """
+    if order is None:
+        order = list(range(num_edges))
+    if sorted(order) != list(range(num_edges)):
+        raise ConstraintError(
+            f"order must be a permutation of 0..{num_edges - 1}, got {order}"
+        )
+    if delta < 0:
+        raise ConstraintError(f"delta must be >= 0, got {delta}")
+    triples: list[tuple[int, int, float]] = []
+    for a, b in zip(order, order[1:]):
+        triples.append((a, b, delta))
+    if len(order) > 2:
+        first, last = order[0], order[-1]
+        triples.append((first, last, delta))
+    return TemporalConstraints.merged(triples, num_edges=num_edges)
+
+
+def count_motif(
+    query: QueryGraph,
+    graph: TemporalGraph,
+    delta: float,
+    order: Sequence[int] | None = None,
+    algorithm: str = "tcsm-eve",
+) -> int:
+    """Number of (σ, δ)-ordered occurrences of *query* in *graph*."""
+    from .engine import count_matches
+
+    constraints = ordered_motif_constraints(
+        query.num_edges, delta, order=order
+    )
+    return count_matches(query, constraints, graph, algorithm=algorithm)

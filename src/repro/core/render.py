@@ -1,0 +1,117 @@
+"""Text rendering of TCQ / TCQ+ structures (the paper's Figures 3 and 6).
+
+Debugging a matching order is much easier when the four hash tables are
+visible in the paper's own notation; :func:`render_tcq` and
+:func:`render_tcq_plus` print them exactly like the figures (1-based
+``u_i`` / ``e_i`` names to match the paper).
+"""
+
+from __future__ import annotations
+
+from ..graphs import QueryGraph
+
+from .tcq import TCQ
+from .tcq_plus import TCQPlus
+
+__all__ = ["render_tcq", "render_tcq_plus"]
+
+
+def _vertex(u: int | None) -> str:
+    return "-" if u is None else f"u{u + 1}"
+
+
+def _edge(e: int | None) -> str:
+    return "-" if e is None else f"e{e + 1}"
+
+
+def render_tcq(tcq: TCQ, query: QueryGraph) -> str:
+    """The TCQ's TO / PD / FV / TC tables as text (cf. Figure 3)."""
+    lines = ["TCQ"]
+    lines.append(
+        "  TO = {"
+        + ", ".join(
+            f"{pos + 1}:{_vertex(u)}" for pos, u in enumerate(tcq.order)
+        )
+        + "}"
+    )
+    lines.append(
+        "  PD = {"
+        + ", ".join(
+            f"{_vertex(tcq.order[pos])}:{_vertex(tcq.prec[pos])}"
+            for pos in range(1, len(tcq.order))
+        )
+        + "}"
+    )
+    lines.append(
+        "  FV = {"
+        + ", ".join(
+            f"{_vertex(tcq.order[pos])}:"
+            + "{" + ", ".join(_vertex(w) for w in tcq.forward[pos]) + "}"
+            for pos in range(len(tcq.order))
+            if tcq.forward[pos]
+        )
+        + "}"
+    )
+    checks = []
+    for pos, constraints in enumerate(tcq.check_at):
+        for c in constraints:
+            checks.append(
+                f"({_edge(c.earlier)}->{_edge(c.later)},{c.gap}):"
+                f"{_vertex(tcq.order[pos])}"
+            )
+    lines.append("  TC = {" + ", ".join(checks) + "}")
+    lines.append(
+        "  tsup = {"
+        + ", ".join(
+            f"{_vertex(u)}:{tcq.tsup[u]}" for u in query.vertices()
+        )
+        + "}"
+    )
+    return "\n".join(lines)
+
+
+def render_tcq_plus(tcq: TCQPlus, query: QueryGraph) -> str:
+    """The TCQ+'s TO / PD / FE / TC tables as text (cf. Figure 6)."""
+    lines = ["TCQ+"]
+    lines.append(
+        "  TO = {"
+        + ", ".join(
+            f"{pos + 1}:{_edge(e)}" for pos, e in enumerate(tcq.order)
+        )
+        + "}"
+    )
+    lines.append(
+        "  PD = {"
+        + ", ".join(
+            f"{_edge(tcq.order[pos])}:{_edge(tcq.prec[pos])}"
+            for pos in range(1, len(tcq.order))
+        )
+        + "}"
+    )
+    lines.append(
+        "  FE = {"
+        + ", ".join(
+            f"{_edge(tcq.order[pos])}:"
+            + "{" + ", ".join(_edge(e) for e in tcq.forward[pos]) + "}"
+            for pos in range(len(tcq.order))
+            if tcq.forward[pos]
+        )
+        + "}"
+    )
+    checks = []
+    for pos, constraints in enumerate(tcq.check_at):
+        for c in constraints:
+            checks.append(
+                f"({_edge(c.earlier)}->{_edge(c.later)},{c.gap}):"
+                f"{_edge(tcq.order[pos])}"
+            )
+    lines.append("  TC = {" + ", ".join(checks) + "}")
+    news = []
+    for pos in range(len(tcq.order)):
+        if tcq.new_vertices[pos]:
+            news.append(
+                f"{_edge(tcq.order[pos])}:"
+                + "{" + ", ".join(_vertex(u) for u in tcq.new_vertices[pos]) + "}"
+            )
+    lines.append("  new vertices = {" + ", ".join(news) + "}")
+    return "\n".join(lines)

@@ -1,0 +1,158 @@
+"""Match-set post-processing: grouping, summarising, exporting.
+
+Enumeration semantics count every timestamp combination as a distinct
+match (Definition 4), so a single suspicious ring with busy edges can
+surface thousands of matches.  Analysts think in *embeddings* — who is
+involved — with the timestamp variants as supporting evidence.
+:class:`MatchSet` provides that view plus JSON/CSV export for downstream
+tooling.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from collections import Counter
+from collections.abc import Iterable, Mapping
+from pathlib import Path
+
+from ..graphs import QueryGraph
+
+from .match import Match
+
+__all__ = ["MatchSet"]
+
+
+class MatchSet:
+    """An ordered, de-duplicated collection of matches.
+
+    Construction de-duplicates exact repeats while preserving first-seen
+    order (matchers never emit duplicates, but unions of multiple runs
+    can).
+    """
+
+    def __init__(self, matches: Iterable[Match] = ()) -> None:
+        seen: dict[Match, None] = {}
+        for match in matches:
+            seen.setdefault(match, None)
+        self._matches: list[Match] = list(seen)
+
+    # ------------------------------------------------------------------
+    # container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._matches)
+
+    def __iter__(self):
+        return iter(self._matches)
+
+    def __contains__(self, match: Match) -> bool:
+        return match in set(self._matches)
+
+    def __or__(self, other: "MatchSet") -> "MatchSet":
+        return MatchSet(list(self._matches) + list(other._matches))
+
+    @property
+    def matches(self) -> tuple[Match, ...]:
+        return tuple(self._matches)
+
+    # ------------------------------------------------------------------
+    # analyst views
+    # ------------------------------------------------------------------
+    def embeddings(self) -> dict[tuple[int, ...], list[Match]]:
+        """Matches grouped by vertex embedding, insertion-ordered."""
+        groups: dict[tuple[int, ...], list[Match]] = {}
+        for match in self._matches:
+            groups.setdefault(match.vertex_map, []).append(match)
+        return groups
+
+    def embedding_counts(self) -> Counter:
+        """``vertex_map -> number of timestamp variants``."""
+        return Counter(match.vertex_map for match in self._matches)
+
+    def vertices_involved(self) -> frozenset[int]:
+        """Every data vertex participating in any match."""
+        involved: set[int] = set()
+        for match in self._matches:
+            involved.update(match.vertex_map)
+        return frozenset(involved)
+
+    def time_range(self) -> tuple[int, int] | None:
+        """Earliest and latest timestamp across all matched edges."""
+        times = [
+            edge.t for match in self._matches for edge in match.edge_map
+        ]
+        if not times:
+            return None
+        return (min(times), max(times))
+
+    def summary(self) -> str:
+        """One-line overview."""
+        window = self.time_range()
+        window_part = (
+            f", times {window[0]}..{window[1]}" if window else ""
+        )
+        return (
+            f"{len(self._matches)} matches over "
+            f"{len(self.embedding_counts())} embeddings involving "
+            f"{len(self.vertices_involved())} vertices{window_part}"
+        )
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def to_records(
+        self,
+        query: QueryGraph | None = None,
+        vertex_names: Mapping[int, str] | None = None,
+    ) -> list[dict]:
+        """Plain-data records (one per match) for JSON-ish consumers."""
+        def name(v: int):
+            if vertex_names is None:
+                return v
+            return vertex_names.get(v, v)
+
+        records = []
+        for match in self._matches:
+            record = {
+                "vertices": [name(v) for v in match.vertex_map],
+                "edges": [
+                    {"source": name(e.u), "target": name(e.v), "time": e.t}
+                    for e in match.edge_map
+                ],
+            }
+            if query is not None:
+                record["vertex_labels"] = list(query.labels)
+            records.append(record)
+        return records
+
+    def save_json(
+        self,
+        path: str | Path,
+        query: QueryGraph | None = None,
+        vertex_names: Mapping[int, str] | None = None,
+    ) -> None:
+        """Write all matches as a JSON array."""
+        with open(Path(path), "w", encoding="utf-8") as handle:
+            json.dump(
+                self.to_records(query=query, vertex_names=vertex_names),
+                handle,
+                indent=2,
+            )
+            handle.write("\n")
+
+    def save_csv(self, path: str | Path) -> None:
+        """Write one row per match: vertex map + per-edge timestamps."""
+        with open(Path(path), "w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            if not self._matches:
+                writer.writerow(["vertices", "timestamps"])
+                return
+            writer.writerow(["vertices", "timestamps"])
+            for match in self._matches:
+                writer.writerow(
+                    [
+                        " ".join(map(str, match.vertex_map)),
+                        " ".join(map(str, match.timestamp_vector())),
+                    ]
+                )

@@ -1,0 +1,75 @@
+"""Search statistics collected by every matcher.
+
+Exp-9 of the paper ("Observations on Failed Enumeration") compares, per
+algorithm, the total number of failed enumerations and the layer of the
+matching tree at which the first failure occurs — both are indicators of
+pruning power.  :class:`SearchStats` records exactly those quantities, plus
+a few cheap counters that the experiment drivers report.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+__all__ = ["SearchStats"]
+
+
+@dataclass
+class SearchStats:
+    """Counters filled in by a matcher during one ``run()``.
+
+    Attributes
+    ----------
+    candidates_generated:
+        Candidate vertices/edges produced before validation.
+    validations:
+        Validation calls performed (structure + temporal checks).
+    failed_enumerations:
+        Candidates rejected by any check, plus matching-tree nodes that
+        produced zero candidates.  This is the paper's "failed
+        enumerations" metric (Fig. 21, left).
+    first_fail_layer:
+        Shallowest matching-tree layer (1-based) at which a failure was
+        recorded, or ``None`` if the search never failed (Fig. 21, right).
+    fail_layers:
+        Failure count per layer — a superset of what Fig. 21 plots.
+    nodes_expanded:
+        Matching-tree nodes visited.
+    matches:
+        Matches emitted.
+    budget_exhausted:
+        Set when the matcher stopped early due to a limit/time budget;
+        counts are then lower bounds.
+    """
+
+    candidates_generated: int = 0
+    validations: int = 0
+    failed_enumerations: int = 0
+    first_fail_layer: int | None = None
+    fail_layers: Counter = field(default_factory=Counter)
+    nodes_expanded: int = 0
+    matches: int = 0
+    budget_exhausted: bool = False
+
+    def record_fail(self, layer: int) -> None:
+        """Record one failed enumeration at 1-based *layer*."""
+        self.failed_enumerations += 1
+        self.fail_layers[layer] += 1
+        if self.first_fail_layer is None or layer < self.first_fail_layer:
+            self.first_fail_layer = layer
+
+    def merge(self, other: "SearchStats") -> None:
+        """Accumulate *other* into self (used by multi-phase baselines)."""
+        self.candidates_generated += other.candidates_generated
+        self.validations += other.validations
+        self.failed_enumerations += other.failed_enumerations
+        self.fail_layers.update(other.fail_layers)
+        self.nodes_expanded += other.nodes_expanded
+        self.matches += other.matches
+        self.budget_exhausted |= other.budget_exhausted
+        if other.first_fail_layer is not None and (
+            self.first_fail_layer is None
+            or other.first_fail_layer < self.first_fail_layer
+        ):
+            self.first_fail_layer = other.first_fail_layer

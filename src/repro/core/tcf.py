@@ -1,0 +1,106 @@
+"""Temporal-Constraint Forest — TCF (Algorithm 3, lines 1-8).
+
+The TCF is an auxiliary graph over *query-edge* indices: two query edges
+become forest-adjacent when they (a) appear together in some temporal
+constraint and (b) share a query vertex.  Edges that would close a cycle
+are skipped, so the structure is a forest; TCQ+ walks each tree before
+jumping to the next, which keeps consecutive matched edges both
+structurally adjacent and temporally related.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import QueryError
+from ..graphs import QueryGraph, TemporalConstraints
+
+__all__ = ["TCF", "build_tcf"]
+
+
+class _UnionFind:
+    """Minimal union-find for the cycle check of Algorithm 3 line 7."""
+
+    def __init__(self, size: int) -> None:
+        self._parent = list(range(size))
+
+    def find(self, x: int) -> int:
+        root = x
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[x] != root:  # path compression
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of *a* and *b*; False if already joined (cycle)."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        self._parent[rb] = ra
+        return True
+
+
+@dataclass(frozen=True)
+class TCF:
+    """The forest: adjacency over query-edge indices."""
+
+    adjacency: tuple[tuple[int, ...], ...]
+    """``adjacency[e]``: forest neighbours of query edge ``e`` (sorted)."""
+
+    edges: frozenset[frozenset[int]]
+    """Forest edges as unordered index pairs."""
+
+    def neighbors(self, edge_index: int) -> tuple[int, ...]:
+        return self.adjacency[edge_index]
+
+    def tree_of(self, edge_index: int) -> frozenset[int]:
+        """All query edges in the same tree as *edge_index*."""
+        seen = {edge_index}
+        stack = [edge_index]
+        while stack:
+            e = stack.pop()
+            for nxt in self.adjacency[e]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return frozenset(seen)
+
+
+def build_tcf(query: QueryGraph, constraints: TemporalConstraints) -> TCF:
+    """Build the Temporal-Constraint Forest (Algorithm 3, lines 1-8).
+
+    Iteration follows the paper: for every query vertex, every ordered
+    pair of distinct incident edges that co-occur in a constraint is a
+    candidate forest edge; candidates closing a cycle are dropped.  The
+    scan order (ascending vertex id, ascending edge indices) makes the
+    forest deterministic.
+    """
+    if constraints.num_edges != query.num_edges:
+        raise QueryError(
+            f"constraints built for {constraints.num_edges} edges but query "
+            f"has {query.num_edges}"
+        )
+    m = query.num_edges
+    constrained_pairs = {
+        frozenset((c.earlier, c.later)) for c in constraints
+    }
+    uf = _UnionFind(m)
+    adjacency: list[set[int]] = [set() for _ in range(m)]
+    forest_edges: set[frozenset[int]] = set()
+    for u in query.vertices():
+        incident = query.incident_edges(u)
+        for a_pos, e_i in enumerate(incident):
+            for e_j in incident[a_pos + 1 :]:
+                if frozenset((e_i, e_j)) not in constrained_pairs:
+                    continue
+                if frozenset((e_i, e_j)) in forest_edges:
+                    continue  # same pair can share two vertices (antiparallel)
+                if uf.union(e_i, e_j):
+                    adjacency[e_i].add(e_j)
+                    adjacency[e_j].add(e_i)
+                    forest_edges.add(frozenset((e_i, e_j)))
+    return TCF(
+        adjacency=tuple(tuple(sorted(adj)) for adj in adjacency),
+        edges=frozenset(forest_edges),
+    )

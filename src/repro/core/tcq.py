@@ -1,0 +1,177 @@
+"""Temporal-Constraint Query Graph — TCQ (Algorithm 1, Figures 3-4).
+
+The TCQ fuses the query graph and the temporal-constraint graph into the
+four hash tables that drive TCSM-V2V:
+
+* **TO** (temporal order): the vertex matching order, seeded by
+  temporal-constraint support (*tsup*) and grown by connectivity;
+* **PD** (prec dictionary): for each vertex, the earliest-ordered already
+  matched neighbour from which its candidates are generated;
+* **FV** (forward vertices): the other already-ordered neighbours, whose
+  data edges must be verified when the vertex is matched;
+* **TC** (time-constraint table): for each constraint, the vertex ordered
+  last among the endpoints of its two edges — the point at which the
+  constraint becomes checkable.
+
+Determinism: ties are broken by (a) fewest initial candidates when
+candidate counts are supplied (the paper's rule), then (b) smallest vertex
+id, replacing the paper's "random" fallback so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..errors import QueryError
+from ..graphs import Constraint, QueryGraph, TemporalConstraints
+
+__all__ = ["TCQ", "build_tcq", "vertex_tsup"]
+
+
+@dataclass(frozen=True)
+class TCQ:
+    """The four tables of Algorithm 1, positionally indexed.
+
+    All per-position tuples are aligned with ``order``: entry ``p``
+    describes the vertex matched at layer ``p`` (0-based; the paper's
+    ``λ = p + 1``).
+    """
+
+    order: tuple[int, ...]
+    """TO: query vertex ids in matching order."""
+
+    position: tuple[int, ...]
+    """Inverse of ``order``: ``position[u]`` is ``u``'s layer."""
+
+    prec: tuple[int | None, ...]
+    """PD: the prec vertex of the vertex at each position (None = seed)."""
+
+    forward: tuple[tuple[int, ...], ...]
+    """FV: already-ordered neighbours other than prec, per position."""
+
+    check_at: tuple[tuple[Constraint, ...], ...]
+    """TC: constraints that become fully checkable at each position."""
+
+    tsup: tuple[int, ...]
+    """Temporal-constraint support per query vertex (Definition 5)."""
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.order)
+
+
+def vertex_tsup(
+    query: QueryGraph, constraints: TemporalConstraints
+) -> list[int]:
+    """Temporal-constraint support per vertex (Definition 5 / Alg. 1 l.1-3).
+
+    Each constraint ``(i, j, k)`` contributes 1 to every endpoint of
+    ``e_i`` and every endpoint of ``e_j``; summed over constraints this
+    equals ``sum(d(e)) over incident edges e`` with ``d`` the degree in the
+    temporal-constraint graph.
+    """
+    tsup = [0] * query.num_vertices
+    for c in constraints:
+        for edge_index in (c.earlier, c.later):
+            u, v = query.edge(edge_index)
+            tsup[u] += 1
+            tsup[v] += 1
+    return tsup
+
+
+def build_tcq(
+    query: QueryGraph,
+    constraints: TemporalConstraints,
+    candidate_counts: Sequence[int] | None = None,
+) -> TCQ:
+    """Construct the TCQ (Algorithm 1).
+
+    Parameters
+    ----------
+    query, constraints:
+        The matching problem; ``constraints.num_edges`` must equal
+        ``query.num_edges``.
+    candidate_counts:
+        Optional per-vertex initial candidate-set sizes (from NLF), used
+        for tie-breaking as in the paper; omitted ties fall back to vertex
+        id.
+    """
+    if constraints.num_edges != query.num_edges:
+        raise QueryError(
+            f"constraints built for {constraints.num_edges} edges but query "
+            f"has {query.num_edges}"
+        )
+    n = query.num_vertices
+    tsup = vertex_tsup(query, constraints)
+
+    def tie_key(u: int) -> tuple[int, int]:
+        count = candidate_counts[u] if candidate_counts is not None else 0
+        return (count, u)
+
+    # Seed: highest tsup, then fewest candidates, then smallest id.
+    seed = min(range(n), key=lambda u: (-tsup[u],) + tie_key(u))
+
+    order: list[int] = [seed]
+    position: list[int] = [-1] * n
+    position[seed] = 0
+    prec: list[int | None] = [None]
+    forward: list[tuple[int, ...]] = [()]
+    in_order = [False] * n
+    in_order[seed] = True
+
+    while len(order) < n:
+        remaining = [u for u in range(n) if not in_order[u]]
+        # N_mu(u): already-ordered (undirected) neighbours of u.
+        back_neighbors = {
+            u: [w for w in query.neighbors(u) if in_order[w]] for u in remaining
+        }
+        # Selection rule: among the frontier (remaining vertices adjacent to
+        # TO), take the highest tsup; ties by fewest candidates, then id.
+        # Algorithm 1 line 8 as printed maximises |N_mu(u)| instead, but the
+        # paper's own worked example (Example 2: u5 chosen over u3) follows
+        # the tsup-first rule, which also matches TCQ+ (Alg. 3 line 18); we
+        # implement the example's rule.  See DESIGN.md reconstruction notes.
+        frontier = [u for u in remaining if back_neighbors[u]]
+        pool = frontier if frontier else remaining
+        chosen = min(pool, key=lambda u: (-tsup[u],) + tie_key(u))
+        ordered_neighbors = back_neighbors[chosen]
+        if ordered_neighbors:
+            chosen_prec = min(ordered_neighbors, key=lambda w: position[w])
+            fv = tuple(
+                sorted(
+                    (w for w in ordered_neighbors if w != chosen_prec),
+                    key=lambda w: position[w],
+                )
+            )
+        else:
+            # Disconnected query component: no prec, candidates will come
+            # from the initial candidate sets.
+            chosen_prec = None
+            fv = ()
+        position[chosen] = len(order)
+        order.append(chosen)
+        in_order[chosen] = True
+        prec.append(chosen_prec)
+        forward.append(fv)
+
+    # TC table: each constraint becomes checkable at the last-ordered
+    # vertex among the endpoints of its two edges.
+    check_at: list[list[Constraint]] = [[] for _ in range(n)]
+    for c in constraints:
+        endpoints: set[int] = set()
+        for edge_index in (c.earlier, c.later):
+            u, v = query.edge(edge_index)
+            endpoints.add(u)
+            endpoints.add(v)
+        last_pos = max(position[u] for u in endpoints)
+        check_at[last_pos].append(c)
+
+    return TCQ(
+        order=tuple(order),
+        position=tuple(position),
+        prec=tuple(prec),
+        forward=tuple(forward),
+        check_at=tuple(tuple(cs) for cs in check_at),
+        tsup=tuple(tsup),
+    )

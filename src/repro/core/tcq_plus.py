@@ -1,0 +1,197 @@
+"""Temporal-Constraint Query Graph over edges — TCQ+ (Algorithm 3, Fig. 6-7).
+
+TCQ+ plays the role of TCQ for the edge-based matchers (TCSM-E2E and
+TCSM-EVE).  The matching unit becomes the query *edge*:
+
+* **TO** orders query edges, preferring high-tsup edges and walking each
+  tree of the Temporal-Constraint Forest before jumping to the next;
+* **PD** assigns each edge a *prec* — the forest parent when the edge was
+  reached through a TCF edge, otherwise the earliest-ordered query edge
+  sharing a vertex (see DESIGN.md reconstruction notes for why the two
+  cases differ);
+* **FE** (forward edges) records, for each endpoint already covered by
+  earlier edges but not pinned through prec, one earliest covering edge;
+* **TC** is as in TCQ: a constraint is checked at the later of its two
+  edges.
+
+TCQ+ additionally records which query vertices each edge *introduces*
+(``new_vertices``); TCSM-EVE runs its ``Vmatch`` look-ahead exactly on
+those.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..errors import QueryError
+from ..graphs import Constraint, QueryGraph, TemporalConstraints
+
+from .tcf import TCF, build_tcf
+
+__all__ = ["TCQPlus", "build_tcq_plus", "edge_tsup"]
+
+
+@dataclass(frozen=True)
+class TCQPlus:
+    """The tables of Algorithm 3, positionally indexed (0-based layers)."""
+
+    order: tuple[int, ...]
+    """TO: query-edge indices in matching order."""
+
+    position: tuple[int, ...]
+    """Inverse of ``order``: ``position[e]`` is ``e``'s layer."""
+
+    prec: tuple[int | None, ...]
+    """PD: prec query edge per position (None for the seed edge)."""
+
+    forward: tuple[tuple[int, ...], ...]
+    """FE: forward edges per position (one per extra covered endpoint)."""
+
+    check_at: tuple[tuple[Constraint, ...], ...]
+    """TC: constraints fully checkable once the edge at a position matches."""
+
+    tsup: tuple[int, ...]
+    """Temporal-constraint support per query edge (degree in TC graph)."""
+
+    new_vertices: tuple[tuple[int, ...], ...]
+    """Query vertices first covered by the edge at each position."""
+
+    tcf: TCF
+    """The Temporal-Constraint Forest the order was derived from."""
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.order)
+
+
+def edge_tsup(query: QueryGraph, constraints: TemporalConstraints) -> list[int]:
+    """Per query edge, its degree in the temporal-constraint graph."""
+    return [constraints.degree(e) for e in range(query.num_edges)]
+
+
+def build_tcq_plus(
+    query: QueryGraph,
+    constraints: TemporalConstraints,
+    candidate_counts: Sequence[int] | None = None,
+) -> TCQPlus:
+    """Construct the TCQ+ (Algorithm 3).
+
+    Parameters
+    ----------
+    query, constraints:
+        The matching problem.
+    candidate_counts:
+        Optional per-edge initial candidate-set sizes (from LDF) for
+        tie-breaking; omitted ties fall back to edge index.
+    """
+    if constraints.num_edges != query.num_edges:
+        raise QueryError(
+            f"constraints built for {constraints.num_edges} edges but query "
+            f"has {query.num_edges}"
+        )
+    if query.num_edges == 0:
+        raise QueryError("query graph has no edges; nothing to match")
+
+    m = query.num_edges
+    tcf = build_tcf(query, constraints)
+    tsup = edge_tsup(query, constraints)
+
+    def tie_key(e: int) -> tuple[int, int]:
+        count = candidate_counts[e] if candidate_counts is not None else 0
+        return (count, e)
+
+    seed = min(range(m), key=lambda e: (-tsup[e],) + tie_key(e))
+
+    order: list[int] = [seed]
+    position = [-1] * m
+    position[seed] = 0
+    in_order = [False] * m
+    in_order[seed] = True
+    prec: list[int | None] = [None]
+    forward: list[tuple[int, ...]] = [()]
+    new_vertices: list[tuple[int, ...]] = [tuple(sorted(set(query.edge(seed))))]
+    covered: set[int] = set(query.edge(seed))
+    first_cover: dict[int, int] = {}
+    for w in query.edge(seed):
+        first_cover.setdefault(w, seed)
+
+    # Unordered TCF-neighbours of ordered edges (the paper's delta counter).
+    frontier: set[int] = {
+        e for e in tcf.neighbors(seed) if not in_order[e]
+    }
+
+    def shares_vertex(a: int, b: int) -> bool:
+        return bool(query.edges_share_vertex(a, b))
+
+    while len(order) < m:
+        if frontier:
+            chosen = min(frontier, key=lambda e: (-tsup[e],) + tie_key(e))
+            # Forest parent: earliest-ordered TCF-neighbour (Fig. 6 shows
+            # PD[e4]=e7, the edge through which e4 joined the walk).
+            ordered_tcf_neighbors = [
+                e for e in tcf.neighbors(chosen) if in_order[e]
+            ]
+            chosen_prec: int | None = min(
+                ordered_tcf_neighbors, key=lambda e: position[e]
+            )
+        else:
+            adjacent = [
+                e
+                for e in range(m)
+                if not in_order[e]
+                and any(shares_vertex(e, o) for o in order)
+            ]
+            if adjacent:
+                chosen = min(adjacent, key=lambda e: (-tsup[e],) + tie_key(e))
+                chosen_prec = min(
+                    (o for o in order if shares_vertex(chosen, o)),
+                    key=lambda e: position[e],
+                )
+            else:
+                # Disconnected edge component: restart from candidates.
+                remaining = [e for e in range(m) if not in_order[e]]
+                chosen = min(remaining, key=lambda e: (-tsup[e],) + tie_key(e))
+                chosen_prec = None
+
+        endpoints = query.edge(chosen)
+        if chosen_prec is None:
+            pinned: frozenset[int] = frozenset()
+        else:
+            pinned = query.edges_share_vertex(chosen, chosen_prec)
+        fe: list[int] = []
+        for w in endpoints:
+            if w in covered and w not in pinned:
+                fe.append(first_cover[w])
+        introduced = tuple(sorted(w for w in set(endpoints) if w not in covered))
+
+        pos = len(order)
+        position[chosen] = pos
+        order.append(chosen)
+        in_order[chosen] = True
+        prec.append(chosen_prec)
+        forward.append(tuple(fe))
+        new_vertices.append(introduced)
+        for w in endpoints:
+            covered.add(w)
+            first_cover.setdefault(w, chosen)
+        frontier.discard(chosen)
+        frontier.update(
+            e for e in tcf.neighbors(chosen) if not in_order[e]
+        )
+
+    check_at: list[list[Constraint]] = [[] for _ in range(m)]
+    for c in constraints:
+        last_pos = max(position[c.earlier], position[c.later])
+        check_at[last_pos].append(c)
+
+    return TCQPlus(
+        order=tuple(order),
+        position=tuple(position),
+        prec=tuple(prec),
+        forward=tuple(forward),
+        check_at=tuple(tuple(cs) for cs in check_at),
+        tsup=tuple(tsup),
+        new_vertices=tuple(new_vertices),
+        tcf=tcf,
+    )

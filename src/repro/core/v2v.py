@@ -1,0 +1,256 @@
+"""TCSM-V2V: vertex-to-vertex expansion matching (Algorithm 2).
+
+The basic algorithm of the paper.  Vertices are matched in TCQ order;
+candidates for each vertex come from the data neighbourhood of its prec's
+match, are filtered by the initial NLF candidate sets, structurally
+validated against the forward vertices (FV), and temporally validated by
+an *existential* window check as soon as a constraint's last vertex is
+matched.  Once all vertices are embedded, the per-edge timestamp choices
+that jointly satisfy the constraint set are enumerated — the "edge
+permutation" step that makes V2V pay on temporally dense instances.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterator
+
+from ..errors import AlgorithmError
+from ..graphs import QueryGraph, TemporalConstraints, TemporalGraph
+
+from .filters import initial_vertex_candidates
+from .match import Match
+from .stats import SearchStats
+from .tcq import TCQ, build_tcq
+from .timestamps import iter_timestamp_assignments, windows_compatible
+
+__all__ = ["V2VMatcher"]
+
+
+class V2VMatcher:
+    """Matcher implementing TCSM-V2V.
+
+    Parameters
+    ----------
+    query, constraints, graph:
+        The matching problem.
+    count_based_nlf:
+        Use count-based neighbour-label containment in the initial filter
+        (default) rather than the set-based reading of Definition 6.
+    intersect_candidates:
+        When True (default), DFS candidates must also belong to the
+        initial NLF candidate set of their query vertex.  Algorithm 2's
+        line 15 filters by label only; the intersection is sound and
+        strictly stronger (ablation knob, see DESIGN.md decision 3).
+    use_windows:
+        Forwarded to the joint timestamp solver (STN window pruning).
+    """
+
+    name = "tcsm-v2v"
+
+    def __init__(
+        self,
+        query: QueryGraph,
+        constraints: TemporalConstraints,
+        graph: TemporalGraph,
+        count_based_nlf: bool = True,
+        intersect_candidates: bool = True,
+        use_windows: bool = True,
+    ) -> None:
+        if constraints.num_edges != query.num_edges:
+            raise AlgorithmError(
+                f"constraints expect {constraints.num_edges} query edges, "
+                f"query has {query.num_edges}"
+            )
+        self.query = query
+        self.constraints = constraints
+        self.graph = graph
+        self.count_based_nlf = count_based_nlf
+        self.intersect_candidates = intersect_candidates
+        self.use_windows = use_windows
+        self.candidates: list[frozenset[int]] | None = None
+        self.tcq: TCQ | None = None
+        self._prepared = False
+
+    # ------------------------------------------------------------------
+    # preparation (Algorithm 2 lines 1-4); timed separately by the engine
+    # ------------------------------------------------------------------
+    def prepare(self) -> None:
+        """Compute initial candidates and build the TCQ (idempotent)."""
+        if self._prepared:
+            return
+        self.candidates = initial_vertex_candidates(
+            self.query, self.graph, count_based=self.count_based_nlf
+        )
+        self.tcq = build_tcq(
+            self.query,
+            self.constraints,
+            candidate_counts=[len(c) for c in self.candidates],
+        )
+        # Per position: the directed query edges linking the vertex to its
+        # prec, and the forward-vertex structural checks.
+        query = self.query
+        tcq = self.tcq
+        self._prec_needs: list[tuple[bool, bool]] = []
+        self._fv_checks: list[tuple[tuple[int, bool, bool], ...]] = []
+        for pos, u in enumerate(tcq.order):
+            u_prec = tcq.prec[pos]
+            if u_prec is None:
+                self._prec_needs.append((False, False))
+            else:
+                self._prec_needs.append(
+                    (query.has_edge(u_prec, u), query.has_edge(u, u_prec))
+                )
+            checks = []
+            for w in tcq.forward[pos]:
+                checks.append(
+                    (w, query.has_edge(u, w), query.has_edge(w, u))
+                )
+            self._fv_checks.append(tuple(checks))
+        # Per constraint edge: endpoint pair for quick lookup.
+        self._edge_endpoints = self.query.edges
+        self._required_edge_labels = self.query.edge_labels
+        self._prepared = True
+
+    def _edge_times(self, edge_index: int, du: int, dv: int):
+        """Timestamps of data pair ``(du, dv)`` admissible for a query edge
+        (honours the edge-label generalisation)."""
+        required = self._required_edge_labels[edge_index]
+        if required is None:
+            return self.graph.timestamps_list(du, dv)
+        return self.graph.timestamps_with_label(du, dv, required)
+
+    # ------------------------------------------------------------------
+    # matching (Algorithm 2 lines 5-27)
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        limit: int | None = None,
+        stats: SearchStats | None = None,
+        deadline: float | None = None,
+    ) -> Iterator[Match]:
+        """Yield all matches (generator; stops early at *limit*/deadline)."""
+        self.prepare()
+        if stats is None:
+            stats = SearchStats()
+        tcq = self.tcq
+        query = self.query
+        graph = self.graph
+        n = query.num_vertices
+        vertex_map: list[int | None] = [None] * n
+        used: set[int] = set()
+        emitted = 0
+
+        def temporal_ok(pos: int) -> bool:
+            """Existential window check for constraints closing at *pos*."""
+            for c in tcq.check_at[pos]:
+                eu, ev = self._edge_endpoints[c.earlier]
+                lu, lv = self._edge_endpoints[c.later]
+                earlier_times = self._edge_times(
+                    c.earlier, vertex_map[eu], vertex_map[ev]
+                )
+                later_times = self._edge_times(
+                    c.later, vertex_map[lu], vertex_map[lv]
+                )
+                if not windows_compatible(earlier_times, later_times, c.gap):
+                    return False
+            return True
+
+        def structure_ok(pos: int, v: int) -> bool:
+            for w, need_uw, need_wu in self._fv_checks[pos]:
+                dw = vertex_map[w]
+                if need_uw and not graph.has_pair(v, dw):
+                    return False
+                if need_wu and not graph.has_pair(dw, v):
+                    return False
+            return True
+
+        def dfs(pos: int) -> Iterator[Match]:
+            nonlocal emitted
+            if deadline is not None and time.monotonic() > deadline:
+                stats.budget_exhausted = True
+                return
+            if pos == n:
+                yield from self._emit_matches(vertex_map, stats, pos)
+                return
+            stats.nodes_expanded += 1
+            u = tcq.order[pos]
+            u_prec = tcq.prec[pos]
+            allowed = self.candidates[u]
+            if u_prec is None:
+                base = allowed
+            else:
+                d_prec = vertex_map[u_prec]
+                need_out, need_in = self._prec_needs[pos]
+                if need_out and need_in:
+                    out_ids = graph.out_neighbor_ids(d_prec)
+                    base = [
+                        x for x in graph.in_neighbor_ids(d_prec) if x in out_ids
+                    ]
+                elif need_out:
+                    base = graph.out_neighbor_ids(d_prec)
+                else:
+                    base = graph.in_neighbor_ids(d_prec)
+            produced = False
+            for v in base:
+                if deadline is not None and time.monotonic() > deadline:
+                    stats.budget_exhausted = True
+                    return
+                stats.candidates_generated += 1
+                if self.intersect_candidates or u_prec is None:
+                    if v not in allowed:
+                        stats.record_fail(pos + 1)
+                        continue
+                elif graph.label(v) != query.label(u):
+                    stats.record_fail(pos + 1)
+                    continue
+                if v in used:
+                    stats.record_fail(pos + 1)
+                    continue
+                stats.validations += 1
+                if not structure_ok(pos, v):
+                    stats.record_fail(pos + 1)
+                    continue
+                vertex_map[u] = v
+                if not temporal_ok(pos):
+                    vertex_map[u] = None
+                    stats.record_fail(pos + 1)
+                    continue
+                produced = True
+                used.add(v)
+                yield from dfs(pos + 1)
+                used.discard(v)
+                vertex_map[u] = None
+                if limit is not None and emitted >= limit:
+                    return
+            if not produced:
+                stats.record_fail(pos + 1)
+
+        for match in dfs(0):
+            emitted += 1
+            stats.matches += 1
+            yield match
+            if limit is not None and emitted >= limit:
+                stats.budget_exhausted = True
+                return
+
+    def _emit_matches(
+        self,
+        vertex_map: list[int | None],
+        stats: SearchStats,
+        pos: int,
+    ) -> Iterator[Match]:
+        """Joint timestamp enumeration for a complete vertex embedding."""
+        options = [
+            self._edge_times(index, vertex_map[u], vertex_map[v])
+            for index, (u, v) in enumerate(self._edge_endpoints)
+        ]
+        any_assignment = False
+        final_map = tuple(vertex_map)
+        for times in iter_timestamp_assignments(
+            options, self.constraints, use_windows=self.use_windows
+        ):
+            any_assignment = True
+            yield Match.from_vertex_map(self.query, final_map, times)
+        if not any_assignment:
+            stats.record_fail(pos)

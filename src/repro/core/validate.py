@@ -1,0 +1,165 @@
+"""Pattern linting: catch analyst mistakes before matching runs.
+
+A TCSM pattern that is *valid* (passes construction) can still be
+*useless* — disconnected queries explode candidate generation, edges left
+out of every constraint multiply matches by raw timestamp counts, and
+over-tight constraint combinations silently admit nothing.  The paper's
+case study stresses that window tuning is where precision is won or lost
+(Exp-10); :func:`lint_pattern` surfaces these issues as structured
+diagnostics so tooling (the CLI, notebooks) can warn early.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..graphs import QueryGraph, TemporalConstraints, TemporalGraph
+
+__all__ = ["Diagnostic", "lint_pattern"]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding.
+
+    ``severity`` is ``"error"`` (matching cannot return anything useful),
+    ``"warning"`` (likely mistake or performance trap) or ``"info"``.
+    """
+
+    severity: str
+    code: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return f"[{self.severity}] {self.code}: {self.message}"
+
+
+def lint_pattern(
+    query: QueryGraph,
+    constraints: TemporalConstraints,
+    graph: TemporalGraph | None = None,
+) -> list[Diagnostic]:
+    """Analyse a pattern (optionally against a data graph).
+
+    Checks performed:
+
+    * ``arity-mismatch`` (error) — constraints built for a different edge
+      count;
+    * ``infeasible`` (error) — the constraint set admits no assignment;
+    * ``disconnected-query`` (warning) — weakly disconnected queries
+      multiply match counts and defeat prec-based candidate generation;
+    * ``unconstrained-edges`` (info) — edges in no constraint contribute
+      all their timestamps to every match;
+    * ``forced-equality`` (warning) — a constraint cycle forces two edges
+      to share a timestamp exactly (gap effectively zero);
+    * against a graph: ``label-missing`` (error) when a query vertex label
+      has no data vertices, ``edge-label-missing`` (error) when a required
+      edge label never occurs, ``gap-vs-span`` (info) when every gap
+      exceeds the graph's whole time span (constraints are then vacuous).
+    """
+    diagnostics: list[Diagnostic] = []
+
+    if constraints.num_edges != query.num_edges:
+        diagnostics.append(
+            Diagnostic(
+                "error",
+                "arity-mismatch",
+                f"constraints expect {constraints.num_edges} edges, "
+                f"query has {query.num_edges}",
+            )
+        )
+        return diagnostics  # everything else would be misleading
+
+    if not constraints.is_feasible():
+        diagnostics.append(
+            Diagnostic(
+                "error",
+                "infeasible",
+                "the temporal constraints admit no timestamp assignment",
+            )
+        )
+
+    if not query.is_weakly_connected():
+        diagnostics.append(
+            Diagnostic(
+                "warning",
+                "disconnected-query",
+                "query is weakly disconnected; match counts are the "
+                "product over components and candidate generation falls "
+                "back to label scans",
+            )
+        )
+
+    involved = constraints.edges_involved()
+    free = [e for e in range(query.num_edges) if e not in involved]
+    if free and len(constraints):
+        diagnostics.append(
+            Diagnostic(
+                "info",
+                "unconstrained-edges",
+                f"edges {free} appear in no constraint; every timestamp "
+                "of their matched pairs multiplies the match count",
+            )
+        )
+
+    if len(constraints):
+        dist = constraints.distance_matrix()
+        forced = sorted(
+            (x, y)
+            for x in range(query.num_edges)
+            for y in range(x + 1, query.num_edges)
+            if dist[x][y] == 0 and dist[y][x] == 0
+        )
+        if forced:
+            diagnostics.append(
+                Diagnostic(
+                    "warning",
+                    "forced-equality",
+                    f"constraint cycles force identical timestamps on "
+                    f"edge pairs {forced}",
+                )
+            )
+
+    if graph is not None:
+        for u in query.vertices():
+            if not graph.vertices_with_label(query.label(u)):
+                diagnostics.append(
+                    Diagnostic(
+                        "error",
+                        "label-missing",
+                        f"no data vertex carries label "
+                        f"{query.label(u)!r} (query vertex {u})",
+                    )
+                )
+        for index in range(query.num_edges):
+            required = query.edge_label(index)
+            if required is None:
+                continue
+            present = any(
+                graph.edge_label(e.u, e.v, e.t) == required
+                for e in graph.edges()
+            )
+            if not present:
+                diagnostics.append(
+                    Diagnostic(
+                        "error",
+                        "edge-label-missing",
+                        f"no data edge carries label {required!r} "
+                        f"(query edge {index})",
+                    )
+                )
+        if len(constraints):
+            span = graph.time_span
+            finite_gaps = [c.gap for c in constraints if c.gap < math.inf]
+            if finite_gaps and span and min(finite_gaps) > span:
+                diagnostics.append(
+                    Diagnostic(
+                        "info",
+                        "gap-vs-span",
+                        f"every constraint gap exceeds the graph's time "
+                        f"span ({span}); only the ordering parts of the "
+                        "constraints can prune",
+                    )
+                )
+    return diagnostics

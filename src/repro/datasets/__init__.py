@@ -1,0 +1,48 @@
+"""Datasets: the paper's toy example, synthetic dataset stand-ins, workloads."""
+
+from .catalog import DATASETS, DatasetSpec, dataset_keys, load_dataset
+from .queries import (
+    DEFAULT_GAP,
+    extract_instance,
+    extract_query,
+    paper_constraints,
+    paper_query,
+    paper_workloads,
+)
+from .synthetic import (
+    random_constraints,
+    random_instance,
+    random_query,
+    random_temporal_graph,
+    synthetic_dataset,
+)
+from .toy import (
+    TOY_EXPECTED_MATCH_COUNT,
+    toy_constraints,
+    toy_data_graph,
+    toy_instance,
+    toy_query,
+)
+
+__all__ = [
+    "DATASETS",
+    "DEFAULT_GAP",
+    "DatasetSpec",
+    "TOY_EXPECTED_MATCH_COUNT",
+    "dataset_keys",
+    "extract_instance",
+    "extract_query",
+    "load_dataset",
+    "paper_constraints",
+    "paper_query",
+    "paper_workloads",
+    "random_constraints",
+    "random_instance",
+    "random_query",
+    "random_temporal_graph",
+    "synthetic_dataset",
+    "toy_constraints",
+    "toy_data_graph",
+    "toy_instance",
+    "toy_query",
+]

@@ -1,0 +1,275 @@
+"""The paper's query/constraint workloads (Figure 12) and generators.
+
+Figure 12 defines three labeled 6-vertex queries (q1-q3) and three
+temporal-constraint shapes (tc1 linear, tc2 tree, tc3 graph).  The figure
+itself is an image; the reconstructions below honour every property the
+text states — six vertices each, and constraint graphs that are
+respectively a chain, a tree and a (cyclic underlying) graph — with the
+structural flavours the case study motivates (a circulation loop, a fan,
+and a dense double-triangle).
+
+For the scalability sweeps (Exp-3: |q| in 3..10, |tc| in 2..6; Exp-4:
+density 0.5..3) the module provides *query extraction*: queries are
+sampled as connected subgraphs of the data graph, and constraint gaps are
+derived from the sampled embedding's real timestamps — so the workload is
+guaranteed to have at least one match, keeping runtimes comparable across
+parameters.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import DatasetError
+from ..graphs import QueryGraph, TemporalConstraints, TemporalGraph
+
+__all__ = [
+    "paper_query",
+    "paper_constraints",
+    "paper_workloads",
+    "extract_query",
+    "extract_instance",
+    "DEFAULT_GAP",
+]
+
+DEFAULT_GAP = 7 * 86_400
+"""Default constraint gap: seven days in seconds (the Δt window of the
+bill-circulation motivation runs over days)."""
+
+
+def paper_query(index: int) -> QueryGraph:
+    """The reconstructed q1 / q2 / q3 of Figure 12 (six vertices each).
+
+    * **q1** — circulation loop: a directed 6-cycle with a chord, the
+      shape of the bill-intermediary pattern in Figure 1.
+    * **q2** — fan: a hub receiving from two sources and paying out to
+      three sinks, the online-brushing star of Figure 13.
+    * **q3** — dense: two directed triangles sharing a vertex plus a
+      pendant, the hardest structural load.
+    """
+    if index == 1:
+        return QueryGraph(
+            ["A", "B", "C", "A", "D", "B"],
+            [
+                (0, 1),  # e0
+                (1, 2),  # e1
+                (2, 3),  # e2
+                (3, 4),  # e3
+                (4, 5),  # e4
+                (5, 0),  # e5
+                (1, 4),  # e6 (chord)
+            ],
+        )
+    if index == 2:
+        return QueryGraph(
+            ["A", "B", "B", "C", "D", "C"],
+            [
+                (0, 1),  # e0 hub pays B
+                (0, 2),  # e1 hub pays B'
+                (0, 3),  # e2 hub pays C
+                (4, 0),  # e3 D funds hub
+                (5, 0),  # e4 C' funds hub
+                (1, 2),  # e5 sink-to-sink transfer
+            ],
+        )
+    if index == 3:
+        return QueryGraph(
+            ["A", "B", "C", "B", "D", "A"],
+            [
+                (0, 1),  # e0  triangle 1
+                (1, 2),  # e1
+                (2, 0),  # e2
+                (2, 3),  # e3  triangle 2
+                (3, 4),  # e4
+                (4, 2),  # e5
+                (0, 5),  # e6  pendant
+            ],
+        )
+    raise DatasetError(f"paper queries are q1..q3, got q{index}")
+
+
+def paper_constraints(
+    index: int, num_edges: int = 6, gap: float = DEFAULT_GAP
+) -> TemporalConstraints:
+    """The reconstructed tc1 / tc2 / tc3 of Figure 12.
+
+    All constraint edge indices stay below 6 so each tc combines with each
+    query (q2 has only six edges), mirroring the paper's 3x3 grid.
+
+    * **tc1** — linear: a chain ``e0 -> e1 -> e2 -> e3``.
+    * **tc2** — tree: ``e0`` fans out to ``e1``/``e2``; ``e2`` to
+      ``e3``/``e4``.
+    * **tc3** — graph: a diamond ``e0 -> {e1, e2} -> e3`` closed by
+      ``e1 -> e2``.
+    """
+    if index == 1:
+        triples = [(0, 1, gap), (1, 2, gap), (2, 3, gap)]
+    elif index == 2:
+        triples = [
+            (0, 1, gap),
+            (0, 2, gap),
+            (2, 3, gap),
+            (2, 4, gap),
+        ]
+    elif index == 3:
+        triples = [
+            (0, 1, gap),
+            (0, 2, gap),
+            (1, 3, gap),
+            (2, 3, gap),
+            (1, 2, gap),
+        ]
+    else:
+        raise DatasetError(f"paper constraints are tc1..tc3, got tc{index}")
+    return TemporalConstraints(triples, num_edges=num_edges)
+
+
+def paper_workloads(gap: float = DEFAULT_GAP):
+    """All nine (q_i, tc_j) combinations, as in Tables III and V.
+
+    Yields ``(query_name, tc_name, query, constraints)``.
+    """
+    for qi in (1, 2, 3):
+        query = paper_query(qi)
+        for tj in (1, 2, 3):
+            constraints = paper_constraints(
+                tj, num_edges=query.num_edges, gap=gap
+            )
+            yield (f"q{qi}", f"tc{tj}", query, constraints)
+
+
+# ----------------------------------------------------------------------
+# query extraction (guaranteed-match workloads for the sweeps)
+# ----------------------------------------------------------------------
+def extract_query(
+    graph: TemporalGraph,
+    num_vertices: int,
+    num_edges: int,
+    seed: int = 0,
+    max_attempts: int = 200,
+) -> tuple[QueryGraph, list[int], list[tuple[int, int]]]:
+    """Sample a connected subgraph of *graph* as a query.
+
+    Returns ``(query, data_vertices, data_edges)`` where
+    ``data_vertices[u]`` is the data vertex that query vertex ``u`` was
+    copied from (one guaranteed structural embedding) and ``data_edges``
+    the corresponding data pairs per query edge.
+
+    Raises
+    ------
+    DatasetError
+        If no connected subgraph with the requested shape is found after
+        *max_attempts* random restarts (graph too small/sparse).
+    """
+    if num_vertices < 2:
+        raise DatasetError("extracted queries need at least two vertices")
+    max_possible = num_vertices * (num_vertices - 1)
+    if num_edges < num_vertices - 1 or num_edges > max_possible:
+        raise DatasetError(
+            f"cannot build a connected query with {num_vertices} vertices "
+            f"and {num_edges} edges"
+        )
+    rng = random.Random(seed)
+    data = graph.de_temporal()
+    population = [
+        v for v in graph.vertices() if data.degree(v) > 0
+    ]
+    if not population:
+        raise DatasetError("data graph has no edges to extract from")
+
+    for _ in range(max_attempts):
+        seed_vertex = rng.choice(population)
+        chosen = [seed_vertex]
+        chosen_set = {seed_vertex}
+        # Grow a connected vertex set by random frontier expansion.
+        while len(chosen) < num_vertices:
+            frontier: list[int] = []
+            for v in chosen:
+                frontier.extend(
+                    w for w in data.neighbors(v) if w not in chosen_set
+                )
+            if not frontier:
+                break
+            nxt = rng.choice(frontier)
+            chosen.append(nxt)
+            chosen_set.add(nxt)
+        if len(chosen) < num_vertices:
+            continue
+        # Collect the induced directed pairs.
+        induced = [
+            (a, b)
+            for a in chosen
+            for b in data.out_neighbors(a)
+            if b in chosen_set
+        ]
+        if len(induced) < num_edges:
+            continue
+        # Keep a connected selection: spanning structure first.
+        rng.shuffle(induced)
+        selected: list[tuple[int, int]] = []
+        connected: set[int] = set()
+        for a, b in induced:
+            if not selected:
+                selected.append((a, b))
+                connected |= {a, b}
+            elif a in connected or b in connected:
+                if (a, b) not in selected:
+                    selected.append((a, b))
+                    connected |= {a, b}
+            if len(selected) == num_edges and len(connected) == len(chosen):
+                break
+        if len(connected) != len(chosen) or len(selected) != num_edges:
+            continue
+        index_of = {v: i for i, v in enumerate(chosen)}
+        labels = [graph.label(v) for v in chosen]
+        edges = [(index_of[a], index_of[b]) for a, b in selected]
+        return QueryGraph(labels, edges), chosen, selected
+    raise DatasetError(
+        f"could not extract a ({num_vertices} vertices, {num_edges} edges) "
+        f"query after {max_attempts} attempts"
+    )
+
+
+def extract_instance(
+    graph: TemporalGraph,
+    num_vertices: int,
+    num_edges: int,
+    num_constraints: int,
+    seed: int = 0,
+    slack: float = DEFAULT_GAP,
+) -> tuple[QueryGraph, TemporalConstraints]:
+    """An extracted query plus constraints its source embedding satisfies.
+
+    Constraint pairs are sampled among query edges sharing a vertex (the
+    paper's workload style); the gap of each is set to the source
+    embedding's actual timestamp difference plus *slack*, and the
+    direction follows that difference — so the instance has at least one
+    match by construction.
+    """
+    rng = random.Random(seed)
+    query, _vertices, data_edges = extract_query(
+        graph, num_vertices, num_edges, seed=seed
+    )
+    # One concrete timestamp per query edge (earliest interaction).
+    witness_times = [graph.timestamps(a, b)[0] for a, b in data_edges]
+    m = query.num_edges
+    adjacent_pairs = [
+        (i, j)
+        for i in range(m)
+        for j in range(i + 1, m)
+        if query.edges_share_vertex(i, j)
+    ]
+    if not adjacent_pairs:
+        adjacent_pairs = [
+            (i, j) for i in range(m) for j in range(i + 1, m)
+        ]
+    rng.shuffle(adjacent_pairs)
+    triples: list[tuple[int, int, float]] = []
+    for i, j in adjacent_pairs[:num_constraints]:
+        if witness_times[i] <= witness_times[j]:
+            earlier, later = i, j
+        else:
+            earlier, later = j, i
+        gap = witness_times[later] - witness_times[earlier] + slack
+        triples.append((earlier, later, gap))
+    return query, TemporalConstraints(triples, num_edges=m)

@@ -1,0 +1,329 @@
+"""Synthetic instance generators.
+
+Two families live here:
+
+* **Uniform random instances** (`random_query`, `random_constraints`,
+  `random_temporal_graph`) — small, fully random problems used for
+  differential testing against the brute-force oracle and by the
+  scalability experiments that sweep query shape (Exp-3/4).
+* **Dataset stand-ins** (`synthetic_dataset`) — temporal graphs whose
+  summary statistics mimic the paper's SNAP datasets (Table II): a
+  preferential-attachment de-temporal topology for a heavy-tailed degree
+  distribution, timestamp multiplicities matching |ℰ|/|E|, a uniform
+  label assignment of configurable alphabet size, and timestamps spread
+  over the recorded time span.
+
+All generators take an explicit ``seed`` and are deterministic for a
+given seed.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Hashable, Sequence
+
+from ..errors import DatasetError
+from ..graphs import QueryGraph, TemporalConstraints, TemporalGraph
+from ..graphs.io import default_label_alphabet
+
+__all__ = [
+    "random_query",
+    "random_constraints",
+    "random_temporal_graph",
+    "random_instance",
+    "synthetic_dataset",
+    "plant_motifs",
+]
+
+
+def random_query(
+    num_vertices: int,
+    num_edges: int,
+    labels: Sequence[Hashable],
+    seed: int = 0,
+    connected: bool = True,
+) -> QueryGraph:
+    """A random labeled directed simple query graph.
+
+    With ``connected`` (default) the first ``num_vertices - 1`` edges form
+    a random spanning tree (random orientation), so the query is weakly
+    connected — required for meaningful prec-based candidate generation
+    and the regime all paper experiments operate in.  Extra edges are
+    sampled uniformly among the missing ordered pairs.
+
+    Raises
+    ------
+    DatasetError
+        If ``num_edges`` cannot be realised (too few for connectivity or
+        more than ``n*(n-1)``).
+    """
+    rng = random.Random(seed)
+    n = num_vertices
+    if n < 1:
+        raise DatasetError("query needs at least one vertex")
+    max_edges = n * (n - 1)
+    if num_edges > max_edges:
+        raise DatasetError(
+            f"{num_edges} edges impossible on {n} vertices (max {max_edges})"
+        )
+    if connected and n > 1 and num_edges < n - 1:
+        raise DatasetError(
+            f"{num_edges} edges cannot connect {n} vertices"
+        )
+    vertex_labels = [rng.choice(list(labels)) for _ in range(n)]
+    edges: list[tuple[int, int]] = []
+    present: set[tuple[int, int]] = set()
+
+    if connected and n > 1:
+        order = list(range(n))
+        rng.shuffle(order)
+        for i in range(1, n):
+            a = order[i]
+            b = order[rng.randrange(i)]
+            pair = (a, b) if rng.random() < 0.5 else (b, a)
+            edges.append(pair)
+            present.add(pair)
+
+    while len(edges) < num_edges:
+        a = rng.randrange(n)
+        b = rng.randrange(n)
+        if a == b or (a, b) in present:
+            continue
+        edges.append((a, b))
+        present.add((a, b))
+
+    rng.shuffle(edges)  # edge indices should not encode the spanning tree
+    return QueryGraph(vertex_labels, edges)
+
+
+def random_constraints(
+    query: QueryGraph,
+    num_constraints: int,
+    max_gap: int,
+    seed: int = 0,
+    prefer_adjacent: bool = True,
+) -> TemporalConstraints:
+    """Random temporal constraints over the query's edge indices.
+
+    With ``prefer_adjacent`` (default) constrained edge pairs are drawn
+    from pairs sharing a query vertex when possible — the pattern of all
+    the paper's workloads (Fig. 12) and the regime where the TCF has
+    structure.  Gaps are uniform on ``[0, max_gap]``.
+    """
+    rng = random.Random(seed)
+    m = query.num_edges
+    if m < 2 and num_constraints > 0:
+        raise DatasetError("constraints need at least two query edges")
+    adjacent_pairs = [
+        (i, j)
+        for i in range(m)
+        for j in range(m)
+        if i != j and query.edges_share_vertex(i, j)
+    ]
+    all_pairs = [(i, j) for i in range(m) for j in range(m) if i != j]
+    pool = adjacent_pairs if (prefer_adjacent and adjacent_pairs) else all_pairs
+    max_possible = len({frozenset(p) for p in pool})
+    chosen: dict[frozenset, tuple[int, int]] = {}
+    attempts = 0
+    while len(chosen) < min(num_constraints, max_possible):
+        attempts += 1
+        if attempts > 50 * (num_constraints + 1) and pool is not all_pairs:
+            pool = all_pairs  # adjacency exhausted; widen
+        pair = rng.choice(pool)
+        key = frozenset(pair)
+        if key not in chosen:
+            chosen[key] = pair
+    triples = [
+        (i, j, rng.randint(0, max_gap)) for (i, j) in chosen.values()
+    ]
+    return TemporalConstraints(triples, num_edges=m)
+
+
+def random_temporal_graph(
+    num_vertices: int,
+    num_temporal_edges: int,
+    labels: Sequence[Hashable],
+    max_time: int = 100,
+    seed: int = 0,
+) -> TemporalGraph:
+    """A uniform random temporal graph (pairs and timestamps uniform)."""
+    rng = random.Random(seed)
+    if num_vertices < 2 and num_temporal_edges > 0:
+        raise DatasetError("temporal edges need at least two vertices")
+    vertex_labels = [rng.choice(list(labels)) for _ in range(num_vertices)]
+    graph = TemporalGraph(vertex_labels)
+    inserted = 0
+    while inserted < num_temporal_edges:
+        u = rng.randrange(num_vertices)
+        v = rng.randrange(num_vertices)
+        if u == v:
+            continue
+        if graph.add_edge(u, v, rng.randint(0, max_time)):
+            inserted += 1
+    return graph
+
+
+def random_instance(
+    seed: int = 0,
+    query_vertices: int = 4,
+    query_edges: int = 5,
+    num_constraints: int = 3,
+    max_gap: int = 10,
+    data_vertices: int = 12,
+    data_edges: int = 60,
+    num_labels: int = 3,
+    max_time: int = 30,
+) -> tuple[QueryGraph, TemporalConstraints, TemporalGraph]:
+    """A complete random TCSM instance (query, constraints, data graph).
+
+    Sized for oracle-checkable differential tests by default.
+    """
+    labels = default_label_alphabet(num_labels)
+    query = random_query(query_vertices, query_edges, labels, seed=seed)
+    constraints = random_constraints(
+        query, num_constraints, max_gap, seed=seed + 1
+    )
+    graph = random_temporal_graph(
+        data_vertices, data_edges, labels, max_time=max_time, seed=seed + 2
+    )
+    return query, constraints, graph
+
+
+def plant_motifs(
+    graph: TemporalGraph,
+    queries: Sequence[QueryGraph],
+    copies: int = 4,
+    window: int | Sequence[int] = 86_400,
+    seed: int = 0,
+) -> TemporalGraph:
+    """Embed copies of *queries* into *graph* (returns a new graph).
+
+    Real interaction networks contain recurring labeled patterns; uniform
+    random labeling destroys them, leaving pattern queries with zero
+    matches and making runtime comparisons degenerate.  Planting restores
+    that character: for each query, up to *copies* instances are embedded
+    on fresh vertices (relabeled to the query's labels) with timestamps
+    strictly increasing in edge-index order inside a *window*-wide slot —
+    so any constraint set whose pairs follow edge order with gaps >=
+    *window* is satisfied by the planted instance.
+
+    Vertices are drawn without replacement across all plants; planting
+    stops early if the graph runs out of vertices.
+
+    *window* may be a sequence, in which case copy ``i`` of each query
+    uses ``window[i % len(window)]`` — planting instances at several
+    temporal densities gives the gap sweep of Exp-10 its gradual growth.
+    """
+    rng = random.Random(seed)
+    windows = (
+        [int(window)] if isinstance(window, (int, float)) else list(window)
+    )
+    labels = list(graph.labels)
+    extra: list[tuple[int, int, int]] = []
+    pool = list(graph.vertices())
+    rng.shuffle(pool)
+    max_window = max(windows)
+    lo = graph.min_time if graph.min_time is not None else 0
+    hi = graph.max_time if graph.max_time is not None else max_window
+    hi = max(hi - max_window, lo)
+    for query in queries:
+        for copy_index in range(copies):
+            if len(pool) < query.num_vertices:
+                break
+            copy_window = windows[copy_index % len(windows)]
+            chosen = [pool.pop() for _ in range(query.num_vertices)]
+            for u, v in zip(query.vertices(), chosen):
+                labels[v] = query.label(u)
+            base = rng.randint(lo, hi) if hi > lo else lo
+            step = max(1, copy_window // max(1, query.num_edges))
+            for index, (a, b) in enumerate(query.edges):
+                extra.append((chosen[a], chosen[b], base + index * step))
+    planted = TemporalGraph(labels)
+    for u, v, t in graph.edges():
+        planted.add_edge(u, v, t)
+    for u, v, t in extra:
+        planted.add_edge(u, v, t)
+    return planted
+
+
+def synthetic_dataset(
+    num_vertices: int,
+    num_temporal_edges: int,
+    num_labels: int = 8,
+    time_span: int = 1000,
+    attachment: int = 2,
+    multiplicity_skew: float = 0.3,
+    seed: int = 0,
+) -> TemporalGraph:
+    """A dataset stand-in with SNAP-like shape (see module docstring).
+
+    Parameters
+    ----------
+    num_vertices, num_temporal_edges:
+        Target sizes (|V| and |ℰ| of Table II, possibly down-scaled).
+    num_labels:
+        Label alphabet size (|L|, swept in Exp-8).
+    time_span:
+        Timestamps are drawn from ``[0, time_span]``.
+    attachment:
+        Out-links per arriving vertex in the preferential-attachment
+        phase; controls average degree.
+    multiplicity_skew:
+        Probability that a new temporal edge reuses an existing vertex
+        pair rather than creating a new one; controls |ℰ|/|E|.
+    seed:
+        RNG seed.
+    """
+    if num_vertices < 2:
+        raise DatasetError("synthetic dataset needs at least two vertices")
+    rng = random.Random(seed)
+    alphabet = default_label_alphabet(num_labels)
+    vertex_labels = [rng.choice(alphabet) for _ in range(num_vertices)]
+    graph = TemporalGraph(vertex_labels)
+
+    # Repeated-vertex list implements preferential attachment cheaply.
+    attachment_pool: list[int] = [0, 1]
+    pairs: list[tuple[int, int]] = []
+
+    def random_time() -> int:
+        return rng.randint(0, time_span)
+
+    def add_pair(u: int, v: int) -> None:
+        if graph.add_edge(u, v, random_time()):
+            pairs.append((u, v))
+            attachment_pool.append(u)
+            attachment_pool.append(v)
+
+    # Phase 1: grow the topology vertex by vertex.
+    for v in range(2, num_vertices):
+        for _ in range(attachment):
+            u = rng.choice(attachment_pool)
+            if u == v:
+                continue
+            if rng.random() < 0.5:
+                add_pair(v, u)
+            else:
+                add_pair(u, v)
+        if graph.num_temporal_edges >= num_temporal_edges:
+            break
+
+    # Phase 2: top up to the edge budget, mixing pair reuse (timestamp
+    # multiplicity) with fresh preferential pairs.
+    guard = 0
+    while graph.num_temporal_edges < num_temporal_edges:
+        guard += 1
+        if guard > 50 * num_temporal_edges:
+            raise DatasetError(
+                "could not reach the requested edge count; "
+                "graph too small for the budget"
+            )
+        if pairs and rng.random() < multiplicity_skew:
+            u, v = rng.choice(pairs)
+            graph.add_edge(u, v, random_time())
+        else:
+            u = rng.choice(attachment_pool)
+            v = rng.choice(attachment_pool)
+            if u == v:
+                continue
+            add_pair(u, v)
+    return graph

@@ -1,0 +1,117 @@
+"""The paper's running toy example (Figure 2), reconstructed.
+
+The query graph, temporal constraints and data temporal graph below follow
+Figure 2 and Examples 1-8 of the paper as closely as the text allows:
+
+* Query ``G_q``: vertices ``u1..u5`` with labels A, B, C, D, A and edges
+  ``e1..e7`` (0-based indices 0..6 in code).
+* Constraints: the five triples of Figure 2(b).  The gap of ``tc4`` is not
+  recoverable from the text; we use 6 so that the paper's highlighted red
+  match is valid (see DESIGN.md, reconstruction notes).
+* Data graph ``G``: the subset of Figure 2(c) that participates in
+  Examples 1-8, plus the distractor vertices the examples prune
+  (``v4, v5, v6, v9, v10, v12``).
+
+Ground truth (verified by the brute-force oracle in the test suite): the
+instance has exactly **two** matches — the paper's red match, in two
+timestamp variants because ``(v2, v3)`` interacts at both t=4 and t=5.
+"""
+
+from __future__ import annotations
+
+from ..graphs import (
+    QueryBuilder,
+    QueryGraph,
+    TemporalConstraints,
+    TemporalGraph,
+    TemporalGraphBuilder,
+)
+
+__all__ = [
+    "toy_query",
+    "toy_constraints",
+    "toy_data_graph",
+    "toy_instance",
+    "TOY_EXPECTED_MATCH_COUNT",
+]
+
+TOY_EXPECTED_MATCH_COUNT = 2
+
+
+def toy_query() -> tuple[QueryGraph, dict[str, int]]:
+    """The 5-vertex, 7-edge query of Figure 2(a).
+
+    Edge indices (0-based) map to the paper's ``e1..e7`` as ``index = i-1``:
+    ``0=(u1,u2), 1=(u2,u1), 2=(u2,u3), 3=(u2,u4), 4=(u4,u3), 5=(u3,u5),
+    6=(u5,u4)``.
+    """
+    builder = QueryBuilder()
+    builder.vertex("u1", "A").vertex("u2", "B").vertex("u3", "C")
+    builder.vertex("u4", "D").vertex("u5", "A")
+    builder.edge("u1", "u2")  # e1
+    builder.edge("u2", "u1")  # e2
+    builder.edge("u2", "u3")  # e3
+    builder.edge("u2", "u4")  # e4
+    builder.edge("u4", "u3")  # e5
+    builder.edge("u3", "u5")  # e6
+    builder.edge("u5", "u4")  # e7
+    return builder.build()
+
+
+def toy_constraints() -> TemporalConstraints:
+    """The five constraints of Figure 2(b), 0-based.
+
+    tc1: 0 <= e1.t - e2.t <= 3   ->  (1, 0, 3)
+    tc2: 0 <= e3.t - e2.t <= 5   ->  (1, 2, 5)
+    tc3: 0 <= e7.t - e4.t <= 4   ->  (3, 6, 4)
+    tc4: 0 <= e7.t - e6.t <= 6   ->  (5, 6, 6)  (gap reconstructed)
+    tc5: 0 <= e2.t - e6.t <= 3   ->  (5, 1, 3)
+    """
+    return TemporalConstraints(
+        [(1, 0, 3), (1, 2, 5), (3, 6, 4), (5, 6, 6), (5, 1, 3)],
+        num_edges=7,
+    )
+
+
+def toy_data_graph() -> tuple[TemporalGraph, dict[str, int]]:
+    """The data temporal graph of Figure 2(c) (reconstructed subset).
+
+    Contains the red match (``u1..u5 -> v1, v2, v3, v7, v11``), the blue
+    distractor embedding (``u3..u5 -> v6, v10, v12``) that violates tc5,
+    and the pruning targets of Examples 3, 5 and 7.
+    """
+    builder = TemporalGraphBuilder()
+    builder.vertex("v1", "A").vertex("v2", "B").vertex("v3", "C")
+    builder.vertex("v4", "C").vertex("v5", "C").vertex("v6", "C")
+    builder.vertex("v7", "D").vertex("v9", "D").vertex("v10", "D")
+    builder.vertex("v11", "A").vertex("v12", "A")
+    # The red match's edges.
+    builder.edge("v1", "v2", 6)
+    builder.edge("v2", "v1", 3)
+    builder.edge("v2", "v3", 4, 5)  # two timestamps -> two match variants
+    builder.edge("v2", "v7", 6)
+    builder.edge("v7", "v3", 3)
+    builder.edge("v3", "v11", 1)
+    builder.edge("v11", "v7", 7)
+    # The blue distractor embedding (structurally fine, violates tc5).
+    builder.edge("v2", "v6", 4)
+    builder.edge("v6", "v12", 4)
+    builder.edge("v2", "v10", 5)
+    builder.edge("v10", "v6", 6)
+    builder.edge("v12", "v10", 7)
+    # Pruning targets from the worked examples.
+    builder.edge("v2", "v4", 4)
+    builder.edge("v4", "v12", 4)
+    builder.edge("v2", "v5", 2)
+    builder.edge("v2", "v9", 7)
+    builder.edge("v11", "v9", 8)
+    return builder.build()
+
+
+def toy_instance() -> tuple[
+    QueryGraph, TemporalConstraints, TemporalGraph, dict[str, int], dict[str, int]
+]:
+    """Convenience bundle: ``(query, constraints, graph, qnames, vnames)``."""
+    query, qnames = toy_query()
+    graph, vnames = toy_data_graph()
+    return query, toy_constraints(), graph, qnames, vnames

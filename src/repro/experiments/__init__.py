@@ -1,0 +1,34 @@
+"""Experiment drivers regenerating the paper's tables and figures.
+
+Each ``exp_*`` module maps to one experiment of Section V (see DESIGN.md
+§4 for the index) and can be run standalone::
+
+    python -m repro.experiments.exp_runtime --help
+"""
+
+from .records import Measurement, write_csv
+from .runner import (
+    ALL_BASELINES,
+    CORE_ALGORITHMS,
+    DEFAULT_COMPARISON,
+    FAST_BASELINES,
+    HEAVY_BASELINES,
+    common_parser,
+    measure,
+)
+from .tables import format_seconds, render_series, render_table
+
+__all__ = [
+    "ALL_BASELINES",
+    "CORE_ALGORITHMS",
+    "DEFAULT_COMPARISON",
+    "FAST_BASELINES",
+    "HEAVY_BASELINES",
+    "Measurement",
+    "common_parser",
+    "format_seconds",
+    "measure",
+    "render_series",
+    "render_table",
+    "write_csv",
+]

@@ -1,0 +1,114 @@
+"""Exp-2: runtime split between building TCQ(+) and matching (Fig. 14, Table VI).
+
+For the TCSM algorithms "processing" is exactly the preparation phase
+(initial candidates + TCQ/TCQ+ construction) and "matching" the DFS; for
+the baselines, preparation covers their setup (orders, indexes on the
+empty snapshot) while stream replay and search both land in the matching
+phase — the paper's Table VI mixes analogous microbenchmarks, see
+EXPERIMENTS.md.
+
+Usage::
+
+    python -m repro.experiments.exp_distribution [--datasets MO,UB,SU]
+"""
+
+from __future__ import annotations
+
+from ..datasets import load_dataset, paper_constraints, paper_query
+from .records import Measurement, write_csv
+from .runner import CORE_ALGORITHMS, common_parser, measure
+from .tables import render_table
+
+__all__ = ["run", "main"]
+
+DEFAULT_DATASETS = ("MO", "UB", "SU")
+DEFAULT_ALGORITHMS = (
+    "symbi",
+    "turboflux",
+    "graphflow",
+    "sj-tree",
+    "iedyn",
+    "ri-ds",
+) + CORE_ALGORITHMS
+
+
+def run(
+    datasets: tuple[str, ...] = DEFAULT_DATASETS,
+    algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
+    scale: float | None = None,
+    seed: int = 1,
+    time_budget: float = 30.0,
+) -> list[Measurement]:
+    """Build/match split on (q1, tc2) per dataset and algorithm."""
+    measurements: list[Measurement] = []
+    query = paper_query(1)
+    constraints = paper_constraints(2, num_edges=query.num_edges)
+    for key in datasets:
+        graph = load_dataset(key, scale=scale, seed=seed)
+        for algorithm in algorithms:
+            measurements.append(
+                measure(
+                    "exp2-distribution",
+                    key,
+                    algorithm,
+                    query,
+                    constraints,
+                    graph,
+                    query_name="q1",
+                    constraint_name="tc2",
+                    time_budget=time_budget,
+                )
+            )
+    return measurements
+
+
+def print_report(measurements: list[Measurement]) -> None:
+    datasets = list(dict.fromkeys(m.dataset for m in measurements))
+    algorithms = list(dict.fromkeys(m.algorithm for m in measurements))
+    by_key = {(m.algorithm, m.dataset): m for m in measurements}
+    headers = ["Methods"]
+    for dataset in datasets:
+        headers += [f"{dataset} build(ms)", f"{dataset} match(ms)"]
+    rows = []
+    for algorithm in algorithms:
+        row = [algorithm]
+        for dataset in datasets:
+            m = by_key.get((algorithm, dataset))
+            if m is None:
+                row += ["-", "-"]
+            else:
+                row += [
+                    f"{m.build_seconds * 1000:.3f}",
+                    f"{m.match_seconds * 1000:.3f}",
+                ]
+        rows.append(row)
+    print(
+        render_table(
+            headers,
+            rows,
+            title="Fig. 14 / Table VI: runtime distribution "
+            "(processing vs matching, milliseconds)",
+        )
+    )
+
+
+def main(argv: list[str] | None = None) -> list[Measurement]:
+    parser = common_parser(__doc__.splitlines()[0])
+    parser.add_argument(
+        "--datasets", type=str, default=",".join(DEFAULT_DATASETS)
+    )
+    args = parser.parse_args(argv)
+    measurements = run(
+        datasets=tuple(args.datasets.upper().split(",")),
+        scale=args.scale,
+        seed=args.seed,
+        time_budget=args.time_budget,
+    )
+    print_report(measurements)
+    if args.csv:
+        write_csv(measurements, args.csv)
+    return measurements
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    main()

@@ -1,0 +1,155 @@
+"""Exp-7/8: effect of label-alphabet sizes (Figures 19 and 20).
+
+* **Exp-7** (Fig. 19): the query's distinct-label count |L_q| sweeps 1..6
+  on a fixed 6-vertex query shape; fewer distinct labels mean larger
+  candidate sets and more automorphic structure.
+* **Exp-8** (Fig. 20): synthetic data graphs with |L| in {8, 12, 16, 20,
+  24}; more data labels thin candidates, so all algorithms get faster.
+
+Usage::
+
+    python -m repro.experiments.exp_labels --sweep query-labels
+"""
+
+from __future__ import annotations
+
+from ..datasets import load_dataset, paper_constraints, paper_query
+from ..graphs import QueryGraph
+from ..graphs.io import default_label_alphabet
+from .records import Measurement, write_csv
+from .runner import CORE_ALGORITHMS, common_parser, measure
+from .tables import format_seconds, render_series
+
+__all__ = ["run_query_labels", "run_data_labels", "relabel_query", "main"]
+
+SWEEP_BASELINES = ("graphflow", "symbi", "ri-ds")
+
+
+def relabel_query(query: QueryGraph, num_labels: int) -> QueryGraph:
+    """Rewrite the query's labels to use exactly *num_labels* symbols.
+
+    Vertex ``u`` gets label ``alphabet[u % num_labels]``, preserving the
+    structure; used by the |L_q| sweep.
+    """
+    alphabet = default_label_alphabet(num_labels)
+    labels = [alphabet[u % num_labels] for u in query.vertices()]
+    return QueryGraph(labels, query.edges)
+
+
+def run_query_labels(
+    dataset: str = "UB",
+    label_counts: tuple[int, ...] = (1, 2, 3, 4, 5, 6),
+    algorithms: tuple[str, ...] = SWEEP_BASELINES + CORE_ALGORITHMS,
+    scale: float | None = None,
+    seed: int = 1,
+    time_budget: float = 30.0,
+) -> list[Measurement]:
+    """Fig. 19: runtime versus |L_q| on the q1 shape."""
+    graph = load_dataset(dataset, scale=scale, seed=seed, num_labels=6)
+    base = paper_query(1)
+    constraints = paper_constraints(2, num_edges=base.num_edges)
+    measurements: list[Measurement] = []
+    for count in label_counts:
+        query = relabel_query(base, count)
+        for algorithm in algorithms:
+            measurements.append(
+                measure(
+                    "exp7-query-labels",
+                    dataset,
+                    algorithm,
+                    query,
+                    constraints,
+                    graph,
+                    query_name=f"|Lq|={count}",
+                    constraint_name="tc2",
+                    time_budget=time_budget,
+                    params={"labels": count},
+                )
+            )
+    return measurements
+
+
+def run_data_labels(
+    label_counts: tuple[int, ...] = (8, 12, 16, 20, 24),
+    algorithms: tuple[str, ...] = SWEEP_BASELINES + CORE_ALGORITHMS,
+    scale: float | None = None,
+    seed: int = 1,
+    time_budget: float = 30.0,
+    dataset: str = "UB",
+) -> list[Measurement]:
+    """Fig. 20: runtime versus the data graph's |L| (synthetic graphs)."""
+    query = paper_query(1)
+    constraints = paper_constraints(2, num_edges=query.num_edges)
+    measurements: list[Measurement] = []
+    for count in label_counts:
+        graph = load_dataset(
+            dataset, scale=scale, seed=seed, num_labels=count
+        )
+        for algorithm in algorithms:
+            measurements.append(
+                measure(
+                    "exp8-data-labels",
+                    f"{dataset}|L|={count}",
+                    algorithm,
+                    query,
+                    constraints,
+                    graph,
+                    query_name="q1",
+                    constraint_name="tc2",
+                    time_budget=time_budget,
+                    params={"labels": count},
+                )
+            )
+    return measurements
+
+
+def _print_sweep(measurements: list[Measurement], title: str) -> None:
+    x_values = list(dict.fromkeys(m.params["labels"] for m in measurements))
+    algorithms = list(dict.fromkeys(m.algorithm for m in measurements))
+    series = {}
+    for algorithm in algorithms:
+        values = []
+        for x in x_values:
+            found = [
+                m
+                for m in measurements
+                if m.algorithm == algorithm and m.params["labels"] == x
+            ]
+            if found:
+                suffix = "*" if found[0].budget_exhausted else ""
+                values.append(format_seconds(found[0].seconds) + suffix)
+            else:
+                values.append("-")
+        series[algorithm] = values
+    print(
+        render_series(
+            "labels", x_values, series, title=f"{title} (seconds; * = budget)"
+        )
+    )
+
+
+def main(argv: list[str] | None = None) -> list[Measurement]:
+    parser = common_parser(__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sweep", choices=("query-labels", "data-labels"),
+        default="query-labels",
+    )
+    parser.add_argument("--dataset", type=str, default="UB")
+    args = parser.parse_args(argv)
+    kwargs = dict(
+        scale=args.scale, seed=args.seed, time_budget=args.time_budget,
+        dataset=args.dataset,
+    )
+    if args.sweep == "query-labels":
+        measurements = run_query_labels(**kwargs)
+        _print_sweep(measurements, "Fig. 19: runtime vs |L_q|")
+    else:
+        measurements = run_data_labels(**kwargs)
+        _print_sweep(measurements, "Fig. 20: runtime vs |L|")
+    if args.csv:
+        write_csv(measurements, args.csv)
+    return measurements
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    main()

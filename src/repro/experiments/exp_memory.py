@@ -1,0 +1,114 @@
+"""Exp-6: memory usage of the algorithms (Table IV).
+
+The paper reports resident memory in MB; the portable Python equivalent
+is the ``tracemalloc`` allocation peak over one full run (graph storage is
+shared by all algorithms and excluded, so the numbers isolate each
+algorithm's working set — candidate sets, indexes, partial-match stores).
+SJ-Tree's materialised partials should dominate, as in the paper.
+
+Usage::
+
+    python -m repro.experiments.exp_memory [--datasets CM,MO,UB]
+"""
+
+from __future__ import annotations
+
+from ..datasets import load_dataset, paper_constraints, paper_query
+from .records import Measurement, write_csv
+from .runner import CORE_ALGORITHMS, common_parser, measure
+from .tables import render_table
+
+__all__ = ["run", "main"]
+
+DEFAULT_DATASETS = ("CM", "EE", "MO", "UB")
+DEFAULT_ALGORITHMS = (
+    "symbi",
+    "turboflux",
+    "graphflow",
+    "sj-tree",
+    "iedyn",
+    "ri-ds",
+    "rapidflow",
+    "calig",
+    "newsp",
+) + CORE_ALGORITHMS
+
+
+def run(
+    datasets: tuple[str, ...] = DEFAULT_DATASETS,
+    algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
+    scale: float | None = None,
+    seed: int = 1,
+    time_budget: float = 30.0,
+) -> list[Measurement]:
+    """Peak allocation per algorithm and dataset on (q1, tc2)."""
+    measurements: list[Measurement] = []
+    query = paper_query(1)
+    constraints = paper_constraints(2, num_edges=query.num_edges)
+    for key in datasets:
+        graph = load_dataset(key, scale=scale, seed=seed)
+        # Pre-warm the lazily built graph-level caches (de-temporal view,
+        # label index, neighbourhood label counters) so they are not
+        # attributed to whichever algorithm happens to run first.
+        data = graph.de_temporal()
+        graph.vertices_with_label(query.label(0))
+        for v in graph.vertices():
+            data.neighbor_label_counts(v)
+        for algorithm in algorithms:
+            measurements.append(
+                measure(
+                    "exp6-memory",
+                    key,
+                    algorithm,
+                    query,
+                    constraints,
+                    graph,
+                    query_name="q1",
+                    constraint_name="tc2",
+                    time_budget=time_budget,
+                    track_memory=True,
+                )
+            )
+    return measurements
+
+
+def print_report(measurements: list[Measurement]) -> None:
+    datasets = list(dict.fromkeys(m.dataset for m in measurements))
+    algorithms = list(dict.fromkeys(m.algorithm for m in measurements))
+    by_key = {(m.algorithm, m.dataset): m for m in measurements}
+    rows = []
+    for algorithm in algorithms:
+        row = [algorithm]
+        for dataset in datasets:
+            m = by_key.get((algorithm, dataset))
+            row.append("-" if m is None else f"{m.memory_mb:.2f}")
+        rows.append(row)
+    print(
+        render_table(
+            ["Methods"] + datasets,
+            rows,
+            title="Table IV: peak allocations of the algorithms (MB)",
+        )
+    )
+
+
+def main(argv: list[str] | None = None) -> list[Measurement]:
+    parser = common_parser(__doc__.splitlines()[0])
+    parser.add_argument(
+        "--datasets", type=str, default=",".join(DEFAULT_DATASETS)
+    )
+    args = parser.parse_args(argv)
+    measurements = run(
+        datasets=tuple(args.datasets.upper().split(",")),
+        scale=args.scale,
+        seed=args.seed,
+        time_budget=args.time_budget,
+    )
+    print_report(measurements)
+    if args.csv:
+        write_csv(measurements, args.csv)
+    return measurements
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    main()

@@ -1,0 +1,91 @@
+"""Exp-9: observations on failed enumeration (Fig. 21).
+
+Compares, per algorithm, the total number of failed enumerations and the
+matching-tree layer of the first failure — both come straight from the
+matchers' :class:`~repro.core.stats.SearchStats`.  The paper's claim:
+edge-based matching fails less often and fails shallower than
+vertex-based matching, and EVE fails slightly less than E2E.
+
+Usage::
+
+    python -m repro.experiments.exp_pruning [--dataset UB]
+"""
+
+from __future__ import annotations
+
+from ..datasets import load_dataset, paper_constraints, paper_query
+from .records import Measurement, write_csv
+from .runner import CORE_ALGORITHMS, common_parser, measure
+from .tables import render_table
+
+__all__ = ["run", "main"]
+
+DEFAULT_ALGORITHMS = ("graphflow", "symbi", "ri-ds") + CORE_ALGORITHMS
+
+
+def run(
+    dataset: str = "UB",
+    algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
+    scale: float | None = None,
+    seed: int = 1,
+    time_budget: float = 30.0,
+) -> list[Measurement]:
+    """Failed-enumeration statistics on (q1, tc2)."""
+    graph = load_dataset(dataset, scale=scale, seed=seed)
+    query = paper_query(1)
+    constraints = paper_constraints(2, num_edges=query.num_edges)
+    measurements: list[Measurement] = []
+    for algorithm in algorithms:
+        measurements.append(
+            measure(
+                "exp9-pruning",
+                dataset,
+                algorithm,
+                query,
+                constraints,
+                graph,
+                query_name="q1",
+                constraint_name="tc2",
+                time_budget=time_budget,
+            )
+        )
+    return measurements
+
+
+def print_report(measurements: list[Measurement]) -> None:
+    rows = [
+        [
+            m.algorithm,
+            m.failed_enumerations,
+            "-" if m.first_fail_layer is None else m.first_fail_layer,
+            m.matches,
+        ]
+        for m in measurements
+    ]
+    print(
+        render_table(
+            ["Methods", "failed enumerations", "first-fail layer", "matches"],
+            rows,
+            title="Fig. 21: failed enumeration statistics",
+        )
+    )
+
+
+def main(argv: list[str] | None = None) -> list[Measurement]:
+    parser = common_parser(__doc__.splitlines()[0])
+    parser.add_argument("--dataset", type=str, default="UB")
+    args = parser.parse_args(argv)
+    measurements = run(
+        dataset=args.dataset.upper(),
+        scale=args.scale,
+        seed=args.seed,
+        time_budget=args.time_budget,
+    )
+    print_report(measurements)
+    if args.csv:
+        write_csv(measurements, args.csv)
+    return measurements
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    main()

@@ -1,0 +1,196 @@
+"""Exp-1: running time of all methods (Table III and Table V).
+
+Table III compares every algorithm on the default workload (q1, tc2)
+across the six datasets; Table V expands to the full 3x3 (query,
+constraint) grid for the four strongest baselines and our three
+algorithms.  ``run_table3`` / ``run_table5`` regenerate those rows;
+``main`` prints them in the paper's layout.
+
+Usage::
+
+    python -m repro.experiments.exp_runtime [--full] [--datasets CM,EE]
+"""
+
+from __future__ import annotations
+
+from ..datasets import dataset_keys, load_dataset, paper_constraints, paper_query
+from .records import Measurement, write_csv
+from .runner import (
+    CORE_ALGORITHMS,
+    DEFAULT_COMPARISON,
+    common_parser,
+    measure,
+)
+from .tables import format_seconds, render_table
+
+__all__ = ["run_table3", "run_table5", "main"]
+
+#: Table V restricts the baseline set (as the paper does).
+TABLE5_ALGORITHMS: tuple[str, ...] = (
+    "rapidflow",
+    "calig",
+    "newsp",
+    "ri-ds",
+) + CORE_ALGORITHMS
+
+
+def run_table3(
+    datasets: tuple[str, ...] = dataset_keys(),
+    algorithms: tuple[str, ...] = DEFAULT_COMPARISON,
+    scale: float | None = None,
+    seed: int = 1,
+    time_budget: float = 30.0,
+) -> list[Measurement]:
+    """Runtime of every algorithm on (q1, tc2) per dataset (Table III)."""
+    measurements: list[Measurement] = []
+    query = paper_query(1)
+    constraints = paper_constraints(2, num_edges=query.num_edges)
+    for key in datasets:
+        graph = load_dataset(key, scale=scale, seed=seed)
+        for algorithm in algorithms:
+            measurements.append(
+                measure(
+                    "exp1-table3",
+                    key,
+                    algorithm,
+                    query,
+                    constraints,
+                    graph,
+                    query_name="q1",
+                    constraint_name="tc2",
+                    time_budget=time_budget,
+                )
+            )
+    return measurements
+
+
+def run_table5(
+    datasets: tuple[str, ...] = ("CM", "EE", "MO", "UB", "SU"),
+    algorithms: tuple[str, ...] = TABLE5_ALGORITHMS,
+    scale: float | None = None,
+    seed: int = 1,
+    time_budget: float = 30.0,
+) -> list[Measurement]:
+    """Runtime over the full (q, tc) grid (Table V)."""
+    measurements: list[Measurement] = []
+    for key in datasets:
+        graph = load_dataset(key, scale=scale, seed=seed)
+        for qi in (1, 2, 3):
+            query = paper_query(qi)
+            for tj in (1, 2, 3):
+                constraints = paper_constraints(
+                    tj, num_edges=query.num_edges
+                )
+                for algorithm in algorithms:
+                    measurements.append(
+                        measure(
+                            "exp1-table5",
+                            key,
+                            algorithm,
+                            query,
+                            constraints,
+                            graph,
+                            query_name=f"q{qi}",
+                            constraint_name=f"tc{tj}",
+                            time_budget=time_budget,
+                        )
+                    )
+    return measurements
+
+
+def _print_table3(measurements: list[Measurement]) -> None:
+    datasets = list(dict.fromkeys(m.dataset for m in measurements))
+    algorithms = list(dict.fromkeys(m.algorithm for m in measurements))
+    by_key = {(m.algorithm, m.dataset): m for m in measurements}
+    rows = []
+    for algorithm in algorithms:
+        row = [algorithm]
+        for dataset in datasets:
+            m = by_key.get((algorithm, dataset))
+            if m is None:
+                row.append("-")
+            else:
+                suffix = "*" if m.budget_exhausted else ""
+                row.append(format_seconds(m.seconds) + suffix)
+        rows.append(row)
+    print(
+        render_table(
+            ["Methods"] + datasets,
+            rows,
+            title="Table III: running time of various methods (seconds; "
+            "* = stopped at time budget)",
+        )
+    )
+
+
+def _print_table5(measurements: list[Measurement]) -> None:
+    algorithms = list(dict.fromkeys(m.algorithm for m in measurements))
+    combos = list(
+        dict.fromkeys((m.dataset, m.query, m.constraint) for m in measurements)
+    )
+    by_key = {
+        (m.dataset, m.query, m.constraint, m.algorithm): m
+        for m in measurements
+    }
+    rows = []
+    for dataset, query, constraint in combos:
+        row = [dataset, f"{query},{constraint}"]
+        for algorithm in algorithms:
+            m = by_key.get((dataset, query, constraint, algorithm))
+            if m is None:
+                row.append("-")
+            else:
+                suffix = "*" if m.budget_exhausted else ""
+                row.append(format_seconds(m.seconds) + suffix)
+        rows.append(row)
+    print(
+        render_table(
+            ["DataSet", "q,tc"] + algorithms,
+            rows,
+            title="Table V: running time of various q and tc (seconds; "
+            "* = stopped at time budget)",
+        )
+    )
+
+
+def main(argv: list[str] | None = None) -> list[Measurement]:
+    parser = common_parser(__doc__.splitlines()[0])
+    parser.add_argument(
+        "--datasets",
+        type=str,
+        default=None,
+        help="comma-separated dataset keys (default: all six)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="also run the full (q, tc) grid (Table V)",
+    )
+    args = parser.parse_args(argv)
+    datasets = (
+        tuple(args.datasets.upper().split(",")) if args.datasets else dataset_keys()
+    )
+    measurements = run_table3(
+        datasets=datasets,
+        scale=args.scale,
+        seed=args.seed,
+        time_budget=args.time_budget,
+    )
+    _print_table3(measurements)
+    if args.full:
+        table5 = run_table5(
+            datasets=datasets,
+            scale=args.scale,
+            seed=args.seed,
+            time_budget=args.time_budget,
+        )
+        print()
+        _print_table5(table5)
+        measurements += table5
+    if args.csv:
+        write_csv(measurements, args.csv)
+    return measurements
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    main()

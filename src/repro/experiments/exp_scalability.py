@@ -1,0 +1,270 @@
+"""Exp-3/4/5: scalability sweeps (Figures 15, 17 and 18).
+
+Three sweeps share this module:
+
+* **query size** (Fig. 15 left): |q| from 3 to 10 vertices, queries
+  extracted from the data graph so every size has at least one match;
+* **constraint count** (Fig. 15 right): |tc| from 2 to 6 on a fixed
+  extracted query — the baselines ignore |tc| and are excluded, as in the
+  paper;
+* **query density** (Fig. 17): |E_q|/|V_q| from 0.5 to 3.0 (random
+  queries; densities below 1 are necessarily disconnected);
+* **data scale** (Fig. 18): time-prefix subgraphs keeping 20..100% of
+  the temporal edges.
+
+Usage::
+
+    python -m repro.experiments.exp_scalability --sweep query-size
+"""
+
+from __future__ import annotations
+
+from ..datasets import (
+    extract_instance,
+    load_dataset,
+    paper_constraints,
+    paper_query,
+    random_constraints,
+    random_query,
+)
+from ..errors import DatasetError
+from ..graphs import TemporalGraph
+from .records import Measurement, write_csv
+from .runner import CORE_ALGORITHMS, common_parser, measure
+from .tables import format_seconds, render_series
+
+__all__ = [
+    "run_query_size",
+    "run_constraint_count",
+    "run_density",
+    "run_data_scale",
+    "main",
+]
+
+SWEEP_BASELINES = ("graphflow", "symbi", "ri-ds")
+"""A fast/medium/slow baseline cross-section for the sweep figures."""
+
+
+def run_query_size(
+    dataset: str = "UB",
+    sizes: tuple[int, ...] = (3, 4, 5, 6, 7, 8, 9, 10),
+    algorithms: tuple[str, ...] = SWEEP_BASELINES + CORE_ALGORITHMS,
+    scale: float | None = None,
+    seed: int = 1,
+    time_budget: float = 30.0,
+) -> list[Measurement]:
+    """Fig. 15 (left): runtime versus |q| (vertices)."""
+    graph = load_dataset(dataset, scale=scale, seed=seed)
+    measurements: list[Measurement] = []
+    for size in sizes:
+        # Prefer density ~1.2 (size + 1 edges); sparse stand-ins may not
+        # contain such a subgraph at small sizes, so fall back to a tree.
+        query = constraints = None
+        for num_edges in (size + 1, size, size - 1):
+            if num_edges < size - 1:
+                continue
+            try:
+                query, constraints = extract_instance(
+                    graph, size, num_edges, num_constraints=3,
+                    seed=seed + size,
+                )
+                break
+            except DatasetError:
+                continue
+        if query is None:
+            raise DatasetError(
+                f"no extractable query of {size} vertices in {dataset}"
+            )
+        for algorithm in algorithms:
+            measurements.append(
+                measure(
+                    "exp3-query-size",
+                    dataset,
+                    algorithm,
+                    query,
+                    constraints,
+                    graph,
+                    query_name=f"|q|={size}",
+                    time_budget=time_budget,
+                    params={"size": size},
+                )
+            )
+    return measurements
+
+
+def run_constraint_count(
+    dataset: str = "UB",
+    counts: tuple[int, ...] = (2, 3, 4, 5, 6),
+    algorithms: tuple[str, ...] = CORE_ALGORITHMS,
+    scale: float | None = None,
+    seed: int = 1,
+    time_budget: float = 30.0,
+) -> list[Measurement]:
+    """Fig. 15 (right): runtime versus |tc| (TCSM algorithms only)."""
+    graph = load_dataset(dataset, scale=scale, seed=seed)
+    measurements: list[Measurement] = []
+    for count in counts:
+        query, constraints = extract_instance(
+            graph, 6, 7, num_constraints=count, seed=seed
+        )
+        for algorithm in algorithms:
+            measurements.append(
+                measure(
+                    "exp3-constraint-count",
+                    dataset,
+                    algorithm,
+                    query,
+                    constraints,
+                    graph,
+                    constraint_name=f"|tc|={count}",
+                    time_budget=time_budget,
+                    params={"count": count},
+                )
+            )
+    return measurements
+
+
+def run_density(
+    dataset: str = "UB",
+    densities: tuple[float, ...] = (0.5, 1.0, 1.5, 2.0, 2.5, 3.0),
+    algorithms: tuple[str, ...] = CORE_ALGORITHMS,
+    num_vertices: int = 6,
+    scale: float | None = None,
+    seed: int = 1,
+    time_budget: float = 30.0,
+) -> list[Measurement]:
+    """Fig. 17: runtime versus query density |E_q|/|V_q|."""
+    graph = load_dataset(dataset, scale=scale, seed=seed)
+    labels = sorted(set(graph.labels))[:4]
+    measurements: list[Measurement] = []
+    for density in densities:
+        num_edges = max(1, round(density * num_vertices))
+        query = random_query(
+            num_vertices,
+            num_edges,
+            labels,
+            seed=seed,
+            connected=num_edges >= num_vertices - 1,
+        )
+        constraints = random_constraints(
+            query, min(3, max(0, num_edges - 1)), 7 * 86_400, seed=seed
+        )
+        for algorithm in algorithms:
+            measurements.append(
+                measure(
+                    "exp4-density",
+                    dataset,
+                    algorithm,
+                    query,
+                    constraints,
+                    graph,
+                    query_name=f"d={density}",
+                    time_budget=time_budget,
+                    params={"density": density},
+                )
+            )
+    return measurements
+
+
+def run_data_scale(
+    datasets: tuple[str, ...] = ("UB", "SU"),
+    fractions: tuple[float, ...] = (0.2, 0.4, 0.6, 0.8, 1.0),
+    algorithms: tuple[str, ...] = SWEEP_BASELINES + CORE_ALGORITHMS,
+    scale: float | None = None,
+    seed: int = 1,
+    time_budget: float = 30.0,
+) -> list[Measurement]:
+    """Fig. 18: runtime versus |ℰ| (time-prefix subgraphs)."""
+    query = paper_query(1)
+    constraints = paper_constraints(2, num_edges=query.num_edges)
+    measurements: list[Measurement] = []
+    for key in datasets:
+        full: TemporalGraph = load_dataset(key, scale=scale, seed=seed)
+        for fraction in fractions:
+            graph = full.time_prefix(fraction) if fraction < 1.0 else full
+            for algorithm in algorithms:
+                measurements.append(
+                    measure(
+                        "exp5-data-scale",
+                        key,
+                        algorithm,
+                        query,
+                        constraints,
+                        graph,
+                        query_name="q1",
+                        constraint_name="tc2",
+                        time_budget=time_budget,
+                        params={"fraction": fraction},
+                    )
+                )
+    return measurements
+
+
+def _print_sweep(
+    measurements: list[Measurement], x_param: str, title: str
+) -> None:
+    x_values = list(
+        dict.fromkeys(m.params[x_param] for m in measurements)
+    )
+    algorithms = list(dict.fromkeys(m.algorithm for m in measurements))
+    datasets = list(dict.fromkeys(m.dataset for m in measurements))
+    for dataset in datasets:
+        series = {}
+        for algorithm in algorithms:
+            values = []
+            for x in x_values:
+                found = [
+                    m
+                    for m in measurements
+                    if m.algorithm == algorithm
+                    and m.dataset == dataset
+                    and m.params[x_param] == x
+                ]
+                if found:
+                    suffix = "*" if found[0].budget_exhausted else ""
+                    values.append(format_seconds(found[0].seconds) + suffix)
+                else:
+                    values.append("-")
+            series[algorithm] = values
+        print(
+            render_series(
+                x_param,
+                x_values,
+                series,
+                title=f"{title} [{dataset}] (seconds; * = budget)",
+            )
+        )
+        print()
+
+
+def main(argv: list[str] | None = None) -> list[Measurement]:
+    parser = common_parser(__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sweep",
+        choices=("query-size", "constraint-count", "density", "data-scale"),
+        default="query-size",
+    )
+    parser.add_argument("--dataset", type=str, default="UB")
+    args = parser.parse_args(argv)
+    kwargs = dict(
+        scale=args.scale, seed=args.seed, time_budget=args.time_budget
+    )
+    if args.sweep == "query-size":
+        measurements = run_query_size(dataset=args.dataset, **kwargs)
+        _print_sweep(measurements, "size", "Fig. 15: runtime vs |q|")
+    elif args.sweep == "constraint-count":
+        measurements = run_constraint_count(dataset=args.dataset, **kwargs)
+        _print_sweep(measurements, "count", "Fig. 15: runtime vs |tc|")
+    elif args.sweep == "density":
+        measurements = run_density(dataset=args.dataset, **kwargs)
+        _print_sweep(measurements, "density", "Fig. 17: runtime vs density")
+    else:
+        measurements = run_data_scale(**kwargs)
+        _print_sweep(measurements, "fraction", "Fig. 18: runtime vs |E|")
+    if args.csv:
+        write_csv(measurements, args.csv)
+    return measurements
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    main()

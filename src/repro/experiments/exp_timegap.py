@@ -1,0 +1,132 @@
+"""Exp-10: matches and runtime versus the interaction time gap k (Fig. 22).
+
+The constraint gap ``k`` sweeps from 0 to several days: the number of
+matches grows quickly and then saturates (a larger window admits more —
+eventually all — timestamp combinations), and runtime follows the match
+count.  The paper's axis runs 0..3000 in its dataset's native time unit;
+ours is seconds, so the sweep covers fractions of a day up to a week.
+
+Usage::
+
+    python -m repro.experiments.exp_timegap [--datasets MO,UB,SU]
+"""
+
+from __future__ import annotations
+
+from ..datasets import load_dataset, paper_constraints, paper_query
+from .records import Measurement, write_csv
+from .runner import common_parser, measure
+from .tables import format_seconds, render_series
+
+__all__ = ["run", "main", "DEFAULT_GAPS"]
+
+SECONDS_PER_DAY = 86_400
+
+DEFAULT_GAPS: tuple[int, ...] = (
+    0,
+    SECONDS_PER_DAY // 4,
+    SECONDS_PER_DAY // 2,
+    SECONDS_PER_DAY,
+    2 * SECONDS_PER_DAY,
+    4 * SECONDS_PER_DAY,
+    7 * SECONDS_PER_DAY,
+)
+
+
+def run(
+    datasets: tuple[str, ...] = ("MO", "UB", "SU"),
+    gaps: tuple[int, ...] = DEFAULT_GAPS,
+    algorithms: tuple[str, ...] = ("tcsm-eve",),
+    scale: float | None = None,
+    seed: int = 1,
+    time_budget: float = 30.0,
+) -> list[Measurement]:
+    """Match counts and runtime for (q1, tc2) with varying gap k."""
+    query = paper_query(1)
+    measurements: list[Measurement] = []
+    for key in datasets:
+        graph = load_dataset(key, scale=scale, seed=seed)
+        for gap in gaps:
+            constraints = paper_constraints(
+                2, num_edges=query.num_edges, gap=gap
+            )
+            for algorithm in algorithms:
+                measurements.append(
+                    measure(
+                        "exp10-timegap",
+                        key,
+                        algorithm,
+                        query,
+                        constraints,
+                        graph,
+                        query_name="q1",
+                        constraint_name=f"k={gap}",
+                        time_budget=time_budget,
+                        params={"gap": gap},
+                    )
+                )
+    return measurements
+
+
+def print_report(measurements: list[Measurement]) -> None:
+    gaps = list(dict.fromkeys(m.params["gap"] for m in measurements))
+    datasets = list(dict.fromkeys(m.dataset for m in measurements))
+    algorithms = list(dict.fromkeys(m.algorithm for m in measurements))
+    match_series = {}
+    time_series = {}
+    for dataset in datasets:
+        for algorithm in algorithms:
+            counts, times = [], []
+            for gap in gaps:
+                found = [
+                    m
+                    for m in measurements
+                    if m.dataset == dataset
+                    and m.algorithm == algorithm
+                    and m.params["gap"] == gap
+                ]
+                if found:
+                    counts.append(str(found[0].matches))
+                    times.append(format_seconds(found[0].seconds))
+                else:
+                    counts.append("-")
+                    times.append("-")
+            name = (
+                dataset if len(algorithms) == 1 else f"{dataset}/{algorithm}"
+            )
+            match_series[name] = counts
+            time_series[name] = times
+    gap_labels = [f"{g / SECONDS_PER_DAY:g}d" for g in gaps]
+    print(
+        render_series(
+            "k", gap_labels, match_series,
+            title="Fig. 22 (top): number of matches vs k",
+        )
+    )
+    print()
+    print(
+        render_series(
+            "k", gap_labels, time_series,
+            title="Fig. 22 (bottom): runtime vs k (seconds)",
+        )
+    )
+
+
+def main(argv: list[str] | None = None) -> list[Measurement]:
+    parser = common_parser(__doc__.splitlines()[0])
+    parser.add_argument("--datasets", type=str, default="MO,UB,SU")
+    args = parser.parse_args(argv)
+    measurements = run(
+        datasets=tuple(args.datasets.upper().split(",")),
+        scale=args.scale,
+        seed=args.seed,
+        time_budget=args.time_budget,
+    )
+    print_report(measurements)
+    if args.csv:
+        write_csv(measurements, args.csv)
+    return measurements
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    main()

@@ -1,0 +1,60 @@
+"""Measurement records shared by all experiment drivers."""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+
+__all__ = ["Measurement", "write_csv"]
+
+
+@dataclass
+class Measurement:
+    """One (workload, algorithm) data point.
+
+    Every experiment driver produces a list of these; table and figure
+    renderers, as well as the CSV exporter, consume them uniformly.
+    """
+
+    experiment: str
+    dataset: str
+    algorithm: str
+    query: str = ""
+    constraint: str = ""
+    seconds: float = 0.0
+    build_seconds: float = 0.0
+    match_seconds: float = 0.0
+    matches: int = 0
+    memory_mb: float = 0.0
+    failed_enumerations: int = 0
+    first_fail_layer: int | None = None
+    budget_exhausted: bool = False
+    params: dict = field(default_factory=dict)
+
+    def label(self) -> str:
+        """Compact workload label, e.g. ``UB q1,tc2``."""
+        parts = [self.dataset]
+        if self.query:
+            tail = self.query
+            if self.constraint:
+                tail += f",{self.constraint}"
+            parts.append(tail)
+        return " ".join(parts)
+
+
+def write_csv(measurements: list[Measurement], path: str | Path) -> None:
+    """Dump measurements to CSV (params flattened as ``key=value;...``)."""
+    path = Path(path)
+    columns = [f.name for f in fields(Measurement)]
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(columns)
+        for m in measurements:
+            row = []
+            for name in columns:
+                value = getattr(m, name)
+                if name == "params":
+                    value = ";".join(f"{k}={v}" for k, v in value.items())
+                row.append(value)
+            writer.writerow(row)

@@ -1,0 +1,71 @@
+"""Plain-text rendering of tables and line-chart series.
+
+The paper reports results as tables (III-VI) and line charts (Figures
+14-22).  The drivers print the same rows and series as aligned monospace
+text, so a terminal diff against the paper is straightforward.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["format_seconds", "render_table", "render_series"]
+
+
+def format_seconds(value: float) -> str:
+    """Format a runtime like the paper (seconds, adaptive precision)."""
+    if value >= 100:
+        return f"{value:.0f}"
+    if value >= 1:
+        return f"{value:.2f}"
+    if value >= 0.001:
+        return f"{value:.4f}"
+    return f"{value:.2e}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned text table with a rule under the header."""
+    cells = [[str(h) for h in headers]] + [
+        [str(c) for c in row] for row in rows
+    ]
+    widths = [
+        max(len(row[col]) for row in cells) for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        cells[0][col].ljust(widths[col]) for col in range(len(headers))
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append(
+            "  ".join(row[col].ljust(widths[col]) for col in range(len(row)))
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[object]],
+    title: str = "",
+    y_format=None,
+) -> str:
+    """Render line-chart data as one column per x value, one row per line.
+
+    This is the textual equivalent of the paper's figures: the series name
+    is the legend entry, the x axis runs across columns.
+    """
+    if y_format is None:
+        y_format = lambda v: v if isinstance(v, str) else str(v)  # noqa: E731
+    headers = [x_label] + [str(x) for x in x_values]
+    rows = []
+    for name, values in series.items():
+        rows.append([name] + [y_format(v) for v in values])
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,51 @@
+"""Graph substrates: temporal/static data graphs, query graphs, constraints.
+
+This subpackage knows nothing about matching; it provides the data model
+that both the paper's algorithms (:mod:`repro.core`) and the baselines
+(:mod:`repro.baselines`) consume.
+"""
+
+from .builders import QueryBuilder, TemporalGraphBuilder
+from .constraints import Constraint, TemporalConstraints
+from .io import (
+    default_label_alphabet,
+    load_labels,
+    load_snap_temporal,
+    save_labels,
+    save_snap_temporal,
+)
+from .labels import LabelTable, label_histogram
+from .metrics import GraphStatistics, graph_statistics
+from .query_graph import QueryGraph
+from .query_io import (
+    load_pattern,
+    pattern_from_dict,
+    pattern_to_dict,
+    save_pattern,
+)
+from .static_graph import StaticGraph
+from .temporal_graph import TemporalEdge, TemporalGraph
+
+__all__ = [
+    "Constraint",
+    "GraphStatistics",
+    "LabelTable",
+    "graph_statistics",
+    "QueryBuilder",
+    "QueryGraph",
+    "StaticGraph",
+    "TemporalEdge",
+    "TemporalGraph",
+    "TemporalGraphBuilder",
+    "TemporalConstraints",
+    "default_label_alphabet",
+    "label_histogram",
+    "load_labels",
+    "load_pattern",
+    "load_snap_temporal",
+    "pattern_from_dict",
+    "pattern_to_dict",
+    "save_labels",
+    "save_pattern",
+    "save_snap_temporal",
+]

@@ -1,0 +1,263 @@
+"""Query graphs (Definition 2): labeled, simple, directed, with ordered edges.
+
+The edge order matters: temporal constraints (Definition 3) refer to edges
+by their position in ``E_q = {e_1, e_2, ...}``.  Internally edges are
+0-indexed; the public API uses 0-based indices throughout and the docs call
+this out wherever the paper's 1-based numbering could cause confusion.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Hashable, Iterable, Sequence
+
+from ..errors import QueryError
+
+__all__ = ["QueryGraph"]
+
+
+class QueryGraph:
+    """A labeled simple directed query graph with an ordered edge list.
+
+    Parameters
+    ----------
+    labels:
+        One label per query vertex (``labels[u]`` labels vertex ``u``).
+    edges:
+        Ordered sequence of ``(u, v)`` pairs; the position of a pair in this
+        sequence is the edge's index used by temporal constraints.
+    edge_labels:
+        Optional per-edge labels aligned with *edges*.  ``None`` entries
+        (the default) are wildcards; a labeled query edge only matches
+        data edges carrying the same label (the Section-II edge-label
+        generalisation).
+
+    Raises
+    ------
+    QueryError
+        On self loops, duplicate edges, out-of-range endpoints, or an empty
+        vertex set.
+    """
+
+    __slots__ = (
+        "_labels",
+        "_edges",
+        "_edge_index",
+        "_out",
+        "_in",
+        "_incident_edges",
+        "_neighbor_label_counts",
+        "_edge_labels",
+    )
+
+    def __init__(
+        self,
+        labels: Sequence[Hashable],
+        edges: Sequence[tuple[int, int]],
+        edge_labels: Sequence[Hashable | None] | None = None,
+    ) -> None:
+        self._labels: tuple[Hashable, ...] = tuple(labels)
+        n = len(self._labels)
+        if n == 0:
+            raise QueryError("query graph needs at least one vertex")
+        self._edges: tuple[tuple[int, int], ...] = tuple(
+            (int(u), int(v)) for u, v in edges
+        )
+        self._edge_index: dict[tuple[int, int], int] = {}
+        self._out: list[set[int]] = [set() for _ in range(n)]
+        self._in: list[set[int]] = [set() for _ in range(n)]
+        self._incident_edges: list[list[int]] = [[] for _ in range(n)]
+        for idx, (u, v) in enumerate(self._edges):
+            if not (0 <= u < n and 0 <= v < n):
+                raise QueryError(f"edge {idx} = ({u}, {v}) has out-of-range endpoint")
+            if u == v:
+                raise QueryError(f"edge {idx} = ({u}, {u}) is a self loop")
+            if (u, v) in self._edge_index:
+                raise QueryError(f"duplicate edge ({u}, {v}) at index {idx}")
+            self._edge_index[(u, v)] = idx
+            self._out[u].add(v)
+            self._in[v].add(u)
+            self._incident_edges[u].append(idx)
+            self._incident_edges[v].append(idx)
+        if edge_labels is None:
+            self._edge_labels: tuple[Hashable | None, ...] = (None,) * len(
+                self._edges
+            )
+        else:
+            self._edge_labels = tuple(edge_labels)
+            if len(self._edge_labels) != len(self._edges):
+                raise QueryError(
+                    f"{len(self._edge_labels)} edge labels for "
+                    f"{len(self._edges)} edges"
+                )
+        self._neighbor_label_counts: list[Counter | None] = [None] * n
+
+    # ------------------------------------------------------------------
+    # vertices
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self._labels)
+
+    def vertices(self) -> range:
+        return range(len(self._labels))
+
+    def label(self, u: int) -> Hashable:
+        self._check_vertex(u)
+        return self._labels[u]
+
+    @property
+    def labels(self) -> tuple[Hashable, ...]:
+        return self._labels
+
+    def num_distinct_labels(self) -> int:
+        """``|L_q|`` — the number of distinct labels used (Exp-7)."""
+        return len(set(self._labels))
+
+    def _check_vertex(self, u: int) -> None:
+        if not 0 <= u < len(self._labels):
+            raise QueryError(f"vertex {u} out of range [0, {len(self._labels)})")
+
+    # ------------------------------------------------------------------
+    # edges
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    @property
+    def edges(self) -> tuple[tuple[int, int], ...]:
+        """Ordered edge tuple; index = constraint edge index (0-based)."""
+        return self._edges
+
+    def edge(self, index: int) -> tuple[int, int]:
+        """Endpoints ``(u, v)`` of edge ``index``."""
+        self._check_edge(index)
+        return self._edges[index]
+
+    def edge_label(self, index: int) -> Hashable | None:
+        """Label required of data edges matched to edge *index* (or None)."""
+        self._check_edge(index)
+        return self._edge_labels[index]
+
+    @property
+    def edge_labels(self) -> tuple[Hashable | None, ...]:
+        """Per-edge required labels (None = wildcard), edge-index aligned."""
+        return self._edge_labels
+
+    @property
+    def has_edge_labels(self) -> bool:
+        """True if any query edge requires an edge label."""
+        return any(label is not None for label in self._edge_labels)
+
+    def edge_index(self, u: int, v: int) -> int:
+        """Index of directed edge ``(u, v)``; raise ``QueryError`` if absent."""
+        try:
+            return self._edge_index[(u, v)]
+        except KeyError:
+            raise QueryError(f"edge ({u}, {v}) not in query graph") from None
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return (u, v) in self._edge_index
+
+    def _check_edge(self, index: int) -> None:
+        if not 0 <= index < len(self._edges):
+            raise QueryError(
+                f"edge index {index} out of range [0, {len(self._edges)})"
+            )
+
+    def incident_edges(self, u: int) -> tuple[int, ...]:
+        """Indices of edges having ``u`` as an endpoint (``u.adje``)."""
+        self._check_vertex(u)
+        return tuple(self._incident_edges[u])
+
+    def edges_share_vertex(self, i: int, j: int) -> frozenset[int]:
+        """Vertices common to edges ``i`` and ``j`` (possibly empty)."""
+        self._check_edge(i)
+        self._check_edge(j)
+        return frozenset(self._edges[i]) & frozenset(self._edges[j])
+
+    # ------------------------------------------------------------------
+    # adjacency
+    # ------------------------------------------------------------------
+    def out_neighbors(self, u: int) -> frozenset[int]:
+        self._check_vertex(u)
+        return frozenset(self._out[u])
+
+    def in_neighbors(self, u: int) -> frozenset[int]:
+        self._check_vertex(u)
+        return frozenset(self._in[u])
+
+    def neighbors(self, u: int) -> frozenset[int]:
+        """Undirected neighbourhood ``N(u)``."""
+        self._check_vertex(u)
+        return frozenset(self._out[u] | self._in[u])
+
+    def out_degree(self, u: int) -> int:
+        self._check_vertex(u)
+        return len(self._out[u])
+
+    def in_degree(self, u: int) -> int:
+        self._check_vertex(u)
+        return len(self._in[u])
+
+    def degree(self, u: int) -> int:
+        return len(self.neighbors(u))
+
+    def density(self) -> float:
+        """``|E_q| / |V_q|`` — the density knob swept in Exp-4."""
+        return len(self._edges) / len(self._labels)
+
+    def neighbor_label_counts(self, u: int) -> Counter:
+        """Multiset of labels over ``N(u)`` (cached), used by NLF/Vmatch."""
+        self._check_vertex(u)
+        cached = self._neighbor_label_counts[u]
+        if cached is None:
+            cached = Counter(self._labels[w] for w in self._out[u] | self._in[u])
+            self._neighbor_label_counts[u] = cached
+        return cached
+
+    def is_weakly_connected(self) -> bool:
+        """True if the underlying undirected graph is connected."""
+        n = len(self._labels)
+        if n <= 1:
+            return True
+        seen = {0}
+        stack = [0]
+        while stack:
+            u = stack.pop()
+            for w in self._out[u] | self._in[u]:
+                if w not in seen:
+                    seen.add(w)
+                    stack.append(w)
+        return len(seen) == n
+
+    # ------------------------------------------------------------------
+    # dunder utilities
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QueryGraph(num_vertices={self.num_vertices}, "
+            f"num_edges={self.num_edges})"
+        )
+
+    @classmethod
+    def from_named(
+        cls,
+        labels: dict[str, Hashable],
+        edges: Iterable[tuple[str, str]],
+    ) -> tuple["QueryGraph", dict[str, int]]:
+        """Build a query graph from human-readable vertex names.
+
+        >>> q, names = QueryGraph.from_named(
+        ...     {"u1": "A", "u2": "B"}, [("u1", "u2")])
+        >>> q.edge(0) == (names["u1"], names["u2"])
+        True
+        """
+        name_to_id = {name: idx for idx, name in enumerate(labels)}
+        label_list = [labels[name] for name in labels]
+        try:
+            edge_list = [(name_to_id[a], name_to_id[b]) for a, b in edges]
+        except KeyError as exc:
+            raise QueryError(f"edge references unknown vertex {exc}") from None
+        return cls(label_list, edge_list), name_to_id

@@ -1,0 +1,118 @@
+"""JSON serialisation for queries and temporal constraints.
+
+A TCSM *pattern* — query graph plus constraint set — is the artifact
+analysts author and share (the paper's Figure 12 / Figure 13 patterns are
+exactly this).  This module defines a small JSON format for patterns and
+round-trip helpers; the command-line interface consumes it.
+
+Format::
+
+    {
+      "vertices": [{"label": "A"}, {"label": "B"}],
+      "edges": [{"source": 0, "target": 1, "label": "wire"}],
+      "constraints": [{"earlier": 0, "later": 1, "gap": 3600}]
+    }
+
+Vertex ids are implicit (array order); edge ``label`` may be omitted or
+null (wildcard); ``gap`` is a non-negative number in the data graph's
+time unit.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import QueryError
+from .constraints import TemporalConstraints
+from .query_graph import QueryGraph
+
+__all__ = [
+    "pattern_to_dict",
+    "pattern_from_dict",
+    "save_pattern",
+    "load_pattern",
+]
+
+
+def pattern_to_dict(
+    query: QueryGraph, constraints: TemporalConstraints
+) -> dict:
+    """Serialise a (query, constraints) pattern to plain data."""
+    return {
+        "vertices": [
+            {"label": query.label(u)} for u in query.vertices()
+        ],
+        "edges": [
+            {
+                "source": u,
+                "target": v,
+                "label": query.edge_label(index),
+            }
+            for index, (u, v) in enumerate(query.edges)
+        ],
+        "constraints": [
+            {"earlier": c.earlier, "later": c.later, "gap": c.gap}
+            for c in constraints
+        ],
+    }
+
+
+def pattern_from_dict(data: dict) -> tuple[QueryGraph, TemporalConstraints]:
+    """Deserialise a pattern; raises :class:`QueryError` on malformed input."""
+    if not isinstance(data, dict):
+        raise QueryError(f"pattern must be an object, got {type(data).__name__}")
+    try:
+        vertices = data["vertices"]
+        edges = data["edges"]
+    except KeyError as exc:
+        raise QueryError(f"pattern missing required key {exc}") from None
+    try:
+        labels = [v["label"] for v in vertices]
+    except (TypeError, KeyError):
+        raise QueryError("each vertex needs a 'label'") from None
+    try:
+        pairs = [(int(e["source"]), int(e["target"])) for e in edges]
+        edge_labels = [e.get("label") for e in edges]
+    except (TypeError, KeyError, ValueError):
+        raise QueryError(
+            "each edge needs integer 'source' and 'target'"
+        ) from None
+    query = QueryGraph(labels, pairs, edge_labels)
+    raw_constraints = data.get("constraints", [])
+    try:
+        triples = [
+            (int(c["earlier"]), int(c["later"]), float(c["gap"]))
+            for c in raw_constraints
+        ]
+    except (TypeError, KeyError, ValueError):
+        raise QueryError(
+            "each constraint needs 'earlier', 'later' and 'gap'"
+        ) from None
+    constraints = TemporalConstraints(triples, num_edges=query.num_edges)
+    return query, constraints
+
+
+def save_pattern(
+    query: QueryGraph,
+    constraints: TemporalConstraints,
+    path: str | Path,
+) -> None:
+    """Write a pattern as pretty-printed JSON."""
+    path = Path(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(pattern_to_dict(query, constraints), handle, indent=2)
+        handle.write("\n")
+
+
+def load_pattern(path: str | Path) -> tuple[QueryGraph, TemporalConstraints]:
+    """Read a pattern JSON file."""
+    path = Path(path)
+    if not path.exists():
+        raise QueryError(f"pattern file not found: {path}")
+    with open(path, encoding="utf-8") as handle:
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise QueryError(f"{path}: invalid JSON ({exc})") from None
+    return pattern_from_dict(data)

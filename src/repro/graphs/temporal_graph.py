@@ -1,0 +1,350 @@
+"""Directed, vertex-labeled temporal graphs (Definition 1).
+
+A temporal graph stores, for every ordered vertex pair ``(u, v)``, the set
+of timestamps at which ``u`` interacted with ``v``.  Expanding timestamps
+turns it into a directed multigraph whose elements are *temporal edges*
+``(u, v, t)`` — the objects a TCSM mapping assigns to query edges.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Hashable, Iterable, Iterator, Sequence
+from typing import NamedTuple
+
+from ..errors import GraphError
+from .static_graph import StaticGraph
+
+__all__ = ["TemporalEdge", "TemporalGraph"]
+
+Timestamp = int
+
+_EMPTY_TIMES: list[Timestamp] = []
+
+
+class TemporalEdge(NamedTuple):
+    """A single timestamped interaction ``u -> v`` at time ``t``."""
+
+    u: int
+    v: int
+    t: Timestamp
+
+
+class TemporalGraph:
+    """A directed temporal graph with labeled vertices.
+
+    Vertices are the integers ``0 .. num_vertices - 1``.  Duplicate
+    ``(u, v, t)`` triples collapse into one temporal edge; self loops are
+    rejected to match the paper's simple-graph setting.
+
+    Parameters
+    ----------
+    labels:
+        One label per vertex.
+    edges:
+        Iterable of ``(u, v, t)`` triples.
+
+    Notes
+    -----
+    Timestamp lists per vertex pair are kept sorted, so window queries
+    (``timestamps_in_window``) run in ``O(log n + answer)`` via bisection.
+    """
+
+    __slots__ = (
+        "_labels",
+        "_out",
+        "_in",
+        "_num_temporal_edges",
+        "_num_static_edges",
+        "_min_time",
+        "_max_time",
+        "_de_temporal",
+        "_label_index",
+        "_edge_labels",
+    )
+
+    def __init__(
+        self,
+        labels: Sequence[Hashable],
+        edges: Iterable[tuple[int, int, Timestamp]] = (),
+    ) -> None:
+        self._labels: tuple[Hashable, ...] = tuple(labels)
+        n = len(self._labels)
+        self._out: list[dict[int, list[Timestamp]]] = [{} for _ in range(n)]
+        self._in: list[dict[int, list[Timestamp]]] = [{} for _ in range(n)]
+        self._num_temporal_edges = 0
+        self._num_static_edges = 0
+        self._min_time: Timestamp | None = None
+        self._max_time: Timestamp | None = None
+        self._de_temporal: StaticGraph | None = None
+        self._label_index: dict[Hashable, tuple[int, ...]] | None = None
+        self._edge_labels: dict[tuple[int, int, Timestamp], Hashable] = {}
+        for u, v, t in edges:
+            self.add_edge(u, v, t)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_edge(
+        self, u: int, v: int, t: Timestamp, label: Hashable | None = None
+    ) -> bool:
+        """Insert temporal edge ``(u, v, t)``; return ``True`` if new.
+
+        *label* optionally tags the interaction (transfer type, channel,
+        ...); the paper's Section II notes the algorithms generalise to
+        edge labels, and the matchers honour them — a query edge carrying
+        a label only matches data edges carrying the same label.
+        Re-adding an existing edge with a conflicting label raises
+        :class:`GraphError`.
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            raise GraphError(f"self loop ({u}, {u}, {t}) not allowed")
+        times = self._out[u].get(v)
+        exists = False
+        if times is None:
+            self._out[u][v] = [t]
+            self._in[v][u] = [t]
+            self._num_static_edges += 1
+        else:
+            pos = bisect.bisect_left(times, t)
+            if pos < len(times) and times[pos] == t:
+                exists = True
+            else:
+                times.insert(pos, t)
+                in_times = self._in[v][u]
+                bisect.insort(in_times, t)
+        if exists:
+            if label is not None and self._edge_labels.get((u, v, t)) != label:
+                raise GraphError(
+                    f"edge ({u}, {v}, {t}) already present with label "
+                    f"{self._edge_labels.get((u, v, t))!r}, not {label!r}"
+                )
+            return False
+        if label is not None:
+            self._edge_labels[(u, v, t)] = label
+        self._num_temporal_edges += 1
+        if self._min_time is None or t < self._min_time:
+            self._min_time = t
+        if self._max_time is None or t > self._max_time:
+            self._max_time = t
+        self._de_temporal = None
+        return True
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < len(self._labels):
+            raise GraphError(f"vertex {v} out of range [0, {len(self._labels)})")
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self._labels)
+
+    @property
+    def num_temporal_edges(self) -> int:
+        """Number of distinct ``(u, v, t)`` triples (|ℰ| in Table II)."""
+        return self._num_temporal_edges
+
+    @property
+    def num_static_edges(self) -> int:
+        """Number of distinct ``(u, v)`` pairs (|E| in Table II)."""
+        return self._num_static_edges
+
+    @property
+    def min_time(self) -> Timestamp | None:
+        return self._min_time
+
+    @property
+    def max_time(self) -> Timestamp | None:
+        return self._max_time
+
+    @property
+    def time_span(self) -> Timestamp:
+        """``max_time - min_time`` (0 for graphs with < 2 timestamps)."""
+        if self._min_time is None or self._max_time is None:
+            return 0
+        return self._max_time - self._min_time
+
+    def vertices(self) -> range:
+        return range(len(self._labels))
+
+    def label(self, v: int) -> Hashable:
+        self._check_vertex(v)
+        return self._labels[v]
+
+    @property
+    def labels(self) -> tuple[Hashable, ...]:
+        return self._labels
+
+    def vertices_with_label(self, label: Hashable) -> tuple[int, ...]:
+        if self._label_index is None:
+            index: dict[Hashable, list[int]] = {}
+            for v, lab in enumerate(self._labels):
+                index.setdefault(lab, []).append(v)
+            self._label_index = {k: tuple(vs) for k, vs in index.items()}
+        return self._label_index.get(label, ())
+
+    # ------------------------------------------------------------------
+    # adjacency
+    # ------------------------------------------------------------------
+    def has_pair(self, u: int, v: int) -> bool:
+        """Does at least one temporal edge ``u -> v`` exist?"""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        return v in self._out[u]
+
+    def timestamps(self, u: int, v: int) -> tuple[Timestamp, ...]:
+        """Sorted timestamps of interactions ``u -> v`` (``T(u, v)``)."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        return tuple(self._out[u].get(v, ()))
+
+    def edge_label(self, u: int, v: int, t: Timestamp) -> Hashable | None:
+        """Label of temporal edge ``(u, v, t)``, or None if unlabeled."""
+        return self._edge_labels.get((u, v, t))
+
+    @property
+    def has_edge_labels(self) -> bool:
+        """True if any temporal edge carries a label."""
+        return bool(self._edge_labels)
+
+    def timestamps_with_label(
+        self, u: int, v: int, label: Hashable
+    ) -> list[Timestamp]:
+        """Timestamps of ``u -> v`` edges carrying exactly *label*."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        edge_labels = self._edge_labels
+        return [
+            t
+            for t in self._out[u].get(v, ())
+            if edge_labels.get((u, v, t)) == label
+        ]
+
+    def timestamps_in_window(
+        self, u: int, v: int, lo: Timestamp, hi: Timestamp
+    ) -> tuple[Timestamp, ...]:
+        """Timestamps ``t`` of ``u -> v`` edges with ``lo <= t <= hi``."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        times = self._out[u].get(v)
+        if not times:
+            return ()
+        left = bisect.bisect_left(times, lo)
+        right = bisect.bisect_right(times, hi)
+        return tuple(times[left:right])
+
+    @property
+    def out_adjacency(self) -> list[dict[int, list[Timestamp]]]:
+        """Internal out-adjacency: ``out_adjacency[u][v]`` = sorted times.
+
+        Zero-copy, bounds-unchecked view for matcher hot loops; treat as
+        strictly read-only.
+        """
+        return self._out
+
+    @property
+    def in_adjacency(self) -> list[dict[int, list[Timestamp]]]:
+        """Internal in-adjacency (see :attr:`out_adjacency`)."""
+        return self._in
+
+    def out_neighbor_ids(self, u: int):
+        """Distinct out-neighbours of ``u`` as a set-like view (no copy).
+
+        Hot-path accessor for the matchers; treat the view as read-only.
+        """
+        self._check_vertex(u)
+        return self._out[u].keys()
+
+    def in_neighbor_ids(self, v: int):
+        """Distinct in-neighbours of ``v`` as a set-like view (no copy)."""
+        self._check_vertex(v)
+        return self._in[v].keys()
+
+    def timestamps_list(self, u: int, v: int) -> list[Timestamp]:
+        """Sorted timestamps of ``u -> v`` as the internal list (no copy).
+
+        Hot-path variant of :meth:`timestamps`; callers must not mutate the
+        returned list.  Returns an empty list for absent pairs.
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        return self._out[u].get(v, _EMPTY_TIMES)
+
+    def out_pairs(self, u: int) -> Iterator[tuple[int, tuple[Timestamp, ...]]]:
+        """Iterate ``(v, timestamps)`` over out-neighbours of ``u``."""
+        self._check_vertex(u)
+        for v, times in self._out[u].items():
+            yield v, tuple(times)
+
+    def in_pairs(self, v: int) -> Iterator[tuple[int, tuple[Timestamp, ...]]]:
+        """Iterate ``(u, timestamps)`` over in-neighbours of ``v``."""
+        self._check_vertex(v)
+        for u, times in self._in[v].items():
+            yield u, tuple(times)
+
+    def out_edges(self, u: int) -> Iterator[TemporalEdge]:
+        """All temporal edges leaving ``u``, timestamps expanded."""
+        self._check_vertex(u)
+        for v, times in self._out[u].items():
+            for t in times:
+                yield TemporalEdge(u, v, t)
+
+    def in_edges(self, v: int) -> Iterator[TemporalEdge]:
+        """All temporal edges entering ``v``, timestamps expanded."""
+        self._check_vertex(v)
+        for u, times in self._in[v].items():
+            for t in times:
+                yield TemporalEdge(u, v, t)
+
+    def edges(self) -> Iterator[TemporalEdge]:
+        """All temporal edges in vertex order (not time order)."""
+        for u in self.vertices():
+            yield from self.out_edges(u)
+
+    def edges_by_time(self) -> list[TemporalEdge]:
+        """All temporal edges sorted by ``(t, u, v)``.
+
+        This is the insertion stream consumed by the continuous
+        subgraph-matching baselines.
+        """
+        return sorted(self.edges(), key=lambda e: (e.t, e.u, e.v))
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+    def de_temporal(self) -> StaticGraph:
+        """The static graph obtained by dropping timestamps (cached)."""
+        if self._de_temporal is None:
+            graph = StaticGraph(self._labels)
+            for u, targets in enumerate(self._out):
+                for v in targets:
+                    graph.add_edge(u, v)
+            self._de_temporal = graph
+        return self._de_temporal
+
+    def time_prefix(self, fraction: float) -> "TemporalGraph":
+        """Subgraph containing the earliest ``fraction`` of temporal edges.
+
+        Used by Exp-5 (scalability with varying |ℰ|).  Vertices are kept
+        (ids stay stable); only edges are dropped.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise GraphError(f"fraction {fraction} outside [0, 1]")
+        keep = int(round(self._num_temporal_edges * fraction))
+        prefix = TemporalGraph(self._labels)
+        for edge in self.edges_by_time()[:keep]:
+            prefix.add_edge(
+                edge.u, edge.v, edge.t, self._edge_labels.get(edge)
+            )
+        return prefix
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TemporalGraph(num_vertices={self.num_vertices}, "
+            f"temporal_edges={self.num_temporal_edges}, "
+            f"static_edges={self.num_static_edges})"
+        )

@@ -1,0 +1,88 @@
+"""Differential tests: every CSM baseline vs the brute-force oracle."""
+
+import pytest
+
+from repro.baselines import BASELINE_NAMES
+from repro.core import brute_force_matches, find_matches, is_valid_match
+from repro.datasets import (
+    TOY_EXPECTED_MATCH_COUNT,
+    random_instance,
+    toy_instance,
+)
+
+CSM_NAMES = tuple(n for n in BASELINE_NAMES if n not in ("ri", "ri-ds"))
+
+
+@pytest.fixture(scope="module")
+def toy():
+    return toy_instance()
+
+
+class TestToyAgreement:
+    @pytest.mark.parametrize("algo", CSM_NAMES)
+    def test_count(self, toy, algo):
+        query, tc, graph, _, _ = toy
+        result = find_matches(query, tc, graph, algorithm=algo)
+        assert result.num_matches == TOY_EXPECTED_MATCH_COUNT
+
+    @pytest.mark.parametrize("algo", CSM_NAMES)
+    def test_matches_valid(self, toy, algo):
+        query, tc, graph, _, _ = toy
+        for match in find_matches(query, tc, graph, algorithm=algo).matches:
+            assert is_valid_match(query, tc, graph, match)
+
+
+class TestRandomAgreement:
+    @pytest.mark.parametrize("algo", CSM_NAMES)
+    @pytest.mark.parametrize("seed", range(5))
+    def test_default_instances(self, algo, seed):
+        query, tc, graph = random_instance(seed=seed)
+        oracle = set(brute_force_matches(query, tc, graph))
+        got = set(find_matches(query, tc, graph, algorithm=algo).matches)
+        assert got == oracle
+
+    @pytest.mark.parametrize("algo", CSM_NAMES)
+    @pytest.mark.parametrize("seed", (100, 101))
+    def test_multi_timestamp_instances(self, algo, seed):
+        query, tc, graph = random_instance(
+            seed=seed,
+            query_vertices=3,
+            query_edges=3,
+            num_constraints=2,
+            data_vertices=6,
+            data_edges=40,
+            max_time=6,
+        )
+        oracle = set(brute_force_matches(query, tc, graph))
+        got = set(find_matches(query, tc, graph, algorithm=algo).matches)
+        assert got == oracle
+
+    @pytest.mark.parametrize("algo", CSM_NAMES)
+    def test_tree_query_instance(self, algo):
+        # Trees are IEDyn's native class; every baseline must handle them.
+        query, tc, graph = random_instance(
+            seed=500,
+            query_vertices=5,
+            query_edges=4,
+            num_constraints=2,
+            data_vertices=12,
+            data_edges=50,
+        )
+        oracle = set(brute_force_matches(query, tc, graph))
+        got = set(find_matches(query, tc, graph, algorithm=algo).matches)
+        assert got == oracle
+
+    @pytest.mark.parametrize("algo", CSM_NAMES)
+    def test_single_label_symmetry(self, algo):
+        query, tc, graph = random_instance(
+            seed=600,
+            query_vertices=3,
+            query_edges=3,
+            num_constraints=1,
+            data_vertices=7,
+            data_edges=25,
+            num_labels=1,
+        )
+        oracle = set(brute_force_matches(query, tc, graph))
+        got = set(find_matches(query, tc, graph, algorithm=algo).matches)
+        assert got == oracle

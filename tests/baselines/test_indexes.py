@@ -1,0 +1,199 @@
+"""Unit tests for the baselines' candidate-index machinery."""
+
+import pytest
+
+from repro.baselines.csm.calig import CaLiGMatcher
+from repro.baselines.csm.dynamic_index import Dependency, DynamicCandidateIndex
+from repro.baselines.csm.iedyn import is_tree_query
+from repro.baselines.csm.rapidflow import core_first_edge_order
+from repro.baselines.csm.symbi import query_dag_orientation
+from repro.baselines.csm.turboflux import spanning_tree_dependencies
+from repro.graphs import QueryGraph, TemporalConstraints, TemporalGraph
+
+
+class TestDependency:
+    def test_invalid_direction(self):
+        with pytest.raises(ValueError, match="direction"):
+            Dependency(0, 1, "sideways")
+
+
+class TestDynamicCandidateIndex:
+    @pytest.fixture
+    def setup(self):
+        # Query path: 0(A) -> 1(B) -> 2(C); deps bottom-up along the path.
+        query = QueryGraph(["A", "B", "C"], [(0, 1), (1, 2)])
+        snapshot = TemporalGraph(["A", "B", "C", "B"])
+        deps = [Dependency(0, 1, "out"), Dependency(1, 2, "out")]
+        index = DynamicCandidateIndex(query, snapshot, deps)
+        return query, snapshot, index
+
+    def test_initial_state(self, setup):
+        _, _, index = setup
+        # Leaf (vertex 2, no deps): label candidates immediately.
+        assert index.allows(2, 2)
+        # Dependent vertices start empty.
+        assert not index.allows(1, 1)
+        assert not index.allows(0, 0)
+
+    def test_propagation_on_insert(self, setup):
+        _, snapshot, index = setup
+        # Insert B -> C: vertex 1 becomes candidate for query vertex 1.
+        snapshot.add_edge(1, 2, 5)
+        index.insert_pair(1, 2)
+        assert index.allows(1, 1)
+        assert not index.allows(0, 0)
+        # Insert A -> B: root becomes candidate (transitive support ready).
+        snapshot.add_edge(0, 1, 6)
+        index.insert_pair(0, 1)
+        assert index.allows(0, 0)
+
+    def test_transitive_flip_propagates_through_existing_edges(self, setup):
+        _, snapshot, index = setup
+        # Insert A -> B FIRST: no candidate yet (B unsupported).
+        snapshot.add_edge(0, 1, 1)
+        index.insert_pair(0, 1)
+        assert not index.allows(0, 0)
+        # Now B -> C arrives; the flip of (1, 1) must reach (0, 0) through
+        # the pre-existing A -> B edge.
+        snapshot.add_edge(1, 2, 2)
+        index.insert_pair(1, 2)
+        assert index.allows(0, 0)
+
+    def test_label_gate(self, setup):
+        _, snapshot, index = setup
+        # Vertex 3 has label B: candidate for query vertex 1 once supported.
+        snapshot.add_edge(3, 2, 1)
+        index.insert_pair(3, 2)
+        assert index.allows(1, 3)
+        # But never for query vertex 0 (label A).
+        assert not index.allows(0, 3)
+
+    def test_candidate_counts(self, setup):
+        _, snapshot, index = setup
+        assert index.candidate_counts() == [0, 0, 1]
+
+
+class TestSpanningTreeDependencies:
+    def test_tree_covers_all_vertices(self):
+        query = QueryGraph(
+            ["A", "B", "C", "D"], [(0, 1), (1, 2), (2, 3), (3, 0)]
+        )
+        deps = spanning_tree_dependencies(query)
+        children = {d.child for d in deps}
+        # A spanning tree on 4 vertices has 3 tree edges => 3+ deps
+        # (antiparallel pairs add extras) covering all non-root vertices.
+        assert len(children) == 3
+
+    def test_antiparallel_pair_gives_two_deps(self):
+        query = QueryGraph(["A", "B"], [(0, 1), (1, 0)])
+        deps = spanning_tree_dependencies(query)
+        directions = {d.direction for d in deps}
+        assert directions == {"out", "in"}
+
+    def test_disconnected_query(self):
+        query = QueryGraph(["A", "B", "C", "D"], [(0, 1), (2, 3)])
+        deps = spanning_tree_dependencies(query)
+        children = {d.child for d in deps}
+        assert len(children) == 2  # one tree edge per component
+
+
+class TestQueryDagOrientation:
+    def test_every_edge_oriented_once(self):
+        query = QueryGraph(
+            ["A", "B", "C"], [(0, 1), (1, 2), (2, 0)]
+        )
+        oriented = query_dag_orientation(query)
+        assert sorted(idx for _, _, idx in oriented) == [0, 1, 2]
+
+    def test_orientation_acyclic(self):
+        query = QueryGraph(
+            ["A", "B", "C", "D"],
+            [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)],
+        )
+        oriented = query_dag_orientation(query)
+        # Topological check: repeatedly remove zero-in-degree vertices.
+        from collections import defaultdict
+
+        out = defaultdict(set)
+        indeg = defaultdict(int)
+        nodes = set(query.vertices())
+        for parent, child, _ in oriented:
+            if child not in out[parent]:
+                out[parent].add(child)
+                indeg[child] += 1
+        removed = set()
+        changed = True
+        while changed:
+            changed = False
+            for u in list(nodes - removed):
+                if indeg[u] == 0:
+                    removed.add(u)
+                    for w in out[u]:
+                        indeg[w] -= 1
+                    changed = True
+        assert removed == nodes
+
+
+class TestTreeDetection:
+    def test_path_is_tree(self):
+        query = QueryGraph(["A", "B", "C"], [(0, 1), (1, 2)])
+        assert is_tree_query(query)
+
+    def test_cycle_is_not(self):
+        query = QueryGraph(["A", "B", "C"], [(0, 1), (1, 2), (2, 0)])
+        assert not is_tree_query(query)
+
+    def test_antiparallel_pair_is_not(self):
+        query = QueryGraph(["A", "B", "C"], [(0, 1), (1, 0)])
+        assert not is_tree_query(query)
+
+    def test_forest_is_not(self):
+        query = QueryGraph(["A", "B", "C", "D"], [(0, 1), (2, 3)])
+        assert not is_tree_query(query)
+
+
+class TestCoreFirstOrder:
+    def test_pin_always_first(self):
+        query = QueryGraph(
+            ["A", "B", "C", "D"], [(0, 1), (1, 2), (2, 0), (2, 3)]
+        )
+        for pin in range(query.num_edges):
+            order = core_first_edge_order(query, pin)
+            assert order[0] == pin
+            assert sorted(order) == list(range(query.num_edges))
+
+    def test_leaf_edge_stripped_to_tail(self):
+        # Edge (2, 3) hangs off the triangle: it must come last unless
+        # pinned.
+        query = QueryGraph(
+            ["A", "B", "C", "D"], [(0, 1), (1, 2), (2, 0), (2, 3)]
+        )
+        order = core_first_edge_order(query, 0)
+        assert order[-1] == 3
+
+    def test_path_query_strips_to_pin(self):
+        query = QueryGraph(["A", "B", "C"], [(0, 1), (1, 2)])
+        order = core_first_edge_order(query, 0)
+        assert order[0] == 0
+
+
+class TestCaLiGLighting:
+    def test_lighting_requires_neighbourhood_support(self):
+        # Query: A -> B -> C.  Data: 0(A) -> 1(B) -> 2(C), plus 3(B) with
+        # no out-edge: 3 can never be lit for the middle query vertex,
+        # while the supported chain is fully lit.
+        query = QueryGraph(["A", "B", "C"], [(0, 1), (1, 2)])
+        tc = TemporalConstraints([], num_edges=2)
+        graph = TemporalGraph(
+            ["A", "B", "C", "B"], [(0, 1, 1), (1, 2, 2), (0, 3, 3)]
+        )
+        matcher = CaLiGMatcher(query, tc, graph)
+        matcher.prepare()
+        # Replay the stream manually to reach the final snapshot.
+        for edge in graph.edges_by_time():
+            matcher.snapshot.add_edge(edge.u, edge.v, edge.t)
+        matcher._begin_insertion_searches()
+        assert matcher.vertex_allowed(0, 0)
+        assert matcher.vertex_allowed(1, 1)
+        assert matcher.vertex_allowed(2, 2)
+        assert not matcher.vertex_allowed(1, 3)  # B lacks a C out-neighbour

@@ -1,0 +1,37 @@
+"""Budget/limit behaviour across the baseline matchers."""
+
+import pytest
+
+from repro.baselines import BASELINE_NAMES
+from repro.core import find_matches
+from repro.datasets import toy_instance
+
+
+@pytest.fixture(scope="module")
+def toy():
+    return toy_instance()
+
+
+class TestBudgets:
+    @pytest.mark.parametrize("algo", BASELINE_NAMES)
+    def test_zero_time_budget_stops(self, toy, algo):
+        query, tc, graph, _, _ = toy
+        result = find_matches(query, tc, graph, algorithm=algo,
+                              time_budget=0.0)
+        assert result.stats.budget_exhausted
+        assert result.num_matches == 0
+
+    @pytest.mark.parametrize("algo", BASELINE_NAMES)
+    def test_limit_one(self, toy, algo):
+        query, tc, graph, _, _ = toy
+        result = find_matches(query, tc, graph, algorithm=algo, limit=1)
+        assert result.num_matches == 1
+        assert result.stats.budget_exhausted
+
+    @pytest.mark.parametrize("algo", BASELINE_NAMES)
+    def test_stats_populated(self, toy, algo):
+        query, tc, graph, _, _ = toy
+        result = find_matches(query, tc, graph, algorithm=algo)
+        assert result.stats.matches == result.num_matches == 2
+        # Every baseline does real work on this instance.
+        assert result.stats.validations > 0

@@ -1,0 +1,65 @@
+"""Property-based differential tests across all twelve matchers."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.baselines import BASELINE_NAMES
+from repro.core import brute_force_matches, find_matches
+from repro.graphs import QueryGraph, TemporalConstraints, TemporalGraph
+
+LABELS = ("A", "B")
+
+ALL_ALGORITHMS = ("tcsm-v2v", "tcsm-e2e", "tcsm-eve") + BASELINE_NAMES
+
+
+@st.composite
+def small_instances(draw):
+    n = draw(st.integers(min_value=2, max_value=3))
+    labels = [draw(st.sampled_from(LABELS)) for _ in range(n)]
+    possible = [(a, b) for a in range(n) for b in range(n) if a != b]
+    edges = [(i, i + 1) for i in range(n - 1)]
+    extra = draw(st.lists(st.sampled_from(possible), max_size=2, unique=True))
+    for pair in extra:
+        if pair not in edges:
+            edges.append(pair)
+    query = QueryGraph(labels, edges)
+
+    m = query.num_edges
+    triples = []
+    if m >= 2:
+        seen = set()
+        for i, j in draw(
+            st.lists(
+                st.tuples(st.integers(0, m - 1), st.integers(0, m - 1)).filter(
+                    lambda p: p[0] != p[1]
+                ),
+                max_size=2,
+            )
+        ):
+            if (i, j) not in seen:
+                seen.add((i, j))
+                triples.append((i, j, draw(st.integers(0, 5))))
+    constraints = TemporalConstraints(triples, num_edges=m)
+
+    dn = draw(st.integers(min_value=2, max_value=5))
+    dlabels = [draw(st.sampled_from(LABELS)) for _ in range(dn)]
+    dpossible = [(a, b) for a in range(dn) for b in range(dn) if a != b]
+    dedges = draw(
+        st.lists(
+            st.tuples(st.sampled_from(dpossible), st.integers(0, 8)),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    graph = TemporalGraph(dlabels, [(u, v, t) for (u, v), t in dedges])
+    return query, constraints, graph
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_instances())
+def test_all_matchers_agree_with_oracle(instance):
+    query, tc, graph = instance
+    oracle = set(brute_force_matches(query, tc, graph))
+    for algo in ALL_ALGORITHMS:
+        got = set(find_matches(query, tc, graph, algorithm=algo).matches)
+        assert got == oracle, f"{algo} disagrees with oracle"

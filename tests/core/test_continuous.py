@@ -1,0 +1,100 @@
+"""Tests for the continuous TCSM matcher (tcsm-stream)."""
+
+import pytest
+
+from repro.core import brute_force_matches, find_matches, is_valid_match
+from repro.core.continuous import ContinuousTCSMMatcher
+from repro.datasets import (
+    TOY_EXPECTED_MATCH_COUNT,
+    random_instance,
+    toy_instance,
+)
+
+
+@pytest.fixture(scope="module")
+def toy():
+    return toy_instance()
+
+
+class TestCorrectness:
+    def test_toy_agrees(self, toy):
+        query, tc, graph, _, _ = toy
+        result = find_matches(query, tc, graph, algorithm="tcsm-stream")
+        assert result.num_matches == TOY_EXPECTED_MATCH_COUNT
+        for match in result.matches:
+            assert is_valid_match(query, tc, graph, match)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_differential_vs_oracle(self, seed):
+        query, tc, graph = random_instance(seed=seed)
+        oracle = set(brute_force_matches(query, tc, graph))
+        got = set(
+            find_matches(query, tc, graph, algorithm="tcsm-stream").matches
+        )
+        assert got == oracle
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_windows_off_agrees(self, seed):
+        query, tc, graph = random_instance(seed=seed + 50)
+        with_windows = set(
+            find_matches(query, tc, graph, algorithm="tcsm-stream").matches
+        )
+        without = set(
+            find_matches(
+                query, tc, graph, algorithm="tcsm-stream", use_windows=False
+            ).matches
+        )
+        assert with_windows == without
+
+    def test_dense_timestamps(self):
+        query, tc, graph = random_instance(
+            seed=321, query_vertices=3, query_edges=3,
+            num_constraints=2, data_vertices=6, data_edges=50, max_time=6,
+        )
+        oracle = set(brute_force_matches(query, tc, graph))
+        got = set(
+            find_matches(query, tc, graph, algorithm="tcsm-stream").matches
+        )
+        assert got == oracle
+
+
+class TestPruningAdvantage:
+    def test_fails_less_than_postfiltering_baseline(self, toy):
+        # On the same stream, in-search TC pruning must reject candidates
+        # earlier (fewer completed-but-invalid leaves) than graphflow's
+        # leaf post-filter.
+        query, tc, graph, _, _ = toy
+        stream_result = find_matches(query, tc, graph, algorithm="tcsm-stream")
+        graphflow_result = find_matches(query, tc, graph, algorithm="graphflow")
+        assert stream_result.num_matches == graphflow_result.num_matches
+        assert (
+            stream_result.stats.nodes_expanded
+            <= graphflow_result.stats.nodes_expanded
+        )
+
+    def test_windows_prune_at_scale(self):
+        from repro.datasets import load_dataset, paper_constraints, paper_query
+
+        graph = load_dataset("CM", scale=0.02, seed=1)
+        query = paper_query(1)
+        tc = paper_constraints(2, num_edges=query.num_edges, gap=3600)
+        with_windows = find_matches(query, tc, graph, algorithm="tcsm-stream")
+        without = find_matches(
+            query, tc, graph, algorithm="tcsm-stream", use_windows=False
+        )
+        assert with_windows.stats.matches == without.stats.matches
+        assert (
+            with_windows.stats.nodes_expanded <= without.stats.nodes_expanded
+        )
+
+
+class TestRegistration:
+    def test_registered_name(self, toy):
+        query, tc, graph, _, _ = toy
+        matcher = ContinuousTCSMMatcher(query, tc, graph)
+        assert matcher.name == "tcsm-stream"
+
+    def test_available_via_engine(self):
+        from repro.core import available_algorithms
+
+        assert "tcsm-stream" in available_algorithms()

@@ -1,0 +1,82 @@
+"""Tests for the matcher engine: registry, dispatch, budgets."""
+
+import pytest
+
+from repro.core import (
+    available_algorithms,
+    count_matches,
+    create_matcher,
+    find_matches,
+    register_algorithm,
+)
+from repro.core.engine import _REGISTRY
+from repro.datasets import TOY_EXPECTED_MATCH_COUNT, toy_instance
+from repro.errors import UnknownAlgorithmError
+
+
+@pytest.fixture(scope="module")
+def toy():
+    return toy_instance()
+
+
+class TestRegistry:
+    def test_core_algorithms_available(self):
+        algos = available_algorithms(include_baselines=False)
+        for name in ("tcsm-v2v", "tcsm-e2e", "tcsm-eve", "brute-force"):
+            assert name in algos
+
+    def test_unknown_algorithm_raises_with_listing(self, toy):
+        query, tc, graph, _, _ = toy
+        with pytest.raises(UnknownAlgorithmError, match="available"):
+            create_matcher("definitely-not-an-algo", query, tc, graph)
+
+    def test_names_case_insensitive(self, toy):
+        query, tc, graph, _, _ = toy
+        matcher = create_matcher("TCSM-EVE", query, tc, graph)
+        assert matcher.name == "tcsm-eve"
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_algorithm("tcsm-eve", lambda *a, **k: None)
+
+    def test_overwrite_registration(self):
+        original = _REGISTRY["tcsm-eve"]
+        try:
+            register_algorithm("tcsm-eve", original, overwrite=True)
+        finally:
+            _REGISTRY["tcsm-eve"] = original
+
+
+class TestFindMatches:
+    def test_default_algorithm_is_eve(self, toy):
+        query, tc, graph, _, _ = toy
+        result = find_matches(query, tc, graph)
+        assert result.algorithm == "tcsm-eve"
+        assert result.num_matches == TOY_EXPECTED_MATCH_COUNT
+
+    def test_count_matches(self, toy):
+        query, tc, graph, _, _ = toy
+        assert count_matches(query, tc, graph) == TOY_EXPECTED_MATCH_COUNT
+
+    def test_options_forwarded(self, toy):
+        query, tc, graph, _, _ = toy
+        matcher = create_matcher(
+            "tcsm-v2v", query, tc, graph, count_based_nlf=False
+        )
+        assert matcher.count_based_nlf is False
+
+    def test_time_budget_zero_stops_early(self, toy):
+        query, tc, graph, _, _ = toy
+        result = find_matches(
+            query, tc, graph, algorithm="tcsm-eve", time_budget=0.0
+        )
+        assert result.stats.budget_exhausted
+        assert result.num_matches == 0
+
+    def test_result_bookkeeping(self, toy):
+        query, tc, graph, _, _ = toy
+        result = find_matches(query, tc, graph, algorithm="tcsm-e2e")
+        assert result.num_matches == len(result.matches)
+        assert result.total_seconds == pytest.approx(
+            result.build_seconds + result.match_seconds
+        )

@@ -1,0 +1,76 @@
+"""Tests for sampling-based cardinality estimation."""
+
+import pytest
+
+from repro.core import count_matches, estimate_match_count
+from repro.datasets import random_instance, toy_instance
+
+
+class TestEstimator:
+    def test_exact_on_deterministic_tree(self):
+        # When every layer has exactly one valid candidate, the estimator
+        # is exact regardless of probe count.
+        from repro.graphs import QueryGraph, TemporalConstraints, TemporalGraph
+
+        query = QueryGraph(["A", "B", "C"], [(0, 1), (1, 2)])
+        tc = TemporalConstraints([(0, 1, 5)], num_edges=2)
+        graph = TemporalGraph(["A", "B", "C"], [(0, 1, 1), (1, 2, 3)])
+        assert estimate_match_count(query, tc, graph, probes=5) == 1.0
+
+    def test_zero_when_no_matches(self):
+        from repro.graphs import QueryGraph, TemporalConstraints, TemporalGraph
+
+        query = QueryGraph(["A", "B"], [(0, 1)])
+        tc = TemporalConstraints([], num_edges=1)
+        graph = TemporalGraph(["A", "B"], [(1, 0, 1)])  # wrong direction
+        assert estimate_match_count(query, tc, graph, probes=10) == 0.0
+
+    def test_toy_accuracy(self):
+        query, tc, graph, _, _ = toy_instance()
+        exact = count_matches(query, tc, graph)
+        estimate = estimate_match_count(query, tc, graph, probes=400, seed=3)
+        assert estimate == pytest.approx(exact, rel=0.5)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_statistical_accuracy_on_random_instances(self, seed):
+        query, tc, graph = random_instance(
+            seed=seed, query_vertices=3, query_edges=3,
+            num_constraints=2, data_vertices=8, data_edges=40,
+        )
+        exact = count_matches(query, tc, graph)
+        estimate = estimate_match_count(
+            query, tc, graph, probes=1500, seed=seed
+        )
+        if exact == 0:
+            assert estimate == 0.0
+        else:
+            # 1500 probes: generous tolerance, tight enough to catch bias.
+            assert estimate == pytest.approx(exact, rel=0.6)
+
+    def test_deterministic_for_seed(self):
+        query, tc, graph, _, _ = toy_instance()
+        a = estimate_match_count(query, tc, graph, probes=50, seed=9)
+        b = estimate_match_count(query, tc, graph, probes=50, seed=9)
+        assert a == b
+
+    def test_invalid_probe_count(self):
+        query, tc, graph, _, _ = toy_instance()
+        with pytest.raises(ValueError, match="probes"):
+            estimate_match_count(query, tc, graph, probes=0)
+
+    def test_unbiasedness_average_over_seeds(self):
+        # The mean of many independent estimates should approach the
+        # exact count much more tightly than any single estimate.
+        query, tc, graph = random_instance(
+            seed=77, query_vertices=3, query_edges=3,
+            num_constraints=1, data_vertices=8, data_edges=40,
+        )
+        exact = count_matches(query, tc, graph)
+        if exact == 0:
+            pytest.skip("instance has no matches; nothing to average")
+        estimates = [
+            estimate_match_count(query, tc, graph, probes=300, seed=s)
+            for s in range(10)
+        ]
+        mean = sum(estimates) / len(estimates)
+        assert mean == pytest.approx(exact, rel=0.3)

@@ -1,0 +1,85 @@
+"""Tests for match explanations and constraint slack."""
+
+import pytest
+
+from repro.core import (
+    Match,
+    constraint_slack,
+    explain_match,
+    find_matches,
+)
+from repro.datasets import toy_instance
+
+
+@pytest.fixture(scope="module")
+def toy():
+    query, tc, graph, qn, vn = toy_instance()
+    match = find_matches(query, tc, graph, algorithm="tcsm-eve").matches[0]
+    return query, tc, graph, qn, vn, match
+
+
+class TestConstraintSlack:
+    def test_values(self, toy):
+        query, tc, graph, _, _, match = toy
+        report = constraint_slack(tc, match)
+        assert len(report) == len(tc)
+        times = match.timestamp_vector()
+        for index, delta, slack in report:
+            c = tc[index]
+            assert delta == times[c.later] - times[c.earlier]
+            assert slack == c.gap - delta
+            assert 0 <= delta <= c.gap  # the match is valid
+
+    def test_tight_constraint_zero_slack(self, toy):
+        query, tc, graph, _, _, match = toy
+        # tc1 = (1, 0, 3): the red match realises delta = 3 -> slack 0.
+        report = {index: slack for index, _, slack in constraint_slack(tc, match)}
+        assert report[0] == 0.0
+
+
+class TestExplainMatch:
+    def test_contains_all_sections(self, toy):
+        query, tc, graph, _, _, match = toy
+        text = explain_match(query, tc, graph, match)
+        assert "vertices:" in text
+        assert "edges:" in text
+        assert "temporal constraints:" in text
+        # All query vertices, edges and constraints appear.
+        for u in query.vertices():
+            assert f"q{u} " in text
+        for index in range(query.num_edges):
+            assert f"e{index}" in text
+        assert text.count("slack") == len(tc)
+
+    def test_vertex_name_mapping(self, toy):
+        query, tc, graph, _, vn, match = toy
+        inverse = {v: k for k, v in vn.items()}
+        text = explain_match(query, tc, graph, match, vertex_names=inverse)
+        assert "v1" in text and "v11" in text
+        # Raw fallback names like 'v0' should not leak for mapped ids.
+        assert "-> 0 " not in text
+
+    def test_callable_names_and_time_format(self, toy):
+        query, tc, graph, _, _, match = toy
+        text = explain_match(
+            query, tc, graph, match,
+            vertex_names=lambda v: f"acct-{v}",
+            time_format=lambda t: f"{t}h",
+        )
+        assert "acct-" in text
+        assert "h (" in text or "@ " in text
+
+    def test_invalid_match_rejected(self, toy):
+        query, tc, graph, _, _, match = toy
+        broken = Match(match.edge_map, tuple(reversed(match.vertex_map)))
+        with pytest.raises(ValueError, match="invalid match"):
+            explain_match(query, tc, graph, broken)
+
+    def test_no_constraints(self, toy):
+        from repro.graphs import TemporalConstraints
+
+        query, _, graph, _, _, _ = toy
+        empty = TemporalConstraints([], num_edges=query.num_edges)
+        match = find_matches(query, empty, graph, algorithm="tcsm-eve").matches[0]
+        text = explain_match(query, empty, graph, match)
+        assert "temporal constraints: none" in text

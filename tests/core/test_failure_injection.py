@@ -1,0 +1,87 @@
+"""Failure-injection tests: malformed inputs must raise typed errors.
+
+Every entry point should reject inconsistent inputs eagerly with an error
+from the :mod:`repro.errors` hierarchy — never a bare KeyError/IndexError
+deep inside a search.
+"""
+
+import pytest
+
+from repro.core import (
+    BruteForceMatcher,
+    E2EMatcher,
+    EVEMatcher,
+    V2VMatcher,
+    find_matches,
+)
+from repro.datasets import toy_instance
+from repro.errors import (
+    AlgorithmError,
+    ConstraintError,
+    QueryError,
+    ReproError,
+    UnknownAlgorithmError,
+)
+from repro.graphs import QueryGraph, TemporalConstraints, TemporalGraph
+
+MATCHERS = (V2VMatcher, E2EMatcher, EVEMatcher, BruteForceMatcher)
+
+
+class TestArityMismatches:
+    @pytest.mark.parametrize("matcher_cls", MATCHERS)
+    def test_constraints_for_wrong_edge_count(self, matcher_cls):
+        query = QueryGraph(["A", "B"], [(0, 1)])
+        tc = TemporalConstraints([], num_edges=7)
+        graph = TemporalGraph(["A", "B"], [(0, 1, 1)])
+        with pytest.raises(AlgorithmError):
+            matcher_cls(query, tc, graph)
+
+    def test_constraint_referencing_missing_edge(self):
+        with pytest.raises(ConstraintError):
+            TemporalConstraints([(0, 5, 3)], num_edges=2)
+
+
+class TestDegenerateInputs:
+    def test_edgeless_query_rejected_by_edge_matchers(self):
+        query = QueryGraph(["A"], [])
+        tc = TemporalConstraints([], num_edges=0)
+        graph = TemporalGraph(["A", "A"], [(0, 1, 1)])
+        for matcher_cls in (E2EMatcher, EVEMatcher):
+            with pytest.raises(AlgorithmError, match="at least one"):
+                matcher_cls(query, tc, graph)
+
+    def test_edgeless_query_fine_for_vertex_matchers(self):
+        # A single-vertex query is a legal (if odd) vertex-matching task.
+        query = QueryGraph(["A"], [])
+        tc = TemporalConstraints([], num_edges=0)
+        graph = TemporalGraph(["A", "A", "B"], [(0, 1, 1)])
+        result = find_matches(query, tc, graph, algorithm="tcsm-v2v")
+        assert result.num_matches == 2  # two A-labeled vertices
+
+    def test_vertexless_query_rejected(self):
+        with pytest.raises(QueryError):
+            QueryGraph([], [])
+
+    def test_empty_data_graph_yields_nothing(self):
+        query, tc, _, _, _ = toy_instance()
+        empty = TemporalGraph([])
+        for algo in ("tcsm-v2v", "tcsm-e2e", "tcsm-eve", "brute-force"):
+            assert find_matches(query, tc, empty, algorithm=algo).num_matches == 0
+
+
+class TestEngineErrors:
+    def test_unknown_algorithm(self):
+        query, tc, graph, _, _ = toy_instance()
+        with pytest.raises(UnknownAlgorithmError):
+            find_matches(query, tc, graph, algorithm="nope")
+
+    def test_unknown_matcher_option(self):
+        query, tc, graph, _, _ = toy_instance()
+        with pytest.raises(TypeError):
+            find_matches(query, tc, graph, algorithm="tcsm-eve",
+                         bogus_option=1)
+
+    def test_errors_are_repro_errors(self):
+        assert issubclass(AlgorithmError, ReproError)
+        assert issubclass(UnknownAlgorithmError, AlgorithmError)
+        assert issubclass(QueryError, ReproError)

@@ -1,0 +1,108 @@
+"""Tests for Match objects and first-principles validation."""
+
+import pytest
+
+from repro.core import Match, brute_force_matches, is_valid_match
+from repro.datasets import toy_instance
+from repro.graphs import TemporalEdge
+
+
+@pytest.fixture(scope="module")
+def toy():
+    return toy_instance()
+
+
+@pytest.fixture(scope="module")
+def valid_match(toy):
+    query, tc, graph, _, _ = toy
+    matches = brute_force_matches(query, tc, graph)
+    assert matches
+    return matches[0]
+
+
+class TestMatchType:
+    def test_from_vertex_map(self, toy):
+        query, _, _, qn, vn = toy
+        vertex_map = [0] * query.num_vertices
+        vertex_map[qn["u1"]] = vn["v1"]
+        vertex_map[qn["u2"]] = vn["v2"]
+        vertex_map[qn["u3"]] = vn["v3"]
+        vertex_map[qn["u4"]] = vn["v7"]
+        vertex_map[qn["u5"]] = vn["v11"]
+        times = [6, 3, 5, 6, 3, 1, 7]
+        match = Match.from_vertex_map(query, vertex_map, times)
+        assert match.timestamp_vector() == tuple(times)
+        # Edge 0 is u1 -> u2.
+        assert match.edge_map[0] == TemporalEdge(vn["v1"], vn["v2"], 6)
+
+    def test_hashable_and_comparable(self, valid_match):
+        assert hash(valid_match) == hash(
+            Match(valid_match.edge_map, valid_match.vertex_map)
+        )
+        assert valid_match == Match(valid_match.edge_map, valid_match.vertex_map)
+
+
+class TestIsValidMatch:
+    def test_oracle_matches_are_valid(self, toy):
+        query, tc, graph, _, _ = toy
+        for match in brute_force_matches(query, tc, graph):
+            assert is_valid_match(query, tc, graph, match)
+
+    def test_wrong_arity_edge_map(self, toy, valid_match):
+        query, tc, graph, _, _ = toy
+        broken = Match(valid_match.edge_map[:-1], valid_match.vertex_map)
+        assert not is_valid_match(query, tc, graph, broken)
+
+    def test_wrong_arity_vertex_map(self, toy, valid_match):
+        query, tc, graph, _, _ = toy
+        broken = Match(valid_match.edge_map, valid_match.vertex_map[:-1])
+        assert not is_valid_match(query, tc, graph, broken)
+
+    def test_non_injective_vertex_map(self, toy, valid_match):
+        query, tc, graph, _, _ = toy
+        vm = list(valid_match.vertex_map)
+        vm[0] = vm[1]
+        broken = Match(valid_match.edge_map, tuple(vm))
+        assert not is_valid_match(query, tc, graph, broken)
+
+    def test_label_mismatch(self, toy, valid_match):
+        query, tc, graph, _, vn = toy
+        vm = list(valid_match.vertex_map)
+        vm[0] = vn["v2"]  # u1 has label A; v2 has label B
+        broken = Match(valid_match.edge_map, tuple(vm))
+        assert not is_valid_match(query, tc, graph, broken)
+
+    def test_vertex_out_of_range(self, toy, valid_match):
+        query, tc, graph, _, _ = toy
+        vm = list(valid_match.vertex_map)
+        vm[0] = graph.num_vertices + 5
+        broken = Match(valid_match.edge_map, tuple(vm))
+        assert not is_valid_match(query, tc, graph, broken)
+
+    def test_edge_endpoint_inconsistent_with_vertex_map(self, toy, valid_match):
+        query, tc, graph, _, vn = toy
+        em = list(valid_match.edge_map)
+        em[0] = TemporalEdge(vn["v3"], em[0].v, em[0].t)
+        broken = Match(tuple(em), valid_match.vertex_map)
+        assert not is_valid_match(query, tc, graph, broken)
+
+    def test_nonexistent_timestamp(self, toy, valid_match):
+        query, tc, graph, _, _ = toy
+        em = list(valid_match.edge_map)
+        em[0] = TemporalEdge(em[0].u, em[0].v, 99999)
+        broken = Match(tuple(em), valid_match.vertex_map)
+        assert not is_valid_match(query, tc, graph, broken)
+
+    def test_constraint_violation(self):
+        # Fresh instance (we mutate the graph): give edge e6 an extra
+        # timestamp 9 so the structural match exists but violates tc5
+        # (t_e2 - t_e6 = 3 - 9 < 0).
+        from repro.datasets import toy_instance as fresh_toy
+
+        query, tc, graph, _, _ = fresh_toy()
+        match = brute_force_matches(query, tc, graph)[0]
+        em = list(match.edge_map)
+        graph.add_edge(em[5].u, em[5].v, 9)
+        em[5] = TemporalEdge(em[5].u, em[5].v, 9)
+        broken = Match(tuple(em), match.vertex_map)
+        assert not is_valid_match(query, tc, graph, broken)

@@ -1,0 +1,176 @@
+"""Differential tests: every matcher vs the brute-force oracle.
+
+A seeded corpus of random instances spanning query shapes (paths, dense
+queries, antiparallel edges, multi-timestamp pairs, zero-gap constraints)
+is run through TCSM-V2V/E2E/EVE and compared against the oracle match set
+exactly (not just counts).
+"""
+
+import pytest
+
+from repro.core import brute_force_matches, find_matches, is_valid_match
+from repro.datasets import (
+    random_constraints,
+    random_instance,
+    random_query,
+    random_temporal_graph,
+)
+from repro.graphs import QueryGraph, TemporalConstraints, TemporalGraph
+
+ALGORITHMS = ("tcsm-v2v", "tcsm-e2e", "tcsm-eve")
+
+
+def assert_agreement(query, tc, graph):
+    oracle = set(brute_force_matches(query, tc, graph))
+    for algo in ALGORITHMS:
+        result = find_matches(query, tc, graph, algorithm=algo)
+        got = set(result.matches)
+        assert got == oracle, (
+            f"{algo}: {len(got)} matches vs oracle {len(oracle)}"
+        )
+        for match in result.matches:
+            assert is_valid_match(query, tc, graph, match)
+
+
+class TestRandomCorpus:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_default_shape(self, seed):
+        query, tc, graph = random_instance(seed=seed)
+        assert_agreement(query, tc, graph)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_dense_queries(self, seed):
+        query, tc, graph = random_instance(
+            seed=seed + 1000,
+            query_vertices=4,
+            query_edges=8,
+            num_constraints=5,
+            data_vertices=10,
+            data_edges=70,
+        )
+        assert_agreement(query, tc, graph)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_path_queries(self, seed):
+        query, tc, graph = random_instance(
+            seed=seed + 2000,
+            query_vertices=5,
+            query_edges=4,
+            num_constraints=3,
+            data_vertices=14,
+            data_edges=50,
+        )
+        assert_agreement(query, tc, graph)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_many_timestamps(self, seed):
+        # Few vertices, many temporal edges -> heavy multiplicities, which
+        # stresses V2V's joint timestamp enumeration.
+        query, tc, graph = random_instance(
+            seed=seed + 3000,
+            query_vertices=3,
+            query_edges=3,
+            num_constraints=2,
+            data_vertices=6,
+            data_edges=60,
+            max_time=8,
+        )
+        assert_agreement(query, tc, graph)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_zero_gap_constraints(self, seed):
+        labels = ("A", "B")
+        query = random_query(4, 5, labels, seed=seed)
+        tc = random_constraints(query, 3, max_gap=0, seed=seed)
+        graph = random_temporal_graph(10, 60, labels, max_time=5, seed=seed)
+        assert_agreement(query, tc, graph)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_single_label(self, seed):
+        # One label maximises symmetry / automorphisms.
+        query, tc, graph = random_instance(
+            seed=seed + 4000,
+            query_vertices=3,
+            query_edges=3,
+            num_constraints=2,
+            data_vertices=8,
+            data_edges=30,
+            num_labels=1,
+        )
+        assert_agreement(query, tc, graph)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_no_constraints(self, seed):
+        labels = ("A", "B", "C")
+        query = random_query(4, 5, labels, seed=seed)
+        tc = TemporalConstraints([], num_edges=query.num_edges)
+        graph = random_temporal_graph(10, 50, labels, seed=seed)
+        assert_agreement(query, tc, graph)
+
+
+class TestHandCraftedShapes:
+    def test_antiparallel_query_edges(self):
+        query = QueryGraph(["A", "B"], [(0, 1), (1, 0)])
+        tc = TemporalConstraints([(0, 1, 2)], num_edges=2)
+        graph = TemporalGraph(
+            ["A", "B", "A"],
+            [(0, 1, 1), (1, 0, 2), (1, 0, 9), (2, 1, 4), (1, 2, 5)],
+        )
+        assert_agreement(query, tc, graph)
+
+    def test_triangle_query(self):
+        query = QueryGraph(["A", "B", "C"], [(0, 1), (1, 2), (2, 0)])
+        tc = TemporalConstraints([(0, 1, 3), (1, 2, 3)], num_edges=3)
+        graph = TemporalGraph(
+            ["A", "B", "C", "B"],
+            [
+                (0, 1, 1), (1, 2, 3), (2, 0, 5),
+                (0, 3, 2), (3, 2, 4),
+            ],
+        )
+        assert_agreement(query, tc, graph)
+
+    def test_star_query(self):
+        # Hub with three out-spokes, constraints chain the spokes.
+        query = QueryGraph(
+            ["H", "S", "S", "S"], [(0, 1), (0, 2), (0, 3)]
+        )
+        tc = TemporalConstraints([(0, 1, 5), (1, 2, 5)], num_edges=3)
+        graph = TemporalGraph(
+            ["H", "S", "S", "S", "S"],
+            [
+                (0, 1, 1), (0, 2, 3), (0, 3, 6), (0, 4, 20),
+                (0, 1, 9),
+            ],
+        )
+        assert_agreement(query, tc, graph)
+
+    def test_no_matches_label_absent(self):
+        query = QueryGraph(["Z", "B"], [(0, 1)])
+        tc = TemporalConstraints([], num_edges=1)
+        graph = TemporalGraph(["A", "B"], [(0, 1, 1)])
+        assert_agreement(query, tc, graph)
+
+    def test_structure_present_but_constraints_kill_everything(self):
+        query = QueryGraph(["A", "B", "C"], [(0, 1), (1, 2)])
+        tc = TemporalConstraints([(0, 1, 1)], num_edges=2)
+        # Edge times 10 and 100: gap 90 > 1.
+        graph = TemporalGraph(["A", "B", "C"], [(0, 1, 10), (1, 2, 100)])
+        assert_agreement(query, tc, graph)
+
+    def test_query_larger_than_data(self):
+        query = QueryGraph(["A"] * 5, [(i, i + 1) for i in range(4)])
+        tc = TemporalConstraints([], num_edges=4)
+        graph = TemporalGraph(["A", "A"], [(0, 1, 1)])
+        assert_agreement(query, tc, graph)
+
+    def test_disconnected_query(self):
+        query = QueryGraph(
+            ["A", "B", "C", "D"], [(0, 1), (2, 3)]
+        )
+        tc = TemporalConstraints([(0, 1, 4)], num_edges=2)
+        graph = TemporalGraph(
+            ["A", "B", "C", "D", "C"],
+            [(0, 1, 3), (2, 3, 5), (4, 3, 9), (0, 1, 8)],
+        )
+        assert_agreement(query, tc, graph)

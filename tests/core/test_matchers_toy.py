@@ -1,0 +1,144 @@
+"""All matchers on the paper's toy example (Figure 2, Examples 1-8)."""
+
+import pytest
+
+from repro.core import find_matches, is_valid_match
+from repro.datasets import TOY_EXPECTED_MATCH_COUNT, toy_instance
+
+ALGORITHMS = ("brute-force", "tcsm-v2v", "tcsm-e2e", "tcsm-eve")
+
+
+@pytest.fixture(scope="module")
+def toy():
+    return toy_instance()
+
+
+@pytest.fixture(scope="module")
+def results(toy):
+    query, tc, graph, _, _ = toy
+    return {
+        algo: find_matches(query, tc, graph, algorithm=algo)
+        for algo in ALGORITHMS
+    }
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("algo", ALGORITHMS)
+    def test_match_count(self, results, algo):
+        assert results[algo].num_matches == TOY_EXPECTED_MATCH_COUNT
+
+    @pytest.mark.parametrize("algo", ALGORITHMS)
+    def test_matches_are_valid(self, toy, results, algo):
+        query, tc, graph, _, _ = toy
+        for match in results[algo].matches:
+            assert is_valid_match(query, tc, graph, match)
+
+    def test_all_algorithms_agree_exactly(self, results):
+        reference = set(results["brute-force"].matches)
+        for algo in ALGORITHMS[1:]:
+            assert set(results[algo].matches) == reference
+
+    def test_red_match_found(self, toy, results):
+        query, tc, graph, qn, vn = toy
+        red_vertex_map = tuple(
+            vn[v] for v in ("v1", "v2", "v3", "v7", "v11")
+        )
+        vertex_maps = {m.vertex_map for m in results["tcsm-eve"].matches}
+        assert vertex_maps == {red_vertex_map}
+
+    def test_blue_distractor_rejected(self, toy, results):
+        # The embedding u3,u4,u5 -> v6,v10,v12 is structurally valid but
+        # violates tc5; no match may use v6.
+        query, tc, graph, qn, vn = toy
+        for match in results["tcsm-eve"].matches:
+            assert vn["v6"] not in match.vertex_map
+
+
+class TestStats:
+    def test_edge_based_fails_less_than_vertex_based(self, results):
+        # The qualitative claim of Exp-9: edge-based matching fails less.
+        v2v = results["tcsm-v2v"].stats
+        e2e = results["tcsm-e2e"].stats
+        eve = results["tcsm-eve"].stats
+        assert e2e.failed_enumerations < v2v.failed_enumerations
+        assert eve.failed_enumerations <= e2e.failed_enumerations
+
+    def test_first_fail_layer_recorded(self, results):
+        for algo in ("tcsm-v2v", "tcsm-e2e", "tcsm-eve"):
+            stats = results[algo].stats
+            assert stats.first_fail_layer is not None
+            assert stats.first_fail_layer >= 1
+            assert sum(stats.fail_layers.values()) == stats.failed_enumerations
+
+    def test_match_counter(self, results):
+        for algo in ALGORITHMS:
+            assert results[algo].stats.matches == TOY_EXPECTED_MATCH_COUNT
+
+    def test_phase_timings_nonnegative(self, results):
+        for algo in ALGORITHMS:
+            assert results[algo].build_seconds >= 0
+            assert results[algo].match_seconds >= 0
+            assert results[algo].total_seconds >= results[algo].build_seconds
+
+
+class TestLimits:
+    @pytest.mark.parametrize("algo", ALGORITHMS)
+    def test_limit_one(self, toy, algo):
+        query, tc, graph, _, _ = toy
+        result = find_matches(query, tc, graph, algorithm=algo, limit=1)
+        assert result.num_matches == 1
+        assert result.stats.budget_exhausted
+
+    @pytest.mark.parametrize("algo", ALGORITHMS)
+    def test_limit_larger_than_result(self, toy, algo):
+        query, tc, graph, _, _ = toy
+        result = find_matches(query, tc, graph, algorithm=algo, limit=100)
+        assert result.num_matches == TOY_EXPECTED_MATCH_COUNT
+        assert not result.stats.budget_exhausted
+
+    def test_collect_matches_false_still_counts(self, toy):
+        query, tc, graph, _, _ = toy
+        result = find_matches(
+            query, tc, graph, algorithm="tcsm-eve", collect_matches=False
+        )
+        assert result.matches == []
+        assert result.stats.matches == TOY_EXPECTED_MATCH_COUNT
+
+
+class TestOptions:
+    def test_tighten_preserves_matches(self, toy):
+        query, tc, graph, _, _ = toy
+        for algo in ALGORITHMS[1:]:
+            plain = find_matches(query, tc, graph, algorithm=algo)
+            tightened = find_matches(
+                query, tc, graph, algorithm=algo, tighten=True
+            )
+            assert set(plain.matches) == set(tightened.matches)
+
+    def test_v2v_without_candidate_intersection(self, toy):
+        query, tc, graph, _, _ = toy
+        result = find_matches(
+            query, tc, graph, algorithm="tcsm-v2v", intersect_candidates=False
+        )
+        assert result.num_matches == TOY_EXPECTED_MATCH_COUNT
+
+    def test_e2e_without_candidate_intersection(self, toy):
+        query, tc, graph, _, _ = toy
+        result = find_matches(
+            query, tc, graph, algorithm="tcsm-e2e", intersect_candidates=False
+        )
+        assert result.num_matches == TOY_EXPECTED_MATCH_COUNT
+
+    def test_v2v_set_based_nlf(self, toy):
+        query, tc, graph, _, _ = toy
+        result = find_matches(
+            query, tc, graph, algorithm="tcsm-v2v", count_based_nlf=False
+        )
+        assert result.num_matches == TOY_EXPECTED_MATCH_COUNT
+
+    def test_v2v_without_stn_windows(self, toy):
+        query, tc, graph, _, _ = toy
+        result = find_matches(
+            query, tc, graph, algorithm="tcsm-v2v", use_windows=False
+        )
+        assert result.num_matches == TOY_EXPECTED_MATCH_COUNT

@@ -1,0 +1,92 @@
+"""Tests for temporal-motif counting as a TCSM special case."""
+
+import pytest
+
+from repro.core import count_motif, ordered_motif_constraints
+from repro.errors import ConstraintError
+from repro.graphs import QueryGraph, TemporalGraph
+
+
+class TestOrderedMotifConstraints:
+    def test_chain_structure(self):
+        tc = ordered_motif_constraints(3, delta=10)
+        pairs = {(c.earlier, c.later) for c in tc}
+        assert pairs == {(0, 1), (1, 2), (0, 2)}
+        assert all(c.gap == 10 for c in tc)
+
+    def test_two_edges_no_duplicate(self):
+        tc = ordered_motif_constraints(2, delta=5)
+        assert len(tc) == 1
+        assert tc[0] == (0, 1, 5)
+
+    def test_custom_order(self):
+        tc = ordered_motif_constraints(3, delta=7, order=[2, 0, 1])
+        pairs = {(c.earlier, c.later) for c in tc}
+        assert (2, 0) in pairs
+        assert (0, 1) in pairs
+        assert (2, 1) in pairs
+
+    def test_invalid_order(self):
+        with pytest.raises(ConstraintError, match="permutation"):
+            ordered_motif_constraints(3, delta=5, order=[0, 0, 1])
+
+    def test_negative_delta(self):
+        with pytest.raises(ConstraintError, match="delta"):
+            ordered_motif_constraints(2, delta=-1)
+
+    def test_single_edge(self):
+        tc = ordered_motif_constraints(1, delta=5)
+        assert len(tc) == 0
+
+
+class TestCountMotif:
+    @pytest.fixture
+    def triangle_graph(self):
+        """Directed triangle with timestamps 1, 2, 3 plus a late edge."""
+        return TemporalGraph(
+            ["X", "X", "X"],
+            [(0, 1, 1), (1, 2, 2), (2, 0, 3), (1, 2, 100)],
+        )
+
+    def test_ordered_triangle(self, triangle_graph):
+        query = QueryGraph(["X", "X", "X"], [(0, 1), (1, 2), (2, 0)])
+        # delta = 10: only the 1-2-3 combination fits; the rotations give
+        # three automorphic embeddings, but the edge order constraint pins
+        # the time sequence — count embeddings whose times rise in edge
+        # order within 10.
+        count = count_motif(query, triangle_graph, delta=10)
+        assert count == 1
+
+    def test_window_excludes_late_edge(self, triangle_graph):
+        query = QueryGraph(["X", "X", "X"], [(0, 1), (1, 2), (2, 0)])
+        assert count_motif(query, triangle_graph, delta=200) >= 1
+        assert count_motif(query, triangle_graph, delta=0) == 0
+
+    def test_matches_explicit_tcsm_formulation(self, triangle_graph):
+        from repro.core import count_matches
+
+        query = QueryGraph(["X", "X", "X"], [(0, 1), (1, 2), (2, 0)])
+        tc = ordered_motif_constraints(3, delta=10)
+        assert count_motif(query, triangle_graph, delta=10) == count_matches(
+            query, tc, triangle_graph
+        )
+
+    def test_algorithm_selectable(self, triangle_graph):
+        query = QueryGraph(["X", "X", "X"], [(0, 1), (1, 2), (2, 0)])
+        for algo in ("tcsm-v2v", "tcsm-e2e", "brute-force"):
+            assert count_motif(
+                query, triangle_graph, delta=10, algorithm=algo
+            ) == 1
+
+    def test_m_shaped_motif(self):
+        # The classic 2-node ping-pong motif: a->b then b->a within delta.
+        graph = TemporalGraph(
+            ["X", "X"],
+            [(0, 1, 1), (1, 0, 2), (0, 1, 50), (1, 0, 51)],
+        )
+        query = QueryGraph(["X", "X"], [(0, 1), (1, 0)])
+        # Within delta=5 the valid ordered pairs are (1, 2) and (50, 51);
+        # the role-swapped embeddings fail the ordering (reply precedes
+        # the ping), so exactly two occurrences remain.
+        count = count_motif(query, graph, delta=5)
+        assert count == 2

@@ -1,0 +1,155 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+Random TCSM instances are generated structurally (not from the seeded
+helpers, so hypothesis can shrink) and the key library invariants are
+checked: matcher/oracle agreement, match validity, order-construction
+invariants, and STN-closure neutrality.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import (
+    brute_force_matches,
+    build_tcq,
+    build_tcq_plus,
+    find_matches,
+    is_valid_match,
+)
+from repro.graphs import QueryGraph, TemporalConstraints, TemporalGraph
+
+LABELS = ("A", "B")
+
+
+@st.composite
+def query_graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=4))
+    labels = [draw(st.sampled_from(LABELS)) for _ in range(n)]
+    possible = [(a, b) for a in range(n) for b in range(n) if a != b]
+    # Always include a spanning path so the query is connected.
+    edges = [(i, i + 1) for i in range(n - 1)]
+    extra = draw(
+        st.lists(st.sampled_from(possible), max_size=3, unique=True)
+    )
+    for pair in extra:
+        if pair not in edges:
+            edges.append(pair)
+    return QueryGraph(labels, edges)
+
+
+@st.composite
+def constraint_sets(draw, query):
+    m = query.num_edges
+    if m < 2:
+        return TemporalConstraints([], num_edges=m)
+    pairs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, m - 1), st.integers(0, m - 1)
+            ).filter(lambda p: p[0] != p[1]),
+            max_size=3,
+        )
+    )
+    seen = set()
+    triples = []
+    for i, j in pairs:
+        if (i, j) in seen:
+            continue
+        seen.add((i, j))
+        triples.append((i, j, draw(st.integers(0, 6))))
+    return TemporalConstraints(triples, num_edges=m)
+
+
+@st.composite
+def temporal_graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=7))
+    labels = [draw(st.sampled_from(LABELS)) for _ in range(n)]
+    possible = [(a, b) for a in range(n) for b in range(n) if a != b]
+    edges = draw(
+        st.lists(
+            st.tuples(st.sampled_from(possible), st.integers(0, 10)),
+            min_size=1,
+            max_size=14,
+        )
+    )
+    return TemporalGraph(labels, [(u, v, t) for (u, v), t in edges])
+
+
+@st.composite
+def instances(draw):
+    query = draw(query_graphs())
+    constraints = draw(constraint_sets(query))
+    graph = draw(temporal_graphs())
+    return query, constraints, graph
+
+
+@settings(max_examples=120, deadline=None)
+@given(instances())
+def test_matchers_agree_with_oracle(instance):
+    query, tc, graph = instance
+    oracle = set(brute_force_matches(query, tc, graph))
+    for algo in ("tcsm-v2v", "tcsm-e2e", "tcsm-eve"):
+        got = set(find_matches(query, tc, graph, algorithm=algo).matches)
+        assert got == oracle
+
+
+@settings(max_examples=120, deadline=None)
+@given(instances())
+def test_every_reported_match_is_valid(instance):
+    query, tc, graph = instance
+    for algo in ("tcsm-v2v", "tcsm-e2e", "tcsm-eve"):
+        for match in find_matches(query, tc, graph, algorithm=algo).matches:
+            assert is_valid_match(query, tc, graph, match)
+
+
+@settings(max_examples=120, deadline=None)
+@given(instances())
+def test_stn_closure_never_changes_matches(instance):
+    query, tc, graph = instance
+    plain = set(find_matches(query, tc, graph, algorithm="tcsm-eve").matches)
+    tightened = set(
+        find_matches(
+            query, tc, graph, algorithm="tcsm-eve", tighten=True
+        ).matches
+    )
+    assert plain == tightened
+
+
+@settings(max_examples=150, deadline=None)
+@given(instances())
+def test_tcq_order_invariants(instance):
+    query, tc, _ = instance
+    tcq = build_tcq(query, tc)
+    assert sorted(tcq.order) == list(range(query.num_vertices))
+    for pos in range(1, query.num_vertices):
+        u = tcq.order[pos]
+        if tcq.prec[pos] is not None:
+            assert tcq.position[tcq.prec[pos]] < pos
+            assert tcq.prec[pos] in query.neighbors(u)
+
+
+@settings(max_examples=150, deadline=None)
+@given(instances())
+def test_tcq_plus_order_invariants(instance):
+    query, tc, _ = instance
+    tcq = build_tcq_plus(query, tc)
+    assert sorted(tcq.order) == list(range(query.num_edges))
+    covered: set[int] = set()
+    for pos, e in enumerate(tcq.order):
+        endpoints = set(query.edge(e))
+        assert set(tcq.new_vertices[pos]) == endpoints - covered
+        covered |= endpoints
+    # Every constraint is placed exactly once.
+    placed = [c for cs in tcq.check_at for c in cs]
+    assert sorted(placed) == sorted(tc.constraints)
+
+
+@settings(max_examples=80, deadline=None)
+@given(instances(), st.integers(1, 4))
+def test_limit_is_prefix_of_full_run(instance, limit):
+    query, tc, graph = instance
+    full = find_matches(query, tc, graph, algorithm="tcsm-eve").matches
+    limited = find_matches(
+        query, tc, graph, algorithm="tcsm-eve", limit=limit
+    ).matches
+    assert limited == full[: min(limit, len(full))]

@@ -1,0 +1,146 @@
+"""Extended property-based tests: semantic invariants of TCSM itself.
+
+Beyond matcher/oracle agreement (test_properties.py), these check
+mathematical properties of the *problem*, which any correct matcher must
+respect:
+
+* gap monotonicity — loosening every constraint gap never loses matches;
+* data monotonicity — adding temporal edges never loses matches;
+* id-permutation equivariance — renaming data vertices permutes the match
+  set accordingly (no hidden dependence on vertex ids);
+* estimator soundness — zero estimates iff zero matches on exhaustive
+  probing of tiny instances.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import (
+    brute_force_matches,
+    count_matches,
+    estimate_match_count,
+    find_matches,
+)
+from repro.graphs import QueryGraph, TemporalConstraints, TemporalGraph
+
+LABELS = ("A", "B")
+
+
+@st.composite
+def instances(draw, max_query=3, max_data=6):
+    n = draw(st.integers(min_value=2, max_value=max_query))
+    labels = [draw(st.sampled_from(LABELS)) for _ in range(n)]
+    edges = [(i, i + 1) for i in range(n - 1)]
+    possible = [(a, b) for a in range(n) for b in range(n) if a != b]
+    for pair in draw(st.lists(st.sampled_from(possible), max_size=2,
+                              unique=True)):
+        if pair not in edges:
+            edges.append(pair)
+    query = QueryGraph(labels, edges)
+
+    m = query.num_edges
+    triples = []
+    seen = set()
+    if m >= 2:
+        for i, j in draw(
+            st.lists(
+                st.tuples(st.integers(0, m - 1), st.integers(0, m - 1)).filter(
+                    lambda p: p[0] != p[1]
+                ),
+                max_size=2,
+            )
+        ):
+            if (i, j) not in seen:
+                seen.add((i, j))
+                triples.append((i, j, draw(st.integers(0, 5))))
+    constraints = TemporalConstraints(triples, num_edges=m)
+
+    dn = draw(st.integers(min_value=2, max_value=max_data))
+    dlabels = [draw(st.sampled_from(LABELS)) for _ in range(dn)]
+    dpossible = [(a, b) for a in range(dn) for b in range(dn) if a != b]
+    dedges = draw(
+        st.lists(
+            st.tuples(st.sampled_from(dpossible), st.integers(0, 8)),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    graph = TemporalGraph(dlabels, [(u, v, t) for (u, v), t in dedges])
+    return query, constraints, graph
+
+
+@settings(max_examples=60, deadline=None)
+@given(instances(), st.integers(1, 5))
+def test_gap_monotonicity(instance, extra):
+    """Loosening every gap can only add matches."""
+    query, tc, graph = instance
+    loose = TemporalConstraints(
+        [(c.earlier, c.later, c.gap + extra) for c in tc],
+        num_edges=tc.num_edges,
+    )
+    tight_matches = set(find_matches(query, tc, graph).matches)
+    loose_matches = set(find_matches(query, loose, graph).matches)
+    assert tight_matches <= loose_matches
+
+
+@settings(max_examples=60, deadline=None)
+@given(instances(), st.integers(0, 8))
+def test_data_monotonicity(instance, t_new):
+    """Adding a temporal edge never removes existing matches."""
+    query, tc, graph = instance
+    before = set(find_matches(query, tc, graph).matches)
+    bigger = TemporalGraph(graph.labels, list(graph.edges()))
+    # Add one new edge between the two lowest-id vertices.
+    bigger.add_edge(0, 1, t_new + 100)  # timestamp outside existing range
+    after = set(find_matches(query, tc, bigger).matches)
+    assert before <= after
+
+
+@settings(max_examples=40, deadline=None)
+@given(instances())
+def test_vertex_relabeling_equivariance(instance):
+    """Reversing data-vertex ids permutes matches correspondingly."""
+    query, tc, graph = instance
+    n = graph.num_vertices
+    perm = {v: n - 1 - v for v in range(n)}
+    relabeled = TemporalGraph(
+        [graph.label(perm_inv) for perm_inv in reversed(range(n))]
+    )
+    for edge in graph.edges():
+        relabeled.add_edge(perm[edge.u], perm[edge.v], edge.t)
+    original = set(find_matches(query, tc, graph).matches)
+    mapped = {
+        (
+            tuple(
+                type(e)(perm[e.u], perm[e.v], e.t) for e in match.edge_map
+            ),
+            tuple(perm[v] for v in match.vertex_map),
+        )
+        for match in original
+    }
+    got = {
+        (match.edge_map, match.vertex_map)
+        for match in find_matches(query, tc, relabeled).matches
+    }
+    assert got == mapped
+
+
+@settings(max_examples=30, deadline=None)
+@given(instances(max_query=2, max_data=4))
+def test_estimator_zero_iff_no_matches(instance):
+    query, tc, graph = instance
+    exact = count_matches(query, tc, graph)
+    estimate = estimate_match_count(query, tc, graph, probes=64, seed=0)
+    if exact == 0:
+        assert estimate == 0.0
+    else:
+        assert estimate >= 0.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(instances())
+def test_continuous_matcher_agrees_with_oracle(instance):
+    query, tc, graph = instance
+    oracle = set(brute_force_matches(query, tc, graph))
+    got = set(find_matches(query, tc, graph, algorithm="tcsm-stream").matches)
+    assert got == oracle

@@ -1,0 +1,47 @@
+"""Tests for the TCQ/TCQ+ text renderers."""
+
+import pytest
+
+from repro.core import build_tcq, build_tcq_plus
+from repro.core.render import render_tcq, render_tcq_plus
+from repro.datasets import toy_constraints, toy_query
+
+
+@pytest.fixture(scope="module")
+def toy():
+    query, _ = toy_query()
+    return query, toy_constraints()
+
+
+class TestRenderTCQ:
+    def test_sections_present(self, toy):
+        query, tc = toy
+        text = render_tcq(build_tcq(query, tc), query)
+        for section in ("TO =", "PD =", "FV =", "TC =", "tsup ="):
+            assert section in text
+
+    def test_paper_notation(self, toy):
+        query, tc = toy
+        text = render_tcq(build_tcq(query, tc), query)
+        # 1-based names as in the paper.
+        assert "u2" in text
+        assert "u0" not in text
+        # Seed vertex leads TO.
+        assert "1:u2" in text
+
+
+class TestRenderTCQPlus:
+    def test_sections_present(self, toy):
+        query, tc = toy
+        text = render_tcq_plus(build_tcq_plus(query, tc), query)
+        for section in ("TO =", "PD =", "FE =", "TC =", "new vertices ="):
+            assert section in text
+
+    def test_matches_figure_6(self, toy):
+        query, tc = toy
+        text = render_tcq_plus(build_tcq_plus(query, tc), query)
+        # The paper's order e2, e1, e3, e6, e7, e4, e5.
+        assert "1:e2, 2:e1, 3:e3, 4:e6, 5:e7, 6:e4, 7:e5" in text
+        # FE of Figure 6: e4:{e2}, e5:{e7}.
+        assert "e4:{e2}" in text
+        assert "e5:{e7}" in text

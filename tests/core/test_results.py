@@ -1,0 +1,112 @@
+"""Tests for MatchSet post-processing and export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.core import find_matches
+from repro.core.results import MatchSet
+from repro.datasets import toy_instance
+
+
+@pytest.fixture(scope="module")
+def toy_matches():
+    query, tc, graph, qn, vn = toy_instance()
+    result = find_matches(query, tc, graph, algorithm="tcsm-eve")
+    return query, result.matches, vn
+
+
+class TestContainer:
+    def test_len_iter_contains(self, toy_matches):
+        _, matches, _ = toy_matches
+        ms = MatchSet(matches)
+        assert len(ms) == 2
+        assert list(ms) == list(matches)
+        assert matches[0] in ms
+
+    def test_deduplication(self, toy_matches):
+        _, matches, _ = toy_matches
+        ms = MatchSet(list(matches) + list(matches))
+        assert len(ms) == 2
+
+    def test_union(self, toy_matches):
+        _, matches, _ = toy_matches
+        a = MatchSet(matches[:1])
+        b = MatchSet(matches[1:])
+        assert len(a | b) == 2
+        assert len(a | a) == 1
+
+    def test_empty(self):
+        ms = MatchSet()
+        assert len(ms) == 0
+        assert ms.time_range() is None
+        assert "0 matches" in ms.summary()
+
+
+class TestAnalystViews:
+    def test_embedding_grouping(self, toy_matches):
+        _, matches, _ = toy_matches
+        ms = MatchSet(matches)
+        groups = ms.embeddings()
+        # The toy instance: one embedding, two timestamp variants.
+        assert len(groups) == 1
+        (variants,) = groups.values()
+        assert len(variants) == 2
+        counts = ms.embedding_counts()
+        assert list(counts.values()) == [2]
+
+    def test_vertices_involved(self, toy_matches):
+        _, matches, vn = toy_matches
+        ms = MatchSet(matches)
+        expected = {vn[v] for v in ("v1", "v2", "v3", "v7", "v11")}
+        assert ms.vertices_involved() == frozenset(expected)
+
+    def test_time_range(self, toy_matches):
+        _, matches, _ = toy_matches
+        ms = MatchSet(matches)
+        assert ms.time_range() == (1, 7)
+
+    def test_summary(self, toy_matches):
+        _, matches, _ = toy_matches
+        text = MatchSet(matches).summary()
+        assert "2 matches" in text
+        assert "1 embeddings" in text
+        assert "5 vertices" in text
+
+
+class TestExport:
+    def test_records_with_names(self, toy_matches):
+        query, matches, vn = toy_matches
+        inverse = {v: k for k, v in vn.items()}
+        records = MatchSet(matches).to_records(
+            query=query, vertex_names=inverse
+        )
+        assert len(records) == 2
+        assert records[0]["vertices"][0] == "v1"
+        assert records[0]["vertex_labels"] == list(query.labels)
+        assert {"source", "target", "time"} <= set(records[0]["edges"][0])
+
+    def test_save_json(self, toy_matches, tmp_path):
+        _, matches, _ = toy_matches
+        path = tmp_path / "matches.json"
+        MatchSet(matches).save_json(path)
+        with open(path) as handle:
+            data = json.load(handle)
+        assert len(data) == 2
+
+    def test_save_csv(self, toy_matches, tmp_path):
+        _, matches, _ = toy_matches
+        path = tmp_path / "matches.csv"
+        MatchSet(matches).save_csv(path)
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["vertices", "timestamps"]
+        assert len(rows) == 3
+
+    def test_save_csv_empty(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        MatchSet().save_csv(path)
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["vertices", "timestamps"]]

@@ -1,0 +1,63 @@
+"""Tests for SearchStats bookkeeping."""
+
+from repro.core import SearchStats
+
+
+class TestRecordFail:
+    def test_counts_and_layers(self):
+        stats = SearchStats()
+        stats.record_fail(3)
+        stats.record_fail(3)
+        stats.record_fail(1)
+        assert stats.failed_enumerations == 3
+        assert stats.fail_layers == {3: 2, 1: 1}
+
+    def test_first_fail_layer_tracks_minimum(self):
+        stats = SearchStats()
+        assert stats.first_fail_layer is None
+        stats.record_fail(5)
+        assert stats.first_fail_layer == 5
+        stats.record_fail(2)
+        assert stats.first_fail_layer == 2
+        stats.record_fail(9)
+        assert stats.first_fail_layer == 2
+
+
+class TestMerge:
+    def test_counters_accumulate(self):
+        a = SearchStats(candidates_generated=5, validations=3, matches=1)
+        b = SearchStats(candidates_generated=2, validations=4, matches=2)
+        b.record_fail(2)
+        a.merge(b)
+        assert a.candidates_generated == 7
+        assert a.validations == 7
+        assert a.matches == 3
+        assert a.failed_enumerations == 1
+        assert a.fail_layers == {2: 1}
+
+    def test_first_fail_layer_minimum_wins(self):
+        a = SearchStats()
+        a.record_fail(4)
+        b = SearchStats()
+        b.record_fail(2)
+        a.merge(b)
+        assert a.first_fail_layer == 2
+        c = SearchStats()
+        c.record_fail(9)
+        a.merge(c)
+        assert a.first_fail_layer == 2
+
+    def test_merge_into_empty(self):
+        a = SearchStats()
+        b = SearchStats()
+        b.record_fail(3)
+        a.merge(b)
+        assert a.first_fail_layer == 3
+
+    def test_budget_flag_sticky(self):
+        a = SearchStats(budget_exhausted=True)
+        a.merge(SearchStats())
+        assert a.budget_exhausted
+        b = SearchStats()
+        b.merge(SearchStats(budget_exhausted=True))
+        assert b.budget_exhausted

@@ -1,0 +1,85 @@
+"""Tests for the Temporal-Constraint Forest (Algorithm 3, lines 1-8)."""
+
+import pytest
+
+from repro.core import build_tcf
+from repro.datasets import toy_constraints, toy_query
+from repro.errors import QueryError
+from repro.graphs import QueryGraph, TemporalConstraints
+
+
+@pytest.fixture(scope="module")
+def toy_tcf():
+    query, _ = toy_query()
+    return query, build_tcf(query, toy_constraints())
+
+
+class TestToyForest:
+    def test_expected_edges(self, toy_tcf):
+        # From Example 4: N_e2-N_e1, N_e2-N_e3 (share u2/u1), N_e4-N_e7
+        # (share u4), N_e6-N_e7 (share u5).  tc5 links e6 and e2 but they
+        # share no vertex, so no forest edge.  0-based: e_i -> i-1.
+        _, tcf = toy_tcf
+        expected = {
+            frozenset({1, 0}),
+            frozenset({1, 2}),
+            frozenset({3, 6}),
+            frozenset({5, 6}),
+        }
+        assert tcf.edges == expected
+
+    def test_trees(self, toy_tcf):
+        _, tcf = toy_tcf
+        assert tcf.tree_of(1) == frozenset({0, 1, 2})
+        assert tcf.tree_of(6) == frozenset({3, 5, 6})
+        assert tcf.tree_of(4) == frozenset({4})  # e5 is isolated
+
+    def test_neighbors_sorted(self, toy_tcf):
+        _, tcf = toy_tcf
+        assert tcf.neighbors(1) == (0, 2)
+        assert tcf.neighbors(6) == (3, 5)
+        assert tcf.neighbors(4) == ()
+
+
+class TestCycleAvoidance:
+    def test_triangle_of_constraints_stays_acyclic(self):
+        # Three mutually adjacent edges, three pairwise constraints: the
+        # third forest edge would close a cycle and must be skipped.
+        query = QueryGraph(
+            ["A", "B", "C"], [(0, 1), (1, 2), (2, 0)]
+        )
+        tc = TemporalConstraints(
+            [(0, 1, 5), (1, 2, 5), (2, 0, 5)], num_edges=3
+        )
+        tcf = build_tcf(query, tc)
+        assert len(tcf.edges) == 2
+        assert tcf.tree_of(0) == frozenset({0, 1, 2})
+
+    def test_antiparallel_edges_single_forest_edge(self):
+        # e0=(0,1), e1=(1,0) share both endpoints; the pair must yield one
+        # forest edge, not two.
+        query = QueryGraph(["A", "B"], [(0, 1), (1, 0)])
+        tc = TemporalConstraints([(0, 1, 3)], num_edges=2)
+        tcf = build_tcf(query, tc)
+        assert tcf.edges == {frozenset({0, 1})}
+
+
+class TestEdgeCases:
+    def test_no_constraints_empty_forest(self):
+        query = QueryGraph(["A", "B", "C"], [(0, 1), (1, 2)])
+        tc = TemporalConstraints([], num_edges=2)
+        tcf = build_tcf(query, tc)
+        assert tcf.edges == frozenset()
+        assert tcf.tree_of(0) == frozenset({0})
+
+    def test_constraint_between_disjoint_edges_no_forest_edge(self):
+        query = QueryGraph(["A", "B", "C", "D"], [(0, 1), (2, 3)])
+        tc = TemporalConstraints([(0, 1, 5)], num_edges=2)
+        tcf = build_tcf(query, tc)
+        assert tcf.edges == frozenset()
+
+    def test_mismatched_sizes_rejected(self):
+        query = QueryGraph(["A", "B"], [(0, 1)])
+        tc = TemporalConstraints([], num_edges=5)
+        with pytest.raises(QueryError):
+            build_tcf(query, tc)

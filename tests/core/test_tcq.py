@@ -1,0 +1,148 @@
+"""Tests for TCQ construction (Algorithm 1)."""
+
+import pytest
+
+from repro.core import build_tcq, vertex_tsup
+from repro.datasets import random_constraints, random_query, toy_constraints, toy_query
+from repro.errors import QueryError
+from repro.graphs import QueryGraph, TemporalConstraints
+
+
+@pytest.fixture(scope="module")
+def toy():
+    query, names = toy_query()
+    return query, toy_constraints(), names
+
+
+class TestTsup:
+    def test_toy_values(self, toy):
+        query, tc, names = toy
+        tsup = vertex_tsup(query, tc)
+        # Derived by hand from the five constraints (see DESIGN.md note on
+        # the paper's off-by-one example arithmetic).
+        assert tsup[names["u1"]] == 4
+        assert tsup[names["u2"]] == 6
+        assert tsup[names["u3"]] == 3
+        assert tsup[names["u4"]] == 3
+        assert tsup[names["u5"]] == 4
+
+    def test_no_constraints_all_zero(self):
+        query = QueryGraph(["A", "B"], [(0, 1)])
+        tc = TemporalConstraints([], num_edges=1)
+        assert vertex_tsup(query, tc) == [0, 0]
+
+
+class TestToyOrder:
+    def test_seed_is_u2(self, toy):
+        query, tc, names = toy
+        tcq = build_tcq(query, tc)
+        assert tcq.order[0] == names["u2"]
+
+    def test_paper_order_with_candidate_tiebreak(self, toy):
+        # Example 2's order u2, u1, u4, u5, u3 requires the fewest-candidates
+        # tie-break to favour u4 over u3.
+        query, tc, names = toy
+        counts = [0] * query.num_vertices
+        counts[names["u3"]] = 5
+        counts[names["u4"]] = 2
+        tcq = build_tcq(query, tc, candidate_counts=counts)
+        expected = [names[n] for n in ("u2", "u1", "u4", "u5", "u3")]
+        assert list(tcq.order) == expected
+
+    def test_prec_matches_paper(self, toy):
+        query, tc, names = toy
+        counts = [0] * query.num_vertices
+        counts[names["u3"]] = 5
+        counts[names["u4"]] = 2
+        tcq = build_tcq(query, tc, candidate_counts=counts)
+        # Figure 4: u1's prec is u2; u4's prec is u2; u5's prec is u4 (the
+        # earliest ordered neighbour); u3's prec is u2.
+        by_vertex = {
+            tcq.order[pos]: tcq.prec[pos] for pos in range(len(tcq.order))
+        }
+        assert by_vertex[names["u1"]] == names["u2"]
+        assert by_vertex[names["u4"]] == names["u2"]
+        assert by_vertex[names["u5"]] == names["u4"]
+        assert by_vertex[names["u3"]] == names["u2"]
+
+    def test_forward_vertices_complete_coverage(self, toy):
+        # Every query edge must be covered by prec or FV at the later
+        # endpoint's position — this is what makes V2V structurally sound.
+        query, tc, names = toy
+        tcq = build_tcq(query, tc)
+        covered = set()
+        for pos, u in enumerate(tcq.order):
+            links = set(tcq.forward[pos])
+            if tcq.prec[pos] is not None:
+                links.add(tcq.prec[pos])
+            for w in links:
+                for pair in ((u, w), (w, u)):
+                    if query.has_edge(*pair):
+                        covered.add(pair)
+        assert covered == set(query.edges)
+
+
+class TestOrderInvariants:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_queries(self, seed):
+        labels = ("A", "B", "C")
+        query = random_query(5, 7, labels, seed=seed)
+        tc = random_constraints(query, 4, 10, seed=seed)
+        tcq = build_tcq(query, tc)
+        # Order is a permutation.
+        assert sorted(tcq.order) == list(range(query.num_vertices))
+        # position is the inverse of order.
+        for pos, u in enumerate(tcq.order):
+            assert tcq.position[u] == pos
+        # prec of each non-seed vertex is ordered earlier and adjacent.
+        for pos in range(1, len(tcq.order)):
+            u = tcq.order[pos]
+            p = tcq.prec[pos]
+            if p is not None:
+                assert tcq.position[p] < pos
+                assert p in query.neighbors(u)
+            for w in tcq.forward[pos]:
+                assert tcq.position[w] < pos
+                assert w in query.neighbors(u)
+                assert w != p
+
+    def test_connected_query_has_precs_everywhere(self):
+        query = random_query(6, 8, ("A", "B"), seed=3)
+        tc = random_constraints(query, 3, 5, seed=3)
+        tcq = build_tcq(query, tc)
+        assert tcq.prec[0] is None
+        assert all(p is not None for p in tcq.prec[1:])
+
+    def test_disconnected_query_gets_none_precs(self):
+        query = QueryGraph(["A", "B", "C", "D"], [(0, 1), (2, 3)])
+        tc = TemporalConstraints([(0, 1, 5)], num_edges=2)
+        tcq = build_tcq(query, tc)
+        none_count = sum(1 for p in tcq.prec if p is None)
+        assert none_count == 2  # one per component
+
+
+class TestCheckAt:
+    def test_every_constraint_assigned_exactly_once(self, toy):
+        query, tc, _ = toy
+        tcq = build_tcq(query, tc)
+        placed = [c for cs in tcq.check_at for c in cs]
+        assert sorted(placed) == sorted(tc.constraints)
+
+    def test_constraint_checkable_at_position(self, toy):
+        # At its check position, all four endpoint vertices are ordered
+        # at or before that position.
+        query, tc, _ = toy
+        tcq = build_tcq(query, tc)
+        for pos, constraints in enumerate(tcq.check_at):
+            for c in constraints:
+                for edge_index in (c.earlier, c.later):
+                    for u in query.edge(edge_index):
+                        assert tcq.position[u] <= pos
+
+
+class TestValidation:
+    def test_mismatched_constraints_rejected(self):
+        query = QueryGraph(["A", "B"], [(0, 1)])
+        tc = TemporalConstraints([(0, 1, 3)], num_edges=2)
+        with pytest.raises(QueryError, match="constraints built for"):
+            build_tcq(query, tc)

@@ -1,0 +1,191 @@
+"""Tests for TCQ+ construction (Algorithm 3, Figures 6-7)."""
+
+import pytest
+
+from repro.core import build_tcq_plus, edge_tsup
+from repro.datasets import (
+    random_constraints,
+    random_query,
+    toy_constraints,
+    toy_query,
+)
+from repro.errors import QueryError
+from repro.graphs import QueryGraph, TemporalConstraints
+
+
+@pytest.fixture(scope="module")
+def toy():
+    query, names = toy_query()
+    return query, toy_constraints(), names
+
+
+class TestToyFigure6:
+    """The toy instance must reproduce Figure 6 exactly (0-based)."""
+
+    @pytest.fixture(scope="class")
+    def tcq(self, toy):
+        query, tc, _ = toy
+        return build_tcq_plus(query, tc)
+
+    def test_edge_tsup(self, toy):
+        query, tc, _ = toy
+        # e1..e7 degrees in the constraint graph: 1, 3, 1, 1, 0, 2, 2.
+        assert edge_tsup(query, tc) == [1, 3, 1, 1, 0, 2, 2]
+
+    def test_order_matches_paper(self, tcq):
+        # Paper: TO = e2, e1, e3, e6, e7, e4, e5.
+        assert list(tcq.order) == [1, 0, 2, 5, 6, 3, 4]
+
+    def test_prec_matches_paper(self, tcq):
+        # Paper: PD = {e1:e2, e3:e2, e6:e3, e7:e6, e4:e7, e5:e3}.
+        by_edge = {
+            tcq.order[pos]: tcq.prec[pos] for pos in range(len(tcq.order))
+        }
+        assert by_edge[1] is None  # seed
+        assert by_edge[0] == 1
+        assert by_edge[2] == 1
+        assert by_edge[5] == 2
+        assert by_edge[6] == 5
+        assert by_edge[3] == 6
+        assert by_edge[4] == 2
+
+    def test_forward_edges_match_paper(self, tcq):
+        # Paper: FE = {e4: {e2}, e5: {e7}}, all others empty.
+        by_edge = {
+            tcq.order[pos]: tcq.forward[pos] for pos in range(len(tcq.order))
+        }
+        assert by_edge[3] == (1,)
+        assert by_edge[4] == (6,)
+        for e in (1, 0, 2, 5, 6):
+            assert by_edge[e] == ()
+
+    def test_check_at_matches_paper(self, tcq, toy):
+        # Paper: TC = {tc1:e1, tc2:e3, tc3:e4, tc4:e7, tc5:e6}.
+        _, tc, _ = toy
+        check_edge_by_constraint = {}
+        for pos, constraints in enumerate(tcq.check_at):
+            for c in constraints:
+                check_edge_by_constraint[c] = tcq.order[pos]
+        expected = {
+            tc[0]: 0,  # tc1 -> e1
+            tc[1]: 2,  # tc2 -> e3
+            tc[2]: 3,  # tc3 -> e4
+            tc[3]: 6,  # tc4 -> e7
+            tc[4]: 5,  # tc5 -> e6
+        }
+        assert check_edge_by_constraint == expected
+
+    def test_new_vertices(self, tcq, toy):
+        query, _, names = toy
+        by_edge = {
+            tcq.order[pos]: tcq.new_vertices[pos]
+            for pos in range(len(tcq.order))
+        }
+        # e2 introduces u2 and u1; e1 introduces nothing; e3 introduces u3;
+        # e6 introduces u5; e7 introduces u4; e4, e5 introduce nothing
+        # (Example 6).
+        assert set(by_edge[1]) == {names["u1"], names["u2"]}
+        assert by_edge[0] == ()
+        assert by_edge[2] == (names["u3"],)
+        assert by_edge[5] == (names["u5"],)
+        assert by_edge[6] == (names["u4"],)
+        assert by_edge[3] == ()
+        assert by_edge[4] == ()
+
+
+class TestOrderInvariants:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_queries(self, seed):
+        labels = ("A", "B", "C")
+        query = random_query(5, 7, labels, seed=seed)
+        tc = random_constraints(query, 4, 10, seed=seed)
+        tcq = build_tcq_plus(query, tc)
+        m = query.num_edges
+        assert sorted(tcq.order) == list(range(m))
+        for pos, e in enumerate(tcq.order):
+            assert tcq.position[e] == pos
+        # prec ordered earlier and sharing a vertex; FE ordered earlier.
+        for pos in range(1, m):
+            e = tcq.order[pos]
+            p = tcq.prec[pos]
+            if p is not None:
+                assert tcq.position[p] < pos
+                assert query.edges_share_vertex(e, p)
+            for f in tcq.forward[pos]:
+                assert tcq.position[f] < pos
+                assert query.edges_share_vertex(e, f)
+        # Every constraint placed exactly once, at a checkable position.
+        placed = [c for cs in tcq.check_at for c in cs]
+        assert sorted(placed) == sorted(tc.constraints)
+        for pos, constraints in enumerate(tcq.check_at):
+            for c in constraints:
+                assert tcq.position[c.earlier] <= pos
+                assert tcq.position[c.later] <= pos
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_endpoint_coverage_invariant(self, seed):
+        """Each edge's endpoints are pinned by prec+FE or newly introduced."""
+        labels = ("A", "B", "C")
+        query = random_query(5, 7, labels, seed=seed + 100)
+        tc = random_constraints(query, 3, 10, seed=seed)
+        tcq = build_tcq_plus(query, tc)
+        covered: set[int] = set()
+        for pos, e in enumerate(tcq.order):
+            endpoints = set(query.edge(e))
+            new = set(tcq.new_vertices[pos])
+            assert new == endpoints - covered
+            pinned = set()
+            if tcq.prec[pos] is not None:
+                pinned |= set(
+                    query.edges_share_vertex(e, tcq.prec[pos])
+                )
+            for f in tcq.forward[pos]:
+                pinned |= set(query.edges_share_vertex(e, f)) & endpoints
+            # covered endpoints must be pinned by prec or FE.
+            assert (endpoints & covered) <= pinned
+            covered |= endpoints
+
+    def test_tree_contiguity_on_toy(self):
+        """Edges of one TCF tree are ordered contiguously (tree walk)."""
+        query, _ = toy_query()
+        tc = toy_constraints()
+        tcq = build_tcq_plus(query, tc)
+        seen_trees: list[frozenset] = []
+        for e in tcq.order:
+            tree = tcq.tcf.tree_of(e)
+            if len(tree) == 1:
+                continue
+            if seen_trees and seen_trees[-1] == tree:
+                continue
+            assert tree not in seen_trees, "tree interrupted and resumed"
+            seen_trees.append(tree)
+
+
+class TestEdgeCases:
+    def test_single_edge_query(self):
+        query = QueryGraph(["A", "B"], [(0, 1)])
+        tc = TemporalConstraints([], num_edges=1)
+        tcq = build_tcq_plus(query, tc)
+        assert tcq.order == (0,)
+        assert tcq.prec == (None,)
+        assert tcq.new_vertices == ((0, 1),)
+
+    def test_no_edges_rejected(self):
+        query = QueryGraph(["A"], [])
+        tc = TemporalConstraints([], num_edges=0)
+        with pytest.raises(QueryError, match="no edges"):
+            build_tcq_plus(query, tc)
+
+    def test_mismatched_constraints_rejected(self):
+        query = QueryGraph(["A", "B"], [(0, 1)])
+        tc = TemporalConstraints([], num_edges=3)
+        with pytest.raises(QueryError, match="constraints built for"):
+            build_tcq_plus(query, tc)
+
+    def test_disconnected_edge_components(self):
+        query = QueryGraph(["A", "B", "C", "D"], [(0, 1), (2, 3)])
+        tc = TemporalConstraints([], num_edges=2)
+        tcq = build_tcq_plus(query, tc)
+        assert sorted(tcq.order) == [0, 1]
+        # Second component's seed has no prec.
+        assert tcq.prec.count(None) == 2

@@ -1,0 +1,114 @@
+"""Tests for the joint timestamp-assignment solver."""
+
+import itertools
+
+import pytest
+
+from repro.core import (
+    count_timestamp_assignments,
+    iter_timestamp_assignments,
+    windows_compatible,
+)
+from repro.graphs import TemporalConstraints
+
+
+def naive_assignments(options, constraints):
+    """Reference: full cartesian product with constraint re-checks."""
+    result = []
+    for times in itertools.product(*options):
+        if all(
+            c.is_satisfied(times[c.earlier], times[c.later])
+            for c in constraints
+        ):
+            result.append(tuple(times))
+    return sorted(result)
+
+
+class TestWindowsCompatible:
+    def test_exact_pair_exists(self):
+        assert windows_compatible([1, 5], [4, 9], gap=3)
+
+    def test_ordering_matters(self):
+        # Later must be >= earlier.
+        assert not windows_compatible([10], [5], gap=100)
+
+    def test_gap_boundary(self):
+        assert windows_compatible([0], [7], gap=7)
+        assert not windows_compatible([0], [8], gap=7)
+
+    def test_empty_inputs(self):
+        assert not windows_compatible([], [1, 2], gap=5)
+        assert not windows_compatible([1, 2], [], gap=5)
+
+    def test_zero_gap_requires_equality(self):
+        assert windows_compatible([3, 7], [7], gap=0)
+        assert not windows_compatible([3, 8], [7], gap=0)
+
+
+class TestIterAssignments:
+    def test_matches_naive_enumeration(self):
+        options = [(1, 4, 9), (2, 5), (3, 6, 8)]
+        tc = TemporalConstraints([(0, 1, 4), (1, 2, 3)], num_edges=3)
+        got = sorted(iter_timestamp_assignments(options, tc))
+        assert got == naive_assignments(options, tc)
+
+    def test_windows_off_matches_windows_on(self):
+        options = [(1, 4, 9), (2, 5), (3, 6, 8), (0, 10)]
+        tc = TemporalConstraints(
+            [(0, 1, 4), (1, 2, 3), (0, 3, 9)], num_edges=4
+        )
+        on = sorted(iter_timestamp_assignments(options, tc, use_windows=True))
+        off = sorted(iter_timestamp_assignments(options, tc, use_windows=False))
+        assert on == off == naive_assignments(options, tc)
+
+    def test_unconstrained_edges_multiply(self):
+        options = [(1, 2), (5, 6, 7)]
+        tc = TemporalConstraints([], num_edges=2)
+        assert count_timestamp_assignments(options, tc) == 6
+
+    def test_empty_option_list_yields_nothing(self):
+        options = [(1, 2), ()]
+        tc = TemporalConstraints([], num_edges=2)
+        assert count_timestamp_assignments(options, tc) == 0
+
+    def test_arity_mismatch_raises(self):
+        tc = TemporalConstraints([], num_edges=3)
+        with pytest.raises(ValueError, match="option lists"):
+            list(iter_timestamp_assignments([(1,)], tc))
+
+    def test_infeasible_combination(self):
+        # t1 - t0 in [0, 1] but closest timestamps differ by 5.
+        options = [(0,), (5,)]
+        tc = TemporalConstraints([(0, 1, 1)], num_edges=2)
+        assert count_timestamp_assignments(options, tc) == 0
+
+    def test_transitive_pruning_correct(self):
+        # Chain 0 -> 1 -> 2 with small gaps; implied window on (0, 2).
+        options = [tuple(range(0, 30, 3))] * 3
+        tc = TemporalConstraints([(0, 1, 3), (1, 2, 3)], num_edges=3)
+        got = sorted(iter_timestamp_assignments(options, tc))
+        assert got == naive_assignments(options, tc)
+
+    def test_randomized_against_naive(self):
+        import random
+
+        rng = random.Random(42)
+        for _ in range(25):
+            m = rng.randint(2, 4)
+            options = [
+                tuple(sorted(rng.sample(range(20), rng.randint(1, 4))))
+                for _ in range(m)
+            ]
+            pairs = [
+                (i, j) for i in range(m) for j in range(m) if i != j
+            ]
+            rng.shuffle(pairs)
+            seen = set()
+            triples = []
+            for i, j in pairs[: rng.randint(0, m)]:
+                if (i, j) not in seen:
+                    seen.add((i, j))
+                    triples.append((i, j, rng.randint(0, 8)))
+            tc = TemporalConstraints(triples, num_edges=m)
+            got = sorted(iter_timestamp_assignments(options, tc))
+            assert got == naive_assignments(options, tc)

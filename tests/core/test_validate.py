@@ -1,0 +1,103 @@
+"""Tests for pattern linting."""
+
+import pytest
+
+from repro.core.validate import Diagnostic, lint_pattern
+from repro.datasets import toy_instance
+from repro.graphs import QueryGraph, TemporalConstraints, TemporalGraph
+
+
+def codes(diagnostics):
+    return {d.code for d in diagnostics}
+
+
+class TestCleanPattern:
+    def test_toy_instance_is_mostly_clean(self):
+        query, tc, graph, _, _ = toy_instance()
+        report = lint_pattern(query, tc, graph)
+        assert "infeasible" not in codes(report)
+        assert "disconnected-query" not in codes(report)
+        assert "label-missing" not in codes(report)
+        # e5 (index 4) is in no constraint: expect the info note.
+        assert "unconstrained-edges" in codes(report)
+
+
+class TestStructuralFindings:
+    def test_arity_mismatch_short_circuits(self):
+        query = QueryGraph(["A", "B"], [(0, 1)])
+        tc = TemporalConstraints([], num_edges=5)
+        report = lint_pattern(query, tc)
+        assert codes(report) == {"arity-mismatch"}
+        assert report[0].severity == "error"
+
+    def test_disconnected_query_flagged(self):
+        query = QueryGraph(["A", "B", "C", "D"], [(0, 1), (2, 3)])
+        tc = TemporalConstraints([], num_edges=2)
+        assert "disconnected-query" in codes(lint_pattern(query, tc))
+
+    def test_fully_constrained_query_no_info(self):
+        query = QueryGraph(["A", "B", "C"], [(0, 1), (1, 2)])
+        tc = TemporalConstraints([(0, 1, 5)], num_edges=2)
+        assert "unconstrained-edges" not in codes(lint_pattern(query, tc))
+
+    def test_no_constraints_no_unconstrained_note(self):
+        # With zero constraints the note would be noise.
+        query = QueryGraph(["A", "B"], [(0, 1)])
+        tc = TemporalConstraints([], num_edges=1)
+        assert "unconstrained-edges" not in codes(lint_pattern(query, tc))
+
+    def test_forced_equality_detected(self):
+        query = QueryGraph(["A", "B"], [(0, 1), (1, 0)])
+        tc = TemporalConstraints([(0, 1, 0)], num_edges=2)
+        report = lint_pattern(query, tc)
+        assert "forced-equality" in codes(report)
+
+    def test_equality_via_cycle_detected(self):
+        query = QueryGraph(["A", "B", "C"], [(0, 1), (1, 2), (2, 0)])
+        tc = TemporalConstraints(
+            [(0, 1, 4), (1, 0, 4)], num_edges=3
+        )
+        assert "forced-equality" in codes(lint_pattern(query, tc))
+
+
+class TestGraphAwareFindings:
+    def test_missing_vertex_label(self):
+        query = QueryGraph(["Z", "B"], [(0, 1)])
+        tc = TemporalConstraints([], num_edges=1)
+        graph = TemporalGraph(["A", "B"], [(0, 1, 1)])
+        report = lint_pattern(query, tc, graph)
+        assert "label-missing" in codes(report)
+
+    def test_missing_edge_label(self):
+        query = QueryGraph(["A", "B"], [(0, 1)], edge_labels=["sepa"])
+        tc = TemporalConstraints([], num_edges=1)
+        graph = TemporalGraph(["A", "B"])
+        graph.add_edge(0, 1, 1, label="wire")
+        assert "edge-label-missing" in codes(lint_pattern(query, tc, graph))
+
+    def test_present_edge_label_clean(self):
+        query = QueryGraph(["A", "B"], [(0, 1)], edge_labels=["wire"])
+        tc = TemporalConstraints([], num_edges=1)
+        graph = TemporalGraph(["A", "B"])
+        graph.add_edge(0, 1, 1, label="wire")
+        assert "edge-label-missing" not in codes(lint_pattern(query, tc, graph))
+
+    def test_gap_exceeding_span(self):
+        query = QueryGraph(["A", "B", "C"], [(0, 1), (1, 2)])
+        tc = TemporalConstraints([(0, 1, 10_000)], num_edges=2)
+        graph = TemporalGraph(
+            ["A", "B", "C"], [(0, 1, 1), (1, 2, 5)]
+        )  # span = 4
+        assert "gap-vs-span" in codes(lint_pattern(query, tc, graph))
+
+    def test_reasonable_gap_no_note(self):
+        query = QueryGraph(["A", "B", "C"], [(0, 1), (1, 2)])
+        tc = TemporalConstraints([(0, 1, 2)], num_edges=2)
+        graph = TemporalGraph(["A", "B", "C"], [(0, 1, 1), (1, 2, 5)])
+        assert "gap-vs-span" not in codes(lint_pattern(query, tc, graph))
+
+
+class TestDiagnosticType:
+    def test_str_rendering(self):
+        d = Diagnostic("warning", "some-code", "details")
+        assert str(d) == "[warning] some-code: details"

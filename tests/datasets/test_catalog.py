@@ -1,0 +1,110 @@
+"""Tests for the dataset catalog and stand-in loading."""
+
+import pytest
+
+from repro.datasets import DATASETS, dataset_keys, load_dataset
+from repro.errors import DatasetError
+from repro.graphs import save_snap_temporal
+
+
+class TestCatalog:
+    def test_six_datasets_in_paper_order(self):
+        assert dataset_keys() == ("CM", "EE", "MO", "UB", "SU", "WT")
+
+    def test_seventh_dataset_available_on_request(self):
+        keys = dataset_keys(include_extra=True)
+        assert keys[-1] == "SO"
+        assert len(keys) == 7
+
+    def test_so_standin_loads(self):
+        g = load_dataset("SO", seed=0, plant_patterns=False)
+        assert g.num_temporal_edges > 0
+
+    def test_table_ii_statistics(self):
+        wt = DATASETS["WT"]
+        assert wt.vertices == 1_140_149
+        assert wt.temporal_edges == 7_833_140
+        assert wt.static_edges == 3_309_592
+        assert wt.time_span_days == 2_320
+
+    def test_scaled_sizes_monotone(self):
+        spec = DATASETS["UB"]
+        small = spec.scaled_sizes(0.01)
+        large = spec.scaled_sizes(0.1)
+        assert all(s <= l for s, l in zip(small, large))
+
+    def test_invalid_scale(self):
+        with pytest.raises(DatasetError, match="scale"):
+            DATASETS["CM"].scaled_sizes(0)
+        with pytest.raises(DatasetError, match="scale"):
+            DATASETS["CM"].scaled_sizes(1.5)
+
+
+class TestLoadDataset:
+    def test_unknown_key(self):
+        with pytest.raises(DatasetError, match="unknown dataset"):
+            load_dataset("NOPE")
+
+    def test_key_case_insensitive(self):
+        g = load_dataset("cm", scale=0.05, seed=0)
+        assert g.num_temporal_edges > 0
+
+    def test_default_scale_sizes(self):
+        g = load_dataset("CM", seed=0)
+        spec = DATASETS["CM"]
+        expected_v, expected_e, _ = spec.scaled_sizes(spec.default_scale)
+        assert g.num_vertices == expected_v
+        # Planting adds a bounded number of extra edges.
+        assert expected_e <= g.num_temporal_edges <= expected_e + 300
+
+    def test_average_degree_tracks_scaled_spec(self):
+        # MO has no vertex boost, so its stand-in keeps the Table II
+        # average temporal degree.
+        g = load_dataset("MO", seed=0, plant_patterns=False)
+        avg = g.num_temporal_edges / g.num_vertices
+        assert avg == pytest.approx(DATASETS["MO"].avg_degree, rel=0.15)
+
+    def test_vertex_boost_reduces_density(self):
+        # CM and EE deliberately keep more vertices than a uniform scale
+        # would (see DatasetSpec.vertex_scale_boost).
+        spec = DATASETS["CM"]
+        v, e, _ = spec.scaled_sizes(spec.default_scale)
+        assert v > spec.vertices * spec.default_scale
+
+    def test_time_span_tracks_table(self):
+        g = load_dataset("MO", seed=0, plant_patterns=False)
+        expected = DATASETS["MO"].time_span_days * 86_400
+        assert g.time_span == pytest.approx(expected, rel=0.05)
+
+    def test_deterministic(self):
+        a = load_dataset("CM", scale=0.05, seed=3)
+        b = load_dataset("CM", scale=0.05, seed=3)
+        assert list(a.edges_by_time()) == list(b.edges_by_time())
+
+    def test_num_labels(self):
+        g = load_dataset("CM", scale=0.05, num_labels=3, seed=0,
+                         plant_patterns=False)
+        assert len(set(g.labels)) <= 3
+
+    def test_planted_patterns_have_matches(self):
+        from repro.core import count_matches
+        from repro.datasets import paper_constraints, paper_query
+
+        g = load_dataset("UB", seed=1)
+        query = paper_query(1)
+        tc = paper_constraints(1, num_edges=query.num_edges)
+        assert count_matches(query, tc, g, algorithm="tcsm-eve") > 0
+
+    def test_snap_path_roundtrip(self, tmp_path):
+        original = load_dataset("CM", scale=0.03, seed=5)
+        path = tmp_path / "cm.txt"
+        save_snap_temporal(original, path)
+        reloaded = load_dataset("CM", snap_path=path)
+        assert reloaded.num_temporal_edges == original.num_temporal_edges
+
+    def test_snap_path_with_scale_caps_edges(self, tmp_path):
+        original = load_dataset("CM", scale=0.03, seed=5)
+        path = tmp_path / "cm.txt"
+        save_snap_temporal(original, path, save_label_sidecar=False)
+        capped = load_dataset("CM", snap_path=path, scale=0.0001)
+        assert capped.num_temporal_edges < original.num_temporal_edges

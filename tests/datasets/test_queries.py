@@ -1,0 +1,128 @@
+"""Tests for the Figure-12 workloads and query extraction."""
+
+import pytest
+
+from repro.core import count_matches
+from repro.datasets import (
+    DEFAULT_GAP,
+    extract_instance,
+    extract_query,
+    load_dataset,
+    paper_constraints,
+    paper_query,
+    paper_workloads,
+)
+from repro.errors import DatasetError
+from repro.graphs import TemporalGraph
+
+
+class TestPaperQueries:
+    @pytest.mark.parametrize("index", (1, 2, 3))
+    def test_six_vertices(self, index):
+        assert paper_query(index).num_vertices == 6
+
+    @pytest.mark.parametrize("index", (1, 2, 3))
+    def test_connected(self, index):
+        assert paper_query(index).is_weakly_connected()
+
+    def test_q3_densest(self):
+        densities = [paper_query(i).density() for i in (1, 2, 3)]
+        assert densities[2] >= densities[0] >= densities[1]
+
+    def test_unknown_index(self):
+        with pytest.raises(DatasetError, match="q1..q3"):
+            paper_query(4)
+
+
+class TestPaperConstraints:
+    def test_tc1_linear_chain(self):
+        tc = paper_constraints(1)
+        # A chain: every edge's constraint-degree is at most 2.
+        assert all(tc.degree(e) <= 2 for e in range(tc.num_edges))
+        assert len(tc) == 3
+
+    def test_tc2_tree_shape(self):
+        tc = paper_constraints(2)
+        # Tree: |constraints| = |involved edges| - 1.
+        assert len(tc) == len(tc.edges_involved()) - 1
+
+    def test_tc3_graph_shape(self):
+        tc = paper_constraints(3)
+        # Graph-shaped: more constraints than a tree would allow.
+        assert len(tc) > len(tc.edges_involved()) - 1
+
+    def test_edge_indices_fit_all_queries(self):
+        min_edges = min(paper_query(i).num_edges for i in (1, 2, 3))
+        for t in (1, 2, 3):
+            tc = paper_constraints(t, num_edges=min_edges)
+            for c in tc:
+                assert c.earlier < min_edges
+                assert c.later < min_edges
+
+    def test_gap_parameter(self):
+        tc = paper_constraints(1, gap=42)
+        assert all(c.gap == 42 for c in tc)
+
+    def test_unknown_index(self):
+        with pytest.raises(DatasetError, match="tc1..tc3"):
+            paper_constraints(9)
+
+    def test_workload_grid_is_3x3(self):
+        combos = list(paper_workloads())
+        assert len(combos) == 9
+        names = {(qn, tn) for qn, tn, _, _ in combos}
+        assert ("q1", "tc2") in names
+        for _, _, query, tc in combos:
+            assert tc.num_edges == query.num_edges
+
+
+class TestExtractQuery:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return load_dataset("CM", scale=0.08, seed=3)
+
+    def test_shape_and_witness(self, graph):
+        query, vertices, edges = extract_query(graph, 4, 5, seed=1)
+        assert query.num_vertices == 4
+        assert query.num_edges == 5
+        assert query.is_weakly_connected()
+        # The witness embedding exists in the data graph.
+        for (qa, qb), (da, db) in zip(query.edges, edges):
+            assert graph.has_pair(da, db)
+            assert graph.label(da) == query.label(qa)
+            assert graph.label(db) == query.label(qb)
+
+    def test_deterministic(self, graph):
+        a = extract_query(graph, 4, 4, seed=7)
+        b = extract_query(graph, 4, 4, seed=7)
+        assert a[0].edges == b[0].edges
+
+    def test_impossible_shape_rejected(self, graph):
+        with pytest.raises(DatasetError, match="connected query"):
+            extract_query(graph, 4, 2, seed=0)
+
+    def test_too_large_for_graph(self):
+        tiny = TemporalGraph(["A", "B"], [(0, 1, 1)])
+        with pytest.raises(DatasetError, match="could not extract"):
+            extract_query(tiny, 4, 4, seed=0)
+
+    def test_single_vertex_rejected(self, graph):
+        with pytest.raises(DatasetError, match="two vertices"):
+            extract_query(graph, 1, 0)
+
+
+class TestExtractInstance:
+    def test_guaranteed_match(self):
+        graph = load_dataset("CM", scale=0.08, seed=4)
+        for seed in range(5):
+            query, tc = extract_instance(graph, 4, 4, 3, seed=seed)
+            assert count_matches(query, tc, graph, algorithm="tcsm-eve") >= 1
+
+    def test_constraint_count(self):
+        graph = load_dataset("CM", scale=0.08, seed=4)
+        query, tc = extract_instance(graph, 4, 5, 3, seed=1)
+        assert len(tc) <= 3
+        assert tc.num_edges == query.num_edges
+
+    def test_default_gap_exported(self):
+        assert DEFAULT_GAP == 7 * 86_400

@@ -1,0 +1,170 @@
+"""Tests for the synthetic generators."""
+
+import pytest
+
+from repro.datasets import (
+    random_constraints,
+    random_instance,
+    random_query,
+    random_temporal_graph,
+    synthetic_dataset,
+)
+from repro.datasets.synthetic import plant_motifs
+from repro.datasets.queries import paper_query
+from repro.errors import DatasetError
+from repro.graphs import TemporalGraph
+
+LABELS = ("A", "B", "C")
+
+
+class TestRandomQuery:
+    def test_shape(self):
+        q = random_query(5, 7, LABELS, seed=1)
+        assert q.num_vertices == 5
+        assert q.num_edges == 7
+
+    def test_connected_by_default(self):
+        for seed in range(10):
+            q = random_query(6, 5, LABELS, seed=seed)
+            assert q.is_weakly_connected()
+
+    def test_deterministic(self):
+        a = random_query(5, 6, LABELS, seed=9)
+        b = random_query(5, 6, LABELS, seed=9)
+        assert a.edges == b.edges
+        assert a.labels == b.labels
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(DatasetError, match="impossible"):
+            random_query(3, 7, LABELS)
+
+    def test_too_few_edges_for_connectivity(self):
+        with pytest.raises(DatasetError, match="cannot connect"):
+            random_query(5, 2, LABELS)
+
+    def test_disconnected_allowed_when_requested(self):
+        q = random_query(5, 2, LABELS, seed=0, connected=False)
+        assert q.num_edges == 2
+
+    def test_zero_vertices_rejected(self):
+        with pytest.raises(DatasetError):
+            random_query(0, 0, LABELS)
+
+
+class TestRandomConstraints:
+    def test_count_and_validity(self):
+        q = random_query(5, 7, LABELS, seed=2)
+        tc = random_constraints(q, 4, 10, seed=2)
+        assert len(tc) == 4
+        assert tc.num_edges == q.num_edges
+
+    def test_prefers_adjacent_pairs(self):
+        q = random_query(5, 7, LABELS, seed=3)
+        tc = random_constraints(q, 4, 10, seed=3)
+        for c in tc:
+            assert q.edges_share_vertex(c.earlier, c.later)
+
+    def test_caps_at_possible_pairs(self):
+        q = random_query(3, 2, LABELS, seed=0)
+        tc = random_constraints(q, 50, 5, seed=0)
+        assert len(tc) <= 1  # only one unordered pair exists
+
+    def test_single_edge_query_rejected_with_constraints(self):
+        q = random_query(2, 1, LABELS, seed=0)
+        with pytest.raises(DatasetError):
+            random_constraints(q, 2, 5)
+
+    def test_deterministic(self):
+        q = random_query(5, 7, LABELS, seed=4)
+        assert random_constraints(q, 3, 9, seed=5) == random_constraints(
+            q, 3, 9, seed=5
+        )
+
+
+class TestRandomTemporalGraph:
+    def test_exact_edge_count(self):
+        g = random_temporal_graph(10, 40, LABELS, seed=1)
+        assert g.num_temporal_edges == 40
+        assert g.num_vertices == 10
+
+    def test_deterministic(self):
+        a = random_temporal_graph(8, 20, LABELS, seed=7)
+        b = random_temporal_graph(8, 20, LABELS, seed=7)
+        assert list(a.edges_by_time()) == list(b.edges_by_time())
+
+    def test_needs_two_vertices(self):
+        with pytest.raises(DatasetError):
+            random_temporal_graph(1, 5, LABELS)
+
+
+class TestRandomInstance:
+    def test_bundle(self):
+        query, tc, graph = random_instance(seed=0)
+        assert tc.num_edges == query.num_edges
+        assert graph.num_temporal_edges > 0
+
+
+class TestSyntheticDataset:
+    def test_target_sizes(self):
+        g = synthetic_dataset(200, 3000, num_labels=5, seed=1)
+        assert g.num_vertices == 200
+        assert g.num_temporal_edges == 3000
+
+    def test_label_alphabet_respected(self):
+        g = synthetic_dataset(100, 500, num_labels=4, seed=2)
+        assert len(set(g.labels)) <= 4
+
+    def test_heavy_tail_degrees(self):
+        # Preferential attachment: max degree far above the average.
+        g = synthetic_dataset(500, 5000, seed=3)
+        data = g.de_temporal()
+        degrees = sorted(data.degree(v) for v in g.vertices())
+        average = sum(degrees) / len(degrees)
+        assert degrees[-1] > 4 * average
+
+    def test_multiplicity_skew_controls_reuse(self):
+        dense = synthetic_dataset(
+            100, 2000, multiplicity_skew=0.9, seed=4
+        )
+        sparse = synthetic_dataset(
+            100, 2000, multiplicity_skew=0.0, seed=4
+        )
+        assert dense.num_static_edges < sparse.num_static_edges
+
+    def test_time_span_respected(self):
+        g = synthetic_dataset(100, 1000, time_span=500, seed=5)
+        assert g.max_time <= 500
+        assert g.min_time >= 0
+
+    def test_deterministic(self):
+        a = synthetic_dataset(100, 800, seed=11)
+        b = synthetic_dataset(100, 800, seed=11)
+        assert list(a.edges_by_time()) == list(b.edges_by_time())
+
+    def test_too_small_rejected(self):
+        with pytest.raises(DatasetError):
+            synthetic_dataset(1, 100)
+
+
+class TestPlantMotifs:
+    def test_planted_query_becomes_matchable(self):
+        from repro.core import count_matches
+        from repro.datasets.queries import paper_constraints
+
+        base = synthetic_dataset(300, 2000, num_labels=8, time_span=10**6, seed=6)
+        query = paper_query(1)
+        planted = plant_motifs(base, [query], copies=3, window=1000, seed=7)
+        tc = paper_constraints(1, num_edges=query.num_edges, gap=1000)
+        assert count_matches(query, tc, planted, algorithm="tcsm-eve") >= 3
+
+    def test_original_graph_untouched(self):
+        base = synthetic_dataset(100, 500, seed=8)
+        before = base.num_temporal_edges
+        plant_motifs(base, [paper_query(2)], copies=2, window=100, seed=9)
+        assert base.num_temporal_edges == before
+
+    def test_planting_stops_when_pool_exhausted(self):
+        base = TemporalGraph(["A"] * 8, [(0, 1, 5)])
+        planted = plant_motifs(base, [paper_query(1)], copies=5, seed=0)
+        # Only one full copy fits (8 vertices, query needs 6 fresh each).
+        assert planted.num_vertices == 8

@@ -1,0 +1,47 @@
+"""Tests for the toy-example fixture itself."""
+
+from repro.core import brute_force_matches
+from repro.datasets import (
+    TOY_EXPECTED_MATCH_COUNT,
+    toy_constraints,
+    toy_data_graph,
+    toy_instance,
+    toy_query,
+)
+
+
+class TestToyFixture:
+    def test_query_shape(self):
+        query, names = toy_query()
+        assert query.num_vertices == 5
+        assert query.num_edges == 7
+        assert set(names) == {"u1", "u2", "u3", "u4", "u5"}
+
+    def test_constraints_shape(self):
+        tc = toy_constraints()
+        assert len(tc) == 5
+        assert tc.is_feasible()
+
+    def test_data_graph_shape(self):
+        graph, names = toy_data_graph()
+        assert graph.num_vertices == 11
+        # (v2, v3) carries two timestamps.
+        assert graph.timestamps(names["v2"], names["v3"]) == (4, 5)
+
+    def test_ground_truth_count(self):
+        query, tc, graph, _, _ = toy_instance()
+        assert (
+            len(brute_force_matches(query, tc, graph))
+            == TOY_EXPECTED_MATCH_COUNT
+        )
+
+    def test_red_match_is_the_unique_embedding(self):
+        query, tc, graph, qn, vn = toy_instance()
+        matches = brute_force_matches(query, tc, graph)
+        expected = tuple(vn[v] for v in ("v1", "v2", "v3", "v7", "v11"))
+        assert {m.vertex_map for m in matches} == {expected}
+
+    def test_fixture_instances_independent(self):
+        a, _, _, _, _ = toy_instance()
+        b, _, _, _, _ = toy_instance()
+        assert a is not b

@@ -1,0 +1,176 @@
+"""Smoke + shape tests for every experiment driver at tiny scale.
+
+Each driver runs with a minimal configuration and its output structure is
+validated: right experiment ids, right sweep coverage, consistent match
+counts where the instance is shared.  These are integration tests for
+`repro.experiments` against the rest of the library.
+"""
+
+import pytest
+
+from repro.experiments import exp_distribution  # noqa: F401  (import check)
+from repro.experiments.exp_distribution import run as run_distribution
+from repro.experiments.exp_labels import (
+    relabel_query,
+    run_data_labels,
+    run_query_labels,
+)
+from repro.experiments.exp_memory import run as run_memory
+from repro.experiments.exp_pruning import run as run_pruning
+from repro.experiments.exp_runtime import run_table3, run_table5
+from repro.experiments.exp_scalability import (
+    run_constraint_count,
+    run_data_scale,
+    run_density,
+    run_query_size,
+)
+from repro.experiments.exp_timegap import run as run_timegap
+
+TINY = dict(scale=0.004, seed=1, time_budget=5.0)
+FAST_ALGOS = ("tcsm-v2v", "tcsm-e2e", "tcsm-eve")
+
+
+class TestExp1Runtime:
+    def test_table3_rows(self):
+        ms = run_table3(datasets=("CM",), algorithms=FAST_ALGOS, **TINY)
+        assert len(ms) == 3
+        assert {m.algorithm for m in ms} == set(FAST_ALGOS)
+        assert all(m.experiment == "exp1-table3" for m in ms)
+        # Same instance: all algorithms agree on the count.
+        assert len({m.matches for m in ms}) == 1
+
+    def test_table5_grid(self):
+        ms = run_table5(datasets=("CM",), algorithms=("tcsm-eve",), **TINY)
+        combos = {(m.query, m.constraint) for m in ms}
+        assert len(combos) == 9
+
+
+class TestExp2Distribution:
+    def test_phases_recorded(self):
+        ms = run_distribution(
+            datasets=("CM",), algorithms=FAST_ALGOS, **TINY
+        )
+        for m in ms:
+            assert m.seconds >= m.build_seconds
+            assert m.build_seconds > 0
+
+
+class TestExp3Scalability:
+    def test_query_size_sweep(self):
+        ms = run_query_size(
+            dataset="CM", sizes=(3, 4), algorithms=FAST_ALGOS,
+            scale=0.05, seed=1, time_budget=5.0,
+        )
+        assert {m.params["size"] for m in ms} == {3, 4}
+        # Extracted instances guarantee at least one match.
+        for m in ms:
+            assert m.matches >= 1 or m.budget_exhausted
+
+    def test_constraint_count_sweep(self):
+        ms = run_constraint_count(
+            dataset="CM", counts=(2, 3), algorithms=("tcsm-eve",),
+            scale=0.05, seed=1, time_budget=5.0,
+        )
+        assert {m.params["count"] for m in ms} == {2, 3}
+
+    def test_density_sweep_includes_disconnected(self):
+        ms = run_density(
+            dataset="CM", densities=(0.5, 1.5), algorithms=("tcsm-eve",),
+            scale=0.05, seed=1, time_budget=5.0,
+        )
+        assert {m.params["density"] for m in ms} == {0.5, 1.5}
+
+    def test_data_scale_monotone_edges(self):
+        ms = run_data_scale(
+            datasets=("CM",), fractions=(0.5, 1.0),
+            algorithms=("tcsm-eve",), scale=0.05, seed=1, time_budget=5.0,
+        )
+        assert {m.params["fraction"] for m in ms} == {0.5, 1.0}
+
+
+class TestExp6Memory:
+    def test_memory_positive(self):
+        ms = run_memory(datasets=("CM",), algorithms=FAST_ALGOS, **TINY)
+        assert all(m.memory_mb > 0 for m in ms)
+
+
+class TestExp7And8Labels:
+    def test_relabel_query(self):
+        from repro.datasets import paper_query
+
+        q = relabel_query(paper_query(1), 2)
+        assert q.num_distinct_labels() == 2
+        assert q.edges == paper_query(1).edges
+
+    def test_query_label_sweep(self):
+        ms = run_query_labels(
+            dataset="CM", label_counts=(1, 3), algorithms=("tcsm-eve",),
+            scale=0.02, seed=1, time_budget=5.0,
+        )
+        assert {m.params["labels"] for m in ms} == {1, 3}
+
+    def test_data_label_sweep(self):
+        ms = run_data_labels(
+            label_counts=(8, 16), algorithms=("tcsm-eve",),
+            scale=0.004, seed=1, time_budget=5.0, dataset="CM",
+        )
+        assert {m.params["labels"] for m in ms} == {8, 16}
+
+
+class TestExp9Pruning:
+    def test_stats_propagate(self):
+        ms = run_pruning(dataset="CM", algorithms=FAST_ALGOS, **TINY)
+        assert all(m.failed_enumerations >= 0 for m in ms)
+        by_algo = {m.algorithm: m for m in ms}
+        # The paper's ordering: edge-based fails at most as often as
+        # vertex-based on the shared instance.
+        assert (
+            by_algo["tcsm-eve"].failed_enumerations
+            <= by_algo["tcsm-v2v"].failed_enumerations
+        )
+
+
+class TestExp10Timegap:
+    def test_matches_monotone_in_gap(self):
+        ms = run_timegap(
+            datasets=("CM",), gaps=(0, 86_400, 7 * 86_400),
+            algorithms=("tcsm-eve",), scale=0.05, seed=1, time_budget=5.0,
+        )
+        counts = [m.matches for m in ms]
+        assert counts == sorted(counts)
+
+    def test_zero_gap_fewest(self):
+        ms = run_timegap(
+            datasets=("CM",), gaps=(0, 7 * 86_400),
+            algorithms=("tcsm-eve",), scale=0.05, seed=1, time_budget=5.0,
+        )
+        assert ms[0].matches <= ms[-1].matches
+
+
+class TestDriverCLIs:
+    @pytest.mark.parametrize(
+        "module, extra, marker",
+        [
+            ("exp_runtime", ["--datasets", "CM"], "tcsm-eve"),
+            ("exp_pruning", ["--dataset", "CM"], "tcsm-eve"),
+            ("exp_timegap", ["--datasets", "CM"], "CM"),
+        ],
+    )
+    def test_main_runs_and_prints(self, capsys, module, extra, marker):
+        import importlib
+
+        mod = importlib.import_module(f"repro.experiments.{module}")
+        mod.main(extra + ["--scale", "0.004", "--time-budget", "3"])
+        out = capsys.readouterr().out
+        assert marker in out
+
+    def test_csv_option(self, tmp_path):
+        from repro.experiments.exp_pruning import main
+
+        path = tmp_path / "out.csv"
+        main(
+            ["--dataset", "CM", "--scale", "0.004", "--time-budget", "3",
+             "--csv", str(path)]
+        )
+        assert path.exists()
+        assert "tcsm-eve" in path.read_text()

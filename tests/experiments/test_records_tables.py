@@ -1,0 +1,72 @@
+"""Tests for measurement records and text rendering."""
+
+import csv
+
+from repro.experiments import (
+    Measurement,
+    format_seconds,
+    render_series,
+    render_table,
+    write_csv,
+)
+
+
+class TestMeasurement:
+    def test_label(self):
+        m = Measurement("e", "UB", "tcsm-eve", query="q1", constraint="tc2")
+        assert m.label() == "UB q1,tc2"
+
+    def test_label_without_workload(self):
+        assert Measurement("e", "UB", "x").label() == "UB"
+
+    def test_csv_roundtrip(self, tmp_path):
+        measurements = [
+            Measurement(
+                "exp", "CM", "tcsm-eve", seconds=1.5,
+                params={"k": 3, "x": "y"},
+            ),
+            Measurement("exp", "EE", "ri-ds", matches=7),
+        ]
+        path = tmp_path / "out.csv"
+        write_csv(measurements, path)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+        assert rows[0]["dataset"] == "CM"
+        assert rows[0]["params"] == "k=3;x=y"
+        assert rows[1]["matches"] == "7"
+
+
+class TestFormatSeconds:
+    def test_ranges(self):
+        assert format_seconds(4071.4) == "4071"
+        assert format_seconds(2.475) == "2.48"
+        assert format_seconds(0.0878) == "0.0878"
+        assert format_seconds(0.0000005) == "5.00e-07"
+
+
+class TestRenderTable:
+    def test_alignment_and_rule(self):
+        text = render_table(
+            ["Methods", "CM"], [["tcsm-eve", "0.01"]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("Methods")
+        assert set(lines[2]) <= {"-", " "}
+        assert "tcsm-eve" in lines[3]
+
+    def test_column_width_from_body(self):
+        text = render_table(["a"], [["longer-cell"]])
+        assert "longer-cell" in text
+
+
+class TestRenderSeries:
+    def test_series_rows(self):
+        text = render_series(
+            "k", [1, 2, 3], {"eve": ["a", "b", "c"], "v2v": ["d", "e", "f"]}
+        )
+        lines = text.splitlines()
+        assert lines[0].split() == ["k", "1", "2", "3"]
+        assert lines[2].split() == ["eve", "a", "b", "c"]
+        assert lines[3].split() == ["v2v", "d", "e", "f"]

@@ -1,0 +1,20 @@
+"""Smoke test for the all-experiments driver."""
+
+from repro.experiments.run_all import run_all
+
+
+class TestRunAll:
+    def test_quick_run_produces_all_outputs(self, tmp_path):
+        durations = run_all(
+            tmp_path, scale=0.004, seed=1, time_budget=3.0, quick=True
+        )
+        assert len(durations) == 12
+        index = (tmp_path / "INDEX.md").read_text()
+        for name in durations:
+            assert (tmp_path / f"{name}.txt").exists()
+            assert (tmp_path / f"{name}.csv").exists()
+            assert name in index
+        # Spot-check one artifact's content.
+        table3 = (tmp_path / "exp1_table3.txt").read_text()
+        assert "tcsm-eve" in table3
+        assert "Table III" in table3

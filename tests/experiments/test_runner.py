@@ -1,0 +1,77 @@
+"""Tests for the measurement harness."""
+
+from repro.datasets import toy_instance
+from repro.experiments import (
+    CORE_ALGORITHMS,
+    DEFAULT_COMPARISON,
+    measure,
+)
+
+
+class TestMeasure:
+    def test_basic_fields(self):
+        query, tc, graph, _, _ = toy_instance()
+        m = measure(
+            "unit", "toy", "tcsm-eve", query, tc, graph,
+            query_name="q", constraint_name="t", time_budget=10,
+        )
+        assert m.experiment == "unit"
+        assert m.algorithm == "tcsm-eve"
+        assert m.matches == 2
+        assert m.seconds >= m.build_seconds
+        assert not m.budget_exhausted
+        assert m.memory_mb == 0.0
+
+    def test_memory_tracking(self):
+        query, tc, graph, _, _ = toy_instance()
+        m = measure(
+            "unit", "toy", "tcsm-eve", query, tc, graph,
+            track_memory=True, time_budget=10,
+        )
+        assert m.memory_mb > 0
+
+    def test_repeat_keeps_minimum(self):
+        query, tc, graph, _, _ = toy_instance()
+        single = measure(
+            "unit", "toy", "tcsm-eve", query, tc, graph, repeat=1,
+            time_budget=10,
+        )
+        repeated = measure(
+            "unit", "toy", "tcsm-eve", query, tc, graph, repeat=3,
+            time_budget=10,
+        )
+        # Same workload; repeated measurement records a (not larger,
+        # modulo noise) best time and the same match count.
+        assert repeated.matches == single.matches
+
+    def test_time_budget_flag(self):
+        query, tc, graph, _, _ = toy_instance()
+        m = measure(
+            "unit", "toy", "tcsm-eve", query, tc, graph, time_budget=0.0,
+        )
+        assert m.budget_exhausted
+
+    def test_options_forwarded(self):
+        query, tc, graph, _, _ = toy_instance()
+        m = measure(
+            "unit", "toy", "tcsm-v2v", query, tc, graph,
+            time_budget=10, use_windows=False,
+        )
+        assert m.matches == 2
+
+    def test_params_recorded(self):
+        query, tc, graph, _, _ = toy_instance()
+        m = measure(
+            "unit", "toy", "tcsm-eve", query, tc, graph,
+            time_budget=10, params={"k": 5},
+        )
+        assert m.params == {"k": 5}
+
+
+class TestAlgorithmGroups:
+    def test_core_order(self):
+        assert CORE_ALGORITHMS == ("tcsm-v2v", "tcsm-e2e", "tcsm-eve")
+
+    def test_default_comparison_ends_with_ours(self):
+        assert DEFAULT_COMPARISON[-3:] == CORE_ALGORITHMS
+        assert len(set(DEFAULT_COMPARISON)) == len(DEFAULT_COMPARISON)

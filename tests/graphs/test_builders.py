@@ -1,0 +1,59 @@
+"""Tests for named graph builders."""
+
+import pytest
+
+from repro.errors import GraphError, QueryError
+from repro.graphs import QueryBuilder, TemporalGraphBuilder
+
+
+class TestQueryBuilder:
+    def test_build_roundtrip(self):
+        b = QueryBuilder()
+        b.vertex("u1", "A").vertex("u2", "B")
+        idx = b.edge("u1", "u2")
+        query, names = b.build()
+        assert idx == 0
+        assert query.edge(0) == (names["u1"], names["u2"])
+        assert query.label(names["u2"]) == "B"
+
+    def test_edge_indices_sequential(self):
+        b = QueryBuilder()
+        b.vertex("a", "A").vertex("b", "B").vertex("c", "C")
+        assert b.edge("a", "b") == 0
+        assert b.edge("b", "c") == 1
+
+    def test_duplicate_vertex_name(self):
+        b = QueryBuilder().vertex("a", "A")
+        with pytest.raises(QueryError, match="already declared"):
+            b.vertex("a", "B")
+
+    def test_unknown_vertex_in_edge(self):
+        b = QueryBuilder().vertex("a", "A")
+        with pytest.raises(QueryError, match="unknown vertex"):
+            b.edge("a", "zz")
+
+
+class TestTemporalGraphBuilder:
+    def test_multiple_timestamps_per_edge(self):
+        b = TemporalGraphBuilder()
+        b.vertex("v1", "A").vertex("v2", "B")
+        b.edge("v1", "v2", 1, 5, 3)
+        graph, names = b.build()
+        assert graph.timestamps(names["v1"], names["v2"]) == (1, 3, 5)
+        assert graph.num_temporal_edges == 3
+
+    def test_edge_requires_timestamp(self):
+        b = TemporalGraphBuilder()
+        b.vertex("v1", "A").vertex("v2", "B")
+        with pytest.raises(GraphError, match="at least one timestamp"):
+            b.edge("v1", "v2")
+
+    def test_duplicate_vertex_name(self):
+        b = TemporalGraphBuilder().vertex("v", "A")
+        with pytest.raises(GraphError, match="already declared"):
+            b.vertex("v", "B")
+
+    def test_unknown_vertex_in_edge(self):
+        b = TemporalGraphBuilder().vertex("v", "A")
+        with pytest.raises(GraphError, match="unknown vertex"):
+            b.edge("v", "w", 1)

@@ -1,0 +1,192 @@
+"""Tests for temporal constraints and their STN (difference-constraint) view."""
+
+import math
+
+import pytest
+
+from repro.datasets import toy_constraints
+from repro.errors import ConstraintError, InfeasibleConstraintsError
+from repro.graphs import Constraint, TemporalConstraints
+
+
+class TestConstraint:
+    def test_satisfaction_window(self):
+        c = Constraint(earlier=0, later=1, gap=3)
+        assert c.is_satisfied(5, 5)
+        assert c.is_satisfied(5, 8)
+        assert not c.is_satisfied(5, 9)
+        assert not c.is_satisfied(5, 4)  # ordering violated
+
+    def test_fields_alias_paper_ijk(self):
+        c = Constraint(2, 1, 3)
+        assert (c.earlier, c.later, c.gap) == (2, 1, 3)
+
+
+class TestValidation:
+    def test_basic_construction(self):
+        tc = TemporalConstraints([(0, 1, 5), (1, 2, 3)], num_edges=3)
+        assert len(tc) == 2
+        assert tc[0] == Constraint(0, 1, 5)
+
+    def test_out_of_range_edge(self):
+        with pytest.raises(ConstraintError, match="outside"):
+            TemporalConstraints([(0, 5, 1)], num_edges=3)
+
+    def test_self_loop(self):
+        with pytest.raises(ConstraintError, match="self loop"):
+            TemporalConstraints([(1, 1, 2)], num_edges=3)
+
+    def test_negative_gap(self):
+        with pytest.raises(ConstraintError, match="negative gap"):
+            TemporalConstraints([(0, 1, -1)], num_edges=2)
+
+    def test_nan_gap(self):
+        with pytest.raises(ConstraintError, match="negative gap"):
+            TemporalConstraints([(0, 1, math.nan)], num_edges=2)
+
+    def test_duplicate_pair_rejected(self):
+        with pytest.raises(ConstraintError, match="duplicate"):
+            TemporalConstraints([(0, 1, 5), (0, 1, 3)], num_edges=2)
+
+    def test_merged_keeps_tightest(self):
+        tc = TemporalConstraints.merged([(0, 1, 5), (0, 1, 3)], num_edges=2)
+        assert len(tc) == 1
+        assert tc[0].gap == 3
+
+    def test_negative_num_edges(self):
+        with pytest.raises(ConstraintError):
+            TemporalConstraints([], num_edges=-1)
+
+    def test_empty_set_is_valid(self):
+        tc = TemporalConstraints([], num_edges=4)
+        assert len(tc) == 0
+        assert tc.is_feasible()
+
+
+class TestAccessors:
+    @pytest.fixture
+    def tc(self):
+        return TemporalConstraints([(0, 1, 5), (1, 2, 3), (0, 2, 9)], num_edges=4)
+
+    def test_edges_involved(self, tc):
+        assert tc.edges_involved() == frozenset({0, 1, 2})
+
+    def test_degree(self, tc):
+        assert tc.degree(0) == 2
+        assert tc.degree(1) == 2
+        assert tc.degree(3) == 0
+
+    def test_involving(self, tc):
+        assert set(tc.involving(2)) == {Constraint(1, 2, 3), Constraint(0, 2, 9)}
+
+    def test_constraints_ending_at(self, tc):
+        assert set(tc.constraints_ending_at(2)) == {
+            Constraint(1, 2, 3),
+            Constraint(0, 2, 9),
+        }
+        assert tc.constraints_ending_at(0) == ()
+
+    def test_equality_ignores_order(self):
+        a = TemporalConstraints([(0, 1, 5), (1, 2, 3)], num_edges=3)
+        b = TemporalConstraints([(1, 2, 3), (0, 1, 5)], num_edges=3)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_check_partial_assignment(self, tc):
+        # Only edges 0 and 1 assigned: constraint (0,1,5) applies.
+        assert tc.check([0, 5, None, None])
+        assert not tc.check([0, 6, None, None])
+        assert tc.check([None, None, None, None])
+
+
+class TestSTN:
+    def test_transitive_tightening(self):
+        # t1 - t0 <= 5 and t2 - t1 <= 3 imply t2 - t0 <= 8, ordering holds.
+        tc = TemporalConstraints([(0, 1, 5), (1, 2, 3)], num_edges=3)
+        lo, hi = tc.implied_window(0, 2)
+        assert (lo, hi) == (0, 8)
+
+    def test_explicit_beats_transitive_when_tighter(self):
+        tc = TemporalConstraints([(0, 1, 5), (1, 2, 3), (0, 2, 4)], num_edges=3)
+        assert tc.implied_window(0, 2) == (0, 4)
+
+    def test_unconstrained_pair(self):
+        tc = TemporalConstraints([(0, 1, 5)], num_edges=4)
+        lo, hi = tc.implied_window(2, 3)
+        assert lo == -math.inf and hi == math.inf
+
+    def test_cycle_forces_equality(self):
+        # 0 <= t1 - t0 <= 5 and 0 <= t0 - t1 <= 5 force t0 == t1.
+        tc = TemporalConstraints([(0, 1, 5), (1, 0, 5)], num_edges=2)
+        assert tc.is_feasible()
+        assert tc.implied_window(0, 1) == (0, 0)
+
+    def test_feasible_set(self):
+        assert toy_constraints().is_feasible()
+
+    def test_closed_contains_tightened_originals(self):
+        tc = TemporalConstraints([(0, 1, 5), (1, 2, 3)], num_edges=3)
+        closed = tc.closed()
+        gaps = {(c.earlier, c.later): c.gap for c in closed}
+        assert gaps[(0, 1)] == 5
+        assert gaps[(1, 2)] == 3
+        assert gaps[(0, 2)] == 8  # the implied constraint appears
+
+    def test_closed_of_toy_is_feasible_and_superset(self):
+        tc = toy_constraints()
+        closed = tc.closed()
+        original_pairs = {(c.earlier, c.later) for c in tc}
+        closed_pairs = {(c.earlier, c.later) for c in closed}
+        assert original_pairs <= closed_pairs
+        # Tightening never loosens: every original pair has gap <= original.
+        closed_gaps = {(c.earlier, c.later): c.gap for c in closed}
+        for c in tc:
+            assert closed_gaps[(c.earlier, c.later)] <= c.gap
+
+    def test_infeasible_detected(self):
+        # t1 - t0 in [0, 5]; separately t0 - t2 >= 0 >= ... build a negative
+        # cycle: t1 >= t0, t2 >= t1, t0 - t2 <= -1 is inexpressible directly,
+        # so use gap tightening: t1-t0<=0 and t0-t1<=... both zero is fine;
+        # a genuine negative cycle needs asymmetric bounds:
+        #   (0,1,0): t1 == t0 forced? no: t1-t0 in [0,0] -> t0==t1. Combine
+        #   with (1,2,0) and (2,0,0): all equal, still feasible.
+        # Infeasibility in this constraint language requires inconsistent
+        # orderings with positive separation, which the [0,k] form cannot
+        # express pairwise -- but closure can still detect inconsistency when
+        # gaps conflict transitively with orderings:
+        #   t1-t0 in [0,5], t2-t1 in [0,5], t0-t2 in [0,5] forces equality;
+        # feasible. So feasibility always holds for this form; verify that.
+        tc = TemporalConstraints(
+            [(0, 1, 5), (1, 2, 5), (2, 0, 5)], num_edges=3
+        )
+        assert tc.is_feasible()
+        closed = tc.closed()
+        assert closed.implied_window(0, 1) == (0, 0)
+
+    def test_closed_raises_on_artificial_negative_cycle(self):
+        # Exercise the InfeasibleConstraintsError path via a handcrafted
+        # subclass that injects a negative self-distance.
+        class Broken(TemporalConstraints):
+            def distance_matrix(self):
+                d = super().distance_matrix()
+                d[0][0] = -1.0
+                return d
+
+        broken = Broken([(0, 1, 5)], num_edges=2)
+        assert not broken.is_feasible()
+        with pytest.raises(InfeasibleConstraintsError):
+            broken.closed()
+
+
+class TestToyConstraints:
+    def test_five_constraints(self):
+        tc = toy_constraints()
+        assert len(tc) == 5
+        assert tc.num_edges == 7
+
+    def test_degrees_match_tc_graph(self):
+        tc = toy_constraints()
+        # e2 (index 1) participates in tc1, tc2, tc5.
+        assert tc.degree(1) == 3
+        # e5 (index 4) participates in none.
+        assert tc.degree(4) == 0

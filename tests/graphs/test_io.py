@@ -1,0 +1,130 @@
+"""Tests for SNAP-format I/O."""
+
+import gzip
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.graphs import (
+    TemporalGraph,
+    default_label_alphabet,
+    load_labels,
+    load_snap_temporal,
+    save_labels,
+    save_snap_temporal,
+)
+
+
+@pytest.fixture
+def sample_file(tmp_path):
+    path = tmp_path / "toy.txt"
+    path.write_text(
+        "# comment line\n"
+        "10 20 100\n"
+        "20 30 50\n"
+        "\n"
+        "10 20 200\n"
+        "30 30 60\n"  # self loop, dropped
+    )
+    return path
+
+
+class TestLoadSnap:
+    def test_basic_load(self, sample_file):
+        g = load_snap_temporal(sample_file, seed=1)
+        assert g.num_vertices == 3
+        assert g.num_temporal_edges == 3  # self loop dropped
+        # Raw ids remapped densely in first-seen order: 10->0, 20->1, 30->2.
+        assert g.timestamps(0, 1) == (100, 200)
+        assert g.timestamps(1, 2) == (50,)
+
+    def test_deterministic_random_labels(self, sample_file):
+        a = load_snap_temporal(sample_file, seed=7)
+        b = load_snap_temporal(sample_file, seed=7)
+        assert a.labels == b.labels
+
+    def test_explicit_label_map(self, sample_file):
+        g = load_snap_temporal(sample_file, labels={10: "X", 20: "Y", 30: "Z"})
+        assert g.labels == ("X", "Y", "Z")
+
+    def test_missing_label_in_map(self, sample_file):
+        with pytest.raises(DatasetError, match="no label"):
+            load_snap_temporal(sample_file, labels={10: "X"})
+
+    def test_max_edges_cap(self, sample_file):
+        g = load_snap_temporal(sample_file, max_edges=2)
+        assert g.num_temporal_edges == 2
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError, match="not found"):
+            load_snap_temporal(tmp_path / "nope.txt")
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 2\n")
+        with pytest.raises(DatasetError, match="expected"):
+            load_snap_temporal(path)
+
+    def test_non_integer_field(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 2 xyz\n")
+        with pytest.raises(DatasetError):
+            load_snap_temporal(path)
+
+    def test_gzip_transparency(self, tmp_path):
+        path = tmp_path / "toy.txt.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("1 2 10\n2 3 20\n")
+        g = load_snap_temporal(path)
+        assert g.num_temporal_edges == 2
+
+
+class TestRoundTrip:
+    def test_save_and_reload(self, tmp_path):
+        original = TemporalGraph(
+            ["A", "B", "A"], [(0, 1, 5), (1, 2, 3), (0, 1, 9)]
+        )
+        path = tmp_path / "graph.txt"
+        save_snap_temporal(original, path)
+        reloaded = load_snap_temporal(path)
+        assert reloaded.num_vertices == original.num_vertices
+        assert reloaded.num_temporal_edges == original.num_temporal_edges
+        # Sidecar labels preserve the original labeling exactly.
+        # Dense remap order follows time-sorted edges: (1,2,3) first.
+        assert sorted(reloaded.labels) == sorted(original.labels)
+
+    def test_sidecar_labels_autodiscovered(self, tmp_path):
+        original = TemporalGraph(["X", "Y"], [(0, 1, 1)])
+        path = tmp_path / "g.txt"
+        save_snap_temporal(original, path)
+        assert (tmp_path / "g.txt.labels").exists()
+        reloaded = load_snap_temporal(path)
+        assert set(reloaded.labels) == {"X", "Y"}
+
+
+class TestLabelFiles:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "labels.txt"
+        save_labels({0: "A", 2: "C", 1: "B"}, path)
+        assert load_labels(path) == {0: "A", 1: "B", 2: "C"}
+
+    def test_malformed(self, tmp_path):
+        path = tmp_path / "labels.txt"
+        path.write_text("0\n")
+        with pytest.raises(DatasetError, match="expected"):
+            load_labels(path)
+
+
+class TestLabelAlphabet:
+    def test_small(self):
+        assert default_label_alphabet(3) == ("A", "B", "C")
+
+    def test_beyond_26(self):
+        labels = default_label_alphabet(28)
+        assert labels[25] == "Z"
+        assert labels[26] == "L26"
+        assert len(labels) == 28
+
+    def test_invalid(self):
+        with pytest.raises(DatasetError):
+            default_label_alphabet(0)

@@ -1,0 +1,55 @@
+"""Tests for label interning and histograms."""
+
+import pytest
+
+from repro.graphs import LabelTable, label_histogram
+
+
+class TestLabelTable:
+    def test_empty_table(self):
+        table = LabelTable()
+        assert len(table) == 0
+        assert "A" not in table
+
+    def test_intern_assigns_dense_codes(self):
+        table = LabelTable()
+        assert table.intern("A") == 0
+        assert table.intern("B") == 1
+        assert table.intern("A") == 0  # idempotent
+        assert len(table) == 2
+
+    def test_constructor_interns_in_order(self):
+        table = LabelTable(["X", "Y", "X", "Z"])
+        assert [table.code(lab) for lab in ("X", "Y", "Z")] == [0, 1, 2]
+
+    def test_code_of_unknown_label_raises(self):
+        with pytest.raises(KeyError):
+            LabelTable().code("missing")
+
+    def test_label_roundtrip(self):
+        table = LabelTable(["A", "B"])
+        assert table.label(table.code("B")) == "B"
+
+    def test_label_of_unknown_code_raises(self):
+        with pytest.raises(IndexError):
+            LabelTable(["A"]).label(5)
+
+    def test_contains_and_iter(self):
+        table = LabelTable(["A", "B"])
+        assert "A" in table and "C" not in table
+        assert list(table) == ["A", "B"]
+
+    def test_non_string_labels(self):
+        table = LabelTable([1, (2, 3)])
+        assert table.code((2, 3)) == 1
+
+
+class TestLabelHistogram:
+    def test_counts(self):
+        hist = label_histogram(["A", "B", "A", "A"])
+        assert hist["A"] == 3
+        assert hist["B"] == 1
+        assert hist["C"] == 0
+
+    def test_empty(self):
+        assert not label_histogram([])

@@ -1,0 +1,76 @@
+"""Tests for temporal-graph statistics."""
+
+import pytest
+
+from repro.datasets import DATASETS, load_dataset
+from repro.graphs import TemporalGraph
+from repro.graphs.metrics import graph_statistics
+
+
+class TestGraphStatistics:
+    @pytest.fixture
+    def small(self):
+        return TemporalGraph(
+            ["A", "A", "B"],
+            [(0, 1, 1), (0, 1, 5), (1, 2, 3), (2, 0, 9)],
+        )
+
+    def test_counts(self, small):
+        stats = graph_statistics(small)
+        assert stats.num_vertices == 3
+        assert stats.num_temporal_edges == 4
+        assert stats.num_static_edges == 3
+        assert stats.time_span == 8
+
+    def test_degrees(self, small):
+        stats = graph_statistics(small)
+        assert stats.avg_temporal_degree == pytest.approx(4 / 3)
+        assert stats.avg_static_degree == pytest.approx(1.0)
+        assert stats.max_degree == 2
+
+    def test_multiplicity(self, small):
+        stats = graph_statistics(small)
+        assert stats.timestamp_multiplicity == pytest.approx(4 / 3)
+
+    def test_label_entropy(self, small):
+        stats = graph_statistics(small)
+        assert stats.num_labels == 2
+        assert stats.label_histogram == {"A": 2, "B": 1}
+        # H(2/3, 1/3) ≈ 0.918 bits.
+        assert stats.label_entropy == pytest.approx(0.918, abs=0.01)
+
+    def test_uniform_labels_max_entropy(self):
+        graph = TemporalGraph(["A", "B", "C", "D"], [(0, 1, 1)])
+        stats = graph_statistics(graph)
+        assert stats.label_entropy == pytest.approx(2.0)
+
+    def test_empty_graph(self):
+        stats = graph_statistics(TemporalGraph([]))
+        assert stats.num_vertices == 0
+        assert stats.avg_temporal_degree == 0.0
+        assert stats.timestamp_multiplicity == 0.0
+        assert stats.label_entropy == 0.0
+
+    def test_describe_renders(self, small):
+        text = graph_statistics(small).describe()
+        assert "|V|=3" in text
+        assert "multiplicity=" in text
+
+
+class TestStandInsTrackTableII:
+    @pytest.mark.parametrize("key", ("MO", "UB", "SU", "WT"))
+    def test_avg_degree_close_to_catalog(self, key):
+        graph = load_dataset(key, seed=0, plant_patterns=False)
+        stats = graph_statistics(graph)
+        assert stats.avg_temporal_degree == pytest.approx(
+            DATASETS[key].avg_degree, rel=0.2
+        )
+
+    def test_multiplicity_tracks_catalog_ratio(self):
+        spec = DATASETS["EE"]
+        graph = load_dataset("EE", seed=0, plant_patterns=False)
+        stats = graph_statistics(graph)
+        expected = spec.temporal_edges / spec.static_edges
+        assert stats.timestamp_multiplicity == pytest.approx(
+            expected, rel=0.5
+        )

@@ -1,0 +1,128 @@
+"""Tests for query graphs and their ordered edge lists."""
+
+import pytest
+
+from repro.datasets import toy_query
+from repro.errors import QueryError
+from repro.graphs import QueryGraph
+
+
+@pytest.fixture
+def diamond():
+    """0->1, 0->2, 1->3, 2->3 with labels A B B C."""
+    return QueryGraph(["A", "B", "B", "C"], [(0, 1), (0, 2), (1, 3), (2, 3)])
+
+
+class TestConstruction:
+    def test_counts(self, diamond):
+        assert diamond.num_vertices == 4
+        assert diamond.num_edges == 4
+
+    def test_empty_vertex_set_rejected(self):
+        with pytest.raises(QueryError, match="at least one vertex"):
+            QueryGraph([], [])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(QueryError, match="self loop"):
+            QueryGraph(["A"], [(0, 0)])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(QueryError, match="duplicate"):
+            QueryGraph(["A", "B"], [(0, 1), (0, 1)])
+
+    def test_antiparallel_edges_allowed(self):
+        q = QueryGraph(["A", "B"], [(0, 1), (1, 0)])
+        assert q.num_edges == 2
+
+    def test_out_of_range_endpoint_rejected(self):
+        with pytest.raises(QueryError, match="out-of-range"):
+            QueryGraph(["A"], [(0, 1)])
+
+
+class TestEdgeOrder:
+    def test_edge_lookup_by_index(self, diamond):
+        assert diamond.edge(2) == (1, 3)
+
+    def test_edge_index_roundtrip(self, diamond):
+        for idx, (u, v) in enumerate(diamond.edges):
+            assert diamond.edge_index(u, v) == idx
+
+    def test_missing_edge_index_raises(self, diamond):
+        with pytest.raises(QueryError, match="not in query graph"):
+            diamond.edge_index(3, 0)
+
+    def test_bad_edge_index_raises(self, diamond):
+        with pytest.raises(QueryError, match="out of range"):
+            diamond.edge(9)
+
+    def test_incident_edges(self, diamond):
+        assert diamond.incident_edges(0) == (0, 1)
+        assert diamond.incident_edges(3) == (2, 3)
+
+    def test_edges_share_vertex(self, diamond):
+        assert diamond.edges_share_vertex(0, 1) == frozenset({0})
+        assert diamond.edges_share_vertex(0, 3) == frozenset()
+
+    def test_antiparallel_edges_share_both(self):
+        q = QueryGraph(["A", "B"], [(0, 1), (1, 0)])
+        assert q.edges_share_vertex(0, 1) == frozenset({0, 1})
+
+
+class TestAdjacency:
+    def test_directed_neighbors(self, diamond):
+        assert diamond.out_neighbors(0) == frozenset({1, 2})
+        assert diamond.in_neighbors(3) == frozenset({1, 2})
+        assert diamond.neighbors(1) == frozenset({0, 3})
+
+    def test_degrees(self, diamond):
+        assert diamond.out_degree(0) == 2
+        assert diamond.in_degree(0) == 0
+        assert diamond.degree(3) == 2
+
+    def test_density(self, diamond):
+        assert diamond.density() == pytest.approx(1.0)
+
+    def test_num_distinct_labels(self, diamond):
+        assert diamond.num_distinct_labels() == 3
+
+    def test_neighbor_label_counts(self, diamond):
+        assert diamond.neighbor_label_counts(0) == {"B": 2}
+        assert diamond.neighbor_label_counts(1) == {"A": 1, "C": 1}
+
+
+class TestConnectivity:
+    def test_connected(self, diamond):
+        assert diamond.is_weakly_connected()
+
+    def test_disconnected(self):
+        q = QueryGraph(["A", "B", "C"], [(0, 1)])
+        assert not q.is_weakly_connected()
+
+    def test_single_vertex_connected(self):
+        assert QueryGraph(["A"], []).is_weakly_connected()
+
+
+class TestNamedConstruction:
+    def test_from_named(self):
+        q, names = QueryGraph.from_named(
+            {"x": "A", "y": "B"}, [("x", "y")]
+        )
+        assert q.edge(0) == (names["x"], names["y"])
+        assert q.label(names["y"]) == "B"
+
+    def test_from_named_unknown_vertex(self):
+        with pytest.raises(QueryError, match="unknown vertex"):
+            QueryGraph.from_named({"x": "A"}, [("x", "zz")])
+
+
+class TestToyQuery:
+    def test_matches_figure_2a(self):
+        query, names = toy_query()
+        assert query.num_vertices == 5
+        assert query.num_edges == 7
+        assert query.label(names["u1"]) == "A"
+        assert query.label(names["u5"]) == "A"
+        assert query.label(names["u4"]) == "D"
+        # e2 (index 1) is u2 -> u1
+        assert query.edge(1) == (names["u2"], names["u1"])
+        assert query.is_weakly_connected()

@@ -1,0 +1,106 @@
+"""Tests for pattern (query + constraints) JSON serialisation."""
+
+import json
+
+import pytest
+
+from repro.datasets import toy_constraints, toy_query
+from repro.errors import QueryError
+from repro.graphs import (
+    QueryGraph,
+    TemporalConstraints,
+    load_pattern,
+    pattern_from_dict,
+    pattern_to_dict,
+    save_pattern,
+)
+
+
+@pytest.fixture
+def pattern():
+    query, _ = toy_query()
+    return query, toy_constraints()
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip(self, pattern):
+        query, constraints = pattern
+        data = pattern_to_dict(query, constraints)
+        query2, constraints2 = pattern_from_dict(data)
+        assert query2.labels == query.labels
+        assert query2.edges == query.edges
+        assert constraints2 == constraints
+
+    def test_file_roundtrip(self, pattern, tmp_path):
+        query, constraints = pattern
+        path = tmp_path / "pattern.json"
+        save_pattern(query, constraints, path)
+        query2, constraints2 = load_pattern(path)
+        assert query2.edges == query.edges
+        assert constraints2 == constraints
+        # The file is plain, valid JSON.
+        with open(path) as handle:
+            json.load(handle)
+
+    def test_edge_labels_roundtrip(self, tmp_path):
+        query = QueryGraph(
+            ["A", "B"], [(0, 1), (1, 0)], edge_labels=["wire", None]
+        )
+        tc = TemporalConstraints([(0, 1, 5)], num_edges=2)
+        path = tmp_path / "p.json"
+        save_pattern(query, tc, path)
+        query2, _ = load_pattern(path)
+        assert query2.edge_labels == ("wire", None)
+
+
+class TestMalformedInput:
+    def test_not_an_object(self):
+        with pytest.raises(QueryError, match="object"):
+            pattern_from_dict([1, 2, 3])
+
+    def test_missing_keys(self):
+        with pytest.raises(QueryError, match="missing required key"):
+            pattern_from_dict({"vertices": []})
+
+    def test_vertex_without_label(self):
+        with pytest.raises(QueryError, match="label"):
+            pattern_from_dict({"vertices": [{}], "edges": []})
+
+    def test_edge_without_endpoints(self):
+        with pytest.raises(QueryError, match="source"):
+            pattern_from_dict(
+                {"vertices": [{"label": "A"}], "edges": [{"source": 0}]}
+            )
+
+    def test_constraint_without_gap(self):
+        with pytest.raises(QueryError, match="gap"):
+            pattern_from_dict(
+                {
+                    "vertices": [{"label": "A"}, {"label": "B"}],
+                    "edges": [
+                        {"source": 0, "target": 1},
+                        {"source": 1, "target": 0},
+                    ],
+                    "constraints": [{"earlier": 0, "later": 1}],
+                }
+            )
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(QueryError, match="not found"):
+            load_pattern(tmp_path / "nope.json")
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(QueryError, match="invalid JSON"):
+            load_pattern(path)
+
+    def test_constraints_optional(self):
+        query, tc = pattern_from_dict(
+            {
+                "vertices": [{"label": "A"}, {"label": "B"}],
+                "edges": [{"source": 0, "target": 1}],
+            }
+        )
+        assert len(tc) == 0
+        assert query.num_edges == 1

@@ -1,0 +1,92 @@
+"""Tests for the static (de-temporal) graph."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import StaticGraph
+
+
+@pytest.fixture
+def triangle():
+    """0->1->2->0 with labels A, B, A."""
+    return StaticGraph(["A", "B", "A"], [(0, 1), (1, 2), (2, 0)])
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = StaticGraph([])
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+    def test_vertices_and_labels(self, triangle):
+        assert triangle.num_vertices == 3
+        assert list(triangle.vertices()) == [0, 1, 2]
+        assert triangle.label(0) == "A"
+        assert triangle.labels == ("A", "B", "A")
+
+    def test_duplicate_edge_collapses(self):
+        g = StaticGraph(["A", "B"], [(0, 1), (0, 1)])
+        assert g.num_edges == 1
+        assert g.add_edge(0, 1) is False
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError, match="self loop"):
+            StaticGraph(["A"], [(0, 0)])
+
+    def test_out_of_range_vertex_rejected(self):
+        with pytest.raises(GraphError, match="out of range"):
+            StaticGraph(["A", "B"], [(0, 2)])
+
+    def test_add_edge_returns_true_for_new(self):
+        g = StaticGraph(["A", "B"])
+        assert g.add_edge(0, 1) is True
+        assert g.num_edges == 1
+
+
+class TestAdjacency:
+    def test_has_edge_is_directional(self, triangle):
+        assert triangle.has_edge(0, 1)
+        assert not triangle.has_edge(1, 0)
+
+    def test_out_in_neighbors(self, triangle):
+        assert triangle.out_neighbors(0) == frozenset({1})
+        assert triangle.in_neighbors(0) == frozenset({2})
+
+    def test_undirected_neighbors(self, triangle):
+        assert triangle.neighbors(0) == frozenset({1, 2})
+
+    def test_degrees(self, triangle):
+        assert triangle.out_degree(0) == 1
+        assert triangle.in_degree(0) == 1
+        assert triangle.degree(0) == 2
+
+    def test_antiparallel_pair_counts_once_in_neighbors(self):
+        g = StaticGraph(["A", "B"], [(0, 1), (1, 0)])
+        assert g.neighbors(0) == frozenset({1})
+        assert g.degree(0) == 1
+        assert g.num_edges == 2
+
+    def test_edges_iterates_sorted(self, triangle):
+        assert sorted(triangle.edges()) == [(0, 1), (1, 2), (2, 0)]
+
+    def test_access_bad_vertex_raises(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.out_neighbors(7)
+
+
+class TestLabelQueries:
+    def test_vertices_with_label(self, triangle):
+        assert triangle.vertices_with_label("A") == (0, 2)
+        assert triangle.vertices_with_label("B") == (1,)
+        assert triangle.vertices_with_label("Z") == ()
+
+    def test_neighbor_label_counts(self, triangle):
+        counts = triangle.neighbor_label_counts(1)
+        # Neighbours of 1 are 0 and 2, both labeled A.
+        assert counts == {"A": 2}
+
+    def test_neighbor_label_counts_cache_invalidation(self):
+        g = StaticGraph(["A", "B", "C"], [(0, 1)])
+        assert g.neighbor_label_counts(0) == {"B": 1}
+        g.add_edge(2, 0)
+        assert g.neighbor_label_counts(0) == {"B": 1, "C": 1}

@@ -1,0 +1,122 @@
+"""Tests for the temporal graph substrate."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import TemporalEdge, TemporalGraph
+
+
+@pytest.fixture
+def small():
+    """Two vertex pairs, one with multiple timestamps."""
+    return TemporalGraph(
+        ["A", "B", "C"],
+        [(0, 1, 5), (0, 1, 2), (0, 1, 9), (1, 2, 4)],
+    )
+
+
+class TestConstruction:
+    def test_counts(self, small):
+        assert small.num_vertices == 3
+        assert small.num_temporal_edges == 4
+        assert small.num_static_edges == 2
+
+    def test_duplicate_temporal_edge_collapses(self):
+        g = TemporalGraph(["A", "B"], [(0, 1, 3), (0, 1, 3)])
+        assert g.num_temporal_edges == 1
+        assert g.add_edge(0, 1, 3) is False
+        assert g.add_edge(0, 1, 4) is True
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError, match="self loop"):
+            TemporalGraph(["A"], [(0, 0, 1)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GraphError, match="out of range"):
+            TemporalGraph(["A"], [(0, 1, 1)])
+
+    def test_time_extent(self, small):
+        assert small.min_time == 2
+        assert small.max_time == 9
+        assert small.time_span == 7
+
+    def test_empty_graph_time_extent(self):
+        g = TemporalGraph(["A"])
+        assert g.min_time is None
+        assert g.max_time is None
+        assert g.time_span == 0
+
+
+class TestTimestamps:
+    def test_timestamps_sorted(self, small):
+        assert small.timestamps(0, 1) == (2, 5, 9)
+
+    def test_timestamps_missing_pair(self, small):
+        assert small.timestamps(2, 0) == ()
+
+    def test_has_pair(self, small):
+        assert small.has_pair(0, 1)
+        assert not small.has_pair(1, 0)
+
+    def test_window_query(self, small):
+        assert small.timestamps_in_window(0, 1, 2, 5) == (2, 5)
+        assert small.timestamps_in_window(0, 1, 3, 4) == ()
+        assert small.timestamps_in_window(0, 1, 0, 100) == (2, 5, 9)
+
+    def test_window_query_missing_pair(self, small):
+        assert small.timestamps_in_window(2, 0, 0, 10) == ()
+
+
+class TestIteration:
+    def test_out_edges_expand_timestamps(self, small):
+        edges = set(small.out_edges(0))
+        assert edges == {
+            TemporalEdge(0, 1, 2),
+            TemporalEdge(0, 1, 5),
+            TemporalEdge(0, 1, 9),
+        }
+
+    def test_in_edges(self, small):
+        assert set(small.in_edges(2)) == {TemporalEdge(1, 2, 4)}
+
+    def test_out_in_pairs(self, small):
+        assert dict(small.out_pairs(0)) == {1: (2, 5, 9)}
+        assert dict(small.in_pairs(1)) == {0: (2, 5, 9)}
+
+    def test_edges_by_time_sorted(self, small):
+        stream = small.edges_by_time()
+        assert [e.t for e in stream] == [2, 4, 5, 9]
+
+    def test_all_edges_count(self, small):
+        assert len(list(small.edges())) == small.num_temporal_edges
+
+
+class TestDerivedViews:
+    def test_de_temporal_collapses_multiplicity(self, small):
+        static = small.de_temporal()
+        assert static.num_edges == 2
+        assert static.has_edge(0, 1)
+        assert static.labels == small.labels
+
+    def test_de_temporal_cache_invalidated_on_add(self, small):
+        assert small.de_temporal().num_edges == 2
+        small.add_edge(2, 0, 1)
+        assert small.de_temporal().num_edges == 3
+
+    def test_time_prefix_keeps_earliest(self, small):
+        half = small.time_prefix(0.5)
+        assert half.num_temporal_edges == 2
+        assert half.max_time == 4
+        assert half.num_vertices == small.num_vertices
+
+    def test_time_prefix_full_and_empty(self, small):
+        assert small.time_prefix(1.0).num_temporal_edges == 4
+        assert small.time_prefix(0.0).num_temporal_edges == 0
+
+    def test_time_prefix_bad_fraction(self, small):
+        with pytest.raises(GraphError):
+            small.time_prefix(1.5)
+
+    def test_vertices_with_label(self, small):
+        assert small.vertices_with_label("A") == (0,)
+        assert small.vertices_with_label("Z") == ()

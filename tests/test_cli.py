@@ -1,0 +1,170 @@
+"""End-to-end tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def workspace(tmp_path, capsys):
+    """Generate a small graph + sample pattern via the CLI itself."""
+    graph_path = tmp_path / "graph.txt"
+    pattern_path = tmp_path / "pattern.json"
+    assert main([
+        "generate", "--dataset", "CM", "--scale", "0.05",
+        "--seed", "1", "--out", str(graph_path),
+    ]) == 0
+    assert main(["pattern-example", "--out", str(pattern_path)]) == 0
+    capsys.readouterr()  # drop generation chatter
+    return graph_path, pattern_path
+
+
+class TestAlgorithmsCommand:
+    def test_lists_all(self, capsys):
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out.split()
+        assert "tcsm-eve" in out
+        assert "ri-ds" in out
+        assert len(out) >= 12
+
+
+class TestGenerate:
+    def test_writes_snap_and_labels(self, tmp_path, capsys):
+        out = tmp_path / "g.txt"
+        assert main([
+            "generate", "--dataset", "CM", "--scale", "0.03",
+            "--out", str(out),
+        ]) == 0
+        assert out.exists()
+        assert (tmp_path / "g.txt.labels").exists()
+        err = capsys.readouterr().err
+        assert "wrote" in err
+        assert "|V|=" in err  # statistics summary printed
+
+    def test_unknown_dataset_is_error(self, tmp_path, capsys):
+        rc = main([
+            "generate", "--dataset", "XX", "--out", str(tmp_path / "g.txt"),
+        ])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestMatch:
+    def test_text_output(self, workspace, capsys):
+        graph_path, pattern_path = workspace
+        rc = main([
+            "match", "--graph", str(graph_path),
+            "--pattern", str(pattern_path),
+        ])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "matches in" in captured.err
+        assert "vertices=" in captured.out
+
+    def test_count_only(self, workspace, capsys):
+        graph_path, pattern_path = workspace
+        rc = main([
+            "match", "--graph", str(graph_path),
+            "--pattern", str(pattern_path), "--count-only",
+        ])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert int(captured.out.strip()) > 0
+
+    def test_json_output(self, workspace, capsys):
+        graph_path, pattern_path = workspace
+        rc = main([
+            "match", "--graph", str(graph_path),
+            "--pattern", str(pattern_path), "--json", "--limit", "2",
+        ])
+        captured = capsys.readouterr()
+        assert rc == 0
+        lines = [l for l in captured.out.splitlines() if l.strip()]
+        assert 1 <= len(lines) <= 2
+        record = json.loads(lines[0])
+        assert set(record) == {"vertices", "edges"}
+
+    def test_algorithm_selection(self, workspace, capsys):
+        graph_path, pattern_path = workspace
+        rc = main([
+            "match", "--graph", str(graph_path),
+            "--pattern", str(pattern_path),
+            "--algorithm", "tcsm-v2v", "--count-only",
+        ])
+        assert rc == 0
+        eve_count = capsys.readouterr().out.strip()
+        main([
+            "match", "--graph", str(graph_path),
+            "--pattern", str(pattern_path),
+            "--algorithm", "tcsm-eve", "--count-only",
+        ])
+        assert capsys.readouterr().out.strip() == eve_count
+
+    def test_missing_pattern_file(self, workspace, capsys):
+        graph_path, _ = workspace
+        rc = main([
+            "match", "--graph", str(graph_path),
+            "--pattern", "/nonexistent/pattern.json",
+        ])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_output_json_file(self, workspace, tmp_path, capsys):
+        graph_path, pattern_path = workspace
+        out = tmp_path / "matches.json"
+        rc = main([
+            "match", "--graph", str(graph_path),
+            "--pattern", str(pattern_path), "--output", str(out),
+        ])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "saved:" in captured.err
+        data = json.loads(out.read_text())
+        assert isinstance(data, list) and data
+
+    def test_output_csv_file(self, workspace, tmp_path):
+        graph_path, pattern_path = workspace
+        out = tmp_path / "matches.csv"
+        assert main([
+            "match", "--graph", str(graph_path),
+            "--pattern", str(pattern_path), "--output", str(out),
+        ]) == 0
+        assert out.read_text().startswith("vertices,timestamps")
+
+    def test_lint_blocks_impossible_pattern(self, workspace, tmp_path, capsys):
+        import json
+
+        graph_path, _ = workspace
+        bad = tmp_path / "bad_pattern.json"
+        bad.write_text(json.dumps({
+            "vertices": [{"label": "NOPE"}, {"label": "B"}],
+            "edges": [{"source": 0, "target": 1}],
+        }))
+        rc = main([
+            "match", "--graph", str(graph_path), "--pattern", str(bad),
+        ])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "label-missing" in captured.err
+
+    def test_unknown_algorithm(self, workspace, capsys):
+        graph_path, pattern_path = workspace
+        rc = main([
+            "match", "--graph", str(graph_path),
+            "--pattern", str(pattern_path), "--algorithm", "bogus",
+        ])
+        assert rc == 2
+        assert "available" in capsys.readouterr().err
+
+
+class TestPatternExample:
+    def test_valid_pattern_written(self, tmp_path, capsys):
+        path = tmp_path / "p.json"
+        assert main(["pattern-example", "--out", str(path)]) == 0
+        from repro.graphs import load_pattern
+
+        query, constraints = load_pattern(path)
+        assert query.num_vertices == 6
+        assert len(constraints) > 0

@@ -1,0 +1,65 @@
+"""Dataset-level integration tests.
+
+The unit suites verify matchers on small instances against the oracle;
+these tests exercise the full pipeline — catalog stand-in generation,
+Figure-12 workloads, the engine — and cross-check the three TCSM
+algorithms (plus one independently structured baseline) against each
+other on realistic graphs where the oracle is too slow.
+"""
+
+import pytest
+
+from repro.core import count_matches, find_matches, is_valid_match
+from repro.datasets import load_dataset, paper_workloads
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("CM", scale=0.03, seed=5)
+
+
+class TestWorkloadGrid:
+    @pytest.mark.parametrize(
+        "workload", list(paper_workloads()), ids=lambda w: f"{w[0]}-{w[1]}"
+    )
+    def test_tcsm_algorithms_agree(self, graph, workload):
+        _, _, query, constraints = workload
+        counts = {
+            algo: count_matches(
+                query, constraints, graph, algorithm=algo, time_budget=30
+            )
+            for algo in ("tcsm-v2v", "tcsm-e2e", "tcsm-eve")
+        }
+        assert len(set(counts.values())) == 1, counts
+
+    def test_cross_family_agreement_on_default_workload(self, graph):
+        # graphflow shares no search code with the TCSM matchers (stream
+        # substrate vs TCQ+ DFS): agreement is strong evidence both are
+        # right at this scale.
+        for name, tc_name, query, constraints in paper_workloads():
+            if (name, tc_name) != ("q1", "tc2"):
+                continue
+            eve = find_matches(
+                query, constraints, graph, algorithm="tcsm-eve",
+                time_budget=30,
+            )
+            gf = find_matches(
+                query, constraints, graph, algorithm="graphflow",
+                time_budget=60,
+            )
+            assert not eve.stats.budget_exhausted
+            assert not gf.stats.budget_exhausted
+            assert set(eve.matches) == set(gf.matches)
+            for match in eve.matches:
+                assert is_valid_match(query, constraints, graph, match)
+
+    def test_match_objects_well_formed(self, graph):
+        for name, tc_name, query, constraints in paper_workloads():
+            if name != "q2":
+                continue
+            result = find_matches(
+                query, constraints, graph, algorithm="tcsm-eve",
+                time_budget=30,
+            )
+            for match in result.matches:
+                assert is_valid_match(query, constraints, graph, match)

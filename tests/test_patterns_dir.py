@@ -1,0 +1,31 @@
+"""The shipped pattern files must stay loadable and in sync with the code."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import paper_workloads
+from repro.graphs import load_pattern
+
+PATTERNS = Path(__file__).resolve().parent.parent / "patterns"
+
+
+class TestShippedPatterns:
+    def test_all_nine_present(self):
+        names = {p.name for p in PATTERNS.glob("*.json")}
+        expected = {
+            f"q{q}_tc{t}.json" for q in (1, 2, 3) for t in (1, 2, 3)
+        }
+        assert names == expected
+
+    @pytest.mark.parametrize(
+        "workload", list(paper_workloads()), ids=lambda w: f"{w[0]}-{w[1]}"
+    )
+    def test_files_match_code(self, workload):
+        qname, tname, query, constraints = workload
+        loaded_query, loaded_tc = load_pattern(
+            PATTERNS / f"{qname}_{tname}.json"
+        )
+        assert loaded_query.labels == query.labels
+        assert loaded_query.edges == query.edges
+        assert loaded_tc == constraints

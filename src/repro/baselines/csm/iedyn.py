@@ -11,7 +11,7 @@ like the paper had to adapt the system to arbitrary patterns.
 
 from __future__ import annotations
 
-from ...graphs import QueryGraph
+from ...graphs import QueryGraph, TemporalEdge
 from .dynamic_index import Dependency, DynamicCandidateIndex
 from .stream import CSMMatcherBase
 from .turboflux import spanning_tree_dependencies
@@ -57,7 +57,7 @@ class IEDynMatcher(CSMMatcherBase):
                 )
             )
 
-    def _on_insert(self, edge, pair_is_new: bool) -> None:
+    def _on_insert(self, edge: TemporalEdge, pair_is_new: bool) -> None:
         if pair_is_new:
             for index in self._indexes:
                 index.insert_pair(edge.u, edge.v)

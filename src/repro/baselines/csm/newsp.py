@@ -12,6 +12,8 @@ redundancy in backtracking search) become dictionary lookups.
 
 from __future__ import annotations
 
+from collections.abc import Hashable
+
 from ...graphs import TemporalEdge
 from .stream import CSMMatcherBase
 
@@ -24,13 +26,17 @@ class NewSPMatcher(CSMMatcherBase):
     name = "newsp"
 
     def _on_prepare(self) -> None:
-        self._cache: dict[tuple, tuple[TemporalEdge, ...]] = {}
+        self._cache: dict[
+            tuple[str, int, Hashable], tuple[TemporalEdge, ...]
+        ] = {}
 
     def _begin_insertion_searches(self) -> None:
         # The snapshot grew: previously cached expansions are stale.
         self._cache.clear()
 
-    def _expand_out(self, da: int, target_label) -> tuple[TemporalEdge, ...]:
+    def _expand_out(
+        self, da: int, target_label: Hashable
+    ) -> tuple[TemporalEdge, ...]:
         key = ("out", da, target_label)
         cached = self._cache.get(key)
         if cached is None:
@@ -38,7 +44,9 @@ class NewSPMatcher(CSMMatcherBase):
             self._cache[key] = cached
         return cached
 
-    def _expand_in(self, db: int, source_label) -> tuple[TemporalEdge, ...]:
+    def _expand_in(
+        self, db: int, source_label: Hashable
+    ) -> tuple[TemporalEdge, ...]:
         key = ("in", db, source_label)
         cached = self._cache.get(key)
         if cached is None:

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import time
 from collections.abc import Iterator
+from typing import cast
 
 from ...core.match import Match
 from ...core.stats import SearchStats
@@ -61,13 +62,15 @@ class SJTreeMatcher(CSMMatcherBase):
             deltas = self._process_insertion(edge, stats)
             for partial in deltas:
                 edge_map, vertex_map = partial
-                times = [e.t for e in edge_map]
+                # Deltas surviving all m join levels are fully bound.
+                full = cast("tuple[TemporalEdge, ...]", edge_map)
+                times = [e.t for e in full]
                 if not self.constraints.check(times):
                     stats.record_fail(m)
                     continue
                 emitted += 1
                 stats.matches += 1
-                yield Match(tuple(edge_map), tuple(vertex_map))
+                yield Match(full, cast("tuple[int, ...]", vertex_map))
                 if limit is not None and emitted >= limit:
                     stats.budget_exhausted = True
                     return

@@ -26,7 +26,8 @@ its candidate index through the ``_on_prepare`` / ``_on_insert`` /
 from __future__ import annotations
 
 import time
-from collections.abc import Iterator
+from collections.abc import Hashable, Iterator
+from typing import cast
 
 from ...core.match import Match
 from ...core.stats import SearchStats
@@ -141,7 +142,9 @@ class CSMMatcherBase:
         """
         return True
 
-    def _expand_out(self, da: int, target_label) -> Iterator[TemporalEdge]:
+    def _expand_out(
+        self, da: int, target_label: Hashable
+    ) -> Iterator[TemporalEdge]:
         """All snapshot edges ``da -> x`` with ``label(x) == target_label``.
 
         Overridable frontier expansion (NewSP caches these lists).
@@ -153,7 +156,9 @@ class CSMMatcherBase:
             for t in times:
                 yield TemporalEdge(da, x, t)
 
-    def _expand_in(self, db: int, source_label) -> Iterator[TemporalEdge]:
+    def _expand_in(
+        self, db: int, source_label: Hashable
+    ) -> Iterator[TemporalEdge]:
         """All snapshot edges ``x -> db`` with ``label(x) == source_label``."""
         labels = self.snapshot.labels
         for x, times in self.snapshot.in_adjacency[db].items():
@@ -308,9 +313,13 @@ class CSMMatcherBase:
                 stats.budget_exhausted = True
                 return
             if pos == m:
-                times = [edge_map[i].t for i in range(m)]
+                full = cast("list[TemporalEdge]", edge_map)  # all bound here
+                times = [full[i].t for i in range(m)]
                 if self.constraints.check(times):
-                    yield Match(tuple(edge_map), tuple(vertex_map))
+                    yield Match(
+                        tuple(full),
+                        cast("tuple[int, ...]", tuple(vertex_map)),
+                    )
                 else:
                     stats.record_fail(pos)
                 return

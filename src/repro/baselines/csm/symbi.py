@@ -11,7 +11,7 @@ admit a data vertex only when both directions agree.
 
 from __future__ import annotations
 
-from ...graphs import QueryGraph
+from ...graphs import QueryGraph, TemporalEdge
 from .dynamic_index import Dependency, DynamicCandidateIndex
 from .stream import CSMMatcherBase
 
@@ -69,7 +69,7 @@ class SymBiMatcher(CSMMatcherBase):
         self._down = DynamicCandidateIndex(query, self.snapshot, down_deps)
         self._up = DynamicCandidateIndex(query, self.snapshot, up_deps)
 
-    def _on_insert(self, edge, pair_is_new: bool) -> None:
+    def _on_insert(self, edge: TemporalEdge, pair_is_new: bool) -> None:
         if pair_is_new:
             self._down.insert_pair(edge.u, edge.v)
             self._up.insert_pair(edge.u, edge.v)

@@ -11,7 +11,7 @@ query vertex.
 
 from __future__ import annotations
 
-from ...graphs import QueryGraph
+from ...graphs import QueryGraph, TemporalEdge
 from .dynamic_index import Dependency, DynamicCandidateIndex
 from .stream import CSMMatcherBase
 
@@ -54,7 +54,7 @@ def spanning_tree_dependencies(
             seen.add(u)
             frontier = [u]
             while frontier:
-                nxt = []
+                nxt: list[int] = []
                 for parent in frontier:
                     for child in sorted(query.neighbors(parent)):
                         if child in seen:
@@ -81,7 +81,7 @@ class TurboFluxMatcher(CSMMatcherBase):
             spanning_tree_dependencies(self.query),
         )
 
-    def _on_insert(self, edge, pair_is_new: bool) -> None:
+    def _on_insert(self, edge: TemporalEdge, pair_is_new: bool) -> None:
         if pair_is_new:
             self._index.insert_pair(edge.u, edge.v)
 

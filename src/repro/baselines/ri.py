@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import time
 from collections.abc import Iterator
+from typing import cast
 
 from ..core.match import Match
 from ..core.stats import SearchStats
@@ -45,7 +46,7 @@ def greatest_constraint_first_order(query: QueryGraph) -> list[int]:
     ordered.append(seed)
     in_order[seed] = True
     while len(ordered) < n:
-        frontier_set = set()
+        frontier_set: set[int] = set()
         for w in ordered:
             frontier_set |= query.neighbors(w)
 
@@ -133,7 +134,7 @@ class RIMatcher:
         # Structural checks per position: edges towards ordered vertices.
         self._edge_checks: list[tuple[tuple[int, bool, bool], ...]] = []
         for pos, u in enumerate(self._order):
-            checks = []
+            checks: list[tuple[int, bool, bool]] = []
             for w in query.neighbors(u):
                 if self._position[w] < pos:
                     checks.append(
@@ -150,34 +151,38 @@ class RIMatcher:
     ) -> Iterator[Match]:
         """Enumerate static embeddings, then timestamp assignments."""
         self.prepare()
-        if stats is None:
-            stats = SearchStats()
+        search_stats = stats if stats is not None else SearchStats()
         query = self.query
         graph = self.graph
         n = query.num_vertices
         vertex_map: list[int | None] = [None] * n
+        # Read-only view: _edge_checks only names vertices ordered earlier,
+        # so every position read below is bound.
+        bound = cast("list[int]", vertex_map)
         used: set[int] = set()
         emitted = 0
 
         def dfs(pos: int) -> Iterator[Match]:
             if deadline is not None and time.monotonic() > deadline:
-                stats.budget_exhausted = True
+                search_stats.budget_exhausted = True
                 return
             if pos == n:
-                yield from self._temporal_postcheck(vertex_map, stats, pos)
+                yield from self._temporal_postcheck(
+                    vertex_map, search_stats, pos
+                )
                 return
-            stats.nodes_expanded += 1
+            search_stats.nodes_expanded += 1
             u = self._order[pos]
             produced = False
             for v in self._domains[u]:
-                stats.candidates_generated += 1
+                search_stats.candidates_generated += 1
                 if v in used:
-                    stats.record_fail(pos + 1)
+                    search_stats.record_fail(pos + 1)
                     continue
-                stats.validations += 1
+                search_stats.validations += 1
                 ok = True
                 for w, need_uw, need_wu in self._edge_checks[pos]:
-                    dw = vertex_map[w]
+                    dw = bound[w]
                     if need_uw and not graph.has_pair(v, dw):
                         ok = False
                         break
@@ -185,7 +190,7 @@ class RIMatcher:
                         ok = False
                         break
                 if not ok:
-                    stats.record_fail(pos + 1)
+                    search_stats.record_fail(pos + 1)
                     continue
                 produced = True
                 vertex_map[u] = v
@@ -196,14 +201,14 @@ class RIMatcher:
                 if limit is not None and emitted >= limit:
                     return
             if not produced:
-                stats.record_fail(pos + 1)
+                search_stats.record_fail(pos + 1)
 
         for match in dfs(0):
             emitted += 1
-            stats.matches += 1
+            search_stats.matches += 1
             yield match
             if limit is not None and emitted >= limit:
-                stats.budget_exhausted = True
+                search_stats.budget_exhausted = True
                 return
 
     def _temporal_postcheck(
@@ -215,20 +220,21 @@ class RIMatcher:
         """The 'additional temporal constraint' applied per embedding."""
         graph = self.graph
         query = self.query
-        options = []
+        complete = cast("list[int]", vertex_map)  # all positions bound here
+        options: list[list[int]] = []
         for index, (a, b) in enumerate(query.edges):
             required = query.edge_label(index)
             if required is None:
                 options.append(
-                    graph.timestamps_list(vertex_map[a], vertex_map[b])
+                    graph.timestamps_list(complete[a], complete[b])
                 )
             else:
                 options.append(
                     graph.timestamps_with_label(
-                        vertex_map[a], vertex_map[b], required
+                        complete[a], complete[b], required
                     )
                 )
-        final_map = tuple(vertex_map)
+        final_map = tuple(complete)
         found = False
         # Naive enumeration (use_windows=False): the baseline has no STN
         # machinery; this is the honest cost of bolting TC onto RI-DS.

@@ -14,7 +14,9 @@ Only use on small instances: complexity is the full
 from __future__ import annotations
 
 import itertools
+import time
 from collections.abc import Iterator
+from typing import cast
 
 from ..errors import AlgorithmError
 from ..graphs import QueryGraph, TemporalConstraints, TemporalGraph
@@ -55,12 +57,13 @@ class BruteForceMatcher:
         deadline: float | None = None,
     ) -> Iterator[Match]:
         """Yield every match, in deterministic order."""
-        if stats is None:
-            stats = SearchStats()
+        search_stats = stats if stats is not None else SearchStats()
         query = self.query
         graph = self.graph
         n = query.num_vertices
         vertex_map: list[int | None] = [None] * n
+        # Read-only view: positions below `u` are always bound in id order.
+        bound = cast("list[int]", vertex_map)
         used: set[int] = set()
         emitted = 0
 
@@ -70,7 +73,7 @@ class BruteForceMatcher:
             edges_closing_at[max(a, b)].append(index)
 
         def assignments(full_map: tuple[int, ...]) -> Iterator[tuple[int, ...]]:
-            options = []
+            options: list[list[int]] = []
             for index, (a, b) in enumerate(query.edges):
                 required = query.edge_label(index)
                 if required is None:
@@ -89,8 +92,11 @@ class BruteForceMatcher:
                     yield times
 
         def dfs(u: int) -> Iterator[Match]:
+            if deadline is not None and time.monotonic() > deadline:
+                search_stats.budget_exhausted = True
+                return
             if u == n:
-                full_map = tuple(vertex_map)
+                full_map = cast(tuple[int, ...], tuple(vertex_map))
                 for times in assignments(full_map):
                     yield Match.from_vertex_map(query, full_map, times)
                 return
@@ -100,8 +106,8 @@ class BruteForceMatcher:
                 ok = True
                 for index in edges_closing_at[u]:
                     a, b = query.edge(index)
-                    da = v if a == u else vertex_map[a]
-                    db = v if b == u else vertex_map[b]
+                    da = v if a == u else bound[a]
+                    db = v if b == u else bound[b]
                     if not graph.has_pair(da, db):
                         ok = False
                         break
@@ -115,10 +121,10 @@ class BruteForceMatcher:
 
         for match in dfs(0):
             emitted += 1
-            stats.matches += 1
+            search_stats.matches += 1
             yield match
             if limit is not None and emitted >= limit:
-                stats.budget_exhausted = True
+                search_stats.budget_exhausted = True
                 return
 
 

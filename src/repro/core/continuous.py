@@ -27,6 +27,7 @@ post-filtering baselines.
 from __future__ import annotations
 
 import math
+from typing import cast
 
 from ..baselines.csm.stream import CSMMatcherBase
 from ..graphs import QueryGraph, TemporalConstraints, TemporalEdge, TemporalGraph
@@ -62,18 +63,19 @@ class ContinuousTCSMMatcher(CSMMatcherBase):
     def _on_prepare(self) -> None:
         m = self.query.num_edges
         # Constraints checkable at each (pin, position): both edges bound.
-        self._check_plans: list[list[tuple]] = []
+        self._check_plans: list[list[list[tuple[int, int, float]]]] = []
         for pin in range(m):
             order = self._pin_orders[pin]
             position = [0] * m
             for pos, e in enumerate(order):
                 position[e] = pos
-            plan: list[list[tuple]] = [[] for _ in range(m)]
+            plan: list[list[tuple[int, int, float]]] = [[] for _ in range(m)]
             for c in self.constraints:
                 when = max(position[c.earlier], position[c.later])
                 plan[when].append((c.earlier, c.later, c.gap))
             self._check_plans.append(plan)
         # STN closure distances for window pruning.
+        self._dist: list[list[float]] | None
         if self.use_windows and len(self.constraints):
             self._dist = self.constraints.distance_matrix()
         else:
@@ -103,11 +105,14 @@ class ContinuousTCSMMatcher(CSMMatcherBase):
                     return False
         # Exact checks for constraints that just became fully bound.
         # (edge_map does not yet contain `cand` itself.)
+        # The plan schedules a constraint at the position where its second
+        # edge binds, so both reads below hit bound entries.
+        bound_edges = cast("list[TemporalEdge]", edge_map)
         for earlier, later, gap in self._check_plans[pin][pos]:
             t_earlier = (
-                cand.t if earlier == edge_index else edge_map[earlier].t
+                cand.t if earlier == edge_index else bound_edges[earlier].t
             )
-            t_later = cand.t if later == edge_index else edge_map[later].t
+            t_later = cand.t if later == edge_index else bound_edges[later].t
             if not 0 <= t_later - t_earlier <= gap:
                 return False
         return True

@@ -13,7 +13,8 @@ semantics require.
 from __future__ import annotations
 
 import time
-from collections.abc import Iterator
+from collections.abc import Hashable, Iterator
+from typing import cast
 
 from ..errors import AlgorithmError
 from ..graphs import (
@@ -95,7 +96,7 @@ class E2EMatcher:
 
     def _build_vmatch_plan(
         self,
-    ) -> tuple[tuple[tuple[int, frozenset], ...], ...]:
+    ) -> tuple[tuple[tuple[int, frozenset[Hashable]], ...], ...]:
         """Per position: (new query vertex, labels its BN requires).
 
         ``BN(u)`` (Definition 8) is ``N(u)`` minus the vertex shared
@@ -105,9 +106,10 @@ class E2EMatcher:
         """
         query = self.query
         tcq = self.tcq_plus
-        plan: list[tuple[tuple[int, frozenset], ...]] = []
+        assert tcq is not None  # prepare() builds the TCQ+ before this
+        plan: list[tuple[tuple[int, frozenset[Hashable]], ...]] = []
         for pos, edge_index in enumerate(tcq.order):
-            entries: list[tuple[int, frozenset]] = []
+            entries: list[tuple[int, frozenset[Hashable]]] = []
             endpoints = set(query.edge(edge_index))
             prec = tcq.prec[pos]
             if prec is None:
@@ -138,9 +140,13 @@ class E2EMatcher:
     ) -> Iterator[Match]:
         """Yield all matches (generator; stops early at *limit*/deadline)."""
         self.prepare()
-        if stats is None:
-            stats = SearchStats()
-        tcq = self.tcq_plus
+        search_stats = stats if stats is not None else SearchStats()
+        # prepare() populated these; the casts rebind them non-Optional
+        # because narrowing does not propagate into the closures below.
+        tcq = cast(TCQPlus, self.tcq_plus)
+        pair_candidates = cast(
+            "list[frozenset[tuple[int, int]]]", self.pair_candidates
+        )
         query = self.query
         graph = self.graph
         data = graph.de_temporal()
@@ -151,22 +157,25 @@ class E2EMatcher:
         used: set[int] = set()
         emitted = 0
         edge_times: list[int | None] = [None] * m
+        # Read-only view of edge_times: a constraint is checked only at the
+        # position where its later edge binds, so both reads are bound.
+        bound_times = cast("list[int]", edge_times)
 
-        def vmatch(u: int, v: int, required_labels: frozenset) -> bool:
+        def vmatch(u: int, v: int, required_labels: frozenset[Hashable]) -> bool:
             """Vmatch (Algorithm 5 lines 24-28): label look-ahead on BN."""
             counts = data.neighbor_label_counts(v)
             return all(label in counts for label in required_labels)
 
         def temporal_ok(pos: int) -> bool:
             for c in tcq.check_at[pos]:
-                delta = edge_times[c.later] - edge_times[c.earlier]
+                delta = bound_times[c.later] - bound_times[c.earlier]
                 if not 0 <= delta <= c.gap:
                     return False
             return True
 
         required_labels = query.edge_labels
 
-        def admissible_times(edge_index: int, du: int, dv: int):
+        def admissible_times(edge_index: int, du: int, dv: int) -> list[int]:
             required = required_labels[edge_index]
             if required is None:
                 return graph.timestamps_list(du, dv)
@@ -177,7 +186,7 @@ class E2EMatcher:
             edge_index = tcq.order[pos]
             qa, qb = query.edge(edge_index)
             da, db = vertex_map[qa], vertex_map[qb]
-            allowed = self.pair_candidates[edge_index]
+            allowed = pair_candidates[edge_index]
             if da is not None and db is not None:
                 # Closing edge: both endpoints pinned (prec + FE combined).
                 if self.intersect_candidates and (da, db) not in allowed:
@@ -219,34 +228,37 @@ class E2EMatcher:
         def dfs(pos: int) -> Iterator[Match]:
             nonlocal emitted
             if deadline is not None and time.monotonic() > deadline:
-                stats.budget_exhausted = True
+                search_stats.budget_exhausted = True
                 return
             if pos == m:
-                yield Match(tuple(edge_map), tuple(vertex_map))
+                yield Match(
+                    cast("tuple[TemporalEdge, ...]", tuple(edge_map)),
+                    cast("tuple[int, ...]", tuple(vertex_map)),
+                )
                 return
-            stats.nodes_expanded += 1
+            search_stats.nodes_expanded += 1
             edge_index = tcq.order[pos]
             qa, qb = query.edge(edge_index)
             produced = False
             for cand in candidate_edges(pos):
                 if deadline is not None and time.monotonic() > deadline:
-                    stats.budget_exhausted = True
+                    search_stats.budget_exhausted = True
                     return
-                stats.candidates_generated += 1
-                stats.validations += 1
+                search_stats.candidates_generated += 1
+                search_stats.validations += 1
                 # Injectivity: a newly bound data vertex must be fresh and
                 # the two endpoints of a seed edge must differ.
                 new_a = vertex_map[qa] is None
                 new_b = vertex_map[qb] is None
                 if new_a and new_b and cand.u == cand.v:
-                    stats.record_fail(pos + 1)
+                    search_stats.record_fail(pos + 1)
                     continue
                 edge_map[edge_index] = cand
                 edge_times[edge_index] = cand.t
                 if not temporal_ok(pos):
                     edge_map[edge_index] = None
                     edge_times[edge_index] = None
-                    stats.record_fail(pos + 1)
+                    search_stats.record_fail(pos + 1)
                     continue
                 if self.vertex_prematching and not all(
                     vmatch(u, cand.u if u == qa else cand.v, labels)
@@ -254,7 +266,7 @@ class E2EMatcher:
                 ):
                     edge_map[edge_index] = None
                     edge_times[edge_index] = None
-                    stats.record_fail(pos + 1)
+                    search_stats.record_fail(pos + 1)
                     continue
                 if new_a:
                     vertex_map[qa] = cand.u
@@ -275,12 +287,12 @@ class E2EMatcher:
                 if limit is not None and emitted >= limit:
                     return
             if not produced:
-                stats.record_fail(pos + 1)
+                search_stats.record_fail(pos + 1)
 
         for match in dfs(0):
             emitted += 1
-            stats.matches += 1
+            search_stats.matches += 1
             yield match
             if limit is not None and emitted >= limit:
-                stats.budget_exhausted = True
+                search_stats.budget_exhausted = True
                 return

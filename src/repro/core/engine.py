@@ -16,7 +16,7 @@ from __future__ import annotations
 import time
 from collections.abc import Callable, Iterator
 from dataclasses import dataclass, field
-from typing import Protocol
+from typing import Any, Protocol
 
 from ..errors import UnknownAlgorithmError
 from ..graphs import QueryGraph, TemporalConstraints, TemporalGraph
@@ -94,7 +94,7 @@ def create_matcher(
     query: QueryGraph,
     constraints: TemporalConstraints,
     graph: TemporalGraph,
-    **options,
+    **options: Any,
 ) -> Matcher:
     """Instantiate the matcher registered under *algorithm*."""
     key = algorithm.lower()
@@ -138,7 +138,7 @@ def find_matches(
     time_budget: float | None = None,
     tighten: bool = False,
     collect_matches: bool = True,
-    **options,
+    **options: Any,
 ) -> MatchResult:
     """Run a matcher end to end and return matches plus measurements.
 
@@ -198,7 +198,7 @@ def count_matches(
     constraints: TemporalConstraints,
     graph: TemporalGraph,
     algorithm: str = "tcsm-eve",
-    **kwargs,
+    **kwargs: Any,
 ) -> int:
     """Number of matches (does not retain match objects)."""
     result = find_matches(

@@ -76,7 +76,7 @@ def estimate_match_count(
             da, db = vertex_map[qa], vertex_map[qb]
             required = query.edge_label(edge_index)
 
-            candidates = []
+            candidates: list[tuple[int, int, int]] = []
             if da is not None and db is not None:
                 if (da, db) in pair_candidates[edge_index]:
                     times = (
@@ -117,7 +117,7 @@ def estimate_match_count(
                     candidates.extend((du, dv, t) for t in times)
 
             # Keep only candidates passing the temporal checks due at pos.
-            valid = []
+            valid: list[tuple[int, int, int]] = []
             for du, dv, t in candidates:
                 ok = True
                 for c in check_plans[pos]:

@@ -31,7 +31,7 @@ def constraint_slack(
     coordinated behaviour.
     """
     times = match.timestamp_vector()
-    report = []
+    report: list[tuple[int, float, float]] = []
     for index, c in enumerate(constraints):
         delta = times[c.later] - times[c.earlier]
         report.append((index, float(delta), float(c.gap - delta)))

@@ -52,7 +52,7 @@ def render_tcq(tcq: TCQ, query: QueryGraph) -> str:
         )
         + "}"
     )
-    checks = []
+    checks: list[str] = []
     for pos, constraints in enumerate(tcq.check_at):
         for c in constraints:
             checks.append(
@@ -98,7 +98,7 @@ def render_tcq_plus(tcq: TCQPlus, query: QueryGraph) -> str:
         )
         + "}"
     )
-    checks = []
+    checks: list[str] = []
     for pos, constraints in enumerate(tcq.check_at):
         for c in constraints:
             checks.append(
@@ -106,7 +106,7 @@ def render_tcq_plus(tcq: TCQPlus, query: QueryGraph) -> str:
                 f"{_edge(tcq.order[pos])}"
             )
     lines.append("  TC = {" + ", ".join(checks) + "}")
-    news = []
+    news: list[str] = []
     for pos in range(len(tcq.order)):
         if tcq.new_vertices[pos]:
             news.append(

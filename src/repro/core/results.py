@@ -13,7 +13,7 @@ from __future__ import annotations
 import csv
 import json
 from collections import Counter
-from collections.abc import Iterable, Mapping
+from collections.abc import Iterable, Iterator, Mapping
 from pathlib import Path
 
 from ..graphs import QueryGraph
@@ -43,7 +43,7 @@ class MatchSet:
     def __len__(self) -> int:
         return len(self._matches)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Match]:
         return iter(self._matches)
 
     def __contains__(self, match: Match) -> bool:
@@ -66,7 +66,7 @@ class MatchSet:
             groups.setdefault(match.vertex_map, []).append(match)
         return groups
 
-    def embedding_counts(self) -> Counter:
+    def embedding_counts(self) -> Counter[tuple[int, ...]]:
         """``vertex_map -> number of timestamp variants``."""
         return Counter(match.vertex_map for match in self._matches)
 
@@ -105,16 +105,16 @@ class MatchSet:
         self,
         query: QueryGraph | None = None,
         vertex_names: Mapping[int, str] | None = None,
-    ) -> list[dict]:
+    ) -> list[dict[str, object]]:
         """Plain-data records (one per match) for JSON-ish consumers."""
-        def name(v: int):
+        def name(v: int) -> int | str:
             if vertex_names is None:
                 return v
             return vertex_names.get(v, v)
 
-        records = []
+        records: list[dict[str, object]] = []
         for match in self._matches:
-            record = {
+            record: dict[str, object] = {
                 "vertices": [name(v) for v in match.vertex_map],
                 "edges": [
                     {"source": name(e.u), "target": name(e.v), "time": e.t}

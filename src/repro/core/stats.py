@@ -47,7 +47,7 @@ class SearchStats:
     validations: int = 0
     failed_enumerations: int = 0
     first_fail_layer: int | None = None
-    fail_layers: Counter = field(default_factory=Counter)
+    fail_layers: Counter[int] = field(default_factory=Counter)
     nodes_expanded: int = 0
     matches: int = 0
     budget_exhausted: bool = False

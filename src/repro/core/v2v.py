@@ -13,7 +13,8 @@ permutation" step that makes V2V pay on temporally dense instances.
 from __future__ import annotations
 
 import time
-from collections.abc import Iterator
+from collections.abc import Collection, Iterator
+from typing import cast
 
 from ..errors import AlgorithmError
 from ..graphs import QueryGraph, TemporalConstraints, TemporalGraph
@@ -101,7 +102,7 @@ class V2VMatcher:
                 self._prec_needs.append(
                     (query.has_edge(u_prec, u), query.has_edge(u, u_prec))
                 )
-            checks = []
+            checks: list[tuple[int, bool, bool]] = []
             for w in tcq.forward[pos]:
                 checks.append(
                     (w, query.has_edge(u, w), query.has_edge(w, u))
@@ -112,7 +113,7 @@ class V2VMatcher:
         self._required_edge_labels = self.query.edge_labels
         self._prepared = True
 
-    def _edge_times(self, edge_index: int, du: int, dv: int):
+    def _edge_times(self, edge_index: int, du: int, dv: int) -> list[int]:
         """Timestamps of data pair ``(du, dv)`` admissible for a query edge
         (honours the edge-label generalisation)."""
         required = self._required_edge_labels[edge_index]
@@ -131,13 +132,18 @@ class V2VMatcher:
     ) -> Iterator[Match]:
         """Yield all matches (generator; stops early at *limit*/deadline)."""
         self.prepare()
-        if stats is None:
-            stats = SearchStats()
-        tcq = self.tcq
+        search_stats = stats if stats is not None else SearchStats()
+        # prepare() populated these; the casts rebind them non-Optional
+        # because narrowing does not propagate into the closures below.
+        tcq = cast(TCQ, self.tcq)
+        candidates = cast("list[frozenset[int]]", self.candidates)
         query = self.query
         graph = self.graph
         n = query.num_vertices
         vertex_map: list[int | None] = [None] * n
+        # Read-only view of vertex_map: every position read below is bound,
+        # since the TCQ order matches prec/forward vertices first.
+        bound = cast("list[int]", vertex_map)
         used: set[int] = set()
         emitted = 0
 
@@ -147,10 +153,10 @@ class V2VMatcher:
                 eu, ev = self._edge_endpoints[c.earlier]
                 lu, lv = self._edge_endpoints[c.later]
                 earlier_times = self._edge_times(
-                    c.earlier, vertex_map[eu], vertex_map[ev]
+                    c.earlier, bound[eu], bound[ev]
                 )
                 later_times = self._edge_times(
-                    c.later, vertex_map[lu], vertex_map[lv]
+                    c.later, bound[lu], bound[lv]
                 )
                 if not windows_compatible(earlier_times, later_times, c.gap):
                     return False
@@ -158,7 +164,7 @@ class V2VMatcher:
 
         def structure_ok(pos: int, v: int) -> bool:
             for w, need_uw, need_wu in self._fv_checks[pos]:
-                dw = vertex_map[w]
+                dw = bound[w]
                 if need_uw and not graph.has_pair(v, dw):
                     return False
                 if need_wu and not graph.has_pair(dw, v):
@@ -168,19 +174,20 @@ class V2VMatcher:
         def dfs(pos: int) -> Iterator[Match]:
             nonlocal emitted
             if deadline is not None and time.monotonic() > deadline:
-                stats.budget_exhausted = True
+                search_stats.budget_exhausted = True
                 return
             if pos == n:
-                yield from self._emit_matches(vertex_map, stats, pos)
+                yield from self._emit_matches(vertex_map, search_stats, pos)
                 return
-            stats.nodes_expanded += 1
+            search_stats.nodes_expanded += 1
             u = tcq.order[pos]
             u_prec = tcq.prec[pos]
-            allowed = self.candidates[u]
+            allowed = candidates[u]
+            base: Collection[int]
             if u_prec is None:
                 base = allowed
             else:
-                d_prec = vertex_map[u_prec]
+                d_prec = bound[u_prec]
                 need_out, need_in = self._prec_needs[pos]
                 if need_out and need_in:
                     out_ids = graph.out_neighbor_ids(d_prec)
@@ -194,27 +201,27 @@ class V2VMatcher:
             produced = False
             for v in base:
                 if deadline is not None and time.monotonic() > deadline:
-                    stats.budget_exhausted = True
+                    search_stats.budget_exhausted = True
                     return
-                stats.candidates_generated += 1
+                search_stats.candidates_generated += 1
                 if self.intersect_candidates or u_prec is None:
                     if v not in allowed:
-                        stats.record_fail(pos + 1)
+                        search_stats.record_fail(pos + 1)
                         continue
                 elif graph.label(v) != query.label(u):
-                    stats.record_fail(pos + 1)
+                    search_stats.record_fail(pos + 1)
                     continue
                 if v in used:
-                    stats.record_fail(pos + 1)
+                    search_stats.record_fail(pos + 1)
                     continue
-                stats.validations += 1
+                search_stats.validations += 1
                 if not structure_ok(pos, v):
-                    stats.record_fail(pos + 1)
+                    search_stats.record_fail(pos + 1)
                     continue
                 vertex_map[u] = v
                 if not temporal_ok(pos):
                     vertex_map[u] = None
-                    stats.record_fail(pos + 1)
+                    search_stats.record_fail(pos + 1)
                     continue
                 produced = True
                 used.add(v)
@@ -224,14 +231,14 @@ class V2VMatcher:
                 if limit is not None and emitted >= limit:
                     return
             if not produced:
-                stats.record_fail(pos + 1)
+                search_stats.record_fail(pos + 1)
 
         for match in dfs(0):
             emitted += 1
-            stats.matches += 1
+            search_stats.matches += 1
             yield match
             if limit is not None and emitted >= limit:
-                stats.budget_exhausted = True
+                search_stats.budget_exhausted = True
                 return
 
     def _emit_matches(
@@ -241,12 +248,13 @@ class V2VMatcher:
         pos: int,
     ) -> Iterator[Match]:
         """Joint timestamp enumeration for a complete vertex embedding."""
+        complete = cast("list[int]", vertex_map)  # all positions bound here
         options = [
-            self._edge_times(index, vertex_map[u], vertex_map[v])
+            self._edge_times(index, complete[u], complete[v])
             for index, (u, v) in enumerate(self._edge_endpoints)
         ]
         any_assignment = False
-        final_map = tuple(vertex_map)
+        final_map = tuple(complete)
         for times in iter_timestamp_assignments(
             options, self.constraints, use_windows=self.use_windows
         ):

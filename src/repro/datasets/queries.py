@@ -19,6 +19,7 @@ parameters.
 from __future__ import annotations
 
 import random
+from collections.abc import Iterator
 
 from ..errors import DatasetError
 from ..graphs import QueryGraph, TemporalConstraints, TemporalGraph
@@ -124,7 +125,9 @@ def paper_constraints(
     return TemporalConstraints(triples, num_edges=num_edges)
 
 
-def paper_workloads(gap: float = DEFAULT_GAP):
+def paper_workloads(
+    gap: float = DEFAULT_GAP,
+) -> Iterator[tuple[str, str, QueryGraph, TemporalConstraints]]:
     """All nine (q_i, tc_j) combinations, as in Tables III and V.
 
     Yields ``(query_name, tc_name, query, constraints)``.

@@ -123,7 +123,7 @@ def random_constraints(
     all_pairs = [(i, j) for i in range(m) for j in range(m) if i != j]
     pool = adjacent_pairs if (prefer_adjacent and adjacent_pairs) else all_pairs
     max_possible = len({frozenset(p) for p in pool})
-    chosen: dict[frozenset, tuple[int, int]] = {}
+    chosen: dict[frozenset[int], tuple[int, int]] = {}
     attempts = 0
     while len(chosen) < min(num_constraints, max_possible):
         attempts += 1

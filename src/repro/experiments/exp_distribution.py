@@ -19,7 +19,7 @@ from .records import Measurement, write_csv
 from .runner import CORE_ALGORITHMS, common_parser, measure
 from .tables import render_table
 
-__all__ = ["run", "main"]
+__all__ = ["run", "main", "print_report"]
 
 DEFAULT_DATASETS = ("MO", "UB", "SU")
 DEFAULT_ALGORITHMS = (
@@ -69,7 +69,7 @@ def print_report(measurements: list[Measurement]) -> None:
     headers = ["Methods"]
     for dataset in datasets:
         headers += [f"{dataset} build(ms)", f"{dataset} match(ms)"]
-    rows = []
+    rows: list[list[str]] = []
     for algorithm in algorithms:
         row = [algorithm]
         for dataset in datasets:

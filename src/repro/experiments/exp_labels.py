@@ -106,9 +106,9 @@ def run_data_labels(
 def _print_sweep(measurements: list[Measurement], title: str) -> None:
     x_values = list(dict.fromkeys(m.params["labels"] for m in measurements))
     algorithms = list(dict.fromkeys(m.algorithm for m in measurements))
-    series = {}
+    series: dict[str, list[str]] = {}
     for algorithm in algorithms:
-        values = []
+        values: list[str] = []
         for x in x_values:
             found = [
                 m

@@ -18,7 +18,7 @@ from .records import Measurement, write_csv
 from .runner import CORE_ALGORITHMS, common_parser, measure
 from .tables import render_table
 
-__all__ = ["run", "main"]
+__all__ = ["run", "main", "print_report"]
 
 DEFAULT_DATASETS = ("CM", "EE", "MO", "UB")
 DEFAULT_ALGORITHMS = (
@@ -76,7 +76,7 @@ def print_report(measurements: list[Measurement]) -> None:
     datasets = list(dict.fromkeys(m.dataset for m in measurements))
     algorithms = list(dict.fromkeys(m.algorithm for m in measurements))
     by_key = {(m.algorithm, m.dataset): m for m in measurements}
-    rows = []
+    rows: list[list[str]] = []
     for algorithm in algorithms:
         row = [algorithm]
         for dataset in datasets:

@@ -18,7 +18,7 @@ from .records import Measurement, write_csv
 from .runner import CORE_ALGORITHMS, common_parser, measure
 from .tables import render_table
 
-__all__ = ["run", "main"]
+__all__ = ["run", "main", "print_report"]
 
 DEFAULT_ALGORITHMS = ("graphflow", "symbi", "ri-ds") + CORE_ALGORITHMS
 

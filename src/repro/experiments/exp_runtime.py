@@ -102,7 +102,7 @@ def _print_table3(measurements: list[Measurement]) -> None:
     datasets = list(dict.fromkeys(m.dataset for m in measurements))
     algorithms = list(dict.fromkeys(m.algorithm for m in measurements))
     by_key = {(m.algorithm, m.dataset): m for m in measurements}
-    rows = []
+    rows: list[list[str]] = []
     for algorithm in algorithms:
         row = [algorithm]
         for dataset in datasets:
@@ -132,7 +132,7 @@ def _print_table5(measurements: list[Measurement]) -> None:
         (m.dataset, m.query, m.constraint, m.algorithm): m
         for m in measurements
     }
-    rows = []
+    rows: list[list[str]] = []
     for dataset, query, constraint in combos:
         row = [dataset, f"{query},{constraint}"]
         for algorithm in algorithms:

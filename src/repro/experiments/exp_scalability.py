@@ -209,9 +209,9 @@ def _print_sweep(
     algorithms = list(dict.fromkeys(m.algorithm for m in measurements))
     datasets = list(dict.fromkeys(m.dataset for m in measurements))
     for dataset in datasets:
-        series = {}
+        series: dict[str, list[str]] = {}
         for algorithm in algorithms:
-            values = []
+            values: list[str] = []
             for x in x_values:
                 found = [
                     m

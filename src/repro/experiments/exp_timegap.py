@@ -18,7 +18,7 @@ from .records import Measurement, write_csv
 from .runner import common_parser, measure
 from .tables import format_seconds, render_series
 
-__all__ = ["run", "main", "DEFAULT_GAPS"]
+__all__ = ["run", "main", "print_report", "DEFAULT_GAPS"]
 
 SECONDS_PER_DAY = 86_400
 
@@ -72,11 +72,12 @@ def print_report(measurements: list[Measurement]) -> None:
     gaps = list(dict.fromkeys(m.params["gap"] for m in measurements))
     datasets = list(dict.fromkeys(m.dataset for m in measurements))
     algorithms = list(dict.fromkeys(m.algorithm for m in measurements))
-    match_series = {}
-    time_series = {}
+    match_series: dict[str, list[str]] = {}
+    time_series: dict[str, list[str]] = {}
     for dataset in datasets:
         for algorithm in algorithms:
-            counts, times = [], []
+            counts: list[str] = []
+            times: list[str] = []
             for gap in gaps:
                 found = [
                     m

@@ -30,7 +30,7 @@ class Measurement:
     failed_enumerations: int = 0
     first_fail_layer: int | None = None
     budget_exhausted: bool = False
-    params: dict = field(default_factory=dict)
+    params: dict[str, object] = field(default_factory=dict)
 
     def label(self) -> str:
         """Compact workload label, e.g. ``UB q1,tc2``."""
@@ -51,7 +51,7 @@ def write_csv(measurements: list[Measurement], path: str | Path) -> None:
         writer = csv.writer(handle)
         writer.writerow(columns)
         for m in measurements:
-            row = []
+            row: list[object] = []
             for name in columns:
                 value = getattr(m, name)
                 if name == "params":

@@ -11,8 +11,9 @@ from __future__ import annotations
 
 import argparse
 import tracemalloc
+from typing import Any
 
-from ..core import find_matches
+from ..core import MatchResult, find_matches
 from ..graphs import QueryGraph, TemporalConstraints, TemporalGraph
 from .records import Measurement
 
@@ -66,8 +67,8 @@ def measure(
     time_budget: float | None = 30.0,
     repeat: int = 1,
     track_memory: bool = False,
-    params: dict | None = None,
-    **options,
+    params: dict[str, object] | None = None,
+    **options: Any,
 ) -> Measurement:
     """Run one (workload, algorithm) pair and record the outcome.
 
@@ -75,7 +76,8 @@ def measure(
     (standard benchmarking practice); match counts and search statistics
     come from the first repetition.
     """
-    best = None
+    best: MatchResult | None = None
+    first: MatchResult | None = None
     memory_mb = 0.0
     for attempt in range(max(1, repeat)):
         if track_memory and attempt == 0:
@@ -97,6 +99,7 @@ def measure(
             if best is None:
                 first = result
             best = result
+    assert best is not None and first is not None  # loop runs >= once
     return Measurement(
         experiment=experiment,
         dataset=dataset,

@@ -7,7 +7,7 @@ text, so a terminal diff against the paper is straightforward.
 
 from __future__ import annotations
 
-from collections.abc import Mapping, Sequence
+from collections.abc import Callable, Mapping, Sequence
 
 __all__ = ["format_seconds", "render_table", "render_series"]
 
@@ -35,7 +35,7 @@ def render_table(
     widths = [
         max(len(row[col]) for row in cells) for col in range(len(headers))
     ]
-    lines = []
+    lines: list[str] = []
     if title:
         lines.append(title)
     header_line = "  ".join(
@@ -55,7 +55,7 @@ def render_series(
     x_values: Sequence[object],
     series: Mapping[str, Sequence[object]],
     title: str = "",
-    y_format=None,
+    y_format: Callable[[object], str] | None = None,
 ) -> str:
     """Render line-chart data as one column per x value, one row per line.
 
@@ -65,7 +65,7 @@ def render_series(
     if y_format is None:
         y_format = lambda v: v if isinstance(v, str) else str(v)  # noqa: E731
     headers = [x_label] + [str(x) for x in x_values]
-    rows = []
+    rows: list[list[str]] = []
     for name, values in series.items():
         rows.append([name] + [y_format(v) for v in values])
     return render_table(headers, rows, title=title)

@@ -14,6 +14,7 @@ import gzip
 import random
 from collections.abc import Hashable, Sequence
 from pathlib import Path
+from typing import IO, cast
 
 from ..errors import DatasetError
 from .temporal_graph import TemporalGraph
@@ -36,9 +37,9 @@ def default_label_alphabet(num_labels: int) -> tuple[str, ...]:
     return tuple(alphabet)
 
 
-def _open_text(path: Path, mode: str):
+def _open_text(path: Path, mode: str) -> IO[str]:
     if path.suffix == ".gz":
-        return gzip.open(path, mode + "t", encoding="utf-8")
+        return cast("IO[str]", gzip.open(path, mode + "t", encoding="utf-8"))
     return open(path, mode, encoding="utf-8")
 
 

@@ -9,7 +9,7 @@ numeric processing (synthetic generators, NLF signatures) a
 from __future__ import annotations
 
 from collections import Counter
-from collections.abc import Hashable, Iterable, Sequence
+from collections.abc import Hashable, Iterable, Iterator, Sequence
 
 __all__ = ["LabelTable", "label_histogram"]
 
@@ -57,14 +57,14 @@ class LabelTable:
     def __len__(self) -> int:
         return len(self._labels)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Hashable]:
         return iter(self._labels)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"LabelTable({self._labels!r})"
 
 
-def label_histogram(labels: Sequence[Hashable]) -> Counter:
+def label_histogram(labels: Sequence[Hashable]) -> Counter[Hashable]:
     """Count occurrences of each label.
 
     Used by generators to report label skew and by NLF-style filters to

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import math
 from collections import Counter
+from collections.abc import Hashable
 from dataclasses import dataclass, field
 
 from .temporal_graph import TemporalGraph
@@ -42,7 +43,7 @@ class GraphStatistics:
     label_entropy: float
     """Shannon entropy (bits) of the vertex-label distribution."""
 
-    label_histogram: dict = field(default_factory=dict)
+    label_histogram: dict[Hashable, int] = field(default_factory=dict)
 
     def describe(self) -> str:
         """One paragraph, human-readable."""

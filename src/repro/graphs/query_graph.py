@@ -90,7 +90,7 @@ class QueryGraph:
                     f"{len(self._edge_labels)} edge labels for "
                     f"{len(self._edges)} edges"
                 )
-        self._neighbor_label_counts: list[Counter | None] = [None] * n
+        self._neighbor_label_counts: list[Counter[Hashable] | None] = [None] * n
 
     # ------------------------------------------------------------------
     # vertices
@@ -208,7 +208,7 @@ class QueryGraph:
         """``|E_q| / |V_q|`` — the density knob swept in Exp-4."""
         return len(self._edges) / len(self._labels)
 
-    def neighbor_label_counts(self, u: int) -> Counter:
+    def neighbor_label_counts(self, u: int) -> Counter[Hashable]:
         """Multiset of labels over ``N(u)`` (cached), used by NLF/Vmatch."""
         self._check_vertex(u)
         cached = self._neighbor_label_counts[u]

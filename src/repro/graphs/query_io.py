@@ -37,7 +37,7 @@ __all__ = [
 
 def pattern_to_dict(
     query: QueryGraph, constraints: TemporalConstraints
-) -> dict:
+) -> dict[str, object]:
     """Serialise a (query, constraints) pattern to plain data."""
     return {
         "vertices": [
@@ -58,7 +58,9 @@ def pattern_to_dict(
     }
 
 
-def pattern_from_dict(data: dict) -> tuple[QueryGraph, TemporalConstraints]:
+def pattern_from_dict(
+    data: dict[str, object],
+) -> tuple[QueryGraph, TemporalConstraints]:
     """Deserialise a pattern; raises :class:`QueryError` on malformed input."""
     if not isinstance(data, dict):
         raise QueryError(f"pattern must be an object, got {type(data).__name__}")

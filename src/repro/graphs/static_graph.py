@@ -53,7 +53,7 @@ class StaticGraph:
         self._in: list[set[int]] = [set() for _ in range(n)]
         self._num_edges = 0
         self._label_index: dict[Hashable, tuple[int, ...]] | None = None
-        self._neighbor_label_counts: list[Counter | None] = [None] * n
+        self._neighbor_label_counts: list[Counter[Hashable] | None] = [None] * n
         for u, v in edges:
             self.add_edge(u, v)
 
@@ -151,7 +151,7 @@ class StaticGraph:
             self._label_index = {k: tuple(vs) for k, vs in index.items()}
         return self._label_index.get(label, ())
 
-    def neighbor_label_counts(self, v: int) -> Counter:
+    def neighbor_label_counts(self, v: int) -> Counter[Hashable]:
         """Multiset of labels over the undirected neighbourhood of ``v``.
 
         Cached per vertex; this is the signature consumed by the NLF filter

@@ -9,7 +9,7 @@ turns it into a directed multigraph whose elements are *temporal edges*
 from __future__ import annotations
 
 import bisect
-from collections.abc import Hashable, Iterable, Iterator, Sequence
+from collections.abc import Hashable, Iterable, Iterator, KeysView, Sequence
 from typing import NamedTuple
 
 from ..errors import GraphError
@@ -251,7 +251,7 @@ class TemporalGraph:
         """Internal in-adjacency (see :attr:`out_adjacency`)."""
         return self._in
 
-    def out_neighbor_ids(self, u: int):
+    def out_neighbor_ids(self, u: int) -> KeysView[int]:
         """Distinct out-neighbours of ``u`` as a set-like view (no copy).
 
         Hot-path accessor for the matchers; treat the view as read-only.
@@ -259,7 +259,7 @@ class TemporalGraph:
         self._check_vertex(u)
         return self._out[u].keys()
 
-    def in_neighbor_ids(self, v: int):
+    def in_neighbor_ids(self, v: int) -> KeysView[int]:
         """Distinct in-neighbours of ``v`` as a set-like view (no copy)."""
         self._check_vertex(v)
         return self._in[v].keys()

@@ -4,7 +4,8 @@ import math
 
 import pytest
 
-from repro.datasets import toy_constraints
+from repro.core import find_matches
+from repro.datasets import toy_constraints, toy_instance
 from repro.errors import ConstraintError, InfeasibleConstraintsError
 from repro.graphs import Constraint, TemporalConstraints
 
@@ -176,6 +177,85 @@ class TestSTN:
         assert not broken.is_feasible()
         with pytest.raises(InfeasibleConstraintsError):
             broken.closed()
+
+
+class _NegativeCycle(TemporalConstraints):
+    """Constraint set whose STN has a negative cycle.
+
+    The paper's ``[0, gap]`` window form cannot express a negative cycle
+    pairwise (see ``TestSTN.test_infeasible_detected``), so infeasibility
+    is injected at the distance-matrix level, the representation every
+    feasibility consumer actually reads.
+    """
+
+    def distance_matrix(self):
+        dist = super().distance_matrix()
+        dist[0][1] = 2.0
+        dist[1][0] = -5.0  # t0 - t1 <= -5 together with t1 - t0 <= 2
+        dist[0][0] = dist[1][1] = -3.0
+        return dist
+
+
+class TestSTNEdgeCases:
+    def test_infeasible_raised_before_matching(self):
+        # Tightening runs ahead of the search, so an infeasible constraint
+        # set must surface as InfeasibleConstraintsError from find_matches
+        # before any matcher touches the data graph.
+        query, _, graph, _, _ = toy_instance()
+        infeasible = _NegativeCycle(
+            [(0, 1, 5)], num_edges=query.num_edges
+        )
+        assert not infeasible.is_feasible()
+        with pytest.raises(InfeasibleConstraintsError):
+            find_matches(
+                query, infeasible, graph, algorithm="tcsm-e2e", tighten=True
+            )
+
+    @pytest.mark.parametrize(
+        "spec, num_edges",
+        [
+            ([(0, 1, 5), (1, 2, 3)], 3),
+            ([(0, 1, 5), (1, 2, 3), (0, 2, 9)], 4),
+            ([(0, 1, 0), (1, 0, 0)], 2),
+            ([], 3),
+        ],
+    )
+    def test_tightening_is_idempotent(self, spec, num_edges):
+        tc = TemporalConstraints(spec, num_edges=num_edges)
+        once = tc.closed()
+        twice = once.closed()
+        assert twice == once
+        assert hash(twice) == hash(once)
+
+    def test_toy_tightening_is_idempotent(self):
+        once = toy_constraints().closed()
+        assert once.closed() == once
+
+    def test_inf_survives_floyd_warshall(self):
+        # Edge 3 is untouched by any constraint: every distance through it
+        # must stay +inf (unconstrained), never become a huge finite bound.
+        tc = TemporalConstraints(
+            [(0, 1, 5), (1, 2, 3)], num_edges=4
+        )
+        dist = tc.distance_matrix()
+        for other in range(3):
+            assert dist[3][other] == math.inf
+            assert dist[other][3] == math.inf
+        assert tc.implied_window(0, 3) == (-math.inf, math.inf)
+        # And the closure emits no constraint involving edge 3.
+        assert all(3 not in (c.earlier, c.later) for c in tc.closed())
+
+    def test_inf_gap_survives_floyd_warshall(self):
+        # An explicit unbounded gap behaves as ordering-only: the closure
+        # keeps the ordering (lo == 0) without inventing an upper bound.
+        tc = TemporalConstraints(
+            [(0, 1, math.inf), (1, 2, 4)], num_edges=3
+        )
+        dist = tc.distance_matrix()
+        assert dist[0][1] == math.inf
+        assert dist[0][2] == math.inf
+        assert tc.implied_window(0, 2) == (0, math.inf)
+        assert tc.is_feasible()
 
 
 class TestToyConstraints:

@@ -1,0 +1,667 @@
+"""reprolint rule and framework tests.
+
+Each rule gets at least one positive fixture (violation reported) and one
+negative fixture (clean code passes); the framework tests cover pragmas,
+rule selection, output formats, exit codes, and — most importantly — that
+the live tree lints clean, which is the gate CI enforces.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from tools.reprolint import all_rules, lint_paths
+from tools.reprolint.pragmas import PragmaIndex
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Fixture path that makes the module count as repro.core (rule scoping).
+CORE = "src/repro/core/fixture_mod.py"
+BENCH = "benchmarks/bench_fixture.py"
+
+
+def lint_snippet(
+    tmp_path: Path,
+    code: str,
+    relpath: str = CORE,
+    select: list[str] | None = None,
+) -> list:
+    """Write *code* under a mirrored repo layout and lint it."""
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(code))
+    return lint_paths([tmp_path], select=select).findings
+
+
+def rule_ids(findings: list) -> list[str]:
+    return [finding.rule_id for finding in findings]
+
+
+# ----------------------------------------------------------------------
+# R001 unregistered-matcher
+# ----------------------------------------------------------------------
+class TestR001:
+    def test_unregistered_matcher_flagged(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            class OrphanMatcher:
+                name = "orphan"
+            """,
+            select=["R001"],
+        )
+        assert rule_ids(findings) == ["R001"]
+        assert "OrphanMatcher" in findings[0].message
+
+    def test_registered_matcher_passes(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def register_algorithm(name, factory):
+                ...
+
+            class GoodMatcher:
+                name = "good"
+
+            register_algorithm("good", GoodMatcher)
+            """,
+            select=["R001"],
+        )
+        assert findings == []
+
+    def test_registration_may_live_in_another_module(
+        self, tmp_path: Path
+    ) -> None:
+        lint_snippet(
+            tmp_path,
+            """
+            class RemoteMatcher:
+                name = "remote"
+            """,
+            select=["R001"],
+        )
+        (tmp_path / "src/repro/core/wiring.py").write_text(
+            "register_algorithm('remote', "
+            "lambda q, c, g: RemoteMatcher(q, c, g))\n"
+        )
+        assert lint_paths([tmp_path], select=["R001"]).findings == []
+
+    def test_protocol_class_exempt(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from typing import Protocol
+
+            class Matcher(Protocol):
+                name: str
+            """,
+            select=["R001"],
+        )
+        assert findings == []
+
+    def test_outside_matcher_packages_exempt(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            class HelperMatcher:
+                name = "helper"
+            """,
+            relpath="src/repro/experiments/fixture_mod.py",
+            select=["R001"],
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# R002 swallowed-exception
+# ----------------------------------------------------------------------
+class TestR002:
+    def test_bare_except_flagged(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def search():
+                try:
+                    work()
+                except:
+                    recover()
+            """,
+            select=["R002"],
+        )
+        assert rule_ids(findings) == ["R002"]
+
+    def test_swallowing_broad_except_flagged(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            try:
+                work()
+            except Exception:
+                pass
+            """,
+            select=["R002"],
+        )
+        assert rule_ids(findings) == ["R002"]
+
+    def test_narrow_or_handled_except_passes(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            try:
+                work()
+            except ValueError:
+                pass
+            except Exception as exc:
+                raise RuntimeError("wrapped") from exc
+            """,
+            select=["R002"],
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# R003 frozen-plan-mutation
+# ----------------------------------------------------------------------
+class TestR003:
+    def test_object_setattr_flagged(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def tweak(tcq, order):
+                object.__setattr__(tcq, "order", order)
+            """,
+            select=["R003"],
+        )
+        assert rule_ids(findings) == ["R003"]
+
+    def test_attribute_write_through_plan_name_flagged(
+        self, tmp_path: Path
+    ) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def tweak(self):
+                self.tcq.order = ()
+            """,
+            select=["R003"],
+        )
+        assert rule_ids(findings) == ["R003"]
+
+    def test_setattr_call_on_plan_flagged(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def tweak(tcf):
+                setattr(tcf, "edges", frozenset())
+            """,
+            select=["R003"],
+        )
+        assert rule_ids(findings) == ["R003"]
+
+    def test_post_init_escape_hatch_allowed(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class TCQ:
+                order: tuple
+
+                def __post_init__(self):
+                    object.__setattr__(self, "order", tuple(self.order))
+            """,
+            select=["R003"],
+        )
+        assert findings == []
+
+    def test_building_a_plan_is_not_mutation(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def build(order):
+                tcq = make_tcq(order)
+                local = list(tcq.order)
+                local[0] = 1
+                return tcq
+            """,
+            select=["R003"],
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# R004 unguarded-recursion
+# ----------------------------------------------------------------------
+class TestR004:
+    def test_unguarded_recursive_dfs_flagged(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def dfs(pos):
+                if pos == 0:
+                    return
+                dfs(pos - 1)
+            """,
+            select=["R004"],
+        )
+        assert rule_ids(findings) == ["R004"]
+
+    def test_deadline_guard_passes(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import time
+
+            def dfs(pos, deadline):
+                if deadline is not None and time.monotonic() > deadline:
+                    return
+                dfs(pos - 1, deadline)
+            """,
+            select=["R004"],
+        )
+        assert findings == []
+
+    def test_non_search_recursion_exempt(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def fold(items):
+                if not items:
+                    return 0
+                return items[0] + fold(items[1:])
+            """,
+            select=["R004"],
+        )
+        assert findings == []
+
+    def test_non_recursive_search_exempt(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def search(items):
+                return [item for item in items if item]
+            """,
+            select=["R004"],
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# R005 all-mismatch
+# ----------------------------------------------------------------------
+class TestR005:
+    def test_public_def_missing_from_all_flagged(
+        self, tmp_path: Path
+    ) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            __all__ = ["listed"]
+
+            def listed():
+                ...
+
+            def unlisted():
+                ...
+            """,
+            select=["R005"],
+        )
+        assert rule_ids(findings) == ["R005"]
+        assert "unlisted" in findings[0].message
+
+    def test_phantom_all_entry_flagged(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            __all__ = ["ghost"]
+            """,
+            select=["R005"],
+        )
+        assert rule_ids(findings) == ["R005"]
+        assert "ghost" in findings[0].message
+
+    def test_missing_all_with_public_defs_flagged(
+        self, tmp_path: Path
+    ) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def exposed():
+                ...
+            """,
+            select=["R005"],
+        )
+        assert rule_ids(findings) == ["R005"]
+
+    def test_consistent_all_passes(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from os import getcwd
+
+            __all__ = ["CONST", "exposed", "getcwd"]
+
+            CONST = 1
+
+            def exposed():
+                ...
+
+            def _private():
+                ...
+            """,
+            select=["R005"],
+        )
+        assert findings == []
+
+    def test_benchmarks_exempt(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def run_bench():
+                ...
+            """,
+            relpath=BENCH,
+            select=["R005"],
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# R006 missing-annotations
+# ----------------------------------------------------------------------
+class TestR006:
+    def test_unannotated_public_function_flagged(
+        self, tmp_path: Path
+    ) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            __all__ = ["combine"]
+
+            def combine(a, b: int, **options):
+                return a
+            """,
+            select=["R006"],
+        )
+        assert rule_ids(findings) == ["R006"]
+        message = findings[0].message
+        assert "a" in message and "**options" in message and "return" in message
+
+    def test_unannotated_public_method_flagged(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            __all__ = ["Thing"]
+
+            class Thing:
+                def value(self):
+                    return 1
+            """,
+            select=["R006"],
+        )
+        assert rule_ids(findings) == ["R006"]
+
+    def test_fully_annotated_passes(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from typing import Any
+
+            __all__ = ["Thing", "combine"]
+
+            def combine(a: int, b: int = 0, **options: Any) -> int:
+                return a + b
+
+            class Thing:
+                def value(self) -> int:
+                    return 1
+
+                def _helper(self, raw):
+                    return raw
+            """,
+            select=["R006"],
+        )
+        assert findings == []
+
+    def test_private_and_nested_functions_exempt(
+        self, tmp_path: Path
+    ) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            __all__ = ["outer"]
+
+            def outer() -> None:
+                def inner(x):
+                    return x
+                inner(1)
+
+            def _private(x):
+                return x
+            """,
+            select=["R006"],
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# R007 bench-imports-tests
+# ----------------------------------------------------------------------
+class TestR007:
+    def test_bench_importing_tests_flagged(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from tests.core.test_match import helper
+            import tests.graphs
+            """,
+            relpath=BENCH,
+            select=["R007"],
+        )
+        assert rule_ids(findings) == ["R007", "R007"]
+
+    def test_bench_importing_repro_passes(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.datasets import toy
+            """,
+            relpath=BENCH,
+            select=["R007"],
+        )
+        assert findings == []
+
+    def test_rule_scoped_to_benchmarks(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import tests.helpers
+            """,
+            relpath="src/repro/core/fixture_mod.py",
+            select=["R007"],
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# R008 float-timestamp-eq
+# ----------------------------------------------------------------------
+class TestR008:
+    def test_float_literal_equality_flagged(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def check(t):
+                return t == 3.5
+            """,
+            select=["R008"],
+        )
+        assert rule_ids(findings) == ["R008"]
+
+    def test_float_coercion_equality_flagged(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def check(t, other):
+                return float(t) != other
+            """,
+            select=["R008"],
+        )
+        assert rule_ids(findings) == ["R008"]
+
+    def test_integer_and_window_compares_pass(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def check(t, lo, hi):
+                return t == 3 or lo <= t <= hi or t >= 0.0
+            """,
+            select=["R008"],
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# framework: pragmas, selection, output, exit codes, live tree
+# ----------------------------------------------------------------------
+class TestPragmas:
+    def test_line_pragma_suppresses_named_rule(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def check(t):
+                return t == 3.5  # reprolint: disable=R008
+            """,
+            select=["R008"],
+        )
+        assert findings == []
+
+    def test_line_pragma_is_rule_specific(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def check(t):
+                return t == 3.5  # reprolint: disable=R002
+            """,
+            select=["R008"],
+        )
+        assert rule_ids(findings) == ["R008"]
+
+    def test_file_pragma_suppresses_everywhere(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            # reprolint: disable-file=R008
+
+            def check(t):
+                return t == 3.5
+
+            def check2(t):
+                return t == 7.25
+            """,
+            select=["R008"],
+        )
+        assert findings == []
+
+    def test_pragma_index_parsing(self) -> None:
+        index = PragmaIndex.from_source(
+            "x = 1  # reprolint: disable=R001, R002\n"
+            "# reprolint: disable-file=R009\n"
+            "y = 2  # reprolint: disable\n"
+        )
+        assert index.is_disabled("R001", 1)
+        assert index.is_disabled("R002", 1)
+        assert not index.is_disabled("R003", 1)
+        assert index.is_disabled("R009", 99)  # file-wide
+        assert index.is_disabled("R777", 3)  # blanket disable on line 3
+
+
+class TestFramework:
+    def test_every_rule_has_id_name_description(self) -> None:
+        rules = all_rules()
+        assert len(rules) >= 8
+        for rule_id, cls in rules.items():
+            assert rule_id == cls.id
+            assert cls.name
+            assert cls.description
+
+    def test_select_and_ignore(self, tmp_path: Path) -> None:
+        code = """
+        def check(t):
+            return t == 3.5
+        """
+        assert lint_snippet(tmp_path, code, select=["R002"]) == []
+        result = lint_paths([tmp_path], ignore=["R008", "R005", "R006"])
+        assert result.findings == []
+
+    def test_unknown_rule_id_raises(self, tmp_path: Path) -> None:
+        try:
+            lint_paths([tmp_path], select=["R999"])
+        except ValueError as exc:
+            assert "R999" in str(exc)
+        else:
+            raise AssertionError("expected ValueError for unknown rule id")
+
+    def test_unparseable_file_is_an_error(self, tmp_path: Path) -> None:
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n")
+        result = lint_paths([tmp_path])
+        assert result.errors and "broken.py" in result.errors[0]
+
+
+class TestCli:
+    def run_cli(self, *args: str) -> subprocess.CompletedProcess:
+        return subprocess.run(
+            [sys.executable, "-m", "tools.reprolint", *args],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+
+    def test_violation_exits_nonzero_with_json(self, tmp_path: Path) -> None:
+        target = tmp_path / "src/repro/core/bad.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("def check(t):\n    return t == 3.5\n")
+        proc = self.run_cli(str(tmp_path), "--select", "R008", "--format",
+                            "json")
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert payload["files_scanned"] == 1
+        assert [f["rule_id"] for f in payload["findings"]] == ["R008"]
+
+    def test_clean_tree_exits_zero(self, tmp_path: Path) -> None:
+        target = tmp_path / "src/repro/core/good.py"
+        target.parent.mkdir(parents=True)
+        target.write_text('__all__: list = []\n')
+        proc = self.run_cli(str(tmp_path))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_nonexistent_path_is_usage_error(self, tmp_path: Path) -> None:
+        # A typo'd path must not report a vacuous "0 files scanned, clean".
+        proc = self.run_cli(str(tmp_path / "no/such/dir"))
+        assert proc.returncode == 2
+        assert "do not exist" in proc.stderr
+
+    def test_list_rules(self) -> None:
+        proc = self.run_cli("--list-rules")
+        assert proc.returncode == 0
+        for rule_id in all_rules():
+            assert rule_id in proc.stdout
+
+
+class TestLiveTree:
+    """The acceptance gate: the real tree lints clean."""
+
+    def test_src_and_benchmarks_are_clean(self) -> None:
+        result = lint_paths(
+            [REPO_ROOT / "src" / "repro", REPO_ROOT / "benchmarks"]
+        )
+        formatted = "\n".join(f.format() for f in result.findings)
+        assert result.findings == [], f"live tree has findings:\n{formatted}"
+        assert result.errors == []
+        assert result.files_scanned > 50

@@ -1,0 +1,1 @@
+"""Developer tooling for the TCSM reproduction (not shipped with the package)."""

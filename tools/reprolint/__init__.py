@@ -1,0 +1,26 @@
+"""reprolint — repo-specific static analysis for the TCSM reproduction.
+
+The rules enforce the cross-cutting invariants that keep three TCSM
+matchers, a brute-force oracle, and nine CSM baselines agreeing on
+matching semantics (see docs/TOOLING.md for the rule table).  Run with::
+
+    python -m tools.reprolint src/repro benchmarks
+
+Programmatic use: :func:`lint_paths` returns a :class:`LintResult`;
+:func:`all_rules` exposes the registry for tooling/tests.
+"""
+
+from __future__ import annotations
+
+from .findings import Finding
+from .registry import Rule, all_rules, register_rule
+from .runner import LintResult, lint_paths
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "register_rule",
+]

@@ -1,0 +1,64 @@
+"""Small AST helpers shared by several rules."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+__all__ = [
+    "call_name",
+    "dotted_tail",
+    "iter_functions_with_class",
+    "referenced_names",
+]
+
+FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+def call_name(node: ast.Call) -> str | None:
+    """The called name: ``f(...)`` -> ``f``; ``a.b.f(...)`` -> ``f``."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def dotted_tail(node: ast.expr) -> str | None:
+    """Rightmost identifier of a Name/Attribute chain, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def iter_functions_with_class(
+    tree: ast.Module,
+) -> Iterator[tuple[FunctionNode, ast.ClassDef | None]]:
+    """Top-level functions and direct methods of top-level classes.
+
+    Yields ``(function, enclosing_class_or_None)``; nested functions are
+    not yielded (they are implementation detail, not public API).
+    """
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, None
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield item, node
+
+
+def referenced_names(node: ast.AST) -> set[str]:
+    """All plain identifiers and attribute names referenced under *node*."""
+    names: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            names.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            names.add(sub.attr)
+        elif isinstance(sub, ast.arg):
+            names.add(sub.arg)
+    return names

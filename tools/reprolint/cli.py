@@ -1,0 +1,117 @@
+"""Command-line entry point: ``python -m tools.reprolint [paths...]``.
+
+Exit codes: 0 — clean; 1 — findings (or unparseable files); 2 — usage
+error.  ``--format json`` emits a machine-readable report for CI
+annotation tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from .registry import all_rules
+from .runner import lint_paths
+
+__all__ = ["main"]
+
+_DEFAULT_PATHS = ("src/repro", "benchmarks")
+
+
+def _split_ids(raw: str) -> list[str]:
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description=(
+            "Repo-specific static analysis for the TCSM reproduction: "
+            "enforces the invariants that keep all matchers agreeing."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(_DEFAULT_PATHS),
+        help=f"files/directories to lint (default: {' '.join(_DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="IDS",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule_id, cls in all_rules().items():
+        lines.append(f"{rule_id}  {cls.name}")
+        lines.append(f"      {cls.description}")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        # A typo'd or renamed path must not make the CI gate vacuously green.
+        parser.error(f"path(s) do not exist: {', '.join(missing)}")
+    try:
+        result = lint_paths(
+            args.paths,
+            select=_split_ids(args.select) if args.select else None,
+            ignore=_split_ids(args.ignore) if args.ignore else None,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))  # exits 2
+
+    if args.format == "json":
+        payload = {
+            "files_scanned": result.files_scanned,
+            "findings": [finding.to_dict() for finding in result.findings],
+            "errors": result.errors,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for finding in result.findings:
+            print(finding.format())
+        for error in result.errors:
+            print(f"error: {error}", file=sys.stderr)
+        status = "clean" if not (result.findings or result.errors) else (
+            f"{len(result.findings)} finding(s)"
+            + (f", {len(result.errors)} error(s)" if result.errors else "")
+        )
+        print(
+            f"reprolint: {result.files_scanned} file(s) scanned, {status}",
+            file=sys.stderr,
+        )
+    return 1 if (result.findings or result.errors) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Per-file lint context handed to every rule."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+
+from .pragmas import PragmaIndex
+
+__all__ = ["FileContext"]
+
+
+def _module_name(path: Path) -> str:
+    """Dotted module name, anchored at the nearest ``src`` directory.
+
+    ``.../src/repro/core/tcq.py`` -> ``repro.core.tcq``;
+    ``benchmarks/bench_x.py`` -> ``bench_x``.  Works for fixture trees in
+    tests as long as they mirror the ``src/<pkg>/...`` layout.
+    """
+    parts = list(path.parts)
+    if "src" in parts:
+        parts = parts[len(parts) - parts[::-1].index("src") :]
+    else:
+        parts = [path.name]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may need about one source file."""
+
+    path: Path
+    rel_path: str
+    source: str
+    tree: ast.Module
+    pragmas: PragmaIndex
+    module: str
+
+    @classmethod
+    def load(cls, path: Path, rel_path: str) -> "FileContext":
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=rel_path)
+        return cls(
+            path=path,
+            rel_path=rel_path,
+            source=source,
+            tree=tree,
+            pragmas=PragmaIndex.from_source(source),
+            module=_module_name(path),
+        )
+
+    @property
+    def in_repro(self) -> bool:
+        """True for modules of the ``repro`` package (the shipped library)."""
+        return self.module == "repro" or self.module.startswith("repro.")
+
+    @property
+    def in_benchmarks(self) -> bool:
+        """True for files under a ``benchmarks`` directory."""
+        return "benchmarks" in self.path.parts

@@ -1,0 +1,34 @@
+"""Finding: one reported rule violation, with stable ordering and JSON form."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """A single reprolint diagnostic.
+
+    Sort order (path, line, col, rule_id) is the order findings are
+    printed in, so output is deterministic across runs.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    rule_name: str
+    message: str
+
+    def format(self) -> str:
+        """Human-readable one-liner, ``path:line:col: RXXX [name] message``."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} [{self.rule_name}] {self.message}"
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serialisable representation."""
+        return asdict(self)

@@ -1,0 +1,66 @@
+"""Suppression pragmas.
+
+Two forms are recognised, mirroring pylint's spelling:
+
+* ``# reprolint: disable=R001,R002`` on the same line as a finding
+  suppresses those rules for that line only; ``disable`` with no ``=``
+  suppresses every rule on the line.
+* ``# reprolint: disable-file=R001`` anywhere in the file suppresses the
+  rule for the whole file (use sparingly; reviewers grep for it).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+__all__ = ["PragmaIndex"]
+
+_PRAGMA = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>disable(?:-file)?)"
+    r"(?:\s*=\s*(?P<rules>[A-Za-z0-9_,\s]+))?"
+)
+
+#: Sentinel meaning "every rule" (a ``disable`` pragma with no rule list).
+_ALL = "*"
+
+
+def _parse_rules(raw: str | None) -> frozenset[str]:
+    if raw is None:
+        return frozenset({_ALL})
+    rules = {part.strip().upper() for part in raw.split(",") if part.strip()}
+    return frozenset(rules) if rules else frozenset({_ALL})
+
+
+@dataclass
+class PragmaIndex:
+    """Per-file index of suppression pragmas, queried by (rule, line)."""
+
+    file_disabled: frozenset[str] = frozenset()
+    line_disabled: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    @classmethod
+    def from_source(cls, source: str) -> "PragmaIndex":
+        file_disabled: set[str] = set()
+        line_disabled: dict[int, frozenset[str]] = {}
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            match = _PRAGMA.search(line)
+            if match is None:
+                continue
+            rules = _parse_rules(match.group("rules"))
+            if match.group("kind") == "disable-file":
+                file_disabled |= rules
+            else:
+                line_disabled[lineno] = line_disabled.get(
+                    lineno, frozenset()
+                ) | rules
+        return cls(frozenset(file_disabled), line_disabled)
+
+    def is_disabled(self, rule_id: str, line: int) -> bool:
+        """True if *rule_id* is suppressed at *line* of this file."""
+        if _ALL in self.file_disabled or rule_id in self.file_disabled:
+            return True
+        at_line = self.line_disabled.get(line)
+        if at_line is None:
+            return False
+        return _ALL in at_line or rule_id in at_line

@@ -1,0 +1,82 @@
+"""Rule base class and the rule registry.
+
+Every rule subclasses :class:`Rule` and registers itself with
+:func:`register_rule`; the runner instantiates a fresh rule object per lint
+run, feeds it every file via :meth:`Rule.check_file`, then collects
+cross-file findings from :meth:`Rule.finalize`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from typing import ClassVar
+
+from .context import FileContext
+from .findings import Finding
+
+__all__ = ["Rule", "all_rules", "register_rule"]
+
+
+class Rule:
+    """One lint rule.  Subclasses set the class metadata and override hooks.
+
+    ``check_file`` runs once per scanned file and may also accumulate
+    cross-file state on ``self``; ``finalize`` runs once after every file
+    has been seen and reports findings that need whole-project context
+    (e.g. the algorithm-registry check).
+    """
+
+    id: ClassVar[str] = ""
+    name: ClassVar[str] = ""
+    description: ClassVar[str] = ""
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        return ()
+
+    def finalize(self) -> Iterable[Finding]:
+        return ()
+
+    def finding(
+        self,
+        ctx_or_path: FileContext | str,
+        line: int,
+        col: int,
+        message: str,
+    ) -> Finding:
+        """Construct a finding attributed to this rule."""
+        path = (
+            ctx_or_path
+            if isinstance(ctx_or_path, str)
+            else ctx_or_path.rel_path
+        )
+        return Finding(
+            path=path,
+            line=line,
+            col=col,
+            rule_id=self.id,
+            rule_name=self.name,
+            message=message,
+        )
+
+
+_RULES: dict[str, type[Rule]] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding *cls* to the global rule registry."""
+    if not cls.id or not cls.name:
+        raise ValueError(f"rule {cls.__name__} must set `id` and `name`")
+    if cls.id in _RULES:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    _RULES[cls.id] = cls
+    return cls
+
+
+def all_rules() -> dict[str, type[Rule]]:
+    """Registered rules, keyed and sorted by id."""
+    return dict(sorted(_RULES.items()))
+
+
+def iter_rule_classes() -> Iterator[type[Rule]]:
+    for _, cls in sorted(_RULES.items()):
+        yield cls

@@ -1,0 +1,23 @@
+"""Rule modules; importing this package populates the rule registry."""
+
+from . import (  # noqa: F401  (imports register the rules)
+    annotations,
+    bench_imports,
+    dunder_all,
+    exceptions,
+    float_eq,
+    frozen_plan,
+    recursion_guard,
+    registry_complete,
+)
+
+__all__ = [
+    "annotations",
+    "bench_imports",
+    "dunder_all",
+    "exceptions",
+    "float_eq",
+    "frozen_plan",
+    "recursion_guard",
+    "registry_complete",
+]

@@ -1,0 +1,85 @@
+"""R006: public functions in ``repro`` must be fully type-annotated.
+
+The package ships a ``py.typed`` marker and is checked with
+``mypy --strict``; an unannotated public signature both weakens the strict
+gate (it degrades to ``Any``) and hides the contract from downstream
+users.  The rule requires a return annotation and an annotation on every
+parameter (``self``/``cls`` excepted) for: top-level public functions, and
+public or dunder methods of top-level public classes.  Private helpers and
+nested functions are mypy's business, not this rule's.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from ..astutil import FunctionNode, iter_functions_with_class
+from ..context import FileContext
+from ..findings import Finding
+from ..registry import Rule, register_rule
+
+__all__ = ["PublicAnnotationsRule"]
+
+
+def _is_public(func: FunctionNode, owner: ast.ClassDef | None) -> bool:
+    name = func.name
+    if owner is not None and owner.name.startswith("_"):
+        return False
+    if name.startswith("__") and name.endswith("__"):
+        return True  # dunders are public API
+    return not name.startswith("_")
+
+
+def _missing_annotations(func: FunctionNode, is_method: bool) -> Iterator[str]:
+    args = func.args
+    positional = args.posonlyargs + args.args
+    for index, arg in enumerate(positional):
+        if is_method and index == 0 and arg.arg in ("self", "cls"):
+            continue
+        if arg.annotation is None:
+            yield arg.arg
+    for arg in args.kwonlyargs:
+        if arg.annotation is None:
+            yield arg.arg
+    if args.vararg is not None and args.vararg.annotation is None:
+        yield "*" + args.vararg.arg
+    if args.kwarg is not None and args.kwarg.annotation is None:
+        yield "**" + args.kwarg.arg
+    if func.returns is None:
+        yield "return"
+
+
+@register_rule
+class PublicAnnotationsRule(Rule):
+    id = "R006"
+    name = "missing-annotations"
+    description = (
+        "Public functions and methods in repro must annotate every "
+        "parameter and the return type (py.typed / mypy --strict gate)."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if not ctx.in_repro:
+            return
+        for func, owner in iter_functions_with_class(ctx.tree):
+            if not _is_public(func, owner):
+                continue
+            if ctx.pragmas.is_disabled(self.id, func.lineno):
+                continue
+            is_method = owner is not None and not any(
+                isinstance(dec, ast.Name) and dec.id == "staticmethod"
+                for dec in func.decorator_list
+            )
+            missing = list(_missing_annotations(func, is_method))
+            if missing:
+                qualname = (
+                    f"{owner.name}.{func.name}" if owner else func.name
+                )
+                yield self.finding(
+                    ctx,
+                    func.lineno,
+                    func.col_offset,
+                    f"public function {qualname!r} is missing annotations "
+                    f"for: {', '.join(missing)}",
+                )

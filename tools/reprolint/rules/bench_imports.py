@@ -1,0 +1,48 @@
+"""R007: benchmark scripts never import from the test suite.
+
+Benchmarks must measure the shipped library, not test scaffolding: an
+import from ``tests`` couples benchmark numbers to fixtures that change
+freely, breaks running benchmarks from an installed wheel, and quietly
+drags pytest into the measured process.  Shared helpers belong in
+``repro.datasets`` (or the benchmarks' own ``conftest``), not in tests.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from ..context import FileContext
+from ..findings import Finding
+from ..registry import Rule, register_rule
+
+__all__ = ["BenchImportsTestsRule"]
+
+
+@register_rule
+class BenchImportsTestsRule(Rule):
+    id = "R007"
+    name = "bench-imports-tests"
+    description = "Files under benchmarks/ must not import from tests."
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if not ctx.in_benchmarks:
+            return
+        for node in ast.walk(ctx.tree):
+            imported: list[str] = []
+            if isinstance(node, ast.Import):
+                imported = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.module is not None:
+                imported = [node.module]
+            for name in imported:
+                if name.split(".")[0] != "tests":
+                    continue
+                if ctx.pragmas.is_disabled(self.id, node.lineno):
+                    continue
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"benchmark imports {name!r}; benchmarks must depend "
+                    "only on the repro package",
+                )

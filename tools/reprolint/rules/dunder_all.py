@@ -1,0 +1,91 @@
+"""R005: ``__all__`` must match the module's actual public surface.
+
+Both drifts are reported: a name listed in ``__all__`` but not bound at
+module top level (breaks ``from m import *`` and re-export chains), and a
+public top-level def/class missing from ``__all__`` (the packages'
+``__init__`` re-exports and the docs are generated from ``__all__``, so an
+unlisted name is invisible API).  Applies to ``repro`` modules only;
+scripts and benchmarks are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from ..context import FileContext
+from ..findings import Finding
+from ..registry import Rule, register_rule
+
+__all__ = ["DunderAllRule"]
+
+
+@register_rule
+class DunderAllRule(Rule):
+    id = "R005"
+    name = "all-mismatch"
+    description = (
+        "__all__ must list exactly the public top-level defs/classes; "
+        "every listed name must exist."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if not ctx.in_repro or ctx.module.endswith("__main__"):
+            return
+        declared: set[str] | None = None
+        declared_line = 1
+        defined: dict[str, int] = {}
+        bound: set[str] = set()
+        for node in ctx.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                defined[node.name] = node.lineno
+                bound.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if not isinstance(target, ast.Name):
+                        continue
+                    bound.add(target.id)
+                    if target.id == "__all__":
+                        declared_line = node.lineno
+                        try:
+                            declared = set(ast.literal_eval(node.value))
+                        except ValueError:
+                            return  # dynamically built; cannot verify
+            elif isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Name):
+                    bound.add(node.target.id)
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for alias in node.names:
+                    bound.add((alias.asname or alias.name).split(".")[0])
+        if declared is None:
+            public = sorted(n for n in defined if not n.startswith("_"))
+            if public and not ctx.pragmas.is_disabled(self.id, 1):
+                yield self.finding(
+                    ctx,
+                    1,
+                    0,
+                    "module defines public names "
+                    f"({', '.join(public)}) but no __all__",
+                )
+            return
+        if not ctx.pragmas.is_disabled(self.id, declared_line):
+            for missing in sorted(declared - bound):
+                yield self.finding(
+                    ctx,
+                    declared_line,
+                    0,
+                    f"__all__ lists {missing!r} but the module never "
+                    "defines or imports it",
+                )
+        for name, line in sorted(defined.items()):
+            if name.startswith("_") or name in declared:
+                continue
+            if ctx.pragmas.is_disabled(self.id, line):
+                continue
+            yield self.finding(
+                ctx,
+                line,
+                0,
+                f"public name {name!r} is missing from __all__",
+            )

@@ -1,0 +1,68 @@
+"""R002: no bare ``except:`` and no silently swallowed broad exceptions.
+
+A bare ``except:`` (or an ``except Exception:`` whose body is just
+``pass``) inside the search machinery can hide an infeasible-constraint
+error or a budget overrun and turn a crash into a silently wrong match
+count — the worst failure mode for code whose whole point is exact
+agreement with a brute-force oracle.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from ..astutil import dotted_tail
+from ..context import FileContext
+from ..findings import Finding
+from ..registry import Rule, register_rule
+
+__all__ = ["SwallowedExceptionRule"]
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _is_noop(body: list[ast.stmt]) -> bool:
+    """True if the handler body does nothing (pass / bare ellipsis)."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or `...`
+        return False
+    return True
+
+
+@register_rule
+class SwallowedExceptionRule(Rule):
+    id = "R002"
+    name = "swallowed-exception"
+    description = (
+        "No bare `except:`; no `except Exception:` whose body only "
+        "passes — failures in search paths must surface, not vanish."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if ctx.pragmas.is_disabled(self.id, node.lineno):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    "bare `except:` catches SystemExit/KeyboardInterrupt "
+                    "too; name the exception type",
+                )
+                continue
+            caught = dotted_tail(node.type)
+            if caught in _BROAD and _is_noop(node.body):
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"`except {caught}` silently swallows the error; "
+                    "handle it, log it, or narrow the type",
+                )

@@ -1,0 +1,63 @@
+"""R008: no float equality comparisons on timestamps.
+
+Timestamps in this codebase are integers by contract
+(``TemporalEdge.t: int``); gaps may be ``math.inf`` but concrete times
+never carry fractions.  An ``==``/``!=`` against a float literal (or a
+``float(...)`` coercion) therefore signals either a unit bug or a
+floating-point round-trip that will miss matches non-deterministically.
+Compare against integers, or use windows (``lo <= t <= hi``) as the STN
+machinery does.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from ..context import FileContext
+from ..findings import Finding
+from ..registry import Rule, register_rule
+
+__all__ = ["FloatTimestampEqualityRule"]
+
+
+def _is_float_expr(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    if isinstance(node, ast.UnaryOp):
+        return _is_float_expr(node.operand)
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "float"
+    ):
+        return True
+    return False
+
+
+@register_rule
+class FloatTimestampEqualityRule(Rule):
+    id = "R008"
+    name = "float-timestamp-eq"
+    description = (
+        "No ==/!= against float literals or float() coercions: "
+        "timestamps are integers; use integer compares or windows."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            if ctx.pragmas.is_disabled(self.id, node.lineno):
+                continue
+            operands = [node.left, *node.comparators]
+            if any(_is_float_expr(operand) for operand in operands):
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    "equality against a float; timestamps are integral — "
+                    "compare ints or use a window check",
+                )

@@ -1,0 +1,131 @@
+"""R003: frozen query-plan structures are never mutated after construction.
+
+``TCQ``, ``TCQPlus`` and ``TCF`` are frozen dataclasses shared between a
+matcher's ``prepare()`` and every subsequent ``run()``; the engine and the
+continuous matcher assume a built plan is immutable (re-runs, snapshots,
+cross-thread reuse).  ``object.__setattr__`` defeats the freeze silently,
+so the rule flags it anywhere outside ``__post_init__`` (the one sanctioned
+escape hatch of frozen dataclasses), along with plain or ``setattr``-based
+attribute writes through a variable that names a plan
+(``tcq``/``tcq_plus``/``tcf``/``plan`` or an attribute thereof).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from ..context import FileContext
+from ..findings import Finding
+from ..registry import Rule, register_rule
+
+__all__ = ["FrozenPlanMutationRule"]
+
+#: Variable / attribute names conventionally bound to plan structures.
+_PLAN_NAMES = {"tcq", "tcq_plus", "tcqp", "tcf", "plan"}
+
+
+def _names_plan(node: ast.expr) -> bool:
+    """Does this expression read a plan-named variable or attribute?"""
+    if isinstance(node, ast.Name):
+        return node.id in _PLAN_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in _PLAN_NAMES
+    return False
+
+
+def _walk_outside_post_init(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that skips ``__post_init__`` bodies entirely."""
+    stack: list[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        if (
+            isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and current.name == "__post_init__"
+        ):
+            continue
+        yield current
+        stack.extend(ast.iter_child_nodes(current))
+
+
+@register_rule
+class FrozenPlanMutationRule(Rule):
+    id = "R003"
+    name = "frozen-plan-mutation"
+    description = (
+        "Never mutate TCQ/TCQ+/TCF plans after construction: no "
+        "object.__setattr__ outside __post_init__, no attribute writes "
+        "through plan-named variables."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if not ctx.in_repro:
+            return
+        for node in _walk_outside_post_init(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+            elif isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+                yield from self._check_write(ctx, node)
+
+    def _check_call(
+        self, ctx: FileContext, node: ast.Call
+    ) -> Iterator[Finding]:
+        if ctx.pragmas.is_disabled(self.id, node.lineno):
+            return
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "__setattr__"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "object"
+        ):
+            yield self.finding(
+                ctx,
+                node.lineno,
+                node.col_offset,
+                "object.__setattr__ defeats frozen dataclasses; only "
+                "__post_init__ may use it",
+            )
+        elif (
+            isinstance(func, ast.Name)
+            and func.id == "setattr"
+            and node.args
+            and _names_plan(node.args[0])
+        ):
+            yield self.finding(
+                ctx,
+                node.lineno,
+                node.col_offset,
+                "setattr() on a query plan mutates a frozen structure",
+            )
+
+    def _check_write(
+        self, ctx: FileContext, node: ast.Assign | ast.AugAssign | ast.Delete
+    ) -> Iterator[Finding]:
+        if ctx.pragmas.is_disabled(self.id, node.lineno):
+            return
+        if isinstance(node, ast.Assign):
+            targets: list[ast.expr] = node.targets
+        elif isinstance(node, ast.AugAssign):
+            targets = [node.target]
+        else:
+            targets = node.targets
+        for target in targets:
+            if isinstance(target, ast.Attribute) and _names_plan(target.value):
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"write to plan attribute `.{target.attr}`: TCQ/TCQ+/"
+                    "TCF are frozen; build a new plan instead",
+                )
+            elif isinstance(target, ast.Subscript) and isinstance(
+                target.value, ast.Attribute
+            ) and _names_plan(target.value.value):
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    "item write into a plan field: plan tables are tuples "
+                    "by contract; rebuild the plan instead",
+                )

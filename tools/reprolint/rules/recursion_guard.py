@@ -1,0 +1,72 @@
+"""R004: recursive search/match functions must carry a depth or budget guard.
+
+Every matcher's DFS can hit pathological instances (deep queries, dense
+timestamp multiplicity); a recursive ``dfs``/``*search*``/``*match*``
+function that never consults a deadline, depth bound, or budget cannot be
+interrupted by the engine's ``time_budget`` machinery and turns such
+instances into hangs.  The rule finds self-recursive functions whose name
+matches the search-family pattern and requires that the body reference at
+least one guard identifier (``deadline``, ``depth``, ``max_depth``,
+``budget``, ``fuel``) — the spelling the engine protocol uses.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable
+
+from ..astutil import referenced_names
+from ..context import FileContext
+from ..findings import Finding
+from ..registry import Rule, register_rule
+
+__all__ = ["UnguardedRecursionRule"]
+
+_SEARCH_NAME = re.compile(r"dfs|search|match", re.IGNORECASE)
+_GUARDS = {"deadline", "depth", "max_depth", "budget", "fuel"}
+
+
+def _is_self_recursive(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> bool:
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Call):
+            continue
+        func = sub.func
+        if isinstance(func, ast.Name) and func.id == node.name:
+            return True
+        if isinstance(func, ast.Attribute) and func.attr == node.name:
+            return True
+    return False
+
+
+@register_rule
+class UnguardedRecursionRule(Rule):
+    id = "R004"
+    name = "unguarded-recursion"
+    description = (
+        "Self-recursive *search*/*match*/dfs functions must reference a "
+        "deadline/depth/budget guard so the engine can interrupt them."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _SEARCH_NAME.search(node.name):
+                continue
+            if ctx.pragmas.is_disabled(self.id, node.lineno):
+                continue
+            if not _is_self_recursive(node):
+                continue
+            if referenced_names(node) & _GUARDS:
+                continue
+            yield self.finding(
+                ctx,
+                node.lineno,
+                node.col_offset,
+                f"recursive function {node.name!r} has no deadline/depth/"
+                "budget guard; it cannot be interrupted on pathological "
+                "instances",
+            )

@@ -1,0 +1,92 @@
+"""R001: every matcher class must be registered in the engine registry.
+
+The engine dispatches by name (``repro.core.engine.register_algorithm``);
+a matcher class that exists but is never registered silently drops out of
+``available_algorithms()`` — and out of the differential tests that keep
+all matchers agreeing on TCSM semantics (DESIGN.md §1).  The rule collects
+every ``class ...Matcher`` under ``repro.core`` / ``repro.baselines`` and
+every ``register_algorithm(name, factory)`` call in the ``repro`` package,
+then reports matcher classes whose name never appears as (or inside) a
+registered factory.
+
+Protocol classes (the ``Matcher`` structural type) and names referenced
+inside lambda factories (the ``ri`` variant) are understood.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from ..astutil import call_name, dotted_tail
+from ..context import FileContext
+from ..findings import Finding
+from ..registry import Rule, register_rule
+
+__all__ = ["UnregisteredMatcherRule"]
+
+_MATCHER_PACKAGES = ("repro.core", "repro.baselines")
+
+
+def _is_protocol(node: ast.ClassDef) -> bool:
+    return any(dotted_tail(base) == "Protocol" for base in node.bases)
+
+
+@register_rule
+class UnregisteredMatcherRule(Rule):
+    id = "R001"
+    name = "unregistered-matcher"
+    description = (
+        "Matcher classes under repro.core / repro.baselines must be "
+        "registered with register_algorithm() somewhere in the package."
+    )
+
+    def __init__(self) -> None:
+        # (rel_path, line, col, class_name)
+        self._matchers: list[tuple[str, int, int, str]] = []
+        self._registered: set[str] = set()
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if not ctx.in_repro:
+            return ()
+        in_matcher_package = any(
+            ctx.module == pkg or ctx.module.startswith(pkg + ".")
+            for pkg in _MATCHER_PACKAGES
+        )
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.ClassDef)
+                and in_matcher_package
+                and node.name.endswith("Matcher")
+                and not _is_protocol(node)
+                and not ctx.pragmas.is_disabled(self.id, node.lineno)
+            ):
+                self._matchers.append(
+                    (ctx.rel_path, node.lineno, node.col_offset, node.name)
+                )
+            elif (
+                isinstance(node, ast.Call)
+                and call_name(node) == "register_algorithm"
+                and len(node.args) >= 2
+            ):
+                factory = node.args[1]
+                # Direct class reference, or any name mentioned inside a
+                # lambda/call factory (covers partial-application wrappers).
+                for sub in ast.walk(factory):
+                    tail = dotted_tail(sub)
+                    if tail is not None:
+                        self._registered.add(tail)
+        return ()
+
+    def finalize(self) -> Iterable[Finding]:
+        for rel_path, line, col, class_name in self._matchers:
+            if class_name in self._registered:
+                continue
+            yield self.finding(
+                rel_path,
+                line,
+                col,
+                f"matcher class {class_name!r} is never passed to "
+                "register_algorithm(); it is invisible to the engine and "
+                "to the cross-matcher agreement tests",
+            )

@@ -1,0 +1,110 @@
+"""Lint driver: file discovery, rule execution, pragma filtering."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from . import rules as _rules  # noqa: F401  (populates the registry)
+from .context import FileContext
+from .findings import Finding
+from .pragmas import PragmaIndex
+from .registry import Rule, all_rules
+
+__all__ = ["LintResult", "iter_python_files", "lint_paths"]
+
+_SKIP_DIRS = {".git", "__pycache__", ".mypy_cache", ".ruff_cache", ".venv"}
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, deduplicated .py file list."""
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not _SKIP_DIRS & set(candidate.parts):
+                    seen.add(candidate)
+        elif path.suffix == ".py":
+            seen.add(path)
+    return sorted(seen)
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    errors: list[str] = field(default_factory=list)
+    """Files that could not be parsed (reported, and fail the run)."""
+
+
+def _select_rules(
+    select: Iterable[str] | None, ignore: Iterable[str] | None
+) -> list[Rule]:
+    available = all_rules()
+    chosen = set(available) if select is None else {
+        rule_id.upper() for rule_id in select
+    }
+    if ignore is not None:
+        chosen -= {rule_id.upper() for rule_id in ignore}
+    unknown = chosen - set(available)
+    if unknown:
+        raise ValueError(
+            f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(available)}"
+        )
+    return [available[rule_id]() for rule_id in sorted(chosen)]
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> LintResult:
+    """Run the (selected) rules over *paths* and return all findings.
+
+    Findings suppressed by ``# reprolint: disable`` pragmas are filtered
+    here, so rules may emit unconditionally.  Cross-file findings from
+    ``finalize`` are filtered against the pragma index of the file they
+    point into.
+    """
+    active = _select_rules(select, ignore)
+    result = LintResult()
+    pragma_by_path: dict[str, PragmaIndex] = {}
+
+    for path in iter_python_files(paths):
+        rel_path = _display_path(path)
+        try:
+            ctx = FileContext.load(path, rel_path)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            result.errors.append(f"{rel_path}: cannot parse: {exc}")
+            continue
+        result.files_scanned += 1
+        pragma_by_path[rel_path] = ctx.pragmas
+        for rule in active:
+            for finding in rule.check_file(ctx):
+                if not ctx.pragmas.is_disabled(finding.rule_id, finding.line):
+                    result.findings.append(finding)
+
+    for rule in active:
+        for finding in rule.finalize():
+            pragmas = pragma_by_path.get(finding.path)
+            if pragmas is not None and pragmas.is_disabled(
+                finding.rule_id, finding.line
+            ):
+                continue
+            result.findings.append(finding)
+
+    result.findings.sort()
+    return result
+
+
+def _display_path(path: Path) -> str:
+    """Repo-relative path when possible, keeping output stable in CI."""
+    try:
+        return str(path.relative_to(Path.cwd()))
+    except ValueError:
+        return str(path)

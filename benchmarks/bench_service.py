@@ -1,0 +1,220 @@
+"""Service bench: cache amortisation and partitioned fan-out.
+
+Measures the two claims the serving subsystem makes (docs/SERVICE.md):
+
+* **Warm beats cold.**  A plan-cache hit skips ``prepare()``, so the
+  warm per-query latency must fall below half the cold latency for the
+  default algorithm; a result-cache hit skips the search too and must be
+  faster still.
+* **Fan-out does not change answers.**  Partitioned execution (thread or
+  process pool) returns exactly the single-worker match multiset; on
+  hosts with >= 2 cores the process pool must also deliver > 1.5x
+  throughput on a search-bound workload.  The speedup assertion is
+  skipped on single-core hosts (the fan-out still runs, the hardware
+  just cannot exhibit parallelism).
+
+Run standalone for a readable report::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+"""
+
+import os
+import statistics
+import time
+
+import pytest
+
+from repro.datasets import load_dataset, paper_constraints, paper_query
+from repro.service import ServiceConfig, TCSMService
+
+
+def _available_cores() -> int:
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1  # pragma: no cover - non-Linux fallback
+
+
+def _median_query_seconds(
+    service: TCSMService, graph: str, workload, repeats: int = 5, **kwargs
+) -> float:
+    query, constraints = workload
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        service.query(graph, query, constraints, **kwargs)
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+# ----------------------------------------------------------------------
+# cold vs warm cache
+# ----------------------------------------------------------------------
+def test_warm_plan_cache_beats_cold(cm_graph, workload):
+    """Plan-cache hits must cost < 0.5x a cold prepare-and-run."""
+    query, constraints = workload
+    with TCSMService(ServiceConfig(max_workers=1)) as service:
+        service.load_graph("cm", cm_graph)
+        colds = []
+        for _ in range(3):
+            service.plans.clear()
+            start = time.perf_counter()
+            service.query(
+                "cm", query, constraints, use_result_cache=False
+            )
+            colds.append(time.perf_counter() - start)
+        cold = statistics.median(colds)
+        warm = _median_query_seconds(
+            service, "cm", workload, use_result_cache=False
+        )
+    assert warm < 0.5 * cold, f"warm {warm:.6f}s vs cold {cold:.6f}s"
+
+
+def test_result_cache_hit_beats_plan_hit(cm_graph, workload):
+    """Result-cache hits skip the search entirely."""
+    query, constraints = workload
+    with TCSMService(ServiceConfig(max_workers=1)) as service:
+        service.load_graph("cm", cm_graph)
+        service.query("cm", query, constraints)  # populate both caches
+        plan_hit = _median_query_seconds(
+            service, "cm", workload, use_result_cache=False
+        )
+        result_hit = _median_query_seconds(service, "cm", workload)
+        hit = service.query("cm", query, constraints)
+    assert hit.result_cache == "hit"
+    assert result_hit < plan_hit
+
+
+def test_warm_query_throughput(benchmark, cm_graph, workload):
+    """Steady-state QPS with both caches hot (the serving fast path)."""
+    query, constraints = workload
+    with TCSMService(ServiceConfig(max_workers=1)) as service:
+        service.load_graph("cm", cm_graph)
+        service.query("cm", query, constraints)
+        result = benchmark(service.query, "cm", query, constraints)
+    assert result.result_cache == "hit"
+    benchmark.extra_info["matches"] = result.match_count
+
+
+# ----------------------------------------------------------------------
+# 1 vs N workers
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "algorithm", ("tcsm-eve", "tcsm-e2e", "tcsm-v2v")
+)
+def test_partitioned_counts_match_single_worker(
+    cm_graph, workload, algorithm
+):
+    """Thread fan-out returns the exact single-worker match multiset."""
+    query, constraints = workload
+    with TCSMService(ServiceConfig(max_workers=4)) as service:
+        service.load_graph("cm", cm_graph)
+        solo = service.query(
+            "cm", query, constraints, algorithm=algorithm,
+            workers=1, use_result_cache=False,
+        )
+        fanned = service.query(
+            "cm", query, constraints, algorithm=algorithm,
+            workers=4, use_result_cache=False,
+        )
+    assert fanned.partitions == 4
+    assert fanned.match_count == solo.match_count
+    assert sorted(m.vertex_map for m in fanned.matches) == sorted(
+        m.vertex_map for m in solo.matches
+    )
+
+
+@pytest.mark.skipif(
+    _available_cores() < 2,
+    reason="multi-worker speedup needs >= 2 cores",
+)
+def test_process_pool_speedup(workload):
+    """On multi-core hosts the process pool must beat 1.5x throughput."""
+    graph = load_dataset("CM", scale=0.1, seed=1)
+    query, constraints = workload
+    workers = min(4, _available_cores())
+    with TCSMService(
+        ServiceConfig(max_workers=workers, pool="process")
+    ) as service:
+        service.load_graph("cm", graph)
+        service.query(  # warm the plan so both timings are search-only
+            "cm", query, constraints, workers=1, use_result_cache=False
+        )
+        solo_start = time.perf_counter()
+        solo = service.query(
+            "cm", query, constraints, workers=1, use_result_cache=False
+        )
+        solo_seconds = time.perf_counter() - solo_start
+        fan_start = time.perf_counter()
+        fanned = service.query(
+            "cm", query, constraints, workers=workers,
+            use_result_cache=False,
+        )
+        fan_seconds = time.perf_counter() - fan_start
+    assert fanned.match_count == solo.match_count
+    speedup = solo_seconds / fan_seconds
+    assert speedup > 1.5, (
+        f"{workers}-worker speedup {speedup:.2f}x "
+        f"(solo {solo_seconds:.3f}s, fanned {fan_seconds:.3f}s)"
+    )
+
+
+# ----------------------------------------------------------------------
+# standalone report
+# ----------------------------------------------------------------------
+def main() -> None:  # pragma: no cover - manual reporting entry
+    cores = _available_cores()
+    graph = load_dataset("CM", scale=0.1, seed=1)
+    query = paper_query(1)
+    constraints = paper_constraints(2, num_edges=query.num_edges)
+    workload = (query, constraints)
+    print(f"cores={cores} graph=CM@0.1 "
+          f"({graph.num_vertices}v/{graph.num_temporal_edges}e)")
+
+    with TCSMService(ServiceConfig(max_workers=1)) as service:
+        service.load_graph("cm", graph)
+        service.plans.clear()
+        start = time.perf_counter()
+        cold_result = service.query(
+            "cm", query, constraints, use_result_cache=False
+        )
+        cold = time.perf_counter() - start
+        warm = _median_query_seconds(
+            service, "cm", workload, use_result_cache=False
+        )
+        hit = _median_query_seconds(service, "cm", workload)
+    print(f"cold={cold * 1e3:.2f}ms "
+          f"(prepare {cold_result.build_seconds * 1e3:.2f}ms) "
+          f"plan-hit={warm * 1e3:.2f}ms ({warm / cold:.2f}x cold) "
+          f"result-hit={hit * 1e3:.2f}ms")
+
+    for pool in ("thread", "process"):
+        workers = min(4, max(2, cores))
+        with TCSMService(
+            ServiceConfig(max_workers=workers, pool=pool)
+        ) as service:
+            service.load_graph("cm", graph)
+            service.query(  # warm the plan; time the search alone
+                "cm", query, constraints, workers=1,
+                use_result_cache=False,
+            )
+            solo_start = time.perf_counter()
+            solo = service.query(
+                "cm", query, constraints, workers=1,
+                use_result_cache=False,
+            )
+            solo_s = time.perf_counter() - solo_start
+            fan_start = time.perf_counter()
+            fanned = service.query(
+                "cm", query, constraints, workers=workers,
+                use_result_cache=False,
+            )
+            fan_s = time.perf_counter() - fan_start
+        assert fanned.match_count == solo.match_count
+        print(f"{pool}-pool x{workers}: solo={solo_s * 1e3:.1f}ms "
+              f"fanned={fan_s * 1e3:.1f}ms "
+              f"speedup={solo_s / fan_s:.2f}x "
+              f"matches={fanned.match_count}")
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry
+    main()

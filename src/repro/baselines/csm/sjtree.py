@@ -54,6 +54,7 @@ class SJTreeMatcher(CSMMatcherBase):
         for edge in self._stream:
             if deadline is not None and time.monotonic() > deadline:
                 stats.budget_exhausted = True
+                stats.deadline_hit = True
                 return
             self.snapshot.add_edge(
                 edge.u, edge.v, edge.t,

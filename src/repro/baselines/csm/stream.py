@@ -203,6 +203,7 @@ class CSMMatcherBase:
         for edge in self._stream:
             if deadline is not None and time.monotonic() > deadline:
                 stats.budget_exhausted = True
+                stats.deadline_hit = True
                 return
             before_static = self.snapshot.num_static_edges
             self.snapshot.add_edge(
@@ -311,6 +312,7 @@ class CSMMatcherBase:
         def dfs(pos: int) -> Iterator[Match]:
             if deadline is not None and time.monotonic() > deadline:
                 stats.budget_exhausted = True
+                stats.deadline_hit = True
                 return
             if pos == m:
                 full = cast("list[TemporalEdge]", edge_map)  # all bound here

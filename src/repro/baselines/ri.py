@@ -165,6 +165,7 @@ class RIMatcher:
         def dfs(pos: int) -> Iterator[Match]:
             if deadline is not None and time.monotonic() > deadline:
                 search_stats.budget_exhausted = True
+                search_stats.deadline_hit = True
                 return
             if pos == n:
                 yield from self._temporal_postcheck(

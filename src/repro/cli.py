@@ -13,6 +13,14 @@ Subcommands
     Write a sample pattern JSON (the paper's q1 with tc2) to edit.
 ``algorithms``
     List the registered matcher names.
+``serve``
+    Run the query service as a JSONL request/response loop over stdio:
+    graphs are loaded once (``--graph name=path``, repeatable, or via
+    ``load_graph`` requests) and served many times with plan/result
+    caching and partitioned parallel execution (see docs/SERVICE.md).
+``submit``
+    Write a JSONL request line for ``serve`` — the two verbs compose
+    into shell pipelines: ``repro submit ... | repro serve ...``.
 """
 
 from __future__ import annotations
@@ -81,6 +89,54 @@ def build_parser() -> argparse.ArgumentParser:
     example.add_argument("--out", required=True, help="output path")
 
     sub.add_parser("algorithms", help="list registered matcher names")
+
+    serve = sub.add_parser(
+        "serve", help="serve JSONL queries over stdio (see docs/SERVICE.md)"
+    )
+    serve.add_argument("--graph", action="append", default=[],
+                       metavar="NAME=PATH",
+                       help="preload a SNAP temporal edge list (repeatable)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="worker-pool size / partitions per query")
+    serve.add_argument("--pool", choices=("thread", "process"),
+                       default="thread",
+                       help="worker pool flavour (default thread)")
+    serve.add_argument("--max-inflight", type=int, default=8,
+                       help="admission limit on concurrent queries")
+    serve.add_argument("--plan-cache", type=int, default=64,
+                       help="prepared-plan cache capacity")
+    serve.add_argument("--result-cache", type=int, default=256,
+                       help="result cache capacity")
+    serve.add_argument("--time-budget", type=float, default=30.0,
+                       help="default per-query budget in seconds")
+    serve.add_argument("--num-labels", type=int, default=8,
+                       help="random labels for graphs without a sidecar")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="seed for random label assignment")
+
+    submit = sub.add_parser(
+        "submit", help="print a JSONL request line for 'repro serve'"
+    )
+    submit.add_argument("--op", default="query",
+                        choices=("query", "metrics", "graphs", "ping",
+                                 "shutdown"),
+                        help="request type (default query)")
+    submit.add_argument("--graph", default=None,
+                        help="registered graph name (query op)")
+    submit.add_argument("--pattern", default=None,
+                        help="pattern JSON file; inlined into the request")
+    submit.add_argument("--algorithm", default=None,
+                        help="matcher name (service default: tcsm-eve)")
+    submit.add_argument("--limit", type=int, default=None,
+                        help="stop after this many matches")
+    submit.add_argument("--time-budget", type=float, default=None,
+                        help="per-query wall-clock budget in seconds")
+    submit.add_argument("--workers", type=int, default=None,
+                        help="partitions for this query")
+    submit.add_argument("--count-only", action="store_true",
+                        help="request match counts without match payloads")
+    submit.add_argument("--id", default=None,
+                        help="request id echoed back in the response")
     return parser
 
 
@@ -166,6 +222,61 @@ def _cmd_pattern_example(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import ServiceConfig, TCSMService, serve_stdio
+
+    config = ServiceConfig(
+        max_workers=args.workers,
+        pool=args.pool,
+        plan_cache_size=args.plan_cache,
+        result_cache_size=args.result_cache,
+        max_inflight=args.max_inflight,
+        default_time_budget=args.time_budget,
+    )
+    with TCSMService(config) as service:
+        for spec in args.graph:
+            name, sep, path = spec.partition("=")
+            if not sep or not name or not path:
+                print(f"error: --graph expects NAME=PATH, got {spec!r}",
+                      file=sys.stderr)
+                return 2
+            handle = service.load_graph_file(
+                name, path, num_labels=args.num_labels, seed=args.seed
+            )
+            print(f"# loaded {handle.describe()}", file=sys.stderr)
+        served = serve_stdio(service, sys.stdin, sys.stdout)
+    print(f"# served {served} requests", file=sys.stderr)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    request: dict[str, object] = {"op": args.op}
+    if args.id is not None:
+        request["id"] = args.id
+    if args.op == "query":
+        if args.graph is None or args.pattern is None:
+            print("error: 'submit --op query' needs --graph and --pattern",
+                  file=sys.stderr)
+            return 2
+        from .graphs import pattern_to_dict
+
+        query, constraints = load_pattern(args.pattern)
+        request["graph"] = args.graph
+        request["pattern"] = pattern_to_dict(query, constraints)
+        if args.algorithm is not None:
+            request["algorithm"] = args.algorithm
+        if args.limit is not None:
+            request["limit"] = args.limit
+        if args.time_budget is not None:
+            request["time_budget"] = args.time_budget
+        if args.workers is not None:
+            request["workers"] = args.workers
+        if args.count_only:
+            request["count_only"] = True
+    print(json.dumps(request))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -180,6 +291,10 @@ def main(argv: list[str] | None = None) -> int:
             for name in available_algorithms():
                 print(name)
             return 0
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "submit":
+            return _cmd_submit(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -5,11 +5,13 @@ from .e2e import E2EMatcher
 from .engine import (
     MatchResult,
     Matcher,
+    PartitionedMatcher,
     available_algorithms,
     count_matches,
     create_matcher,
     find_matches,
     register_algorithm,
+    supports_partition,
 )
 from .estimate import estimate_match_count
 from .eve import EVEMatcher
@@ -21,6 +23,7 @@ from .filters import (
     nlf,
 )
 from .match import Match, is_valid_match
+from .partition import check_partition, partition_slice
 from .motifs import count_motif, ordered_motif_constraints
 from .render import render_tcq, render_tcq_plus
 from .stats import SearchStats
@@ -44,6 +47,7 @@ __all__ = [
     "Match",
     "MatchResult",
     "Matcher",
+    "PartitionedMatcher",
     "SearchStats",
     "TCF",
     "TCQ",
@@ -54,6 +58,7 @@ __all__ = [
     "build_tcf",
     "build_tcq",
     "build_tcq_plus",
+    "check_partition",
     "constraint_slack",
     "count_matches",
     "count_motif",
@@ -70,9 +75,11 @@ __all__ = [
     "iter_timestamp_assignments",
     "ldf",
     "nlf",
+    "partition_slice",
     "register_algorithm",
     "render_tcq",
     "render_tcq_plus",
+    "supports_partition",
     "vertex_tsup",
     "windows_compatible",
 ]

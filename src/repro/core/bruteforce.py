@@ -15,13 +15,14 @@ from __future__ import annotations
 
 import itertools
 import time
-from collections.abc import Iterator
+from collections.abc import Collection, Iterator
 from typing import cast
 
 from ..errors import AlgorithmError
 from ..graphs import QueryGraph, TemporalConstraints, TemporalGraph
 
 from .match import Match
+from .partition import partition_slice
 from .stats import SearchStats
 
 __all__ = ["BruteForceMatcher", "brute_force_matches"]
@@ -55,8 +56,14 @@ class BruteForceMatcher:
         limit: int | None = None,
         stats: SearchStats | None = None,
         deadline: float | None = None,
+        partition: tuple[int, int] | None = None,
     ) -> Iterator[Match]:
-        """Yield every match, in deterministic order."""
+        """Yield every match, in deterministic order.
+
+        ``partition=(index, count)`` restricts the search to the slice of
+        the first query vertex's candidates owned by that partition (see
+        :mod:`repro.core.partition`).
+        """
         search_stats = stats if stats is not None else SearchStats()
         query = self.query
         graph = self.graph
@@ -91,16 +98,28 @@ class BruteForceMatcher:
                 ):
                     yield times
 
+        root_candidates: list[int] | None = None
+        if partition is not None and n > 0:
+            root_candidates = partition_slice(
+                graph.vertices_with_label(query.label(0)), partition
+            )
+
         def dfs(u: int) -> Iterator[Match]:
             if deadline is not None and time.monotonic() > deadline:
                 search_stats.budget_exhausted = True
+                search_stats.deadline_hit = True
                 return
             if u == n:
                 full_map = cast(tuple[int, ...], tuple(vertex_map))
                 for times in assignments(full_map):
                     yield Match.from_vertex_map(query, full_map, times)
                 return
-            for v in graph.vertices_with_label(query.label(u)):
+            base: Collection[int]
+            if u == 0 and root_candidates is not None:
+                base = root_candidates
+            else:
+                base = graph.vertices_with_label(query.label(u))
+            for v in base:
                 if v in used:
                     continue
                 ok = True

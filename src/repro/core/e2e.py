@@ -13,7 +13,7 @@ semantics require.
 from __future__ import annotations
 
 import time
-from collections.abc import Hashable, Iterator
+from collections.abc import Hashable, Iterable, Iterator
 from typing import cast
 
 from ..errors import AlgorithmError
@@ -26,6 +26,7 @@ from ..graphs import (
 
 from .filters import initial_edge_candidate_pairs
 from .match import Match
+from .partition import partition_slice
 from .stats import SearchStats
 from .tcq_plus import TCQPlus, build_tcq_plus
 
@@ -137,8 +138,15 @@ class E2EMatcher:
         limit: int | None = None,
         stats: SearchStats | None = None,
         deadline: float | None = None,
+        partition: tuple[int, int] | None = None,
     ) -> Iterator[Match]:
-        """Yield all matches (generator; stops early at *limit*/deadline)."""
+        """Yield all matches (generator; stops early at *limit*/deadline).
+
+        ``partition=(index, count)`` restricts the search to the slice of
+        the *root* edge's candidate pairs owned by that partition (see
+        :mod:`repro.core.partition`); the ``count`` partitions jointly
+        enumerate exactly the unpartitioned match set, disjointly.
+        """
         self.prepare()
         search_stats = stats if stats is not None else SearchStats()
         # prepare() populated these; the casts rebind them non-Optional
@@ -160,6 +168,9 @@ class E2EMatcher:
         # Read-only view of edge_times: a constraint is checked only at the
         # position where its later edge binds, so both reads are bound.
         bound_times = cast("list[int]", edge_times)
+        root_pairs: list[tuple[int, int]] | None = None
+        if partition is not None:
+            root_pairs = partition_slice(pair_candidates[tcq.order[0]], partition)
 
         def vmatch(u: int, v: int, required_labels: frozenset[Hashable]) -> bool:
             """Vmatch (Algorithm 5 lines 24-28): label look-ahead on BN."""
@@ -218,8 +229,13 @@ class E2EMatcher:
                     for t in admissible_times(edge_index, x, db):
                         yield TemporalEdge(x, db, t)
             else:
-                # Seed edge of a (possibly disconnected) component.
-                for du, dv in allowed:
+                # Seed edge of a (possibly disconnected) component.  Only
+                # the root (pos 0) may be partitioned; later component
+                # seeds must stay exhaustive or matches would be lost.
+                seed_pairs: Iterable[tuple[int, int]] = allowed
+                if pos == 0 and root_pairs is not None:
+                    seed_pairs = root_pairs
+                for du, dv in seed_pairs:
                     if du in used or dv in used:
                         continue
                     for t in admissible_times(edge_index, du, dv):
@@ -229,6 +245,7 @@ class E2EMatcher:
             nonlocal emitted
             if deadline is not None and time.monotonic() > deadline:
                 search_stats.budget_exhausted = True
+                search_stats.deadline_hit = True
                 return
             if pos == m:
                 yield Match(
@@ -243,6 +260,7 @@ class E2EMatcher:
             for cand in candidate_edges(pos):
                 if deadline is not None and time.monotonic() > deadline:
                     search_stats.budget_exhausted = True
+                    search_stats.deadline_hit = True
                     return
                 search_stats.candidates_generated += 1
                 search_stats.validations += 1

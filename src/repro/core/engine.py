@@ -13,12 +13,13 @@ no dependency on the baselines package.
 
 from __future__ import annotations
 
+import inspect
 import time
 from collections.abc import Callable, Iterator
 from dataclasses import dataclass, field
-from typing import Any, Protocol
+from typing import Any, Protocol, cast
 
-from ..errors import UnknownAlgorithmError
+from ..errors import AlgorithmError, UnknownAlgorithmError
 from ..graphs import QueryGraph, TemporalConstraints, TemporalGraph
 
 from .bruteforce import BruteForceMatcher
@@ -31,11 +32,13 @@ from .v2v import V2VMatcher
 __all__ = [
     "Matcher",
     "MatchResult",
+    "PartitionedMatcher",
     "available_algorithms",
     "count_matches",
     "create_matcher",
     "find_matches",
     "register_algorithm",
+    "supports_partition",
 ]
 
 
@@ -54,6 +57,36 @@ class Matcher(Protocol):
         deadline: float | None = None,
     ) -> Iterator[Match]:  # pragma: no cover - protocol
         ...
+
+
+class PartitionedMatcher(Matcher, Protocol):
+    """A matcher whose ``run`` additionally accepts a seed partition.
+
+    ``partition=(index, count)`` restricts the search to a deterministic
+    slice of the root position's candidates (see
+    :mod:`repro.core.partition`); the ``count`` slices jointly enumerate
+    exactly the unpartitioned match set, pairwise disjointly.  The three
+    TCSM algorithms and the brute-force oracle implement this; baselines
+    need not.
+    """
+
+    def run(
+        self,
+        limit: int | None = None,
+        stats: SearchStats | None = None,
+        deadline: float | None = None,
+        partition: tuple[int, int] | None = None,
+    ) -> Iterator[Match]:  # pragma: no cover - protocol
+        ...
+
+
+def supports_partition(matcher: Matcher) -> bool:
+    """True when *matcher*'s ``run`` accepts a ``partition`` keyword."""
+    try:
+        parameters = inspect.signature(matcher.run).parameters
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        return False
+    return "partition" in parameters
 
 
 MatcherFactory = Callable[..., Matcher]
@@ -112,13 +145,21 @@ def create_matcher(
 
 @dataclass
 class MatchResult:
-    """Outcome of one engine run."""
+    """Outcome of one engine run.
+
+    ``timed_out`` is set when the wall-clock deadline expired mid-search
+    and ``truncated`` when a match limit stopped the run; either way the
+    returned matches are a correct *prefix* of the full result set rather
+    than a silently-short answer.
+    """
 
     algorithm: str
     matches: list[Match]
     stats: SearchStats = field(default_factory=SearchStats)
     build_seconds: float = 0.0
     match_seconds: float = 0.0
+    timed_out: bool = False
+    truncated: bool = False
 
     @property
     def total_seconds(self) -> float:
@@ -138,6 +179,8 @@ def find_matches(
     time_budget: float | None = None,
     tighten: bool = False,
     collect_matches: bool = True,
+    matcher: Matcher | None = None,
+    partition: tuple[int, int] | None = None,
     **options: Any,
 ) -> MatchResult:
     """Run a matcher end to end and return matches plus measurements.
@@ -153,19 +196,32 @@ def find_matches(
         Stop after this many matches.
     time_budget:
         Wall-clock seconds for the matching phase; on expiry the run stops
-        with ``stats.budget_exhausted`` set.
+        with ``result.timed_out`` (and ``stats.budget_exhausted``) set.
     tighten:
         Replace the constraint set by its STN closure before matching
         (never changes the result set; ablated in the benchmarks).
     collect_matches:
         When False, matches are counted but not retained — use for
         benchmarks on match-dense instances.
+    matcher:
+        A pre-built (possibly already prepared) matcher to reuse instead
+        of constructing one from *algorithm*; ``prepare()`` is idempotent,
+        so reusing a warm matcher skips the preparation cost.  This is the
+        plan-reuse hook the query service's plan cache builds on.
+        *algorithm* and *options* are ignored when given.
+    partition:
+        ``(index, count)`` seed partition forwarded to the matcher's
+        ``run`` (see :class:`PartitionedMatcher`); raises
+        :class:`AlgorithmError` for matchers without partition support.
     options:
         Forwarded to the matcher constructor.
     """
     if tighten:
         constraints = constraints.closed()
-    matcher = create_matcher(algorithm, query, constraints, graph, **options)
+    if matcher is None:
+        matcher = create_matcher(
+            algorithm, query, constraints, graph, **options
+        )
     stats = SearchStats()
 
     build_start = time.perf_counter()
@@ -176,9 +232,21 @@ def find_matches(
     if time_budget is not None:
         deadline = time.monotonic() + time_budget
 
+    if partition is None:
+        run = matcher.run(limit=limit, stats=stats, deadline=deadline)
+    else:
+        if not supports_partition(matcher):
+            raise AlgorithmError(
+                f"matcher {matcher.name!r} does not support partitioned "
+                "execution"
+            )
+        run = cast(PartitionedMatcher, matcher).run(
+            limit=limit, stats=stats, deadline=deadline, partition=partition
+        )
+
     matches: list[Match] = []
     match_start = time.perf_counter()
-    for match in matcher.run(limit=limit, stats=stats, deadline=deadline):
+    for match in run:
         if collect_matches:
             matches.append(match)
     match_seconds = time.perf_counter() - match_start
@@ -189,6 +257,8 @@ def find_matches(
         stats=stats,
         build_seconds=build_seconds,
         match_seconds=match_seconds,
+        timed_out=stats.deadline_hit,
+        truncated=stats.budget_exhausted and not stats.deadline_hit,
     )
     return result
 

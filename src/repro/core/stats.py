@@ -41,6 +41,12 @@ class SearchStats:
     budget_exhausted:
         Set when the matcher stopped early due to a limit/time budget;
         counts are then lower bounds.
+    deadline_hit:
+        Set when the early stop was caused specifically by the wall-clock
+        deadline (a subset of ``budget_exhausted``).  Lets callers
+        distinguish a *timed-out* run from one merely *truncated* by a
+        match limit — the service layer tags responses with exactly this
+        split.
     """
 
     candidates_generated: int = 0
@@ -51,6 +57,7 @@ class SearchStats:
     nodes_expanded: int = 0
     matches: int = 0
     budget_exhausted: bool = False
+    deadline_hit: bool = False
 
     def record_fail(self, layer: int) -> None:
         """Record one failed enumeration at 1-based *layer*."""
@@ -68,6 +75,7 @@ class SearchStats:
         self.nodes_expanded += other.nodes_expanded
         self.matches += other.matches
         self.budget_exhausted |= other.budget_exhausted
+        self.deadline_hit |= other.deadline_hit
         if other.first_fail_layer is not None and (
             self.first_fail_layer is None
             or other.first_fail_layer < self.first_fail_layer

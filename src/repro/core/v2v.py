@@ -21,6 +21,7 @@ from ..graphs import QueryGraph, TemporalConstraints, TemporalGraph
 
 from .filters import initial_vertex_candidates
 from .match import Match
+from .partition import partition_slice
 from .stats import SearchStats
 from .tcq import TCQ, build_tcq
 from .timestamps import iter_timestamp_assignments, windows_compatible
@@ -129,8 +130,15 @@ class V2VMatcher:
         limit: int | None = None,
         stats: SearchStats | None = None,
         deadline: float | None = None,
+        partition: tuple[int, int] | None = None,
     ) -> Iterator[Match]:
-        """Yield all matches (generator; stops early at *limit*/deadline)."""
+        """Yield all matches (generator; stops early at *limit*/deadline).
+
+        ``partition=(index, count)`` restricts the search to the slice of
+        the *root* vertex's candidates owned by that partition (see
+        :mod:`repro.core.partition`); the ``count`` partitions jointly
+        enumerate exactly the unpartitioned match set, disjointly.
+        """
         self.prepare()
         search_stats = stats if stats is not None else SearchStats()
         # prepare() populated these; the casts rebind them non-Optional
@@ -146,6 +154,9 @@ class V2VMatcher:
         bound = cast("list[int]", vertex_map)
         used: set[int] = set()
         emitted = 0
+        root_candidates: list[int] | None = None
+        if partition is not None:
+            root_candidates = partition_slice(candidates[tcq.order[0]], partition)
 
         def temporal_ok(pos: int) -> bool:
             """Existential window check for constraints closing at *pos*."""
@@ -175,6 +186,7 @@ class V2VMatcher:
             nonlocal emitted
             if deadline is not None and time.monotonic() > deadline:
                 search_stats.budget_exhausted = True
+                search_stats.deadline_hit = True
                 return
             if pos == n:
                 yield from self._emit_matches(vertex_map, search_stats, pos)
@@ -185,7 +197,12 @@ class V2VMatcher:
             allowed = candidates[u]
             base: Collection[int]
             if u_prec is None:
-                base = allowed
+                # Only the root (pos 0) may be partitioned; later component
+                # seeds must stay exhaustive or matches would be lost.
+                if pos == 0 and root_candidates is not None:
+                    base = root_candidates
+                else:
+                    base = allowed
             else:
                 d_prec = bound[u_prec]
                 need_out, need_in = self._prec_needs[pos]
@@ -202,6 +219,7 @@ class V2VMatcher:
             for v in base:
                 if deadline is not None and time.monotonic() > deadline:
                     search_stats.budget_exhausted = True
+                    search_stats.deadline_hit = True
                     return
                 search_stats.candidates_generated += 1
                 if self.intersect_candidates or u_prec is None:

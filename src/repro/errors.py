@@ -18,6 +18,9 @@ __all__ = [
     "AlgorithmError",
     "UnknownAlgorithmError",
     "BudgetExceededError",
+    "ServiceError",
+    "UnknownGraphError",
+    "AdmissionError",
 ]
 
 
@@ -65,4 +68,20 @@ class BudgetExceededError(ReproError):
 
     Only raised when the caller opts in (``on_budget="raise"``); by default
     matchers stop quietly and flag :attr:`SearchStats.budget_exhausted`.
+    """
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the query-serving subsystem."""
+
+
+class UnknownGraphError(ServiceError):
+    """A request referenced a graph name not present in the registry."""
+
+
+class AdmissionError(ServiceError):
+    """The service refused a query because it is at its in-flight limit.
+
+    Load shedding, not failure: the request was never executed and can be
+    retried once in-flight queries drain.
     """

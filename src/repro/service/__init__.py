@@ -1,0 +1,48 @@
+"""Query-serving subsystem: registries, caches, parallel execution, metrics.
+
+The one-shot engine in :mod:`repro.core` pays graph load and ``prepare()``
+on every call; this package amortizes both across a query stream — the
+deployment shape of real temporal-matching systems.  Entry points:
+
+* :class:`TCSMService` — the embeddable façade (see docs/SERVICE.md).
+* :func:`serve_stdio` — a JSONL request/response loop over text streams,
+  exposed on the command line as ``repro serve`` / ``repro submit``.
+
+The building blocks (graph registry, plan/result caches, partitioned
+executor, metrics registry) are public for direct embedding and tests.
+"""
+
+from .cache import ResultCache, ResultKey
+from .executor import ExecutionOutcome, ProcessSpec, QueryExecutor
+from .metrics import DEFAULT_LATENCY_BUCKETS, Histogram, MetricsRegistry
+from .plans import (
+    CachedPlan,
+    PlanCache,
+    PlanKey,
+    options_fingerprint,
+    pattern_fingerprint,
+)
+from .registry import GraphHandle, GraphRegistry
+from .server import ServiceConfig, ServiceResult, TCSMService, serve_stdio
+
+__all__ = [
+    "CachedPlan",
+    "DEFAULT_LATENCY_BUCKETS",
+    "ExecutionOutcome",
+    "GraphHandle",
+    "GraphRegistry",
+    "Histogram",
+    "MetricsRegistry",
+    "PlanCache",
+    "PlanKey",
+    "ProcessSpec",
+    "QueryExecutor",
+    "ResultCache",
+    "ResultKey",
+    "ServiceConfig",
+    "ServiceResult",
+    "TCSMService",
+    "options_fingerprint",
+    "pattern_fingerprint",
+    "serve_stdio",
+]

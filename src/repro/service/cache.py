@@ -1,0 +1,95 @@
+"""Result cache: complete query answers, keyed by graph version.
+
+Matching is deterministic given ``(graph snapshot, pattern, algorithm,
+limit)``, so a *complete* result — one that was not cut short by a
+wall-clock deadline — can be replayed verbatim for an identical request.
+Keys embed the graph version, so replacing a graph never serves stale
+answers; timed-out results are never admitted because which prefix they
+contain depends on machine speed, not on the query.
+
+The cache is value-agnostic (a generic LRU): the service stores its
+immutable ``ServiceResult`` objects here.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Generic, NamedTuple, TypeVar
+
+__all__ = ["ResultCache", "ResultKey"]
+
+_ValueT = TypeVar("_ValueT")
+
+
+class ResultKey(NamedTuple):
+    """Cache key for one complete query answer.
+
+    ``limit`` and ``collect_matches`` are part of the key because they
+    change the answer's shape; the time budget is deliberately *not*,
+    since only budget-independent (complete) results are admitted.
+    """
+
+    graph_name: str
+    graph_version: int
+    pattern: str
+    algorithm: str
+    options: str
+    limit: int | None
+    collect_matches: bool
+
+
+class ResultCache(Generic[_ValueT]):
+    """Thread-safe LRU mapping of :class:`ResultKey` to cached answers."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(
+                f"result cache capacity must be >= 1, not {capacity}"
+            )
+        self.capacity = capacity
+        self._entries: OrderedDict[ResultKey, _ValueT] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: ResultKey) -> _ValueT | None:
+        """The cached value for *key*, refreshed as most recently used."""
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self._entries.move_to_end(key)
+            return value
+
+    def put(self, key: ResultKey, value: _ValueT) -> None:
+        """Insert (or refresh) *key*, evicting the LRU entry when full."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def invalidate_graph(
+        self, graph_name: str, keep_version: int | None = None
+    ) -> int:
+        """Drop results for *graph_name* (other than *keep_version*).
+
+        Returns the number of evicted entries.  Version-keying already
+        prevents stale serves; this reclaims their memory eagerly.
+        """
+        with self._lock:
+            stale = [
+                key
+                for key in self._entries
+                if key.graph_name == graph_name
+                and key.graph_version != keep_version
+            ]
+            for key in stale:
+                del self._entries[key]
+            return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

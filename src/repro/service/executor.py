@@ -1,0 +1,308 @@
+"""Partitioned parallel query execution over a bounded worker pool.
+
+One query fans out as ``count`` partitions of the root candidate space
+(see :mod:`repro.core.partition`); each worker enumerates its slice with
+its own :class:`SearchStats`, and the executor concatenates matches in
+partition order and merges the stats.  Because partitions are disjoint
+and jointly exhaustive, the merged match multiset is *identical* to a
+single-worker run — the determinism guard in the test suite pins this.
+
+Two pool flavours, per the ``concurrent.futures`` split:
+
+``thread`` (default)
+    Workers share the prepared matcher from the plan cache (per-run state
+    lives inside ``run()``), so fan-out costs nothing extra in memory.
+    Best for short queries and for keeping deadline checks responsive.
+
+``process`` (opt-in)
+    Workers run :func:`repro.core.find_matches` in forked child
+    processes, sidestepping the GIL for CPU-bound searches at the price
+    of per-query pool startup and result pickling.  On platforms without
+    ``fork`` the spec is shipped to workers via the pool initializer.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, cast
+
+from ..core import (
+    Match,
+    Matcher,
+    PartitionedMatcher,
+    SearchStats,
+    find_matches,
+    supports_partition,
+)
+from ..graphs import QueryGraph, TemporalConstraints, TemporalGraph
+
+__all__ = ["ExecutionOutcome", "ProcessSpec", "QueryExecutor"]
+
+
+@dataclass(frozen=True)
+class ExecutionOutcome:
+    """Merged result of one (possibly partitioned) query execution."""
+
+    matches: tuple[Match, ...]
+    stats: SearchStats
+    partitions: int
+    queue_seconds: float
+    match_seconds: float
+
+
+@dataclass(frozen=True)
+class ProcessSpec:
+    """Everything a worker process needs to run one partition.
+
+    ``time_budget`` is the *remaining* per-query budget at fan-out time;
+    each worker rebuilds its own absolute deadline from it, so process
+    workers honour the same budget protocol as thread workers (modulo
+    fork-startup skew).
+    """
+
+    query: QueryGraph
+    constraints: TemporalConstraints
+    graph: TemporalGraph
+    algorithm: str
+    limit: int | None = None
+    time_budget: float | None = None
+    collect_matches: bool = True
+    options: dict[str, Any] = field(default_factory=dict)
+
+
+#: Spec inherited by fork-started workers; set under the process lock of
+#: the executor that owns the fan-out (one process fan-out at a time).
+_PROCESS_SPEC: ProcessSpec | None = None
+
+
+def _set_process_spec(spec: ProcessSpec | None) -> None:
+    global _PROCESS_SPEC
+    _PROCESS_SPEC = spec
+
+
+def _run_partition_in_process(
+    index: int, count: int
+) -> tuple[tuple[Match, ...], SearchStats]:
+    """Worker-process entry point: run one partition to completion."""
+    spec = _PROCESS_SPEC
+    if spec is None:  # pragma: no cover - defensive; initializer sets it
+        raise RuntimeError("worker process has no query spec")
+    result = find_matches(
+        spec.query,
+        spec.constraints,
+        spec.graph,
+        algorithm=spec.algorithm,
+        limit=spec.limit,
+        time_budget=spec.time_budget,
+        collect_matches=spec.collect_matches,
+        partition=(index, count),
+        **spec.options,
+    )
+    return tuple(result.matches), result.stats
+
+
+def _merge_partitions(
+    parts: list[tuple[tuple[Match, ...], SearchStats]],
+    limit: int | None,
+) -> tuple[tuple[Match, ...], SearchStats]:
+    """Concatenate partition results in order and merge their stats.
+
+    When a global *limit* is set, each partition may have returned up to
+    *limit* matches; the merged prefix is re-truncated so the outcome
+    honours the limit exactly, and the truncation is flagged.
+    """
+    matches: list[Match] = []
+    stats = SearchStats()
+    for part_matches, part_stats in parts:
+        matches.extend(part_matches)
+        stats.merge(part_stats)
+    if limit is not None and stats.matches >= limit:
+        matches = matches[:limit]
+        stats.matches = limit
+        stats.budget_exhausted = True
+    return tuple(matches), stats
+
+
+class QueryExecutor:
+    """Bounded worker pool that fans queries out across seed partitions."""
+
+    def __init__(self, max_workers: int = 4, pool: str = "thread") -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, not {max_workers}")
+        if pool not in ("thread", "process"):
+            raise ValueError(f"pool must be 'thread' or 'process', not {pool!r}")
+        self.max_workers = max_workers
+        self.pool = pool
+        self._threads = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-query"
+        )
+        self._process_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # sizing
+    # ------------------------------------------------------------------
+    def effective_workers(
+        self, matcher: Matcher, workers: int | None = None
+    ) -> int:
+        """Partition count for *matcher*: requested, capped, and clamped
+        to 1 for matchers without partition support (baselines)."""
+        requested = self.max_workers if workers is None else workers
+        count = max(1, min(requested, self.max_workers))
+        if count > 1 and not supports_partition(matcher):
+            return 1
+        return count
+
+    # ------------------------------------------------------------------
+    # thread execution (shared prepared matcher)
+    # ------------------------------------------------------------------
+    def run_matcher(
+        self,
+        matcher: Matcher,
+        limit: int | None = None,
+        deadline: float | None = None,
+        workers: int | None = None,
+        collect_matches: bool = True,
+    ) -> ExecutionOutcome:
+        """Run *matcher* across the thread pool, merging partitions.
+
+        The matcher must already be prepared (the plan cache guarantees
+        this); per-run state is local to ``run()``, so all partitions
+        share the one matcher object safely.
+        """
+        enqueued = time.perf_counter()
+        count = self.effective_workers(matcher, workers)
+        if count == 1:
+            stats = SearchStats()
+            started = time.perf_counter()
+            matches: list[Match] = []
+            for match in matcher.run(limit=limit, stats=stats, deadline=deadline):
+                if collect_matches:
+                    matches.append(match)
+            finished = time.perf_counter()
+            return ExecutionOutcome(
+                matches=tuple(matches),
+                stats=stats,
+                partitions=1,
+                queue_seconds=max(0.0, started - enqueued),
+                match_seconds=finished - started,
+            )
+
+        runner = cast(PartitionedMatcher, matcher)
+
+        def run_partition(
+            index: int,
+        ) -> tuple[float, tuple[Match, ...], SearchStats]:
+            started = time.perf_counter()
+            stats = SearchStats()
+            out: list[Match] = []
+            for match in runner.run(
+                limit=limit,
+                stats=stats,
+                deadline=deadline,
+                partition=(index, count),
+            ):
+                if collect_matches:
+                    out.append(match)
+            return started, tuple(out), stats
+
+        futures = [
+            self._threads.submit(run_partition, index) for index in range(count)
+        ]
+        results = [future.result() for future in futures]
+        finished = time.perf_counter()
+        first_start = min(started for started, _, _ in results)
+        matches_merged, stats_merged = _merge_partitions(
+            [(part, stats) for _, part, stats in results], limit
+        )
+        return ExecutionOutcome(
+            matches=matches_merged,
+            stats=stats_merged,
+            partitions=count,
+            queue_seconds=max(0.0, first_start - enqueued),
+            match_seconds=finished - first_start,
+        )
+
+    # ------------------------------------------------------------------
+    # process execution (opt-in; per-query pool)
+    # ------------------------------------------------------------------
+    def run_process(
+        self, spec: ProcessSpec, workers: int | None = None
+    ) -> ExecutionOutcome:
+        """Run *spec* across a fresh process pool, merging partitions.
+
+        Serialised per executor: the spec travels to fork-started workers
+        through module state captured at fork time, which supports one
+        fan-out at a time.  With one worker the query runs inline.
+        """
+        requested = self.max_workers if workers is None else workers
+        count = max(1, min(requested, self.max_workers))
+        if count == 1:
+            started = time.perf_counter()
+            result = find_matches(
+                spec.query,
+                spec.constraints,
+                spec.graph,
+                algorithm=spec.algorithm,
+                limit=spec.limit,
+                time_budget=spec.time_budget,
+                collect_matches=spec.collect_matches,
+                **spec.options,
+            )
+            finished = time.perf_counter()
+            return ExecutionOutcome(
+                matches=tuple(result.matches),
+                stats=result.stats,
+                partitions=1,
+                queue_seconds=0.0,
+                match_seconds=finished - started,
+            )
+
+        if "fork" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("fork")
+        else:  # pragma: no cover - non-POSIX fallback
+            context = multiprocessing.get_context()
+        forked = context.get_start_method() == "fork"
+        with self._process_lock:
+            _set_process_spec(spec)
+            try:
+                pool = ProcessPoolExecutor(
+                    max_workers=count,
+                    mp_context=context,
+                    initializer=None if forked else _set_process_spec,
+                    initargs=() if forked else (spec,),
+                )
+                started = time.perf_counter()
+                with pool:
+                    futures = [
+                        pool.submit(_run_partition_in_process, index, count)
+                        for index in range(count)
+                    ]
+                    parts = [future.result() for future in futures]
+                finished = time.perf_counter()
+            finally:
+                _set_process_spec(None)
+        matches_merged, stats_merged = _merge_partitions(parts, spec.limit)
+        return ExecutionOutcome(
+            matches=matches_merged,
+            stats=stats_merged,
+            partitions=count,
+            queue_seconds=0.0,
+            match_seconds=finished - started,
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the thread pool down (idempotent)."""
+        self._threads.shutdown(wait=True)
+
+    def __enter__(self) -> "QueryExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

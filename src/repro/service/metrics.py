@@ -1,0 +1,151 @@
+"""Metrics for the query service: counters and latency histograms.
+
+A deliberately small, dependency-free registry in the spirit of a
+Prometheus client: named monotonic counters plus fixed-bucket histograms,
+all behind one lock, with a :meth:`MetricsRegistry.snapshot` that returns
+plain data suitable for JSON responses.  The service records cache
+hits/misses, queue wait, prepare-vs-match time and per-algorithm query
+counts here; nothing in this module knows about matching.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+import time
+from collections.abc import Callable, Sequence
+
+__all__ = ["DEFAULT_LATENCY_BUCKETS", "Histogram", "MetricsRegistry"]
+
+#: Upper bucket bounds (seconds) spanning sub-millisecond cache hits up to
+#: multi-second deadline-bounded searches.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+)
+
+
+class Histogram:
+    """Fixed-bucket histogram of non-negative observations.
+
+    Buckets are *upper bounds*; an observation lands in the first bucket
+    whose bound is >= the value, or in the implicit ``+inf`` overflow
+    bucket.  Not thread-safe on its own — the registry serialises access.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(
+        self, bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+    ) -> None:
+        self.bounds: tuple[float, ...] = tuple(sorted(bounds))
+        self.bucket_counts: list[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def snapshot(self) -> dict[str, object]:
+        """Plain-data view: count/sum/min/max/mean plus bucket counts."""
+        buckets: dict[str, int] = {}
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            if n:
+                buckets[f"le_{bound:g}"] = n
+        if self.bucket_counts[-1]:
+            buckets["inf"] = self.bucket_counts[-1]
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.total / self.count if self.count else None,
+            "buckets": buckets,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe registry of named counters and histograms.
+
+    Metric names are created on first use; dotted suffixes are the
+    conventional way to attach a label (``"queries_total.tcsm-eve"``).
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.monotonic,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        self._clock = clock
+        self._buckets = tuple(buckets)
+        self._started = clock()
+        self._counters: dict[str, int] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    def inc(self, name: str, by: int = 1) -> None:
+        """Increment counter *name* (created at zero on first use)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + by
+
+    def observe(self, name: str, value: float) -> None:
+        """Record *value* into histogram *name* (created on first use)."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = Histogram(self._buckets)
+                self._histograms[name] = histogram
+            histogram.observe(value)
+
+    def counter(self, name: str) -> int:
+        """Current value of counter *name* (0 when never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def uptime_seconds(self) -> float:
+        """Seconds since the registry was created."""
+        return self._clock() - self._started
+
+    def rate(self, name: str) -> float:
+        """Counter *name* per second of uptime (a crude QPS gauge)."""
+        uptime = self.uptime_seconds()
+        if uptime <= 0.0:
+            return 0.0
+        return self.counter(name) / uptime
+
+    def snapshot(self) -> dict[str, object]:
+        """One consistent plain-data view of every metric."""
+        with self._lock:
+            uptime = self._clock() - self._started
+            counters = dict(sorted(self._counters.items()))
+            histograms = {
+                name: histogram.snapshot()
+                for name, histogram in sorted(self._histograms.items())
+            }
+        return {
+            "uptime_seconds": uptime,
+            "counters": counters,
+            "histograms": histograms,
+        }

@@ -1,0 +1,171 @@
+"""Plan cache: prepared matchers, keyed by graph version and pattern hash.
+
+A matcher's ``prepare()`` (candidate filtering + TCQ/TCQ+ construction)
+is the per-query cost the paper splits out as "preparation time"; for a
+service that sees repeated patterns over a long-lived graph it is pure
+amortizable overhead.  The cache maps
+
+    (graph name, graph version, pattern fingerprint, algorithm, options)
+
+to a *prepared* matcher.  Matchers keep all per-run state local to
+``run()`` (the DFS closures allocate fresh maps per call), so one
+prepared matcher can serve many concurrent runs — including the
+partitioned fan-out of a single query — without copying.
+
+Eviction is LRU; replacing a graph bumps its version, so stale plans age
+out of the LRU naturally and :meth:`PlanCache.invalidate_graph` exists
+only to reclaim their memory eagerly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass
+from typing import NamedTuple
+
+from ..core import Matcher
+from ..graphs import QueryGraph, TemporalConstraints, pattern_to_dict
+
+__all__ = [
+    "CachedPlan",
+    "PlanCache",
+    "PlanKey",
+    "options_fingerprint",
+    "pattern_fingerprint",
+]
+
+
+def pattern_fingerprint(
+    query: QueryGraph, constraints: TemporalConstraints
+) -> str:
+    """Stable hex digest of a (query, constraints) pattern.
+
+    Canonical JSON of the pattern's serialised form: equal patterns hash
+    equal across processes and sessions (no reliance on ``hash()``
+    randomisation), so fingerprints are safe to embed in cache keys and
+    server responses.  Constraint gaps are normalised to float first so a
+    pattern round-tripped through JSON (which coerces gaps to float)
+    hashes identically to its native twin.
+    """
+    data = pattern_to_dict(query, constraints)
+    data["constraints"] = [
+        {"earlier": c.earlier, "later": c.later, "gap": float(c.gap)}
+        for c in constraints
+    ]
+    payload = json.dumps(
+        data, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def options_fingerprint(options: Mapping[str, object]) -> str:
+    """Stable hex digest of matcher constructor options (``""`` if empty)."""
+    if not options:
+        return ""
+    payload = json.dumps(
+        {key: repr(value) for key, value in options.items()}, sort_keys=True
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class PlanKey(NamedTuple):
+    """Cache key for one prepared plan."""
+
+    graph_name: str
+    graph_version: int
+    pattern: str
+    algorithm: str
+    options: str
+
+
+@dataclass(frozen=True)
+class CachedPlan:
+    """A prepared matcher plus the preparation cost it amortizes."""
+
+    key: PlanKey
+    matcher: Matcher
+    build_seconds: float
+
+
+class PlanCache:
+    """Thread-safe LRU cache of prepared matchers.
+
+    Concurrent requests for the *same* key build once (per-key build
+    locks); requests for different keys build in parallel.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError(f"plan cache capacity must be >= 1, not {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[PlanKey, CachedPlan] = OrderedDict()
+        self._building: dict[PlanKey, threading.Lock] = {}
+        self._lock = threading.Lock()
+
+    def get(self, key: PlanKey) -> CachedPlan | None:
+        """The cached plan for *key*, refreshed as most recently used."""
+        with self._lock:
+            plan = self._entries.get(key)
+            if plan is not None:
+                self._entries.move_to_end(key)
+            return plan
+
+    def get_or_build(
+        self, key: PlanKey, build: Callable[[], CachedPlan]
+    ) -> tuple[CachedPlan, bool]:
+        """The plan for *key*, building it at most once per key.
+
+        Returns ``(plan, hit)`` where ``hit`` is True when the plan came
+        from the cache.  *build* runs outside the cache-wide lock so a
+        slow ``prepare()`` never blocks unrelated lookups.
+        """
+        with self._lock:
+            plan = self._entries.get(key)
+            if plan is not None:
+                self._entries.move_to_end(key)
+                return plan, True
+            key_lock = self._building.setdefault(key, threading.Lock())
+        with key_lock:
+            with self._lock:
+                plan = self._entries.get(key)
+                if plan is not None:
+                    self._entries.move_to_end(key)
+                    return plan, True
+            plan = build()
+            with self._lock:
+                self._entries[key] = plan
+                self._entries.move_to_end(key)
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                self._building.pop(key, None)
+            return plan, False
+
+    def invalidate_graph(
+        self, graph_name: str, keep_version: int | None = None
+    ) -> int:
+        """Drop plans for *graph_name* (other than *keep_version*).
+
+        Returns the number of evicted plans.
+        """
+        with self._lock:
+            stale = [
+                key
+                for key in self._entries
+                if key.graph_name == graph_name
+                and key.graph_version != keep_version
+            ]
+            for key in stale:
+                del self._entries[key]
+            return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -1,0 +1,97 @@
+"""Graph registry: named, versioned, long-lived graph snapshots.
+
+The amortization premise of the service is that a data graph is loaded
+*once* and served *many* times.  The registry holds immutable
+:class:`~repro.graphs.TemporalGraph` snapshots under stable names; every
+(re)registration of a name bumps a monotonically increasing version that
+never resets, even across a drop — cache keys embed ``(name, version)``,
+so replacing a graph implicitly invalidates every plan and result cached
+against the old snapshot without any cache traversal.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from ..errors import UnknownGraphError
+from ..graphs import TemporalGraph
+
+__all__ = ["GraphHandle", "GraphRegistry"]
+
+
+@dataclass(frozen=True)
+class GraphHandle:
+    """One registered graph snapshot: ``(name, version, graph)``."""
+
+    name: str
+    version: int
+    graph: TemporalGraph
+
+    def describe(self) -> dict[str, object]:
+        """Plain-data summary for server responses."""
+        return {
+            "name": self.name,
+            "version": self.version,
+            "num_vertices": self.graph.num_vertices,
+            "num_temporal_edges": self.graph.num_temporal_edges,
+            "num_static_edges": self.graph.num_static_edges,
+        }
+
+
+class GraphRegistry:
+    """Thread-safe mapping of graph names to versioned snapshots."""
+
+    def __init__(self) -> None:
+        self._handles: dict[str, GraphHandle] = {}
+        self._versions: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def register(self, name: str, graph: TemporalGraph) -> GraphHandle:
+        """Publish *graph* under *name*, bumping the name's version.
+
+        Returns the new handle; a previously registered snapshot under the
+        same name is replaced atomically (in-flight queries holding the
+        old handle keep matching against the old snapshot — graphs are
+        never mutated in place).
+        """
+        with self._lock:
+            version = self._versions.get(name, 0) + 1
+            self._versions[name] = version
+            handle = GraphHandle(name=name, version=version, graph=graph)
+            self._handles[name] = handle
+            return handle
+
+    def get(self, name: str) -> GraphHandle:
+        """The current handle for *name*; raises :class:`UnknownGraphError`."""
+        with self._lock:
+            handle = self._handles.get(name)
+            known = ", ".join(sorted(self._handles)) or "(none)"
+        if handle is None:
+            raise UnknownGraphError(
+                f"unknown graph {name!r}; registered: {known}"
+            )
+        return handle
+
+    def drop(self, name: str) -> None:
+        """Remove *name*; the version counter survives for cache safety."""
+        with self._lock:
+            if name not in self._handles:
+                raise UnknownGraphError(f"unknown graph {name!r}")
+            del self._handles[name]
+
+    def names(self) -> tuple[str, ...]:
+        """Sorted names of the registered graphs."""
+        with self._lock:
+            return tuple(sorted(self._handles))
+
+    def handles(self) -> tuple[GraphHandle, ...]:
+        """Current handles, sorted by name."""
+        with self._lock:
+            return tuple(
+                handle for _, handle in sorted(self._handles.items())
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._handles)

@@ -1,0 +1,477 @@
+"""The TCSM query service: embeddable façade plus a JSONL stdio server.
+
+:class:`TCSMService` ties the subsystem together — graph registry, plan
+cache, result cache, partitioned executor, metrics, admission control —
+behind one ``query()`` call.  A query flows::
+
+    admit -> resolve graph -> result cache? -> plan cache (prepare once)
+          -> partitioned execution under a deadline -> tag + cache + meter
+
+Failures degrade gracefully: deadline expiry returns the partial prefix
+tagged ``timed_out``, a match limit tags ``truncated``, overload is a
+*rejection* (never an exception escaping the server loop), and library
+errors become structured error responses.
+
+:func:`serve_stdio` speaks newline-delimited JSON over a pair of text
+streams, which makes the service scriptable from a shell pipe and
+trivially testable — see ``repro serve`` / ``repro submit`` in the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import IO, Any
+
+from ..core import Match, SearchStats, create_matcher
+from ..errors import AdmissionError, ReproError
+from ..graphs import (
+    QueryGraph,
+    TemporalConstraints,
+    TemporalGraph,
+    load_pattern,
+    load_snap_temporal,
+    pattern_from_dict,
+)
+from .cache import ResultCache, ResultKey
+from .executor import ProcessSpec, QueryExecutor
+from .metrics import MetricsRegistry
+from .plans import CachedPlan, PlanCache, PlanKey, options_fingerprint, pattern_fingerprint
+from .registry import GraphHandle, GraphRegistry
+
+__all__ = ["ServiceConfig", "ServiceResult", "TCSMService", "serve_stdio"]
+
+#: Sentinel distinguishing "no budget given" from an explicit ``None``.
+_UNSET_BUDGET = object()
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs for :class:`TCSMService` (see docs/SERVICE.md)."""
+
+    max_workers: int = 4
+    pool: str = "thread"
+    plan_cache_size: int = 64
+    result_cache_size: int = 256
+    max_inflight: int = 8
+    default_time_budget: float | None = 30.0
+    default_algorithm: str = "tcsm-eve"
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """Outcome of one service query, with provenance and timings."""
+
+    graph: str
+    graph_version: int
+    algorithm: str
+    matches: tuple[Match, ...]
+    match_count: int
+    timed_out: bool
+    truncated: bool
+    plan_cache: str
+    result_cache: str
+    build_seconds: float
+    queue_seconds: float
+    match_seconds: float
+    partitions: int
+    stats: SearchStats = field(repr=False, default_factory=SearchStats)
+
+    def to_dict(self, include_matches: bool = True) -> dict[str, Any]:
+        """Plain-data view used for JSONL responses."""
+        payload: dict[str, Any] = {
+            "graph": self.graph,
+            "graph_version": self.graph_version,
+            "algorithm": self.algorithm,
+            "match_count": self.match_count,
+            "timed_out": self.timed_out,
+            "truncated": self.truncated,
+            "plan_cache": self.plan_cache,
+            "result_cache": self.result_cache,
+            "build_seconds": self.build_seconds,
+            "queue_seconds": self.queue_seconds,
+            "match_seconds": self.match_seconds,
+            "partitions": self.partitions,
+        }
+        if include_matches:
+            payload["matches"] = [
+                {
+                    "vertices": list(match.vertex_map),
+                    "edges": [list(edge) for edge in match.edge_map],
+                }
+                for match in self.matches
+            ]
+        return payload
+
+
+class TCSMService:
+    """A long-lived, concurrent TCSM query service over registered graphs."""
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.metrics = metrics or MetricsRegistry()
+        self.graphs = GraphRegistry()
+        self.plans = PlanCache(capacity=self.config.plan_cache_size)
+        self.results: ResultCache[ServiceResult] = ResultCache(
+            capacity=self.config.result_cache_size
+        )
+        self.executor = QueryExecutor(
+            max_workers=self.config.max_workers, pool=self.config.pool
+        )
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # graph lifecycle
+    # ------------------------------------------------------------------
+    def load_graph(self, name: str, graph: TemporalGraph) -> GraphHandle:
+        """Register (or replace) *name*, invalidating caches of old versions."""
+        handle = self.graphs.register(name, graph)
+        self.plans.invalidate_graph(name, keep_version=handle.version)
+        self.results.invalidate_graph(name, keep_version=handle.version)
+        self.metrics.inc("graphs_loaded")
+        return handle
+
+    def load_graph_file(
+        self, name: str, path: str, num_labels: int = 8, seed: int = 0
+    ) -> GraphHandle:
+        """Load a SNAP temporal edge list from *path* and register it."""
+        graph = load_snap_temporal(path, num_labels=num_labels, seed=seed)
+        return self.load_graph(name, graph)
+
+    def drop_graph(self, name: str) -> None:
+        """Unregister *name* and evict everything cached against it."""
+        self.graphs.drop(name)
+        self.plans.invalidate_graph(name)
+        self.results.invalidate_graph(name)
+
+    # ------------------------------------------------------------------
+    # admission control
+    # ------------------------------------------------------------------
+    def _admit(self) -> None:
+        with self._inflight_lock:
+            if self._inflight >= self.config.max_inflight:
+                self.metrics.inc("queries_rejected")
+                raise AdmissionError(
+                    f"service at max in-flight queries "
+                    f"({self.config.max_inflight}); retry later"
+                )
+            self._inflight += 1
+
+    def _release(self) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
+
+    @property
+    def inflight(self) -> int:
+        """Number of queries currently admitted."""
+        with self._inflight_lock:
+            return self._inflight
+
+    # ------------------------------------------------------------------
+    # the query path
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        graph_name: str,
+        query: QueryGraph,
+        constraints: TemporalConstraints,
+        algorithm: str | None = None,
+        limit: int | None = None,
+        time_budget: Any = _UNSET_BUDGET,
+        workers: int | None = None,
+        collect_matches: bool = True,
+        use_result_cache: bool = True,
+        options: dict[str, Any] | None = None,
+    ) -> ServiceResult:
+        """Execute one query end to end through the serving stack.
+
+        ``time_budget`` defaults to the config's per-query budget; pass
+        ``None`` explicitly for an unbounded run.  On deadline expiry the
+        partial prefix comes back tagged ``timed_out`` (and is excluded
+        from the result cache); a match ``limit`` tags ``truncated``.
+        """
+        algo = (algorithm or self.config.default_algorithm).lower()
+        budget: float | None = (
+            self.config.default_time_budget
+            if time_budget is _UNSET_BUDGET
+            else time_budget
+        )
+        options = options or {}
+        self._admit()
+        try:
+            handle = self.graphs.get(graph_name)
+            pattern_hash = pattern_fingerprint(query, constraints)
+            options_hash = options_fingerprint(options)
+            result_key = ResultKey(
+                graph_name=handle.name,
+                graph_version=handle.version,
+                pattern=pattern_hash,
+                algorithm=algo,
+                options=options_hash,
+                limit=limit,
+                collect_matches=collect_matches,
+            )
+            if use_result_cache:
+                cached = self.results.get(result_key)
+                if cached is not None:
+                    self._meter(algo, cached, result_hit=True)
+                    return replace(
+                        cached, result_cache="hit", queue_seconds=0.0
+                    )
+                self.metrics.inc("result_cache_misses")
+
+            plan_key = PlanKey(
+                graph_name=handle.name,
+                graph_version=handle.version,
+                pattern=pattern_hash,
+                algorithm=algo,
+                options=options_hash,
+            )
+
+            def build_plan() -> CachedPlan:
+                matcher = create_matcher(
+                    algo, query, constraints, handle.graph, **options
+                )
+                build_start = time.perf_counter()
+                matcher.prepare()
+                build_seconds = time.perf_counter() - build_start
+                self.metrics.observe("prepare_seconds", build_seconds)
+                return CachedPlan(
+                    key=plan_key, matcher=matcher, build_seconds=build_seconds
+                )
+
+            plan, plan_hit = self.plans.get_or_build(plan_key, build_plan)
+            self.metrics.inc(
+                "plan_cache_hits" if plan_hit else "plan_cache_misses"
+            )
+
+            deadline = (
+                time.monotonic() + budget if budget is not None else None
+            )
+            if self.config.pool == "process":
+                spec = ProcessSpec(
+                    query=query,
+                    constraints=constraints,
+                    graph=handle.graph,
+                    algorithm=algo,
+                    limit=limit,
+                    time_budget=budget,
+                    collect_matches=collect_matches,
+                    options=options,
+                )
+                outcome = self.executor.run_process(spec, workers=workers)
+            else:
+                outcome = self.executor.run_matcher(
+                    plan.matcher,
+                    limit=limit,
+                    deadline=deadline,
+                    workers=workers,
+                    collect_matches=collect_matches,
+                )
+
+            timed_out = outcome.stats.deadline_hit
+            result = ServiceResult(
+                graph=handle.name,
+                graph_version=handle.version,
+                algorithm=algo,
+                matches=outcome.matches,
+                match_count=outcome.stats.matches,
+                timed_out=timed_out,
+                truncated=outcome.stats.budget_exhausted and not timed_out,
+                plan_cache="hit" if plan_hit else "miss",
+                result_cache="miss" if use_result_cache else "bypass",
+                build_seconds=0.0 if plan_hit else plan.build_seconds,
+                queue_seconds=outcome.queue_seconds,
+                match_seconds=outcome.match_seconds,
+                partitions=outcome.partitions,
+                stats=outcome.stats,
+            )
+            if use_result_cache and not timed_out:
+                self.results.put(result_key, result)
+            self._meter(algo, result, result_hit=False)
+            return result
+        finally:
+            self._release()
+
+    def _meter(
+        self, algorithm: str, result: ServiceResult, result_hit: bool
+    ) -> None:
+        """Record the per-query counters and latency observations."""
+        self.metrics.inc("queries_total")
+        self.metrics.inc(f"queries_total.{algorithm}")
+        if result_hit:
+            self.metrics.inc("result_cache_hits")
+            return
+        if result.timed_out:
+            self.metrics.inc("queries_timed_out")
+        if result.truncated:
+            self.metrics.inc("queries_truncated")
+        self.metrics.observe("queue_seconds", result.queue_seconds)
+        self.metrics.observe("match_seconds", result.match_seconds)
+        self.metrics.observe(
+            "total_seconds",
+            result.build_seconds + result.queue_seconds + result.match_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """Metrics plus cache/registry occupancy and per-algorithm QPS."""
+        snapshot = self.metrics.snapshot()
+        counters = snapshot["counters"]
+        assert isinstance(counters, dict)
+        uptime = self.metrics.uptime_seconds()
+        qps = {
+            name.split(".", 1)[1]: (count / uptime if uptime > 0 else 0.0)
+            for name, count in counters.items()
+            if name.startswith("queries_total.")
+        }
+        snapshot["qps"] = qps
+        snapshot["graphs"] = [
+            handle.describe() for handle in self.graphs.handles()
+        ]
+        snapshot["plan_cache_entries"] = len(self.plans)
+        snapshot["result_cache_entries"] = len(self.results)
+        snapshot["inflight"] = self.inflight
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # JSON request dispatch
+    # ------------------------------------------------------------------
+    def submit(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Handle one JSON-level request; never raises.
+
+        Known ops: ``query``, ``load_graph``, ``drop_graph``, ``graphs``,
+        ``metrics``, ``ping``, ``shutdown``.  Responses always carry
+        ``status`` (``ok`` / ``error`` / ``rejected``), echo the request
+        ``op`` and, when present, its ``id``.
+        """
+        op = request.get("op", "query")
+        base: dict[str, Any] = {"op": op}
+        if "id" in request:
+            base["id"] = request["id"]
+        try:
+            payload = self._dispatch(op, request)
+        except AdmissionError as exc:
+            return {**base, "status": "rejected", "error": str(exc)}
+        except ReproError as exc:
+            return {**base, "status": "error", "error": str(exc)}
+        except (TypeError, ValueError, KeyError) as exc:
+            return {
+                **base,
+                "status": "error",
+                "error": f"bad request: {exc!r}",
+            }
+        return {**base, "status": "ok", **payload}
+
+    def _dispatch(self, op: str, request: dict[str, Any]) -> dict[str, Any]:
+        if op == "query":
+            return self._handle_query(request)
+        if op == "load_graph":
+            handle = self.load_graph_file(
+                str(request["name"]),
+                str(request["path"]),
+                num_labels=int(request.get("num_labels", 8)),
+                seed=int(request.get("seed", 0)),
+            )
+            return {"graph": handle.describe()}
+        if op == "drop_graph":
+            self.drop_graph(str(request["name"]))
+            return {}
+        if op == "graphs":
+            return {
+                "graphs": [h.describe() for h in self.graphs.handles()]
+            }
+        if op == "metrics":
+            return {"metrics": self.metrics_snapshot()}
+        if op == "ping":
+            return {"pong": True}
+        if op == "shutdown":
+            return {}
+        raise ValueError(f"unknown op {op!r}")
+
+    def _handle_query(self, request: dict[str, Any]) -> dict[str, Any]:
+        if "pattern" in request:
+            query, constraints = pattern_from_dict(request["pattern"])
+        elif "pattern_path" in request:
+            query, constraints = load_pattern(str(request["pattern_path"]))
+        else:
+            raise ValueError("query request needs 'pattern' or 'pattern_path'")
+        count_only = bool(request.get("count_only", False))
+        budget: Any = request.get("time_budget", _UNSET_BUDGET)
+        if budget is not _UNSET_BUDGET and budget is not None:
+            budget = float(budget)
+        limit = request.get("limit")
+        if limit is not None:
+            limit = int(limit)
+        workers = request.get("workers")
+        if workers is not None:
+            workers = int(workers)
+        result = self.query(
+            str(request["graph"]),
+            query,
+            constraints,
+            algorithm=request.get("algorithm"),
+            limit=limit,
+            time_budget=budget,
+            workers=workers,
+            collect_matches=not count_only,
+        )
+        return result.to_dict(include_matches=not count_only)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        self.executor.close()
+
+    def __enter__(self) -> "TCSMService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def serve_stdio(
+    service: TCSMService,
+    in_stream: IO[str],
+    out_stream: IO[str],
+) -> int:
+    """Serve newline-delimited JSON requests until EOF or ``shutdown``.
+
+    Each input line is one request object; each output line is exactly
+    one response object (malformed JSON yields an error response, not a
+    crash).  Returns the number of requests served.
+    """
+    served = 0
+    for line in in_stream:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+        except ValueError as exc:
+            response: dict[str, Any] = {
+                "status": "error",
+                "error": f"invalid request line: {exc}",
+            }
+            request = None
+        else:
+            response = service.submit(request)
+        out_stream.write(json.dumps(response) + "\n")
+        out_stream.flush()
+        served += 1
+        if request is not None and request.get("op") == "shutdown":
+            break
+    return served

@@ -46,6 +46,47 @@ class TestRegistry:
         finally:
             _REGISTRY["tcsm-eve"] = original
 
+    def test_overwrite_replaces_the_factory(self, toy):
+        query, tc, graph, _, _ = toy
+        sentinel = object()
+        try:
+            register_algorithm("temp-algo", lambda *a, **k: None)
+            register_algorithm(
+                "temp-algo", lambda *a, **k: sentinel, overwrite=True
+            )
+            assert create_matcher("temp-algo", query, tc, graph) is sentinel
+        finally:
+            _REGISTRY.pop("temp-algo", None)
+
+    def test_unknown_algorithm_after_lazy_load_lists_everything(self, toy):
+        """Once the baselines are loaded, a retried lookup must still fail
+        cleanly — with the full (core + baseline) name listing."""
+        query, tc, graph, _, _ = toy
+        available_algorithms()  # force the lazy baseline import
+        with pytest.raises(UnknownAlgorithmError) as excinfo:
+            create_matcher("definitely-not-an-algo", query, tc, graph)
+        message = str(excinfo.value)
+        assert "tcsm-eve" in message
+        assert "ri-ds" in message
+
+    def test_available_without_baselines_stays_lazy(self):
+        """include_baselines=False must not import the baselines package."""
+        import subprocess
+        import sys
+
+        probe = (
+            "import sys\n"
+            "from repro.core import available_algorithms\n"
+            "available_algorithms(include_baselines=False)\n"
+            "assert not any(m.startswith('repro.baselines')"
+            " for m in sys.modules), 'baselines imported eagerly'\n"
+            "available_algorithms()\n"
+            "assert 'repro.baselines' in sys.modules\n"
+        )
+        subprocess.run(
+            [sys.executable, "-c", probe], check=True, timeout=60
+        )
+
 
 class TestFindMatches:
     def test_default_algorithm_is_eve(self, toy):

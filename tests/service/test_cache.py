@@ -1,0 +1,74 @@
+"""Tests for the result cache (generic LRU keyed by graph version)."""
+
+import pytest
+
+from repro.service import ResultCache, ResultKey
+
+
+def _key(pattern="p", graph="g", version=1, limit=None, collect=True):
+    return ResultKey(
+        graph_name=graph,
+        graph_version=version,
+        pattern=pattern,
+        algorithm="tcsm-eve",
+        options="",
+        limit=limit,
+        collect_matches=collect,
+    )
+
+
+class TestResultCache:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            ResultCache(capacity=0)
+
+    def test_get_miss_returns_none(self):
+        cache: ResultCache[str] = ResultCache()
+        assert cache.get(_key()) is None
+
+    def test_put_then_get(self):
+        cache: ResultCache[str] = ResultCache()
+        cache.put(_key(), "answer")
+        assert cache.get(_key()) == "answer"
+
+    def test_limit_and_collect_are_part_of_the_key(self):
+        cache: ResultCache[str] = ResultCache()
+        cache.put(_key(limit=None), "all")
+        cache.put(_key(limit=5), "five")
+        cache.put(_key(collect=False), "count")
+        assert cache.get(_key(limit=None)) == "all"
+        assert cache.get(_key(limit=5)) == "five"
+        assert cache.get(_key(collect=False)) == "count"
+
+    def test_lru_eviction_respects_recency(self):
+        cache: ResultCache[str] = ResultCache(capacity=2)
+        cache.put(_key("p1"), "one")
+        cache.put(_key("p2"), "two")
+        cache.get(_key("p1"))  # refresh: p2 becomes least recently used
+        cache.put(_key("p3"), "three")
+        assert cache.get(_key("p2")) is None
+        assert cache.get(_key("p1")) == "one"
+        assert len(cache) == 2
+
+    def test_invalidate_graph_keeps_current_version(self):
+        cache: ResultCache[str] = ResultCache()
+        cache.put(_key(version=1), "old")
+        cache.put(_key(version=2), "new")
+        cache.put(_key(graph="other"), "untouched")
+        assert cache.invalidate_graph("g", keep_version=2) == 1
+        assert cache.get(_key(version=1)) is None
+        assert cache.get(_key(version=2)) == "new"
+        assert cache.get(_key(graph="other")) == "untouched"
+
+    def test_invalidate_graph_without_keep_drops_everything(self):
+        cache: ResultCache[str] = ResultCache()
+        cache.put(_key(version=1), "old")
+        cache.put(_key(version=2), "new")
+        assert cache.invalidate_graph("g") == 2
+        assert len(cache) == 0
+
+    def test_clear(self):
+        cache: ResultCache[str] = ResultCache()
+        cache.put(_key(), "answer")
+        cache.clear()
+        assert len(cache) == 0

@@ -1,0 +1,116 @@
+"""Tests for the partitioned query executor (thread and process pools)."""
+
+import pytest
+
+from repro.core import create_matcher, find_matches
+from repro.service import ExecutionOutcome, ProcessSpec, QueryExecutor
+
+
+@pytest.fixture(scope="module")
+def prepared_eve(toy):
+    query, tc, graph, _, _ = toy
+    matcher = create_matcher("tcsm-eve", query, tc, graph)
+    matcher.prepare()
+    return matcher
+
+
+class TestConstruction:
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            QueryExecutor(max_workers=0)
+
+    def test_rejects_unknown_pool(self):
+        with pytest.raises(ValueError, match="pool"):
+            QueryExecutor(pool="fibers")
+
+    def test_context_manager_closes(self):
+        with QueryExecutor(max_workers=1) as executor:
+            assert executor.max_workers == 1
+
+
+class TestEffectiveWorkers:
+    def test_defaults_to_pool_size(self, prepared_eve):
+        with QueryExecutor(max_workers=3) as executor:
+            assert executor.effective_workers(prepared_eve) == 3
+
+    def test_caps_request_at_pool_size(self, prepared_eve):
+        with QueryExecutor(max_workers=2) as executor:
+            assert executor.effective_workers(prepared_eve, workers=8) == 2
+
+    def test_clamps_to_one_without_partition_support(self, toy):
+        query, tc, graph, _, _ = toy
+        baseline = create_matcher("ri-ds", query, tc, graph)
+        with QueryExecutor(max_workers=4) as executor:
+            assert executor.effective_workers(baseline) == 1
+
+
+class TestThreadExecution:
+    def test_single_worker_matches_engine(self, toy, prepared_eve):
+        query, tc, graph, _, _ = toy
+        reference = find_matches(query, tc, graph, algorithm="tcsm-eve")
+        with QueryExecutor(max_workers=1) as executor:
+            outcome = executor.run_matcher(prepared_eve)
+        assert isinstance(outcome, ExecutionOutcome)
+        assert outcome.partitions == 1
+        assert sorted(outcome.matches) == sorted(reference.matches)
+
+    def test_fanned_out_matches_single_worker(self, prepared_eve):
+        with QueryExecutor(max_workers=4) as executor:
+            solo = executor.run_matcher(prepared_eve, workers=1)
+            fanned = executor.run_matcher(prepared_eve, workers=4)
+        assert fanned.partitions == 4
+        assert sorted(fanned.matches) == sorted(solo.matches)
+        assert fanned.stats.matches == solo.stats.matches
+
+    def test_global_limit_is_reapplied_after_merge(self, prepared_eve):
+        with QueryExecutor(max_workers=3) as executor:
+            outcome = executor.run_matcher(prepared_eve, limit=1, workers=3)
+        assert len(outcome.matches) == 1
+        assert outcome.stats.matches == 1
+        assert outcome.stats.budget_exhausted
+        assert not outcome.stats.deadline_hit
+
+    def test_expired_deadline_sets_deadline_hit(self, prepared_eve):
+        with QueryExecutor(max_workers=2) as executor:
+            outcome = executor.run_matcher(prepared_eve, deadline=0.0, workers=2)
+        assert outcome.stats.deadline_hit
+        assert outcome.stats.budget_exhausted
+        assert outcome.matches == ()
+
+    def test_collect_matches_false_still_counts(self, prepared_eve):
+        with QueryExecutor(max_workers=2) as executor:
+            counted = executor.run_matcher(prepared_eve, workers=2,
+                                           collect_matches=False)
+            collected = executor.run_matcher(prepared_eve, workers=2)
+        assert counted.matches == ()
+        assert counted.stats.matches == collected.stats.matches
+
+    def test_timings_are_nonnegative(self, prepared_eve):
+        with QueryExecutor(max_workers=2) as executor:
+            outcome = executor.run_matcher(prepared_eve, workers=2)
+        assert outcome.queue_seconds >= 0.0
+        assert outcome.match_seconds >= 0.0
+
+
+class TestProcessExecution:
+    def test_single_worker_runs_inline(self, toy):
+        query, tc, graph, _, _ = toy
+        reference = find_matches(query, tc, graph, algorithm="tcsm-eve")
+        spec = ProcessSpec(
+            query=query, constraints=tc, graph=graph, algorithm="tcsm-eve"
+        )
+        with QueryExecutor(max_workers=4, pool="process") as executor:
+            outcome = executor.run_process(spec, workers=1)
+        assert outcome.partitions == 1
+        assert sorted(outcome.matches) == sorted(reference.matches)
+
+    def test_fanned_out_processes_match_single_worker(self, toy):
+        query, tc, graph, _, _ = toy
+        reference = find_matches(query, tc, graph, algorithm="tcsm-eve")
+        spec = ProcessSpec(
+            query=query, constraints=tc, graph=graph, algorithm="tcsm-eve"
+        )
+        with QueryExecutor(max_workers=2, pool="process") as executor:
+            outcome = executor.run_process(spec, workers=2)
+        assert outcome.partitions == 2
+        assert sorted(outcome.matches) == sorted(reference.matches)

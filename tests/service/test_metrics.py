@@ -1,0 +1,109 @@
+"""Tests for the service metrics registry and histograms."""
+
+import threading
+
+import pytest
+
+from repro.service import DEFAULT_LATENCY_BUCKETS, Histogram, MetricsRegistry
+
+
+class TestHistogram:
+    def test_empty_snapshot(self):
+        snap = Histogram().snapshot()
+        assert snap["count"] == 0
+        assert snap["sum"] == 0.0
+        assert snap["min"] is None
+        assert snap["max"] is None
+        assert snap["mean"] is None
+        assert snap["buckets"] == {}
+
+    def test_bucketing_boundaries(self):
+        hist = Histogram(bounds=(0.001, 0.01, 0.1))
+        hist.observe(0.0004)  # below the first bound
+        hist.observe(0.001)  # exactly on a bound -> that bucket (le)
+        hist.observe(0.05)
+        hist.observe(5.0)  # beyond every bound -> overflow
+        buckets = hist.snapshot()["buckets"]
+        assert buckets == {"le_0.001": 2, "le_0.1": 1, "inf": 1}
+
+    def test_summary_statistics(self):
+        hist = Histogram(bounds=(1.0,))
+        for value in (0.5, 1.5, 1.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(3.0)
+        assert snap["min"] == 0.5
+        assert snap["max"] == 1.5
+        assert snap["mean"] == pytest.approx(1.0)
+
+    def test_bounds_are_sorted(self):
+        hist = Histogram(bounds=(0.1, 0.001, 0.01))
+        assert hist.bounds == (0.001, 0.01, 0.1)
+
+    def test_default_buckets_cover_sub_millisecond_to_deadline(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] <= 0.001
+        assert DEFAULT_LATENCY_BUCKETS[-1] >= 30.0
+
+
+class TestMetricsRegistry:
+    def test_counters_default_to_zero(self):
+        metrics = MetricsRegistry()
+        assert metrics.counter("never_touched") == 0
+
+    def test_inc_and_counter(self):
+        metrics = MetricsRegistry()
+        metrics.inc("queries_total")
+        metrics.inc("queries_total", by=2)
+        assert metrics.counter("queries_total") == 3
+
+    def test_labelled_counters_are_independent(self):
+        metrics = MetricsRegistry()
+        metrics.inc("queries_total.tcsm-eve")
+        metrics.inc("queries_total.tcsm-v2v", by=4)
+        assert metrics.counter("queries_total.tcsm-eve") == 1
+        assert metrics.counter("queries_total.tcsm-v2v") == 4
+
+    def test_observe_creates_histogram(self):
+        metrics = MetricsRegistry()
+        metrics.observe("match_seconds", 0.002)
+        snap = metrics.snapshot()
+        assert snap["histograms"]["match_seconds"]["count"] == 1
+
+    def test_uptime_and_rate_with_fake_clock(self):
+        now = [100.0]
+        metrics = MetricsRegistry(clock=lambda: now[0])
+        metrics.inc("queries_total", by=10)
+        now[0] = 105.0
+        assert metrics.uptime_seconds() == pytest.approx(5.0)
+        assert metrics.rate("queries_total") == pytest.approx(2.0)
+
+    def test_rate_at_zero_uptime(self):
+        metrics = MetricsRegistry(clock=lambda: 1.0)
+        metrics.inc("queries_total")
+        assert metrics.rate("queries_total") == 0.0
+
+    def test_snapshot_is_plain_sorted_data(self):
+        metrics = MetricsRegistry()
+        metrics.inc("b")
+        metrics.inc("a")
+        snap = metrics.snapshot()
+        assert list(snap["counters"]) == ["a", "b"]
+        assert snap["uptime_seconds"] >= 0.0
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        metrics = MetricsRegistry()
+
+        def hammer():
+            for _ in range(500):
+                metrics.inc("hits")
+                metrics.observe("latency", 0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert metrics.counter("hits") == 2000
+        snap = metrics.snapshot()
+        assert snap["histograms"]["latency"]["count"] == 2000

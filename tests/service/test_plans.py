@@ -1,0 +1,157 @@
+"""Tests for pattern fingerprints and the prepared-plan cache."""
+
+import json
+import threading
+
+import pytest
+
+from repro.graphs import TemporalConstraints, pattern_from_dict, pattern_to_dict
+from repro.service import (
+    CachedPlan,
+    PlanCache,
+    PlanKey,
+    options_fingerprint,
+    pattern_fingerprint,
+)
+
+
+def _key(pattern="p", graph="g", version=1, algorithm="tcsm-eve", options=""):
+    return PlanKey(
+        graph_name=graph,
+        graph_version=version,
+        pattern=pattern,
+        algorithm=algorithm,
+        options=options,
+    )
+
+
+def _plan(key):
+    return CachedPlan(key=key, matcher=object(), build_seconds=0.0)
+
+
+class TestPatternFingerprint:
+    def test_equal_patterns_hash_equal(self, workload):
+        query, constraints = workload
+        assert pattern_fingerprint(query, constraints) == pattern_fingerprint(
+            query, constraints
+        )
+
+    def test_different_constraints_hash_differently(self, workload):
+        query, constraints = workload
+        loosened = TemporalConstraints(
+            [(c.earlier, c.later, c.gap + 1) for c in constraints],
+            num_edges=query.num_edges,
+        )
+        assert pattern_fingerprint(query, constraints) != pattern_fingerprint(
+            query, loosened
+        )
+
+    def test_json_round_trip_preserves_fingerprint(self, workload):
+        """A pattern submitted over JSONL (gaps coerced to float) must hit
+        the same plan-cache entry as its native twin."""
+        query, constraints = workload
+        wire = json.loads(json.dumps(pattern_to_dict(query, constraints)))
+        round_tripped_query, round_tripped_tc = pattern_from_dict(wire)
+        assert pattern_fingerprint(
+            round_tripped_query, round_tripped_tc
+        ) == pattern_fingerprint(query, constraints)
+
+    def test_fingerprint_is_hex_digest(self, workload):
+        query, constraints = workload
+        digest = pattern_fingerprint(query, constraints)
+        assert len(digest) == 64
+        int(digest, 16)  # parses as hex
+
+
+class TestOptionsFingerprint:
+    def test_empty_options_are_empty_string(self):
+        assert options_fingerprint({}) == ""
+
+    def test_order_independent(self):
+        assert options_fingerprint(
+            {"a": 1, "b": True}
+        ) == options_fingerprint({"b": True, "a": 1})
+
+    def test_value_sensitive(self):
+        assert options_fingerprint({"a": 1}) != options_fingerprint({"a": 2})
+
+
+class TestPlanCache:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            PlanCache(capacity=0)
+
+    def test_miss_returns_none(self):
+        assert PlanCache().get(_key()) is None
+
+    def test_get_or_build_builds_once(self):
+        cache = PlanCache()
+        key = _key()
+        builds = []
+
+        def build():
+            builds.append(1)
+            return _plan(key)
+
+        plan, hit = cache.get_or_build(key, build)
+        again, hit_again = cache.get_or_build(key, build)
+        assert not hit and hit_again
+        assert again is plan
+        assert len(builds) == 1
+
+    def test_lru_eviction(self):
+        cache = PlanCache(capacity=2)
+        first, second, third = _key("p1"), _key("p2"), _key("p3")
+        for key in (first, second):
+            cache.get_or_build(key, lambda key=key: _plan(key))
+        cache.get(first)  # refresh: second is now least recently used
+        cache.get_or_build(third, lambda: _plan(third))
+        assert cache.get(second) is None
+        assert cache.get(first) is not None
+        assert len(cache) == 2
+
+    def test_invalidate_graph_keeps_current_version(self):
+        cache = PlanCache()
+        old, new, other = _key(version=1), _key(version=2), _key(graph="h")
+        for key in (old, new, other):
+            cache.get_or_build(key, lambda key=key: _plan(key))
+        evicted = cache.invalidate_graph("g", keep_version=2)
+        assert evicted == 1
+        assert cache.get(old) is None
+        assert cache.get(new) is not None
+        assert cache.get(other) is not None
+
+    def test_invalidate_graph_without_keep_drops_all_versions(self):
+        cache = PlanCache()
+        for version in (1, 2):
+            key = _key(version=version)
+            cache.get_or_build(key, lambda key=key: _plan(key))
+        assert cache.invalidate_graph("g") == 2
+        assert len(cache) == 0
+
+    def test_clear(self):
+        cache = PlanCache()
+        cache.get_or_build(_key(), lambda: _plan(_key()))
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_concurrent_same_key_builds_once(self):
+        cache = PlanCache()
+        key = _key()
+        builds = []
+        gate = threading.Barrier(4)
+
+        def build():
+            builds.append(1)
+            return _plan(key)
+
+        def racer():
+            gate.wait()
+            cache.get_or_build(key, build)
+
+        threads = [threading.Thread(target=racer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(builds) == 1

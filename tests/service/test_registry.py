@@ -1,0 +1,67 @@
+"""Tests for the versioned graph registry."""
+
+import pytest
+
+from repro.errors import ServiceError, UnknownGraphError
+from repro.service import GraphRegistry
+
+
+class TestGraphRegistry:
+    def test_register_and_get(self, cm_graph):
+        registry = GraphRegistry()
+        handle = registry.register("cm", cm_graph)
+        assert handle.name == "cm"
+        assert handle.version == 1
+        assert registry.get("cm") is handle
+
+    def test_reregister_bumps_version(self, cm_graph):
+        registry = GraphRegistry()
+        registry.register("cm", cm_graph)
+        replaced = registry.register("cm", cm_graph)
+        assert replaced.version == 2
+        assert registry.get("cm").version == 2
+        assert len(registry) == 1
+
+    def test_version_survives_drop(self, cm_graph):
+        """A name re-registered after a drop never reuses an old version —
+        cache keys embedding (name, version) must stay unambiguous."""
+        registry = GraphRegistry()
+        registry.register("cm", cm_graph)
+        registry.register("cm", cm_graph)
+        registry.drop("cm")
+        revived = registry.register("cm", cm_graph)
+        assert revived.version == 3
+
+    def test_get_unknown_lists_registered_names(self, cm_graph):
+        registry = GraphRegistry()
+        registry.register("alpha", cm_graph)
+        registry.register("beta", cm_graph)
+        with pytest.raises(UnknownGraphError, match="alpha, beta"):
+            registry.get("gamma")
+
+    def test_get_unknown_on_empty_registry(self):
+        with pytest.raises(UnknownGraphError, match=r"\(none\)"):
+            GraphRegistry().get("anything")
+
+    def test_unknown_graph_error_is_a_service_error(self):
+        with pytest.raises(ServiceError):
+            GraphRegistry().get("anything")
+
+    def test_drop_unknown_raises(self):
+        with pytest.raises(UnknownGraphError):
+            GraphRegistry().drop("ghost")
+
+    def test_names_and_handles_sorted(self, cm_graph):
+        registry = GraphRegistry()
+        registry.register("zeta", cm_graph)
+        registry.register("alpha", cm_graph)
+        assert registry.names() == ("alpha", "zeta")
+        assert [h.name for h in registry.handles()] == ["alpha", "zeta"]
+
+    def test_describe_is_plain_data(self, cm_graph):
+        handle = GraphRegistry().register("cm", cm_graph)
+        described = handle.describe()
+        assert described["name"] == "cm"
+        assert described["version"] == 1
+        assert described["num_vertices"] == cm_graph.num_vertices
+        assert described["num_temporal_edges"] == cm_graph.num_temporal_edges

@@ -168,3 +168,76 @@ class TestPatternExample:
         query, constraints = load_pattern(path)
         assert query.num_vertices == 6
         assert len(constraints) > 0
+
+
+class TestSubmit:
+    def test_query_request_line(self, workspace, capsys):
+        _, pattern_path = workspace
+        rc = main([
+            "submit", "--graph", "g", "--pattern", str(pattern_path),
+            "--limit", "3", "--workers", "2", "--count-only",
+            "--id", "req-1",
+        ])
+        assert rc == 0
+        request = json.loads(capsys.readouterr().out)
+        assert request["op"] == "query"
+        assert request["graph"] == "g"
+        assert request["limit"] == 3
+        assert request["workers"] == 2
+        assert request["count_only"] is True
+        assert request["id"] == "req-1"
+        assert "edges" in request["pattern"]
+
+    def test_control_op_lines(self, capsys):
+        assert main(["submit", "--op", "ping"]) == 0
+        assert json.loads(capsys.readouterr().out) == {"op": "ping"}
+
+    def test_query_without_pattern_is_error(self, capsys):
+        rc = main(["submit", "--graph", "g"])
+        assert rc == 2
+        assert "--pattern" in capsys.readouterr().err
+
+
+class TestServe:
+    def _pipe(self, monkeypatch, capsys, argv, requests):
+        import io
+        import sys as _sys
+
+        stdin = io.StringIO(
+            "".join(json.dumps(r) + "\n" for r in requests)
+        )
+        monkeypatch.setattr(_sys, "stdin", stdin)
+        rc = main(argv)
+        captured = capsys.readouterr()
+        responses = [json.loads(line) for line in captured.out.splitlines()]
+        return rc, responses, captured.err
+
+    def test_serves_preloaded_graph(self, workspace, monkeypatch, capsys):
+        graph_path, pattern_path = workspace
+        from repro.graphs import load_pattern, pattern_to_dict
+
+        query, constraints = load_pattern(pattern_path)
+        rc, responses, err = self._pipe(
+            monkeypatch, capsys,
+            ["serve", "--graph", f"g={graph_path}", "--workers", "2"],
+            [
+                {"op": "query", "graph": "g",
+                 "pattern": pattern_to_dict(query, constraints),
+                 "count_only": True, "id": 1},
+                {"op": "shutdown"},
+            ],
+        )
+        assert rc == 0
+        assert responses[0]["status"] == "ok"
+        assert responses[0]["id"] == 1
+        assert responses[0]["match_count"] >= 0
+        assert responses[1] == {"op": "shutdown", "status": "ok"}
+        assert "# loaded" in err
+        assert "# served 2 requests" in err
+
+    def test_bad_graph_spec_is_error(self, monkeypatch, capsys):
+        rc, _, err = self._pipe(
+            monkeypatch, capsys, ["serve", "--graph", "nopath"], []
+        )
+        assert rc == 2
+        assert "NAME=PATH" in err

@@ -527,6 +527,119 @@ class TestR008:
 
 
 # ----------------------------------------------------------------------
+# R009 service-unbudgeted-run
+# ----------------------------------------------------------------------
+SERVICE = "src/repro/service/fixture_mod.py"
+
+
+class TestR009:
+    def test_unbudgeted_run_in_service_flagged(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def execute(matcher, stats):
+                return list(matcher.run(limit=None, stats=stats))
+            """,
+            relpath=SERVICE,
+            select=["R009"],
+        )
+        assert rule_ids(findings) == ["R009"]
+        assert "deadline" in findings[0].message
+
+    def test_unbudgeted_find_matches_flagged(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.core import find_matches
+
+            def execute(query, tc, graph):
+                return find_matches(query, tc, graph)
+            """,
+            relpath=SERVICE,
+            select=["R009"],
+        )
+        assert rule_ids(findings) == ["R009"]
+
+    def test_deadline_keyword_passes(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def execute(matcher, stats, deadline):
+                return list(matcher.run(stats=stats, deadline=deadline))
+            """,
+            relpath=SERVICE,
+            select=["R009"],
+        )
+        assert findings == []
+
+    def test_explicit_unbounded_deadline_passes(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def execute(matcher, stats):
+                return list(matcher.run(stats=stats, deadline=None))
+            """,
+            relpath=SERVICE,
+            select=["R009"],
+        )
+        assert findings == []
+
+    def test_time_budget_keyword_passes(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.core import find_matches
+
+            def execute(query, tc, graph, budget):
+                return find_matches(query, tc, graph, time_budget=budget)
+            """,
+            relpath=SERVICE,
+            select=["R009"],
+        )
+        assert findings == []
+
+    def test_kwargs_splat_passes(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.core import find_matches
+
+            def execute(query, tc, graph, **kwargs):
+                return find_matches(query, tc, graph, **kwargs)
+            """,
+            relpath=SERVICE,
+            select=["R009"],
+        )
+        assert findings == []
+
+    def test_rule_scoped_to_service_package(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def execute(matcher, stats):
+                return list(matcher.run(limit=None, stats=stats))
+            """,
+            relpath=CORE,
+            select=["R009"],
+        )
+        assert findings == []
+
+    def test_pragma_disables(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def execute(matcher, stats):
+                return list(
+                    matcher.run(stats=stats)  # reprolint: disable=R009
+                )
+            """,
+            relpath=SERVICE,
+            select=["R009"],
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
 # framework: pragmas, selection, output, exit codes, live tree
 # ----------------------------------------------------------------------
 class TestPragmas:

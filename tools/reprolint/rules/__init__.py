@@ -9,6 +9,7 @@ from . import (  # noqa: F401  (imports register the rules)
     frozen_plan,
     recursion_guard,
     registry_complete,
+    service_budget,
 )
 
 __all__ = [
@@ -20,4 +21,5 @@ __all__ = [
     "frozen_plan",
     "recursion_guard",
     "registry_complete",
+    "service_budget",
 ]

@@ -16,6 +16,7 @@ from collections.abc import Iterator
 from typing import cast
 
 from ...core.match import Match
+from ...core.options import RunContext, resolve_run_context
 from ...core.stats import SearchStats
 from ...graphs import TemporalEdge
 from .stream import CSMMatcherBase, connected_edge_order
@@ -42,15 +43,25 @@ class SJTreeMatcher(CSMMatcherBase):
     # The generic pinned search is replaced wholesale.
     def run(
         self,
+        ctx: RunContext | None = None,
+        *,
         limit: int | None = None,
         stats: SearchStats | None = None,
         deadline: float | None = None,
     ) -> Iterator[Match]:
+        context = resolve_run_context(
+            ctx, limit=limit, stats=stats, deadline=deadline
+        )
         self.prepare()
-        if stats is None:
-            stats = SearchStats()
+        return self._run(context)
+
+    def _run(self, ctx: RunContext) -> Iterator[Match]:
+        limit = ctx.limit
+        deadline = ctx.deadline
+        stats = ctx.stats
         emitted = 0
         m = self.query.num_edges
+        post_counters = stats.filter("temporal-postfilter")
         for edge in self._stream:
             if deadline is not None and time.monotonic() > deadline:
                 stats.budget_exhausted = True
@@ -66,7 +77,9 @@ class SJTreeMatcher(CSMMatcherBase):
                 # Deltas surviving all m join levels are fully bound.
                 full = cast("tuple[TemporalEdge, ...]", edge_map)
                 times = [e.t for e in full]
+                post_counters.considered += 1
                 if not self.constraints.check(times):
+                    post_counters.pruned += 1
                     stats.record_fail(m)
                     continue
                 emitted += 1

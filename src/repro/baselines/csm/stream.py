@@ -30,8 +30,10 @@ from collections.abc import Hashable, Iterator
 from typing import cast
 
 from ...core.match import Match
+from ...core.options import RunContext, resolve_run_context
 from ...core.stats import SearchStats
 from ...errors import AlgorithmError
+from ...obs import TraceSink
 from ...graphs import (
     QueryGraph,
     TemporalConstraints,
@@ -88,6 +90,9 @@ class CSMMatcherBase:
     """
 
     name = "csm-base"
+    #: Delta semantics tie the search to one global stream replay, so the
+    #: CSM baselines do not honour seed partitioning.
+    supports_partition = False
 
     def __init__(
         self,
@@ -170,7 +175,7 @@ class CSMMatcherBase:
     # ------------------------------------------------------------------
     # protocol
     # ------------------------------------------------------------------
-    def prepare(self) -> None:
+    def prepare(self, tracer: TraceSink | None = None) -> None:
         """Sort the stream, allocate the snapshot, build pin orders."""
         if self._prepared:
             return
@@ -191,14 +196,23 @@ class CSMMatcherBase:
 
     def run(
         self,
+        ctx: RunContext | None = None,
+        *,
         limit: int | None = None,
         stats: SearchStats | None = None,
         deadline: float | None = None,
     ) -> Iterator[Match]:
         """Replay the stream, reporting TC-satisfying delta matches."""
+        context = resolve_run_context(
+            ctx, limit=limit, stats=stats, deadline=deadline
+        )
         self.prepare()
-        if stats is None:
-            stats = SearchStats()
+        return self._run(context)
+
+    def _run(self, ctx: RunContext) -> Iterator[Match]:
+        limit = ctx.limit
+        deadline = ctx.deadline
+        stats = ctx.stats
         emitted = 0
         for edge in self._stream:
             if deadline is not None and time.monotonic() > deadline:
@@ -248,6 +262,10 @@ class CSMMatcherBase:
         edge_map: list[TemporalEdge | None] = [None] * m
         vertex_map: list[int | None] = [None] * n
         used: set[int] = set()
+
+        # The CSM adaptation checks temporal constraints only on complete
+        # embeddings; the bucket makes that leaf-filter cost observable.
+        post_counters = stats.filter("temporal-postfilter")
 
         qa, qb = edge_endpoints[pin]
         stats.candidates_generated += 1
@@ -317,12 +335,14 @@ class CSMMatcherBase:
             if pos == m:
                 full = cast("list[TemporalEdge]", edge_map)  # all bound here
                 times = [full[i].t for i in range(m)]
+                post_counters.considered += 1
                 if self.constraints.check(times):
                     yield Match(
                         tuple(full),
                         cast("tuple[int, ...]", tuple(vertex_map)),
                     )
                 else:
+                    post_counters.pruned += 1
                     stats.record_fail(pos)
                 return
             edge_index = order[pos]

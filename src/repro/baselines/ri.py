@@ -23,10 +23,12 @@ from collections.abc import Iterator
 from typing import cast
 
 from ..core.match import Match
+from ..core.options import RunContext, resolve_run_context
 from ..core.stats import SearchStats
 from ..core.timestamps import iter_timestamp_assignments
 from ..errors import AlgorithmError
 from ..graphs import QueryGraph, TemporalConstraints, TemporalGraph
+from ..obs import NULL_TRACER, TraceSink
 
 __all__ = ["RIMatcher", "greatest_constraint_first_order"]
 
@@ -85,6 +87,7 @@ class RIMatcher:
     """
 
     name = "ri-ds"
+    supports_partition = False
 
     def __init__(
         self,
@@ -104,33 +107,41 @@ class RIMatcher:
         self.use_domains = use_domains
         if not use_domains:
             self.name = "ri"
+        #: Filter counters accumulated during ``prepare`` (the engine
+        #: merges them into the run stats exactly once per query).
+        self.prepare_stats = SearchStats()
         self._prepared = False
 
-    def prepare(self) -> None:
+    def prepare(self, tracer: TraceSink | None = None) -> None:
         """Compute the GCF order and (for -DS) the vertex domains."""
         if self._prepared:
             return
+        tr = tracer if tracer is not None else NULL_TRACER
         query = self.query
         data = self.graph.de_temporal()
         self._order = greatest_constraint_first_order(query)
         self._position = [0] * query.num_vertices
         for pos, u in enumerate(self._order):
             self._position[u] = pos
-        if self.use_domains:
-            self._domains = [
-                frozenset(
-                    v
-                    for v in self.graph.vertices_with_label(query.label(u))
-                    if data.in_degree(v) >= query.in_degree(u)
-                    and data.out_degree(v) >= query.out_degree(u)
-                )
-                for u in query.vertices()
-            ]
-        else:
-            self._domains = [
-                frozenset(self.graph.vertices_with_label(query.label(u)))
-                for u in query.vertices()
-            ]
+        domain_counters = self.prepare_stats.filter("domains")
+        with tr.span(
+            "candidate-filter:domains", vertices=query.num_vertices
+        ) as sp:
+            domains: list[frozenset[int]] = []
+            for u in query.vertices():
+                passing: set[int] = set()
+                for v in self.graph.vertices_with_label(query.label(u)):
+                    domain_counters.considered += 1
+                    if self.use_domains and (
+                        data.in_degree(v) < query.in_degree(u)
+                        or data.out_degree(v) < query.out_degree(u)
+                    ):
+                        domain_counters.pruned += 1
+                        continue
+                    passing.add(v)
+                domains.append(frozenset(passing))
+            self._domains = domains
+            sp.annotate(**domain_counters.as_dict())
         # Structural checks per position: edges towards ordered vertices.
         self._edge_checks: list[tuple[tuple[int, bool, bool], ...]] = []
         for pos, u in enumerate(self._order):
@@ -145,13 +156,23 @@ class RIMatcher:
 
     def run(
         self,
+        ctx: RunContext | None = None,
+        *,
         limit: int | None = None,
         stats: SearchStats | None = None,
         deadline: float | None = None,
     ) -> Iterator[Match]:
         """Enumerate static embeddings, then timestamp assignments."""
+        context = resolve_run_context(
+            ctx, limit=limit, stats=stats, deadline=deadline
+        )
         self.prepare()
-        search_stats = stats if stats is not None else SearchStats()
+        return self._run(context)
+
+    def _run(self, ctx: RunContext) -> Iterator[Match]:
+        limit = ctx.limit
+        deadline = ctx.deadline
+        search_stats = ctx.stats
         query = self.query
         graph = self.graph
         n = query.num_vertices
@@ -161,6 +182,8 @@ class RIMatcher:
         bound = cast("list[int]", vertex_map)
         used: set[int] = set()
         emitted = 0
+        inj_counters = search_stats.filter("injectivity")
+        structure_counters = search_stats.filter("structure")
 
         def dfs(pos: int) -> Iterator[Match]:
             if deadline is not None and time.monotonic() > deadline:
@@ -177,10 +200,13 @@ class RIMatcher:
             produced = False
             for v in self._domains[u]:
                 search_stats.candidates_generated += 1
+                inj_counters.considered += 1
                 if v in used:
+                    inj_counters.pruned += 1
                     search_stats.record_fail(pos + 1)
                     continue
                 search_stats.validations += 1
+                structure_counters.considered += 1
                 ok = True
                 for w, need_uw, need_wu in self._edge_checks[pos]:
                     dw = bound[w]
@@ -191,6 +217,7 @@ class RIMatcher:
                         ok = False
                         break
                 if not ok:
+                    structure_counters.pruned += 1
                     search_stats.record_fail(pos + 1)
                     continue
                 produced = True
@@ -226,15 +253,15 @@ class RIMatcher:
         for index, (a, b) in enumerate(query.edges):
             required = query.edge_label(index)
             if required is None:
-                options.append(
-                    graph.timestamps_list(complete[a], complete[b])
-                )
+                times_list = graph.timestamps_list(complete[a], complete[b])
             else:
-                options.append(
-                    graph.timestamps_with_label(
-                        complete[a], complete[b], required
-                    )
+                times_list = graph.timestamps_with_label(
+                    complete[a], complete[b], required
                 )
+            stats.timestamps_expanded += len(times_list)
+            options.append(times_list)
+        post_counters = stats.filter("temporal-postfilter")
+        post_counters.considered += 1
         final_map = tuple(complete)
         found = False
         # Naive enumeration (use_windows=False): the baseline has no STN
@@ -245,4 +272,5 @@ class RIMatcher:
             found = True
             yield Match.from_vertex_map(self.query, final_map, times)
         if not found:
+            post_counters.pruned += 1
             stats.record_fail(pos)

@@ -21,6 +21,11 @@ Subcommands
 ``submit``
     Write a JSONL request line for ``serve`` — the two verbs compose
     into shell pipelines: ``repro submit ... | repro serve ...``.
+``trace``
+    Run one fully traced query (the paper's toy example by default),
+    print the span tree and per-filter pruning counters, and optionally
+    write Chrome trace-event JSON for chrome://tracing (see
+    docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -113,13 +118,44 @@ def build_parser() -> argparse.ArgumentParser:
                        help="random labels for graphs without a sidecar")
     serve.add_argument("--seed", type=int, default=0,
                        help="seed for random label assignment")
+    serve.add_argument("--trace-sample", type=float, default=0.0,
+                       metavar="RATE",
+                       help="fraction of queries to trace (0..1, default 0)")
+    serve.add_argument("--trace-store", type=int, default=32,
+                       help="retained traces before LRU eviction")
+
+    trace = sub.add_parser(
+        "trace", help="run one traced query and show spans + pruning counters"
+    )
+    trace.add_argument("--graph", default=None,
+                       help="SNAP temporal edge list (default: paper toy "
+                            "example)")
+    trace.add_argument("--pattern", default=None,
+                       help="pattern JSON (default: toy pattern)")
+    trace.add_argument("--algorithm", default="tcsm-eve",
+                       help="matcher name (see 'repro algorithms')")
+    trace.add_argument("--limit", type=int, default=None,
+                       help="stop after this many matches")
+    trace.add_argument("--time-budget", type=float, default=None,
+                       help="wall-clock budget in seconds")
+    trace.add_argument("--tighten", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="tighten constraints via STN closure first "
+                            "(default on, so the stn-closure span appears)")
+    trace.add_argument("--out", default=None,
+                       help="write Chrome trace-event JSON here "
+                            "(open in chrome://tracing or Perfetto)")
+    trace.add_argument("--num-labels", type=int, default=8,
+                       help="random labels when no sidecar exists (default 8)")
+    trace.add_argument("--seed", type=int, default=0,
+                       help="seed for random label assignment")
 
     submit = sub.add_parser(
         "submit", help="print a JSONL request line for 'repro serve'"
     )
     submit.add_argument("--op", default="query",
                         choices=("query", "metrics", "graphs", "ping",
-                                 "shutdown"),
+                                 "trace", "shutdown"),
                         help="request type (default query)")
     submit.add_argument("--graph", default=None,
                         help="registered graph name (query op)")
@@ -135,6 +171,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="partitions for this query")
     submit.add_argument("--count-only", action="store_true",
                         help="request match counts without match payloads")
+    submit.add_argument("--trace", action="store_true",
+                        help="force tracing for this query (query op)")
+    submit.add_argument("--trace-id", default=None,
+                        help="retrieve one stored trace (trace op; omit to "
+                             "list retained trace ids)")
     submit.add_argument("--id", default=None,
                         help="request id echoed back in the response")
     return parser
@@ -225,6 +266,10 @@ def _cmd_pattern_example(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .service import ServiceConfig, TCSMService, serve_stdio
 
+    if not 0.0 <= args.trace_sample <= 1.0:
+        print(f"error: --trace-sample must be within [0, 1], got "
+              f"{args.trace_sample}", file=sys.stderr)
+        return 2
     config = ServiceConfig(
         max_workers=args.workers,
         pool=args.pool,
@@ -232,6 +277,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         result_cache_size=args.result_cache,
         max_inflight=args.max_inflight,
         default_time_budget=args.time_budget,
+        trace_sample_rate=args.trace_sample,
+        trace_store_size=args.trace_store,
     )
     with TCSMService(config) as service:
         for spec in args.graph:
@@ -246,6 +293,57 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"# loaded {handle.describe()}", file=sys.stderr)
         served = serve_stdio(service, sys.stdin, sys.stdout)
     print(f"# served {served} requests", file=sys.stderr)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .core import MatchOptions
+    from .obs import Tracer, render_span_tree, write_chrome_trace
+
+    if (args.graph is None) != (args.pattern is None):
+        print("error: 'trace' needs both --graph and --pattern (or neither "
+              "for the built-in toy example)", file=sys.stderr)
+        return 2
+    if args.graph is None:
+        from .datasets import toy_instance
+
+        query, constraints, graph, _, _ = toy_instance()
+        source = "toy example (paper Fig. 2)"
+    else:
+        graph = load_snap_temporal(
+            args.graph, num_labels=args.num_labels, seed=args.seed
+        )
+        query, constraints = load_pattern(args.pattern)
+        source = args.graph
+    tracer = Tracer()
+    result = find_matches(
+        query,
+        constraints,
+        graph,
+        algorithm=args.algorithm,
+        options=MatchOptions(
+            limit=args.limit,
+            time_budget=args.time_budget,
+            tighten=args.tighten,
+        ),
+        tracer=tracer,
+    )
+    print(f"# traced {args.algorithm} on {source}: "
+          f"{result.num_matches} matches in {result.total_seconds:.4f}s")
+    print(render_span_tree(tracer))
+    summary = result.stats.filter_summary()
+    if summary:
+        width = max(len(name) for name in summary)
+        print(f"{'filter':<{width}}  considered     pruned  survivors")
+        for name, row in summary.items():
+            print(f"{name:<{width}}  {row['considered']:>10} "
+                  f"{row['pruned']:>10} {row['survivors']:>10}")
+    if result.stats.timestamps_expanded:
+        print(f"# timestamps expanded: {result.stats.timestamps_expanded}")
+    if args.out:
+        write_chrome_trace(tracer, args.out)
+        print(f"# wrote Chrome trace ({len(tracer)} spans) -> {args.out}",
+              file=sys.stderr)
     return 0
 
 
@@ -273,6 +371,10 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             request["workers"] = args.workers
         if args.count_only:
             request["count_only"] = True
+        if args.trace:
+            request["trace"] = True
+    elif args.op == "trace" and args.trace_id is not None:
+        request["trace_id"] = args.trace_id
     print(json.dumps(request))
     return 0
 
@@ -293,6 +395,8 @@ def main(argv: list[str] | None = None) -> int:
             return 0
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         if args.command == "submit":
             return _cmd_submit(args)
     except ReproError as exc:

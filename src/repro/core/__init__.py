@@ -23,10 +23,11 @@ from .filters import (
     nlf,
 )
 from .match import Match, is_valid_match
+from .options import MatchOptions, RunContext, resolve_run_context
 from .partition import check_partition, partition_slice
 from .motifs import count_motif, ordered_motif_constraints
 from .render import render_tcq, render_tcq_plus
-from .stats import SearchStats
+from .stats import FilterStats, SearchStats
 from .tcf import TCF, build_tcf
 from .tcq import TCQ, build_tcq, vertex_tsup
 from .tcq_plus import TCQPlus, build_tcq_plus, edge_tsup
@@ -44,10 +45,13 @@ __all__ = [
     "lint_pattern",
     "E2EMatcher",
     "EVEMatcher",
+    "FilterStats",
     "Match",
+    "MatchOptions",
     "MatchResult",
     "Matcher",
     "PartitionedMatcher",
+    "RunContext",
     "SearchStats",
     "TCF",
     "TCQ",
@@ -79,6 +83,7 @@ __all__ = [
     "register_algorithm",
     "render_tcq",
     "render_tcq_plus",
+    "resolve_run_context",
     "supports_partition",
     "vertex_tsup",
     "windows_compatible",

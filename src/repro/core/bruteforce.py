@@ -20,8 +20,10 @@ from typing import cast
 
 from ..errors import AlgorithmError
 from ..graphs import QueryGraph, TemporalConstraints, TemporalGraph
+from ..obs import TraceSink
 
 from .match import Match
+from .options import RunContext, resolve_run_context
 from .partition import partition_slice
 from .stats import SearchStats
 
@@ -32,6 +34,7 @@ class BruteForceMatcher:
     """Oracle matcher with the same protocol as the real matchers."""
 
     name = "brute-force"
+    supports_partition = True
 
     def __init__(
         self,
@@ -48,11 +51,13 @@ class BruteForceMatcher:
         self.constraints = constraints
         self.graph = graph
 
-    def prepare(self) -> None:
+    def prepare(self, tracer: TraceSink | None = None) -> None:
         """Nothing to precompute (kept for protocol compatibility)."""
 
     def run(
         self,
+        ctx: RunContext | None = None,
+        *,
         limit: int | None = None,
         stats: SearchStats | None = None,
         deadline: float | None = None,
@@ -60,11 +65,22 @@ class BruteForceMatcher:
     ) -> Iterator[Match]:
         """Yield every match, in deterministic order.
 
-        ``partition=(index, count)`` restricts the search to the slice of
-        the first query vertex's candidates owned by that partition (see
+        Run-time state arrives as one :class:`RunContext`; the individual
+        keywords are the legacy shim.  ``ctx.partition=(index, count)``
+        restricts the search to the slice of the first query vertex's
+        candidates owned by that partition (see
         :mod:`repro.core.partition`).
         """
-        search_stats = stats if stats is not None else SearchStats()
+        context = resolve_run_context(
+            ctx, limit=limit, stats=stats, deadline=deadline, partition=partition
+        )
+        return self._run(context)
+
+    def _run(self, ctx: RunContext) -> Iterator[Match]:
+        limit = ctx.limit
+        deadline = ctx.deadline
+        partition = ctx.partition
+        search_stats = ctx.stats
         query = self.query
         graph = self.graph
         n = query.num_vertices

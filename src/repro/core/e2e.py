@@ -23,9 +23,11 @@ from ..graphs import (
     TemporalEdge,
     TemporalGraph,
 )
+from ..obs import NULL_TRACER, TraceSink
 
 from .filters import initial_edge_candidate_pairs
 from .match import Match
+from .options import RunContext, resolve_run_context
 from .partition import partition_slice
 from .stats import SearchStats
 from .tcq_plus import TCQPlus, build_tcq_plus
@@ -48,6 +50,7 @@ class E2EMatcher:
     """
 
     name = "tcsm-e2e"
+    supports_partition = True
 
     #: Subclass hook (TCSM-EVE): vertex pre-matching on newly introduced
     #: query vertices.  E2E performs no vertex look-ahead.
@@ -75,18 +78,24 @@ class E2EMatcher:
         self.intersect_candidates = intersect_candidates
         self.pair_candidates: list[frozenset[tuple[int, int]]] | None = None
         self.tcq_plus: TCQPlus | None = None
+        #: Filter counters accumulated during ``prepare`` (the engine
+        #: merges them into the run stats exactly once per query).
+        self.prepare_stats = SearchStats()
         self._prepared = False
 
     # ------------------------------------------------------------------
     # preparation (Algorithm 4 lines 1-4)
     # ------------------------------------------------------------------
-    def prepare(self) -> None:
+    def prepare(self, tracer: TraceSink | None = None) -> None:
         """Compute LDF candidates and build the TCQ+ (idempotent)."""
         if self._prepared:
             return
-        self.pair_candidates = initial_edge_candidate_pairs(
-            self.query, self.graph
-        )
+        tr = tracer if tracer is not None else NULL_TRACER
+        with tr.span("candidate-filter:ldf", edges=self.query.num_edges) as sp:
+            self.pair_candidates = initial_edge_candidate_pairs(
+                self.query, self.graph, stats=self.prepare_stats
+            )
+            sp.annotate(**self.prepare_stats.filter("ldf").as_dict())
         self.tcq_plus = build_tcq_plus(
             self.query,
             self.constraints,
@@ -135,20 +144,33 @@ class E2EMatcher:
     # ------------------------------------------------------------------
     def run(
         self,
+        ctx: RunContext | None = None,
+        *,
         limit: int | None = None,
         stats: SearchStats | None = None,
         deadline: float | None = None,
         partition: tuple[int, int] | None = None,
     ) -> Iterator[Match]:
-        """Yield all matches (generator; stops early at *limit*/deadline).
+        """Yield all matches (generator; stops early at limit/deadline).
 
-        ``partition=(index, count)`` restricts the search to the slice of
-        the *root* edge's candidate pairs owned by that partition (see
-        :mod:`repro.core.partition`); the ``count`` partitions jointly
-        enumerate exactly the unpartitioned match set, disjointly.
+        Run-time state arrives as one :class:`RunContext`; the individual
+        keywords are the legacy shim.  ``ctx.partition=(index, count)``
+        restricts the search to the slice of the *root* edge's candidate
+        pairs owned by that partition (see :mod:`repro.core.partition`);
+        the ``count`` partitions jointly enumerate exactly the
+        unpartitioned match set, disjointly.
         """
+        context = resolve_run_context(
+            ctx, limit=limit, stats=stats, deadline=deadline, partition=partition
+        )
         self.prepare()
-        search_stats = stats if stats is not None else SearchStats()
+        return self._run(context)
+
+    def _run(self, ctx: RunContext) -> Iterator[Match]:
+        limit = ctx.limit
+        deadline = ctx.deadline
+        partition = ctx.partition
+        search_stats = ctx.stats
         # prepare() populated these; the casts rebind them non-Optional
         # because narrowing does not propagate into the closures below.
         tcq = cast(TCQPlus, self.tcq_plus)
@@ -171,6 +193,14 @@ class E2EMatcher:
         root_pairs: list[tuple[int, int]] | None = None
         if partition is not None:
             root_pairs = partition_slice(pair_candidates[tcq.order[0]], partition)
+        # Per-filter pruning counters, fetched once so the hot loop only
+        # touches ints.  Chained on the same candidate stream, so each
+        # filter's ``considered`` equals the previous one's ``survivors``.
+        inj_counters = search_stats.filter("injectivity")
+        temporal_counters = search_stats.filter("temporal")
+        vmatch_counters = (
+            search_stats.filter("vmatch") if self.vertex_prematching else None
+        )
 
         def vmatch(u: int, v: int, required_labels: frozenset[Hashable]) -> bool:
             """Vmatch (Algorithm 5 lines 24-28): label look-ahead on BN."""
@@ -189,8 +219,11 @@ class E2EMatcher:
         def admissible_times(edge_index: int, du: int, dv: int) -> list[int]:
             required = required_labels[edge_index]
             if required is None:
-                return graph.timestamps_list(du, dv)
-            return graph.timestamps_with_label(du, dv, required)
+                times = graph.timestamps_list(du, dv)
+            else:
+                times = graph.timestamps_with_label(du, dv, required)
+            search_stats.timestamps_expanded += len(times)
+            return times
 
         def candidate_edges(pos: int) -> Iterator[TemporalEdge]:
             """Candidates per Algorithm 4 line 14, driven by the vertex map."""
@@ -266,26 +299,33 @@ class E2EMatcher:
                 search_stats.validations += 1
                 # Injectivity: a newly bound data vertex must be fresh and
                 # the two endpoints of a seed edge must differ.
+                inj_counters.considered += 1
                 new_a = vertex_map[qa] is None
                 new_b = vertex_map[qb] is None
                 if new_a and new_b and cand.u == cand.v:
+                    inj_counters.pruned += 1
                     search_stats.record_fail(pos + 1)
                     continue
                 edge_map[edge_index] = cand
                 edge_times[edge_index] = cand.t
+                temporal_counters.considered += 1
                 if not temporal_ok(pos):
+                    temporal_counters.pruned += 1
                     edge_map[edge_index] = None
                     edge_times[edge_index] = None
                     search_stats.record_fail(pos + 1)
                     continue
-                if self.vertex_prematching and not all(
-                    vmatch(u, cand.u if u == qa else cand.v, labels)
-                    for u, labels in self._vmatch_plan[pos]
-                ):
-                    edge_map[edge_index] = None
-                    edge_times[edge_index] = None
-                    search_stats.record_fail(pos + 1)
-                    continue
+                if vmatch_counters is not None:
+                    vmatch_counters.considered += 1
+                    if not all(
+                        vmatch(u, cand.u if u == qa else cand.v, labels)
+                        for u, labels in self._vmatch_plan[pos]
+                    ):
+                        vmatch_counters.pruned += 1
+                        edge_map[edge_index] = None
+                        edge_times[edge_index] = None
+                        search_stats.record_fail(pos + 1)
+                        continue
                 if new_a:
                     vertex_map[qa] = cand.u
                     used.add(cand.u)

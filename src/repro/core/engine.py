@@ -1,10 +1,20 @@
-"""Unified matcher engine: registry, dispatch, timing.
+"""Unified matcher engine: registry, dispatch, timing, tracing.
 
 Every matcher — the paper's three algorithms, the brute-force oracle, and
 all baselines — implements the same protocol (``prepare()`` +
-``run(limit, stats, deadline)``).  The engine registers them by name and
-wraps a run with phase timing (preparation vs matching, the split plotted
-in Fig. 14 / Table VI of the paper).
+``run(ctx)``).  The engine registers them by name and wraps a run with
+phase timing (preparation vs matching, the split plotted in Fig. 14 /
+Table VI of the paper) and optional per-phase tracing spans
+(:mod:`repro.obs`).
+
+Callers choose run behaviour through a frozen :class:`MatchOptions`
+(limit, time budget, STN tightening, match collection, partition,
+tracing); the individual ``limit=`` / ``time_budget=`` / ... keywords
+remain as a back-compat shim that builds one.  Matchers receive run-time
+state as a single :class:`RunContext`; whether a matcher supports seed
+partitioning is declared by its ``supports_partition`` class attribute
+(signature probing remains only as a fallback for unregistered
+third-party matchers).
 
 Baselines live in :mod:`repro.baselines` and are imported lazily on first
 use of an unknown name, so ``import repro`` stays cheap and the core has
@@ -21,37 +31,54 @@ from typing import Any, Protocol, cast
 
 from ..errors import AlgorithmError, UnknownAlgorithmError
 from ..graphs import QueryGraph, TemporalConstraints, TemporalGraph
+from ..obs import NULL_TRACER, TraceSink, Tracer
 
 from .bruteforce import BruteForceMatcher
 from .e2e import E2EMatcher
 from .eve import EVEMatcher
 from .match import Match
+from .options import MatchOptions, RunContext
 from .stats import SearchStats
 from .v2v import V2VMatcher
 
 __all__ = [
+    "MatchOptions",
     "Matcher",
     "MatchResult",
     "PartitionedMatcher",
+    "RunContext",
     "available_algorithms",
     "count_matches",
     "create_matcher",
     "find_matches",
+    "invoke_run",
+    "prepare_matcher",
     "register_algorithm",
     "supports_partition",
 ]
 
 
 class Matcher(Protocol):
-    """Protocol all matchers implement."""
+    """Protocol all matchers implement.
+
+    ``supports_partition`` declares whether ``run`` honours
+    ``RunContext.partition`` (the engine consults the attribute, not the
+    signature).  ``run`` takes one :class:`RunContext`; the legacy
+    ``limit``/``stats``/``deadline`` keywords are the back-compat shim.
+    """
 
     name: str
+    supports_partition: bool
 
-    def prepare(self) -> None:  # pragma: no cover - protocol
+    def prepare(
+        self, tracer: TraceSink | None = None
+    ) -> None:  # pragma: no cover - protocol
         ...
 
     def run(
         self,
+        ctx: RunContext | None = None,
+        *,
         limit: int | None = None,
         stats: SearchStats | None = None,
         deadline: float | None = None,
@@ -60,18 +87,20 @@ class Matcher(Protocol):
 
 
 class PartitionedMatcher(Matcher, Protocol):
-    """A matcher whose ``run`` additionally accepts a seed partition.
+    """A matcher that honours ``RunContext.partition``.
 
     ``partition=(index, count)`` restricts the search to a deterministic
     slice of the root position's candidates (see
     :mod:`repro.core.partition`); the ``count`` slices jointly enumerate
     exactly the unpartitioned match set, pairwise disjointly.  The three
-    TCSM algorithms and the brute-force oracle implement this; baselines
-    need not.
+    TCSM algorithms and the brute-force oracle implement this
+    (``supports_partition = True``); baselines need not.
     """
 
     def run(
         self,
+        ctx: RunContext | None = None,
+        *,
         limit: int | None = None,
         stats: SearchStats | None = None,
         deadline: float | None = None,
@@ -81,12 +110,80 @@ class PartitionedMatcher(Matcher, Protocol):
 
 
 def supports_partition(matcher: Matcher) -> bool:
-    """True when *matcher*'s ``run`` accepts a ``partition`` keyword."""
+    """True when *matcher* declares (or exhibits) partition support.
+
+    Registered matchers declare it with a ``supports_partition`` class
+    attribute; for unregistered third-party matchers without the
+    attribute, the legacy signature probe (a ``partition`` parameter on
+    ``run``) is retained as a fallback.
+    """
+    flag = getattr(matcher, "supports_partition", None)
+    if flag is not None:
+        return bool(flag)
     try:
         parameters = inspect.signature(matcher.run).parameters
     except (TypeError, ValueError):  # pragma: no cover - exotic callables
         return False
     return "partition" in parameters
+
+
+_CTX_SUPPORT: dict[type, bool] = {}
+
+
+def _run_accepts_context(matcher: Matcher) -> bool:
+    """True when ``matcher.run`` takes a ``ctx`` parameter (cached per type)."""
+    cls = type(matcher)
+    cached = _CTX_SUPPORT.get(cls)
+    if cached is None:
+        try:
+            parameters = inspect.signature(cls.run).parameters
+        except (TypeError, ValueError):  # pragma: no cover - exotic callables
+            cached = False
+        else:
+            cached = "ctx" in parameters
+        _CTX_SUPPORT[cls] = cached
+    return cached
+
+
+def invoke_run(matcher: Matcher, ctx: RunContext) -> Iterator[Match]:
+    """Call ``matcher.run`` with *ctx*, shimming third-party matchers.
+
+    In-repo matchers take the context directly; an unregistered matcher
+    whose ``run`` predates :class:`RunContext` is called with the legacy
+    keywords instead (``partition`` only when set, so old three-keyword
+    signatures keep working).
+    """
+    if _run_accepts_context(matcher):
+        return matcher.run(ctx)
+    if ctx.partition is not None:
+        return cast(PartitionedMatcher, matcher).run(
+            limit=ctx.limit,
+            stats=ctx.stats,
+            deadline=ctx.deadline,
+            partition=ctx.partition,
+        )
+    return matcher.run(limit=ctx.limit, stats=ctx.stats, deadline=ctx.deadline)
+
+
+def prepare_matcher(matcher: Matcher, tracer: TraceSink) -> None:
+    """Run ``matcher.prepare``, forwarding the tracer when accepted.
+
+    Third-party matchers whose ``prepare`` predates the ``tracer``
+    parameter are called bare; they simply emit no candidate-filter
+    spans.  The probe only runs when tracing is enabled.
+    """
+    if not tracer.enabled:
+        matcher.prepare()
+        return
+    try:
+        parameters = inspect.signature(matcher.prepare).parameters
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        matcher.prepare()
+        return
+    if "tracer" in parameters:
+        matcher.prepare(tracer=tracer)
+    else:
+        matcher.prepare()
 
 
 MatcherFactory = Callable[..., Matcher]
@@ -150,7 +247,8 @@ class MatchResult:
     ``timed_out`` is set when the wall-clock deadline expired mid-search
     and ``truncated`` when a match limit stopped the run; either way the
     returned matches are a correct *prefix* of the full result set rather
-    than a silently-short answer.
+    than a silently-short answer.  ``trace`` carries the tracer of a
+    traced run (``None`` otherwise).
     """
 
     algorithm: str
@@ -160,6 +258,7 @@ class MatchResult:
     match_seconds: float = 0.0
     timed_out: bool = False
     truncated: bool = False
+    trace: Tracer | None = None
 
     @property
     def total_seconds(self) -> float:
@@ -167,7 +266,48 @@ class MatchResult:
 
     @property
     def num_matches(self) -> int:
-        return len(self.matches)
+        """Matches found, whether or not match objects were retained.
+
+        Falls back to ``stats.matches`` when the run counted without
+        collecting (``collect_matches=False``), where ``len(matches)``
+        would wrongly read 0.
+        """
+        return len(self.matches) or self.stats.matches
+
+
+def _resolve_options(
+    options: MatchOptions | None,
+    limit: int | None,
+    time_budget: float | None,
+    tighten: bool,
+    collect_matches: bool,
+    partition: tuple[int, int] | None,
+    trace: bool,
+) -> MatchOptions:
+    """Fold an explicit :class:`MatchOptions` or the legacy keywords."""
+    legacy_used = (
+        limit is not None
+        or time_budget is not None
+        or tighten
+        or not collect_matches
+        or partition is not None
+        or trace
+    )
+    if options is not None:
+        if legacy_used:
+            raise TypeError(
+                "pass either MatchOptions or the legacy limit/time_budget/"
+                "tighten/collect_matches/partition/trace keywords, not both"
+            )
+        return options
+    return MatchOptions(
+        limit=limit,
+        time_budget=time_budget,
+        tighten=tighten,
+        collect_matches=collect_matches,
+        partition=partition,
+        trace=trace,
+    )
 
 
 def find_matches(
@@ -175,13 +315,17 @@ def find_matches(
     constraints: TemporalConstraints,
     graph: TemporalGraph,
     algorithm: str = "tcsm-eve",
+    *,
+    options: MatchOptions | None = None,
+    matcher: Matcher | None = None,
+    tracer: Tracer | None = None,
     limit: int | None = None,
     time_budget: float | None = None,
     tighten: bool = False,
     collect_matches: bool = True,
-    matcher: Matcher | None = None,
     partition: tuple[int, int] | None = None,
-    **options: Any,
+    trace: bool = False,
+    **matcher_options: Any,
 ) -> MatchResult:
     """Run a matcher end to end and return matches plus measurements.
 
@@ -192,63 +336,81 @@ def find_matches(
         ``"tcsm-v2v"``, ``"brute-force"``, or any baseline
         (``"ri-ds"``, ``"graphflow"``, ...).  See
         :func:`available_algorithms`.
-    limit:
-        Stop after this many matches.
-    time_budget:
-        Wall-clock seconds for the matching phase; on expiry the run stops
-        with ``result.timed_out`` (and ``stats.budget_exhausted``) set.
-    tighten:
-        Replace the constraint set by its STN closure before matching
-        (never changes the result set; ablated in the benchmarks).
-    collect_matches:
-        When False, matches are counted but not retained — use for
-        benchmarks on match-dense instances.
+    options:
+        A :class:`MatchOptions` bundling limit, time budget, tightening,
+        match collection, partition and tracing.  The individual keywords
+        below are a back-compat shim that builds one; passing both is an
+        error.
     matcher:
         A pre-built (possibly already prepared) matcher to reuse instead
         of constructing one from *algorithm*; ``prepare()`` is idempotent,
         so reusing a warm matcher skips the preparation cost.  This is the
         plan-reuse hook the query service's plan cache builds on.
-        *algorithm* and *options* are ignored when given.
-    partition:
-        ``(index, count)`` seed partition forwarded to the matcher's
-        ``run`` (see :class:`PartitionedMatcher`); raises
-        :class:`AlgorithmError` for matchers without partition support.
-    options:
+        *algorithm* and *matcher_options* are ignored when given.
+    tracer:
+        An explicit tracer to record spans into (the service injects its
+        sampled tracer here).  ``options.trace`` / ``trace=True`` creates
+        a fresh one instead; the tracer used comes back on
+        ``result.trace``.
+    limit, time_budget, tighten, collect_matches, partition, trace:
+        Legacy keywords; see :class:`MatchOptions` for semantics.
+    matcher_options:
         Forwarded to the matcher constructor.
     """
-    if tighten:
-        constraints = constraints.closed()
+    opts = _resolve_options(
+        options, limit, time_budget, tighten, collect_matches, partition, trace
+    )
+    tr: TraceSink
+    if tracer is not None:
+        tr = tracer
+    elif opts.trace:
+        tracer = Tracer()
+        tr = tracer
+    else:
+        tr = NULL_TRACER
+
+    if opts.tighten:
+        with tr.span("stn-closure", constraints=len(constraints)):
+            constraints = constraints.closed()
     if matcher is None:
         matcher = create_matcher(
-            algorithm, query, constraints, graph, **options
+            algorithm, query, constraints, graph, **matcher_options
         )
     stats = SearchStats()
 
     build_start = time.perf_counter()
-    matcher.prepare()
+    with tr.span("prepare", algorithm=matcher.name):
+        prepare_matcher(matcher, tr)
     build_seconds = time.perf_counter() - build_start
+    prepare_stats = getattr(matcher, "prepare_stats", None)
+    if isinstance(prepare_stats, SearchStats):
+        stats.merge(prepare_stats)
 
     deadline = None
-    if time_budget is not None:
-        deadline = time.monotonic() + time_budget
+    if opts.time_budget is not None:
+        deadline = time.monotonic() + opts.time_budget
 
-    if partition is None:
-        run = matcher.run(limit=limit, stats=stats, deadline=deadline)
-    else:
-        if not supports_partition(matcher):
-            raise AlgorithmError(
-                f"matcher {matcher.name!r} does not support partitioned "
-                "execution"
-            )
-        run = cast(PartitionedMatcher, matcher).run(
-            limit=limit, stats=stats, deadline=deadline, partition=partition
+    if opts.partition is not None and not supports_partition(matcher):
+        raise AlgorithmError(
+            f"matcher {matcher.name!r} does not support partitioned "
+            "execution"
         )
+    ctx = RunContext(
+        limit=opts.limit,
+        deadline=deadline,
+        partition=opts.partition,
+        stats=stats,
+        tracer=tr,
+    )
+    run = invoke_run(matcher, ctx)
 
     matches: list[Match] = []
     match_start = time.perf_counter()
-    for match in run:
-        if collect_matches:
-            matches.append(match)
+    with tr.span("enumerate", algorithm=matcher.name) as enum_span:
+        for match in run:
+            if opts.collect_matches:
+                matches.append(match)
+        enum_span.annotate(matches=stats.matches)
     match_seconds = time.perf_counter() - match_start
 
     result = MatchResult(
@@ -259,6 +421,7 @@ def find_matches(
         match_seconds=match_seconds,
         timed_out=stats.deadline_hit,
         truncated=stats.budget_exhausted and not stats.deadline_hit,
+        trace=tracer,
     )
     return result
 
@@ -268,15 +431,21 @@ def count_matches(
     constraints: TemporalConstraints,
     graph: TemporalGraph,
     algorithm: str = "tcsm-eve",
+    *,
+    options: MatchOptions | None = None,
     **kwargs: Any,
 ) -> int:
     """Number of matches (does not retain match objects)."""
+    if options is not None:
+        options = options.replace(collect_matches=False)
+    else:
+        kwargs.setdefault("collect_matches", False)
     result = find_matches(
         query,
         constraints,
         graph,
         algorithm=algorithm,
-        collect_matches=False,
+        options=options,
         **kwargs,
     )
     return result.stats.matches

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from ..graphs import QueryGraph, StaticGraph, TemporalGraph
 
+from .stats import SearchStats
+
 __all__ = [
     "nlf",
     "ldf",
@@ -84,27 +86,34 @@ def initial_vertex_candidates(
     query: QueryGraph,
     graph: TemporalGraph,
     count_based: bool = True,
+    stats: SearchStats | None = None,
 ) -> list[frozenset[int]]:
     """Per query vertex, the set of NLF-passing data vertices.
 
     This is lines 1-3 of Algorithm 2.  Only data vertices carrying the
-    query label are examined, via the data graph's label index.
+    query label are examined, via the data graph's label index.  When
+    *stats* is given, the ``"nlf"`` filter bucket records how many
+    label-compatible vertices were considered and how many NLF pruned.
     """
     data = graph.de_temporal()
+    counters = (stats or SearchStats()).filter("nlf")
     candidates: list[frozenset[int]] = []
     for u in query.vertices():
-        passing = frozenset(
-            v
-            for v in graph.vertices_with_label(query.label(u))
-            if nlf(query, data, u, v, count_based=count_based)
-        )
-        candidates.append(passing)
+        passing: set[int] = set()
+        for v in graph.vertices_with_label(query.label(u)):
+            counters.considered += 1
+            if nlf(query, data, u, v, count_based=count_based):
+                passing.add(v)
+            else:
+                counters.pruned += 1
+        candidates.append(frozenset(passing))
     return candidates
 
 
 def initial_edge_candidate_pairs(
     query: QueryGraph,
     graph: TemporalGraph,
+    stats: SearchStats | None = None,
 ) -> list[frozenset[tuple[int, int]]]:
     """Per query edge, the set of LDF-passing data vertex *pairs*.
 
@@ -112,15 +121,21 @@ def initial_edge_candidate_pairs(
     candidates are stored as static pairs rather than expanded temporal
     edges, because every timestamp of a passing pair passes too (LDF looks
     only at labels and degrees).  Matchers expand timestamps on demand.
+    When *stats* is given, the ``"ldf"`` bucket records scanned vs pruned
+    pairs.
     """
     data = graph.de_temporal()
+    counters = (stats or SearchStats()).filter("ldf")
     candidates: list[frozenset[tuple[int, int]]] = []
     for edge_index, (qu, qv) in enumerate(query.edges):
         passing: set[tuple[int, int]] = set()
         # Scan only pairs whose source carries the right label.
         for data_u in graph.vertices_with_label(query.label(qu)):
             for data_v in data.out_neighbors(data_u):
+                counters.considered += 1
                 if ldf(query, data, edge_index, data_u, data_v):
                     passing.add((data_u, data_v))
+                else:
+                    counters.pruned += 1
         candidates.append(frozenset(passing))
     return candidates

@@ -1,0 +1,155 @@
+"""The consolidated matching API surface: options and run context.
+
+Two small frozen dataclasses replace the keyword sprawl that had been
+growing on :func:`repro.core.find_matches` and ``Matcher.run``:
+
+:class:`MatchOptions`
+    Everything a *caller* chooses about one end-to-end match run — limit,
+    time budget, STN tightening, match collection, seed partition, and
+    tracing.  Hashable and canonically fingerprintable, so the service's
+    caches key on it directly instead of re-deriving ad-hoc tuples.
+
+:class:`RunContext`
+    Everything a *matcher* needs inside ``run()`` — the resolved limit,
+    deadline, stats sink, partition slice, and tracer.  Matchers accept
+    it as the single first parameter; the legacy ``limit=``/``stats=``/
+    ``deadline=``/``partition=`` keywords remain as a back-compat shim
+    that :func:`resolve_run_context` folds into a context.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from ..errors import AlgorithmError
+from ..obs import NULL_TRACER, TraceSink
+from .stats import SearchStats
+
+__all__ = ["MatchOptions", "RunContext", "resolve_run_context"]
+
+
+@dataclass(frozen=True)
+class MatchOptions:
+    """Caller-side knobs for one match run (see :func:`find_matches`).
+
+    Attributes
+    ----------
+    limit:
+        Stop after this many matches (``None`` = unbounded).
+    time_budget:
+        Wall-clock seconds for the matching phase (``None`` = unbounded).
+    tighten:
+        Replace the constraint set by its STN closure before matching.
+    collect_matches:
+        When False, matches are counted but not retained.
+    partition:
+        ``(index, count)`` seed partition restricting the search to one
+        deterministic slice of the root candidates.
+    trace:
+        Record per-phase spans into a fresh tracer, returned on
+        ``MatchResult.trace``.
+    """
+
+    limit: int | None = None
+    time_budget: float | None = None
+    tighten: bool = False
+    collect_matches: bool = True
+    partition: tuple[int, int] | None = None
+    trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.limit is not None and self.limit < 0:
+            raise AlgorithmError(f"limit must be >= 0, not {self.limit}")
+        if self.partition is not None:
+            index, count = self.partition
+            if count < 1 or not 0 <= index < count:
+                raise AlgorithmError(
+                    f"partition must satisfy 0 <= index < count, "
+                    f"not {self.partition}"
+                )
+
+    def canonical_hash(self) -> str:
+        """Stable hex digest of the *result-shaping* fields.
+
+        Covers ``limit``, ``tighten``, ``collect_matches`` and
+        ``partition`` — the fields that change which answer comes back.
+        ``time_budget`` is excluded because only budget-independent
+        (complete) results are ever cached, and ``trace`` because
+        observability never changes the answer.  Equal options hash equal
+        across processes (canonical JSON, no ``hash()`` randomisation).
+        """
+        payload = json.dumps(
+            {
+                "limit": self.limit,
+                "tighten": self.tighten,
+                "collect_matches": self.collect_matches,
+                "partition": (
+                    None if self.partition is None else list(self.partition)
+                ),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def replace(self, **changes: Any) -> "MatchOptions":
+        """A copy with *changes* applied (convenience over dataclasses)."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class RunContext:
+    """Resolved run-time state handed to ``Matcher.run`` as one object.
+
+    Frozen so a context can be shared and re-derived (``with_partition``)
+    without aliasing surprises; the ``stats`` object it carries is the
+    one deliberately mutable channel matchers write into.
+    """
+
+    limit: int | None = None
+    deadline: float | None = None
+    partition: tuple[int, int] | None = None
+    stats: SearchStats = field(default_factory=SearchStats)
+    tracer: TraceSink = NULL_TRACER
+
+    def with_partition(self, index: int, count: int) -> "RunContext":
+        """This context re-aimed at one partition slice, with fresh stats."""
+        return replace(
+            self, partition=(index, count), stats=SearchStats()
+        )
+
+
+def resolve_run_context(
+    ctx: RunContext | None,
+    limit: int | None = None,
+    stats: SearchStats | None = None,
+    deadline: float | None = None,
+    partition: tuple[int, int] | None = None,
+) -> RunContext:
+    """Fold a ``RunContext`` or the legacy keywords into one context.
+
+    Passing both a context *and* any non-default legacy keyword is an
+    error — the values would silently compete otherwise.
+    """
+    legacy_used = (
+        limit is not None
+        or stats is not None
+        or deadline is not None
+        or partition is not None
+    )
+    if ctx is not None:
+        if legacy_used:
+            raise TypeError(
+                "pass either a RunContext or the legacy "
+                "limit/stats/deadline/partition keywords, not both"
+            )
+        return ctx
+    return RunContext(
+        limit=limit,
+        deadline=deadline,
+        partition=partition,
+        stats=stats if stats is not None else SearchStats(),
+    )

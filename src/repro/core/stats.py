@@ -5,6 +5,16 @@ algorithm, the total number of failed enumerations and the layer of the
 matching tree at which the first failure occurs — both are indicators of
 pruning power.  :class:`SearchStats` records exactly those quantities, plus
 a few cheap counters that the experiment drivers report.
+
+Per-filter pruning effectiveness (the paper's Exp-9 ablation, and the
+lever TimeCSM-style temporal filtering turns) is recorded in
+:class:`FilterStats` buckets, one per named filter: how many candidates
+the filter *considered*, how many it *pruned*, and (derived) how many
+survived.  Filters are chained, so for consecutive filters on the same
+candidate stream ``later.considered == earlier.survivors`` — the test
+suite pins this sum-consistency.  Counters are plain attribute increments
+on slotted objects and stay on in production; matchers fetch the bucket
+once before their DFS and touch only ints in the hot loop.
 """
 
 from __future__ import annotations
@@ -12,7 +22,35 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
-__all__ = ["SearchStats"]
+__all__ = ["FilterStats", "SearchStats"]
+
+
+@dataclass(slots=True)
+class FilterStats:
+    """Pruning counters for one named candidate filter.
+
+    ``considered`` counts candidates the filter examined; ``pruned``
+    counts those it rejected.  ``survivors`` is always the difference, so
+    the three are sum-consistent by construction.
+    """
+
+    considered: int = 0
+    pruned: int = 0
+
+    @property
+    def survivors(self) -> int:
+        return self.considered - self.pruned
+
+    def merge(self, other: "FilterStats") -> None:
+        self.considered += other.considered
+        self.pruned += other.pruned
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "considered": self.considered,
+            "pruned": self.pruned,
+            "survivors": self.survivors,
+        }
 
 
 @dataclass
@@ -47,6 +85,13 @@ class SearchStats:
         distinguish a *timed-out* run from one merely *truncated* by a
         match limit — the service layer tags responses with exactly this
         split.
+    timestamps_expanded:
+        Temporal-edge timestamps materialised from candidate pairs (the
+        expansion cost edge-based matchers pay per pair and V2V pays at
+        its leaves).
+    filters:
+        Per-filter :class:`FilterStats`, keyed by filter name (``"nlf"``,
+        ``"ldf"``, ``"temporal"``, ...); see :meth:`filter`.
     """
 
     candidates_generated: int = 0
@@ -58,6 +103,27 @@ class SearchStats:
     matches: int = 0
     budget_exhausted: bool = False
     deadline_hit: bool = False
+    timestamps_expanded: int = 0
+    filters: dict[str, FilterStats] = field(default_factory=dict)
+
+    def filter(self, name: str) -> FilterStats:
+        """The (created-on-first-use) counter bucket for filter *name*.
+
+        Matchers call this once per run, outside the hot loop, and then
+        increment the returned object's ints directly.
+        """
+        bucket = self.filters.get(name)
+        if bucket is None:
+            bucket = FilterStats()
+            self.filters[name] = bucket
+        return bucket
+
+    def filter_summary(self) -> dict[str, dict[str, int]]:
+        """Plain-data view of every filter bucket (for JSON/metrics)."""
+        return {
+            name: bucket.as_dict()
+            for name, bucket in sorted(self.filters.items())
+        }
 
     def record_fail(self, layer: int) -> None:
         """Record one failed enumeration at 1-based *layer*."""
@@ -76,6 +142,9 @@ class SearchStats:
         self.matches += other.matches
         self.budget_exhausted |= other.budget_exhausted
         self.deadline_hit |= other.deadline_hit
+        self.timestamps_expanded += other.timestamps_expanded
+        for name, bucket in other.filters.items():
+            self.filter(name).merge(bucket)
         if other.first_fail_layer is not None and (
             self.first_fail_layer is None
             or other.first_fail_layer < self.first_fail_layer

@@ -18,9 +18,11 @@ from typing import cast
 
 from ..errors import AlgorithmError
 from ..graphs import QueryGraph, TemporalConstraints, TemporalGraph
+from ..obs import NULL_TRACER, TraceSink
 
 from .filters import initial_vertex_candidates
 from .match import Match
+from .options import RunContext, resolve_run_context
 from .partition import partition_slice
 from .stats import SearchStats
 from .tcq import TCQ, build_tcq
@@ -49,6 +51,7 @@ class V2VMatcher:
     """
 
     name = "tcsm-v2v"
+    supports_partition = True
 
     def __init__(
         self,
@@ -72,18 +75,29 @@ class V2VMatcher:
         self.use_windows = use_windows
         self.candidates: list[frozenset[int]] | None = None
         self.tcq: TCQ | None = None
+        #: Filter counters accumulated during ``prepare`` (the engine
+        #: merges them into the run stats exactly once per query).
+        self.prepare_stats = SearchStats()
         self._prepared = False
 
     # ------------------------------------------------------------------
     # preparation (Algorithm 2 lines 1-4); timed separately by the engine
     # ------------------------------------------------------------------
-    def prepare(self) -> None:
+    def prepare(self, tracer: TraceSink | None = None) -> None:
         """Compute initial candidates and build the TCQ (idempotent)."""
         if self._prepared:
             return
-        self.candidates = initial_vertex_candidates(
-            self.query, self.graph, count_based=self.count_based_nlf
-        )
+        tr = tracer if tracer is not None else NULL_TRACER
+        with tr.span(
+            "candidate-filter:nlf", vertices=self.query.num_vertices
+        ) as sp:
+            self.candidates = initial_vertex_candidates(
+                self.query,
+                self.graph,
+                count_based=self.count_based_nlf,
+                stats=self.prepare_stats,
+            )
+            sp.annotate(**self.prepare_stats.filter("nlf").as_dict())
         self.tcq = build_tcq(
             self.query,
             self.constraints,
@@ -114,33 +128,56 @@ class V2VMatcher:
         self._required_edge_labels = self.query.edge_labels
         self._prepared = True
 
-    def _edge_times(self, edge_index: int, du: int, dv: int) -> list[int]:
+    def _edge_times(
+        self,
+        edge_index: int,
+        du: int,
+        dv: int,
+        stats: SearchStats | None = None,
+    ) -> list[int]:
         """Timestamps of data pair ``(du, dv)`` admissible for a query edge
         (honours the edge-label generalisation)."""
         required = self._required_edge_labels[edge_index]
         if required is None:
-            return self.graph.timestamps_list(du, dv)
-        return self.graph.timestamps_with_label(du, dv, required)
+            times = self.graph.timestamps_list(du, dv)
+        else:
+            times = self.graph.timestamps_with_label(du, dv, required)
+        if stats is not None:
+            stats.timestamps_expanded += len(times)
+        return times
 
     # ------------------------------------------------------------------
     # matching (Algorithm 2 lines 5-27)
     # ------------------------------------------------------------------
     def run(
         self,
+        ctx: RunContext | None = None,
+        *,
         limit: int | None = None,
         stats: SearchStats | None = None,
         deadline: float | None = None,
         partition: tuple[int, int] | None = None,
     ) -> Iterator[Match]:
-        """Yield all matches (generator; stops early at *limit*/deadline).
+        """Yield all matches (generator; stops early at limit/deadline).
 
-        ``partition=(index, count)`` restricts the search to the slice of
-        the *root* vertex's candidates owned by that partition (see
+        Run-time state arrives as one :class:`RunContext`; the individual
+        keywords are the legacy shim.  ``ctx.partition=(index, count)``
+        restricts the search to the slice of the *root* vertex's
+        candidates owned by that partition (see
         :mod:`repro.core.partition`); the ``count`` partitions jointly
         enumerate exactly the unpartitioned match set, disjointly.
         """
+        context = resolve_run_context(
+            ctx, limit=limit, stats=stats, deadline=deadline, partition=partition
+        )
         self.prepare()
-        search_stats = stats if stats is not None else SearchStats()
+        return self._run(context)
+
+    def _run(self, ctx: RunContext) -> Iterator[Match]:
+        limit = ctx.limit
+        deadline = ctx.deadline
+        partition = ctx.partition
+        search_stats = ctx.stats
         # prepare() populated these; the casts rebind them non-Optional
         # because narrowing does not propagate into the closures below.
         tcq = cast(TCQ, self.tcq)
@@ -157,6 +194,13 @@ class V2VMatcher:
         root_candidates: list[int] | None = None
         if partition is not None:
             root_candidates = partition_slice(candidates[tcq.order[0]], partition)
+        # Per-filter pruning counters, fetched once so the hot loop only
+        # touches ints.  Chained on the same candidate stream, so each
+        # filter's ``considered`` equals the previous one's ``survivors``.
+        intersect_counters = search_stats.filter("intersect")
+        inj_counters = search_stats.filter("injectivity")
+        structure_counters = search_stats.filter("structure")
+        temporal_counters = search_stats.filter("temporal")
 
         def temporal_ok(pos: int) -> bool:
             """Existential window check for constraints closing at *pos*."""
@@ -164,10 +208,10 @@ class V2VMatcher:
                 eu, ev = self._edge_endpoints[c.earlier]
                 lu, lv = self._edge_endpoints[c.later]
                 earlier_times = self._edge_times(
-                    c.earlier, bound[eu], bound[ev]
+                    c.earlier, bound[eu], bound[ev], search_stats
                 )
                 later_times = self._edge_times(
-                    c.later, bound[lu], bound[lv]
+                    c.later, bound[lu], bound[lv], search_stats
                 )
                 if not windows_compatible(earlier_times, later_times, c.gap):
                     return False
@@ -222,22 +266,31 @@ class V2VMatcher:
                     search_stats.deadline_hit = True
                     return
                 search_stats.candidates_generated += 1
+                intersect_counters.considered += 1
                 if self.intersect_candidates or u_prec is None:
                     if v not in allowed:
+                        intersect_counters.pruned += 1
                         search_stats.record_fail(pos + 1)
                         continue
                 elif graph.label(v) != query.label(u):
+                    intersect_counters.pruned += 1
                     search_stats.record_fail(pos + 1)
                     continue
+                inj_counters.considered += 1
                 if v in used:
+                    inj_counters.pruned += 1
                     search_stats.record_fail(pos + 1)
                     continue
                 search_stats.validations += 1
+                structure_counters.considered += 1
                 if not structure_ok(pos, v):
+                    structure_counters.pruned += 1
                     search_stats.record_fail(pos + 1)
                     continue
                 vertex_map[u] = v
+                temporal_counters.considered += 1
                 if not temporal_ok(pos):
+                    temporal_counters.pruned += 1
                     vertex_map[u] = None
                     search_stats.record_fail(pos + 1)
                     continue
@@ -268,9 +321,11 @@ class V2VMatcher:
         """Joint timestamp enumeration for a complete vertex embedding."""
         complete = cast("list[int]", vertex_map)  # all positions bound here
         options = [
-            self._edge_times(index, complete[u], complete[v])
+            self._edge_times(index, complete[u], complete[v], stats)
             for index, (u, v) in enumerate(self._edge_endpoints)
         ]
+        join_counters = stats.filter("timestamp-join")
+        join_counters.considered += 1
         any_assignment = False
         final_map = tuple(complete)
         for times in iter_timestamp_assignments(
@@ -279,4 +334,5 @@ class V2VMatcher:
             any_assignment = True
             yield Match.from_vertex_map(self.query, final_map, times)
         if not any_assignment:
+            join_counters.pruned += 1
             stats.record_fail(pos)

@@ -30,6 +30,7 @@ class Measurement:
     failed_enumerations: int = 0
     first_fail_layer: int | None = None
     budget_exhausted: bool = False
+    filters: dict[str, dict[str, int]] = field(default_factory=dict)
     params: dict[str, object] = field(default_factory=dict)
 
     def label(self) -> str:
@@ -44,7 +45,11 @@ class Measurement:
 
 
 def write_csv(measurements: list[Measurement], path: str | Path) -> None:
-    """Dump measurements to CSV (params flattened as ``key=value;...``)."""
+    """Dump measurements to CSV.
+
+    ``params`` flattens as ``key=value;...``; ``filters`` flattens as
+    ``name=considered/pruned/survivors;...``.
+    """
     path = Path(path)
     columns = [f.name for f in fields(Measurement)]
     with open(path, "w", newline="", encoding="utf-8") as handle:
@@ -56,5 +61,10 @@ def write_csv(measurements: list[Measurement], path: str | Path) -> None:
                 value = getattr(m, name)
                 if name == "params":
                     value = ";".join(f"{k}={v}" for k, v in value.items())
+                elif name == "filters":
+                    value = ";".join(
+                        f"{k}={v['considered']}/{v['pruned']}/{v['survivors']}"
+                        for k, v in value.items()
+                    )
                 row.append(value)
             writer.writerow(row)

@@ -114,6 +114,7 @@ def measure(
         failed_enumerations=first.stats.failed_enumerations,
         first_fail_layer=first.stats.first_fail_layer,
         budget_exhausted=first.stats.budget_exhausted,
+        filters=first.stats.filter_summary(),
         params=params or {},
     )
 

@@ -1,0 +1,29 @@
+"""Execution tracing and pruning observability (see docs/OBSERVABILITY.md).
+
+The :class:`Tracer` records nested wall-clock spans emitted by the engine,
+the matchers and the service executor; :data:`NULL_TRACER` is the always-on
+no-op stand-in that keeps the instrumentation wired into every hot path at
+near-zero cost.  Exporters turn a finished trace into Chrome trace-event
+JSON (loadable in ``chrome://tracing`` / Perfetto) or a plain-text span
+tree.
+"""
+
+from .export import (
+    chrome_trace_events,
+    render_span_tree,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from .tracer import NULL_TRACER, NullTracer, Span, TraceSink, Tracer
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "TraceSink",
+    "Tracer",
+    "chrome_trace_events",
+    "render_span_tree",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

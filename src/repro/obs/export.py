@@ -1,0 +1,118 @@
+"""Trace exporters: Chrome trace-event JSON and a plain-text span tree.
+
+The Chrome export emits ``ph: "X"`` (complete) events — one per finished
+span — with microsecond timestamps relative to the tracer's epoch, which
+``chrome://tracing`` and Perfetto load directly.  The text export renders
+the same spans as an indented tree with durations, for terminals and log
+files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .tracer import NullTracer, Span, Tracer
+
+__all__ = [
+    "chrome_trace_events",
+    "render_span_tree",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]
+
+
+def chrome_trace_events(
+    tracer: Tracer | NullTracer, pid: int = 1
+) -> list[dict[str, Any]]:
+    """Finished spans as Chrome trace-event objects (``ph: "X"``).
+
+    Timestamps and durations are microseconds from the tracer's epoch;
+    span attributes travel in ``args`` (with the span/parent ids added so
+    the hierarchy survives even without visual nesting).
+    """
+    events: list[dict[str, Any]] = []
+    for span in tracer.spans():
+        args: dict[str, Any] = {"span_id": span.span_id}
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        for key, value in span.attrs.items():
+            args[key] = value if isinstance(value, (int, float, bool)) else str(value)
+        events.append(
+            {
+                "name": span.name,
+                "ph": "X",
+                "ts": round(span.start * 1e6, 3),
+                "dur": round(span.duration * 1e6, 3),
+                "pid": pid,
+                "tid": span.thread,
+                "cat": span.name.split(":", 1)[0],
+                "args": args,
+            }
+        )
+    return events
+
+
+def to_chrome_trace(
+    tracer: Tracer | NullTracer, pid: int = 1
+) -> dict[str, Any]:
+    """The full Chrome trace document: events plus display metadata."""
+    return {
+        "traceEvents": chrome_trace_events(tracer, pid=pid),
+        "displayTimeUnit": "ms",
+    }
+
+
+def write_chrome_trace(
+    tracer: Tracer | NullTracer, path: str | Path, pid: int = 1
+) -> Path:
+    """Write the Chrome trace JSON to *path* and return it."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(to_chrome_trace(tracer, pid=pid), indent=2) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def _format_duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 0.001:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def render_span_tree(tracer: Tracer | NullTracer) -> str:
+    """The trace as an indented text tree, one line per span.
+
+    Roots (spans with no parent) appear in start order; children indent
+    under their parent.  Attributes render as ``key=value`` suffixes.
+    """
+    spans = tracer.spans()
+    if not spans:
+        return "(no spans recorded)"
+    children: dict[int | None, list[Span]] = {}
+    for span in spans:
+        children.setdefault(span.parent_id, []).append(span)
+
+    lines: list[str] = []
+
+    def render(span: Span, depth: int) -> None:
+        indent = "  " * depth
+        suffix = ""
+        if span.attrs:
+            suffix = "  [" + " ".join(
+                f"{key}={value}" for key, value in sorted(span.attrs.items())
+            ) + "]"
+        lines.append(
+            f"{indent}{span.name:<{max(1, 40 - len(indent))}} "
+            f"{_format_duration(span.duration):>10}{suffix}"
+        )
+        for child in children.get(span.span_id, ()):
+            render(child, depth + 1)
+
+    for root in children.get(None, ()):
+        render(root, 0)
+    return "\n".join(lines)

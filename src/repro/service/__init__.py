@@ -19,11 +19,13 @@ from .plans import (
     CachedPlan,
     PlanCache,
     PlanKey,
+    match_options_fingerprint,
     options_fingerprint,
     pattern_fingerprint,
 )
 from .registry import GraphHandle, GraphRegistry
 from .server import ServiceConfig, ServiceResult, TCSMService, serve_stdio
+from .tracing import TraceSampler, TraceStore
 
 __all__ = [
     "CachedPlan",
@@ -42,6 +44,9 @@ __all__ = [
     "ServiceConfig",
     "ServiceResult",
     "TCSMService",
+    "TraceSampler",
+    "TraceStore",
+    "match_options_fingerprint",
     "options_fingerprint",
     "pattern_fingerprint",
     "serve_stdio",

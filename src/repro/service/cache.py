@@ -25,9 +25,12 @@ _ValueT = TypeVar("_ValueT")
 class ResultKey(NamedTuple):
     """Cache key for one complete query answer.
 
-    ``limit`` and ``collect_matches`` are part of the key because they
-    change the answer's shape; the time budget is deliberately *not*,
-    since only budget-independent (complete) results are admitted.
+    ``match_options`` is the canonical :class:`repro.core.MatchOptions`
+    hash (see :func:`repro.service.plans.match_options_fingerprint`): it
+    covers the result-shaping fields — limit, tightening, match
+    collection, partition — and deliberately excludes the time budget,
+    since only budget-independent (complete) results are admitted, and
+    tracing, which never changes the answer.
     """
 
     graph_name: str
@@ -35,8 +38,7 @@ class ResultKey(NamedTuple):
     pattern: str
     algorithm: str
     options: str
-    limit: int | None
-    collect_matches: bool
+    match_options: str
 
 
 class ResultCache(Generic[_ValueT]):

@@ -34,11 +34,14 @@ from ..core import (
     Match,
     Matcher,
     PartitionedMatcher,
+    RunContext,
     SearchStats,
     find_matches,
     supports_partition,
 )
+from ..core.engine import invoke_run
 from ..graphs import QueryGraph, TemporalConstraints, TemporalGraph
+from ..obs import NULL_TRACER, TraceSink
 
 __all__ = ["ExecutionOutcome", "ProcessSpec", "QueryExecutor"]
 
@@ -166,20 +169,27 @@ class QueryExecutor:
         deadline: float | None = None,
         workers: int | None = None,
         collect_matches: bool = True,
+        tracer: TraceSink | None = None,
     ) -> ExecutionOutcome:
         """Run *matcher* across the thread pool, merging partitions.
 
         The matcher must already be prepared (the plan cache guarantees
         this); per-run state is local to ``run()``, so all partitions
-        share the one matcher object safely.
+        share the one matcher object safely.  When *tracer* is given,
+        each fanned-out slice runs inside a ``partition:<i>/<n>`` span
+        (recorded on its worker thread).
         """
+        tr = tracer if tracer is not None else NULL_TRACER
         enqueued = time.perf_counter()
         count = self.effective_workers(matcher, workers)
         if count == 1:
             stats = SearchStats()
+            ctx = RunContext(
+                limit=limit, deadline=deadline, stats=stats, tracer=tr
+            )
             started = time.perf_counter()
             matches: list[Match] = []
-            for match in matcher.run(limit=limit, stats=stats, deadline=deadline):
+            for match in invoke_run(matcher, ctx):
                 if collect_matches:
                     matches.append(match)
             finished = time.perf_counter()
@@ -192,22 +202,22 @@ class QueryExecutor:
             )
 
         runner = cast(PartitionedMatcher, matcher)
+        base_ctx = RunContext(limit=limit, deadline=deadline, tracer=tr)
 
         def run_partition(
             index: int,
         ) -> tuple[float, tuple[Match, ...], SearchStats]:
             started = time.perf_counter()
-            stats = SearchStats()
+            ctx = base_ctx.with_partition(index, count)
             out: list[Match] = []
-            for match in runner.run(
-                limit=limit,
-                stats=stats,
-                deadline=deadline,
-                partition=(index, count),
-            ):
-                if collect_matches:
-                    out.append(match)
-            return started, tuple(out), stats
+            with tr.span(
+                f"partition:{index}/{count}", algorithm=matcher.name
+            ) as span:
+                for match in invoke_run(runner, ctx):
+                    if collect_matches:
+                        out.append(match)
+                span.annotate(matches=ctx.stats.matches)
+            return started, tuple(out), ctx.stats
 
         futures = [
             self._threads.submit(run_partition, index) for index in range(count)

@@ -27,13 +27,14 @@ from collections.abc import Callable, Mapping
 from dataclasses import dataclass
 from typing import NamedTuple
 
-from ..core import Matcher
+from ..core import Matcher, MatchOptions
 from ..graphs import QueryGraph, TemporalConstraints, pattern_to_dict
 
 __all__ = [
     "CachedPlan",
     "PlanCache",
     "PlanKey",
+    "match_options_fingerprint",
     "options_fingerprint",
     "pattern_fingerprint",
 ]
@@ -60,6 +61,17 @@ def pattern_fingerprint(
         data, sort_keys=True, separators=(",", ":"), default=str
     )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def match_options_fingerprint(options: MatchOptions) -> str:
+    """Stable hex digest of the result-shaping :class:`MatchOptions` fields.
+
+    Delegates to :meth:`MatchOptions.canonical_hash`, so the service's
+    cache keys and the core options type can never disagree about what
+    identifies an answer (the time budget and tracing are excluded there
+    by design).
+    """
+    return options.canonical_hash()
 
 
 def options_fingerprint(options: Mapping[str, object]) -> str:

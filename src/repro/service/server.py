@@ -25,7 +25,8 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import IO, Any
 
-from ..core import Match, SearchStats, create_matcher
+from ..core import Match, MatchOptions, SearchStats, create_matcher
+from ..core.engine import prepare_matcher
 from ..errors import AdmissionError, ReproError
 from ..graphs import (
     QueryGraph,
@@ -35,11 +36,20 @@ from ..graphs import (
     load_snap_temporal,
     pattern_from_dict,
 )
+from ..obs import Tracer, render_span_tree, to_chrome_trace
 from .cache import ResultCache, ResultKey
 from .executor import ProcessSpec, QueryExecutor
 from .metrics import MetricsRegistry
-from .plans import CachedPlan, PlanCache, PlanKey, options_fingerprint, pattern_fingerprint
+from .plans import (
+    CachedPlan,
+    PlanCache,
+    PlanKey,
+    match_options_fingerprint,
+    options_fingerprint,
+    pattern_fingerprint,
+)
 from .registry import GraphHandle, GraphRegistry
+from .tracing import TraceSampler, TraceStore
 
 __all__ = ["ServiceConfig", "ServiceResult", "TCSMService", "serve_stdio"]
 
@@ -58,6 +68,10 @@ class ServiceConfig:
     max_inflight: int = 8
     default_time_budget: float | None = 30.0
     default_algorithm: str = "tcsm-eve"
+    #: Fraction of queries traced ([0, 1], deterministic counter-based
+    #: sampling); a request's ``trace: true`` forces tracing regardless.
+    trace_sample_rate: float = 0.0
+    trace_store_size: int = 32
 
 
 @dataclass(frozen=True)
@@ -78,6 +92,7 @@ class ServiceResult:
     match_seconds: float
     partitions: int
     stats: SearchStats = field(repr=False, default_factory=SearchStats)
+    trace_id: str | None = None
 
     def to_dict(self, include_matches: bool = True) -> dict[str, Any]:
         """Plain-data view used for JSONL responses."""
@@ -95,6 +110,8 @@ class ServiceResult:
             "match_seconds": self.match_seconds,
             "partitions": self.partitions,
         }
+        if self.trace_id is not None:
+            payload["trace_id"] = self.trace_id
         if include_matches:
             payload["matches"] = [
                 {
@@ -124,6 +141,8 @@ class TCSMService:
         self.executor = QueryExecutor(
             max_workers=self.config.max_workers, pool=self.config.pool
         )
+        self.traces = TraceStore(capacity=self.config.trace_store_size)
+        self._sampler = TraceSampler(self.config.trace_sample_rate)
         self._inflight = 0
         self._inflight_lock = threading.Lock()
 
@@ -189,6 +208,7 @@ class TCSMService:
         collect_matches: bool = True,
         use_result_cache: bool = True,
         options: dict[str, Any] | None = None,
+        trace: bool = False,
     ) -> ServiceResult:
         """Execute one query end to end through the serving stack.
 
@@ -196,6 +216,12 @@ class TCSMService:
         ``None`` explicitly for an unbounded run.  On deadline expiry the
         partial prefix comes back tagged ``timed_out`` (and is excluded
         from the result cache); a match ``limit`` tags ``truncated``.
+
+        ``trace=True`` forces tracing for this query; otherwise the
+        configured sample rate decides.  Traced queries bypass the result
+        cache (both read and write) so the trace reflects a real
+        execution, and come back with a ``trace_id`` resolvable through
+        the trace store / ``trace`` op.
         """
         algo = (algorithm or self.config.default_algorithm).lower()
         budget: float | None = (
@@ -207,18 +233,22 @@ class TCSMService:
         self._admit()
         try:
             handle = self.graphs.get(graph_name)
+            traced = trace or self._sampler.should_sample()
+            tracer = Tracer() if traced else None
             pattern_hash = pattern_fingerprint(query, constraints)
             options_hash = options_fingerprint(options)
+            match_opts = MatchOptions(
+                limit=limit, collect_matches=collect_matches
+            )
             result_key = ResultKey(
                 graph_name=handle.name,
                 graph_version=handle.version,
                 pattern=pattern_hash,
                 algorithm=algo,
                 options=options_hash,
-                limit=limit,
-                collect_matches=collect_matches,
+                match_options=match_options_fingerprint(match_opts),
             )
-            if use_result_cache:
+            if use_result_cache and not traced:
                 cached = self.results.get(result_key)
                 if cached is not None:
                     self._meter(algo, cached, result_hit=True)
@@ -240,7 +270,11 @@ class TCSMService:
                     algo, query, constraints, handle.graph, **options
                 )
                 build_start = time.perf_counter()
-                matcher.prepare()
+                if tracer is not None:
+                    with tracer.span("prepare", algorithm=matcher.name):
+                        prepare_matcher(matcher, tracer)
+                else:
+                    matcher.prepare()
                 build_seconds = time.perf_counter() - build_start
                 self.metrics.observe("prepare_seconds", build_seconds)
                 return CachedPlan(
@@ -268,14 +302,42 @@ class TCSMService:
                 )
                 outcome = self.executor.run_process(spec, workers=workers)
             else:
-                outcome = self.executor.run_matcher(
-                    plan.matcher,
-                    limit=limit,
-                    deadline=deadline,
-                    workers=workers,
-                    collect_matches=collect_matches,
-                )
+                # Process-pool runs stay untraced (spans cannot cross the
+                # fork boundary); the thread pool records partition spans
+                # on the worker threads.
+                if tracer is not None:
+                    with tracer.span("enumerate", algorithm=algo) as span:
+                        outcome = self.executor.run_matcher(
+                            plan.matcher,
+                            limit=limit,
+                            deadline=deadline,
+                            workers=workers,
+                            collect_matches=collect_matches,
+                            tracer=tracer,
+                        )
+                        span.annotate(
+                            matches=outcome.stats.matches,
+                            partitions=outcome.partitions,
+                        )
+                else:
+                    outcome = self.executor.run_matcher(
+                        plan.matcher,
+                        limit=limit,
+                        deadline=deadline,
+                        workers=workers,
+                        collect_matches=collect_matches,
+                    )
+                # Merge prepare-time filter counters exactly once per
+                # query (not per partition, which would multiply them).
+                prepare_stats = getattr(plan.matcher, "prepare_stats", None)
+                if isinstance(prepare_stats, SearchStats):
+                    outcome.stats.merge(prepare_stats)
 
+            trace_id: str | None = None
+            if tracer is not None:
+                trace_id = self._retain_trace(
+                    tracer, handle, algo, pattern_hash
+                )
             timed_out = outcome.stats.deadline_hit
             result = ServiceResult(
                 graph=handle.name,
@@ -292,13 +354,41 @@ class TCSMService:
                 match_seconds=outcome.match_seconds,
                 partitions=outcome.partitions,
                 stats=outcome.stats,
+                trace_id=trace_id,
             )
-            if use_result_cache and not timed_out:
+            if use_result_cache and not timed_out and not traced:
                 self.results.put(result_key, result)
             self._meter(algo, result, result_hit=False)
             return result
         finally:
             self._release()
+
+    def _retain_trace(
+        self,
+        tracer: Tracer,
+        handle: GraphHandle,
+        algorithm: str,
+        pattern_hash: str,
+    ) -> str:
+        """Export *tracer*, store the payload, and meter span durations."""
+        trace_id = self.traces.next_trace_id()
+        self.traces.put(
+            trace_id,
+            {
+                "trace_id": trace_id,
+                "graph": handle.name,
+                "graph_version": handle.version,
+                "algorithm": algorithm,
+                "pattern": pattern_hash,
+                "chrome": to_chrome_trace(tracer),
+                "tree": render_span_tree(tracer),
+            },
+        )
+        self.metrics.inc("queries_traced")
+        for span in tracer.spans():
+            category = span.name.split(":", 1)[0]
+            self.metrics.observe(f"span_seconds.{category}", span.duration)
+        return trace_id
 
     def _meter(
         self, algorithm: str, result: ServiceResult, result_hit: bool
@@ -319,6 +409,9 @@ class TCSMService:
             "total_seconds",
             result.build_seconds + result.queue_seconds + result.match_seconds,
         )
+        for name, bucket in result.stats.filters.items():
+            self.metrics.inc(f"filter_considered.{name}", bucket.considered)
+            self.metrics.inc(f"filter_pruned.{name}", bucket.pruned)
 
     # ------------------------------------------------------------------
     # introspection
@@ -340,6 +433,7 @@ class TCSMService:
         ]
         snapshot["plan_cache_entries"] = len(self.plans)
         snapshot["result_cache_entries"] = len(self.results)
+        snapshot["trace_store_entries"] = len(self.traces)
         snapshot["inflight"] = self.inflight
         return snapshot
 
@@ -350,7 +444,8 @@ class TCSMService:
         """Handle one JSON-level request; never raises.
 
         Known ops: ``query``, ``load_graph``, ``drop_graph``, ``graphs``,
-        ``metrics``, ``ping``, ``shutdown``.  Responses always carry
+        ``metrics``, ``trace``, ``ping``, ``shutdown``.  Responses always
+        carry
         ``status`` (``ok`` / ``error`` / ``rejected``), echo the request
         ``op`` and, when present, its ``id``.
         """
@@ -392,6 +487,14 @@ class TCSMService:
             }
         if op == "metrics":
             return {"metrics": self.metrics_snapshot()}
+        if op == "trace":
+            trace_id = request.get("trace_id")
+            if trace_id is None:
+                return {"traces": self.traces.ids()}
+            payload = self.traces.get(str(trace_id))
+            if payload is None:
+                raise ValueError(f"unknown trace id {trace_id!r}")
+            return {"trace": payload}
         if op == "ping":
             return {"pong": True}
         if op == "shutdown":
@@ -424,6 +527,7 @@ class TCSMService:
             time_budget=budget,
             workers=workers,
             collect_matches=not count_only,
+            trace=bool(request.get("trace", False)),
         )
         return result.to_dict(include_matches=not count_only)
 

@@ -1,0 +1,97 @@
+"""Sampled per-query tracing for the service: sampler + trace store.
+
+The service traces a configurable fraction of queries (plus any query
+that asks explicitly).  Sampling is *deterministic counter-based* rather
+than random: query ``n`` is sampled exactly when ``floor(n * rate)``
+exceeds ``floor((n - 1) * rate)``, which yields precisely ``rate`` of
+queries in the long run, spreads samples evenly, and makes tests
+reproducible without seeding.
+
+Exported traces are retained in a bounded LRU :class:`TraceStore` keyed
+by trace id, served back through the ``trace`` JSONL op.  Storing the
+*exported* payloads (Chrome JSON + text tree) rather than live tracers
+keeps retained traces immutable and bounded in size.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import OrderedDict
+from typing import Any
+
+__all__ = ["TraceSampler", "TraceStore"]
+
+
+class TraceSampler:
+    """Deterministic counter-based sampler (see module docstring).
+
+    ``rate`` is the sampled fraction in ``[0.0, 1.0]``; 0 never samples,
+    1 always does.  Thread-safe: the counter increment is the only shared
+    state.
+    """
+
+    def __init__(self, rate: float) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(
+                f"trace sample rate must be within [0, 1], not {rate}"
+            )
+        self.rate = rate
+        self._seen = 0
+        self._lock = threading.Lock()
+
+    def should_sample(self) -> bool:
+        """Advance the query counter and decide for this query."""
+        with self._lock:
+            self._seen += 1
+            n = self._seen
+        if self.rate <= 0.0:
+            return False
+        if self.rate >= 1.0:
+            return True
+        return math.floor(n * self.rate) > math.floor((n - 1) * self.rate)
+
+
+class TraceStore:
+    """Thread-safe bounded LRU of exported trace payloads by trace id."""
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 1:
+            raise ValueError(
+                f"trace store capacity must be >= 1, not {capacity}"
+            )
+        self.capacity = capacity
+        self._entries: OrderedDict[str, dict[str, Any]] = OrderedDict()
+        self._counter = 0
+        self._lock = threading.Lock()
+
+    def next_trace_id(self) -> str:
+        """A fresh process-unique trace id (monotonic, human-sortable)."""
+        with self._lock:
+            self._counter += 1
+            return f"trace-{self._counter:06d}"
+
+    def put(self, trace_id: str, payload: dict[str, Any]) -> None:
+        """Retain *payload* under *trace_id*, evicting the LRU entry."""
+        with self._lock:
+            self._entries[trace_id] = payload
+            self._entries.move_to_end(trace_id)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def get(self, trace_id: str) -> dict[str, Any] | None:
+        """The stored payload, refreshed as most recently used."""
+        with self._lock:
+            payload = self._entries.get(trace_id)
+            if payload is not None:
+                self._entries.move_to_end(trace_id)
+            return payload
+
+    def ids(self) -> list[str]:
+        """Retained trace ids, least recently used first."""
+        with self._lock:
+            return list(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -1,0 +1,151 @@
+"""Per-filter pruning counters: sum-consistency and filter chaining.
+
+These are the live counters Exp-9's pruning tables regenerate from, so
+two invariants are pinned here:
+
+* **sum-consistency** — for every bucket,
+  ``survivors == considered - pruned`` and all three are non-negative;
+* **chaining** — consecutive filters on the same candidate stream hand
+  survivors downstream, so the later filter's ``considered`` equals the
+  earlier one's ``survivors``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FilterStats, SearchStats, find_matches
+from repro.datasets import toy_instance
+
+TCSM = ("tcsm-v2v", "tcsm-e2e", "tcsm-eve")
+
+
+@pytest.fixture(scope="module")
+def toy():
+    return toy_instance()
+
+
+def _stats(toy, algo):
+    query, tc, graph, _, _ = toy
+    return find_matches(query, tc, graph, algorithm=algo).stats
+
+
+class TestFilterStats:
+    def test_survivors_is_derived(self):
+        bucket = FilterStats(considered=10, pruned=3)
+        assert bucket.survivors == 7
+        assert bucket.as_dict() == {
+            "considered": 10, "pruned": 3, "survivors": 7
+        }
+
+    def test_merge_adds_counts(self):
+        left = FilterStats(considered=10, pruned=3)
+        left.merge(FilterStats(considered=5, pruned=5))
+        assert left.as_dict() == {
+            "considered": 15, "pruned": 8, "survivors": 7
+        }
+
+    def test_search_stats_filter_is_get_or_create(self):
+        stats = SearchStats()
+        bucket = stats.filter("ldf")
+        assert stats.filter("ldf") is bucket
+        bucket.considered += 1
+        assert stats.filter_summary() == {
+            "ldf": {"considered": 1, "pruned": 0, "survivors": 1}
+        }
+
+    def test_search_stats_merge_merges_buckets(self):
+        left, right = SearchStats(), SearchStats()
+        left.filter("temporal").considered = 4
+        right.filter("temporal").pruned = 2
+        right.filter("temporal").considered = 4
+        right.filter("vmatch").considered = 1
+        right.timestamps_expanded = 9
+        left.merge(right)
+        assert left.filter("temporal").as_dict() == {
+            "considered": 8, "pruned": 2, "survivors": 6
+        }
+        assert left.filter("vmatch").considered == 1
+        assert left.timestamps_expanded == 9
+
+
+class TestLiveCounters:
+    """The counters the matchers actually emit on the toy instance."""
+
+    EXPECTED_FILTERS = {
+        "tcsm-v2v": {"nlf", "intersect", "injectivity", "structure",
+                     "temporal", "timestamp-join"},
+        "tcsm-e2e": {"ldf", "injectivity", "temporal"},
+        "tcsm-eve": {"ldf", "injectivity", "temporal", "vmatch"},
+        "ri": {"domains", "injectivity", "structure", "temporal-postfilter"},
+    }
+
+    @pytest.mark.parametrize("algo", sorted(EXPECTED_FILTERS))
+    def test_expected_buckets_present_and_active(self, toy, algo):
+        stats = _stats(toy, algo)
+        assert set(stats.filters) == self.EXPECTED_FILTERS[algo]
+        for name, row in stats.filter_summary().items():
+            assert row["considered"] > 0, name
+            assert row["survivors"] == row["considered"] - row["pruned"]
+            assert 0 <= row["pruned"] <= row["considered"]
+
+    @pytest.mark.parametrize("algo", sorted(EXPECTED_FILTERS))
+    def test_timestamps_expanded_counted(self, toy, algo):
+        assert _stats(toy, algo).timestamps_expanded > 0
+
+    @pytest.mark.parametrize("algo", ("tcsm-e2e", "tcsm-eve"))
+    def test_edge_based_filter_chain(self, toy, algo):
+        stats = _stats(toy, algo)
+        filters = stats.filters
+        # injectivity -> temporal (-> vmatch for EVE) examine one stream.
+        assert (
+            filters["temporal"].considered == filters["injectivity"].survivors
+        )
+        if algo == "tcsm-eve":
+            assert (
+                filters["vmatch"].considered == filters["temporal"].survivors
+            )
+
+    def test_v2v_filter_chain(self, toy):
+        filters = _stats(toy, "tcsm-v2v").filters
+        chain = ("intersect", "injectivity", "structure", "temporal")
+        for earlier, later in zip(chain, chain[1:]):
+            assert filters[later].considered == filters[earlier].survivors, (
+                f"{later}.considered != {earlier}.survivors"
+            )
+
+    def test_ri_filter_chain(self, toy):
+        filters = _stats(toy, "ri").filters
+        assert (
+            filters["structure"].considered
+            == filters["injectivity"].survivors
+        )
+
+    def test_csm_baseline_counts_temporal_postfilter(self, toy):
+        stats = _stats(toy, "graphflow")
+        post = stats.filters["temporal-postfilter"]
+        assert post.considered > 0
+        assert post.survivors == stats.matches
+
+    def test_brute_force_oracle_stays_plain(self, toy):
+        # The oracle is the ground truth; it deliberately runs no filters.
+        assert _stats(toy, "brute-force").filters == {}
+
+    @pytest.mark.parametrize("algo", TCSM)
+    def test_partitioned_counters_cover_the_full_run(self, toy, algo):
+        query, tc, graph, _, _ = toy
+        full = _stats(toy, algo)
+        merged = SearchStats()
+        for index in range(3):
+            part = find_matches(
+                query, tc, graph, algorithm=algo, partition=(index, 3)
+            )
+            merged.merge(part.stats)
+        # Run-time filters see every candidate exactly once across slices.
+        for name in ("injectivity", "temporal"):
+            if name in full.filters:
+                assert (
+                    merged.filters[name].considered
+                    == full.filters[name].considered
+                ), name
+        assert merged.matches == full.matches

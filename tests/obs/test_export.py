@@ -1,0 +1,113 @@
+"""Exporters: Chrome trace-event JSON round-trips; the text span tree."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.obs import (
+    NULL_TRACER,
+    Tracer,
+    chrome_trace_events,
+    render_span_tree,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+
+
+def _traced_query() -> Tracer:
+    """A representative trace: prepare -> filter, then enumerate."""
+    tracer = Tracer()
+    with tracer.span("stn-closure", constraints=3):
+        pass
+    with tracer.span("prepare", algorithm="tcsm-eve"):
+        with tracer.span("candidate-filter:ldf", considered=10, pruned=4):
+            pass
+    with tracer.span("enumerate", algorithm="tcsm-eve") as span:
+        span.annotate(matches=2)
+    return tracer
+
+
+class TestChromeExport:
+    def test_round_trips_through_json(self, tmp_path):
+        tracer = _traced_query()
+        path = write_chrome_trace(tracer, tmp_path / "trace.json")
+        loaded = json.loads(path.read_text())
+        assert loaded == to_chrome_trace(tracer)
+        assert loaded["displayTimeUnit"] == "ms"
+        assert len(loaded["traceEvents"]) == len(tracer.spans())
+
+    def test_event_shape(self):
+        events = chrome_trace_events(_traced_query())
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+            assert isinstance(event["tid"], int)
+        by_name = {event["name"]: event for event in events}
+        filt = by_name["candidate-filter:ldf"]
+        assert filt["cat"] == "candidate-filter"
+        assert filt["args"]["considered"] == 10
+        assert filt["args"]["parent_id"] == by_name["prepare"]["args"]["span_id"]
+        assert by_name["enumerate"]["args"]["matches"] == 2
+
+    def test_non_scalar_attrs_are_stringified(self):
+        tracer = Tracer()
+        with tracer.span("prepare", shape=(2, 3), algorithm="x"):
+            pass
+        (event,) = chrome_trace_events(tracer)
+        assert event["args"]["shape"] == "(2, 3)"
+        assert event["args"]["algorithm"] == "x"
+        json.dumps(event)  # everything JSON-serialisable
+
+    def test_spans_well_nested_per_thread(self):
+        """Within each tid, events nest like brackets: children inside parents."""
+        tracer = _traced_query()
+
+        def work() -> None:
+            with tracer.span("partition:0/1"):
+                with tracer.span("inner"):
+                    pass
+
+        thread = threading.Thread(target=work)
+        thread.start()
+        thread.join()
+        events = chrome_trace_events(tracer)
+        by_tid: dict[int, list[dict]] = {}
+        for event in events:
+            by_tid.setdefault(event["tid"], []).append(event)
+        assert len(by_tid) == 2
+        for tid_events in by_tid.values():
+            tid_events.sort(key=lambda e: e["ts"])
+            open_stack: list[dict] = []
+            for event in tid_events:
+                while open_stack and (
+                    event["ts"] >= open_stack[-1]["ts"] + open_stack[-1]["dur"]
+                ):
+                    open_stack.pop()
+                if open_stack:  # strictly inside the enclosing interval
+                    parent = open_stack[-1]
+                    assert event["ts"] + event["dur"] <= parent["ts"] + parent["dur"]
+                    assert event["args"]["parent_id"] == parent["args"]["span_id"]
+                open_stack.append(event)
+
+    def test_null_tracer_exports_empty(self):
+        assert chrome_trace_events(NULL_TRACER) == []
+        assert to_chrome_trace(NULL_TRACER)["traceEvents"] == []
+
+
+class TestSpanTree:
+    def test_renders_hierarchy_with_attrs(self):
+        text = render_span_tree(_traced_query())
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("stn-closure")
+        assert lines[1].startswith("prepare")
+        assert lines[2].startswith("  candidate-filter:ldf")  # indented child
+        assert "[considered=10 pruned=4]" in lines[2]
+        assert lines[3].startswith("enumerate")
+        assert "matches=2" in lines[3]
+
+    def test_empty_tracer_renders_placeholder(self):
+        assert render_span_tree(Tracer()) == "(no spans recorded)"
+        assert render_span_tree(NULL_TRACER) == "(no spans recorded)"

@@ -1,0 +1,165 @@
+"""Tracer semantics: nesting, threading, annotation, the null tracer."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs import NULL_TRACER, NullTracer, Span, TraceSink, Tracer
+
+
+class FakeClock:
+    """Deterministic monotonic clock: each call advances by one tick."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestTracer:
+    def test_records_a_finished_span(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("prepare", algorithm="x"):
+            pass
+        (span,) = tracer.spans()
+        assert span.name == "prepare"
+        assert span.attrs == {"algorithm": "x"}
+        assert span.duration > 0
+        assert span.parent_id is None
+        assert span.thread == 0
+
+    def test_nesting_sets_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner-a"):
+                pass
+            with tracer.span("inner-b"):
+                pass
+        by_name = {span.name: span for span in tracer.spans()}
+        outer = by_name["outer"]
+        assert by_name["inner-a"].parent_id == outer.span_id
+        assert by_name["inner-b"].parent_id == outer.span_id
+        # Siblings, not grandchildren.
+        assert by_name["inner-b"].parent_id != by_name["inner-a"].span_id
+
+    def test_spans_ordered_by_start(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [span.name for span in tracer.spans()] == ["first", "second"]
+
+    def test_annotate_merges_attributes(self):
+        tracer = Tracer()
+        with tracer.span("enumerate", algorithm="x") as span:
+            span.annotate(matches=7)
+        (span,) = tracer.spans()
+        assert span.attrs == {"algorithm": "x", "matches": 7}
+
+    def test_exception_inside_span_is_recorded_and_reraised(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("enumerate"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        (span,) = tracer.spans()
+        assert span.attrs["error"] == "ValueError"
+
+    def test_iter_spans_matches_name_and_prefix(self):
+        tracer = Tracer()
+        with tracer.span("candidate-filter:ldf"):
+            pass
+        with tracer.span("candidate-filter:nlf"):
+            pass
+        with tracer.span("enumerate"):
+            pass
+        names = [s.name for s in tracer.iter_spans("candidate-filter")]
+        assert names == ["candidate-filter:ldf", "candidate-filter:nlf"]
+        assert [s.name for s in tracer.iter_spans("enumerate")] == ["enumerate"]
+        # "candidate" alone is not a prefix match ("candidate:" required).
+        assert list(tracer.iter_spans("candidate")) == []
+
+    def test_total_seconds_sums_matching_spans(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("partition:0/2"):
+            pass
+        with tracer.span("partition:1/2"):
+            pass
+        assert tracer.total_seconds("partition") == sum(
+            s.duration for s in tracer.spans()
+        )
+
+    def test_len_counts_finished_spans_only(self):
+        tracer = Tracer()
+        assert len(tracer) == 0
+        with tracer.span("outer"):
+            assert len(tracer) == 0  # still open
+        assert len(tracer) == 1
+
+    def test_threads_get_independent_stacks(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(2)
+
+        def work(label: str) -> None:
+            with tracer.span(f"partition:{label}"):
+                barrier.wait(timeout=5)
+
+        threads = [
+            threading.Thread(target=work, args=(str(i),)) for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        spans = tracer.spans()
+        assert len(spans) == 2
+        # Concurrent spans on distinct threads are roots, never nested.
+        assert all(span.parent_id is None for span in spans)
+        assert {span.thread for span in spans} == {0, 1}
+
+    def test_span_ids_unique_across_threads(self):
+        tracer = Tracer()
+
+        def work() -> None:
+            for _ in range(25):
+                with tracer.span("s"):
+                    pass
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        ids = [span.span_id for span in tracer.spans()]
+        assert len(ids) == 100
+        assert len(set(ids)) == 100
+
+
+class TestNullTracer:
+    def test_disabled_and_empty(self):
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.spans() == ()
+
+    def test_span_returns_shared_noop(self):
+        first = NULL_TRACER.span("prepare", algorithm="x")
+        second = NULL_TRACER.span("enumerate")
+        assert first is second  # one shared object: zero per-span allocation
+        with first as handle:
+            handle.annotate(matches=3)  # must be accepted and dropped
+        assert NULL_TRACER.spans() == ()
+
+    def test_both_tracers_satisfy_the_sink_protocol(self):
+        assert isinstance(Tracer(), TraceSink)
+        assert isinstance(NullTracer(), TraceSink)
+
+    def test_span_dataclass_duration(self):
+        span = Span(
+            span_id=0, parent_id=None, name="x", start=1.0, end=3.5, thread=0
+        )
+        assert span.duration == 2.5

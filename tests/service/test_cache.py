@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.service import ResultCache, ResultKey
+from repro.core import MatchOptions
+from repro.service import ResultCache, ResultKey, match_options_fingerprint
 
 
 def _key(pattern="p", graph="g", version=1, limit=None, collect=True):
@@ -12,8 +13,9 @@ def _key(pattern="p", graph="g", version=1, limit=None, collect=True):
         pattern=pattern,
         algorithm="tcsm-eve",
         options="",
-        limit=limit,
-        collect_matches=collect,
+        match_options=match_options_fingerprint(
+            MatchOptions(limit=limit, collect_matches=collect)
+        ),
     )
 
 
@@ -32,6 +34,7 @@ class TestResultCache:
         assert cache.get(_key()) == "answer"
 
     def test_limit_and_collect_are_part_of_the_key(self):
+        # Both travel through the canonical MatchOptions hash now.
         cache: ResultCache[str] = ResultCache()
         cache.put(_key(limit=None), "all")
         cache.put(_key(limit=5), "five")

@@ -92,6 +92,78 @@ class TestThreadExecution:
         assert outcome.match_seconds >= 0.0
 
 
+class TestTracedExecution:
+    def test_fanned_out_run_emits_partition_spans(self, prepared_eve):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        with QueryExecutor(max_workers=3) as executor:
+            outcome = executor.run_matcher(
+                prepared_eve, workers=3, tracer=tracer
+            )
+        spans = list(tracer.iter_spans("partition"))
+        assert {span.name for span in spans} == {
+            "partition:0/3", "partition:1/3", "partition:2/3"
+        }
+        assert all(span.attrs["algorithm"] == "tcsm-eve" for span in spans)
+        # Per-slice match counts annotated on the spans sum to the merge.
+        assert sum(span.attrs["matches"] for span in spans) == (
+            outcome.stats.matches
+        )
+
+    def test_single_worker_run_has_no_partition_span(self, prepared_eve):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        with QueryExecutor(max_workers=4) as executor:
+            executor.run_matcher(prepared_eve, workers=1, tracer=tracer)
+        assert list(tracer.iter_spans("partition")) == []
+
+    def test_untraced_run_records_nothing(self, prepared_eve):
+        with QueryExecutor(max_workers=2) as executor:
+            outcome = executor.run_matcher(prepared_eve, workers=2)
+        assert outcome.stats.matches > 0  # NULL_TRACER path still works
+
+
+class TestDeadlineConsistency:
+    """Partitioned runs under a deadline agree on the timed-out verdict."""
+
+    @pytest.mark.parametrize("workers", (1, 2, 4))
+    def test_expired_deadline_consistent_across_fanouts(
+        self, prepared_eve, workers
+    ):
+        with QueryExecutor(max_workers=4) as executor:
+            outcome = executor.run_matcher(
+                prepared_eve, deadline=0.0, workers=workers
+            )
+        assert outcome.stats.deadline_hit
+        assert outcome.stats.budget_exhausted
+        assert outcome.matches == ()
+
+    def test_generous_deadline_is_not_reported_as_timeout(self, prepared_eve):
+        import time as _time
+
+        with QueryExecutor(max_workers=2) as executor:
+            outcome = executor.run_matcher(
+                prepared_eve, deadline=_time.monotonic() + 60.0, workers=2
+            )
+        assert not outcome.stats.deadline_hit
+        assert not outcome.stats.budget_exhausted
+        assert outcome.stats.matches > 0
+
+    def test_filter_counters_survive_partition_merge(self, prepared_eve):
+        with QueryExecutor(max_workers=3) as executor:
+            solo = executor.run_matcher(prepared_eve, workers=1)
+            fanned = executor.run_matcher(prepared_eve, workers=3)
+        assert solo.stats.filter_summary().keys() == (
+            fanned.stats.filter_summary().keys()
+        )
+        for name, row in fanned.stats.filter_summary().items():
+            assert row["considered"] == (
+                solo.stats.filters[name].considered
+            ), name
+
+
 class TestProcessExecution:
     def test_single_worker_runs_inline(self, toy):
         query, tc, graph, _, _ = toy

@@ -241,3 +241,73 @@ class TestServe:
         )
         assert rc == 2
         assert "NAME=PATH" in err
+
+
+class TestTrace:
+    def test_toy_default_prints_tree_and_filter_table(self, capsys):
+        assert main(["trace"]) == 0
+        out = capsys.readouterr().out
+        assert "# traced tcsm-eve on toy example" in out
+        for span in ("stn-closure", "prepare", "candidate-filter:ldf",
+                     "enumerate"):
+            assert span in out
+        assert "filter" in out and "considered" in out
+        assert "ldf" in out and "injectivity" in out
+
+    def test_out_writes_loadable_chrome_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        assert main(["trace", "--out", str(trace_path)]) == 0
+        document = json.loads(trace_path.read_text())
+        categories = {event["cat"] for event in document["traceEvents"]}
+        assert {"prepare", "stn-closure", "candidate-filter",
+                "enumerate"} <= categories
+        assert "wrote Chrome trace" in capsys.readouterr().err
+
+    def test_no_tighten_drops_the_closure_span(self, capsys):
+        assert main(["trace", "--no-tighten"]) == 0
+        assert "stn-closure" not in capsys.readouterr().out
+
+    def test_explicit_graph_and_pattern(self, workspace, capsys):
+        graph_path, pattern_path = workspace
+        rc = main([
+            "trace", "--graph", str(graph_path),
+            "--pattern", str(pattern_path), "--algorithm", "tcsm-e2e",
+            "--limit", "3",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "# traced tcsm-e2e" in out
+        assert "enumerate" in out
+
+    def test_graph_without_pattern_is_error(self, capsys):
+        assert main(["trace", "--graph", "g.txt"]) == 2
+        assert "--pattern" in capsys.readouterr().err
+
+
+class TestSubmitTraceOps:
+    def test_query_trace_flag(self, workspace, capsys):
+        _, pattern_path = workspace
+        assert main([
+            "submit", "--graph", "g", "--pattern", str(pattern_path),
+            "--trace",
+        ]) == 0
+        request = json.loads(capsys.readouterr().out)
+        assert request["trace"] is True
+
+    def test_trace_op_listing_and_fetch(self, capsys):
+        assert main(["submit", "--op", "trace"]) == 0
+        assert json.loads(capsys.readouterr().out) == {"op": "trace"}
+        assert main(["submit", "--op", "trace", "--trace-id", "trace-1"]) == 0
+        request = json.loads(capsys.readouterr().out)
+        assert request == {"op": "trace", "trace_id": "trace-1"}
+
+    def test_serve_accepts_trace_sample(self, monkeypatch, capsys):
+        import io
+        import sys as _sys
+
+        monkeypatch.setattr(
+            _sys, "stdin",
+            io.StringIO(json.dumps({"op": "shutdown"}) + "\n"),
+        )
+        assert main(["serve", "--trace-sample", "0.5"]) == 0
+        assert main(["serve", "--trace-sample", "1.5"]) == 2  # validated

@@ -640,6 +640,97 @@ class TestR009:
 
 
 # ----------------------------------------------------------------------
+# R010 span-not-context-managed
+# ----------------------------------------------------------------------
+class TestR010:
+    def test_bare_span_call_flagged(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def run(tracer):
+                tracer.span("enumerate")
+            """,
+            select=["R010"],
+        )
+        assert rule_ids(findings) == ["R010"]
+        assert "with" in findings[0].message
+
+    def test_assigned_span_flagged(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def run(tracer):
+                sp = tracer.span("prepare", algorithm="x")
+                sp.annotate(matches=1)
+            """,
+            select=["R010"],
+        )
+        assert rule_ids(findings) == ["R010"]
+
+    def test_with_statement_passes(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def run(tracer):
+                with tracer.span("enumerate") as sp:
+                    sp.annotate(matches=1)
+            """,
+            select=["R010"],
+        )
+        assert findings == []
+
+    def test_multi_item_with_passes(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def run(tracer, other):
+                with tracer.span("a"), other.span("b"):
+                    pass
+            """,
+            select=["R010"],
+        )
+        assert findings == []
+
+    def test_exit_stack_enter_context_passes(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import contextlib
+
+            def run(tracer):
+                with contextlib.ExitStack() as stack:
+                    stack.enter_context(tracer.span("enumerate"))
+            """,
+            select=["R010"],
+        )
+        assert findings == []
+
+    def test_obs_package_exempt(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def helper(tracer):
+                return tracer.span("internal")
+            """,
+            relpath="src/repro/obs/fixture_mod.py",
+            select=["R010"],
+        )
+        assert findings == []
+
+    def test_pragma_disables(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def run(tracer):
+                sp = tracer.span("x")  # reprolint: disable=R010
+                return sp
+            """,
+            select=["R010"],
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
 # framework: pragmas, selection, output, exit codes, live tree
 # ----------------------------------------------------------------------
 class TestPragmas:

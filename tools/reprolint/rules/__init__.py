@@ -10,6 +10,7 @@ from . import (  # noqa: F401  (imports register the rules)
     recursion_guard,
     registry_complete,
     service_budget,
+    span_discipline,
 )
 
 __all__ = [
@@ -22,4 +23,5 @@ __all__ = [
     "recursion_guard",
     "registry_complete",
     "service_budget",
+    "span_discipline",
 ]

@@ -1,0 +1,77 @@
+"""R010: tracer spans must be opened with ``with tracer.span(...)``.
+
+A :meth:`repro.obs.Tracer.span` call returns a context manager whose
+``__exit__`` records the end timestamp and pops the thread-local span
+stack.  Calling it without entering it (``sp = tracer.span(...)``,
+``tracer.span(...)`` as a bare statement) opens a span that is never
+closed: the stack stays unbalanced for the rest of the thread's life and
+every later span parents under the leaked one, corrupting the exported
+trace quietly — nothing crashes, the Chrome JSON just lies.  Manual
+``__enter__``/``__exit__`` pairs are equally fragile under exceptions,
+so the only accepted form outside :mod:`repro.obs` itself is the ``with``
+statement (``contextlib.ExitStack.enter_context`` is also accepted — it
+guarantees the paired exit).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from ..context import FileContext
+from ..findings import Finding
+from ..registry import Rule, register_rule
+
+__all__ = ["SpanDisciplineRule"]
+
+
+def _is_span_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "span"
+    )
+
+
+def _wrapped_calls(node: ast.Call) -> Iterable[ast.AST]:
+    """Span calls passed to an exit-stack style ``enter_context(...)``."""
+    func = node.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else None
+    )
+    if name == "enter_context":
+        yield from node.args
+
+
+@register_rule
+class SpanDisciplineRule(Rule):
+    id = "R010"
+    name = "span-not-context-managed"
+    description = (
+        "tracer.span(...) must be entered via 'with' (or an ExitStack) so "
+        "the span is closed and the thread-local stack stays balanced."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.module == "repro.obs" or ctx.module.startswith("repro.obs."):
+            return  # the tracer implementation manages spans by hand
+        managed: set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    managed.add(id(item.context_expr))
+            elif isinstance(node, ast.Call):
+                for wrapped in _wrapped_calls(node):
+                    managed.add(id(wrapped))
+        for node in ast.walk(ctx.tree):
+            if not _is_span_call(node) or id(node) in managed:
+                continue
+            if ctx.pragmas.is_disabled(self.id, node.lineno):
+                continue
+            yield self.finding(
+                ctx,
+                node.lineno,
+                node.col_offset,
+                "span opened without 'with': the span never closes and "
+                "every later span on this thread parents under the leak",
+            )

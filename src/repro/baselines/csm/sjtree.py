@@ -69,7 +69,7 @@ class SJTreeMatcher(CSMMatcherBase):
                 return
             self.snapshot.add_edge(
                 edge.u, edge.v, edge.t,
-                label=self.graph.edge_label(edge.u, edge.v, edge.t),
+                label=self._view.edge_label(edge.u, edge.v, edge.t),
             )
             deltas = self._process_insertion(edge, stats)
             for partial in deltas:

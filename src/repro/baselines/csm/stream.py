@@ -35,10 +35,12 @@ from ...core.stats import SearchStats
 from ...errors import AlgorithmError
 from ...obs import TraceSink
 from ...graphs import (
+    GraphView,
     QueryGraph,
     TemporalConstraints,
     TemporalEdge,
     TemporalGraph,
+    ensure_snapshot,
 )
 
 __all__ = ["CSMMatcherBase", "connected_edge_order"]
@@ -98,7 +100,8 @@ class CSMMatcherBase:
         self,
         query: QueryGraph,
         constraints: TemporalConstraints,
-        graph: TemporalGraph,
+        graph: GraphView,
+        compile_graph: bool = True,
     ) -> None:
         if constraints.num_edges != query.num_edges:
             raise AlgorithmError(
@@ -110,6 +113,12 @@ class CSMMatcherBase:
         self.query = query
         self.constraints = constraints
         self.graph = graph
+        self.compile_graph = compile_graph
+        #: Resolved stream source; ``prepare`` swaps in the frozen
+        #: snapshot when ``compile_graph`` is set.  Distinct from
+        #: :attr:`snapshot`, the *growing* mutable graph the stream is
+        #: replayed into.
+        self._view: GraphView = graph
         self._prepared = False
 
     # ------------------------------------------------------------------
@@ -155,7 +164,7 @@ class CSMMatcherBase:
         Overridable frontier expansion (NewSP caches these lists).
         """
         labels = self.snapshot.labels
-        for x, times in self.snapshot.out_adjacency[da].items():
+        for x, times in self.snapshot.out_items(da):
             if labels[x] != target_label:
                 continue
             for t in times:
@@ -166,7 +175,7 @@ class CSMMatcherBase:
     ) -> Iterator[TemporalEdge]:
         """All snapshot edges ``x -> db`` with ``label(x) == source_label``."""
         labels = self.snapshot.labels
-        for x, times in self.snapshot.in_adjacency[db].items():
+        for x, times in self.snapshot.in_items(db):
             if labels[x] != source_label:
                 continue
             for t in times:
@@ -180,8 +189,10 @@ class CSMMatcherBase:
         if self._prepared:
             return
         query = self.query
-        self._stream = self.graph.edges_by_time()
-        self.snapshot = TemporalGraph(self.graph.labels)
+        if self.compile_graph:
+            self._view = ensure_snapshot(self.graph)
+        self._stream = self._view.edges_by_time()
+        self.snapshot = TemporalGraph(self._view.labels)
         self._pin_orders = [
             connected_edge_order(query, e) for e in range(query.num_edges)
         ]
@@ -222,7 +233,7 @@ class CSMMatcherBase:
             before_static = self.snapshot.num_static_edges
             self.snapshot.add_edge(
                 edge.u, edge.v, edge.t,
-                label=self.graph.edge_label(edge.u, edge.v, edge.t),
+                label=self._view.edge_label(edge.u, edge.v, edge.t),
             )
             pair_is_new = self.snapshot.num_static_edges != before_static
             self._on_insert(edge, pair_is_new)
@@ -256,7 +267,6 @@ class CSMMatcherBase:
         order = self._pin_orders[pin]
         edge_endpoints = self._edge_endpoints
         query_labels = self._query_labels
-        out_adj = snapshot.out_adjacency
         m = query.num_edges
         n = query.num_vertices
         edge_map: list[TemporalEdge | None] = [None] * m
@@ -295,10 +305,8 @@ class CSMMatcherBase:
             a, b = edge_endpoints[edge_index]
             da, db = vertex_map[a], vertex_map[b]
             if da is not None and db is not None:
-                times = out_adj[da].get(db)
-                if times:
-                    for t in times:
-                        yield TemporalEdge(da, db, t)
+                for t in snapshot.timestamps_list(da, db):
+                    yield TemporalEdge(da, db, t)
             elif da is not None:
                 label_b = query_labels[b]
                 for cand in self._expand_out(da, label_b):
@@ -319,7 +327,7 @@ class CSMMatcherBase:
                 for du in snapshot.vertices_with_label(label_a):
                     if du in used or not self.vertex_allowed(a, du):
                         continue
-                    for dv, times in out_adj[du].items():
+                    for dv, times in snapshot.out_items(du):
                         if dv in used or data_labels[dv] != label_b:
                             continue
                         if not self.vertex_allowed(b, dv):

@@ -19,7 +19,7 @@ kiloseconds where TCSM-EVE takes seconds.
 from __future__ import annotations
 
 import time
-from collections.abc import Iterator
+from collections.abc import Iterator, Sequence
 from typing import cast
 
 from ..core.match import Match
@@ -27,7 +27,12 @@ from ..core.options import RunContext, resolve_run_context
 from ..core.stats import SearchStats
 from ..core.timestamps import iter_timestamp_assignments
 from ..errors import AlgorithmError
-from ..graphs import QueryGraph, TemporalConstraints, TemporalGraph
+from ..graphs import (
+    GraphView,
+    QueryGraph,
+    TemporalConstraints,
+    ensure_snapshot,
+)
 from ..obs import NULL_TRACER, TraceSink
 
 __all__ = ["RIMatcher", "greatest_constraint_first_order"]
@@ -93,8 +98,9 @@ class RIMatcher:
         self,
         query: QueryGraph,
         constraints: TemporalConstraints,
-        graph: TemporalGraph,
+        graph: GraphView,
         use_domains: bool = True,
+        compile_graph: bool = True,
     ) -> None:
         if constraints.num_edges != query.num_edges:
             raise AlgorithmError(
@@ -104,6 +110,10 @@ class RIMatcher:
         self.query = query
         self.constraints = constraints
         self.graph = graph
+        self.compile_graph = compile_graph
+        #: Resolved data-plane view; ``prepare`` swaps in the frozen
+        #: snapshot when ``compile_graph`` is set.
+        self._view: GraphView = graph
         self.use_domains = use_domains
         if not use_domains:
             self.name = "ri"
@@ -117,8 +127,11 @@ class RIMatcher:
         if self._prepared:
             return
         tr = tracer if tracer is not None else NULL_TRACER
+        if self.compile_graph:
+            with tr.span("compile-snapshot"):
+                self._view = ensure_snapshot(self.graph)
         query = self.query
-        data = self.graph.de_temporal()
+        data = self._view.static_view()
         self._order = greatest_constraint_first_order(query)
         self._position = [0] * query.num_vertices
         for pos, u in enumerate(self._order):
@@ -130,7 +143,7 @@ class RIMatcher:
             domains: list[frozenset[int]] = []
             for u in query.vertices():
                 passing: set[int] = set()
-                for v in self.graph.vertices_with_label(query.label(u)):
+                for v in self._view.vertices_with_label(query.label(u)):
                     domain_counters.considered += 1
                     if self.use_domains and (
                         data.in_degree(v) < query.in_degree(u)
@@ -174,7 +187,7 @@ class RIMatcher:
         deadline = ctx.deadline
         search_stats = ctx.stats
         query = self.query
-        graph = self.graph
+        graph = self._view
         n = query.num_vertices
         vertex_map: list[int | None] = [None] * n
         # Read-only view: _edge_checks only names vertices ordered earlier,
@@ -246,10 +259,10 @@ class RIMatcher:
         pos: int,
     ) -> Iterator[Match]:
         """The 'additional temporal constraint' applied per embedding."""
-        graph = self.graph
+        graph = self._view
         query = self.query
         complete = cast("list[int]", vertex_map)  # all positions bound here
-        options: list[list[int]] = []
+        options: list[Sequence[int]] = []
         for index, (a, b) in enumerate(query.edges):
             required = query.edge_label(index)
             if required is None:

@@ -15,11 +15,11 @@ from __future__ import annotations
 
 import itertools
 import time
-from collections.abc import Collection, Iterator
+from collections.abc import Collection, Iterator, Sequence
 from typing import cast
 
 from ..errors import AlgorithmError
-from ..graphs import QueryGraph, TemporalConstraints, TemporalGraph
+from ..graphs import GraphView, QueryGraph, TemporalConstraints, ensure_snapshot
 from ..obs import TraceSink
 
 from .match import Match
@@ -40,7 +40,8 @@ class BruteForceMatcher:
         self,
         query: QueryGraph,
         constraints: TemporalConstraints,
-        graph: TemporalGraph,
+        graph: GraphView,
+        compile_graph: bool = True,
     ) -> None:
         if constraints.num_edges != query.num_edges:
             raise AlgorithmError(
@@ -50,9 +51,21 @@ class BruteForceMatcher:
         self.query = query
         self.constraints = constraints
         self.graph = graph
+        self.compile_graph = compile_graph
+        self._view: GraphView = graph
+        self._resolved = False
+
+    def _resolve_view(self) -> GraphView:
+        """Freeze the data graph on first use (``run`` skips ``prepare``)."""
+        if not self._resolved:
+            if self.compile_graph:
+                self._view = ensure_snapshot(self.graph)
+            self._resolved = True
+        return self._view
 
     def prepare(self, tracer: TraceSink | None = None) -> None:
-        """Nothing to precompute (kept for protocol compatibility)."""
+        """Resolve the data-plane view (kept for protocol compatibility)."""
+        self._resolve_view()
 
     def run(
         self,
@@ -82,7 +95,7 @@ class BruteForceMatcher:
         partition = ctx.partition
         search_stats = ctx.stats
         query = self.query
-        graph = self.graph
+        graph = self._resolve_view()
         n = query.num_vertices
         vertex_map: list[int | None] = [None] * n
         # Read-only view: positions below `u` are always bound in id order.
@@ -96,7 +109,7 @@ class BruteForceMatcher:
             edges_closing_at[max(a, b)].append(index)
 
         def assignments(full_map: tuple[int, ...]) -> Iterator[tuple[int, ...]]:
-            options: list[list[int]] = []
+            options: list[Sequence[int]] = []
             for index, (a, b) in enumerate(query.edges):
                 required = query.edge_label(index)
                 if required is None:
@@ -166,7 +179,7 @@ class BruteForceMatcher:
 def brute_force_matches(
     query: QueryGraph,
     constraints: TemporalConstraints,
-    graph: TemporalGraph,
+    graph: GraphView,
     limit: int | None = None,
 ) -> list[Match]:
     """All matches of the instance, as a list (convenience wrapper)."""

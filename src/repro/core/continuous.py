@@ -30,7 +30,7 @@ import math
 from typing import cast
 
 from ..baselines.csm.stream import CSMMatcherBase
-from ..graphs import QueryGraph, TemporalConstraints, TemporalEdge, TemporalGraph
+from ..graphs import GraphView, QueryGraph, TemporalConstraints, TemporalEdge
 
 __all__ = ["ContinuousTCSMMatcher"]
 
@@ -54,10 +54,11 @@ class ContinuousTCSMMatcher(CSMMatcherBase):
         self,
         query: QueryGraph,
         constraints: TemporalConstraints,
-        graph: TemporalGraph,
+        graph: GraphView,
         use_windows: bool = True,
+        compile_graph: bool = True,
     ) -> None:
-        super().__init__(query, constraints, graph)
+        super().__init__(query, constraints, graph, compile_graph=compile_graph)
         self.use_windows = use_windows
 
     def _on_prepare(self) -> None:

@@ -13,15 +13,16 @@ semantics require.
 from __future__ import annotations
 
 import time
-from collections.abc import Hashable, Iterable, Iterator
+from collections.abc import Hashable, Iterable, Iterator, Sequence
 from typing import cast
 
 from ..errors import AlgorithmError
 from ..graphs import (
+    GraphView,
     QueryGraph,
     TemporalConstraints,
     TemporalEdge,
-    TemporalGraph,
+    ensure_snapshot,
 )
 from ..obs import NULL_TRACER, TraceSink
 
@@ -47,6 +48,11 @@ class E2EMatcher:
         candidate set of their query edge (Algorithm 4 lines 1-3); line 15
         alone would filter by endpoint labels only.  Sound either way;
         ablation knob.
+    compile_graph:
+        When True (default), ``prepare`` freezes the data graph into a
+        CSR :class:`~repro.graphs.GraphSnapshot` and the hot loops run
+        against it; pass False to run directly against the mutable
+        dict-backed graph (both paths are pinned equivalent by tests).
     """
 
     name = "tcsm-e2e"
@@ -60,8 +66,9 @@ class E2EMatcher:
         self,
         query: QueryGraph,
         constraints: TemporalConstraints,
-        graph: TemporalGraph,
+        graph: GraphView,
         intersect_candidates: bool = True,
+        compile_graph: bool = True,
     ) -> None:
         if constraints.num_edges != query.num_edges:
             raise AlgorithmError(
@@ -75,6 +82,10 @@ class E2EMatcher:
         self.query = query
         self.constraints = constraints
         self.graph = graph
+        self.compile_graph = compile_graph
+        #: Resolved data-plane view; ``prepare`` swaps in the frozen
+        #: snapshot when ``compile_graph`` is set.
+        self._view: GraphView = graph
         self.intersect_candidates = intersect_candidates
         self.pair_candidates: list[frozenset[tuple[int, int]]] | None = None
         self.tcq_plus: TCQPlus | None = None
@@ -91,9 +102,12 @@ class E2EMatcher:
         if self._prepared:
             return
         tr = tracer if tracer is not None else NULL_TRACER
+        if self.compile_graph:
+            with tr.span("compile-snapshot"):
+                self._view = ensure_snapshot(self.graph)
         with tr.span("candidate-filter:ldf", edges=self.query.num_edges) as sp:
             self.pair_candidates = initial_edge_candidate_pairs(
-                self.query, self.graph, stats=self.prepare_stats
+                self.query, self._view, stats=self.prepare_stats
             )
             sp.annotate(**self.prepare_stats.filter("ldf").as_dict())
         self.tcq_plus = build_tcq_plus(
@@ -178,8 +192,8 @@ class E2EMatcher:
             "list[frozenset[tuple[int, int]]]", self.pair_candidates
         )
         query = self.query
-        graph = self.graph
-        data = graph.de_temporal()
+        graph = self._view
+        data = graph.static_view()
         m = query.num_edges
         n = query.num_vertices
         edge_map: list[TemporalEdge | None] = [None] * m
@@ -216,7 +230,7 @@ class E2EMatcher:
 
         required_labels = query.edge_labels
 
-        def admissible_times(edge_index: int, du: int, dv: int) -> list[int]:
+        def admissible_times(edge_index: int, du: int, dv: int) -> Sequence[int]:
             required = required_labels[edge_index]
             if required is None:
                 times = graph.timestamps_list(du, dv)

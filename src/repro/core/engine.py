@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from typing import Any, Protocol, cast
 
 from ..errors import AlgorithmError, UnknownAlgorithmError
-from ..graphs import QueryGraph, TemporalConstraints, TemporalGraph
+from ..graphs import GraphView, QueryGraph, TemporalConstraints
 from ..obs import NULL_TRACER, TraceSink, Tracer
 
 from .bruteforce import BruteForceMatcher
@@ -223,7 +223,7 @@ def create_matcher(
     algorithm: str,
     query: QueryGraph,
     constraints: TemporalConstraints,
-    graph: TemporalGraph,
+    graph: GraphView,
     **options: Any,
 ) -> Matcher:
     """Instantiate the matcher registered under *algorithm*."""
@@ -313,7 +313,7 @@ def _resolve_options(
 def find_matches(
     query: QueryGraph,
     constraints: TemporalConstraints,
-    graph: TemporalGraph,
+    graph: GraphView,
     algorithm: str = "tcsm-eve",
     *,
     options: MatchOptions | None = None,
@@ -429,7 +429,7 @@ def find_matches(
 def count_matches(
     query: QueryGraph,
     constraints: TemporalConstraints,
-    graph: TemporalGraph,
+    graph: GraphView,
     algorithm: str = "tcsm-eve",
     *,
     options: MatchOptions | None = None,

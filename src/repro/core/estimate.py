@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 
-from ..graphs import QueryGraph, TemporalConstraints, TemporalGraph
+from ..graphs import GraphView, QueryGraph, TemporalConstraints, ensure_snapshot
 
 from .eve import EVEMatcher
 
@@ -30,7 +30,7 @@ __all__ = ["estimate_match_count"]
 def estimate_match_count(
     query: QueryGraph,
     constraints: TemporalConstraints,
-    graph: TemporalGraph,
+    graph: GraphView,
     probes: int = 200,
     seed: int = 0,
 ) -> float:
@@ -54,9 +54,12 @@ def estimate_match_count(
         raise ValueError(f"probes must be >= 1, got {probes}")
     rng = random.Random(seed)
 
-    # Reuse EVE's prepared structures (LDF pairs + TCQ+) for candidates.
+    # Reuse EVE's prepared structures (LDF pairs + TCQ+) for candidates,
+    # and probe the same frozen view its hot loops use (freeze() caches,
+    # so this is the snapshot the matcher just compiled).
     matcher = EVEMatcher(query, constraints, graph)
     matcher.prepare()
+    graph = ensure_snapshot(graph)
     tcq = matcher.tcq_plus
     pair_candidates = matcher.pair_candidates
     m = query.num_edges

@@ -14,7 +14,7 @@ variant ablated in ``benchmarks/bench_ablation_filters.py``.
 
 from __future__ import annotations
 
-from ..graphs import QueryGraph, StaticGraph, TemporalGraph
+from ..graphs import GraphView, QueryGraph, StaticView
 
 from .stats import SearchStats
 
@@ -28,7 +28,7 @@ __all__ = [
 
 def nlf(
     query: QueryGraph,
-    data: StaticGraph,
+    data: StaticView,
     u: int,
     v: int,
     count_based: bool = True,
@@ -56,7 +56,7 @@ def nlf(
 
 def ldf(
     query: QueryGraph,
-    data: StaticGraph,
+    data: StaticView,
     edge_index: int,
     data_u: int,
     data_v: int,
@@ -84,7 +84,7 @@ def ldf(
 
 def initial_vertex_candidates(
     query: QueryGraph,
-    graph: TemporalGraph,
+    graph: GraphView,
     count_based: bool = True,
     stats: SearchStats | None = None,
 ) -> list[frozenset[int]]:
@@ -95,7 +95,7 @@ def initial_vertex_candidates(
     *stats* is given, the ``"nlf"`` filter bucket records how many
     label-compatible vertices were considered and how many NLF pruned.
     """
-    data = graph.de_temporal()
+    data = graph.static_view()
     counters = (stats or SearchStats()).filter("nlf")
     candidates: list[frozenset[int]] = []
     for u in query.vertices():
@@ -112,7 +112,7 @@ def initial_vertex_candidates(
 
 def initial_edge_candidate_pairs(
     query: QueryGraph,
-    graph: TemporalGraph,
+    graph: GraphView,
     stats: SearchStats | None = None,
 ) -> list[frozenset[tuple[int, int]]]:
     """Per query edge, the set of LDF-passing data vertex *pairs*.
@@ -124,7 +124,7 @@ def initial_edge_candidate_pairs(
     When *stats* is given, the ``"ldf"`` bucket records scanned vs pruned
     pairs.
     """
-    data = graph.de_temporal()
+    data = graph.static_view()
     counters = (stats or SearchStats()).filter("ldf")
     candidates: list[frozenset[tuple[int, int]]] = []
     for edge_index, (qu, qv) in enumerate(query.edges):

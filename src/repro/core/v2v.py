@@ -13,11 +13,16 @@ permutation" step that makes V2V pay on temporally dense instances.
 from __future__ import annotations
 
 import time
-from collections.abc import Collection, Iterator
+from collections.abc import Collection, Iterator, Sequence
 from typing import cast
 
 from ..errors import AlgorithmError
-from ..graphs import QueryGraph, TemporalConstraints, TemporalGraph
+from ..graphs import (
+    GraphView,
+    QueryGraph,
+    TemporalConstraints,
+    ensure_snapshot,
+)
 from ..obs import NULL_TRACER, TraceSink
 
 from .filters import initial_vertex_candidates
@@ -48,6 +53,13 @@ class V2VMatcher:
         strictly stronger (ablation knob, see DESIGN.md decision 3).
     use_windows:
         Forwarded to the joint timestamp solver (STN window pruning).
+    compile_graph:
+        When True (default), ``prepare`` freezes the data graph into a
+        CSR :class:`~repro.graphs.GraphSnapshot` and the hot loops run
+        against it; pass False to run against the mutable dict-backed
+        graph directly (the equivalence tests pin that both paths
+        produce identical match multisets and filter counters).  A
+        :class:`GraphSnapshot` input is used as-is either way.
     """
 
     name = "tcsm-v2v"
@@ -57,10 +69,11 @@ class V2VMatcher:
         self,
         query: QueryGraph,
         constraints: TemporalConstraints,
-        graph: TemporalGraph,
+        graph: GraphView,
         count_based_nlf: bool = True,
         intersect_candidates: bool = True,
         use_windows: bool = True,
+        compile_graph: bool = True,
     ) -> None:
         if constraints.num_edges != query.num_edges:
             raise AlgorithmError(
@@ -70,6 +83,10 @@ class V2VMatcher:
         self.query = query
         self.constraints = constraints
         self.graph = graph
+        self.compile_graph = compile_graph
+        #: Resolved data-plane view; ``prepare`` swaps in the frozen
+        #: snapshot when ``compile_graph`` is set.
+        self._view: GraphView = graph
         self.count_based_nlf = count_based_nlf
         self.intersect_candidates = intersect_candidates
         self.use_windows = use_windows
@@ -88,12 +105,15 @@ class V2VMatcher:
         if self._prepared:
             return
         tr = tracer if tracer is not None else NULL_TRACER
+        if self.compile_graph:
+            with tr.span("compile-snapshot"):
+                self._view = ensure_snapshot(self.graph)
         with tr.span(
             "candidate-filter:nlf", vertices=self.query.num_vertices
         ) as sp:
             self.candidates = initial_vertex_candidates(
                 self.query,
-                self.graph,
+                self._view,
                 count_based=self.count_based_nlf,
                 stats=self.prepare_stats,
             )
@@ -134,14 +154,14 @@ class V2VMatcher:
         du: int,
         dv: int,
         stats: SearchStats | None = None,
-    ) -> list[int]:
+    ) -> Sequence[int]:
         """Timestamps of data pair ``(du, dv)`` admissible for a query edge
         (honours the edge-label generalisation)."""
         required = self._required_edge_labels[edge_index]
         if required is None:
-            times = self.graph.timestamps_list(du, dv)
+            times = self._view.timestamps_list(du, dv)
         else:
-            times = self.graph.timestamps_with_label(du, dv, required)
+            times = self._view.timestamps_with_label(du, dv, required)
         if stats is not None:
             stats.timestamps_expanded += len(times)
         return times
@@ -183,7 +203,7 @@ class V2VMatcher:
         tcq = cast(TCQ, self.tcq)
         candidates = cast("list[frozenset[int]]", self.candidates)
         query = self.query
-        graph = self.graph
+        graph = self._view
         n = query.num_vertices
         vertex_map: list[int | None] = [None] * n
         # Read-only view of vertex_map: every position read below is bound,
@@ -251,9 +271,13 @@ class V2VMatcher:
                 d_prec = bound[u_prec]
                 need_out, need_in = self._prec_needs[pos]
                 if need_out and need_in:
-                    out_ids = graph.out_neighbor_ids(d_prec)
+                    # Pair probe (dict O(1) / CSR bisect) rather than a
+                    # membership test on the neighbour sequence, which
+                    # would be linear on the array-backed view.
                     base = [
-                        x for x in graph.in_neighbor_ids(d_prec) if x in out_ids
+                        x
+                        for x in graph.in_neighbor_ids(d_prec)
+                        if graph.has_pair(d_prec, x)
                     ]
                 elif need_out:
                     base = graph.out_neighbor_ids(d_prec)

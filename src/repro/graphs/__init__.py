@@ -23,14 +23,28 @@ from .query_io import (
     pattern_to_dict,
     save_pattern,
 )
+from .snapshot import (
+    GraphSnapshot,
+    GraphView,
+    StaticView,
+    compile_snapshot,
+    ensure_snapshot,
+    snapshot_compile_count,
+)
 from .static_graph import StaticGraph
 from .temporal_graph import TemporalEdge, TemporalGraph
 
 __all__ = [
     "Constraint",
+    "GraphSnapshot",
     "GraphStatistics",
+    "GraphView",
     "LabelTable",
+    "StaticView",
+    "compile_snapshot",
+    "ensure_snapshot",
     "graph_statistics",
+    "snapshot_compile_count",
     "QueryBuilder",
     "QueryGraph",
     "StaticGraph",

@@ -1,0 +1,602 @@
+"""Frozen CSR snapshots: the compiled, immutable data plane.
+
+A :class:`GraphSnapshot` is a :class:`~repro.graphs.TemporalGraph`
+compiled once into a compact CSR-style representation backed by
+``array``-module typed arrays:
+
+* per-vertex neighbour *offsets* into a flat, id-sorted neighbour array
+  (one entry per distinct ``(u, v)`` pair, out- and in-directions
+  mirrored);
+* per-pair timestamp *runs*: a second offset array maps each neighbour
+  slot to its sorted slice of one flat timestamp array, so window queries
+  are a bisect over machine integers instead of a dict probe plus list
+  scan;
+* label-partitioned vertex arrays (the label index), CSR degrees and
+  lazily cached neighbour-label signatures, which together serve the NLF
+  and LDF candidate filters without materialising a second static graph;
+* a per-label edge index, so :meth:`timestamps_with_label` is one dict
+  probe instead of a linear scan over per-timestamp label lookups.
+
+Snapshots expose the same accessor API as :class:`TemporalGraph` (they
+are interchangeable behind :data:`GraphView`), so every matcher hot loop
+runs unchanged against either backend — which is exactly what lets the
+test suite pin byte-for-byte match equivalence between the two paths.
+Being flat and immutable, a snapshot pickles compactly (the arrays ship
+as machine bytes), shares safely across threads without locks, and
+carries a stable :attr:`fingerprint` for cache keys.
+
+Build one with :meth:`TemporalGraph.freeze` (cached per graph) or
+:func:`compile_snapshot` (always recompiles); :func:`ensure_snapshot`
+accepts either backend and is what the matchers call.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from array import array
+from collections import Counter
+from collections.abc import Hashable, Iterator, Sequence
+from typing import TYPE_CHECKING, Union
+
+from ..errors import GraphError
+from .temporal_graph import TemporalEdge, TemporalGraph
+
+if TYPE_CHECKING:
+    from .static_graph import StaticGraph
+
+__all__ = [
+    "GraphSnapshot",
+    "GraphView",
+    "StaticView",
+    "compile_snapshot",
+    "ensure_snapshot",
+    "snapshot_compile_count",
+]
+
+Timestamp = int
+
+_EMPTY_TIMES: Sequence[int] = memoryview(array("q"))
+
+#: Process-wide count of CSR compilations (the service's compile-once
+#: guarantee is asserted against this probe in the test suite).
+_COMPILE_COUNT = 0
+
+
+def snapshot_compile_count() -> int:
+    """Number of :func:`compile_snapshot` calls in this process."""
+    return _COMPILE_COUNT
+
+
+class GraphSnapshot:
+    """Immutable CSR view of a temporal graph (see module docstring).
+
+    Instances are produced by :func:`compile_snapshot` /
+    :meth:`TemporalGraph.freeze`; the constructor is an internal
+    assembly detail.  All mutating state is build-time only — the lazy
+    caches (neighbour-label signatures, time-sorted edge list,
+    fingerprint) are append-only and safe to race on.
+    """
+
+    __slots__ = (
+        "_labels",
+        "_num_temporal_edges",
+        "_num_static_edges",
+        "_min_time",
+        "_max_time",
+        "_out_offsets",
+        "_out_nbrs",
+        "_out_ts_offsets",
+        "_out_times",
+        "_in_offsets",
+        "_in_nbrs",
+        "_in_ts_offsets",
+        "_in_times",
+        "_out_nbrs_mv",
+        "_out_times_mv",
+        "_in_nbrs_mv",
+        "_in_times_mv",
+        "_label_index",
+        "_edge_labels",
+        "_label_times",
+        "_nlc",
+        "_edges_by_time",
+        "_fingerprint",
+    )
+
+    def __init__(
+        self,
+        labels: tuple[Hashable, ...],
+        out_offsets: array[int],
+        out_nbrs: array[int],
+        out_ts_offsets: array[int],
+        out_times: array[int],
+        in_offsets: array[int],
+        in_nbrs: array[int],
+        in_ts_offsets: array[int],
+        in_times: array[int],
+        label_index: dict[Hashable, tuple[int, ...]],
+        edge_labels: dict[tuple[int, int, Timestamp], Hashable],
+        min_time: Timestamp | None,
+        max_time: Timestamp | None,
+    ) -> None:
+        self._labels = labels
+        self._out_offsets = out_offsets
+        self._out_nbrs = out_nbrs
+        self._out_ts_offsets = out_ts_offsets
+        self._out_times = out_times
+        self._in_offsets = in_offsets
+        self._in_nbrs = in_nbrs
+        self._in_ts_offsets = in_ts_offsets
+        self._in_times = in_times
+        self._label_index = label_index
+        self._edge_labels = dict(edge_labels)
+        self._min_time = min_time
+        self._max_time = max_time
+        self._num_static_edges = len(out_nbrs)
+        self._num_temporal_edges = len(out_times)
+        # Per-label edge index: (u, v, label) -> sorted timestamp tuple.
+        label_times: dict[tuple[int, int, Hashable], tuple[Timestamp, ...]] = {}
+        if edge_labels:
+            grouped: dict[tuple[int, int, Hashable], list[Timestamp]] = {}
+            for (u, v, t), lab in edge_labels.items():
+                grouped.setdefault((u, v, lab), []).append(t)
+            label_times = {
+                key: tuple(sorted(times)) for key, times in grouped.items()
+            }
+        self._label_times = label_times
+        self._init_views()
+        self._nlc: list[Counter[Hashable] | None] = [None] * len(labels)
+        self._edges_by_time: list[TemporalEdge] | None = None
+        self._fingerprint: str | None = None
+
+    def _init_views(self) -> None:
+        """(Re)build the zero-copy memoryviews over the flat arrays."""
+        self._out_nbrs_mv = memoryview(self._out_nbrs)
+        self._out_times_mv = memoryview(self._out_times)
+        self._in_nbrs_mv = memoryview(self._in_nbrs)
+        self._in_times_mv = memoryview(self._in_times)
+
+    # ------------------------------------------------------------------
+    # pickling (ship arrays as machine bytes; drop lazy caches)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict[str, object]:
+        return {
+            "labels": self._labels,
+            "out_offsets": self._out_offsets,
+            "out_nbrs": self._out_nbrs,
+            "out_ts_offsets": self._out_ts_offsets,
+            "out_times": self._out_times,
+            "in_offsets": self._in_offsets,
+            "in_nbrs": self._in_nbrs,
+            "in_ts_offsets": self._in_ts_offsets,
+            "in_times": self._in_times,
+            "label_index": self._label_index,
+            "edge_labels": self._edge_labels,
+            "min_time": self._min_time,
+            "max_time": self._max_time,
+        }
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        GraphSnapshot.__init__(
+            self,
+            labels=state["labels"],  # type: ignore[arg-type]
+            out_offsets=state["out_offsets"],  # type: ignore[arg-type]
+            out_nbrs=state["out_nbrs"],  # type: ignore[arg-type]
+            out_ts_offsets=state["out_ts_offsets"],  # type: ignore[arg-type]
+            out_times=state["out_times"],  # type: ignore[arg-type]
+            in_offsets=state["in_offsets"],  # type: ignore[arg-type]
+            in_nbrs=state["in_nbrs"],  # type: ignore[arg-type]
+            in_ts_offsets=state["in_ts_offsets"],  # type: ignore[arg-type]
+            in_times=state["in_times"],  # type: ignore[arg-type]
+            label_index=state["label_index"],  # type: ignore[arg-type]
+            edge_labels=state["edge_labels"],  # type: ignore[arg-type]
+            min_time=state["min_time"],  # type: ignore[arg-type]
+            max_time=state["max_time"],  # type: ignore[arg-type]
+        )
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    @property
+    def fingerprint(self) -> str:
+        """Stable hex digest of the compiled payload (cache-key safe).
+
+        Covers labels, both CSR planes and the edge-label map; equal
+        graphs produce equal fingerprints across processes (the arrays
+        hash as machine bytes, the labels as canonical reprs).
+        """
+        if self._fingerprint is None:
+            h = hashlib.sha256()
+            h.update(repr(self._labels).encode("utf-8"))
+            for arr in (
+                self._out_offsets,
+                self._out_nbrs,
+                self._out_ts_offsets,
+                self._out_times,
+                self._in_offsets,
+                self._in_nbrs,
+                self._in_ts_offsets,
+                self._in_times,
+            ):
+                h.update(arr.tobytes())
+            if self._edge_labels:
+                h.update(repr(sorted(self._edge_labels.items())).encode("utf-8"))
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the CSR arrays (the compiled data plane payload)."""
+        return sum(
+            arr.itemsize * len(arr)
+            for arr in (
+                self._out_offsets,
+                self._out_nbrs,
+                self._out_ts_offsets,
+                self._out_times,
+                self._in_offsets,
+                self._in_nbrs,
+                self._in_ts_offsets,
+                self._in_times,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # basic accessors (TemporalGraph-compatible)
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self._labels)
+
+    @property
+    def num_temporal_edges(self) -> int:
+        """Number of distinct ``(u, v, t)`` triples (|ℰ| in Table II)."""
+        return self._num_temporal_edges
+
+    @property
+    def num_static_edges(self) -> int:
+        """Number of distinct ``(u, v)`` pairs (|E| in Table II)."""
+        return self._num_static_edges
+
+    @property
+    def min_time(self) -> Timestamp | None:
+        return self._min_time
+
+    @property
+    def max_time(self) -> Timestamp | None:
+        return self._max_time
+
+    @property
+    def time_span(self) -> Timestamp:
+        """``max_time - min_time`` (0 for graphs with < 2 timestamps)."""
+        if self._min_time is None or self._max_time is None:
+            return 0
+        return self._max_time - self._min_time
+
+    def vertices(self) -> range:
+        return range(len(self._labels))
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < len(self._labels):
+            raise GraphError(f"vertex {v} out of range [0, {len(self._labels)})")
+
+    def label(self, v: int) -> Hashable:
+        self._check_vertex(v)
+        return self._labels[v]
+
+    @property
+    def labels(self) -> tuple[Hashable, ...]:
+        return self._labels
+
+    def vertices_with_label(self, label: Hashable) -> tuple[int, ...]:
+        return self._label_index.get(label, ())
+
+    # ------------------------------------------------------------------
+    # adjacency
+    # ------------------------------------------------------------------
+    def _out_slot(self, u: int, v: int) -> int:
+        """CSR slot of pair ``(u, v)`` in the out-plane, or -1."""
+        offsets = self._out_offsets
+        lo, hi = offsets[u], offsets[u + 1]
+        k = bisect.bisect_left(self._out_nbrs, v, lo, hi)
+        if k < hi and self._out_nbrs[k] == v:
+            return k
+        return -1
+
+    def _in_slot(self, v: int, u: int) -> int:
+        """CSR slot of pair ``(u, v)`` in the in-plane, or -1."""
+        offsets = self._in_offsets
+        lo, hi = offsets[v], offsets[v + 1]
+        k = bisect.bisect_left(self._in_nbrs, u, lo, hi)
+        if k < hi and self._in_nbrs[k] == u:
+            return k
+        return -1
+
+    def has_pair(self, u: int, v: int) -> bool:
+        """Does at least one temporal edge ``u -> v`` exist?"""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        return self._out_slot(u, v) >= 0
+
+    def timestamps(self, u: int, v: int) -> tuple[Timestamp, ...]:
+        """Sorted timestamps of interactions ``u -> v`` (``T(u, v)``)."""
+        return tuple(self.timestamps_list(u, v))
+
+    def timestamps_list(self, u: int, v: int) -> Sequence[Timestamp]:
+        """Sorted timestamps of ``u -> v`` as a zero-copy array slice.
+
+        Hot-path accessor: the returned :class:`memoryview` aliases the
+        snapshot's flat timestamp array (read-only by construction).
+        Returns an empty sequence for absent pairs.
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        k = self._out_slot(u, v)
+        if k < 0:
+            return _EMPTY_TIMES
+        toff = self._out_ts_offsets
+        return self._out_times_mv[toff[k] : toff[k + 1]]
+
+    def timestamps_with_label(
+        self, u: int, v: int, label: Hashable
+    ) -> Sequence[Timestamp]:
+        """Timestamps of ``u -> v`` edges carrying exactly *label*.
+
+        One probe into the per-label edge index built at compile time —
+        no per-timestamp label lookups.
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        return self._label_times.get((u, v, label), ())
+
+    def timestamps_in_window(
+        self, u: int, v: int, lo: Timestamp, hi: Timestamp
+    ) -> tuple[Timestamp, ...]:
+        """Timestamps ``t`` of ``u -> v`` edges with ``lo <= t <= hi``."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        k = self._out_slot(u, v)
+        if k < 0:
+            return ()
+        toff = self._out_ts_offsets
+        times = self._out_times
+        start, stop = toff[k], toff[k + 1]
+        left = bisect.bisect_left(times, lo, start, stop)
+        right = bisect.bisect_right(times, hi, start, stop)
+        return tuple(self._out_times_mv[left:right])
+
+    def edge_label(self, u: int, v: int, t: Timestamp) -> Hashable | None:
+        """Label of temporal edge ``(u, v, t)``, or None if unlabeled."""
+        return self._edge_labels.get((u, v, t))
+
+    @property
+    def has_edge_labels(self) -> bool:
+        """True if any temporal edge carries a label."""
+        return bool(self._edge_labels)
+
+    def out_neighbor_ids(self, u: int) -> Sequence[int]:
+        """Distinct out-neighbours of ``u``, id-sorted, zero-copy."""
+        self._check_vertex(u)
+        offsets = self._out_offsets
+        return self._out_nbrs_mv[offsets[u] : offsets[u + 1]]
+
+    def in_neighbor_ids(self, v: int) -> Sequence[int]:
+        """Distinct in-neighbours of ``v``, id-sorted, zero-copy."""
+        self._check_vertex(v)
+        offsets = self._in_offsets
+        return self._in_nbrs_mv[offsets[v] : offsets[v + 1]]
+
+    def out_items(
+        self, u: int
+    ) -> Iterator[tuple[int, Sequence[Timestamp]]]:
+        """Iterate ``(v, sorted timestamps)`` over out-neighbours of ``u``."""
+        self._check_vertex(u)
+        offsets = self._out_offsets
+        nbrs = self._out_nbrs
+        toff = self._out_ts_offsets
+        times = self._out_times_mv
+        for k in range(offsets[u], offsets[u + 1]):
+            yield nbrs[k], times[toff[k] : toff[k + 1]]
+
+    def in_items(
+        self, v: int
+    ) -> Iterator[tuple[int, Sequence[Timestamp]]]:
+        """Iterate ``(u, sorted timestamps)`` over in-neighbours of ``v``."""
+        self._check_vertex(v)
+        offsets = self._in_offsets
+        nbrs = self._in_nbrs
+        toff = self._in_ts_offsets
+        times = self._in_times_mv
+        for k in range(offsets[v], offsets[v + 1]):
+            yield nbrs[k], times[toff[k] : toff[k + 1]]
+
+    def out_pairs(
+        self, u: int
+    ) -> Iterator[tuple[int, tuple[Timestamp, ...]]]:
+        """Iterate ``(v, timestamps)`` over out-neighbours of ``u``."""
+        for v, times in self.out_items(u):
+            yield v, tuple(times)
+
+    def in_pairs(
+        self, v: int
+    ) -> Iterator[tuple[int, tuple[Timestamp, ...]]]:
+        """Iterate ``(u, timestamps)`` over in-neighbours of ``v``."""
+        for u, times in self.in_items(v):
+            yield u, tuple(times)
+
+    def out_edges(self, u: int) -> Iterator[TemporalEdge]:
+        """All temporal edges leaving ``u``, timestamps expanded."""
+        for v, times in self.out_items(u):
+            for t in times:
+                yield TemporalEdge(u, v, t)
+
+    def in_edges(self, v: int) -> Iterator[TemporalEdge]:
+        """All temporal edges entering ``v``, timestamps expanded."""
+        for u, times in self.in_items(v):
+            for t in times:
+                yield TemporalEdge(u, v, t)
+
+    def edges(self) -> Iterator[TemporalEdge]:
+        """All temporal edges in vertex order (not time order)."""
+        for u in self.vertices():
+            yield from self.out_edges(u)
+
+    def edges_by_time(self) -> list[TemporalEdge]:
+        """All temporal edges sorted by ``(t, u, v)`` (cached; read-only).
+
+        This is the insertion stream consumed by the continuous
+        subgraph-matching baselines.
+        """
+        if self._edges_by_time is None:
+            self._edges_by_time = sorted(
+                self.edges(), key=lambda e: (e.t, e.u, e.v)
+            )
+        return self._edges_by_time
+
+    # ------------------------------------------------------------------
+    # static (de-temporal) view: degrees and label signatures
+    # ------------------------------------------------------------------
+    def out_degree(self, v: int) -> int:
+        """Distinct out-neighbours of ``v`` (static out-degree)."""
+        self._check_vertex(v)
+        return self._out_offsets[v + 1] - self._out_offsets[v]
+
+    def in_degree(self, v: int) -> int:
+        """Distinct in-neighbours of ``v`` (static in-degree)."""
+        self._check_vertex(v)
+        return self._in_offsets[v + 1] - self._in_offsets[v]
+
+    def out_neighbors(self, v: int) -> Sequence[int]:
+        """Distinct out-neighbours (alias of :meth:`out_neighbor_ids`)."""
+        return self.out_neighbor_ids(v)
+
+    def in_neighbors(self, v: int) -> Sequence[int]:
+        """Distinct in-neighbours (alias of :meth:`in_neighbor_ids`)."""
+        return self.in_neighbor_ids(v)
+
+    def neighbor_label_counts(self, v: int) -> Counter[Hashable]:
+        """Multiset of labels over the undirected neighbourhood of ``v``.
+
+        Cached per vertex; this is the label signature consumed by the
+        NLF filter (Definition 6) and the EVE ``Vmatch`` look-ahead.  A
+        vertex that is both an in- and an out-neighbour counts once, as
+        in :meth:`StaticGraph.neighbor_label_counts`.
+        """
+        self._check_vertex(v)
+        cached = self._nlc[v]
+        if cached is None:
+            labels = self._labels
+            union = set(self.out_neighbor_ids(v))
+            union.update(self.in_neighbor_ids(v))
+            cached = Counter(labels[w] for w in union)
+            self._nlc[v] = cached
+        return cached
+
+    def static_view(self) -> "GraphSnapshot":
+        """The static (de-temporal) accessor surface — the snapshot itself.
+
+        Degrees, neighbour sets and label signatures all come straight
+        from the CSR planes, so no second graph is materialised.
+        """
+        return self
+
+    def de_temporal(self) -> "StaticGraph":
+        """A materialised :class:`StaticGraph` (compatibility shim).
+
+        Prefer :meth:`static_view`; this exists for callers that need a
+        genuine :class:`StaticGraph` object.  Not cached.
+        """
+        from .static_graph import StaticGraph
+
+        graph = StaticGraph(self._labels)
+        for u in self.vertices():
+            for v in self.out_neighbor_ids(u):
+                graph.add_edge(u, v)
+        return graph
+
+    def freeze(self) -> "GraphSnapshot":
+        """A snapshot is already frozen; returns itself."""
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GraphSnapshot(num_vertices={self.num_vertices}, "
+            f"temporal_edges={self.num_temporal_edges}, "
+            f"static_edges={self.num_static_edges})"
+        )
+
+
+def compile_snapshot(graph: TemporalGraph) -> GraphSnapshot:
+    """Compile *graph* into a fresh :class:`GraphSnapshot`.
+
+    O(|V| + |E| log deg + |ℰ|): neighbour lists are sorted per vertex,
+    timestamp runs are already sorted in the builder.  Prefer the cached
+    :meth:`TemporalGraph.freeze` unless you need a fresh compile.
+    """
+    global _COMPILE_COUNT
+    _COMPILE_COUNT += 1
+    n = graph.num_vertices
+    out_offsets = array("q", [0])
+    out_nbrs = array("q")
+    out_ts_offsets = array("q", [0])
+    out_times = array("q")
+    in_offsets = array("q", [0])
+    in_nbrs = array("q")
+    in_ts_offsets = array("q", [0])
+    in_times = array("q")
+    for u in range(n):
+        for v, times in sorted(graph.out_items(u)):
+            out_nbrs.append(v)
+            out_times.extend(times)
+            out_ts_offsets.append(len(out_times))
+        out_offsets.append(len(out_nbrs))
+    for v in range(n):
+        for u, times in sorted(graph.in_items(v)):
+            in_nbrs.append(u)
+            in_times.extend(times)
+            in_ts_offsets.append(len(in_times))
+        in_offsets.append(len(in_nbrs))
+    label_index: dict[Hashable, list[int]] = {}
+    for v, lab in enumerate(graph.labels):
+        label_index.setdefault(lab, []).append(v)
+    edge_labels = {
+        (u, v, t): graph.edge_label(u, v, t)
+        for u, v, t in graph.edges()
+        if graph.edge_label(u, v, t) is not None
+    }
+    return GraphSnapshot(
+        labels=graph.labels,
+        out_offsets=out_offsets,
+        out_nbrs=out_nbrs,
+        out_ts_offsets=out_ts_offsets,
+        out_times=out_times,
+        in_offsets=in_offsets,
+        in_nbrs=in_nbrs,
+        in_ts_offsets=in_ts_offsets,
+        in_times=in_times,
+        label_index={k: tuple(vs) for k, vs in label_index.items()},
+        edge_labels=edge_labels,
+        min_time=graph.min_time,
+        max_time=graph.max_time,
+    )
+
+
+#: Either graph backend; matcher hot loops are written against this union
+#: and behave identically on both (pinned by the equivalence tests).
+GraphView = Union[TemporalGraph, GraphSnapshot]
+
+#: Either static accessor surface accepted by the candidate filters.
+StaticView = Union["StaticGraph", GraphSnapshot]
+
+
+def ensure_snapshot(graph: GraphView) -> GraphSnapshot:
+    """*graph* as a snapshot: frozen views pass through, graphs compile.
+
+    Compilation is cached on the source graph (see
+    :meth:`TemporalGraph.freeze`), so repeated matcher preparation
+    against one graph compiles its data plane exactly once.
+    """
+    if isinstance(graph, GraphSnapshot):
+        return graph
+    return graph.freeze()

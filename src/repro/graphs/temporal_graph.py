@@ -9,11 +9,22 @@ turns it into a directed multigraph whose elements are *temporal edges*
 from __future__ import annotations
 
 import bisect
-from collections.abc import Hashable, Iterable, Iterator, KeysView, Sequence
-from typing import NamedTuple
+import math
+from collections.abc import (
+    Hashable,
+    Iterable,
+    ItemsView,
+    Iterator,
+    KeysView,
+    Sequence,
+)
+from typing import TYPE_CHECKING, NamedTuple
 
 from ..errors import GraphError
 from .static_graph import StaticGraph
+
+if TYPE_CHECKING:
+    from .snapshot import GraphSnapshot
 
 __all__ = ["TemporalEdge", "TemporalGraph"]
 
@@ -61,6 +72,8 @@ class TemporalGraph:
         "_de_temporal",
         "_label_index",
         "_edge_labels",
+        "_edges_by_time",
+        "_frozen",
     )
 
     def __init__(
@@ -79,6 +92,8 @@ class TemporalGraph:
         self._de_temporal: StaticGraph | None = None
         self._label_index: dict[Hashable, tuple[int, ...]] | None = None
         self._edge_labels: dict[tuple[int, int, Timestamp], Hashable] = {}
+        self._edges_by_time: list[TemporalEdge] | None = None
+        self._frozen: GraphSnapshot | None = None
         for u, v, t in edges:
             self.add_edge(u, v, t)
 
@@ -130,6 +145,8 @@ class TemporalGraph:
         if self._max_time is None or t > self._max_time:
             self._max_time = t
         self._de_temporal = None
+        self._edges_by_time = None
+        self._frozen = None
         return True
 
     def _check_vertex(self, v: int) -> None:
@@ -237,19 +254,19 @@ class TemporalGraph:
         right = bisect.bisect_right(times, hi)
         return tuple(times[left:right])
 
-    @property
-    def out_adjacency(self) -> list[dict[int, list[Timestamp]]]:
-        """Internal out-adjacency: ``out_adjacency[u][v]`` = sorted times.
+    def out_items(self, u: int) -> ItemsView[int, list[Timestamp]]:
+        """Iterate ``(v, sorted timestamps)`` over out-neighbours of ``u``.
 
-        Zero-copy, bounds-unchecked view for matcher hot loops; treat as
-        strictly read-only.
+        Zero-copy hot-path view (shared with :class:`GraphSnapshot`'s
+        accessor surface); treat the yielded lists as read-only.
         """
-        return self._out
+        self._check_vertex(u)
+        return self._out[u].items()
 
-    @property
-    def in_adjacency(self) -> list[dict[int, list[Timestamp]]]:
-        """Internal in-adjacency (see :attr:`out_adjacency`)."""
-        return self._in
+    def in_items(self, v: int) -> ItemsView[int, list[Timestamp]]:
+        """Iterate ``(u, sorted timestamps)`` over in-neighbours of ``v``."""
+        self._check_vertex(v)
+        return self._in[v].items()
 
     def out_neighbor_ids(self, u: int) -> KeysView[int]:
         """Distinct out-neighbours of ``u`` as a set-like view (no copy).
@@ -306,12 +323,17 @@ class TemporalGraph:
             yield from self.out_edges(u)
 
     def edges_by_time(self) -> list[TemporalEdge]:
-        """All temporal edges sorted by ``(t, u, v)``.
+        """All temporal edges sorted by ``(t, u, v)`` (cached; read-only).
 
         This is the insertion stream consumed by the continuous
-        subgraph-matching baselines.
+        subgraph-matching baselines.  The cache is invalidated by
+        :meth:`add_edge`; callers must not mutate the returned list.
         """
-        return sorted(self.edges(), key=lambda e: (e.t, e.u, e.v))
+        if self._edges_by_time is None:
+            self._edges_by_time = sorted(
+                self.edges(), key=lambda e: (e.t, e.u, e.v)
+            )
+        return self._edges_by_time
 
     # ------------------------------------------------------------------
     # derived views
@@ -326,15 +348,38 @@ class TemporalGraph:
             self._de_temporal = graph
         return self._de_temporal
 
+    def static_view(self) -> StaticGraph:
+        """The static accessor surface for the candidate filters.
+
+        On a mutable graph this is the cached :meth:`de_temporal` graph;
+        :class:`GraphSnapshot` serves the same surface directly from its
+        CSR planes.
+        """
+        return self.de_temporal()
+
+    def freeze(self) -> "GraphSnapshot":
+        """Compile this graph into an immutable CSR :class:`GraphSnapshot`.
+
+        Cached: repeated calls return the same snapshot until the next
+        :meth:`add_edge` invalidates it.
+        """
+        if self._frozen is None:
+            from .snapshot import compile_snapshot
+
+            self._frozen = compile_snapshot(self)
+        return self._frozen
+
     def time_prefix(self, fraction: float) -> "TemporalGraph":
         """Subgraph containing the earliest ``fraction`` of temporal edges.
 
         Used by Exp-5 (scalability with varying |ℰ|).  Vertices are kept
-        (ids stay stable); only edges are dropped.
+        (ids stay stable); only edges are dropped.  The kept edge count
+        is ``floor(|ℰ| * fraction)`` — explicit floor semantics, so slice
+        sizes are monotone in *fraction* and never banker's-rounded.
         """
         if not 0.0 <= fraction <= 1.0:
             raise GraphError(f"fraction {fraction} outside [0, 1]")
-        keep = int(round(self._num_temporal_edges * fraction))
+        keep = math.floor(self._num_temporal_edges * fraction)
         prefix = TemporalGraph(self._labels)
         for edge in self.edges_by_time()[:keep]:
             prefix.add_edge(

@@ -30,11 +30,14 @@ class ResultKey(NamedTuple):
     covers the result-shaping fields — limit, tightening, match
     collection, partition — and deliberately excludes the time budget,
     since only budget-independent (complete) results are admitted, and
-    tracing, which never changes the answer.
+    tracing, which never changes the answer.  ``graph_fingerprint`` is
+    the compiled snapshot's content digest, pinning the answer to the
+    exact data-plane bytes it was computed from.
     """
 
     graph_name: str
     graph_version: int
+    graph_fingerprint: str
     pattern: str
     algorithm: str
     options: str

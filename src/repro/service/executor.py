@@ -40,7 +40,7 @@ from ..core import (
     supports_partition,
 )
 from ..core.engine import invoke_run
-from ..graphs import QueryGraph, TemporalConstraints, TemporalGraph
+from ..graphs import GraphView, QueryGraph, TemporalConstraints
 from ..obs import NULL_TRACER, TraceSink
 
 __all__ = ["ExecutionOutcome", "ProcessSpec", "QueryExecutor"]
@@ -69,7 +69,7 @@ class ProcessSpec:
 
     query: QueryGraph
     constraints: TemporalConstraints
-    graph: TemporalGraph
+    graph: GraphView
     algorithm: str
     limit: int | None = None
     time_budget: float | None = None

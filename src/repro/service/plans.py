@@ -85,10 +85,17 @@ def options_fingerprint(options: Mapping[str, object]) -> str:
 
 
 class PlanKey(NamedTuple):
-    """Cache key for one prepared plan."""
+    """Cache key for one prepared plan.
+
+    ``graph_fingerprint`` is the content digest of the graph's compiled
+    CSR snapshot (:attr:`repro.graphs.GraphSnapshot.fingerprint`): it
+    pins the plan to the exact data-plane bytes it was prepared against,
+    independent of registration order or process identity.
+    """
 
     graph_name: str
     graph_version: int
+    graph_fingerprint: str
     pattern: str
     algorithm: str
     options: str

@@ -15,18 +15,26 @@ import threading
 from dataclasses import dataclass
 
 from ..errors import UnknownGraphError
-from ..graphs import TemporalGraph
+from ..graphs import GraphSnapshot, TemporalGraph, ensure_snapshot
 
 __all__ = ["GraphHandle", "GraphRegistry"]
 
 
 @dataclass(frozen=True)
 class GraphHandle:
-    """One registered graph snapshot: ``(name, version, graph)``."""
+    """One registered graph: ``(name, version, graph, snapshot)``.
+
+    ``snapshot`` is the graph's frozen CSR compilation, produced exactly
+    once per ``(graph, version)`` at registration time; queries, plan
+    preparation, and the process-pool executor all consume the snapshot
+    (compact to pickle, safe to share lock-free across threads), never
+    the mutable builder graph.
+    """
 
     name: str
     version: int
     graph: TemporalGraph
+    snapshot: GraphSnapshot
 
     def describe(self) -> dict[str, object]:
         """Plain-data summary for server responses."""
@@ -36,6 +44,7 @@ class GraphHandle:
             "num_vertices": self.graph.num_vertices,
             "num_temporal_edges": self.graph.num_temporal_edges,
             "num_static_edges": self.graph.num_static_edges,
+            "fingerprint": self.snapshot.fingerprint,
         }
 
 
@@ -54,11 +63,18 @@ class GraphRegistry:
         same name is replaced atomically (in-flight queries holding the
         old handle keep matching against the old snapshot — graphs are
         never mutated in place).
+
+        The CSR snapshot is compiled here, outside the registry lock and
+        exactly once per ``(graph, version)`` (``freeze()`` caches on the
+        graph, so re-registering the same object reuses its compilation).
         """
+        snapshot = ensure_snapshot(graph)
         with self._lock:
             version = self._versions.get(name, 0) + 1
             self._versions[name] = version
-            handle = GraphHandle(name=name, version=version, graph=graph)
+            handle = GraphHandle(
+                name=name, version=version, graph=graph, snapshot=snapshot
+            )
             self._handles[name] = handle
             return handle
 

@@ -243,6 +243,7 @@ class TCSMService:
             result_key = ResultKey(
                 graph_name=handle.name,
                 graph_version=handle.version,
+                graph_fingerprint=handle.snapshot.fingerprint,
                 pattern=pattern_hash,
                 algorithm=algo,
                 options=options_hash,
@@ -260,14 +261,18 @@ class TCSMService:
             plan_key = PlanKey(
                 graph_name=handle.name,
                 graph_version=handle.version,
+                graph_fingerprint=handle.snapshot.fingerprint,
                 pattern=pattern_hash,
                 algorithm=algo,
                 options=options_hash,
             )
 
             def build_plan() -> CachedPlan:
+                # Plans are prepared against the handle's frozen CSR
+                # snapshot — the registry compiled it exactly once at
+                # registration, so prepare() never recompiles here.
                 matcher = create_matcher(
-                    algo, query, constraints, handle.graph, **options
+                    algo, query, constraints, handle.snapshot, **options
                 )
                 build_start = time.perf_counter()
                 if tracer is not None:
@@ -290,10 +295,12 @@ class TCSMService:
                 time.monotonic() + budget if budget is not None else None
             )
             if self.config.pool == "process":
+                # Workers receive the compact immutable snapshot, never
+                # the mutable dict-backed builder graph.
                 spec = ProcessSpec(
                     query=query,
                     constraints=constraints,
-                    graph=handle.graph,
+                    graph=handle.snapshot,
                     algorithm=algo,
                     limit=limit,
                     time_budget=budget,

@@ -1,5 +1,7 @@
 """Tests for the temporal graph substrate."""
 
+import math
+
 import pytest
 
 from repro.errors import GraphError
@@ -116,6 +118,36 @@ class TestDerivedViews:
     def test_time_prefix_bad_fraction(self, small):
         with pytest.raises(GraphError):
             small.time_prefix(1.5)
+
+    def test_time_prefix_floors_not_banker_rounds(self):
+        # floor(m * f), never int(round(...)): banker's rounding sent
+        # 0.5-exact products to the nearest *even* count, so two slice
+        # sweeps with adjacent m differed by 2 edges instead of 1.
+        graph = TemporalGraph(["A", "B"])
+        for t in range(1, 6):  # 5 temporal edges
+            graph.add_edge(0, 1, t)
+        assert graph.time_prefix(0.5).num_temporal_edges == 2  # floor(2.5)
+        assert graph.time_prefix(0.3).num_temporal_edges == 1  # floor(1.5)
+        assert graph.time_prefix(0.9).num_temporal_edges == 4  # floor(4.5)
+
+    def test_time_prefix_exp5_slice_sizes(self):
+        # Pin the Exp-5 (Fig. 18) data-scale slices: each fraction keeps
+        # exactly floor(m * fraction) earliest edges.
+        graph = TemporalGraph(["A", "B", "C"])
+        t = 0
+        for _ in range(67):
+            t += 1
+            graph.add_edge(t % 2, 2, t)
+        m = graph.num_temporal_edges
+        assert m == 67
+        for fraction in (0.2, 0.25, 0.4, 0.5, 0.6, 0.8, 1.0):
+            sliced = graph.time_prefix(fraction)
+            expected = math.floor(m * fraction)
+            assert sliced.num_temporal_edges == expected
+            if expected:
+                cutoff = sliced.max_time
+                kept = [e for e in graph.edges_by_time()][:expected]
+                assert cutoff == kept[-1].t
 
     def test_vertices_with_label(self, small):
         assert small.vertices_with_label("A") == (0,)

@@ -10,6 +10,7 @@ def _key(pattern="p", graph="g", version=1, limit=None, collect=True):
     return ResultKey(
         graph_name=graph,
         graph_version=version,
+        graph_fingerprint=f"fp-{graph}-{version}",
         pattern=pattern,
         algorithm="tcsm-eve",
         options="",

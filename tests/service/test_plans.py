@@ -19,6 +19,7 @@ def _key(pattern="p", graph="g", version=1, algorithm="tcsm-eve", options=""):
     return PlanKey(
         graph_name=graph,
         graph_version=version,
+        graph_fingerprint=f"fp-{graph}-{version}",
         pattern=pattern,
         algorithm=algorithm,
         options=options,

@@ -29,11 +29,10 @@ class TestDocstringExamples:
 
 
 class TestAdjacencyViews:
-    def test_views_reflect_graph(self):
+    def test_items_reflect_graph(self):
         graph = TemporalGraph(["A", "B"], [(0, 1, 3), (0, 1, 5)])
-        out = graph.out_adjacency
-        assert out[0][1] == [3, 5]
-        assert graph.in_adjacency[1][0] == [3, 5]
+        assert dict(graph.out_items(0)) == {1: [3, 5]}
+        assert dict(graph.in_items(1)) == {0: [3, 5]}
 
     def test_neighbor_id_views_are_live(self):
         graph = TemporalGraph(["A", "B", "C"], [(0, 1, 1)])

@@ -731,6 +731,68 @@ class TestR010:
 
 
 # ----------------------------------------------------------------------
+# R011 graph-private-access
+# ----------------------------------------------------------------------
+class TestR011:
+    def test_dict_adjacency_access_flagged(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def neighbours(graph, u):
+                return list(graph._out[u])
+            """,
+            select=["R011"],
+        )
+        assert rule_ids(findings) == ["R011"]
+        assert "_out" in findings[0].message
+
+    def test_csr_plane_access_flagged(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def raw_times(snapshot):
+                return snapshot._out_times
+            """,
+            select=["R011"],
+        )
+        assert rule_ids(findings) == ["R011"]
+
+    def test_accessor_api_passes(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def neighbours(graph, u):
+                return [(v, list(ts)) for v, ts in graph.out_items(u)]
+            """,
+            select=["R011"],
+        )
+        assert findings == []
+
+    def test_graphs_package_exempt(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def compile_rows(graph):
+                return [graph._out[u] for u in graph.vertices()]
+            """,
+            relpath="src/repro/graphs/fixture_mod.py",
+            select=["R011"],
+        )
+        assert findings == []
+
+    def test_pragma_disables(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def poke(graph, u):
+                return graph._in[u]  # reprolint: disable=R011
+            """,
+            select=["R011"],
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
 # framework: pragmas, selection, output, exit codes, live tree
 # ----------------------------------------------------------------------
 class TestPragmas:

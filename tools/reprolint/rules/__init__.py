@@ -7,6 +7,7 @@ from . import (  # noqa: F401  (imports register the rules)
     exceptions,
     float_eq,
     frozen_plan,
+    graph_privates,
     recursion_guard,
     registry_complete,
     service_budget,
@@ -20,6 +21,7 @@ __all__ = [
     "exceptions",
     "float_eq",
     "frozen_plan",
+    "graph_privates",
     "recursion_guard",
     "registry_complete",
     "service_budget",

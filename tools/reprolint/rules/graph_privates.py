@@ -1,0 +1,95 @@
+"""R011: graph internals stay inside :mod:`repro.graphs`.
+
+The graph layer deliberately splits a mutable builder
+(:class:`repro.graphs.TemporalGraph`, dict-of-dict adjacency) from an
+immutable compiled form (:class:`repro.graphs.GraphSnapshot`, CSR typed
+arrays).  Matchers, baselines, and the service consume the shared
+accessor API (``out_items``, ``timestamps``, ``has_pair``, ...), which
+both backends implement identically.  Code that reaches for the private
+storage — ``graph._out[u]``, ``snapshot._out_times`` — silently welds
+itself to one backend: it crashes (or worse, reads garbage) the moment a
+snapshot flows in where a dict graph used to, and it bypasses the
+equivalence guarantees the accessor layer pins in tests.
+
+The rule flags attribute access to the graph layer's private storage
+names anywhere outside ``repro.graphs``.  It is name-based (no type
+inference), so the guarded set holds only names unique enough to the
+graph layer that a hit elsewhere is almost certainly a leak; a
+deliberate exception can carry a ``# reprolint: disable=R011`` pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from ..context import FileContext
+from ..findings import Finding
+from ..registry import Rule, register_rule
+
+__all__ = ["GraphPrivatesRule"]
+
+#: Private storage attributes of TemporalGraph / StaticGraph /
+#: GraphSnapshot.  Accessing any of these outside repro.graphs couples
+#: the caller to one backend's memory layout.
+_PRIVATE_GRAPH_ATTRS = frozenset(
+    {
+        # TemporalGraph / StaticGraph builders
+        "_out",
+        "_in",
+        "_de_temporal",
+        "_edges_by_time",
+        "_frozen",
+        "_num_temporal_edges",
+        # GraphSnapshot CSR planes
+        "_out_offsets",
+        "_out_nbrs",
+        "_out_ts_offsets",
+        "_out_times",
+        "_in_offsets",
+        "_in_nbrs",
+        "_in_ts_offsets",
+        "_in_times",
+        "_out_times_mv",
+        "_in_times_mv",
+        # shared label / edge-label indexes
+        "_label_index",
+        "_label_times",
+    }
+)
+
+
+@register_rule
+class GraphPrivatesRule(Rule):
+    id = "R011"
+    name = "graph-private-access"
+    description = (
+        "private graph storage (._out, ._in, CSR arrays, label indexes) "
+        "must not be accessed outside repro.graphs; use the accessor API "
+        "shared by TemporalGraph and GraphSnapshot."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.module == "repro.graphs" or ctx.module.startswith(
+            "repro.graphs."
+        ):
+            return  # the graph layer owns its own storage
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if node.attr not in _PRIVATE_GRAPH_ATTRS:
+                continue
+            # `self._out` on a non-graph class is still a leak of the
+            # naming convention worth flagging only when it aliases graph
+            # storage; but every guarded name is specific enough that we
+            # flag unconditionally and let pragmas cover deliberate use.
+            if ctx.pragmas.is_disabled(self.id, node.lineno):
+                continue
+            yield self.finding(
+                ctx,
+                node.lineno,
+                node.col_offset,
+                f"access to private graph storage '.{node.attr}' outside "
+                "repro.graphs couples this code to one backend's layout; "
+                "use the shared accessor API (out_items/timestamps/...)",
+            )

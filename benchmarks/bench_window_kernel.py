@@ -1,0 +1,174 @@
+"""Window-bisect kernel: timestamps materialised and wall-clock, by gap.
+
+The paper's Exp-10 sweeps the constraint gap ``k``: small gaps mean each
+candidate pair's sorted timestamp run contains mostly-infeasible times,
+which the old expand-then-filter loops materialised and rejected one by
+one.  The window kernel (:mod:`repro.core.windows`) bisects each run to
+its feasible ``[lo, hi]`` slice instead, so the work it saves *grows* as
+gaps tighten.  This benchmark pins that on the medium CollegeMsg
+stand-in across an Exp-10-style gap sweep:
+
+* summed over the sweep, the kernel materialises at most half the
+  timestamps of the kernel-off ablation (>= 2x reduction);
+* kernel-on wall-clock is no slower than kernel-off (min-of-repeats,
+  with a noise tolerance).
+
+Runs standalone (``python benchmarks/bench_window_kernel.py``, exits
+non-zero on regression, ``--out report.json`` writes the report) and
+under pytest.
+"""
+
+import argparse
+import json
+import time
+
+from repro.core import MatchResult, find_matches
+from repro.datasets import load_dataset, paper_constraints, paper_query
+from repro.graphs import ensure_snapshot
+
+#: Medium synthetic dataset: ~700 vertices / ~7k temporal edges.
+SCALE = 0.12
+SEED = 1
+
+SECONDS_PER_DAY = 86_400
+
+#: Exp-10-style sweep: tight windows through multi-day gaps.
+GAPS = (
+    SECONDS_PER_DAY // 4,
+    SECONDS_PER_DAY,
+    4 * SECONDS_PER_DAY,
+    7 * SECONDS_PER_DAY,
+)
+
+#: Floor pinned by the issue: the kernel must at least halve the number
+#: of timestamps materialised across the sweep.
+MIN_EXPANSION_REDUCTION = 2.0
+
+#: Noise allowance for the runtime comparison (min-of-3 timings).
+RUNTIME_TOLERANCE = 1.15
+
+REPEATS = 3
+
+ALGORITHM = "tcsm-eve"
+
+
+def _best_run(fn, repeats: int = REPEATS) -> tuple[float, "MatchResult"]:
+    best_seconds = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best_seconds = min(best_seconds, time.perf_counter() - started)
+    assert result is not None
+    return best_seconds, result
+
+
+def measure(scale: float = SCALE, seed: int = SEED) -> dict[str, object]:
+    """The full gap sweep, kernel on vs off, as a flat report dict."""
+    graph = ensure_snapshot(load_dataset("CM", scale=scale, seed=seed))
+    query = paper_query(1)
+
+    sweep: list[dict[str, float]] = []
+    for gap in GAPS:
+        constraints = paper_constraints(
+            2, num_edges=query.num_edges, gap=gap
+        )
+
+        def run(use_kernel: bool) -> "MatchResult":
+            return find_matches(
+                query,
+                constraints,
+                graph,
+                algorithm=ALGORITHM,
+                collect_matches=False,
+                use_window_kernel=use_kernel,
+            )
+
+        on_seconds, on = _best_run(lambda: run(True))
+        off_seconds, off = _best_run(lambda: run(False))
+        assert on.stats.matches == off.stats.matches  # ablation sanity
+        sweep.append(
+            {
+                "gap": float(gap),
+                "matches": float(on.stats.matches),
+                "expanded_on": float(on.stats.timestamps_expanded),
+                "expanded_off": float(off.stats.timestamps_expanded),
+                "skipped_on": float(on.stats.timestamps_skipped),
+                "seconds_on": on_seconds,
+                "seconds_off": off_seconds,
+            }
+        )
+
+    expanded_on = sum(row["expanded_on"] for row in sweep)
+    expanded_off = sum(row["expanded_off"] for row in sweep)
+    return {
+        "algorithm": ALGORITHM,
+        "temporal_edges": float(graph.num_temporal_edges),
+        "sweep": sweep,
+        "expanded_on": expanded_on,
+        "expanded_off": expanded_off,
+        "expansion_reduction": expanded_off / max(1.0, expanded_on),
+        "seconds_on": sum(row["seconds_on"] for row in sweep),
+        "seconds_off": sum(row["seconds_off"] for row in sweep),
+    }
+
+
+def check(report: dict[str, object]) -> list[str]:
+    """Regression messages (empty when the report meets the bars)."""
+    failures: list[str] = []
+    reduction = report["expansion_reduction"]
+    assert isinstance(reduction, float)
+    if reduction < MIN_EXPANSION_REDUCTION:
+        failures.append(
+            f"timestamps-expanded reduction {reduction:.2f}x below the "
+            f"{MIN_EXPANSION_REDUCTION:.0f}x floor"
+        )
+    seconds_on = report["seconds_on"]
+    seconds_off = report["seconds_off"]
+    assert isinstance(seconds_on, float) and isinstance(seconds_off, float)
+    bound = seconds_off * RUNTIME_TOLERANCE
+    if seconds_on > bound:
+        failures.append(
+            f"kernel-on sweep {seconds_on:.4f}s slower than kernel-off "
+            f"bound {bound:.4f}s"
+        )
+    return failures
+
+
+def test_window_kernel_expansion_and_runtime() -> None:
+    report = measure()
+    assert check(report) == [], check(report)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", type=str, default=None,
+        help="also write the JSON report to this path",
+    )
+    args = parser.parse_args(argv)
+    report = measure()
+    print(f"algorithm:          {report['algorithm']}")
+    print(f"temporal edges:     {report['temporal_edges']:.0f}")
+    print("gap sweep (expanded on/off, seconds on/off):")
+    for row in report["sweep"]:  # type: ignore[union-attr]
+        print(
+            f"  k={row['gap']:>8.0f}: {row['expanded_on']:>9.0f} / "
+            f"{row['expanded_off']:>9.0f}   "
+            f"{row['seconds_on'] * 1e3:>7.1f} / "
+            f"{row['seconds_off'] * 1e3:>7.1f} ms   "
+            f"({row['matches']:.0f} matches)"
+        )
+    print(f"expansion reduction: {report['expansion_reduction']:.2f}x")
+    failures = check(report)
+    for failure in failures:
+        print(f"REGRESSION: {failure}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"wrote report -> {args.out}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

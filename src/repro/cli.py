@@ -338,8 +338,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         for name, row in summary.items():
             print(f"{name:<{width}}  {row['considered']:>10} "
                   f"{row['pruned']:>10} {row['survivors']:>10}")
-    if result.stats.timestamps_expanded:
+    if result.stats.timestamps_expanded or result.stats.timestamps_skipped:
         print(f"# timestamps expanded: {result.stats.timestamps_expanded}")
+        print(f"# timestamps skipped:  {result.stats.timestamps_skipped}")
     if args.out:
         write_chrome_trace(tracer, args.out)
         print(f"# wrote Chrome trace ({len(tracer)} spans) -> {args.out}",

@@ -25,12 +25,24 @@ from .filters import (
 from .match import Match, is_valid_match
 from .options import MatchOptions, RunContext, resolve_run_context
 from .partition import check_partition, partition_slice
+from .planner import (
+    PLAN_CHOICES,
+    PlanCosts,
+    candidate_edge_orders,
+    candidate_vertex_orders,
+    choose_edge_order,
+    choose_vertex_order,
+    plan_costs,
+    score_edge_order,
+    score_vertex_order,
+    validate_plan,
+)
 from .motifs import count_motif, ordered_motif_constraints
 from .render import render_tcq, render_tcq_plus
 from .stats import FilterStats, SearchStats
 from .tcf import TCF, build_tcf
-from .tcq import TCQ, build_tcq, vertex_tsup
-from .tcq_plus import TCQPlus, build_tcq_plus, edge_tsup
+from .tcq import TCQ, build_tcq, tcq_from_order, vertex_tsup
+from .tcq_plus import TCQPlus, build_tcq_plus, edge_tsup, tcq_plus_from_order
 from .validate import Diagnostic, lint_pattern
 from .timestamps import (
     count_timestamp_assignments,
@@ -38,6 +50,15 @@ from .timestamps import (
     windows_compatible,
 )
 from .v2v import V2VMatcher
+from .windows import (
+    NO_WINDOW,
+    build_edge_window_plan,
+    constraint_slices,
+    feasible_window,
+    propagate_run_windows,
+    window_slice,
+    windowed_times,
+)
 
 __all__ = [
     "BruteForceMatcher",
@@ -50,7 +71,10 @@ __all__ = [
     "MatchOptions",
     "MatchResult",
     "Matcher",
+    "NO_WINDOW",
+    "PLAN_CHOICES",
     "PartitionedMatcher",
+    "PlanCosts",
     "RunContext",
     "SearchStats",
     "TCF",
@@ -59,11 +83,17 @@ __all__ = [
     "V2VMatcher",
     "available_algorithms",
     "brute_force_matches",
+    "build_edge_window_plan",
     "build_tcf",
     "build_tcq",
     "build_tcq_plus",
+    "candidate_edge_orders",
+    "candidate_vertex_orders",
     "check_partition",
+    "choose_edge_order",
+    "choose_vertex_order",
     "constraint_slack",
+    "constraint_slices",
     "count_matches",
     "count_motif",
     "estimate_match_count",
@@ -72,6 +102,7 @@ __all__ = [
     "count_timestamp_assignments",
     "create_matcher",
     "edge_tsup",
+    "feasible_window",
     "find_matches",
     "initial_edge_candidate_pairs",
     "initial_vertex_candidates",
@@ -80,11 +111,20 @@ __all__ = [
     "ldf",
     "nlf",
     "partition_slice",
+    "plan_costs",
+    "propagate_run_windows",
     "register_algorithm",
     "render_tcq",
     "render_tcq_plus",
     "resolve_run_context",
+    "score_edge_order",
+    "score_vertex_order",
     "supports_partition",
+    "tcq_from_order",
+    "tcq_plus_from_order",
+    "validate_plan",
     "vertex_tsup",
+    "window_slice",
+    "windowed_times",
     "windows_compatible",
 ]

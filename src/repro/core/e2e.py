@@ -30,8 +30,16 @@ from .filters import initial_edge_candidate_pairs
 from .match import Match
 from .options import RunContext, resolve_run_context
 from .partition import partition_slice
+from .planner import plan_costs, validate_plan
 from .stats import SearchStats
 from .tcq_plus import TCQPlus, build_tcq_plus
+from .windows import (
+    NO_WINDOW,
+    WindowBounds,
+    build_edge_window_plan,
+    feasible_window,
+    windowed_times,
+)
 
 __all__ = ["E2EMatcher"]
 
@@ -48,6 +56,18 @@ class E2EMatcher:
         candidate set of their query edge (Algorithm 4 lines 1-3); line 15
         alone would filter by endpoint labels only.  Sound either way;
         ablation knob.
+    use_window_kernel:
+        When True (default), each DFS layer intersects the STN-closure
+        bounds of already-bound edge times into one feasible ``[lo, hi]``
+        window and reads only that slice of each candidate pair's sorted
+        timestamp run (see :mod:`repro.core.windows`); skipped timestamps
+        are counted in ``stats.timestamps_skipped``.  False restores the
+        expand-then-filter behaviour (ablation knob; match multisets are
+        pinned identical either way).
+    plan:
+        ``"paper"`` (default) uses Algorithm 3's TCF-walking matching
+        order; ``"cost"`` asks :mod:`repro.core.planner` to choose the
+        cheapest order under the data graph's statistics.
     compile_graph:
         When True (default), ``prepare`` freezes the data graph into a
         CSR :class:`~repro.graphs.GraphSnapshot` and the hot loops run
@@ -68,6 +88,8 @@ class E2EMatcher:
         constraints: TemporalConstraints,
         graph: GraphView,
         intersect_candidates: bool = True,
+        use_window_kernel: bool = True,
+        plan: str = "paper",
         compile_graph: bool = True,
     ) -> None:
         if constraints.num_edges != query.num_edges:
@@ -87,6 +109,11 @@ class E2EMatcher:
         #: snapshot when ``compile_graph`` is set.
         self._view: GraphView = graph
         self.intersect_candidates = intersect_candidates
+        self.use_window_kernel = use_window_kernel
+        self.plan = validate_plan(plan)
+        #: Per-position window bounds for the kernel (set by ``prepare``
+        #: when ``use_window_kernel`` is on; None disables the kernel).
+        self._window_plan: tuple[WindowBounds, ...] | None = None
         self.pair_candidates: list[frozenset[tuple[int, int]]] | None = None
         self.tcq_plus: TCQPlus | None = None
         #: Filter counters accumulated during ``prepare`` (the engine
@@ -114,7 +141,13 @@ class E2EMatcher:
             self.query,
             self.constraints,
             candidate_counts=[len(c) for c in self.pair_candidates],
+            plan=self.plan,
+            costs=plan_costs(self._view) if self.plan == "cost" else None,
         )
+        if self.use_window_kernel:
+            self._window_plan = build_edge_window_plan(
+                self.tcq_plus.order, self.constraints
+            )
         self._vmatch_plan = self._build_vmatch_plan()
         self._prepared = True
 
@@ -229,19 +262,35 @@ class E2EMatcher:
             return True
 
         required_labels = query.edge_labels
+        window_plan = self._window_plan
 
-        def admissible_times(edge_index: int, du: int, dv: int) -> Sequence[int]:
+        def admissible_times(
+            edge_index: int, du: int, dv: int, window: tuple[float, float]
+        ) -> Sequence[int]:
             required = required_labels[edge_index]
             if required is None:
                 times = graph.timestamps_list(du, dv)
             else:
                 times = graph.timestamps_with_label(du, dv, required)
-            search_stats.timestamps_expanded += len(times)
-            return times
+            return windowed_times(times, window, search_stats)
 
         def candidate_edges(pos: int) -> Iterator[TemporalEdge]:
-            """Candidates per Algorithm 4 line 14, driven by the vertex map."""
+            """Candidates per Algorithm 4 line 14, driven by the vertex map.
+
+            With the window kernel on, the feasible ``[lo, hi]`` interval
+            for this layer's timestamp is computed once from the bound
+            edge times (it does not depend on the candidate pair), every
+            run probe is bisected down to it, and a collapsed window
+            short-circuits the layer with zero expansions.
+            """
             edge_index = tcq.order[pos]
+            if window_plan is not None:
+                feasible = feasible_window(window_plan[pos], bound_times)
+                if feasible is None:
+                    return
+                window = feasible
+            else:
+                window = NO_WINDOW
             qa, qb = query.edge(edge_index)
             da, db = vertex_map[qa], vertex_map[qb]
             allowed = pair_candidates[edge_index]
@@ -249,7 +298,7 @@ class E2EMatcher:
                 # Closing edge: both endpoints pinned (prec + FE combined).
                 if self.intersect_candidates and (da, db) not in allowed:
                     return
-                for t in admissible_times(edge_index, da, db):
+                for t in admissible_times(edge_index, da, db, window):
                     yield TemporalEdge(da, db, t)
             elif da is not None:
                 target_label = query.label(qb)
@@ -261,7 +310,7 @@ class E2EMatcher:
                         continue
                     if x in used:
                         continue
-                    for t in admissible_times(edge_index, da, x):
+                    for t in admissible_times(edge_index, da, x, window):
                         yield TemporalEdge(da, x, t)
             elif db is not None:
                 source_label = query.label(qa)
@@ -273,7 +322,7 @@ class E2EMatcher:
                         continue
                     if x in used:
                         continue
-                    for t in admissible_times(edge_index, x, db):
+                    for t in admissible_times(edge_index, x, db, window):
                         yield TemporalEdge(x, db, t)
             else:
                 # Seed edge of a (possibly disconnected) component.  Only
@@ -285,7 +334,7 @@ class E2EMatcher:
                 for du, dv in seed_pairs:
                     if du in used or dv in used:
                         continue
-                    for t in admissible_times(edge_index, du, dv):
+                    for t in admissible_times(edge_index, du, dv, window):
                         yield TemporalEdge(du, dv, t)
 
         def dfs(pos: int) -> Iterator[Match]:

@@ -373,6 +373,12 @@ def find_matches(
         with tr.span("stn-closure", constraints=len(constraints)):
             constraints = constraints.closed()
     if matcher is None:
+        # Forward the planning mode to matchers that take the knob; the
+        # "paper" default is every matcher's default already, and
+        # baseline factories without a ``plan`` parameter must keep
+        # working.  An explicit ``plan=`` matcher option wins.
+        if opts.plan != "paper":
+            matcher_options.setdefault("plan", opts.plan)
         matcher = create_matcher(
             algorithm, query, constraints, graph, **matcher_options
         )
@@ -410,7 +416,11 @@ def find_matches(
         for match in run:
             if opts.collect_matches:
                 matches.append(match)
-        enum_span.annotate(matches=stats.matches)
+        enum_span.annotate(
+            matches=stats.matches,
+            timestamps_expanded=stats.timestamps_expanded,
+            timestamps_skipped=stats.timestamps_skipped,
+        )
     match_seconds = time.perf_counter() - match_start
 
     result = MatchResult(

@@ -19,10 +19,12 @@ it statistically against exact counts).
 from __future__ import annotations
 
 import random
+from collections.abc import Sequence
 
 from ..graphs import GraphView, QueryGraph, TemporalConstraints, ensure_snapshot
 
 from .eve import EVEMatcher
+from .windows import build_edge_window_plan, feasible_window
 
 __all__ = ["estimate_match_count"]
 
@@ -64,7 +66,16 @@ def estimate_match_count(
     pair_candidates = matcher.pair_candidates
     m = query.num_edges
     n = query.num_vertices
-    check_plans = tcq.check_at
+    # Direct (closure=False) windows reproduce exactly the per-constraint
+    # checks this estimator used to apply candidate-by-candidate: every
+    # constraint due at a position involves the position's own edge, so
+    # its feasibility region is a pure interval on that edge's timestamp.
+    # Reading only the interval through the snapshot's in-window bisect
+    # accessors leaves each layer's valid-candidate *list* — order
+    # included — unchanged, which keeps the probe distribution and the
+    # seeded estimates identical.  (The STN closure would prune more and
+    # is deliberately not used here.)
+    window_plan = build_edge_window_plan(tcq.order, constraints, closure=False)
 
     total = 0.0
     for _ in range(probes):
@@ -78,63 +89,38 @@ def estimate_match_count(
             qa, qb = query.edge(edge_index)
             da, db = vertex_map[qa], vertex_map[qb]
             required = query.edge_label(edge_index)
+            window = feasible_window(window_plan[pos], edge_times)
+            if window is None:
+                alive = False
+                break
+            lo, hi = window
 
-            candidates: list[tuple[int, int, int]] = []
+            def times_in_window(du: int, dv: int) -> Sequence[int]:
+                if required is None:
+                    return graph.timestamps_in_window(du, dv, lo, hi)
+                return graph.timestamps_with_label_in_window(
+                    du, dv, required, lo, hi
+                )
+
+            valid: list[tuple[int, int, int]] = []
             if da is not None and db is not None:
                 if (da, db) in pair_candidates[edge_index]:
-                    times = (
-                        graph.timestamps_list(da, db)
-                        if required is None
-                        else graph.timestamps_with_label(da, db, required)
-                    )
-                    candidates = [(da, db, t) for t in times]
+                    valid = [(da, db, t) for t in times_in_window(da, db)]
             elif da is not None:
                 for x in graph.out_neighbor_ids(da):
                     if x in used or (da, x) not in pair_candidates[edge_index]:
                         continue
-                    times = (
-                        graph.timestamps_list(da, x)
-                        if required is None
-                        else graph.timestamps_with_label(da, x, required)
-                    )
-                    candidates.extend((da, x, t) for t in times)
+                    valid.extend((da, x, t) for t in times_in_window(da, x))
             elif db is not None:
                 for x in graph.in_neighbor_ids(db):
                     if x in used or (x, db) not in pair_candidates[edge_index]:
                         continue
-                    times = (
-                        graph.timestamps_list(x, db)
-                        if required is None
-                        else graph.timestamps_with_label(x, db, required)
-                    )
-                    candidates.extend((x, db, t) for t in times)
+                    valid.extend((x, db, t) for t in times_in_window(x, db))
             else:
                 for du, dv in pair_candidates[edge_index]:
                     if du in used or dv in used:
                         continue
-                    times = (
-                        graph.timestamps_list(du, dv)
-                        if required is None
-                        else graph.timestamps_with_label(du, dv, required)
-                    )
-                    candidates.extend((du, dv, t) for t in times)
-
-            # Keep only candidates passing the temporal checks due at pos.
-            valid: list[tuple[int, int, int]] = []
-            for du, dv, t in candidates:
-                ok = True
-                for c in check_plans[pos]:
-                    t_earlier = (
-                        t if c.earlier == edge_index else edge_times[c.earlier]
-                    )
-                    t_later = (
-                        t if c.later == edge_index else edge_times[c.later]
-                    )
-                    if not 0 <= t_later - t_earlier <= c.gap:
-                        ok = False
-                        break
-                if ok:
-                    valid.append((du, dv, t))
+                    valid.extend((du, dv, t) for t in times_in_window(du, dv))
 
             if not valid:
                 alive = False

@@ -26,6 +26,7 @@ from typing import Any
 
 from ..errors import AlgorithmError
 from ..obs import NULL_TRACER, TraceSink
+from .planner import validate_plan
 from .stats import SearchStats
 
 __all__ = ["MatchOptions", "RunContext", "resolve_run_context"]
@@ -48,6 +49,12 @@ class MatchOptions:
     partition:
         ``(index, count)`` seed partition restricting the search to one
         deterministic slice of the root candidates.
+    plan:
+        Matching-order planning mode for the TCSM matchers: ``"paper"``
+        (default) keeps the paper's structural orders, ``"cost"`` lets
+        :mod:`repro.core.planner` pick the cheapest order under the data
+        graph's statistics.  Either way the match multiset is identical;
+        only enumeration cost changes.
     trace:
         Record per-phase spans into a fresh tracer, returned on
         ``MatchResult.trace``.
@@ -58,11 +65,13 @@ class MatchOptions:
     tighten: bool = False
     collect_matches: bool = True
     partition: tuple[int, int] | None = None
+    plan: str = "paper"
     trace: bool = False
 
     def __post_init__(self) -> None:
         if self.limit is not None and self.limit < 0:
             raise AlgorithmError(f"limit must be >= 0, not {self.limit}")
+        validate_plan(self.plan)
         if self.partition is not None:
             index, count = self.partition
             if count < 1 or not 0 <= index < count:
@@ -74,12 +83,14 @@ class MatchOptions:
     def canonical_hash(self) -> str:
         """Stable hex digest of the *result-shaping* fields.
 
-        Covers ``limit``, ``tighten``, ``collect_matches`` and
-        ``partition`` — the fields that change which answer comes back.
-        ``time_budget`` is excluded because only budget-independent
-        (complete) results are ever cached, and ``trace`` because
-        observability never changes the answer.  Equal options hash equal
-        across processes (canonical JSON, no ``hash()`` randomisation).
+        Covers ``limit``, ``tighten``, ``collect_matches``, ``partition``
+        and ``plan`` — the fields that change which answer comes back
+        (``plan`` changes enumeration *order*, and with a ``limit`` the
+        order decides which matches are returned).  ``time_budget`` is
+        excluded because only budget-independent (complete) results are
+        ever cached, and ``trace`` because observability never changes
+        the answer.  Equal options hash equal across processes (canonical
+        JSON, no ``hash()`` randomisation).
         """
         payload = json.dumps(
             {
@@ -89,6 +100,7 @@ class MatchOptions:
                 "partition": (
                     None if self.partition is None else list(self.partition)
                 ),
+                "plan": self.plan,
             },
             sort_keys=True,
             separators=(",", ":"),

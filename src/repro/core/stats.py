@@ -89,6 +89,13 @@ class SearchStats:
         Temporal-edge timestamps materialised from candidate pairs (the
         expansion cost edge-based matchers pay per pair and V2V pays at
         its leaves).
+    timestamps_skipped:
+        Timestamps in probed runs that the window kernel excluded by
+        bisection *instead of* materialising them (see
+        :mod:`repro.core.windows`).  For any single probed run,
+        ``expanded + skipped`` equals the run length, so this counter is
+        exactly the enumerate-then-discard work the kernel avoided; it
+        stays 0 with the kernel disabled.
     filters:
         Per-filter :class:`FilterStats`, keyed by filter name (``"nlf"``,
         ``"ldf"``, ``"temporal"``, ...); see :meth:`filter`.
@@ -104,6 +111,7 @@ class SearchStats:
     budget_exhausted: bool = False
     deadline_hit: bool = False
     timestamps_expanded: int = 0
+    timestamps_skipped: int = 0
     filters: dict[str, FilterStats] = field(default_factory=dict)
 
     def filter(self, name: str) -> FilterStats:
@@ -143,6 +151,7 @@ class SearchStats:
         self.budget_exhausted |= other.budget_exhausted
         self.deadline_hit |= other.deadline_hit
         self.timestamps_expanded += other.timestamps_expanded
+        self.timestamps_skipped += other.timestamps_skipped
         for name, bucket in other.filters.items():
             self.filter(name).merge(bucket)
         if other.first_fail_layer is not None and (

@@ -26,7 +26,9 @@ from dataclasses import dataclass
 from ..errors import QueryError
 from ..graphs import Constraint, QueryGraph, TemporalConstraints
 
-__all__ = ["TCQ", "build_tcq", "vertex_tsup"]
+from .planner import PlanCosts, choose_vertex_order, validate_plan
+
+__all__ = ["TCQ", "build_tcq", "tcq_from_order", "vertex_tsup"]
 
 
 @dataclass(frozen=True)
@@ -80,10 +82,116 @@ def vertex_tsup(
     return tsup
 
 
+def _paper_vertex_order(
+    query: QueryGraph,
+    tsup: Sequence[int],
+    candidate_counts: Sequence[int] | None,
+) -> tuple[int, ...]:
+    """The tsup-greedy matching order of Algorithm 1 (order only)."""
+    n = query.num_vertices
+
+    def tie_key(u: int) -> tuple[int, int]:
+        count = candidate_counts[u] if candidate_counts is not None else 0
+        return (count, u)
+
+    # Seed: highest tsup, then fewest candidates, then smallest id.
+    seed = min(range(n), key=lambda u: (-tsup[u],) + tie_key(u))
+    order: list[int] = [seed]
+    in_order = [False] * n
+    in_order[seed] = True
+    while len(order) < n:
+        remaining = [u for u in range(n) if not in_order[u]]
+        # Selection rule: among the frontier (remaining vertices adjacent to
+        # TO), take the highest tsup; ties by fewest candidates, then id.
+        # Algorithm 1 line 8 as printed maximises |N_mu(u)| instead, but the
+        # paper's own worked example (Example 2: u5 chosen over u3) follows
+        # the tsup-first rule, which also matches TCQ+ (Alg. 3 line 18); we
+        # implement the example's rule.  See DESIGN.md reconstruction notes.
+        frontier = [
+            u
+            for u in remaining
+            if any(in_order[w] for w in query.neighbors(u))
+        ]
+        pool = frontier if frontier else remaining
+        chosen = min(pool, key=lambda u: (-tsup[u],) + tie_key(u))
+        order.append(chosen)
+        in_order[chosen] = True
+    return tuple(order)
+
+
+def tcq_from_order(
+    query: QueryGraph,
+    constraints: TemporalConstraints,
+    order: Sequence[int],
+) -> TCQ:
+    """Build the PD/FV/TC tables for an arbitrary vertex matching *order*.
+
+    The table rules are exactly Algorithm 1's: prec is the
+    earliest-ordered already-matched neighbour (None for seeds of
+    connected components — candidates then come from the initial sets),
+    FV the remaining back-neighbours by position, and TC places each
+    constraint at the last-ordered endpoint of its two edges.  Applying
+    this to the paper's own order reproduces ``build_tcq`` output
+    verbatim, which is what lets the cost-based planner substitute any
+    permutation without touching the matcher.
+    """
+    n = query.num_vertices
+    if sorted(order) != list(range(n)):
+        raise QueryError(
+            f"matching order must be a permutation of 0..{n - 1}, "
+            f"not {tuple(order)}"
+        )
+    position: list[int] = [-1] * n
+    for pos, u in enumerate(order):
+        position[u] = pos
+    prec: list[int | None] = []
+    forward: list[tuple[int, ...]] = []
+    for pos, u in enumerate(order):
+        ordered_neighbors = [
+            w for w in query.neighbors(u) if position[w] < pos
+        ]
+        if ordered_neighbors:
+            u_prec = min(ordered_neighbors, key=lambda w: position[w])
+            fv = tuple(
+                sorted(
+                    (w for w in ordered_neighbors if w != u_prec),
+                    key=lambda w: position[w],
+                )
+            )
+        else:
+            u_prec = None
+            fv = ()
+        prec.append(u_prec)
+        forward.append(fv)
+
+    # TC table: each constraint becomes checkable at the last-ordered
+    # vertex among the endpoints of its two edges.
+    check_at: list[list[Constraint]] = [[] for _ in range(n)]
+    for c in constraints:
+        endpoints: set[int] = set()
+        for edge_index in (c.earlier, c.later):
+            a, b = query.edge(edge_index)
+            endpoints.add(a)
+            endpoints.add(b)
+        last_pos = max(position[u] for u in endpoints)
+        check_at[last_pos].append(c)
+
+    return TCQ(
+        order=tuple(order),
+        position=tuple(position),
+        prec=tuple(prec),
+        forward=tuple(forward),
+        check_at=tuple(tuple(cs) for cs in check_at),
+        tsup=tuple(vertex_tsup(query, constraints)),
+    )
+
+
 def build_tcq(
     query: QueryGraph,
     constraints: TemporalConstraints,
     candidate_counts: Sequence[int] | None = None,
+    plan: str = "paper",
+    costs: PlanCosts | None = None,
 ) -> TCQ:
     """Construct the TCQ (Algorithm 1).
 
@@ -96,82 +204,29 @@ def build_tcq(
         Optional per-vertex initial candidate-set sizes (from NLF), used
         for tie-breaking as in the paper; omitted ties fall back to vertex
         id.
+    plan:
+        ``"paper"`` (default) keeps Algorithm 1's tsup-greedy order;
+        ``"cost"`` lets :mod:`repro.core.planner` pick the cheapest among
+        the paper order and its heuristic alternatives (the paper order
+        wins cost ties, so ``"cost"`` never changes a plan gratuitously).
+    costs:
+        Data-graph statistics for ``plan="cost"`` (see
+        :func:`repro.core.planner.plan_costs`); defaults used if omitted.
     """
     if constraints.num_edges != query.num_edges:
         raise QueryError(
             f"constraints built for {constraints.num_edges} edges but query "
             f"has {query.num_edges}"
         )
-    n = query.num_vertices
+    validate_plan(plan)
     tsup = vertex_tsup(query, constraints)
-
-    def tie_key(u: int) -> tuple[int, int]:
-        count = candidate_counts[u] if candidate_counts is not None else 0
-        return (count, u)
-
-    # Seed: highest tsup, then fewest candidates, then smallest id.
-    seed = min(range(n), key=lambda u: (-tsup[u],) + tie_key(u))
-
-    order: list[int] = [seed]
-    position: list[int] = [-1] * n
-    position[seed] = 0
-    prec: list[int | None] = [None]
-    forward: list[tuple[int, ...]] = [()]
-    in_order = [False] * n
-    in_order[seed] = True
-
-    while len(order) < n:
-        remaining = [u for u in range(n) if not in_order[u]]
-        # N_mu(u): already-ordered (undirected) neighbours of u.
-        back_neighbors = {
-            u: [w for w in query.neighbors(u) if in_order[w]] for u in remaining
-        }
-        # Selection rule: among the frontier (remaining vertices adjacent to
-        # TO), take the highest tsup; ties by fewest candidates, then id.
-        # Algorithm 1 line 8 as printed maximises |N_mu(u)| instead, but the
-        # paper's own worked example (Example 2: u5 chosen over u3) follows
-        # the tsup-first rule, which also matches TCQ+ (Alg. 3 line 18); we
-        # implement the example's rule.  See DESIGN.md reconstruction notes.
-        frontier = [u for u in remaining if back_neighbors[u]]
-        pool = frontier if frontier else remaining
-        chosen = min(pool, key=lambda u: (-tsup[u],) + tie_key(u))
-        ordered_neighbors = back_neighbors[chosen]
-        if ordered_neighbors:
-            chosen_prec = min(ordered_neighbors, key=lambda w: position[w])
-            fv = tuple(
-                sorted(
-                    (w for w in ordered_neighbors if w != chosen_prec),
-                    key=lambda w: position[w],
-                )
-            )
-        else:
-            # Disconnected query component: no prec, candidates will come
-            # from the initial candidate sets.
-            chosen_prec = None
-            fv = ()
-        position[chosen] = len(order)
-        order.append(chosen)
-        in_order[chosen] = True
-        prec.append(chosen_prec)
-        forward.append(fv)
-
-    # TC table: each constraint becomes checkable at the last-ordered
-    # vertex among the endpoints of its two edges.
-    check_at: list[list[Constraint]] = [[] for _ in range(n)]
-    for c in constraints:
-        endpoints: set[int] = set()
-        for edge_index in (c.earlier, c.later):
-            u, v = query.edge(edge_index)
-            endpoints.add(u)
-            endpoints.add(v)
-        last_pos = max(position[u] for u in endpoints)
-        check_at[last_pos].append(c)
-
-    return TCQ(
-        order=tuple(order),
-        position=tuple(position),
-        prec=tuple(prec),
-        forward=tuple(forward),
-        check_at=tuple(tuple(cs) for cs in check_at),
-        tsup=tuple(tsup),
-    )
+    order = _paper_vertex_order(query, tsup, candidate_counts)
+    if plan == "cost":
+        order = choose_vertex_order(
+            query,
+            constraints,
+            candidate_counts,
+            costs if costs is not None else PlanCosts(0, 0, 0, 0),
+            extra_orders=(order,),
+        )
+    return tcq_from_order(query, constraints, order)

@@ -27,9 +27,10 @@ from dataclasses import dataclass
 from ..errors import QueryError
 from ..graphs import Constraint, QueryGraph, TemporalConstraints
 
+from .planner import PlanCosts, choose_edge_order, validate_plan
 from .tcf import TCF, build_tcf
 
-__all__ = ["TCQPlus", "build_tcq_plus", "edge_tsup"]
+__all__ = ["TCQPlus", "build_tcq_plus", "edge_tsup", "tcq_plus_from_order"]
 
 
 @dataclass(frozen=True)
@@ -70,56 +71,25 @@ def edge_tsup(query: QueryGraph, constraints: TemporalConstraints) -> list[int]:
     return [constraints.degree(e) for e in range(query.num_edges)]
 
 
-def build_tcq_plus(
+def _paper_edge_order(
     query: QueryGraph,
-    constraints: TemporalConstraints,
-    candidate_counts: Sequence[int] | None = None,
-) -> TCQPlus:
-    """Construct the TCQ+ (Algorithm 3).
-
-    Parameters
-    ----------
-    query, constraints:
-        The matching problem.
-    candidate_counts:
-        Optional per-edge initial candidate-set sizes (from LDF) for
-        tie-breaking; omitted ties fall back to edge index.
-    """
-    if constraints.num_edges != query.num_edges:
-        raise QueryError(
-            f"constraints built for {constraints.num_edges} edges but query "
-            f"has {query.num_edges}"
-        )
-    if query.num_edges == 0:
-        raise QueryError("query graph has no edges; nothing to match")
-
+    tcf: TCF,
+    tsup: Sequence[int],
+    candidate_counts: Sequence[int] | None,
+) -> tuple[int, ...]:
+    """The TCF-walking matching order of Algorithm 3 (order only)."""
     m = query.num_edges
-    tcf = build_tcf(query, constraints)
-    tsup = edge_tsup(query, constraints)
 
     def tie_key(e: int) -> tuple[int, int]:
         count = candidate_counts[e] if candidate_counts is not None else 0
         return (count, e)
 
     seed = min(range(m), key=lambda e: (-tsup[e],) + tie_key(e))
-
     order: list[int] = [seed]
-    position = [-1] * m
-    position[seed] = 0
     in_order = [False] * m
     in_order[seed] = True
-    prec: list[int | None] = [None]
-    forward: list[tuple[int, ...]] = [()]
-    new_vertices: list[tuple[int, ...]] = [tuple(sorted(set(query.edge(seed))))]
-    covered: set[int] = set(query.edge(seed))
-    first_cover: dict[int, int] = {}
-    for w in query.edge(seed):
-        first_cover.setdefault(w, seed)
-
     # Unordered TCF-neighbours of ordered edges (the paper's delta counter).
-    frontier: set[int] = {
-        e for e in tcf.neighbors(seed) if not in_order[e]
-    }
+    frontier: set[int] = {e for e in tcf.neighbors(seed) if not in_order[e]}
 
     def shares_vertex(a: int, b: int) -> bool:
         return bool(query.edges_share_vertex(a, b))
@@ -127,14 +97,6 @@ def build_tcq_plus(
     while len(order) < m:
         if frontier:
             chosen = min(frontier, key=lambda e: (-tsup[e],) + tie_key(e))
-            # Forest parent: earliest-ordered TCF-neighbour (Fig. 6 shows
-            # PD[e4]=e7, the edge through which e4 joined the walk).
-            ordered_tcf_neighbors = [
-                e for e in tcf.neighbors(chosen) if in_order[e]
-            ]
-            chosen_prec: int | None = min(
-                ordered_tcf_neighbors, key=lambda e: position[e]
-            )
         else:
             adjacent = [
                 e
@@ -144,14 +106,70 @@ def build_tcq_plus(
             ]
             if adjacent:
                 chosen = min(adjacent, key=lambda e: (-tsup[e],) + tie_key(e))
-                chosen_prec = min(
-                    (o for o in order if shares_vertex(chosen, o)),
-                    key=lambda e: position[e],
-                )
             else:
                 # Disconnected edge component: restart from candidates.
                 remaining = [e for e in range(m) if not in_order[e]]
                 chosen = min(remaining, key=lambda e: (-tsup[e],) + tie_key(e))
+        order.append(chosen)
+        in_order[chosen] = True
+        frontier.discard(chosen)
+        frontier.update(e for e in tcf.neighbors(chosen) if not in_order[e])
+    return tuple(order)
+
+
+def tcq_plus_from_order(
+    query: QueryGraph,
+    constraints: TemporalConstraints,
+    order: Sequence[int],
+) -> TCQPlus:
+    """Build the PD/FE/TC tables for an arbitrary edge matching *order*.
+
+    Table rules are Algorithm 3's, restated position-wise so they apply
+    to any permutation: prec is the earliest-ordered TCF-neighbour when
+    one exists (the forest parent through which the walk would have
+    reached the edge — Fig. 6 shows PD[e4]=e7), otherwise the
+    earliest-ordered vertex-sharing edge, otherwise None (disconnected
+    component, candidates restart from the initial sets); FE records one
+    earliest covering edge per endpoint already covered but not pinned
+    through prec; TC places each constraint at the later of its two
+    edges.  On the paper's own walk order these rules coincide with what
+    the walk records — frontier picks always have an ordered
+    TCF-neighbour, adjacent picks never do (the frontier was empty) — so
+    ``plan="paper"`` output is unchanged.
+    """
+    m = query.num_edges
+    if sorted(order) != list(range(m)):
+        raise QueryError(
+            f"matching order must be a permutation of 0..{m - 1}, "
+            f"not {tuple(order)}"
+        )
+    tcf = build_tcf(query, constraints)
+    position = [-1] * m
+    for pos, e in enumerate(order):
+        position[e] = pos
+
+    prec: list[int | None] = []
+    forward: list[tuple[int, ...]] = []
+    new_vertices: list[tuple[int, ...]] = []
+    covered: set[int] = set()
+    first_cover: dict[int, int] = {}
+    for pos, chosen in enumerate(order):
+        ordered_tcf_neighbors = [
+            e for e in tcf.neighbors(chosen) if position[e] < pos
+        ]
+        if ordered_tcf_neighbors:
+            chosen_prec: int | None = min(
+                ordered_tcf_neighbors, key=lambda e: position[e]
+            )
+        else:
+            sharing = [
+                e
+                for e in range(m)
+                if position[e] < pos and query.edges_share_vertex(chosen, e)
+            ]
+            if sharing:
+                chosen_prec = min(sharing, key=lambda e: position[e])
+            else:
                 chosen_prec = None
 
         endpoints = query.edge(chosen)
@@ -163,22 +181,16 @@ def build_tcq_plus(
         for w in endpoints:
             if w in covered and w not in pinned:
                 fe.append(first_cover[w])
-        introduced = tuple(sorted(w for w in set(endpoints) if w not in covered))
+        introduced = tuple(
+            sorted(w for w in set(endpoints) if w not in covered)
+        )
 
-        pos = len(order)
-        position[chosen] = pos
-        order.append(chosen)
-        in_order[chosen] = True
         prec.append(chosen_prec)
         forward.append(tuple(fe))
         new_vertices.append(introduced)
         for w in endpoints:
             covered.add(w)
             first_cover.setdefault(w, chosen)
-        frontier.discard(chosen)
-        frontier.update(
-            e for e in tcf.neighbors(chosen) if not in_order[e]
-        )
 
     check_at: list[list[Constraint]] = [[] for _ in range(m)]
     for c in constraints:
@@ -191,7 +203,54 @@ def build_tcq_plus(
         prec=tuple(prec),
         forward=tuple(forward),
         check_at=tuple(tuple(cs) for cs in check_at),
-        tsup=tuple(tsup),
+        tsup=tuple(edge_tsup(query, constraints)),
         new_vertices=tuple(new_vertices),
         tcf=tcf,
     )
+
+
+def build_tcq_plus(
+    query: QueryGraph,
+    constraints: TemporalConstraints,
+    candidate_counts: Sequence[int] | None = None,
+    plan: str = "paper",
+    costs: PlanCosts | None = None,
+) -> TCQPlus:
+    """Construct the TCQ+ (Algorithm 3).
+
+    Parameters
+    ----------
+    query, constraints:
+        The matching problem.
+    candidate_counts:
+        Optional per-edge initial candidate-set sizes (from LDF) for
+        tie-breaking; omitted ties fall back to edge index.
+    plan:
+        ``"paper"`` (default) keeps Algorithm 3's TCF-walking order;
+        ``"cost"`` lets :mod:`repro.core.planner` pick the cheapest among
+        the paper order and its heuristic alternatives (the paper order
+        wins cost ties).
+    costs:
+        Data-graph statistics for ``plan="cost"`` (see
+        :func:`repro.core.planner.plan_costs`); defaults used if omitted.
+    """
+    if constraints.num_edges != query.num_edges:
+        raise QueryError(
+            f"constraints built for {constraints.num_edges} edges but query "
+            f"has {query.num_edges}"
+        )
+    if query.num_edges == 0:
+        raise QueryError("query graph has no edges; nothing to match")
+    validate_plan(plan)
+    tcf = build_tcf(query, constraints)
+    tsup = edge_tsup(query, constraints)
+    order = _paper_edge_order(query, tcf, tsup, candidate_counts)
+    if plan == "cost":
+        order = choose_edge_order(
+            query,
+            constraints,
+            candidate_counts,
+            costs if costs is not None else PlanCosts(0, 0, 0, 0),
+            extra_orders=(order,),
+        )
+    return tcq_plus_from_order(query, constraints, order)

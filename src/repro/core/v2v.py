@@ -29,9 +29,15 @@ from .filters import initial_vertex_candidates
 from .match import Match
 from .options import RunContext, resolve_run_context
 from .partition import partition_slice
+from .planner import plan_costs, validate_plan
 from .stats import SearchStats
 from .tcq import TCQ, build_tcq
 from .timestamps import iter_timestamp_assignments, windows_compatible
+from .windows import (
+    constraint_slices,
+    propagate_run_windows,
+    windowed_times,
+)
 
 __all__ = ["V2VMatcher"]
 
@@ -53,6 +59,17 @@ class V2VMatcher:
         strictly stronger (ablation knob, see DESIGN.md decision 3).
     use_windows:
         Forwarded to the joint timestamp solver (STN window pruning).
+    use_window_kernel:
+        When True (default), the existential temporal checks and the leaf
+        timestamp enumeration read only the STN-feasible slice of each
+        pair's sorted timestamp run (see :mod:`repro.core.windows`);
+        skipped timestamps are counted in ``stats.timestamps_skipped``.
+        False restores the expand-then-filter behaviour (ablation knob;
+        match multisets are pinned identical either way).
+    plan:
+        ``"paper"`` (default) uses Algorithm 1's tsup-greedy matching
+        order; ``"cost"`` asks :mod:`repro.core.planner` to choose the
+        cheapest order under the data graph's statistics.
     compile_graph:
         When True (default), ``prepare`` freezes the data graph into a
         CSR :class:`~repro.graphs.GraphSnapshot` and the hot loops run
@@ -73,6 +90,8 @@ class V2VMatcher:
         count_based_nlf: bool = True,
         intersect_candidates: bool = True,
         use_windows: bool = True,
+        use_window_kernel: bool = True,
+        plan: str = "paper",
         compile_graph: bool = True,
     ) -> None:
         if constraints.num_edges != query.num_edges:
@@ -90,6 +109,11 @@ class V2VMatcher:
         self.count_based_nlf = count_based_nlf
         self.intersect_candidates = intersect_candidates
         self.use_windows = use_windows
+        self.use_window_kernel = use_window_kernel
+        self.plan = validate_plan(plan)
+        #: STN distance matrix for the window kernel (set by ``prepare``
+        #: when ``use_window_kernel`` is on; None disables the kernel).
+        self._dist: list[list[float]] | None = None
         self.candidates: list[frozenset[int]] | None = None
         self.tcq: TCQ | None = None
         #: Filter counters accumulated during ``prepare`` (the engine
@@ -122,7 +146,11 @@ class V2VMatcher:
             self.query,
             self.constraints,
             candidate_counts=[len(c) for c in self.candidates],
+            plan=self.plan,
+            costs=plan_costs(self._view) if self.plan == "cost" else None,
         )
+        if self.use_window_kernel:
+            self._dist = self.constraints.distance_matrix()
         # Per position: the directed query edges linking the vertex to its
         # prec, and the forward-vertex structural checks.
         query = self.query
@@ -149,22 +177,19 @@ class V2VMatcher:
         self._prepared = True
 
     def _edge_times(
-        self,
-        edge_index: int,
-        du: int,
-        dv: int,
-        stats: SearchStats | None = None,
+        self, edge_index: int, du: int, dv: int
     ) -> Sequence[int]:
         """Timestamps of data pair ``(du, dv)`` admissible for a query edge
-        (honours the edge-label generalisation)."""
+        (honours the edge-label generalisation).
+
+        Returns the full sorted run without touching counters; callers
+        account expansion via :mod:`repro.core.windows` (kernel on) or
+        directly (kernel off).
+        """
         required = self._required_edge_labels[edge_index]
         if required is None:
-            times = self._view.timestamps_list(du, dv)
-        else:
-            times = self._view.timestamps_with_label(du, dv, required)
-        if stats is not None:
-            stats.timestamps_expanded += len(times)
-        return times
+            return self._view.timestamps_list(du, dv)
+        return self._view.timestamps_with_label(du, dv, required)
 
     # ------------------------------------------------------------------
     # matching (Algorithm 2 lines 5-27)
@@ -222,17 +247,28 @@ class V2VMatcher:
         structure_counters = search_stats.filter("structure")
         temporal_counters = search_stats.filter("temporal")
 
+        use_kernel = self._dist is not None
+
         def temporal_ok(pos: int) -> bool:
-            """Existential window check for constraints closing at *pos*."""
+            """Existential window check for constraints closing at *pos*.
+
+            With the window kernel on, each run is first bisected to the
+            slice the *other* run's endpoints allow — the pair check then
+            touches only mutually feasible timestamps.
+            """
             for c in tcq.check_at[pos]:
                 eu, ev = self._edge_endpoints[c.earlier]
                 lu, lv = self._edge_endpoints[c.later]
-                earlier_times = self._edge_times(
-                    c.earlier, bound[eu], bound[ev], search_stats
-                )
-                later_times = self._edge_times(
-                    c.later, bound[lu], bound[lv], search_stats
-                )
+                earlier_times = self._edge_times(c.earlier, bound[eu], bound[ev])
+                later_times = self._edge_times(c.later, bound[lu], bound[lv])
+                if use_kernel:
+                    earlier_times, later_times = constraint_slices(
+                        earlier_times, later_times, c.gap, search_stats
+                    )
+                else:
+                    search_stats.timestamps_expanded += len(
+                        earlier_times
+                    ) + len(later_times)
                 if not windows_compatible(earlier_times, later_times, c.gap):
                     return False
             return True
@@ -342,21 +378,45 @@ class V2VMatcher:
         stats: SearchStats,
         pos: int,
     ) -> Iterator[Match]:
-        """Joint timestamp enumeration for a complete vertex embedding."""
+        """Joint timestamp enumeration for a complete vertex embedding.
+
+        With the window kernel on, one interval-propagation pass over the
+        run endpoints (:func:`propagate_run_windows`) shrinks every run
+        to its STN-feasible slice before the joint solver expands
+        anything — or proves no assignment exists without expanding at
+        all.
+        """
         complete = cast("list[int]", vertex_map)  # all positions bound here
-        options = [
-            self._edge_times(index, complete[u], complete[v], stats)
+        runs = [
+            self._edge_times(index, complete[u], complete[v])
             for index, (u, v) in enumerate(self._edge_endpoints)
         ]
+        options: list[Sequence[int]] | None
+        if self._dist is not None:
+            windows = propagate_run_windows(runs, self._dist)
+            if windows is None:
+                for run in runs:
+                    stats.timestamps_skipped += len(run)
+                options = None
+            else:
+                options = [
+                    windowed_times(run, window, stats)
+                    for run, window in zip(runs, windows)
+                ]
+        else:
+            for run in runs:
+                stats.timestamps_expanded += len(run)
+            options = runs
         join_counters = stats.filter("timestamp-join")
         join_counters.considered += 1
         any_assignment = False
         final_map = tuple(complete)
-        for times in iter_timestamp_assignments(
-            options, self.constraints, use_windows=self.use_windows
-        ):
-            any_assignment = True
-            yield Match.from_vertex_map(self.query, final_map, times)
+        if options is not None:
+            for times in iter_timestamp_assignments(
+                options, self.constraints, use_windows=self.use_windows
+            ):
+                any_assignment = True
+                yield Match.from_vertex_map(self.query, final_map, times)
         if not any_assignment:
             join_counters.pruned += 1
             stats.record_fail(pos)

@@ -65,12 +65,21 @@ def print_report(measurements: list[Measurement]) -> None:
             m.failed_enumerations,
             "-" if m.first_fail_layer is None else m.first_fail_layer,
             m.matches,
+            m.timestamps_expanded,
+            m.timestamps_skipped,
         ]
         for m in measurements
     ]
     print(
         render_table(
-            ["Methods", "failed enumerations", "first-fail layer", "matches"],
+            [
+                "Methods",
+                "failed enumerations",
+                "first-fail layer",
+                "matches",
+                "ts expanded",
+                "ts skipped",
+            ],
             rows,
             title="Fig. 21: failed enumeration statistics",
         )

@@ -26,6 +26,8 @@ class Measurement:
     build_seconds: float = 0.0
     match_seconds: float = 0.0
     matches: int = 0
+    timestamps_expanded: int = 0
+    timestamps_skipped: int = 0
     memory_mb: float = 0.0
     failed_enumerations: int = 0
     first_fail_layer: int | None = None

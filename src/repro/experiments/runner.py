@@ -110,6 +110,8 @@ def measure(
         build_seconds=best.build_seconds,
         match_seconds=best.match_seconds,
         matches=first.stats.matches,
+        timestamps_expanded=first.stats.timestamps_expanded,
+        timestamps_skipped=first.stats.timestamps_skipped,
         memory_mb=memory_mb,
         failed_enumerations=first.stats.failed_enumerations,
         first_fail_layer=first.stats.first_fail_layer,

@@ -351,9 +351,13 @@ class GraphSnapshot:
         return self._label_times.get((u, v, label), ())
 
     def timestamps_in_window(
-        self, u: int, v: int, lo: Timestamp, hi: Timestamp
+        self, u: int, v: int, lo: float, hi: float
     ) -> tuple[Timestamp, ...]:
-        """Timestamps ``t`` of ``u -> v`` edges with ``lo <= t <= hi``."""
+        """Timestamps ``t`` of ``u -> v`` edges with ``lo <= t <= hi``.
+
+        Two bisects into the pair's sorted run; bounds may be floats
+        (including ``±inf``) so STN-closure windows plug in directly.
+        """
         self._check_vertex(u)
         self._check_vertex(v)
         k = self._out_slot(u, v)
@@ -365,6 +369,24 @@ class GraphSnapshot:
         left = bisect.bisect_left(times, lo, start, stop)
         right = bisect.bisect_right(times, hi, start, stop)
         return tuple(self._out_times_mv[left:right])
+
+    def timestamps_with_label_in_window(
+        self, u: int, v: int, label: Hashable, lo: float, hi: float
+    ) -> Sequence[Timestamp]:
+        """Timestamps of ``u -> v`` edges with *label* and ``lo <= t <= hi``.
+
+        One probe into the per-label edge index, then two bisects into
+        that (sorted) run — the labeled twin of
+        :meth:`timestamps_in_window`.
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        times = self._label_times.get((u, v, label), ())
+        if not times:
+            return ()
+        left = bisect.bisect_left(times, lo)
+        right = bisect.bisect_right(times, hi)
+        return times[left:right]
 
     def edge_label(self, u: int, v: int, t: Timestamp) -> Hashable | None:
         """Label of temporal edge ``(u, v, t)``, or None if unlabeled."""

@@ -242,9 +242,13 @@ class TemporalGraph:
         ]
 
     def timestamps_in_window(
-        self, u: int, v: int, lo: Timestamp, hi: Timestamp
+        self, u: int, v: int, lo: float, hi: float
     ) -> tuple[Timestamp, ...]:
-        """Timestamps ``t`` of ``u -> v`` edges with ``lo <= t <= hi``."""
+        """Timestamps ``t`` of ``u -> v`` edges with ``lo <= t <= hi``.
+
+        Bounds may be floats (including ``±inf``) so STN-closure windows
+        plug in directly.
+        """
         self._check_vertex(u)
         self._check_vertex(v)
         times = self._out[u].get(v)
@@ -253,6 +257,22 @@ class TemporalGraph:
         left = bisect.bisect_left(times, lo)
         right = bisect.bisect_right(times, hi)
         return tuple(times[left:right])
+
+    def timestamps_with_label_in_window(
+        self, u: int, v: int, label: Hashable, lo: float, hi: float
+    ) -> Sequence[Timestamp]:
+        """Timestamps of ``u -> v`` edges with *label* and ``lo <= t <= hi``.
+
+        The labeled run inherits the pair run's sort order, so the window
+        is read out with two bisects — the dict-backend twin of the
+        snapshot accessor of the same name.
+        """
+        times = self.timestamps_with_label(u, v, label)
+        if not times:
+            return []
+        left = bisect.bisect_left(times, lo)
+        right = bisect.bisect_right(times, hi)
+        return times[left:right]
 
     def out_items(self, u: int) -> ItemsView[int, list[Timestamp]]:
         """Iterate ``(v, sorted timestamps)`` over out-neighbours of ``u``.

@@ -208,6 +208,7 @@ class TCSMService:
         collect_matches: bool = True,
         use_result_cache: bool = True,
         options: dict[str, Any] | None = None,
+        plan: str | None = None,
         trace: bool = False,
     ) -> ServiceResult:
         """Execute one query end to end through the serving stack.
@@ -216,6 +217,10 @@ class TCSMService:
         ``None`` explicitly for an unbounded run.  On deadline expiry the
         partial prefix comes back tagged ``timed_out`` (and is excluded
         from the result cache); a match ``limit`` tags ``truncated``.
+
+        ``plan`` selects the matching-order planner (``"paper"`` or
+        ``"cost"``); it is folded into the matcher options, so plan and
+        result caches key distinct plans separately.
 
         ``trace=True`` forces tracing for this query; otherwise the
         configured sample rate decides.  Traced queries bypass the result
@@ -229,7 +234,9 @@ class TCSMService:
             if time_budget is _UNSET_BUDGET
             else time_budget
         )
-        options = options or {}
+        options = dict(options) if options else {}
+        if plan is not None:
+            options["plan"] = plan
         self._admit()
         try:
             handle = self.graphs.get(graph_name)
@@ -416,6 +423,12 @@ class TCSMService:
             "total_seconds",
             result.build_seconds + result.queue_seconds + result.match_seconds,
         )
+        self.metrics.inc(
+            "timestamps_expanded", result.stats.timestamps_expanded
+        )
+        self.metrics.inc(
+            "timestamps_skipped", result.stats.timestamps_skipped
+        )
         for name, bucket in result.stats.filters.items():
             self.metrics.inc(f"filter_considered.{name}", bucket.considered)
             self.metrics.inc(f"filter_pruned.{name}", bucket.pruned)
@@ -525,6 +538,9 @@ class TCSMService:
         workers = request.get("workers")
         if workers is not None:
             workers = int(workers)
+        plan = request.get("plan")
+        if plan is not None:
+            plan = str(plan)
         result = self.query(
             str(request["graph"]),
             query,
@@ -534,6 +550,7 @@ class TCSMService:
             time_budget=budget,
             workers=workers,
             collect_matches=not count_only,
+            plan=plan,
             trace=bool(request.get("trace", False)),
         )
         return result.to_dict(include_matches=not count_only)

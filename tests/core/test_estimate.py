@@ -58,6 +58,49 @@ class TestEstimator:
         with pytest.raises(ValueError, match="probes"):
             estimate_match_count(query, tc, graph, probes=0)
 
+    def test_pinned_seeded_values(self):
+        # The window refactor (direct bisected windows replacing the old
+        # per-candidate gap checks) must leave every layer's valid list —
+        # order included — unchanged, which keeps the rng.choice stream
+        # and therefore the seeded estimates *identical*.  These values
+        # were captured from the pre-kernel implementation.
+        query, tc, graph, _, _ = toy_instance()
+        assert estimate_match_count(
+            query, tc, graph, probes=50, seed=9
+        ) == pytest.approx(1.98, rel=1e-12)
+        assert estimate_match_count(
+            query, tc, graph, probes=400, seed=3
+        ) == pytest.approx(1.9725, rel=1e-12)
+
+    PINNED = {
+        1: 3.875,
+        2: 4.491666666666666,
+        3: 2.1,
+        4: 0.9,
+        7: 1.05,
+        8: 6.65,
+        9: 0.9166666666666666,
+        10: 5.733333333333333,
+        16: 1.1083333333333334,
+        17: 2.05,
+        20: 3.5,
+        23: 9.066666666666666,
+        26: 7.425,
+        28: 0.8666666666666667,
+        29: 2.1333333333333333,
+    }
+
+    @pytest.mark.parametrize("seed", sorted(PINNED))
+    def test_pinned_values_on_random_instances(self, seed):
+        query, tc, graph = random_instance(
+            seed=seed, query_vertices=3, query_edges=3,
+            num_constraints=1, max_gap=8, data_vertices=10, data_edges=60,
+        )
+        estimate = estimate_match_count(
+            query, tc, graph, probes=120, seed=seed
+        )
+        assert estimate == pytest.approx(self.PINNED[seed], rel=1e-12)
+
     def test_unbiasedness_average_over_seeds(self):
         # The mean of many independent estimates should approach the
         # exact count much more tightly than any single estimate.

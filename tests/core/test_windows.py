@@ -1,0 +1,209 @@
+"""Unit tests for the window-propagation kernel (repro.core.windows).
+
+The kernel's contract is *soundness*: a closure-derived window may never
+exclude a timestamp that participates in some satisfying assignment.
+These tests pin the plan construction (closure vs direct), the interval
+intersection edge cases (empty bounds, one-sided bounds, ``k = 0``,
+collapse after STN closure), the expanded/skipped counter arithmetic,
+and the preservation properties of the two slicing helpers against the
+exhaustive checkers in :mod:`repro.core.timestamps`.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core import (
+    NO_WINDOW,
+    SearchStats,
+    build_edge_window_plan,
+    constraint_slices,
+    count_timestamp_assignments,
+    feasible_window,
+    propagate_run_windows,
+    window_slice,
+    windowed_times,
+    windows_compatible,
+)
+from repro.graphs import TemporalConstraints
+
+#: A 3-edge chain: t0 <= t1 <= t0+4 and t1 <= t2 <= t1+6.
+CHAIN = TemporalConstraints([(0, 1, 4), (1, 2, 6)], num_edges=3)
+
+
+class TestBuildPlan:
+    def test_direct_plan_only_covers_raw_constraints(self):
+        plan = build_edge_window_plan((0, 1, 2), CHAIN, closure=False)
+        assert plan[0] == ()
+        # Position 1 binds edge 1; edge 1 is the later side of (0,1,4).
+        assert plan[1] == ((0, 4.0, 0.0),)
+        assert plan[2] == ((1, 6.0, 0.0),)
+
+    def test_direct_plan_attributes_check_to_second_bound_side(self):
+        # Reversed order: edge 0 (the earlier side) now binds second, so
+        # the bound flips to t0 in [t1 - 4, t1].
+        plan = build_edge_window_plan((1, 0, 2), CHAIN, closure=False)
+        assert plan[0] == ()
+        assert plan[1] == ((1, 0.0, 4.0),)
+        assert plan[2] == ((1, 6.0, 0.0),)
+
+    def test_closure_plan_adds_transitive_bounds(self):
+        plan = build_edge_window_plan((0, 1, 2), CHAIN, closure=True)
+        # Edge 2 is bounded by edge 1 directly *and* by edge 0 through
+        # the closure: t2 - t0 in [0, 10].
+        entries = {other: (hi, lo) for other, hi, lo in plan[2]}
+        assert entries[1] == (6.0, 0.0)
+        assert entries[0] == (10.0, 0.0)
+
+    def test_closure_plan_bounds_both_directions(self):
+        # Binding edge 1 before edge 0 bounds t0 from above via t1.
+        plan = build_edge_window_plan((1, 0, 2), CHAIN, closure=True)
+        entries = {other: (hi, lo) for other, hi, lo in plan[1]}
+        assert entries[1] == (0.0, 4.0)
+
+    def test_unconstrained_edges_get_empty_bounds(self):
+        tc = TemporalConstraints([], num_edges=2)
+        assert build_edge_window_plan((0, 1), tc) == ((), ())
+
+
+class TestFeasibleWindow:
+    def test_empty_bounds_is_no_window(self):
+        assert feasible_window((), [None, None]) == NO_WINDOW
+
+    def test_single_two_sided_bound(self):
+        window = feasible_window(((0, 4.0, 0.0),), [10, None])
+        assert window == (10.0, 14.0)
+
+    def test_one_sided_bound_keeps_other_side_infinite(self):
+        lo, hi = feasible_window(((0, math.inf, 3.0),), [10, None])
+        assert lo == 7.0 and hi == math.inf
+
+    def test_zero_gap_collapses_to_a_point(self):
+        window = feasible_window(((0, 0.0, 0.0),), [10])
+        assert window == (10.0, 10.0)
+
+    def test_intersection_of_two_bounds(self):
+        bounds = ((0, 4.0, 0.0), (1, 0.0, 6.0))
+        window = feasible_window(bounds, [10, 12])
+        assert window == (10.0, 12.0)
+
+    def test_contradictory_bounds_collapse_to_none(self):
+        # t in [t0, t0+4] and t in [t1-0, t1] with t0=0, t1=50.
+        bounds = ((0, 4.0, 0.0), (1, 0.0, 0.0))
+        assert feasible_window(bounds, [0, 50]) is None
+
+    def test_closure_collapse_on_concrete_times(self):
+        # Chain closure: t2 in [t0, t0+10]; times 0 then 11 are dead even
+        # though each raw constraint alone would still admit a window.
+        plan = build_edge_window_plan((0, 2, 1), CHAIN, closure=True)
+        assert feasible_window(plan[1], [0, None, None]) is not None
+        edge_times = [0, None, 11]
+        assert feasible_window(plan[2], edge_times) is None
+
+
+class TestWindowSlice:
+    def test_unbounded_window_returns_the_same_object(self):
+        times = [1, 5, 9]
+        assert window_slice(times, -math.inf, math.inf) is times
+
+    def test_bisected_slice_is_inclusive(self):
+        times = [1, 3, 5, 7, 9]
+        assert list(window_slice(times, 3, 7)) == [3, 5, 7]
+
+    def test_float_bounds_against_int_runs(self):
+        times = [1, 3, 5, 7, 9]
+        assert list(window_slice(times, 2.5, 7.5)) == [3, 5, 7]
+
+    def test_empty_result_window(self):
+        assert list(window_slice([1, 9], 2, 8)) == []
+
+    def test_works_on_memoryview_runs(self):
+        import array
+
+        run = memoryview(array.array("q", [1, 3, 5, 7]))
+        assert list(window_slice(run, 3, 5)) == [3, 5]
+
+
+class TestWindowedTimes:
+    def test_counters_split_expanded_vs_skipped(self):
+        stats = SearchStats()
+        kept = windowed_times([1, 3, 5, 7, 9], (3.0, 7.0), stats)
+        assert list(kept) == [3, 5, 7]
+        assert stats.timestamps_expanded == 3
+        assert stats.timestamps_skipped == 2
+
+    def test_no_window_degrades_to_expand_everything(self):
+        stats = SearchStats()
+        kept = windowed_times([1, 3, 5], NO_WINDOW, stats)
+        assert list(kept) == [1, 3, 5]
+        assert stats.timestamps_expanded == 3
+        assert stats.timestamps_skipped == 0
+
+    def test_stats_optional(self):
+        assert list(windowed_times([1, 3], (0.0, 2.0))) == [1]
+
+
+class TestConstraintSlices:
+    def test_empty_run_skips_everything(self):
+        stats = SearchStats()
+        e, l = constraint_slices([], [1, 2, 3], 5, stats)
+        assert (list(e), list(l)) == ([], [])
+        assert stats.timestamps_expanded == 0
+        assert stats.timestamps_skipped == 3
+
+    def test_counters_cover_both_runs(self):
+        stats = SearchStats()
+        e, l = constraint_slices([0, 10, 20], [12, 40], 3, stats)
+        assert stats.timestamps_expanded == len(e) + len(l)
+        assert stats.timestamps_skipped == 5 - stats.timestamps_expanded
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_preserves_windows_compatible(self, seed):
+        rng = random.Random(seed)
+        earlier = sorted(rng.sample(range(50), rng.randint(0, 10)))
+        later = sorted(rng.sample(range(50), rng.randint(0, 10)))
+        gap = rng.randint(0, 12)
+        e, l = constraint_slices(earlier, later, gap)
+        assert windows_compatible(e, l, gap) == windows_compatible(
+            earlier, later, gap
+        )
+
+    def test_zero_gap(self):
+        e, l = constraint_slices([1, 5, 9], [5, 20], 0)
+        assert windows_compatible(e, l, 0)
+        assert 5 in list(e) and 5 in list(l)
+
+
+class TestPropagateRunWindows:
+    DIST = CHAIN.distance_matrix()
+
+    def test_empty_run_is_dead(self):
+        assert propagate_run_windows([[1], [], [2]], self.DIST) is None
+
+    def test_collapse_is_dead(self):
+        # t1 must lie in [t0, t0+4]: runs {0} and {50} cannot meet.
+        assert propagate_run_windows([[0], [50], [60]], self.DIST) is None
+
+    def test_unconstrained_edges_get_no_window(self):
+        dist = TemporalConstraints([], num_edges=2).distance_matrix()
+        windows = propagate_run_windows([[1, 2], [9]], dist)
+        assert windows == [NO_WINDOW, NO_WINDOW]
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_slicing_preserves_assignment_count(self, seed):
+        rng = random.Random(seed)
+        runs = [
+            sorted(rng.sample(range(25), rng.randint(1, 6)))
+            for _ in range(3)
+        ]
+        exact = count_timestamp_assignments(runs, CHAIN)
+        windows = propagate_run_windows(runs, self.DIST)
+        if windows is None:
+            assert exact == 0
+            return
+        sliced = [
+            list(window_slice(run, lo, hi))
+            for run, (lo, hi) in zip(runs, windows)
+        ]
+        assert count_timestamp_assignments(sliced, CHAIN) == exact

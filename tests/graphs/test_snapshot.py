@@ -75,6 +75,33 @@ class TestAccessorEquivalence:
                     assert tuple(
                         snap.timestamps_with_label(u, v, lab)
                     ) == tuple(graph.timestamps_with_label(u, v, lab))
+                    for lo, hi in ((2, 5), (4.5, 9.5), (float("-inf"), 4)):
+                        assert tuple(
+                            snap.timestamps_with_label_in_window(
+                                u, v, lab, lo, hi
+                            )
+                        ) == tuple(
+                            graph.timestamps_with_label_in_window(
+                                u, v, lab, lo, hi
+                            )
+                        )
+
+    def test_in_window_accessors_bisect_correctly(self, graph, snap):
+        # Pair (0, 1) has times (3, 5, 9) with labels cash/wire/None.
+        for view in (graph, snap):
+            assert tuple(view.timestamps_in_window(0, 1, 2.5, 5.5)) == (3, 5)
+            assert tuple(
+                view.timestamps_with_label_in_window(0, 1, "wire", 0, 100)
+            ) == (5,)
+            assert tuple(
+                view.timestamps_with_label_in_window(0, 1, "wire", 6, 100)
+            ) == ()
+            assert tuple(
+                view.timestamps_with_label_in_window(0, 1, "missing", 0, 100)
+            ) == ()
+            assert tuple(
+                view.timestamps_with_label_in_window(2, 2, "wire", 0, 100)
+            ) == ()
 
     def test_edge_labels(self, graph, snap):
         for edge in graph.edges():

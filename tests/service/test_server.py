@@ -148,6 +148,64 @@ class TestAdmissionControl:
         assert service.inflight == 0
 
 
+class TestPlanKnob:
+    def test_cost_plan_returns_the_same_matches(self, service, workload):
+        query, constraints = workload
+        paper = service.query("cm", query, constraints)
+        cost = service.query("cm", query, constraints, plan="cost")
+        assert sorted(cost.matches) == sorted(paper.matches)
+        assert cost.match_count == paper.match_count
+
+    def test_plans_cache_separately(self, service, workload):
+        query, constraints = workload
+        service.query("cm", query, constraints, use_result_cache=False)
+        cold_cost = service.query(
+            "cm", query, constraints, plan="cost", use_result_cache=False
+        )
+        warm_cost = service.query(
+            "cm", query, constraints, plan="cost", use_result_cache=False
+        )
+        # The cost plan is keyed apart from the paper plan it rode after,
+        # and hits its own entry on repeat.
+        assert cold_cost.plan_cache == "miss"
+        assert warm_cost.plan_cache == "hit"
+        assert len(service.plans) == 2
+
+    def test_unknown_plan_is_an_error_response(self, service, workload):
+        query, constraints = workload
+        response = service.submit(
+            {
+                "op": "query",
+                "graph": "cm",
+                "pattern": pattern_to_dict(query, constraints),
+                "plan": "bogus",
+            }
+        )
+        assert response["status"] == "error"
+        assert "unknown plan" in response["error"]
+
+    def test_plan_request_key_round_trips(self, service, workload):
+        query, constraints = workload
+        response = service.submit(
+            {
+                "op": "query",
+                "graph": "cm",
+                "pattern": pattern_to_dict(query, constraints),
+                "plan": "cost",
+                "count_only": True,
+            }
+        )
+        assert response["status"] == "ok"
+        assert response["match_count"] >= 0
+
+    def test_timestamp_counters_metered(self, service, workload):
+        query, constraints = workload
+        service.query("cm", query, constraints)
+        counters = service.metrics_snapshot()["counters"]
+        assert "timestamps_expanded" in counters
+        assert "timestamps_skipped" in counters
+
+
 class TestMetricsSnapshot:
     def test_snapshot_shape(self, service, workload):
         query, constraints = workload

@@ -793,6 +793,86 @@ class TestR011:
 
 
 # ----------------------------------------------------------------------
+# R012 timestamp-expand-then-filter
+# ----------------------------------------------------------------------
+class TestR012:
+    def test_gap_filter_over_full_run_flagged(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def expand(graph, c, u, v, base):
+                out = []
+                for t in graph.timestamps(u, v):
+                    if 0 <= t - base <= c.gap:
+                        out.append(t)
+                return out
+            """,
+            select=["R012"],
+        )
+        assert rule_ids(findings) == ["R012"]
+        assert "timestamps" in findings[0].message
+
+    def test_is_satisfied_filter_flagged(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def expand(graph, constraint, u, v, other):
+                kept = []
+                for t in graph.timestamps_with_label(u, v, 3):
+                    if constraint.is_satisfied(other, t):
+                        kept.append(t)
+                return kept
+            """,
+            select=["R012"],
+        )
+        assert rule_ids(findings) == ["R012"]
+
+    def test_windowed_accessor_passes(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def expand(graph, c, u, v, lo, hi, base):
+                out = []
+                for t in graph.timestamps_in_window(u, v, lo, hi):
+                    if 0 <= t - base <= c.gap:
+                        out.append(t)
+                return out
+            """,
+            select=["R012"],
+        )
+        assert findings == []
+
+    def test_unfiltered_full_scan_passes(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def total(graph, u, v):
+                count = 0
+                for t in graph.timestamps(u, v):
+                    count += t
+                return count
+            """,
+            select=["R012"],
+        )
+        assert findings == []
+
+    def test_pragma_disables(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def oracle(graph, c, u, v, base):
+                kept = []
+                for t in graph.timestamps(u, v):  # reprolint: disable=R012
+                    if 0 <= t - base <= c.gap:
+                        kept.append(t)
+                return kept
+            """,
+            select=["R012"],
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
 # framework: pragmas, selection, output, exit codes, live tree
 # ----------------------------------------------------------------------
 class TestPragmas:

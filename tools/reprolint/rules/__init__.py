@@ -12,6 +12,7 @@ from . import (  # noqa: F401  (imports register the rules)
     registry_complete,
     service_budget,
     span_discipline,
+    window_kernel,
 )
 
 __all__ = [
@@ -26,4 +27,5 @@ __all__ = [
     "registry_complete",
     "service_budget",
     "span_discipline",
+    "window_kernel",
 ]

@@ -1,0 +1,110 @@
+"""R012: no expand-then-filter loops over full timestamp runs.
+
+Per-pair timestamp runs are stored sorted; the window kernel
+(``repro.core.windows``) turns every temporal-constraint check into a
+bisected slice read, so hot paths should never iterate a *full* run and
+discard elements with a per-element gap test.  A ``for t in
+g.timestamps(u, v)`` whose body compares the loop variable against a
+constraint gap (or calls ``is_satisfied``) re-introduces exactly the
+O(run-length) expand-then-filter pattern the kernel removed — use
+``timestamps_in_window`` / ``windowed_times`` instead.
+
+Deliberate full-run scans (oracles, the dict-backend fallbacks) opt out
+with ``# reprolint: disable=R012``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from ..context import FileContext
+from ..findings import Finding
+from ..registry import Rule, register_rule
+
+__all__ = ["TimestampExpandThenFilterRule"]
+
+#: Accessors returning a *full* per-pair timestamp run.
+_RUN_ACCESSORS = frozenset(
+    {"timestamps", "timestamps_list", "timestamps_with_label"}
+)
+
+
+def _loop_target_names(target: ast.expr) -> set[str]:
+    return {
+        node.id
+        for node in ast.walk(target)
+        if isinstance(node, ast.Name)
+    }
+
+
+def _mentions_name(node: ast.expr, names: set[str]) -> bool:
+    return any(
+        isinstance(sub, ast.Name) and sub.id in names
+        for sub in ast.walk(node)
+    )
+
+
+def _is_gap_expr(node: ast.expr) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr == "gap":
+            return True
+        if isinstance(sub, ast.Name) and "gap" in sub.id.lower():
+            return True
+    return False
+
+
+def _filters_on_gap(body: list[ast.stmt], names: set[str]) -> bool:
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                touches_target = any(
+                    _mentions_name(op, names) for op in operands
+                )
+                if touches_target and any(map(_is_gap_expr, operands)):
+                    return True
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "is_satisfied"
+            ):
+                return True
+    return False
+
+
+@register_rule
+class TimestampExpandThenFilterRule(Rule):
+    id = "R012"
+    name = "timestamp-expand-then-filter"
+    description = (
+        "No loops over full timestamp runs that filter per element on a "
+        "constraint gap; read the feasible window via the bisect "
+        "accessors (timestamps_in_window / windowed_times) instead."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            call = node.iter
+            if not (
+                isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and call.func.attr in _RUN_ACCESSORS
+            ):
+                continue
+            if ctx.pragmas.is_disabled(self.id, node.lineno):
+                continue
+            names = _loop_target_names(node.target)
+            if not names:
+                continue
+            if _filters_on_gap(node.body, names):
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"loop over full run .{call.func.attr}(...) filters "
+                    "per timestamp on a constraint gap; bisect the "
+                    "feasible window instead (core.windows)",
+                )

@@ -30,8 +30,14 @@ from dataclasses import dataclass, field
 from typing import Any, Protocol, cast
 
 from ..errors import AlgorithmError, UnknownAlgorithmError
-from ..graphs import GraphView, QueryGraph, TemporalConstraints
-from ..obs import NULL_TRACER, TraceSink, Tracer
+from ..graphs import (
+    GraphSnapshot,
+    GraphView,
+    QueryGraph,
+    TemporalConstraints,
+    snapshot_write_barrier,
+)
+from ..obs import NULL_TRACER, TraceSink, Tracer, sanitize_enabled
 
 from .bruteforce import BruteForceMatcher
 from .e2e import E2EMatcher
@@ -127,7 +133,7 @@ def supports_partition(matcher: Matcher) -> bool:
     return "partition" in parameters
 
 
-_CTX_SUPPORT: dict[type, bool] = {}
+_CTX_SUPPORT: dict[type, bool] = {}  # reprolint: disable=R016 -- idempotent memo; a racy double-probe writes the same value
 
 
 def _run_accepts_context(matcher: Matcher) -> bool:
@@ -188,7 +194,7 @@ def prepare_matcher(matcher: Matcher, tracer: TraceSink) -> None:
 
 MatcherFactory = Callable[..., Matcher]
 
-_REGISTRY: dict[str, MatcherFactory] = {}
+_REGISTRY: dict[str, MatcherFactory] = {}  # reprolint: disable=R016 -- populated only at import time by @register_matcher
 
 
 def register_algorithm(
@@ -372,6 +378,16 @@ def find_matches(
     if opts.tighten:
         with tr.span("stn-closure", constraints=len(constraints)):
             constraints = constraints.closed()
+    if (
+        matcher is None
+        and (opts.sanitize or sanitize_enabled())
+        and isinstance(graph, GraphSnapshot)
+    ):
+        # Sanitizer mode: the matcher sees a write-barrier wrapped
+        # snapshot, so any post-compile mutation raises at the site.
+        # Pre-built matchers already hold their graph reference and are
+        # left alone (the service wraps at registry.register instead).
+        graph = snapshot_write_barrier(graph)
     if matcher is None:
         # Forward the planning mode to matchers that take the knob; the
         # "paper" default is every matcher's default already, and

@@ -58,6 +58,10 @@ class MatchOptions:
     trace:
         Record per-phase spans into a fresh tracer, returned on
         ``MatchResult.trace``.
+    sanitize:
+        Run this match under the concurrency sanitizer (write-barrier
+        snapshot wrapping; see :mod:`repro.obs.sanitize`) regardless of
+        the ``REPRO_SANITIZE`` environment flag.
     """
 
     limit: int | None = None
@@ -67,6 +71,7 @@ class MatchOptions:
     partition: tuple[int, int] | None = None
     plan: str = "paper"
     trace: bool = False
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.limit is not None and self.limit < 0:
@@ -88,8 +93,9 @@ class MatchOptions:
         (``plan`` changes enumeration *order*, and with a ``limit`` the
         order decides which matches are returned).  ``time_budget`` is
         excluded because only budget-independent (complete) results are
-        ever cached, and ``trace`` because observability never changes
-        the answer.  Equal options hash equal across processes (canonical
+        ever cached, and ``trace``/``sanitize`` because observability
+        and runtime checking never change the answer.  Equal options
+        hash equal across processes (canonical
         JSON, no ``hash()`` randomisation).
         """
         payload = json.dumps(

@@ -26,10 +26,12 @@ from .query_io import (
 from .snapshot import (
     GraphSnapshot,
     GraphView,
+    SnapshotWriteBarrier,
     StaticView,
     compile_snapshot,
     ensure_snapshot,
     snapshot_compile_count,
+    snapshot_write_barrier,
 )
 from .static_graph import StaticGraph
 from .temporal_graph import TemporalEdge, TemporalGraph
@@ -40,11 +42,13 @@ __all__ = [
     "GraphStatistics",
     "GraphView",
     "LabelTable",
+    "SnapshotWriteBarrier",
     "StaticView",
     "compile_snapshot",
     "ensure_snapshot",
     "graph_statistics",
     "snapshot_compile_count",
+    "snapshot_write_barrier",
     "QueryBuilder",
     "QueryGraph",
     "StaticGraph",

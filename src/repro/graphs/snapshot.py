@@ -48,10 +48,12 @@ if TYPE_CHECKING:
 __all__ = [
     "GraphSnapshot",
     "GraphView",
+    "SnapshotWriteBarrier",
     "StaticView",
     "compile_snapshot",
     "ensure_snapshot",
     "snapshot_compile_count",
+    "snapshot_write_barrier",
 ]
 
 Timestamp = int
@@ -102,6 +104,7 @@ class GraphSnapshot:
         "_nlc",
         "_edges_by_time",
         "_fingerprint",
+        "_barrier",
     )
 
     def __init__(
@@ -149,6 +152,7 @@ class GraphSnapshot:
         self._nlc: list[Counter[Hashable] | None] = [None] * len(labels)
         self._edges_by_time: list[TemporalEdge] | None = None
         self._fingerprint: str | None = None
+        self._barrier: GraphSnapshot | None = None
 
     def _init_views(self) -> None:
         """(Re)build the zero-copy memoryviews over the flat arrays."""
@@ -222,7 +226,8 @@ class GraphSnapshot:
                 h.update(arr.tobytes())
             if self._edge_labels:
                 h.update(repr(sorted(self._edge_labels.items())).encode("utf-8"))
-            self._fingerprint = h.hexdigest()
+            # idempotent lazy cache: a racy recompute yields an identical digest
+            self._fingerprint = h.hexdigest()  # reprolint: disable=R014
         return self._fingerprint
 
     @property
@@ -471,7 +476,8 @@ class GraphSnapshot:
         subgraph-matching baselines.
         """
         if self._edges_by_time is None:
-            self._edges_by_time = sorted(
+            # idempotent lazy cache: a racy recompute yields an identical list
+            self._edges_by_time = sorted(  # reprolint: disable=R014
                 self.edges(), key=lambda e: (e.t, e.u, e.v)
             )
         return self._edges_by_time
@@ -512,7 +518,7 @@ class GraphSnapshot:
             union = set(self.out_neighbor_ids(v))
             union.update(self.in_neighbor_ids(v))
             cached = Counter(labels[w] for w in union)
-            self._nlc[v] = cached
+            self._nlc[v] = cached  # reprolint: disable=R014 -- idempotent lazy cache slot
         return cached
 
     def static_view(self) -> "GraphSnapshot":
@@ -617,8 +623,92 @@ def ensure_snapshot(graph: GraphView) -> GraphSnapshot:
 
     Compilation is cached on the source graph (see
     :meth:`TemporalGraph.freeze`), so repeated matcher preparation
-    against one graph compiles its data plane exactly once.
+    against one graph compiles its data plane exactly once.  Never wraps
+    in a write barrier — callers rely on identity pass-through; the
+    engine applies :func:`snapshot_write_barrier` itself in sanitizer
+    mode.
     """
     if isinstance(graph, GraphSnapshot):
         return graph
     return graph.freeze()
+
+
+# ----------------------------------------------------------------------
+# sanitizer write barrier (REPRO_SANITIZE=1 / MatchOptions(sanitize=True))
+# ----------------------------------------------------------------------
+
+#: Slots the R014 pragmas certify as idempotent lazy caches — the only
+#: post-construction writes a snapshot may see (racy recompute yields an
+#: identical value, so they stay writable under the barrier).
+_LAZY_CACHE_SLOTS = frozenset({"_fingerprint", "_edges_by_time", "_barrier"})
+
+
+class SnapshotWriteBarrier(GraphSnapshot):
+    """A :class:`GraphSnapshot` that raises on post-construction mutation.
+
+    The runtime half of reprolint's R014: any ``snapshot.attr = ...``
+    outside construction raises
+    :class:`~repro.obs.sanitize.SanitizerError` at the offending site
+    instead of silently corrupting state shared across threads.  Reads,
+    the CSR data plane, and the idempotent lazy caches behave exactly
+    like the base class, so matcher results are unchanged — pinned by
+    the tier-1 suite running under ``REPRO_SANITIZE=1``.
+    """
+
+    __slots__ = ("_sealed",)
+
+    def __init__(self, *args: object, **kwargs: object) -> None:
+        object.__setattr__(self, "_sealed", False)  # reprolint: disable=R003
+        super().__init__(*args, **kwargs)  # type: ignore[arg-type]
+        object.__setattr__(self, "_sealed", True)  # reprolint: disable=R003
+
+    def __setattr__(self, name: str, value: object) -> None:
+        if not getattr(self, "_sealed", False) or name in _LAZY_CACHE_SLOTS:
+            object.__setattr__(self, name, value)  # reprolint: disable=R003
+            return
+        from ..obs.sanitize import SanitizerError
+
+        raise SanitizerError(
+            f"write to GraphSnapshot.{name}: snapshots are frozen after "
+            "compile; build a new snapshot instead (sanitizer barrier)"
+        )
+
+    def __delattr__(self, name: str) -> None:
+        from ..obs.sanitize import SanitizerError
+
+        raise SanitizerError(
+            f"delete of GraphSnapshot.{name}: snapshots are frozen after "
+            "compile (sanitizer barrier)"
+        )
+
+    def __reduce__(self) -> tuple[object, ...]:
+        # The default slot-state protocol would route __setstate__ ->
+        # __init__ -> blocked __setattr__ on a sealed instance; rebuild a
+        # plain snapshot from pickled state and re-wrap instead.
+        return (_rebuild_write_barrier, (self.__getstate__(),))
+
+
+def _rebuild_write_barrier(state: dict[str, object]) -> "SnapshotWriteBarrier":
+    """Unpickle helper: reconstruct a barrier-wrapped snapshot."""
+    return SnapshotWriteBarrier(**state)  # type: ignore[arg-type]
+
+
+def snapshot_write_barrier(snapshot: GraphSnapshot) -> GraphSnapshot:
+    """*snapshot* wrapped in the write barrier (idempotent and cached).
+
+    Rebuilds from pickle-equivalent state rather than aliasing slots, so
+    the wrapped copy is independent; lazy caches re-materialise on first
+    use.  Compile counts are unaffected (no CSR recompilation happens —
+    the arrays are shared by reference), and the wrapper is cached on the
+    source snapshot so repeated wrapping preserves identity (the
+    registry's compile-once/reuse guarantees hold under the sanitizer).
+    """
+    if isinstance(snapshot, SnapshotWriteBarrier):
+        return snapshot
+    if snapshot._barrier is None:
+        # idempotent lazy cache: a racy double-wrap publishes one of two
+        # equivalent barriers over the same shared arrays
+        snapshot._barrier = SnapshotWriteBarrier(  # reprolint: disable=R014
+            **snapshot.__getstate__()  # type: ignore[arg-type]
+        )
+    return snapshot._barrier

@@ -5,7 +5,8 @@ the matchers and the service executor; :data:`NULL_TRACER` is the always-on
 no-op stand-in that keeps the instrumentation wired into every hot path at
 near-zero cost.  Exporters turn a finished trace into Chrome trace-event
 JSON (loadable in ``chrome://tracing`` / Perfetto) or a plain-text span
-tree.
+tree.  :mod:`repro.obs.sanitize` is the runtime concurrency sanitizer
+(write barriers + lock-held assertions) toggled by ``REPRO_SANITIZE=1``.
 """
 
 from .export import (
@@ -14,16 +15,20 @@ from .export import (
     to_chrome_trace,
     write_chrome_trace,
 )
+from .sanitize import SanitizerError, assert_lock_held, sanitize_enabled
 from .tracer import NULL_TRACER, NullTracer, Span, TraceSink, Tracer
 
 __all__ = [
     "NULL_TRACER",
     "NullTracer",
+    "SanitizerError",
     "Span",
     "TraceSink",
     "Tracer",
+    "assert_lock_held",
     "chrome_trace_events",
     "render_span_tree",
+    "sanitize_enabled",
     "to_chrome_trace",
     "write_chrome_trace",
 ]

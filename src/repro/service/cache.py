@@ -17,6 +17,8 @@ import threading
 from collections import OrderedDict
 from typing import Generic, NamedTuple, TypeVar
 
+from ..obs import assert_lock_held
+
 __all__ = ["ResultCache", "ResultKey"]
 
 _ValueT = TypeVar("_ValueT")
@@ -69,8 +71,13 @@ class ResultCache(Generic[_ValueT]):
         with self._lock:
             self._entries[key] = value
             self._entries.move_to_end(key)
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+            self._trim_locked()
+
+    def _trim_locked(self) -> None:
+        """Evict LRU entries past capacity; caller must hold ``_lock``."""
+        assert_lock_held(self._lock, "ResultCache._lock")
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
 
     def invalidate_graph(
         self, graph_name: str, keep_version: int | None = None

@@ -15,6 +15,8 @@ import threading
 import time
 from collections.abc import Callable, Sequence
 
+from ..obs import assert_lock_held
+
 __all__ = ["DEFAULT_LATENCY_BUCKETS", "Histogram", "MetricsRegistry"]
 
 #: Upper bucket bounds (seconds) spanning sub-millisecond cache hits up to
@@ -113,11 +115,21 @@ class MetricsRegistry:
     def observe(self, name: str, value: float) -> None:
         """Record *value* into histogram *name* (created on first use)."""
         with self._lock:
-            histogram = self._histograms.get(name)
-            if histogram is None:
-                histogram = Histogram(self._buckets)
-                self._histograms[name] = histogram
-            histogram.observe(value)
+            self._histogram_locked(name).observe(value)
+
+    def _histogram_locked(self, name: str) -> Histogram:
+        """Histogram *name*, created on first use; caller holds ``_lock``.
+
+        Histograms are not thread-safe on their own, so both the lookup
+        and every ``observe`` must stay under the registry lock — the
+        sanitizer assertion turns a future unlocked caller into an error.
+        """
+        assert_lock_held(self._lock, "MetricsRegistry._lock")
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = Histogram(self._buckets)
+            self._histograms[name] = histogram
+        return histogram
 
     def counter(self, name: str) -> int:
         """Current value of counter *name* (0 when never incremented)."""

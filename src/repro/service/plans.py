@@ -29,6 +29,7 @@ from typing import NamedTuple
 
 from ..core import Matcher, MatchOptions
 from ..graphs import QueryGraph, TemporalConstraints, pattern_to_dict
+from ..obs import assert_lock_held
 
 __all__ = [
     "CachedPlan",
@@ -148,20 +149,44 @@ class PlanCache:
                 self._entries.move_to_end(key)
                 return plan, True
             key_lock = self._building.setdefault(key, threading.Lock())
-        with key_lock:
-            with self._lock:
-                plan = self._entries.get(key)
-                if plan is not None:
+        try:
+            with key_lock:
+                with self._lock:
+                    plan = self._entries.get(key)
+                    if plan is not None:
+                        self._entries.move_to_end(key)
+                        return plan, True
+                plan = build()
+                with self._lock:
+                    self._entries[key] = plan
                     self._entries.move_to_end(key)
-                    return plan, True
-            plan = build()
+                    self._trim_locked()
+                return plan, False
+        finally:
+            # Evict the per-key build lock unconditionally — also when
+            # build() raises — so long-running services don't leak one
+            # lock per evicted plan.  Guard on identity: a racing thread
+            # may have installed a fresh lock for the key already.
             with self._lock:
-                self._entries[key] = plan
-                self._entries.move_to_end(key)
-                while len(self._entries) > self.capacity:
-                    self._entries.popitem(last=False)
-                self._building.pop(key, None)
-            return plan, False
+                if self._building.get(key) is key_lock:
+                    del self._building[key]
+
+    def _trim_locked(self) -> None:
+        """Evict LRU entries past capacity; caller must hold ``_lock``."""
+        assert_lock_held(self._lock, "PlanCache._lock")
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    @property
+    def pending_builds(self) -> int:
+        """Number of per-key build locks currently outstanding.
+
+        A long-lived service should see this return to zero when idle;
+        the concurrency stress test asserts the build-lock dict does not
+        leak entries for completed (or failed) builds.
+        """
+        with self._lock:
+            return len(self._building)
 
     def invalidate_graph(
         self, graph_name: str, keep_version: int | None = None

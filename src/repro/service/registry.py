@@ -15,7 +15,13 @@ import threading
 from dataclasses import dataclass
 
 from ..errors import UnknownGraphError
-from ..graphs import GraphSnapshot, TemporalGraph, ensure_snapshot
+from ..graphs import (
+    GraphSnapshot,
+    TemporalGraph,
+    ensure_snapshot,
+    snapshot_write_barrier,
+)
+from ..obs import sanitize_enabled
 
 __all__ = ["GraphHandle", "GraphRegistry"]
 
@@ -69,6 +75,12 @@ class GraphRegistry:
         graph, so re-registering the same object reuses its compilation).
         """
         snapshot = ensure_snapshot(graph)
+        if sanitize_enabled():
+            # Sanitizer mode: every consumer of this handle (plan
+            # preparation, query runs, pickling into the process pool)
+            # gets the write-barrier wrapped snapshot, so any
+            # post-compile mutation anywhere in the service raises.
+            snapshot = snapshot_write_barrier(snapshot)
         with self._lock:
             version = self._versions.get(name, 0) + 1
             self._versions[name] = version

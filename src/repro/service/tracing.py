@@ -20,6 +20,8 @@ import threading
 from collections import OrderedDict
 from typing import Any
 
+from ..obs import assert_lock_held
+
 __all__ = ["TraceSampler", "TraceStore"]
 
 
@@ -76,8 +78,13 @@ class TraceStore:
         with self._lock:
             self._entries[trace_id] = payload
             self._entries.move_to_end(trace_id)
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+            self._trim_locked()
+
+    def _trim_locked(self) -> None:
+        """Evict LRU entries past capacity; caller must hold ``_lock``."""
+        assert_lock_held(self._lock, "TraceStore._lock")
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
 
     def get(self, trace_id: str) -> dict[str, Any] | None:
         """The stored payload, refreshed as most recently used."""

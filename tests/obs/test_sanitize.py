@@ -1,0 +1,140 @@
+"""Runtime sanitizer tests: env flag, write barrier, lock assertions."""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+import pytest
+
+from repro.core import MatchOptions, find_matches
+from repro.datasets import toy_instance
+from repro.graphs import (
+    GraphSnapshot,
+    SnapshotWriteBarrier,
+    snapshot_write_barrier,
+)
+from repro.obs import SanitizerError, assert_lock_held, sanitize_enabled
+
+
+@pytest.fixture()
+def snap():
+    _, _, graph, _, _ = toy_instance()
+    return graph.freeze()
+
+
+class TestEnvFlag:
+    def test_disabled_by_default(self, monkeypatch) -> None:
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert not sanitize_enabled()
+
+    @pytest.mark.parametrize("value", ["0", "", "false", "no", "off", "OFF"])
+    def test_falsy_values_disable(self, monkeypatch, value) -> None:
+        monkeypatch.setenv("REPRO_SANITIZE", value)
+        assert not sanitize_enabled()
+
+    @pytest.mark.parametrize("value", ["1", "true", "yes", "on"])
+    def test_truthy_values_enable(self, monkeypatch, value) -> None:
+        monkeypatch.setenv("REPRO_SANITIZE", value)
+        assert sanitize_enabled()
+
+
+class TestWriteBarrier:
+    def test_wrapping_preserves_reads(self, snap) -> None:
+        barrier = snapshot_write_barrier(snap)
+        assert isinstance(barrier, GraphSnapshot)
+        assert barrier.fingerprint == snap.fingerprint
+        assert sorted(barrier.edges()) == sorted(snap.edges())
+        assert barrier.num_vertices == snap.num_vertices
+
+    def test_wrapping_is_idempotent_and_cached(self, snap) -> None:
+        barrier = snapshot_write_barrier(snap)
+        assert snapshot_write_barrier(barrier) is barrier
+        assert snapshot_write_barrier(snap) is barrier
+
+    def test_attribute_write_raises(self, snap) -> None:
+        barrier = snapshot_write_barrier(snap)
+        with pytest.raises(SanitizerError, match="frozen after"):
+            barrier._labels = ()
+
+    def test_attribute_delete_raises(self, snap) -> None:
+        barrier = snapshot_write_barrier(snap)
+        with pytest.raises(SanitizerError):
+            del barrier._labels
+
+    def test_lazy_caches_still_materialise(self, snap) -> None:
+        barrier = snapshot_write_barrier(snap)
+        assert barrier.fingerprint  # writes _fingerprint through the barrier
+        assert barrier.edges_by_time  # writes _edges_by_time
+        assert barrier.neighbor_label_counts(0)  # fills the _nlc slot
+
+    def test_pickle_roundtrip_stays_wrapped(self, snap) -> None:
+        barrier = snapshot_write_barrier(snap)
+        clone = pickle.loads(pickle.dumps(barrier))
+        assert isinstance(clone, SnapshotWriteBarrier)
+        assert clone.fingerprint == snap.fingerprint
+        with pytest.raises(SanitizerError):
+            clone._labels = ()
+
+    def test_no_recompilation_on_wrap(self, snap) -> None:
+        from repro.graphs import snapshot_compile_count
+
+        before = snapshot_compile_count()
+        snapshot_write_barrier(snap)
+        assert snapshot_compile_count() == before
+
+
+class TestEngineWiring:
+    def test_sanitize_option_wraps_snapshot_transparently(self) -> None:
+        query, constraints, graph, _, _ = toy_instance()
+        snap = graph.freeze()
+        plain = find_matches(query, constraints, snap, "tcsm-eve")
+        sanitized = find_matches(
+            query,
+            constraints,
+            snap,
+            "tcsm-eve",
+            options=MatchOptions(sanitize=True),
+        )
+        assert sorted(sanitized.matches) == sorted(plain.matches)
+
+    def test_env_flag_wraps_snapshot(self, monkeypatch) -> None:
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        query, constraints, graph, _, _ = toy_instance()
+        snap = graph.freeze()
+        result = find_matches(query, constraints, snap, "tcsm-eve")
+        assert result.matches
+
+    def test_sanitize_excluded_from_canonical_hash(self) -> None:
+        assert (
+            MatchOptions(sanitize=True).canonical_hash()
+            == MatchOptions().canonical_hash()
+        )
+
+
+class TestAssertLockHeld:
+    def test_noop_when_disabled(self, monkeypatch) -> None:
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert_lock_held(threading.Lock(), "unheld")  # does not raise
+
+    def test_raises_on_unheld_lock(self, monkeypatch) -> None:
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        with pytest.raises(SanitizerError, match="unheld"):
+            assert_lock_held(threading.Lock(), "unheld")
+
+    def test_passes_on_held_lock(self, monkeypatch) -> None:
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        lock = threading.Lock()
+        with lock:
+            assert_lock_held(lock, "held")
+
+    def test_rlock_ownership_is_exact(self, monkeypatch) -> None:
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        rlock = threading.RLock()
+        with rlock:
+            assert_lock_held(rlock, "held")
+        with pytest.raises(SanitizerError):
+            assert_lock_held(rlock, "released")
+
+    def test_sanitizer_error_is_assertion_error(self) -> None:
+        assert issubclass(SanitizerError, AssertionError)

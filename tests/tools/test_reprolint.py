@@ -1000,12 +1000,676 @@ class TestCli:
             assert rule_id in proc.stdout
 
 
-class TestLiveTree:
-    """The acceptance gate: the real tree lints clean."""
+# ----------------------------------------------------------------------
+# R013 lock-discipline
+# ----------------------------------------------------------------------
+class TestR013:
+    def test_unguarded_read_of_guarded_attr_flagged(
+        self, tmp_path: Path
+    ) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import threading
 
-    def test_src_and_benchmarks_are_clean(self) -> None:
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._entries = {}
+
+                def put(self, k, v):
+                    with self._lock:
+                        self._entries[k] = v
+
+                def get(self, k):
+                    return self._entries.get(k)
+            """,
+            select=["R013"],
+        )
+        assert rule_ids(findings) == ["R013"]
+        assert "_entries" in findings[0].message
+        assert "_lock" in findings[0].message
+
+    def test_unguarded_write_flagged(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import threading
+
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._entries = {}
+
+                def put(self, k, v):
+                    with self._lock:
+                        self._entries[k] = v
+
+                def clear(self):
+                    self._entries = {}
+            """,
+            select=["R013"],
+        )
+        assert rule_ids(findings) == ["R013"]
+        assert "write to" in findings[0].message
+
+    def test_fully_guarded_class_passes(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import threading
+
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._entries = {}
+
+                def put(self, k, v):
+                    with self._lock:
+                        self._entries[k] = v
+
+                def get(self, k):
+                    with self._lock:
+                        return self._entries.get(k)
+            """,
+            select=["R013"],
+        )
+        assert findings == []
+
+    def test_helper_called_only_under_lock_inherits_it(
+        self, tmp_path: Path
+    ) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import threading
+
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._entries = {}
+                    self.capacity = 4
+
+                def put(self, k, v):
+                    with self._lock:
+                        self._entries[k] = v
+                        self._trim()
+
+                def get(self, k):
+                    with self._lock:
+                        return self._entries.get(k)
+
+                def _trim(self):
+                    while len(self._entries) > self.capacity:
+                        self._entries.popitem()
+            """,
+            select=["R013"],
+        )
+        assert findings == []
+
+    def test_helper_also_called_without_lock_is_flagged(
+        self, tmp_path: Path
+    ) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import threading
+
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._entries = {}
+
+                def put(self, k, v):
+                    with self._lock:
+                        self._entries[k] = v
+                        self._trim()
+
+                def reset(self):
+                    self._trim()
+
+                def _trim(self):
+                    self._entries.popitem()
+            """,
+            select=["R013"],
+        )
+        # _trim's bare access no longer inherits the lock: one call site
+        # (reset) runs without it.
+        assert rule_ids(findings) == ["R013"]
+
+    def test_guarded_by_pragma_waives_site(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import threading
+
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._entries = {}
+
+                def put(self, k, v):
+                    with self._lock:
+                        self._entries[k] = v
+
+                def peek(self, k):
+                    return self._entries.get(k)  # reprolint: guarded-by(_lock)
+            """,
+            select=["R013"],
+        )
+        assert findings == []
+
+    def test_construction_only_attr_is_free_to_read_bare(
+        self, tmp_path: Path
+    ) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import threading
+
+            class Registry:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._started = 1.0
+                    self._counters = {}
+
+                def inc(self, name):
+                    with self._lock:
+                        self._counters[name] = 1
+                        if self._started:
+                            pass
+
+                def uptime(self):
+                    return self._started
+            """,
+            select=["R013"],
+        )
+        # _started is never mutated after __init__: immutable-after-publish.
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# R014 frozen-state-write
+# ----------------------------------------------------------------------
+class TestR014:
+    def test_frozen_dataclass_self_write_flagged(
+        self, tmp_path: Path
+    ) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class Plan:
+                steps: tuple = ()
+
+                def tweak(self):
+                    self.steps = (1,)
+            """,
+            select=["R014"],
+        )
+        assert rule_ids(findings) == ["R014"]
+        assert "Plan" in findings[0].message
+
+    def test_write_through_frozen_local_flagged(
+        self, tmp_path: Path
+    ) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class Plan:
+                steps: tuple = ()
+
+            def build():
+                plan = Plan()
+                plan.steps = (1,)
+                return plan
+            """,
+            select=["R014"],
+        )
+        assert rule_ids(findings) == ["R014"]
+
+    def test_inplace_mutation_of_frozen_field_flagged(
+        self, tmp_path: Path
+    ) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class Plan:
+                steps: list = None
+
+            def grow():
+                plan = Plan(steps=[])
+                plan.steps.append(1)
+            """,
+            select=["R014"],
+        )
+        assert rule_ids(findings) == ["R014"]
+        assert "in-place" in findings[0].message
+
+    def test_write_through_frozen_typed_attribute_flagged(
+        self, tmp_path: Path
+    ) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class Plan:
+                steps: tuple = ()
+
+            class Service:
+                def __init__(self):
+                    self.plan_obj = Plan()
+
+                def rewrite(self):
+                    self.plan_obj.steps = (2,)
+            """,
+            select=["R014"],
+        )
+        assert rule_ids(findings) == ["R014"]
+
+    def test_graph_snapshot_is_frozen_by_contract(
+        self, tmp_path: Path
+    ) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            class GraphSnapshot:
+                def __init__(self):
+                    self._labels = ()
+
+                def relabel(self):
+                    self._labels = ("A",)
+            """,
+            relpath="src/repro/graphs/fixture_snap.py",
+            select=["R014"],
+        )
+        assert rule_ids(findings) == ["R014"]
+
+    def test_construction_and_factories_are_exempt(
+        self, tmp_path: Path
+    ) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            class GraphSnapshot:
+                def __init__(self):
+                    self._labels = ()
+                    self._init_views()
+
+                def _init_views(self):
+                    self._views = ()
+
+                def __setstate__(self, state):
+                    self._labels = state["labels"]
+            """,
+            relpath="src/repro/graphs/fixture_snap.py",
+            select=["R014"],
+        )
+        assert findings == []
+
+    def test_frozen_subclass_inherits_frozenness(
+        self, tmp_path: Path
+    ) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class Plan:
+                steps: tuple = ()
+
+            class FancyPlan(Plan):
+                def tweak(self):
+                    self.steps = (3,)
+            """,
+            select=["R014"],
+        )
+        assert rule_ids(findings) == ["R014"]
+
+
+# ----------------------------------------------------------------------
+# R015 lock-ordering
+# ----------------------------------------------------------------------
+class TestR015:
+    def test_abba_nesting_in_one_class_flagged(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import threading
+
+            class Pool:
+                def __init__(self):
+                    self._queue_lock = threading.Lock()
+                    self._state_lock = threading.Lock()
+
+                def submit(self):
+                    with self._queue_lock:
+                        with self._state_lock:
+                            pass
+
+                def drain(self):
+                    with self._state_lock:
+                        with self._queue_lock:
+                            pass
+            """,
+            select=["R015"],
+        )
+        assert rule_ids(findings) == ["R015", "R015"]
+        assert "cycle" in findings[0].message
+
+    def test_consistent_order_passes(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import threading
+
+            class Pool:
+                def __init__(self):
+                    self._queue_lock = threading.Lock()
+                    self._state_lock = threading.Lock()
+
+                def submit(self):
+                    with self._queue_lock:
+                        with self._state_lock:
+                            pass
+
+                def drain(self):
+                    with self._queue_lock:
+                        with self._state_lock:
+                            pass
+            """,
+            select=["R015"],
+        )
+        assert findings == []
+
+    def test_cross_class_call_cycle_flagged(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import threading
+
+            class Front:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.store = Store()
+
+                def handle(self):
+                    with self._lock:
+                        self.store.flush()
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.front = Front()
+
+                def flush(self):
+                    with self._lock:
+                        pass
+
+                def notify(self):
+                    with self._lock:
+                        self.front.handle()
+            """,
+            select=["R015"],
+        )
+        assert len(findings) >= 2
+        assert all(f.rule_id == "R015" for f in findings)
+
+    def test_one_way_cross_class_call_passes(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import threading
+
+            class Front:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.store = Store()
+
+                def handle(self):
+                    with self._lock:
+                        self.store.flush()
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def flush(self):
+                    with self._lock:
+                        pass
+            """,
+            select=["R015"],
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# R016 shared-mutable-state
+# ----------------------------------------------------------------------
+class TestR016:
+    def test_module_global_mutated_from_function_flagged(
+        self, tmp_path: Path
+    ) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            _CACHE: dict = {}
+
+            def remember(key, value):
+                _CACHE[key] = value
+            """,
+            select=["R016"],
+        )
+        assert rule_ids(findings) == ["R016"]
+        assert "_CACHE" in findings[0].message
+
+    def test_mutation_under_module_lock_passes(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import threading
+
+            _LOCK = threading.Lock()
+            _CACHE: dict = {}
+
+            def remember(key, value):
+                with _LOCK:
+                    _CACHE[key] = value
+
+            def forget(key):
+                with _LOCK:
+                    _CACHE.pop(key, None)
+            """,
+            select=["R016"],
+        )
+        assert findings == []
+
+    def test_import_time_only_registry_passes(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            _REGISTRY: dict = {}
+
+            def lookup(name):
+                return _REGISTRY[name]
+            """,
+            select=["R016"],
+        )
+        assert findings == []
+
+    def test_mutable_default_argument_flagged(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def collect(item, acc=[]):
+                acc.append(item)
+                return acc
+            """,
+            select=["R016"],
+        )
+        assert rule_ids(findings) == ["R016"]
+        assert "default" in findings[0].message
+
+    def test_mutable_class_attr_written_through_self_flagged(
+        self, tmp_path: Path
+    ) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            class Queue:
+                items = []
+
+                def add(self, x):
+                    self.items.append(x)
+            """,
+            select=["R016"],
+        )
+        assert rule_ids(findings) == ["R016"]
+        assert "every instance shares" in findings[0].message
+
+    def test_pragma_on_binding_line_suppresses(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            _REGISTRY: dict = {}  # reprolint: disable=R016
+
+            def register(name, factory):
+                _REGISTRY[name] = factory
+            """,
+            select=["R016"],
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# guarded-by pragma parsing + inventory
+# ----------------------------------------------------------------------
+class TestGuardedByPragma:
+    def test_guarded_by_parses_lock_name(self) -> None:
+        index = PragmaIndex.from_source(
+            "x = self._n  # reprolint: guarded-by(_lock)\n"
+        )
+        assert index.guarded_by(1) == frozenset({"_lock"})
+        assert index.guarded_by(2) == frozenset()
+
+    def test_guarded_by_wildcard(self) -> None:
+        index = PragmaIndex.from_source(
+            "x = self._n  # reprolint: guarded-by(*)\n"
+        )
+        assert "*" in index.guarded_by(1)
+
+    def test_guarded_by_does_not_disable_rules(self) -> None:
+        index = PragmaIndex.from_source(
+            "x = self._n  # reprolint: guarded-by(_lock)\n"
+        )
+        assert not index.is_disabled("R013", 1)
+
+    def test_entries_inventory_records_every_pragma(self) -> None:
+        index = PragmaIndex.from_source(
+            "a = 1  # reprolint: disable=R001\n"
+            "# reprolint: disable-file=R002\n"
+            "b = 2  # reprolint: guarded-by(_lock)\n"
+        )
+        kinds = [entry.kind for entry in index.entries]
+        assert kinds == ["disable", "disable-file", "guarded-by"]
+        assert index.entries[2].values == ("_lock",)
+
+
+# ----------------------------------------------------------------------
+# findings-baseline ratchet
+# ----------------------------------------------------------------------
+class TestBaseline:
+    CODE = "def check(t):\n    return t == 3.5\n"
+
+    def write_bad(self, tmp_path: Path) -> Path:
+        target = tmp_path / "src/repro/core/bad.py"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.CODE)
+        return target
+
+    def run_cli(self, *args: str) -> subprocess.CompletedProcess:
+        return subprocess.run(
+            [sys.executable, "-m", "tools.reprolint", *args],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+
+    def test_update_then_rerun_is_clean(self, tmp_path: Path) -> None:
+        self.write_bad(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        proc = self.run_cli(
+            str(tmp_path), "--select", "R008",
+            "--baseline", str(baseline), "--update-baseline",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert baseline.exists()
+        proc = self.run_cli(
+            str(tmp_path), "--select", "R008", "--baseline", str(baseline)
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "1 baselined" in proc.stderr
+
+    def test_new_finding_fails_despite_baseline(self, tmp_path: Path) -> None:
+        target = self.write_bad(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        self.run_cli(
+            str(tmp_path), "--select", "R008",
+            "--baseline", str(baseline), "--update-baseline",
+        )
+        # A *second* instance of the same violation is a new finding.
+        target.write_text(self.CODE + "\ndef check2(t):\n    return t == 3.5\n")
+        proc = self.run_cli(
+            str(tmp_path), "--select", "R008", "--baseline", str(baseline)
+        )
+        assert proc.returncode == 1
+        assert "R008" in proc.stdout
+
+    def test_missing_baseline_file_means_empty(self, tmp_path: Path) -> None:
+        self.write_bad(tmp_path)
+        proc = self.run_cli(
+            str(tmp_path), "--select", "R008",
+            "--baseline", str(tmp_path / "nope.json"),
+        )
+        assert proc.returncode == 1
+
+    def test_json_output_reports_pragma_inventory(
+        self, tmp_path: Path
+    ) -> None:
+        target = tmp_path / "src/repro/core/mod.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(
+            "x = 1  # reprolint: disable=R008\n"
+            "__all__: list = []\n"
+        )
+        proc = self.run_cli(str(tmp_path), "--format", "json")
+        payload = json.loads(proc.stdout)
+        (path,) = payload["pragmas"]
+        assert payload["pragmas"][path][0]["kind"] == "disable"
+        assert payload["pragmas"][path][0]["values"] == ["R008"]
+
+
+class TestLiveTree:
+    """The acceptance gate: the real tree (including tools/) lints clean."""
+
+    def test_src_benchmarks_and_tools_are_clean(self) -> None:
         result = lint_paths(
-            [REPO_ROOT / "src" / "repro", REPO_ROOT / "benchmarks"]
+            [
+                REPO_ROOT / "src" / "repro",
+                REPO_ROOT / "benchmarks",
+                REPO_ROOT / "tools",
+            ]
         )
         formatted = "\n".join(f.format() for f in result.findings)
         assert result.findings == [], f"live tree has findings:\n{formatted}"

@@ -1,0 +1,87 @@
+"""Findings-baseline ratchet.
+
+Grandfathered findings live in a checked-in JSON file; CI fails only on
+findings *not* in the baseline, so new violations are blocked while the
+backlog shrinks monotonically (regenerating the baseline can only be
+done deliberately, via ``--update-baseline``).
+
+Entries are keyed on ``(path, rule_id, message)`` — deliberately
+line-free, so unrelated edits that shift line numbers don't churn the
+file — and stored as a multiset: two identical findings in one file need
+two baseline entries, so *adding* a second instance of a baselined
+violation still fails.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from .findings import Finding
+
+__all__ = [
+    "baseline_key",
+    "filter_baselined",
+    "load_baseline",
+    "write_baseline",
+]
+
+_VERSION = 1
+
+
+def baseline_key(finding: Finding) -> str:
+    return f"{finding.path}::{finding.rule_id}::{finding.message}"
+
+
+def load_baseline(path: Path) -> Counter[str]:
+    """Load the baseline multiset; missing file means empty baseline."""
+    if not path.exists():
+        return Counter()
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("version") != _VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {payload.get('version')!r}"
+        )
+    counts: Counter[str] = Counter()
+    for entry in payload.get("findings", []):
+        key = f"{entry['path']}::{entry['rule_id']}::{entry['message']}"
+        counts[key] += int(entry.get("count", 1))
+    return counts
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    """Serialise *findings* as the new baseline (sorted, line-free)."""
+    counts: Counter[tuple[str, str, str]] = Counter(
+        (f.path, f.rule_id, f.message) for f in findings
+    )
+    entries = [
+        {"path": p, "rule_id": r, "message": m, "count": c}
+        for (p, r, m), c in sorted(counts.items())
+    ]
+    payload = {"version": _VERSION, "findings": entries}
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n",
+        encoding="utf-8",
+    )
+
+
+def filter_baselined(
+    findings: list[Finding], baseline: Counter[str]
+) -> tuple[list[Finding], int]:
+    """Split findings into (new, suppressed_count) against the baseline.
+
+    Consumes baseline entries as a multiset: the first N occurrences of a
+    baselined key are suppressed, any beyond that are new findings.
+    """
+    remaining = Counter(baseline)
+    fresh: list[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        key = baseline_key(finding)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            suppressed += 1
+        else:
+            fresh.append(finding)
+    return fresh, suppressed

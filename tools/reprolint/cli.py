@@ -2,7 +2,10 @@
 
 Exit codes: 0 — clean; 1 — findings (or unparseable files); 2 — usage
 error.  ``--format json`` emits a machine-readable report for CI
-annotation tooling.
+annotation tooling, including a whole-tree pragma inventory so
+grandfathered suppressions are auditable in one place.  ``--baseline
+FILE`` suppresses previously-ratified findings (the ratchet); pair with
+``--update-baseline`` to regenerate the file deliberately.
 """
 
 from __future__ import annotations
@@ -13,12 +16,13 @@ import sys
 from collections.abc import Sequence
 from pathlib import Path
 
+from .baseline import filter_baselined, load_baseline, write_baseline
 from .registry import all_rules
 from .runner import lint_paths
 
 __all__ = ["main"]
 
-_DEFAULT_PATHS = ("src/repro", "benchmarks")
+_DEFAULT_PATHS = ("src/repro", "benchmarks", "tools")
 
 
 def _split_ids(raw: str) -> list[str]:
@@ -56,6 +60,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="output format (default: text)",
     )
     parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help=(
+            "findings-baseline JSON; baselined findings are suppressed "
+            "and only new ones fail the run"
+        ),
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite --baseline FILE from the current findings and exit 0",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule table and exit",
@@ -77,6 +94,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.list_rules:
         print(_list_rules())
         return 0
+    if args.update_baseline and not args.baseline:
+        parser.error("--update-baseline requires --baseline FILE")
     missing = [path for path in args.paths if not Path(path).exists()]
     if missing:
         # A typo'd or renamed path must not make the CI gate vacuously green.
@@ -90,27 +109,63 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ValueError as exc:
         parser.error(str(exc))  # exits 2
 
+    if args.update_baseline:
+        write_baseline(Path(args.baseline), result.findings)
+        print(
+            f"reprolint: baseline updated with {len(result.findings)} "
+            f"finding(s) -> {args.baseline}",
+            file=sys.stderr,
+        )
+        return 1 if result.errors else 0
+
+    suppressed = 0
+    findings = result.findings
+    if args.baseline:
+        try:
+            baseline = load_baseline(Path(args.baseline))
+        except (ValueError, KeyError, json.JSONDecodeError) as exc:
+            parser.error(f"--baseline {args.baseline}: {exc}")
+        findings, suppressed = filter_baselined(findings, baseline)
+
     if args.format == "json":
         payload = {
             "files_scanned": result.files_scanned,
-            "findings": [finding.to_dict() for finding in result.findings],
+            "findings": [finding.to_dict() for finding in findings],
+            "baselined": suppressed,
             "errors": result.errors,
+            "pragmas": _pragma_inventory(result),
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
-        for finding in result.findings:
+        for finding in findings:
             print(finding.format())
         for error in result.errors:
             print(f"error: {error}", file=sys.stderr)
-        status = "clean" if not (result.findings or result.errors) else (
-            f"{len(result.findings)} finding(s)"
+        status = "clean" if not (findings or result.errors) else (
+            f"{len(findings)} finding(s)"
             + (f", {len(result.errors)} error(s)" if result.errors else "")
         )
+        if suppressed:
+            status += f" ({suppressed} baselined)"
         print(
             f"reprolint: {result.files_scanned} file(s) scanned, {status}",
             file=sys.stderr,
         )
-    return 1 if (result.findings or result.errors) else 0
+    return 1 if (findings or result.errors) else 0
+
+
+def _pragma_inventory(result: object) -> dict[str, list[dict[str, object]]]:
+    """Every pragma in the scanned tree, keyed by file (audit surface)."""
+    inventory: dict[str, list[dict[str, object]]] = {}
+    project = getattr(result, "project", None)
+    if project is None:
+        return inventory
+    for ctx in project.contexts:
+        if ctx.pragmas.entries:
+            inventory[ctx.rel_path] = [
+                entry.to_dict() for entry in ctx.pragmas.entries
+            ]
+    return inventory
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,12 +1,20 @@
-"""Suppression pragmas.
+"""Suppression and annotation pragmas.
 
-Two forms are recognised, mirroring pylint's spelling:
+Three forms are recognised, the first two mirroring pylint's spelling:
 
 * ``# reprolint: disable=R001,R002`` on the same line as a finding
   suppresses those rules for that line only; ``disable`` with no ``=``
   suppresses every rule on the line.
 * ``# reprolint: disable-file=R001`` anywhere in the file suppresses the
   rule for the whole file (use sparingly; reviewers grep for it).
+* ``# reprolint: guarded-by(_lock)`` annotates an attribute access as an
+  intentional lock-free site of a lock-guarded attribute (consumed by
+  R013).  Naming the lock keeps the claim reviewable; ``guarded-by(*)``
+  waives any lock.
+
+Every pragma is also recorded verbatim in :attr:`PragmaIndex.entries`,
+which the CLI's JSON report aggregates into a whole-tree pragma
+inventory — the single place to audit grandfathered exceptions.
 """
 
 from __future__ import annotations
@@ -14,11 +22,12 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass, field
 
-__all__ = ["PragmaIndex"]
+__all__ = ["PragmaEntry", "PragmaIndex"]
 
 _PRAGMA = re.compile(
-    r"#\s*reprolint:\s*(?P<kind>disable(?:-file)?)"
-    r"(?:\s*=\s*(?P<rules>[A-Za-z0-9_,\s]+))?"
+    r"#\s*reprolint:\s*(?P<kind>disable(?:-file)?|guarded-by)"
+    r"(?:\s*=\s*(?P<rules>[A-Za-z0-9_,\s]+)"
+    r"|\s*\(\s*(?P<locks>[A-Za-z0-9_.*,\s]+?)\s*\))?"
 )
 
 #: Sentinel meaning "every rule" (a ``disable`` pragma with no rule list).
@@ -32,29 +41,61 @@ def _parse_rules(raw: str | None) -> frozenset[str]:
     return frozenset(rules) if rules else frozenset({_ALL})
 
 
+def _parse_locks(raw: str | None) -> frozenset[str]:
+    if raw is None:
+        return frozenset({_ALL})
+    locks = {part.strip() for part in raw.split(",") if part.strip()}
+    return frozenset(locks) if locks else frozenset({_ALL})
+
+
+@dataclass(frozen=True)
+class PragmaEntry:
+    """One pragma occurrence, retained for the whole-tree inventory."""
+
+    line: int
+    kind: str
+    values: tuple[str, ...]
+
+    def to_dict(self) -> dict[str, object]:
+        return {"line": self.line, "kind": self.kind, "values": list(self.values)}
+
+
 @dataclass
 class PragmaIndex:
-    """Per-file index of suppression pragmas, queried by (rule, line)."""
+    """Per-file index of pragmas, queried by (rule, line) or line."""
 
     file_disabled: frozenset[str] = frozenset()
     line_disabled: dict[int, frozenset[str]] = field(default_factory=dict)
+    guarded: dict[int, frozenset[str]] = field(default_factory=dict)
+    entries: tuple[PragmaEntry, ...] = ()
 
     @classmethod
     def from_source(cls, source: str) -> "PragmaIndex":
         file_disabled: set[str] = set()
         line_disabled: dict[int, frozenset[str]] = {}
+        guarded: dict[int, frozenset[str]] = {}
+        entries: list[PragmaEntry] = []
         for lineno, line in enumerate(source.splitlines(), start=1):
             match = _PRAGMA.search(line)
             if match is None:
                 continue
+            kind = match.group("kind")
+            if kind == "guarded-by":
+                locks = _parse_locks(match.group("locks"))
+                guarded[lineno] = guarded.get(lineno, frozenset()) | locks
+                entries.append(PragmaEntry(lineno, kind, tuple(sorted(locks))))
+                continue
             rules = _parse_rules(match.group("rules"))
-            if match.group("kind") == "disable-file":
+            entries.append(PragmaEntry(lineno, kind, tuple(sorted(rules))))
+            if kind == "disable-file":
                 file_disabled |= rules
             else:
                 line_disabled[lineno] = line_disabled.get(
                     lineno, frozenset()
                 ) | rules
-        return cls(frozenset(file_disabled), line_disabled)
+        return cls(
+            frozenset(file_disabled), line_disabled, guarded, tuple(entries)
+        )
 
     def is_disabled(self, rule_id: str, line: int) -> bool:
         """True if *rule_id* is suppressed at *line* of this file."""
@@ -64,3 +105,11 @@ class PragmaIndex:
         if at_line is None:
             return False
         return _ALL in at_line or rule_id in at_line
+
+    def guarded_by(self, line: int) -> frozenset[str]:
+        """Lock names a ``guarded-by(...)`` pragma asserts for *line*.
+
+        Empty when the line carries no such pragma; contains ``"*"`` for
+        the wildcard form.
+        """
+        return self.guarded.get(line, frozenset())

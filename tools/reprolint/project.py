@@ -1,0 +1,499 @@
+"""Phase 1 of the two-phase analyzer: the whole-program symbol index.
+
+Before any dataflow-aware rule runs, the runner loads every file and
+builds one :class:`ProjectIndex` over the whole scanned tree.  The index
+records, per class:
+
+* lock attributes (``self._lock = threading.Lock()`` and friends, plus
+  any ``with self.<attr>:`` whose attribute is conventionally named
+  ``*lock``);
+* every ``self.<attr>`` access site, tagged read/write and with the set
+  of locks held at that point (``with self._lock:`` regions, including
+  nesting);
+* per-method summaries: which locks a method acquires, and every
+  intra-class / attribute-object call together with the locks held at
+  the call site (rules use this to propagate lock context one level into
+  helper methods);
+* lock-ordering edges (lock held -> lock acquired), both from nested
+  ``with`` regions and through resolvable calls;
+* ``self.<attr> = ClassName(...)`` bindings in ``__init__``, so calls
+  through composed objects (``self.plans.get_or_build(...)``) resolve to
+  the callee class across files.
+
+Project-wide, it also records every ``@dataclass(frozen=True)`` class
+and every callable handed to ``threading.Thread(target=...)`` or an
+executor ``submit``/``map`` — the entry points from which concurrent
+execution (and therefore lock discipline) is reachable.
+
+The index is purely syntactic per file but *cross-file in aggregation*:
+rules R013–R015 consume it in :meth:`Rule.check_project` after every
+file has been parsed.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .context import FileContext
+from .pragmas import PragmaIndex
+
+__all__ = [
+    "CONSTRUCTION_METHODS",
+    "MUTATOR_METHODS",
+    "AttrAccess",
+    "ClassIndex",
+    "InternalCall",
+    "LockEdge",
+    "MethodSummary",
+    "ProjectIndex",
+    "build_project_index",
+]
+
+#: Constructor names whose result is a lock-like synchronisation object.
+_LOCK_FACTORIES = {
+    "Lock",
+    "RLock",
+    "Condition",
+    "Semaphore",
+    "BoundedSemaphore",
+}
+
+#: Method names that mutate their receiver in place (used to classify an
+#: access like ``self._entries.pop(...)`` as a *write* to ``_entries``).
+MUTATOR_METHODS = {
+    "add",
+    "append",
+    "appendleft",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "move_to_end",
+    "pop",
+    "popitem",
+    "popleft",
+    "remove",
+    "reverse",
+    "setdefault",
+    "sort",
+    "update",
+    "__setitem__",
+}
+
+#: Methods that run before an instance can be shared across threads.
+CONSTRUCTION_METHODS = frozenset(
+    {"__init__", "__post_init__", "__new__", "__init_subclass__"}
+)
+
+
+@dataclass(frozen=True)
+class AttrAccess:
+    """One ``self.<attr>`` access site inside a method."""
+
+    attr: str
+    line: int
+    col: int
+    method: str
+    is_write: bool
+    locks_held: frozenset[str]
+
+
+@dataclass(frozen=True)
+class InternalCall:
+    """A call through ``self`` recorded with its lock context.
+
+    ``receiver`` is ``None`` for ``self.method(...)`` and the attribute
+    name for ``self.<receiver>.method(...)``.
+    """
+
+    receiver: str | None
+    method: str
+    line: int
+    locks_held: frozenset[str]
+
+
+@dataclass(frozen=True)
+class LockEdge:
+    """``held`` was already held when ``acquired`` was entered."""
+
+    held: str
+    acquired: str
+    line: int
+
+
+@dataclass
+class MethodSummary:
+    """Lock-relevant facts about one method body."""
+
+    name: str
+    lineno: int
+    acquires: frozenset[str] = frozenset()
+    calls: tuple[InternalCall, ...] = ()
+
+
+@dataclass
+class ClassIndex:
+    """Everything the concurrency rules need to know about one class."""
+
+    name: str
+    module: str
+    rel_path: str
+    lineno: int
+    frozen_dataclass: bool
+    bases: tuple[str, ...]
+    lock_attrs: frozenset[str]
+    accesses: tuple[AttrAccess, ...]
+    methods: dict[str, MethodSummary]
+    attr_types: dict[str, str]
+    lock_edges: tuple[LockEdge, ...]
+
+    def call_sites_of(self, method: str) -> list[InternalCall]:
+        """Every intra-class ``self.<method>()`` call site."""
+        return [
+            call
+            for summary in self.methods.values()
+            for call in summary.calls
+            if call.receiver is None and call.method == method
+        ]
+
+    def inherited_locks(self, method: str) -> frozenset[str]:
+        """Locks provably held whenever *method* runs, via its callers.
+
+        One level deep by design: a helper called *only* from inside
+        ``with self._lock:`` regions inherits ``_lock``; a method with no
+        intra-class callers (an entry point) inherits nothing.
+        """
+        sites = self.call_sites_of(method)
+        if not sites:
+            return frozenset()
+        common = set(sites[0].locks_held)
+        for call in sites[1:]:
+            common &= call.locks_held
+        return frozenset(common)
+
+
+@dataclass
+class ProjectIndex:
+    """The phase-1 output: per-class facts plus project-wide tables."""
+
+    contexts: tuple[FileContext, ...]
+    classes: tuple[ClassIndex, ...]
+    frozen_classes: frozenset[str]
+    thread_entry_points: frozenset[str]
+    _by_path: dict[str, FileContext] = field(default_factory=dict)
+    _by_name: dict[str, list[ClassIndex]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._by_path = {ctx.rel_path: ctx for ctx in self.contexts}
+        for cls in self.classes:
+            self._by_name.setdefault(cls.name, []).append(cls)
+
+    def pragmas(self, rel_path: str) -> PragmaIndex | None:
+        """The pragma index of *rel_path*, if it was scanned."""
+        ctx = self._by_path.get(rel_path)
+        return ctx.pragmas if ctx is not None else None
+
+    def classes_named(self, name: str) -> list[ClassIndex]:
+        """Indexed classes called *name*, across every scanned file."""
+        return self._by_name.get(name, [])
+
+
+def _is_frozen_dataclass(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        if not isinstance(deco, ast.Call):
+            continue
+        func = deco.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if name != "dataclass":
+            continue
+        for kw in deco.keywords:
+            if (
+                kw.arg == "frozen"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+            ):
+                return True
+    return False
+
+
+def _call_tail(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _self_attr(node: ast.expr, self_name: str) -> str | None:
+    """``self.<attr>`` -> attr name, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == self_name
+    ):
+        return node.attr
+    return None
+
+
+def _lock_attrs_of(node: ast.ClassDef) -> frozenset[str]:
+    """Prepass: attributes holding synchronisation objects.
+
+    Detected by construction (``self.X = threading.Lock()``) or by the
+    ``*lock`` naming convention on a ``with self.X:`` context.
+    """
+    locks: set[str] = set()
+    for method in node.body:
+        if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        self_name = method.args.args[0].arg if method.args.args else "self"
+        for sub in ast.walk(method):
+            if isinstance(sub, ast.Assign):
+                value = sub.value
+                if (
+                    isinstance(value, ast.Call)
+                    and _call_tail(value.func) in _LOCK_FACTORIES
+                ):
+                    for target in sub.targets:
+                        attr = _self_attr(target, self_name)
+                        if attr is not None:
+                            locks.add(attr)
+            elif isinstance(sub, ast.With):
+                for item in sub.items:
+                    attr = _self_attr(item.context_expr, self_name)
+                    if attr is not None and attr.lower().endswith("lock"):
+                        locks.add(attr)
+    return frozenset(locks)
+
+
+class _MethodVisitor(ast.NodeVisitor):
+    """Walk one method body tracking the set of lock attrs held."""
+
+    def __init__(
+        self, method_name: str, self_name: str, lock_attrs: frozenset[str]
+    ) -> None:
+        self.method = method_name
+        self.self_name = self_name
+        self.lock_attrs = lock_attrs
+        self.held: tuple[str, ...] = ()
+        self.acquires: set[str] = set()
+        self.accesses: list[AttrAccess] = []
+        self.calls: list[InternalCall] = []
+        self.lock_edges: list[LockEdge] = []
+
+    # -- lock regions ---------------------------------------------------
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        entered: list[str] = []
+        for item in node.items:
+            self.visit(item.context_expr)
+            if item.optional_vars is not None:
+                self.visit(item.optional_vars)
+            attr = _self_attr(item.context_expr, self.self_name)
+            if attr is not None and attr in self.lock_attrs:
+                self.acquires.add(attr)
+                for held in self.held:
+                    if held != attr:
+                        self.lock_edges.append(
+                            LockEdge(held, attr, node.lineno)
+                        )
+                entered.append(attr)
+        self.held = self.held + tuple(entered)
+        for stmt in node.body:
+            self.visit(stmt)
+        if entered:
+            self.held = self.held[: len(self.held) - len(entered)]
+
+    # -- nested scopes keep the current lock context --------------------
+    # (a closure defined under a lock does not *run* under it, but the
+    # common in-repo pattern is immediate use; rules stay conservative)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            receiver = func.value
+            attr = _self_attr(receiver, self.self_name)
+            if attr is not None:
+                # self.<attr>.method(...): a call through a composed
+                # object; also a potential in-place write to the attr.
+                self.calls.append(
+                    InternalCall(
+                        attr, func.attr, node.lineno, frozenset(self.held)
+                    )
+                )
+                self.accesses.append(
+                    AttrAccess(
+                        attr=attr,
+                        line=receiver.lineno,
+                        col=receiver.col_offset,
+                        method=self.method,
+                        is_write=func.attr in MUTATOR_METHODS,
+                        locks_held=frozenset(self.held),
+                    )
+                )
+                for arg in node.args:
+                    self.visit(arg)
+                for kw in node.keywords:
+                    self.visit(kw.value)
+                return
+            if (
+                isinstance(receiver, ast.Name)
+                and receiver.id == self.self_name
+            ):
+                self.calls.append(
+                    InternalCall(
+                        None, func.attr, node.lineno, frozenset(self.held)
+                    )
+                )
+                for arg in node.args:
+                    self.visit(arg)
+                for kw in node.keywords:
+                    self.visit(kw.value)
+                return
+        self.generic_visit(node)
+
+    # -- attribute access classification --------------------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        attr = _self_attr(node, self.self_name)
+        if attr is not None:
+            self.accesses.append(
+                AttrAccess(
+                    attr=attr,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    method=self.method,
+                    is_write=isinstance(node.ctx, (ast.Store, ast.Del)),
+                    locks_held=frozenset(self.held),
+                )
+            )
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        attr = _self_attr(node.value, self.self_name)
+        if attr is not None and isinstance(node.ctx, (ast.Store, ast.Del)):
+            # self.attr[k] = v / del self.attr[k]: in-place write to attr.
+            self.accesses.append(
+                AttrAccess(
+                    attr=attr,
+                    line=node.value.lineno,
+                    col=node.value.col_offset,
+                    method=self.method,
+                    is_write=True,
+                    locks_held=frozenset(self.held),
+                )
+            )
+            self.visit(node.slice)
+            return
+        self.generic_visit(node)
+
+
+def _attr_types_of(node: ast.ClassDef) -> dict[str, str]:
+    """``self.<attr> = ClassName(...)`` bindings in ``__init__``."""
+    types: dict[str, str] = {}
+    for method in node.body:
+        if (
+            not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef))
+            or method.name != "__init__"
+        ):
+            continue
+        self_name = method.args.args[0].arg if method.args.args else "self"
+        for sub in ast.walk(method):
+            if not isinstance(sub, ast.Assign):
+                continue
+            value = sub.value
+            if not isinstance(value, ast.Call):
+                continue
+            tail = _call_tail(value.func)
+            if tail is None or not tail[:1].isupper():
+                continue
+            for target in sub.targets:
+                attr = _self_attr(target, self_name)
+                if attr is not None:
+                    types[attr] = tail
+    return types
+
+
+def _index_class(ctx: FileContext, node: ast.ClassDef) -> ClassIndex:
+    lock_attrs = _lock_attrs_of(node)
+    accesses: list[AttrAccess] = []
+    methods: dict[str, MethodSummary] = {}
+    lock_edges: list[LockEdge] = []
+    for method in node.body:
+        if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        self_name = method.args.args[0].arg if method.args.args else "self"
+        visitor = _MethodVisitor(method.name, self_name, lock_attrs)
+        for stmt in method.body:
+            visitor.visit(stmt)
+        accesses.extend(visitor.accesses)
+        lock_edges.extend(visitor.lock_edges)
+        methods[method.name] = MethodSummary(
+            name=method.name,
+            lineno=method.lineno,
+            acquires=frozenset(visitor.acquires),
+            calls=tuple(visitor.calls),
+        )
+    bases = tuple(
+        tail for base in node.bases if (tail := _call_tail(base)) is not None
+    )
+    return ClassIndex(
+        name=node.name,
+        module=ctx.module,
+        rel_path=ctx.rel_path,
+        lineno=node.lineno,
+        frozen_dataclass=_is_frozen_dataclass(node),
+        bases=bases,
+        lock_attrs=lock_attrs,
+        accesses=tuple(accesses),
+        methods=methods,
+        attr_types=_attr_types_of(node),
+        lock_edges=tuple(lock_edges),
+    )
+
+
+def _thread_entry_points(tree: ast.Module) -> set[str]:
+    """Callable names handed to Thread(target=...)/submit/map."""
+    entries: set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        tail = _call_tail(node.func)
+        if tail == "Thread":
+            for kw in node.keywords:
+                if kw.arg == "target":
+                    name = _call_tail(kw.value)
+                    if name is not None:
+                        entries.add(name)
+        elif tail in ("submit", "map") and node.args:
+            name = _call_tail(node.args[0])
+            if name is not None:
+                entries.add(name)
+    return entries
+
+
+def build_project_index(contexts: list[FileContext]) -> ProjectIndex:
+    """Walk every parsed file once and assemble the project index."""
+    classes: list[ClassIndex] = []
+    frozen: set[str] = set()
+    entries: set[str] = set()
+    for ctx in contexts:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                indexed = _index_class(ctx, node)
+                classes.append(indexed)
+                if indexed.frozen_dataclass:
+                    frozen.add(indexed.name)
+        entries |= _thread_entry_points(ctx.tree)
+    return ProjectIndex(
+        contexts=tuple(contexts),
+        classes=tuple(classes),
+        frozen_classes=frozenset(frozen),
+        thread_entry_points=frozenset(entries),
+    )

@@ -9,10 +9,13 @@ cross-file findings from :meth:`Rule.finalize`.
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
-from typing import ClassVar
+from typing import TYPE_CHECKING, ClassVar
 
 from .context import FileContext
 from .findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .project import ProjectIndex
 
 __all__ = ["Rule", "all_rules", "register_rule"]
 
@@ -21,9 +24,11 @@ class Rule:
     """One lint rule.  Subclasses set the class metadata and override hooks.
 
     ``check_file`` runs once per scanned file and may also accumulate
-    cross-file state on ``self``; ``finalize`` runs once after every file
-    has been seen and reports findings that need whole-project context
-    (e.g. the algorithm-registry check).
+    cross-file state on ``self``; ``check_project`` runs once after every
+    file has been parsed, against the phase-1 whole-program index
+    (dataflow-aware rules live here); ``finalize`` runs last and reports
+    findings that only need the rule's own accumulated state (e.g. the
+    algorithm-registry check).
     """
 
     id: ClassVar[str] = ""
@@ -31,6 +36,9 @@ class Rule:
     description: ClassVar[str] = ""
 
     def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: "ProjectIndex") -> Iterable[Finding]:
         return ()
 
     def finalize(self) -> Iterable[Finding]:
@@ -59,7 +67,7 @@ class Rule:
         )
 
 
-_RULES: dict[str, type[Rule]] = {}
+_RULES: dict[str, type[Rule]] = {}  # reprolint: disable=R016 -- populated only at import time by @register_rule
 
 
 def register_rule(cls: type[Rule]) -> type[Rule]:

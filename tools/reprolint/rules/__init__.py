@@ -7,10 +7,14 @@ from . import (  # noqa: F401  (imports register the rules)
     exceptions,
     float_eq,
     frozen_plan,
+    frozen_state,
     graph_privates,
+    lock_discipline,
+    lock_order,
     recursion_guard,
     registry_complete,
     service_budget,
+    shared_mutable,
     span_discipline,
     window_kernel,
 )
@@ -22,10 +26,14 @@ __all__ = [
     "exceptions",
     "float_eq",
     "frozen_plan",
+    "frozen_state",
     "graph_privates",
+    "lock_discipline",
+    "lock_order",
     "recursion_guard",
     "registry_complete",
     "service_budget",
+    "shared_mutable",
     "span_discipline",
     "window_kernel",
 ]

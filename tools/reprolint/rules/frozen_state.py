@@ -1,0 +1,228 @@
+"""R014: no attribute mutation on frozen types after construction.
+
+Generalises the name-convention R003 into a type-aware check over the
+phase-1 project index.  *Frozen types* are every ``@dataclass(frozen=True)``
+class discovered anywhere in the scanned tree (``MatchOptions``, the TCQ/
+TCQ+/TCF plans, compiled planner output, ...), classes deriving from one,
+plus ``GraphSnapshot`` and its write-barrier subclass, which enforce
+immutability by contract rather than by dataclass machinery.
+
+Three violation shapes:
+
+1. A method *of* a frozen class writing ``self.<attr>`` — including
+   in-place container mutation (``self.entries.append(...)``,
+   ``self.table[k] = v``) — outside construction (``__init__``,
+   ``__post_init__``, ``__setstate__``) or a compile factory
+   (``_init_*`` / ``compile*`` / ``_compile*`` methods, the sanctioned
+   places where slot caches are materialised).
+2. Any code writing through a local variable constructed from a frozen
+   class (``snap = GraphSnapshot(...); snap.n = 0``) or calling
+   ``setattr`` on it.
+3. Any code writing through ``self.<attr>.<field>`` where ``__init__``
+   bound the attribute to a frozen class instance.
+
+``object.__setattr__`` escapes stay R003's business; suppress deliberate
+slot-cache writes with ``# reprolint: disable=R014`` and a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from ..context import FileContext
+from ..findings import Finding
+from ..project import CONSTRUCTION_METHODS, MUTATOR_METHODS, ProjectIndex
+from ..registry import Rule, register_rule
+
+__all__ = ["FrozenStateWriteRule"]
+
+#: Immutable-by-contract classes that are not frozen dataclasses.
+_FROZEN_BY_CONTRACT = {"GraphSnapshot", "SnapshotWriteBarrier"}
+
+#: Method names allowed to write self-attributes of a frozen class.
+_EXEMPT_METHODS = CONSTRUCTION_METHODS | {"__setstate__", "__reduce__"}
+
+
+def _is_factory(method: str) -> bool:
+    """Compile-factory naming convention: the sanctioned cache builders."""
+    return method.startswith(("_init", "compile", "_compile"))
+
+
+@register_rule
+class FrozenStateWriteRule(Rule):
+    id = "R014"
+    name = "frozen-state-write"
+    description = (
+        "Frozen types (GraphSnapshot, MatchOptions, compiled plans, any "
+        "@dataclass(frozen=True)) must not be mutated outside "
+        "construction or compile factories — rebuild instead of patching."
+    )
+
+    def check_project(self, project: ProjectIndex) -> Iterable[Finding]:
+        frozen = self._frozen_names(project)
+        yield from self._check_frozen_class_bodies(project, frozen)
+        for ctx in project.contexts:
+            yield from self._check_external_writes(project, ctx, frozen)
+
+    def _frozen_names(self, project: ProjectIndex) -> frozenset[str]:
+        names = set(project.frozen_classes) | _FROZEN_BY_CONTRACT
+        # One inheritance hop: subclasses of a frozen class are frozen.
+        grew = True
+        while grew:
+            grew = False
+            for cls in project.classes:
+                if cls.name not in names and any(
+                    base in names for base in cls.bases
+                ):
+                    names.add(cls.name)
+                    grew = True
+        return frozenset(names)
+
+    # -- shape 1: self-writes inside frozen class bodies ----------------
+    def _check_frozen_class_bodies(
+        self, project: ProjectIndex, frozen: frozenset[str]
+    ) -> Iterator[Finding]:
+        for cls in project.classes:
+            if cls.name not in frozen:
+                continue
+            for access in cls.accesses:
+                if not access.is_write:
+                    continue
+                if access.method in _EXEMPT_METHODS or _is_factory(
+                    access.method
+                ):
+                    continue
+                yield self.finding(
+                    cls.rel_path,
+                    access.line,
+                    access.col,
+                    f"`{cls.name}` is frozen but `{access.method}` writes "
+                    f"`self.{access.attr}`; move the write into "
+                    "construction or a compile factory, or rebuild the "
+                    "object",
+                )
+
+    # -- shapes 2+3: writes through frozen-typed receivers ---------------
+    def _check_external_writes(
+        self,
+        project: ProjectIndex,
+        ctx: FileContext,
+        frozen: frozenset[str],
+    ) -> Iterator[Finding]:
+        # Attributes bound to frozen instances, per enclosing class.
+        frozen_attrs_by_class: dict[str, set[str]] = {}
+        for cls in project.classes:
+            if cls.rel_path != ctx.rel_path:
+                continue
+            frozen_attrs_by_class[cls.name] = {
+                attr
+                for attr, type_name in cls.attr_types.items()
+                if type_name in frozen
+            }
+        for func, owner in _functions_with_class(ctx.tree):
+            if owner is not None and owner in frozen:
+                continue  # shape 1 handled via the index
+            frozen_attrs = (
+                frozen_attrs_by_class.get(owner, set())
+                if owner is not None
+                else set()
+            )
+            locals_frozen = _frozen_locals(func, frozen)
+            self_name = (
+                func.args.args[0].arg
+                if owner is not None and func.args.args
+                else None
+            )
+
+            def _receiver_is_frozen(expr: ast.expr) -> bool:
+                if isinstance(expr, ast.Name):
+                    return expr.id in locals_frozen
+                if (
+                    isinstance(expr, ast.Attribute)
+                    and isinstance(expr.value, ast.Name)
+                    and expr.value.id == self_name
+                ):
+                    return expr.attr in frozen_attrs
+                return False
+
+            for node in ast.walk(func):
+                if isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+                    targets = (
+                        node.targets
+                        if isinstance(node, (ast.Assign, ast.Delete))
+                        else [node.target]
+                    )
+                    for target in targets:
+                        if isinstance(
+                            target, ast.Attribute
+                        ) and _receiver_is_frozen(target.value):
+                            yield self.finding(
+                                ctx.rel_path,
+                                node.lineno,
+                                node.col_offset,
+                                f"write to `.{target.attr}` of a frozen "
+                                "instance; frozen objects are shared and "
+                                "must be rebuilt, not patched",
+                            )
+                elif isinstance(node, ast.Call):
+                    func_expr = node.func
+                    if (
+                        isinstance(func_expr, ast.Name)
+                        and func_expr.id == "setattr"
+                        and node.args
+                        and _receiver_is_frozen(node.args[0])
+                    ):
+                        yield self.finding(
+                            ctx.rel_path,
+                            node.lineno,
+                            node.col_offset,
+                            "setattr() on a frozen instance",
+                        )
+                    elif (
+                        isinstance(func_expr, ast.Attribute)
+                        and func_expr.attr in MUTATOR_METHODS
+                        and isinstance(func_expr.value, ast.Attribute)
+                        and _receiver_is_frozen(func_expr.value.value)
+                    ):
+                        yield self.finding(
+                            ctx.rel_path,
+                            node.lineno,
+                            node.col_offset,
+                            f"in-place `{func_expr.attr}` on field "
+                            f"`.{func_expr.value.attr}` of a frozen "
+                            "instance",
+                        )
+
+
+def _functions_with_class(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef, str | None]]:
+    """Top-level and method functions, with the owning class name."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, None
+        elif isinstance(node, ast.ClassDef):
+            for sub in node.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield sub, node.name
+
+
+def _frozen_locals(
+    func: ast.FunctionDef | ast.AsyncFunctionDef, frozen: frozenset[str]
+) -> set[str]:
+    """Local names assigned from a frozen-class constructor call."""
+    names: set[str] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in frozen
+        ):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names

@@ -1,0 +1,111 @@
+"""R013: attributes guarded by a lock anywhere must be guarded everywhere.
+
+The service layer's thread-safety contract is *lock discipline*: if a
+class ever accesses ``self.<attr>`` inside ``with self.<lock>:``, then
+every other read/write of that attribute is a potential race unless it
+too holds the lock.  The rule works over the phase-1 project index:
+
+1. An attribute counts as *lock-guarded* when at least one access site
+   holds exactly one candidate lock, and the attribute is mutated outside
+   construction (``__init__``/``__post_init__``/...).  Attributes only
+   written during construction are immutable-after-publish and safe to
+   read bare (this keeps e.g. a ``self._started = time.time()`` read in
+   an unlocked ``uptime_seconds()`` clean).
+2. Every access site of a guarded attribute must hold the guarding lock —
+   either directly, or *inherited*: a helper method called exclusively
+   from ``with self.<lock>:`` regions of the same class runs under the
+   lock one level deep, so its bare accesses are fine.
+3. Construction methods are exempt (no concurrent aliasing yet), and a
+   ``# reprolint: guarded-by(<lock>)`` pragma on the access line asserts
+   an intentional lock-free site (e.g. a monotonic counter read where
+   staleness is acceptable); ``guarded-by(*)`` waives any lock.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Iterator
+
+from ..findings import Finding
+from ..project import CONSTRUCTION_METHODS, ClassIndex, ProjectIndex
+from ..registry import Rule, register_rule
+
+__all__ = ["LockDisciplineRule"]
+
+
+@register_rule
+class LockDisciplineRule(Rule):
+    id = "R013"
+    name = "lock-discipline"
+    description = (
+        "An attribute accessed under `with self.<lock>:` in one method "
+        "must hold that lock at every read/write site (helper methods "
+        "called only under the lock inherit it); annotate intentional "
+        "lock-free sites with `# reprolint: guarded-by(<lock>)`."
+    )
+
+    def check_project(self, project: ProjectIndex) -> Iterable[Finding]:
+        for cls in project.classes:
+            if cls.lock_attrs:
+                yield from self._check_class(project, cls)
+
+    def _check_class(
+        self, project: ProjectIndex, cls: ClassIndex
+    ) -> Iterator[Finding]:
+        guard = self._guard_map(cls)
+        if not guard:
+            return
+        pragmas = project.pragmas(cls.rel_path)
+        inherited: dict[str, frozenset[str]] = {}
+        for access in cls.accesses:
+            lock = guard.get(access.attr)
+            if lock is None or access.method in CONSTRUCTION_METHODS:
+                continue
+            if lock in access.locks_held:
+                continue
+            if access.method not in inherited:
+                inherited[access.method] = cls.inherited_locks(access.method)
+            if lock in inherited[access.method]:
+                continue
+            if pragmas is not None:
+                asserted = pragmas.guarded_by(access.line)
+                if "*" in asserted or lock in asserted:
+                    continue
+            kind = "write to" if access.is_write else "read of"
+            yield self.finding(
+                cls.rel_path,
+                access.line,
+                access.col,
+                f"{kind} `{cls.name}.{access.attr}` without holding "
+                f"`self.{lock}` (guarded elsewhere in the class); hold "
+                "the lock or annotate with "
+                f"`# reprolint: guarded-by({lock})`",
+            )
+
+    def _guard_map(self, cls: ClassIndex) -> dict[str, str]:
+        """attr -> guarding lock, for attrs the class treats as guarded.
+
+        An attribute qualifies when (a) some access site holds at least
+        one lock, (b) the attribute is mutated outside construction, and
+        (c) the lock attribute itself is not the accessed attribute.
+        The guarding lock is the one held at the most access sites —
+        classes with several locks guard disjoint attribute sets, and
+        majority vote over sites picks the intended one without needing
+        annotations.
+        """
+        votes: dict[str, Counter[str]] = {}
+        mutated_late: set[str] = set()
+        for access in cls.accesses:
+            if access.attr in cls.lock_attrs:
+                continue
+            if access.is_write and access.method not in CONSTRUCTION_METHODS:
+                mutated_late.add(access.attr)
+            if access.method in CONSTRUCTION_METHODS:
+                continue
+            for lock in access.locks_held:
+                votes.setdefault(access.attr, Counter())[lock] += 1
+        return {
+            attr: counts.most_common(1)[0][0]
+            for attr, counts in votes.items()
+            if attr in mutated_late
+        }

@@ -1,0 +1,179 @@
+"""R015: the global lock-acquisition graph must be acyclic.
+
+Deadlock needs two threads acquiring the same pair of locks in opposite
+orders.  The phase-1 index records every *ordered* acquisition — lock B
+entered while lock A is held — from two sources:
+
+* nested ``with self.a: ... with self.b:`` regions inside one method;
+* call-mediated nesting: a method of class X holding ``X._lock`` calls
+  ``self.<attr>.m(...)`` where ``__init__`` bound ``attr`` to class Y and
+  ``Y.m`` acquires ``Y._lock`` (resolved cross-file through the index's
+  ``attr_types`` map), and likewise plain ``self.helper()`` calls whose
+  helper acquires a second lock of the same class.
+
+Nodes are qualified ``ClassName._lock`` names, so identically-named locks
+of different classes stay distinct.  Any strongly connected component
+with ≥2 nodes (or a self-loop through calls) is a potential ABBA
+deadlock and is reported once per participating edge.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from ..findings import Finding
+from ..project import ClassIndex, ProjectIndex
+from ..registry import Rule, register_rule
+
+__all__ = ["LockOrderRule"]
+
+
+class _Edge:
+    __slots__ = ("held", "acquired", "rel_path", "line")
+
+    def __init__(
+        self, held: str, acquired: str, rel_path: str, line: int
+    ) -> None:
+        self.held = held
+        self.acquired = acquired
+        self.rel_path = rel_path
+        self.line = line
+
+
+@register_rule
+class LockOrderRule(Rule):
+    id = "R015"
+    name = "lock-ordering"
+    description = (
+        "Nested lock acquisitions (direct `with` nesting or through "
+        "cross-class calls) must form an acyclic order; cycles are "
+        "potential ABBA deadlocks."
+    )
+
+    def check_project(self, project: ProjectIndex) -> Iterable[Finding]:
+        edges = list(self._collect_edges(project))
+        cyclic = _nodes_in_cycles(edges)
+        seen: set[tuple[str, str, int]] = set()
+        for edge in edges:
+            if edge.held not in cyclic or edge.acquired not in cyclic:
+                continue
+            key = (edge.held, edge.acquired, edge.line)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield self.finding(
+                edge.rel_path,
+                edge.line,
+                0,
+                f"lock-order cycle: `{edge.acquired}` acquired while "
+                f"`{edge.held}` is held, and the reverse order exists "
+                "elsewhere; pick one global order",
+            )
+
+    def _collect_edges(self, project: ProjectIndex) -> Iterator[_Edge]:
+        for cls in project.classes:
+            # Direct nesting inside one method body.
+            for raw in cls.lock_edges:
+                yield _Edge(
+                    f"{cls.name}.{raw.held}",
+                    f"{cls.name}.{raw.acquired}",
+                    cls.rel_path,
+                    raw.line,
+                )
+            # Call-mediated nesting.
+            for summary in cls.methods.values():
+                for call in summary.calls:
+                    if not call.locks_held:
+                        continue
+                    for acquired in self._acquired_by_call(
+                        project, cls, call.receiver, call.method
+                    ):
+                        for held in call.locks_held:
+                            held_q = f"{cls.name}.{held}"
+                            if held_q != acquired:
+                                yield _Edge(
+                                    held_q,
+                                    acquired,
+                                    cls.rel_path,
+                                    call.line,
+                                )
+
+    def _acquired_by_call(
+        self,
+        project: ProjectIndex,
+        cls: ClassIndex,
+        receiver: str | None,
+        method: str,
+    ) -> Iterator[str]:
+        if receiver is None:
+            summary = cls.methods.get(method)
+            if summary is not None:
+                for lock in summary.acquires:
+                    yield f"{cls.name}.{lock}"
+            return
+        type_name = cls.attr_types.get(receiver)
+        if type_name is None:
+            return
+        for target in project.classes_named(type_name):
+            summary = target.methods.get(method)
+            if summary is not None:
+                for lock in summary.acquires:
+                    yield f"{target.name}.{lock}"
+
+
+def _nodes_in_cycles(edges: list[_Edge]) -> set[str]:
+    """Nodes on some cycle: members of a ≥2-node SCC, or self-looped."""
+    graph: dict[str, set[str]] = {}
+    for edge in edges:
+        graph.setdefault(edge.held, set()).add(edge.acquired)
+        graph.setdefault(edge.acquired, set())
+
+    # Tarjan's SCC, iterative to keep recursion depth bounded.
+    index_of: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    cyclic: set[str] = set()
+    counter = 0
+
+    for root in graph:
+        if root in index_of:
+            continue
+        work: list[tuple[str, Iterator[str]]] = [(root, iter(graph[root]))]
+        index_of[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in index_of:
+                    index_of[child] = low[child] = counter
+                    counter += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(graph[child])))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    low[node] = min(low[node], index_of[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index_of[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1:
+                    cyclic.update(component)
+                elif component[0] in graph.get(component[0], set()):
+                    cyclic.add(component[0])
+    return cyclic

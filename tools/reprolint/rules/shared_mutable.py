@@ -1,0 +1,284 @@
+"""R016: module-level mutable state shared across threads must not escape.
+
+Module globals are process-wide singletons; once the service layer runs
+queries on worker threads, any function mutating a bare module-level
+``dict``/``list``/``set`` (or rebinding a global) races with every other
+caller.  Three shapes are flagged:
+
+1. A module-level name bound to a mutable literal/constructor
+   (``{}``/``[]``/``set()``/``dict()``/``list()``/``defaultdict()``/...)
+   that some function mutates (``global`` rebind, item store, or an
+   in-place mutator call) — *unless* every mutating site runs under a
+   module-level lock (``with _LOCK:`` where the lock is itself a
+   module-level ``threading.Lock()``), which is the sanctioned pattern.
+2. A mutable default argument (``def f(x, acc=[])``) — the classic
+   escaping-default, shared across all calls.
+3. A mutable class attribute on a class that also defines instance
+   methods writing it through ``self`` or the class — instance state
+   accidentally shared between every instance.
+
+Registries that are intentionally process-global and populated only at
+import time (decorator-driven rule/algorithm registries) are the known
+exceptions: annotate with ``# reprolint: disable=R016`` on the binding
+line, stating why import-time-only mutation is safe.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from ..context import FileContext
+from ..findings import Finding
+from ..project import MUTATOR_METHODS
+from ..registry import Rule, register_rule
+
+__all__ = ["SharedMutableRule"]
+
+#: Constructor names producing a mutable container.
+_MUTABLE_FACTORIES = {
+    "dict",
+    "list",
+    "set",
+    "bytearray",
+    "defaultdict",
+    "deque",
+    "Counter",
+    "OrderedDict",
+}
+
+_LOCK_FACTORIES = {"Lock", "RLock", "Condition", "Semaphore"}
+
+
+def _is_mutable_value(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Dict, ast.List, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return name in _MUTABLE_FACTORIES
+    return False
+
+
+def _is_lock_value(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = func.id if isinstance(func, ast.Name) else (
+        func.attr if isinstance(func, ast.Attribute) else None
+    )
+    return name in _LOCK_FACTORIES
+
+
+@register_rule
+class SharedMutableRule(Rule):
+    id = "R016"
+    name = "shared-mutable-state"
+    description = (
+        "Module-level mutable containers mutated from functions, mutable "
+        "default arguments, and mutable class attributes written through "
+        "instances are process-wide shared state; guard with a module "
+        "lock, move into instances, or pragma import-time registries."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        yield from self._check_module_globals(ctx)
+        yield from self._check_mutable_defaults(ctx)
+        yield from self._check_class_attrs(ctx)
+
+    # -- shape 1: module-level containers mutated at runtime -------------
+    def _check_module_globals(self, ctx: FileContext) -> Iterator[Finding]:
+        mutable_bindings: dict[str, int] = {}
+        module_locks: set[str] = set()
+        for node in ctx.tree.body:
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if not isinstance(target, ast.Name):
+                        continue
+                    if _is_mutable_value(node.value):
+                        mutable_bindings[target.id] = node.lineno
+                    elif _is_lock_value(node.value):
+                        module_locks.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if isinstance(node.target, ast.Name):
+                    if _is_mutable_value(node.value):
+                        mutable_bindings[node.target.id] = node.lineno
+                    elif _is_lock_value(node.value):
+                        module_locks.add(node.target.id)
+        if not mutable_bindings:
+            return
+        # Collect every runtime mutation site per global.
+        mutations: dict[str, list[tuple[int, bool]]] = {}
+        for func in _all_functions(ctx.tree):
+            for name, line, locked in _mutation_sites(
+                func, set(mutable_bindings), module_locks
+            ):
+                mutations.setdefault(name, []).append((line, locked))
+        for name, sites in mutations.items():
+            if all(locked for _, locked in sites):
+                continue  # disciplined: every mutation under a module lock
+            line = mutable_bindings[name]
+            yield self.finding(
+                ctx.rel_path,
+                line,
+                0,
+                f"module-level mutable `{name}` is mutated at runtime "
+                f"(line {sites[0][0]} and possibly others) without a "
+                "module lock; shared across threads",
+            )
+
+    # -- shape 2: mutable default arguments -------------------------------
+    def _check_mutable_defaults(self, ctx: FileContext) -> Iterator[Finding]:
+        for func in _all_functions(ctx.tree):
+            defaults = list(func.args.defaults) + [
+                d for d in func.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_value(default):
+                    yield self.finding(
+                        ctx.rel_path,
+                        default.lineno,
+                        default.col_offset,
+                        f"mutable default argument in `{func.name}()` is "
+                        "shared across every call; default to None and "
+                        "construct inside the body",
+                    )
+
+    # -- shape 3: class attrs written through instances -------------------
+    def _check_class_attrs(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            class_mutables: dict[str, int] = {}
+            for stmt in node.body:
+                if isinstance(stmt, ast.Assign):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name) and _is_mutable_value(
+                            stmt.value
+                        ):
+                            class_mutables[target.id] = stmt.lineno
+            if not class_mutables:
+                continue
+            # Written through self anywhere (in-place) => shared state bug.
+            for method in node.body:
+                if not isinstance(
+                    method, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                self_name = (
+                    method.args.args[0].arg if method.args.args else "self"
+                )
+                for sub in ast.walk(method):
+                    name = _inplace_self_attr_mutation(sub, self_name)
+                    if name is not None and name in class_mutables:
+                        yield self.finding(
+                            ctx.rel_path,
+                            class_mutables[name],
+                            0,
+                            f"class attribute `{node.name}.{name}` is a "
+                            "mutable container mutated through instances "
+                            f"(line {sub.lineno}); every instance shares "
+                            "it — initialise in __init__ instead",
+                        )
+                        class_mutables.pop(name)
+                        break
+
+
+def _all_functions(
+    tree: ast.Module,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _mutation_sites(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    globals_: set[str],
+    module_locks: set[str],
+) -> Iterator[tuple[str, int, bool]]:
+    """(name, line, under_module_lock) for each global mutation in *func*."""
+    declared_global = {
+        name
+        for node in ast.walk(func)
+        if isinstance(node, ast.Global)
+        for name in node.names
+    }
+
+    def walk(node: ast.AST, locked: bool) -> Iterator[tuple[str, int, bool]]:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner_locked = locked or any(
+                isinstance(item.context_expr, ast.Name)
+                and item.context_expr.id in module_locks
+                for item in node.items
+            )
+            for stmt in node.body:
+                yield from walk(stmt, inner_locked)
+            return
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+            targets = (
+                node.targets
+                if isinstance(node, (ast.Assign, ast.Delete))
+                else [node.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id in globals_
+                    and target.id in declared_global
+                ):
+                    yield target.id, node.lineno, locked
+                elif (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in globals_
+                ):
+                    yield target.value.id, node.lineno, locked
+        elif isinstance(node, ast.Call):
+            func_expr = node.func
+            if (
+                isinstance(func_expr, ast.Attribute)
+                and func_expr.attr in MUTATOR_METHODS
+                and isinstance(func_expr.value, ast.Name)
+                and func_expr.value.id in globals_
+            ):
+                yield func_expr.value.id, node.lineno, locked
+        for child in ast.iter_child_nodes(node):
+            yield from walk(child, locked)
+
+    for stmt in func.body:
+        yield from walk(stmt, False)
+
+
+def _inplace_self_attr_mutation(
+    node: ast.AST, self_name: str
+) -> str | None:
+    """Attr name if *node* mutates ``self.<attr>`` in place, else None."""
+    if isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+        targets = (
+            node.targets
+            if isinstance(node, (ast.Assign, ast.Delete))
+            else [node.target]
+        )
+        for target in targets:
+            if (
+                isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Attribute)
+                and isinstance(target.value.value, ast.Name)
+                and target.value.value.id == self_name
+            ):
+                return target.value.attr
+    elif isinstance(node, ast.Call):
+        func_expr = node.func
+        if (
+            isinstance(func_expr, ast.Attribute)
+            and func_expr.attr in MUTATOR_METHODS
+            and isinstance(func_expr.value, ast.Attribute)
+            and isinstance(func_expr.value.value, ast.Name)
+            and func_expr.value.value.id == self_name
+        ):
+            return func_expr.value.attr
+    return None

@@ -1,4 +1,11 @@
-"""Lint driver: file discovery, rule execution, pragma filtering."""
+"""Lint driver: file discovery, two-phase rule execution, pragma filtering.
+
+Phase 1 parses every file and builds the whole-program
+:class:`~tools.reprolint.project.ProjectIndex`; phase 2 runs per-file
+hooks (``check_file``) followed by project-wide hooks (``check_project``)
+and the legacy ``finalize`` hook.  All pragma filtering happens here, so
+rules may emit unconditionally.
+"""
 
 from __future__ import annotations
 
@@ -10,6 +17,7 @@ from . import rules as _rules  # noqa: F401  (populates the registry)
 from .context import FileContext
 from .findings import Finding
 from .pragmas import PragmaIndex
+from .project import ProjectIndex, build_project_index
 from .registry import Rule, all_rules
 
 __all__ = ["LintResult", "iter_python_files", "lint_paths"]
@@ -39,6 +47,8 @@ class LintResult:
     files_scanned: int = 0
     errors: list[str] = field(default_factory=list)
     """Files that could not be parsed (reported, and fail the run)."""
+    project: ProjectIndex | None = None
+    """The phase-1 index (exposed for the CLI's pragma inventory)."""
 
 
 def _select_rules(
@@ -68,13 +78,15 @@ def lint_paths(
 
     Findings suppressed by ``# reprolint: disable`` pragmas are filtered
     here, so rules may emit unconditionally.  Cross-file findings from
-    ``finalize`` are filtered against the pragma index of the file they
-    point into.
+    ``check_project`` and ``finalize`` are filtered against the pragma
+    index of the file they point into.
     """
     active = _select_rules(select, ignore)
     result = LintResult()
     pragma_by_path: dict[str, PragmaIndex] = {}
 
+    # Phase 1: parse every file once, building the project index.
+    contexts: list[FileContext] = []
     for path in iter_python_files(paths):
         rel_path = _display_path(path)
         try:
@@ -84,19 +96,32 @@ def lint_paths(
             continue
         result.files_scanned += 1
         pragma_by_path[rel_path] = ctx.pragmas
+        contexts.append(ctx)
+    project = build_project_index(contexts)
+    result.project = project
+
+    # Phase 2: per-file hooks, then whole-program hooks.
+    for ctx in contexts:
         for rule in active:
             for finding in rule.check_file(ctx):
                 if not ctx.pragmas.is_disabled(finding.rule_id, finding.line):
                     result.findings.append(finding)
 
+    def _suppressed(finding: Finding) -> bool:
+        pragmas = pragma_by_path.get(finding.path)
+        return pragmas is not None and pragmas.is_disabled(
+            finding.rule_id, finding.line
+        )
+
+    for rule in active:
+        for finding in rule.check_project(project):
+            if not _suppressed(finding):
+                result.findings.append(finding)
+
     for rule in active:
         for finding in rule.finalize():
-            pragmas = pragma_by_path.get(finding.path)
-            if pragmas is not None and pragmas.is_disabled(
-                finding.rule_id, finding.line
-            ):
-                continue
-            result.findings.append(finding)
+            if not _suppressed(finding):
+                result.findings.append(finding)
 
     result.findings.sort()
     return result

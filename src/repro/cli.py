@@ -21,6 +21,13 @@ Subcommands
 ``submit``
     Write a JSONL request line for ``serve`` — the two verbs compose
     into shell pipelines: ``repro submit ... | repro serve ...``.
+``subscribe``
+    Write a JSONL ``subscribe`` request registering a standing pattern
+    against a served graph (see docs/STREAMING.md).
+``ingest``
+    Turn a SNAP-style edge file into batched JSONL ``ingest`` requests;
+    piped into ``serve`` it appends edges and drives the standing
+    subscriptions' delta searches.
 ``trace``
     Run one fully traced query (the paper's toy example by default),
     print the span tree and per-filter pruning counters, and optionally
@@ -155,7 +162,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     submit.add_argument("--op", default="query",
                         choices=("query", "metrics", "graphs", "ping",
-                                 "trace", "shutdown"),
+                                 "trace", "poll", "unsubscribe", "shutdown"),
                         help="request type (default query)")
     submit.add_argument("--graph", default=None,
                         help="registered graph name (query op)")
@@ -176,8 +183,52 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--trace-id", default=None,
                         help="retrieve one stored trace (trace op; omit to "
                              "list retained trace ids)")
+    submit.add_argument("--subscription-id", default=None,
+                        help="standing subscription id (poll/unsubscribe ops)")
+    submit.add_argument("--max", type=int, default=None, dest="max_items",
+                        help="cap emissions drained per poll (poll op)")
     submit.add_argument("--id", default=None,
                         help="request id echoed back in the response")
+
+    subscribe = sub.add_parser(
+        "subscribe",
+        help="print a JSONL subscribe request registering a standing pattern",
+    )
+    subscribe.add_argument("--graph", required=True,
+                           help="registered graph name on the server")
+    subscribe.add_argument("--pattern", required=True,
+                           help="pattern JSON file; inlined into the request")
+    subscribe.add_argument("--subscription-id", default=None,
+                           help="explicit subscription id (server assigns "
+                                "'sN' when omitted)")
+    subscribe.add_argument("--queue-capacity", type=int, default=None,
+                           help="undelivered emissions buffered between "
+                                "polls (service default 1024)")
+    subscribe.add_argument("--lateness", type=int, default=None,
+                           help="out-of-order slack, in timestamp units, "
+                                "for partial expiry (default 0)")
+    subscribe.add_argument("--search-budget", type=float, default=None,
+                           help="seconds per delta search (default "
+                                "unbounded, which keeps emissions exact)")
+    subscribe.add_argument("--id", default=None,
+                           help="request id echoed back in the response")
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="print batched JSONL ingest requests from an edge file",
+    )
+    ingest.add_argument("--graph", required=True,
+                        help="registered graph name on the server")
+    ingest.add_argument("--file", required=True,
+                        help="edge file: 'src dst t [label]' lines "
+                             "('-' reads stdin)")
+    ingest.add_argument("--batch", type=int, default=256,
+                        help="edges per ingest request (default 256)")
+    ingest.add_argument("--trace", action="store_true",
+                        help="trace each ingest batch (segment flushes and "
+                             "per-edge delta searches)")
+    ingest.add_argument("--id", default=None,
+                        help="request id prefix; batches get '<id>-<n>'")
     return parser
 
 
@@ -376,7 +427,107 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             request["trace"] = True
     elif args.op == "trace" and args.trace_id is not None:
         request["trace_id"] = args.trace_id
+    elif args.op in ("poll", "unsubscribe"):
+        if args.subscription_id is None:
+            print(f"error: 'submit --op {args.op}' needs --subscription-id",
+                  file=sys.stderr)
+            return 2
+        request["subscription_id"] = args.subscription_id
+        if args.op == "poll" and args.max_items is not None:
+            request["max"] = args.max_items
     print(json.dumps(request))
+    return 0
+
+
+def _cmd_subscribe(args: argparse.Namespace) -> int:
+    from .graphs import pattern_to_dict
+
+    query, constraints = load_pattern(args.pattern)
+    request: dict[str, object] = {
+        "op": "subscribe",
+        "graph": args.graph,
+        "pattern": pattern_to_dict(query, constraints),
+    }
+    if args.id is not None:
+        request["id"] = args.id
+    if args.subscription_id is not None:
+        request["subscription_id"] = args.subscription_id
+    if args.queue_capacity is not None:
+        request["queue_capacity"] = args.queue_capacity
+    if args.lateness is not None:
+        request["lateness"] = args.lateness
+    if args.search_budget is not None:
+        request["search_budget"] = args.search_budget
+    print(json.dumps(request))
+    return 0
+
+
+def _parse_edge_line(line: str, lineno: int) -> list[object] | None:
+    """Parse one 'src dst t [label]' edge line (None for blank/comment)."""
+    text = line.strip()
+    if not text or text.startswith("#"):
+        return None
+    parts = text.split()
+    if len(parts) not in (3, 4):
+        raise ReproError(
+            f"edge line {lineno} needs 'src dst t [label]', got {text!r}"
+        )
+    try:
+        edge: list[object] = [int(parts[0]), int(parts[1]), int(parts[2])]
+    except ValueError as exc:
+        raise ReproError(
+            f"edge line {lineno}: non-integer src/dst/t in {text!r}"
+        ) from exc
+    if len(parts) == 4:
+        label = parts[3]
+        edge.append(int(label) if label.lstrip("-").isdigit() else label)
+    return edge
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    if args.batch < 1:
+        print(f"error: --batch must be >= 1, got {args.batch}",
+              file=sys.stderr)
+        return 2
+    if args.file == "-":
+        lines = sys.stdin
+    else:
+        lines = Path(args.file).open(encoding="utf-8")
+    batches = 0
+    edges: list[list[object]] = []
+
+    def flush() -> None:
+        nonlocal batches, edges
+        if not edges:
+            return
+        batches += 1
+        request: dict[str, object] = {
+            "op": "ingest",
+            "graph": args.graph,
+            "edges": edges,
+        }
+        if args.trace:
+            request["trace"] = True
+        if args.id is not None:
+            request["id"] = f"{args.id}-{batches}"
+        print(json.dumps(request))
+        edges = []
+
+    total = 0
+    try:
+        for lineno, line in enumerate(lines, start=1):
+            edge = _parse_edge_line(line, lineno)
+            if edge is None:
+                continue
+            edges.append(edge)
+            total += 1
+            if len(edges) >= args.batch:
+                flush()
+    finally:
+        if lines is not sys.stdin:
+            lines.close()
+    flush()
+    print(f"# {total} edges in {batches} ingest requests", file=sys.stderr)
     return 0
 
 
@@ -400,6 +551,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_trace(args)
         if args.command == "submit":
             return _cmd_submit(args)
+        if args.command == "subscribe":
+            return _cmd_subscribe(args)
+        if args.command == "ingest":
+            return _cmd_ingest(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -21,6 +21,8 @@ __all__ = [
     "ServiceError",
     "UnknownGraphError",
     "AdmissionError",
+    "StreamingError",
+    "UnknownSubscriptionError",
 ]
 
 
@@ -85,3 +87,11 @@ class AdmissionError(ServiceError):
     Load shedding, not failure: the request was never executed and can be
     retried once in-flight queries drain.
     """
+
+
+class StreamingError(ReproError):
+    """Invalid standing-subscription or edge-ingest request."""
+
+
+class UnknownSubscriptionError(StreamingError):
+    """A request referenced a subscription id not registered on the engine."""

@@ -17,6 +17,7 @@ from .io import (
 from .labels import LabelTable, label_histogram
 from .metrics import GraphStatistics, graph_statistics
 from .query_graph import QueryGraph
+from .segmented import SegmentedGraph
 from .query_io import (
     load_pattern,
     pattern_from_dict,
@@ -51,6 +52,7 @@ __all__ = [
     "snapshot_write_barrier",
     "QueryBuilder",
     "QueryGraph",
+    "SegmentedGraph",
     "StaticGraph",
     "TemporalEdge",
     "TemporalGraph",

@@ -57,7 +57,13 @@ def load_snap_temporal(
     path:
         File of ``src dst timestamp`` lines (``#`` comments allowed;
         ``.gz`` suffix handled transparently).  Raw SNAP vertex ids are
-        remapped to a dense ``0..n-1`` range in first-seen order.
+        remapped to a dense ``0..n-1`` range in first-seen order —
+        *unless* the label map's domain is already exactly ``0..n-1``
+        (always true for sidecars written by :func:`save_snap_temporal`),
+        in which case ids are kept verbatim and the label map defines the
+        vertex universe.  Verbatim ids make round-trips lossless and let
+        a file be split into a base prefix plus a streamed delta
+        (``repro ingest``) that references one shared universe.
     labels:
         Optional ``raw_id -> label`` map.  If omitted, a sidecar file
         ``<path>.labels`` is used when present; otherwise labels are drawn
@@ -75,6 +81,11 @@ def load_snap_temporal(
         sidecar = path.with_name(path.name + ".labels")
         if sidecar.exists():
             labels = load_labels(sidecar)
+
+    # A dense label domain fixes the universe up front: ids pass through
+    # verbatim, so a prefix of the file loads into the same id space the
+    # rest of the file (streamed later) references.
+    verbatim = labels is not None and set(labels) == set(range(len(labels)))
 
     raw_to_dense: dict[int, int] = {}
     raw_ids: list[int] = []
@@ -97,17 +108,32 @@ def load_snap_temporal(
             if src == dst:
                 dropped_self_loops += 1
                 continue
-            for raw in (src, dst):
-                if raw not in raw_to_dense:
-                    raw_to_dense[raw] = len(raw_ids)
-                    raw_ids.append(raw)
-            edges.append((raw_to_dense[src], raw_to_dense[dst], t))
+            if verbatim:
+                assert labels is not None
+                for raw in (src, dst):
+                    if raw not in labels:
+                        raise DatasetError(
+                            f"{path}:{line_no}: vertex {raw} outside the "
+                            f"label map's 0..{len(labels) - 1} universe"
+                        )
+                edges.append((src, dst, t))
+            else:
+                for raw in (src, dst):
+                    if raw not in raw_to_dense:
+                        raw_to_dense[raw] = len(raw_ids)
+                        raw_ids.append(raw)
+                edges.append((raw_to_dense[src], raw_to_dense[dst], t))
             if max_edges is not None and len(edges) >= max_edges:
                 break
 
-    if labels is not None:
+    if verbatim:
+        assert labels is not None
+        label_list: Sequence[Hashable] = [
+            labels[i] for i in range(len(labels))
+        ]
+    elif labels is not None:
         try:
-            label_list: Sequence[Hashable] = [labels[raw] for raw in raw_ids]
+            label_list = [labels[raw] for raw in raw_ids]
         except KeyError as exc:
             raise DatasetError(f"no label for vertex {exc} in label map") from None
     else:

@@ -43,6 +43,7 @@ from ..errors import GraphError
 from .temporal_graph import TemporalEdge, TemporalGraph
 
 if TYPE_CHECKING:
+    from .segmented import SegmentedGraph
     from .static_graph import StaticGraph
 
 __all__ = [
@@ -610,9 +611,11 @@ def compile_snapshot(graph: TemporalGraph) -> GraphSnapshot:
     )
 
 
-#: Either graph backend; matcher hot loops are written against this union
-#: and behave identically on both (pinned by the equivalence tests).
-GraphView = Union[TemporalGraph, GraphSnapshot]
+#: Any graph backend; matcher hot loops are written against this union
+#: and behave identically on all of them (pinned by the equivalence
+#: tests): the mutable dict builder, the compiled CSR snapshot, and the
+#: appendable segmented graph used by the streaming subsystem.
+GraphView = Union[TemporalGraph, GraphSnapshot, "SegmentedGraph"]
 
 #: Either static accessor surface accepted by the candidate filters.
 StaticView = Union["StaticGraph", GraphSnapshot]
@@ -623,7 +626,11 @@ def ensure_snapshot(graph: GraphView) -> GraphSnapshot:
 
     Compilation is cached on the source graph (see
     :meth:`TemporalGraph.freeze`), so repeated matcher preparation
-    against one graph compiles its data plane exactly once.  Never wraps
+    against one graph compiles its data plane exactly once.
+    Segment-aware: a :class:`~repro.graphs.SegmentedGraph` answers via
+    its own cached :meth:`~repro.graphs.SegmentedGraph.freeze`, which
+    returns its single compiled segment without recompiling whenever the
+    tail is empty.  Never wraps
     in a write barrier — callers rely on identity pass-through; the
     engine applies :func:`snapshot_write_barrier` itself in sanitizer
     mode.

@@ -27,9 +27,15 @@ from typing import IO, Any
 
 from ..core import Match, MatchOptions, SearchStats, create_matcher
 from ..core.engine import prepare_matcher
-from ..errors import AdmissionError, ReproError
+from ..errors import (
+    AdmissionError,
+    ReproError,
+    StreamingError,
+    UnknownSubscriptionError,
+)
 from ..graphs import (
     QueryGraph,
+    SegmentedGraph,
     TemporalConstraints,
     TemporalGraph,
     load_pattern,
@@ -37,6 +43,13 @@ from ..graphs import (
     pattern_from_dict,
 )
 from ..obs import Tracer, render_span_tree, to_chrome_trace
+from ..streaming import (
+    Emission,
+    IngestReport,
+    StreamingEngine,
+    Subscription,
+    SubscriptionOptions,
+)
 from .cache import ResultCache, ResultKey
 from .executor import ProcessSpec, QueryExecutor
 from .metrics import MetricsRegistry
@@ -145,6 +158,13 @@ class TCSMService:
         self._sampler = TraceSampler(self.config.trace_sample_rate)
         self._inflight = 0
         self._inflight_lock = threading.Lock()
+        #: Streaming state: one engine per graph name (created lazily on
+        #: first subscribe) plus the subscription-id -> graph-name index
+        #: that lets ``poll``/``unsubscribe`` address by id alone.
+        self._streams: dict[str, StreamingEngine] = {}
+        self._stream_subs: dict[str, str] = {}
+        self._stream_sub_seq = 0
+        self._streams_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # graph lifecycle
@@ -165,10 +185,137 @@ class TCSMService:
         return self.load_graph(name, graph)
 
     def drop_graph(self, name: str) -> None:
-        """Unregister *name* and evict everything cached against it."""
+        """Unregister *name* and evict everything cached against it.
+
+        Tears down the graph's streaming engine too: its subscriptions
+        (and their undelivered emissions) are discarded.
+        """
         self.graphs.drop(name)
         self.plans.invalidate_graph(name)
         self.results.invalidate_graph(name)
+        with self._streams_lock:
+            if self._streams.pop(name, None) is not None:
+                for sub_id, owner in list(self._stream_subs.items()):
+                    if owner == name:
+                        del self._stream_subs[sub_id]
+
+    # ------------------------------------------------------------------
+    # streaming: standing subscriptions over a live edge stream
+    # ------------------------------------------------------------------
+    def _stream_engine(self, graph_name: str) -> StreamingEngine:
+        """Get or lazily create *graph_name*'s streaming engine.
+
+        The engine's segmented graph is seeded zero-copy from the
+        registered handle's frozen snapshot (its CSR arrays are shared by
+        reference), so opening a stream over an already-served graph
+        compiles nothing.
+        """
+        with self._streams_lock:
+            engine = self._streams.get(graph_name)
+        if engine is not None:
+            return engine
+        handle = self.graphs.get(graph_name)
+        with self._streams_lock:
+            engine = self._streams.get(graph_name)
+            if engine is None:
+                engine = StreamingEngine(
+                    SegmentedGraph.from_snapshot(handle.snapshot)
+                )
+                self._streams[graph_name] = engine
+            return engine
+
+    def _engine_for_subscription(self, sub_id: str) -> StreamingEngine:
+        with self._streams_lock:
+            graph_name = self._stream_subs.get(sub_id)
+            engine = (
+                self._streams.get(graph_name)
+                if graph_name is not None
+                else None
+            )
+        if engine is None:
+            raise UnknownSubscriptionError(f"unknown subscription {sub_id!r}")
+        return engine
+
+    def stream_subscribe(
+        self,
+        graph_name: str,
+        query: QueryGraph,
+        constraints: TemporalConstraints,
+        options: SubscriptionOptions | None = None,
+        sub_id: str | None = None,
+    ) -> Subscription:
+        """Register a standing pattern against *graph_name*'s stream.
+
+        Subscription ids are unique service-wide (auto-assigned ``s1``,
+        ``s2``, ... unless *sub_id* is given), so ``poll`` and
+        ``unsubscribe`` address by id alone.
+        """
+        with self._streams_lock:
+            if sub_id is None:
+                self._stream_sub_seq += 1
+                sub_id = f"s{self._stream_sub_seq}"
+            if sub_id in self._stream_subs:
+                raise StreamingError(
+                    f"subscription id {sub_id!r} already registered"
+                )
+            self._stream_subs[sub_id] = graph_name
+        try:
+            engine = self._stream_engine(graph_name)
+            sub = engine.subscribe(query, constraints, options, sub_id=sub_id)
+        except BaseException:
+            with self._streams_lock:
+                self._stream_subs.pop(sub_id, None)
+            raise
+        self.metrics.inc("subscriptions_total")
+        return sub
+
+    def stream_ingest(
+        self,
+        graph_name: str,
+        edges: list[Any],
+        trace: bool = False,
+    ) -> tuple[IngestReport, str | None]:
+        """Append *edges* to the graph's stream and meter the outcome.
+
+        ``trace=True`` routes this call's delta-search and segment-merge
+        spans through a dedicated tracer, retained in the trace store
+        like a traced query.
+        """
+        engine = self._stream_engine(graph_name)
+        tracer = Tracer() if trace else None
+        report = engine.ingest(edges, tracer=tracer)
+        trace_id: str | None = None
+        if tracer is not None:
+            handle = self.graphs.get(graph_name)
+            trace_id = self._retain_trace(tracer, handle, "streaming", "-")
+        self.metrics.inc("ingest_edges_total", report.new_edges)
+        self.metrics.inc("ingest_duplicates_total", report.duplicates)
+        self.metrics.inc("stream_matches_total", report.emitted)
+        self.metrics.inc("segment_flushes_total", report.flushes)
+        self.metrics.inc("segment_compactions_total", report.compactions)
+        self.metrics.observe("ingest_seconds", report.seconds)
+        return report, trace_id
+
+    def stream_poll(
+        self, sub_id: str, max_items: int | None = None
+    ) -> list[Emission]:
+        """Drain up to *max_items* undelivered emissions for *sub_id*."""
+        engine = self._engine_for_subscription(sub_id)
+        emissions = engine.poll(sub_id, max_items)
+        for emission in emissions:
+            self.metrics.observe(
+                "emission_latency_seconds", emission.latency_seconds
+            )
+        return emissions
+
+    def stream_unsubscribe(self, sub_id: str) -> Subscription:
+        """Deregister *sub_id*; returns its final state for the response."""
+        engine = self._engine_for_subscription(sub_id)
+        sub = engine.unsubscribe(sub_id)
+        with self._streams_lock:
+            self._stream_subs.pop(sub_id, None)
+        self.metrics.inc("subscriptions_closed")
+        return sub
 
     # ------------------------------------------------------------------
     # admission control
@@ -455,6 +602,11 @@ class TCSMService:
         snapshot["result_cache_entries"] = len(self.results)
         snapshot["trace_store_entries"] = len(self.traces)
         snapshot["inflight"] = self.inflight
+        with self._streams_lock:
+            streams = sorted(self._streams.items())
+        snapshot["streaming"] = {
+            name: engine.metrics_snapshot() for name, engine in streams
+        }
         return snapshot
 
     # ------------------------------------------------------------------
@@ -464,8 +616,10 @@ class TCSMService:
         """Handle one JSON-level request; never raises.
 
         Known ops: ``query``, ``load_graph``, ``drop_graph``, ``graphs``,
-        ``metrics``, ``trace``, ``ping``, ``shutdown``.  Responses always
-        carry
+        ``metrics``, ``trace``, ``ping``, ``shutdown``, plus the
+        streaming ops ``subscribe``, ``ingest``, ``unsubscribe`` and
+        ``poll`` (see docs/SERVICE.md and docs/STREAMING.md).  Responses
+        always carry
         ``status`` (``ok`` / ``error`` / ``rejected``), echo the request
         ``op`` and, when present, its ``id``.
         """
@@ -515,6 +669,15 @@ class TCSMService:
             if payload is None:
                 raise ValueError(f"unknown trace id {trace_id!r}")
             return {"trace": payload}
+        if op == "subscribe":
+            return self._handle_subscribe(request)
+        if op == "ingest":
+            return self._handle_ingest(request)
+        if op == "unsubscribe":
+            final = self.stream_unsubscribe(str(request["subscription_id"]))
+            return {"subscription": final.describe()}
+        if op == "poll":
+            return self._handle_poll(request)
         if op == "ping":
             return {"pong": True}
         if op == "shutdown":
@@ -554,6 +717,57 @@ class TCSMService:
             trace=bool(request.get("trace", False)),
         )
         return result.to_dict(include_matches=not count_only)
+
+    def _handle_subscribe(self, request: dict[str, Any]) -> dict[str, Any]:
+        if "pattern" in request:
+            query, constraints = pattern_from_dict(request["pattern"])
+        elif "pattern_path" in request:
+            query, constraints = load_pattern(str(request["pattern_path"]))
+        else:
+            raise ValueError(
+                "subscribe request needs 'pattern' or 'pattern_path'"
+            )
+        option_kwargs: dict[str, Any] = {}
+        if "queue_capacity" in request:
+            option_kwargs["queue_capacity"] = int(request["queue_capacity"])
+        if "lateness" in request:
+            option_kwargs["lateness"] = int(request["lateness"])
+        if "search_budget" in request:
+            option_kwargs["search_budget"] = float(request["search_budget"])
+        sub_id = request.get("subscription_id")
+        sub = self.stream_subscribe(
+            str(request["graph"]),
+            query,
+            constraints,
+            SubscriptionOptions(**option_kwargs),
+            sub_id=None if sub_id is None else str(sub_id),
+        )
+        return {"subscription": sub.describe()}
+
+    def _handle_ingest(self, request: dict[str, Any]) -> dict[str, Any]:
+        edges = request.get("edges")
+        if not isinstance(edges, list):
+            raise ValueError("ingest request needs an 'edges' list")
+        report, trace_id = self.stream_ingest(
+            str(request["graph"]),
+            edges,
+            trace=bool(request.get("trace", False)),
+        )
+        payload: dict[str, Any] = {"report": report.to_dict()}
+        if trace_id is not None:
+            payload["trace_id"] = trace_id
+        return payload
+
+    def _handle_poll(self, request: dict[str, Any]) -> dict[str, Any]:
+        max_items = request.get("max")
+        emissions = self.stream_poll(
+            str(request["subscription_id"]),
+            None if max_items is None else int(max_items),
+        )
+        return {
+            "emissions": [emission.to_dict() for emission in emissions],
+            "count": len(emissions),
+        }
 
     # ------------------------------------------------------------------
     # lifecycle

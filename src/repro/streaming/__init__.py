@@ -1,0 +1,34 @@
+"""Continuous TCSM: standing subscriptions over a live edge stream.
+
+The streaming subsystem turns the one-shot matching stack into a
+continuous one (see docs/STREAMING.md):
+
+* :class:`~repro.graphs.SegmentedGraph` (in :mod:`repro.graphs`) makes
+  the data graph appendable without per-edge snapshot recompilation —
+  immutable compiled CSR segments plus a small mutable tail, merged
+  LSM-style;
+* :class:`StreamingEngine` registers standing patterns
+  (:func:`StreamingEngine.subscribe`) and, per ingested edge, runs a
+  window-pruned delta search that emits exactly the matches the edge
+  completes;
+* :class:`~repro.service.TCSMService` exposes the engine through the
+  ``subscribe`` / ``ingest`` / ``unsubscribe`` / ``poll`` JSONL ops
+  (``repro subscribe`` / ``repro ingest`` in the CLI).
+"""
+
+from .engine import IngestReport, StreamingEngine
+from .subscription import (
+    Emission,
+    Subscription,
+    SubscriptionOptions,
+    build_subscription,
+)
+
+__all__ = [
+    "Emission",
+    "IngestReport",
+    "StreamingEngine",
+    "Subscription",
+    "SubscriptionOptions",
+    "build_subscription",
+]

@@ -79,19 +79,53 @@ class TestLoadSnap:
         assert g.num_temporal_edges == 2
 
 
+class TestVerbatimIds:
+    """A dense label domain keeps file ids verbatim (no remap)."""
+
+    def test_dense_sidecar_preserves_ids(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("2 0 100\n0 1 50\n")
+        g = load_snap_temporal(path, labels={0: "A", 1: "B", 2: "C"})
+        assert g.labels == ("A", "B", "C")
+        assert g.timestamps(2, 0) == (100,)
+        assert g.timestamps(0, 1) == (50,)
+
+    def test_universe_covers_unreferenced_vertices(self, tmp_path):
+        # The label map defines the universe, so a file prefix can load
+        # with vertices only the streamed remainder will touch.
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 10\n")
+        g = load_snap_temporal(path, labels={0: "A", 1: "B", 2: "C", 3: "A"})
+        assert g.num_vertices == 4
+        assert g.num_temporal_edges == 1
+
+    def test_edge_outside_universe_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 5 10\n")
+        with pytest.raises(DatasetError, match="outside the label map"):
+            load_snap_temporal(path, labels={0: "A", 1: "B"})
+
+    def test_sparse_label_domain_still_remaps(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("10 20 7\n")
+        g = load_snap_temporal(path, labels={10: "X", 20: "Y"})
+        assert g.labels == ("X", "Y")
+        assert g.timestamps(0, 1) == (7,)
+
+
 class TestRoundTrip:
-    def test_save_and_reload(self, tmp_path):
+    def test_save_and_reload_is_lossless(self, tmp_path):
         original = TemporalGraph(
             ["A", "B", "A"], [(0, 1, 5), (1, 2, 3), (0, 1, 9)]
         )
         path = tmp_path / "graph.txt"
         save_snap_temporal(original, path)
         reloaded = load_snap_temporal(path)
-        assert reloaded.num_vertices == original.num_vertices
-        assert reloaded.num_temporal_edges == original.num_temporal_edges
-        # Sidecar labels preserve the original labeling exactly.
-        # Dense remap order follows time-sorted edges: (1,2,3) first.
-        assert sorted(reloaded.labels) == sorted(original.labels)
+        # The sidecar's dense domain keeps ids verbatim: the round-trip
+        # reproduces the graph exactly, not just up to isomorphism.
+        assert reloaded.labels == original.labels
+        assert sorted(reloaded.edges()) == sorted(original.edges())
+        assert reloaded.freeze().fingerprint == original.freeze().fingerprint
 
     def test_sidecar_labels_autodiscovered(self, tmp_path):
         original = TemporalGraph(["X", "Y"], [(0, 1, 1)])

@@ -1,0 +1,176 @@
+"""SegmentedGraph: accessor equivalence with the dict builder, pinned.
+
+The segmented graph must be indistinguishable from a ``TemporalGraph``
+holding the same edges through every :data:`GraphView` accessor —
+that's what lets the matchers and the window kernels run on it
+unchanged.  The fixtures force several flushes and at least one
+compaction so the merged-run code paths (not just the tail) are what's
+being compared.
+"""
+
+import random
+
+import pytest
+
+from repro.core import find_matches
+from repro.datasets import random_instance, random_temporal_graph
+from repro.errors import GraphError
+from repro.graphs import (
+    SegmentedGraph,
+    TemporalGraph,
+    compile_snapshot,
+    ensure_snapshot,
+)
+
+LABELS = ["A", "B", "C"]
+
+
+def _paired_graphs(seed, *, merge_threshold=16, max_segments=3, edges=200):
+    """The same random edge stream appended to both backends."""
+    source = random_temporal_graph(
+        14, edges, LABELS, max_time=60, seed=seed
+    )
+    stream = list(source.edges())
+    random.Random(seed).shuffle(stream)
+    reference = TemporalGraph(source.labels)
+    segmented = SegmentedGraph(
+        source.labels,
+        merge_threshold=merge_threshold,
+        max_segments=max_segments,
+    )
+    for u, v, t in stream:
+        assert segmented.append(u, v, t)
+        assert reference.add_edge(u, v, t)
+    return reference, segmented
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_accessors_match_dict_builder(seed):
+    ref, seg = _paired_graphs(seed)
+    assert seg.describe()["flushes"] >= 2  # the merged paths are exercised
+    assert seg.num_vertices == ref.num_vertices
+    assert seg.num_temporal_edges == ref.num_temporal_edges
+    assert seg.num_static_edges == ref.num_static_edges
+    assert seg.min_time == ref.min_time
+    assert seg.max_time == ref.max_time
+    assert seg.labels == ref.labels
+    assert list(seg.edges_by_time()) == list(ref.edges_by_time())
+    assert sorted(seg.edges()) == sorted(ref.edges())
+    for label in LABELS:
+        assert (
+            seg.vertices_with_label(label) == ref.vertices_with_label(label)
+        )
+    for u in ref.vertices():
+        # Neighbor iteration order is backend-specific (insertion order
+        # on the dict builder, sorted ids on segments) and no matcher
+        # depends on it; the *sets* and per-pair runs must agree.
+        assert sorted(seg.out_neighbor_ids(u)) == sorted(
+            ref.out_neighbor_ids(u)
+        )
+        assert sorted(seg.in_neighbor_ids(u)) == sorted(
+            ref.in_neighbor_ids(u)
+        )
+        assert {
+            x: list(times) for x, times in seg.out_items(u)
+        } == {x: list(times) for x, times in ref.out_items(u)}
+        assert {
+            x: list(times) for x, times in seg.in_items(u)
+        } == {x: list(times) for x, times in ref.in_items(u)}
+        for v in ref.out_neighbor_ids(u):
+            assert seg.has_pair(u, v)
+            # memoryview on the single-segment fast path, list elsewhere
+            # — same shape freedom GraphSnapshot has.
+            assert list(seg.timestamps_list(u, v)) == list(
+                ref.timestamps_list(u, v)
+            )
+            lo, hi = ref.timestamps_list(u, v)[0], ref.max_time
+            assert list(seg.timestamps_in_window(u, v, lo, hi)) == list(
+                ref.timestamps_in_window(u, v, lo, hi)
+            )
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_freeze_equals_reference_snapshot(seed):
+    ref, seg = _paired_graphs(seed)
+    assert seg.freeze().fingerprint == compile_snapshot(ref).fingerprint
+    # freeze() is cached until the next append invalidates it.
+    assert seg.freeze() is seg.freeze()
+    assert ensure_snapshot(seg) is seg.freeze()
+
+
+def test_fingerprint_identifies_state():
+    ref, seg = _paired_graphs(3, merge_threshold=8)
+    # Same append history, same thresholds: deterministic digest.
+    other = SegmentedGraph(ref.labels, merge_threshold=8, max_segments=3)
+    replay = SegmentedGraph(ref.labels, merge_threshold=8, max_segments=3)
+    for u, v, t in ref.edges_by_time():
+        other.append(u, v, t)
+        replay.append(u, v, t)
+    assert other.fingerprint == replay.fingerprint
+    # Any append invalidates and changes the digest.
+    base = seg.fingerprint
+    seg.append(0, 1, 10_000)
+    assert seg.fingerprint != base
+    # The *canonical* content digest is the frozen snapshot's — equal
+    # across layouts (test_freeze_equals_reference_snapshot pins that).
+
+
+def test_from_snapshot_is_zero_copy():
+    graph = random_temporal_graph(10, 80, LABELS, seed=5)
+    snapshot = compile_snapshot(graph)
+    seg = SegmentedGraph.from_snapshot(snapshot)
+    # Single segment + empty tail: freeze is the seed snapshot itself.
+    assert seg.freeze() is snapshot
+    assert seg.num_temporal_edges == graph.num_temporal_edges
+    seg.append(0, 1, 999_999)
+    assert seg.num_temporal_edges == graph.num_temporal_edges + 1
+    assert seg.freeze() is not snapshot
+
+
+def test_duplicate_and_conflicting_appends():
+    seg = SegmentedGraph(
+        ["A", "B"], merge_threshold=2
+    )
+    assert seg.append(0, 1, 5, label="wire")
+    assert seg.append(1, 0, 6)  # triggers a flush at threshold 2
+    assert seg.describe()["flushes"] == 1
+    # Duplicates are detected across the segment boundary, not just the
+    # tail, and carry no side effects.
+    assert not seg.append(0, 1, 5, label="wire")
+    assert seg.num_temporal_edges == 2
+    with pytest.raises(GraphError):
+        seg.append(0, 1, 5, label="cash")  # same edge, different label
+    with pytest.raises(GraphError):
+        seg.append(0, 0, 7)  # self loop
+    with pytest.raises(GraphError):
+        seg.append(0, 99, 7)  # vertex out of range
+    assert seg.edge_label(0, 1, 5) == "wire"
+
+
+def test_compaction_bounds_segment_count():
+    seg = SegmentedGraph(LABELS * 4, merge_threshold=4, max_segments=2)
+    graph = random_temporal_graph(12, 64, LABELS, seed=7)
+    for u, v, t in graph.edges_by_time():
+        seg.append(u, v, t)
+    info = seg.describe()
+    assert info["num_segments"] <= 2
+    assert info["compactions"] >= 1
+    assert seg.num_temporal_edges == graph.num_temporal_edges
+
+
+@pytest.mark.parametrize("algorithm", ["tcsm-eve", "tcsm-e2e"])
+def test_matchers_run_unchanged_on_segmented(algorithm):
+    query, constraints, graph = random_instance(seed=11)
+    seg = SegmentedGraph(graph.labels, merge_threshold=16)
+    for u, v, t in graph.edges_by_time():
+        seg.append(u, v, t)
+    want = find_matches(query, constraints, graph, algorithm=algorithm)
+    # Compiled path (through ensure_snapshot) and the direct segmented
+    # path must both agree with the dict-builder run.
+    compiled = find_matches(query, constraints, seg, algorithm=algorithm)
+    direct = find_matches(
+        query, constraints, seg, algorithm=algorithm, compile_graph=False
+    )
+    assert compiled.matches == want.matches
+    assert direct.matches == want.matches
+    assert direct.stats == want.stats

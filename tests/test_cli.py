@@ -311,3 +311,146 @@ class TestSubmitTraceOps:
         )
         assert main(["serve", "--trace-sample", "0.5"]) == 0
         assert main(["serve", "--trace-sample", "1.5"]) == 2  # validated
+
+
+class TestSubscribeCommand:
+    def test_subscribe_request_line(self, workspace, capsys):
+        _, pattern_path = workspace
+        rc = main([
+            "subscribe", "--graph", "g", "--pattern", str(pattern_path),
+            "--subscription-id", "alerts", "--queue-capacity", "16",
+            "--lateness", "3", "--search-budget", "0.5", "--id", "r1",
+        ])
+        assert rc == 0
+        request = json.loads(capsys.readouterr().out)
+        assert request["op"] == "subscribe"
+        assert request["graph"] == "g"
+        assert request["subscription_id"] == "alerts"
+        assert request["queue_capacity"] == 16
+        assert request["lateness"] == 3
+        assert request["search_budget"] == 0.5
+        assert request["id"] == "r1"
+        assert "edges" in request["pattern"]
+
+    def test_defaults_omit_optionals(self, workspace, capsys):
+        _, pattern_path = workspace
+        assert main([
+            "subscribe", "--graph", "g", "--pattern", str(pattern_path),
+        ]) == 0
+        request = json.loads(capsys.readouterr().out)
+        assert request["op"] == "subscribe"
+        for key in ("subscription_id", "queue_capacity", "lateness",
+                    "search_budget", "id"):
+            assert key not in request
+
+
+class TestIngestCommand:
+    def test_batched_requests(self, tmp_path, capsys):
+        edge_file = tmp_path / "edges.txt"
+        edge_file.write_text(
+            "# comment and blank lines are skipped\n"
+            "\n"
+            "0 1 5\n"
+            "1 2 8 wire\n"
+            "2 3 9\n"
+        )
+        rc = main([
+            "ingest", "--graph", "g", "--file", str(edge_file),
+            "--batch", "2", "--id", "b",
+        ])
+        captured = capsys.readouterr()
+        assert rc == 0
+        lines = [json.loads(line) for line in captured.out.splitlines()]
+        assert [r["id"] for r in lines] == ["b-1", "b-2"]
+        assert lines[0]["op"] == "ingest"
+        assert lines[0]["edges"] == [[0, 1, 5], [1, 2, 8, "wire"]]
+        assert lines[1]["edges"] == [[2, 3, 9]]
+        assert "3 edges in 2 ingest requests" in captured.err
+
+    def test_trace_flag_and_stdin(self, monkeypatch, capsys):
+        import io
+        import sys as _sys
+
+        monkeypatch.setattr(_sys, "stdin", io.StringIO("0 1 5\n"))
+        assert main([
+            "ingest", "--graph", "g", "--file", "-", "--trace",
+        ]) == 0
+        request = json.loads(capsys.readouterr().out)
+        assert request["trace"] is True
+        assert "id" not in request
+
+    def test_malformed_edge_line_is_error(self, tmp_path, capsys):
+        edge_file = tmp_path / "edges.txt"
+        edge_file.write_text("0 1\n")
+        assert main([
+            "ingest", "--graph", "g", "--file", str(edge_file),
+        ]) == 2
+        assert "edge line 1" in capsys.readouterr().err
+        edge_file.write_text("a b c\n")
+        assert main([
+            "ingest", "--graph", "g", "--file", str(edge_file),
+        ]) == 2
+        assert "non-integer" in capsys.readouterr().err
+
+    def test_bad_batch_size_is_error(self, tmp_path, capsys):
+        assert main([
+            "ingest", "--graph", "g", "--file", str(tmp_path / "x"),
+            "--batch", "0",
+        ]) == 2
+        assert "--batch" in capsys.readouterr().err
+
+
+class TestSubmitStreamingOps:
+    def test_poll_and_unsubscribe_lines(self, capsys):
+        assert main([
+            "submit", "--op", "poll", "--subscription-id", "s1",
+            "--max", "5",
+        ]) == 0
+        assert json.loads(capsys.readouterr().out) == {
+            "op": "poll", "subscription_id": "s1", "max": 5,
+        }
+        assert main([
+            "submit", "--op", "unsubscribe", "--subscription-id", "s1",
+        ]) == 0
+        assert json.loads(capsys.readouterr().out) == {
+            "op": "unsubscribe", "subscription_id": "s1",
+        }
+
+    def test_missing_subscription_id_is_error(self, capsys):
+        assert main(["submit", "--op", "poll"]) == 2
+        assert "--subscription-id" in capsys.readouterr().err
+
+
+class TestStreamingPipeline:
+    def test_subscribe_ingest_through_serve(
+        self, workspace, tmp_path, monkeypatch, capsys
+    ):
+        import io
+        import sys as _sys
+
+        graph_path, pattern_path = workspace
+        edge_file = tmp_path / "delta.txt"
+        edge_file.write_text("0 1 5\n1 2 8\n")
+        # Stage 1+2: the composing verbs write the request lines.
+        assert main([
+            "subscribe", "--graph", "g", "--pattern", str(pattern_path),
+        ]) == 0
+        assert main([
+            "ingest", "--graph", "g", "--file", str(edge_file),
+        ]) == 0
+        assert main([
+            "submit", "--op", "poll", "--subscription-id", "s1",
+        ]) == 0
+        requests = capsys.readouterr().out
+        # Stage 3: pipe them into serve, exactly as a shell pipeline does.
+        monkeypatch.setattr(_sys, "stdin", io.StringIO(requests))
+        assert main([
+            "serve", "--graph", f"g={graph_path}", "--seed", "1",
+            "--workers", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        responses = [json.loads(line) for line in out.splitlines()]
+        assert [r["status"] for r in responses] == ["ok", "ok", "ok"]
+        assert responses[0]["subscription"]["id"] == "s1"
+        assert responses[1]["report"]["edges"] == 2
+        assert responses[2]["count"] == len(responses[2]["emissions"])

@@ -1553,6 +1553,97 @@ class TestR016:
 
 
 # ----------------------------------------------------------------------
+# R017 snapshot-recompile-in-loop
+# ----------------------------------------------------------------------
+class TestR017:
+    def test_freeze_in_for_body_flagged(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def replay(graph, edges):
+                for u, v, t in edges:
+                    graph.add_edge(u, v, t)
+                    graph.freeze()
+            """,
+            select=["R017"],
+        )
+        assert rule_ids(findings) == ["R017"]
+        assert "freeze()" in findings[0].message
+
+    def test_compile_snapshot_in_while_flagged(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def poll(graph, queue):
+                while queue:
+                    queue.pop()
+                    snap = compile_snapshot(graph)
+            """,
+            select=["R017"],
+        )
+        assert rule_ids(findings) == ["R017"]
+        assert "compile_snapshot()" in findings[0].message
+
+    def test_nested_function_in_loop_body_flagged(
+        self, tmp_path: Path
+    ) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def build(graphs):
+                for graph in graphs:
+                    def thunk():
+                        return graph.freeze()
+                    yield thunk
+            """,
+            select=["R017"],
+        )
+        assert rule_ids(findings) == ["R017"]
+
+    def test_hoisted_and_orelse_calls_pass(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def replay(graph, edges):
+                for u, v, t in edges:
+                    graph.add_edge(u, v, t)
+                else:
+                    graph.freeze()
+                snap = compile_snapshot(graph)
+                return snap
+            """,
+            select=["R017"],
+        )
+        assert findings == []
+
+    def test_other_calls_in_loops_pass(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def replay(graph, edges):
+                for u, v, t in edges:
+                    graph.add_edge(u, v, t)
+                    graph.describe()
+            """,
+            select=["R017"],
+        )
+        assert findings == []
+
+    def test_pragma_suppresses(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def baseline(graph, edges):
+                for u, v, t in edges:
+                    graph.add_edge(u, v, t)
+                    graph.freeze()  # reprolint: disable=R017 -- baseline
+            """,
+            select=["R017"],
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
 # guarded-by pragma parsing + inventory
 # ----------------------------------------------------------------------
 class TestGuardedByPragma:

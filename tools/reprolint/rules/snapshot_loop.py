@@ -1,0 +1,94 @@
+"""R017: snapshot compilation must not happen inside a loop body.
+
+``compile_snapshot`` / ``freeze`` walk every edge of the graph: calling
+either per loop iteration turns an O(edges) amortised cost into
+O(iterations x edges) — exactly the pathology the segmented graph
+(:class:`repro.graphs.SegmentedGraph`) exists to avoid.  Hoist the call
+out of the loop, reuse the cached ``freeze()`` result, or append through
+a ``SegmentedGraph`` so recompilation is amortised across a whole
+segment.  Deliberate recompile-in-loop measurements (e.g. the streaming
+benchmark's per-edge baseline) escape with a pragma::
+
+    graph.freeze()  # reprolint: disable=R017 -- measuring the baseline
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from ..context import FileContext
+from ..findings import Finding
+from ..registry import Rule, register_rule
+
+__all__ = ["SnapshotRecompileInLoopRule"]
+
+_LOOPS = (ast.For, ast.AsyncFor, ast.While)
+
+
+def _recompile_name(call: ast.Call) -> str | None:
+    """The matched callable name, or None if *call* is not a recompile."""
+    func = call.func
+    if isinstance(func, ast.Name) and func.id == "compile_snapshot":
+        return func.id
+    if isinstance(func, ast.Attribute) and func.attr in (
+        "compile_snapshot",
+        "freeze",
+    ):
+        return func.attr
+    return None
+
+
+def _iter_loop_body_calls(tree: ast.Module) -> Iterator[ast.Call]:
+    """Calls whose nearest enclosing statements include a loop body.
+
+    Only the repeated part of the loop counts: statements in a loop's
+    ``orelse`` run once after the loop finishes, so they are treated
+    like straight-line code.
+    """
+    pending: list[tuple[ast.AST, bool]] = [(tree, False)]
+    while pending:
+        node, in_loop = pending.pop()
+        if isinstance(node, ast.Call) and in_loop:
+            yield node
+        if isinstance(node, _LOOPS):
+            for child in node.body:
+                pending.append((child, True))
+            for child in node.orelse:
+                pending.append((child, in_loop))
+            # iter/test expressions evaluate once (or cheaply per
+            # iteration for While tests — still flagged, deliberately:
+            # a freeze() in a loop condition reruns every iteration).
+            if isinstance(node, ast.While):
+                pending.append((node.test, True))
+            else:
+                pending.append((node.iter, in_loop))
+        else:
+            for child in ast.iter_child_nodes(node):
+                pending.append((child, in_loop))
+
+
+@register_rule
+class SnapshotRecompileInLoopRule(Rule):
+    id = "R017"
+    name = "snapshot-recompile-in-loop"
+    description = (
+        "compile_snapshot()/freeze() inside a loop body recompiles the "
+        "whole graph per iteration; hoist it or use SegmentedGraph."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        for call in _iter_loop_body_calls(ctx.tree):
+            name = _recompile_name(call)
+            if name is None:
+                continue
+            if ctx.pragmas.is_disabled(self.id, call.lineno):
+                continue
+            yield self.finding(
+                ctx,
+                call.lineno,
+                call.col_offset,
+                f"{name}() inside a loop recompiles the whole snapshot "
+                "every iteration; hoist it out of the loop or append "
+                "through SegmentedGraph",
+            )

@@ -15,6 +15,7 @@ import timeit
 import pytest
 
 from repro.core import (
+    MatchOptions,
     RunContext,
     count_matches,
     create_matcher,
@@ -83,7 +84,7 @@ def test_disabled_tracer_overhead_under_5_percent(cm_graph, workload):
     def engine_path() -> None:
         find_matches(
             query, constraints, cm_graph,
-            matcher=matcher, collect_matches=False,
+            matcher=matcher, options=MatchOptions(collect_matches=False),
         )
 
     def raw_path() -> None:

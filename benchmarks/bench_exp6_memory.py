@@ -10,7 +10,7 @@ import tracemalloc
 
 import pytest
 
-from repro.core import count_matches
+from repro.core import MatchOptions, count_matches
 
 ALGORITHMS = ("tcsm-v2v", "tcsm-e2e", "tcsm-eve", "ri-ds", "graphflow")
 
@@ -23,7 +23,7 @@ def test_memory(benchmark, ub_graph, workload, algorithm):
         tracemalloc.start()
         count_matches(
             query, constraints, ub_graph,
-            algorithm=algorithm, time_budget=10.0,
+            algorithm=algorithm, options=MatchOptions(time_budget=10.0),
         )
         _, peak = tracemalloc.get_traced_memory()
         tracemalloc.stop()
@@ -40,7 +40,7 @@ def test_memory_sjtree(benchmark, ub_graph, workload):
         tracemalloc.start()
         count_matches(
             query, constraints, ub_graph,
-            algorithm="sj-tree", time_budget=5.0,
+            algorithm="sj-tree", options=MatchOptions(time_budget=5.0),
         )
         _, peak = tracemalloc.get_traced_memory()
         tracemalloc.stop()

@@ -8,7 +8,7 @@ workload.
 
 import pytest
 
-from repro.core import SearchStats, create_matcher
+from repro.core import RunContext, SearchStats, create_matcher
 
 ALGORITHMS = ("tcsm-v2v", "tcsm-e2e", "tcsm-eve")
 
@@ -21,7 +21,7 @@ def test_pruning(benchmark, cm_graph, workload, algorithm):
         matcher = create_matcher(algorithm, query, constraints, cm_graph)
         matcher.prepare()
         stats = SearchStats()
-        for _ in matcher.run(stats=stats):
+        for _ in matcher.run(RunContext(stats=stats)):
             pass
         return stats
 

@@ -22,7 +22,7 @@ import argparse
 import json
 import time
 
-from repro.core import MatchResult, find_matches
+from repro.core import MatchOptions, MatchResult, find_matches
 from repro.datasets import load_dataset, paper_constraints, paper_query
 from repro.graphs import ensure_snapshot
 
@@ -80,7 +80,7 @@ def measure(scale: float = SCALE, seed: int = SEED) -> dict[str, object]:
                 constraints,
                 graph,
                 algorithm=ALGORITHM,
-                collect_matches=False,
+                options=MatchOptions(collect_matches=False),
                 use_window_kernel=use_kernel,
             )
 

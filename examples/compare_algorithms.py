@@ -12,7 +12,7 @@ Run with::
 
 import sys
 
-from repro import find_matches
+from repro import MatchOptions, find_matches
 from repro.datasets import load_dataset, paper_constraints, paper_query
 from repro.experiments import DEFAULT_COMPARISON, render_table
 
@@ -29,7 +29,8 @@ def main():
     for algorithm in DEFAULT_COMPARISON:
         result = find_matches(
             query, constraints, graph,
-            algorithm=algorithm, time_budget=20.0, collect_matches=False,
+            algorithm=algorithm,
+            options=MatchOptions(time_budget=20.0, collect_matches=False),
         )
         rows.append([
             algorithm,

@@ -31,9 +31,12 @@ from .errors import (
     ReproError,
     UnknownAlgorithmError,
 )
+from . import api
 from .core import (
     Match,
+    MatchOptions,
     MatchResult,
+    RunContext,
     SearchStats,
     available_algorithms,
     constraint_slack,
@@ -71,11 +74,13 @@ __all__ = [
     "GraphError",
     "InfeasibleConstraintsError",
     "Match",
+    "MatchOptions",
     "MatchResult",
     "QueryBuilder",
     "QueryError",
     "QueryGraph",
     "ReproError",
+    "RunContext",
     "SearchStats",
     "StaticGraph",
     "TemporalEdge",
@@ -83,6 +88,7 @@ __all__ = [
     "TemporalGraphBuilder",
     "TemporalConstraints",
     "UnknownAlgorithmError",
+    "api",
     "available_algorithms",
     "constraint_slack",
     "count_matches",

@@ -43,7 +43,7 @@ import sys
 from pathlib import Path
 
 from . import __version__
-from .core import available_algorithms, find_matches
+from .core import MatchOptions, available_algorithms, find_matches
 from .datasets import dataset_keys, load_dataset, paper_constraints, paper_query
 from .errors import ReproError
 from .graphs import load_pattern, load_snap_temporal, save_pattern, save_snap_temporal
@@ -130,6 +130,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fraction of queries to trace (0..1, default 0)")
     serve.add_argument("--trace-store", type=int, default=32,
                        help="retained traces before LRU eviction")
+    serve.add_argument("--async", dest="use_async", action="store_true",
+                       help="serve through the asyncio front door "
+                            "(batched admission, per-tenant fairness, "
+                            "queue-full shedding)")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="per-tenant queue bound before shedding "
+                            "(with --async)")
+    serve.add_argument("--batch", type=int, default=8,
+                       help="max requests admitted per batch "
+                            "(with --async)")
 
     trace = sub.add_parser(
         "trace", help="run one traced query and show spans + pruning counters"
@@ -176,6 +186,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-query wall-clock budget in seconds")
     submit.add_argument("--workers", type=int, default=None,
                         help="partitions for this query")
+    submit.add_argument("--partition-strategy", default=None,
+                        choices=("stride", "range", "label"),
+                        help="candidate partitioning strategy for "
+                             "fan-out (query op)")
     submit.add_argument("--count-only", action="store_true",
                         help="request match counts without match payloads")
     submit.add_argument("--trace", action="store_true",
@@ -250,9 +264,11 @@ def _cmd_match(args: argparse.Namespace) -> int:
         constraints,
         graph,
         algorithm=args.algorithm,
-        limit=args.limit,
-        time_budget=args.time_budget,
-        collect_matches=not args.count_only,
+        options=MatchOptions(
+            limit=args.limit,
+            time_budget=args.time_budget,
+            collect_matches=not args.count_only,
+        ),
     )
     if args.count_only:
         print(result.stats.matches)
@@ -342,7 +358,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 name, path, num_labels=args.num_labels, seed=args.seed
             )
             print(f"# loaded {handle.describe()}", file=sys.stderr)
-        served = serve_stdio(service, sys.stdin, sys.stdout)
+        if args.use_async:
+            import asyncio
+
+            from .service import AsyncFrontConfig, serve_stdio_async
+
+            served = asyncio.run(
+                serve_stdio_async(
+                    service,
+                    sys.stdin,
+                    sys.stdout,
+                    AsyncFrontConfig(
+                        max_queue_depth=args.queue_depth,
+                        max_batch=args.batch,
+                    ),
+                )
+            )
+        else:
+            served = serve_stdio(service, sys.stdin, sys.stdout)
     print(f"# served {served} requests", file=sys.stderr)
     return 0
 
@@ -421,6 +454,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             request["time_budget"] = args.time_budget
         if args.workers is not None:
             request["workers"] = args.workers
+        if args.partition_strategy is not None:
+            request["partition_strategy"] = args.partition_strategy
         if args.count_only:
             request["count_only"] = True
         if args.trace:

@@ -130,7 +130,10 @@ class BruteForceMatcher:
         root_candidates: list[int] | None = None
         if partition is not None and n > 0:
             root_candidates = partition_slice(
-                graph.vertices_with_label(query.label(0)), partition
+                graph.vertices_with_label(query.label(0)),
+                partition,
+                strategy=ctx.partition_strategy,
+                label_of=graph.label,
             )
 
         def dfs(u: int) -> Iterator[Match]:
@@ -183,4 +186,5 @@ def brute_force_matches(
     limit: int | None = None,
 ) -> list[Match]:
     """All matches of the instance, as a list (convenience wrapper)."""
-    return list(BruteForceMatcher(query, constraints, graph).run(limit=limit))
+    matcher = BruteForceMatcher(query, constraints, graph)
+    return list(matcher.run(RunContext(limit=limit)))

@@ -239,7 +239,12 @@ class E2EMatcher:
         bound_times = cast("list[int]", edge_times)
         root_pairs: list[tuple[int, int]] | None = None
         if partition is not None:
-            root_pairs = partition_slice(pair_candidates[tcq.order[0]], partition)
+            root_pairs = partition_slice(
+                pair_candidates[tcq.order[0]],
+                partition,
+                strategy=ctx.partition_strategy,
+                label_of=lambda pair: graph.label(pair[0]),
+            )
         # Per-filter pruning counters, fetched once so the hot loop only
         # touches ints.  Chained on the same candidate stream, so each
         # filter's ``considered`` equals the previous one's ``survivors``.

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import inspect
 import time
+import warnings
 from collections.abc import Callable, Iterator
 from dataclasses import dataclass, field
 from typing import Any, Protocol, cast
@@ -161,14 +162,18 @@ def invoke_run(matcher: Matcher, ctx: RunContext) -> Iterator[Match]:
     """
     if _run_accepts_context(matcher):
         return matcher.run(ctx)
+    # Shim interior: third-party matchers predating RunContext are the
+    # one legitimate consumer of the legacy keywords.
     if ctx.partition is not None:
-        return cast(PartitionedMatcher, matcher).run(
+        return cast(PartitionedMatcher, matcher).run(  # reprolint: disable=R018
             limit=ctx.limit,
             stats=ctx.stats,
             deadline=ctx.deadline,
             partition=ctx.partition,
         )
-    return matcher.run(limit=ctx.limit, stats=ctx.stats, deadline=ctx.deadline)
+    return matcher.run(  # reprolint: disable=R018
+        limit=ctx.limit, stats=ctx.stats, deadline=ctx.deadline
+    )
 
 
 def prepare_matcher(matcher: Matcher, tracer: TraceSink) -> None:
@@ -290,7 +295,12 @@ def _resolve_options(
     partition: tuple[int, int] | None,
     trace: bool,
 ) -> MatchOptions:
-    """Fold an explicit :class:`MatchOptions` or the legacy keywords."""
+    """Fold an explicit :class:`MatchOptions` or the legacy keywords.
+
+    The legacy keywords alone are a deprecated shim (see docs/API.md):
+    they emit a :class:`DeprecationWarning` and will be removed two
+    releases after the ``repro.api`` facade stabilises.
+    """
     legacy_used = (
         limit is not None
         or time_budget is not None
@@ -306,6 +316,14 @@ def _resolve_options(
                 "tighten/collect_matches/partition/trace keywords, not both"
             )
         return options
+    if legacy_used:
+        warnings.warn(
+            "the limit=/time_budget=/tighten=/collect_matches=/partition=/"
+            "trace= keywords on find_matches() are deprecated; pass "
+            "options=MatchOptions(...) instead (see docs/API.md)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
     return MatchOptions(
         limit=limit,
         time_budget=time_budget,
@@ -421,6 +439,7 @@ def find_matches(
         limit=opts.limit,
         deadline=deadline,
         partition=opts.partition,
+        partition_strategy=opts.partition_strategy,
         stats=stats,
         tracer=tr,
     )
@@ -461,11 +480,36 @@ def count_matches(
     options: MatchOptions | None = None,
     **kwargs: Any,
 ) -> int:
-    """Number of matches (does not retain match objects)."""
+    """Number of matches (does not retain match objects).
+
+    Accepts the same legacy keywords as :func:`find_matches` (same
+    deprecation shim: they warn, and both-forms-at-once is an error).
+    """
     if options is not None:
         options = options.replace(collect_matches=False)
     else:
-        kwargs.setdefault("collect_matches", False)
+        legacy = {
+            key: kwargs.pop(key)
+            for key in (
+                "limit",
+                "time_budget",
+                "tighten",
+                "partition",
+                "partition_strategy",
+                "trace",
+            )
+            if key in kwargs
+        }
+        kwargs.pop("collect_matches", None)
+        if legacy:
+            warnings.warn(
+                "the limit=/time_budget=/tighten=/partition=/trace= "
+                "keywords on count_matches() are deprecated; pass "
+                "options=MatchOptions(...) instead (see docs/API.md)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        options = MatchOptions(collect_matches=False, **legacy)
     result = find_matches(
         query,
         constraints,

@@ -21,11 +21,13 @@ from __future__ import annotations
 
 import hashlib
 import json
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Any
 
 from ..errors import AlgorithmError
 from ..obs import NULL_TRACER, TraceSink
+from .partition import check_partition_strategy
 from .planner import validate_plan
 from .stats import SearchStats
 
@@ -49,6 +51,12 @@ class MatchOptions:
     partition:
         ``(index, count)`` seed partition restricting the search to one
         deterministic slice of the root candidates.
+    partition_strategy:
+        How the root candidates are carved into partitions: ``"stride"``
+        (default, round-robin over the id order), ``"range"``
+        (contiguous vertex-id shards) or ``"label"`` (shards grouped by
+        root label).  See :mod:`repro.core.partition`; every strategy
+        preserves the exact-multiset merge guarantee.
     plan:
         Matching-order planning mode for the TCSM matchers: ``"paper"``
         (default) keeps the paper's structural orders, ``"cost"`` lets
@@ -69,6 +77,7 @@ class MatchOptions:
     tighten: bool = False
     collect_matches: bool = True
     partition: tuple[int, int] | None = None
+    partition_strategy: str = "stride"
     plan: str = "paper"
     trace: bool = False
     sanitize: bool = False
@@ -77,6 +86,7 @@ class MatchOptions:
         if self.limit is not None and self.limit < 0:
             raise AlgorithmError(f"limit must be >= 0, not {self.limit}")
         validate_plan(self.plan)
+        check_partition_strategy(self.partition_strategy)
         if self.partition is not None:
             index, count = self.partition
             if count < 1 or not 0 <= index < count:
@@ -106,6 +116,7 @@ class MatchOptions:
                 "partition": (
                     None if self.partition is None else list(self.partition)
                 ),
+                "partition_strategy": self.partition_strategy,
                 "plan": self.plan,
             },
             sort_keys=True,
@@ -130,11 +141,16 @@ class RunContext:
     limit: int | None = None
     deadline: float | None = None
     partition: tuple[int, int] | None = None
+    partition_strategy: str = "stride"
     stats: SearchStats = field(default_factory=SearchStats)
     tracer: TraceSink = NULL_TRACER
 
     def with_partition(self, index: int, count: int) -> "RunContext":
-        """This context re-aimed at one partition slice, with fresh stats."""
+        """This context re-aimed at one partition slice, with fresh stats.
+
+        The partition *strategy* is preserved, so the executor's fan-out
+        derives all slices from one consistently-carved candidate order.
+        """
         return replace(
             self, partition=(index, count), stats=SearchStats()
         )
@@ -150,7 +166,10 @@ def resolve_run_context(
     """Fold a ``RunContext`` or the legacy keywords into one context.
 
     Passing both a context *and* any non-default legacy keyword is an
-    error — the values would silently compete otherwise.
+    error — the values would silently compete otherwise.  The legacy
+    keywords alone are a deprecated shim (see docs/API.md): they emit a
+    :class:`DeprecationWarning` and will be removed two releases after
+    the ``repro.api`` facade stabilises.
     """
     legacy_used = (
         limit is not None
@@ -165,6 +184,14 @@ def resolve_run_context(
                 "limit/stats/deadline/partition keywords, not both"
             )
         return ctx
+    if legacy_used:
+        warnings.warn(
+            "the limit=/stats=/deadline=/partition= keywords on "
+            "Matcher.run() are deprecated; pass a RunContext instead "
+            "(see docs/API.md)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
     return RunContext(
         limit=limit,
         deadline=deadline,

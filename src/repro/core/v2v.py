@@ -238,7 +238,12 @@ class V2VMatcher:
         emitted = 0
         root_candidates: list[int] | None = None
         if partition is not None:
-            root_candidates = partition_slice(candidates[tcq.order[0]], partition)
+            root_candidates = partition_slice(
+                candidates[tcq.order[0]],
+                partition,
+                strategy=ctx.partition_strategy,
+                label_of=graph.label,
+            )
         # Per-filter pruning counters, fetched once so the hot loop only
         # touches ints.  Chained on the same candidate stream, so each
         # filter's ``considered`` equals the previous one's ``survivors``.

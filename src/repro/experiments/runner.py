@@ -13,7 +13,7 @@ import argparse
 import tracemalloc
 from typing import Any
 
-from ..core import MatchResult, find_matches
+from ..core import MatchOptions, MatchResult, find_matches
 from ..graphs import QueryGraph, TemporalConstraints, TemporalGraph
 from .records import Measurement
 
@@ -87,8 +87,9 @@ def measure(
             constraints,
             graph,
             algorithm=algorithm,
-            time_budget=time_budget,
-            collect_matches=False,
+            options=MatchOptions(
+                time_budget=time_budget, collect_matches=False
+            ),
             **options,
         )
         if track_memory and attempt == 0:

@@ -24,6 +24,7 @@ from .query_io import (
     pattern_to_dict,
     save_pattern,
 )
+from .shm import SharedGraphSnapshot, SharedSnapshot, attach_shared_snapshot
 from .snapshot import (
     GraphSnapshot,
     GraphView,
@@ -53,11 +54,14 @@ __all__ = [
     "QueryBuilder",
     "QueryGraph",
     "SegmentedGraph",
+    "SharedGraphSnapshot",
+    "SharedSnapshot",
     "StaticGraph",
     "TemporalEdge",
     "TemporalGraph",
     "TemporalGraphBuilder",
     "TemporalConstraints",
+    "attach_shared_snapshot",
     "default_label_alphabet",
     "label_histogram",
     "load_labels",

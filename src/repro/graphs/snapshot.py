@@ -248,6 +248,18 @@ class GraphSnapshot:
             )
         )
 
+    @property
+    def owned_nbytes(self) -> int:
+        """CSR bytes this process pays for this snapshot instance.
+
+        Equal to :attr:`nbytes` for ordinary snapshots (the arrays are
+        private to the process); the shared-memory subclass overrides
+        this to 0 because its buffers alias one OS-level segment.  The
+        fan-out benchmarks sum this across workers to demonstrate the
+        K-process / one-graph-image memory win.
+        """
+        return self.nbytes
+
     # ------------------------------------------------------------------
     # basic accessors (TemporalGraph-compatible)
     # ------------------------------------------------------------------

@@ -23,11 +23,14 @@ from .plans import (
     options_fingerprint,
     pattern_fingerprint,
 )
+from .async_front import AsyncFrontConfig, AsyncFrontDoor, serve_stdio_async
 from .registry import GraphHandle, GraphRegistry
 from .server import ServiceConfig, ServiceResult, TCSMService, serve_stdio
 from .tracing import TraceSampler, TraceStore
 
 __all__ = [
+    "AsyncFrontConfig",
+    "AsyncFrontDoor",
     "CachedPlan",
     "DEFAULT_LATENCY_BUCKETS",
     "ExecutionOutcome",
@@ -50,4 +53,5 @@ __all__ = [
     "options_fingerprint",
     "pattern_fingerprint",
     "serve_stdio",
+    "serve_stdio_async",
 ]

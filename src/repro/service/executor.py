@@ -4,8 +4,9 @@ One query fans out as ``count`` partitions of the root candidate space
 (see :mod:`repro.core.partition`); each worker enumerates its slice with
 its own :class:`SearchStats`, and the executor concatenates matches in
 partition order and merges the stats.  Because partitions are disjoint
-and jointly exhaustive, the merged match multiset is *identical* to a
-single-worker run — the determinism guard in the test suite pins this.
+and jointly exhaustive (under every partition strategy), the merged
+match multiset is *identical* to a single-worker run — the determinism
+guard in the test suite pins this.
 
 Two pool flavours, per the ``concurrent.futures`` split:
 
@@ -16,13 +17,26 @@ Two pool flavours, per the ``concurrent.futures`` split:
 
 ``process`` (opt-in)
     Workers run :func:`repro.core.find_matches` in forked child
-    processes, sidestepping the GIL for CPU-bound searches at the price
-    of per-query pool startup and result pickling.  On platforms without
-    ``fork`` the spec is shipped to workers via the pool initializer.
+    processes, sidestepping the GIL for CPU-bound searches.  When the
+    spec's graph is a :class:`~repro.graphs.SharedSnapshot`, workers
+    attach to the one shared-memory graph image by segment *name* —
+    zero buffer copies, zero recompiles, K workers ≈ one graph in
+    resident memory (each worker reports its compile delta and owned
+    CSR bytes on the outcome so tests and benchmarks can assert this).
+    On platforms without ``fork`` the spec is shipped to workers via the
+    pool initializer; a shared graph still travels as its segment name
+    (``SharedSnapshot.__reduce__``).
+
+The spec travels to fork-started workers through module state captured
+at fork time.  That state is epoch-stamped and cleared after every
+fan-out (and on executor shutdown), so sequential services in one
+process can never observe a stale spec — a worker seeing a mismatched
+epoch fails loudly instead of silently running the wrong query.
 """
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import threading
 import time
@@ -32,6 +46,7 @@ from typing import Any, cast
 
 from ..core import (
     Match,
+    MatchOptions,
     Matcher,
     PartitionedMatcher,
     RunContext,
@@ -40,7 +55,14 @@ from ..core import (
     supports_partition,
 )
 from ..core.engine import invoke_run
-from ..graphs import GraphView, QueryGraph, TemporalConstraints
+from ..graphs import (
+    GraphSnapshot,
+    GraphView,
+    QueryGraph,
+    SharedSnapshot,
+    TemporalConstraints,
+    snapshot_compile_count,
+)
 from ..obs import NULL_TRACER, TraceSink
 
 __all__ = ["ExecutionOutcome", "ProcessSpec", "QueryExecutor"]
@@ -48,18 +70,33 @@ __all__ = ["ExecutionOutcome", "ProcessSpec", "QueryExecutor"]
 
 @dataclass(frozen=True)
 class ExecutionOutcome:
-    """Merged result of one (possibly partitioned) query execution."""
+    """Merged result of one (possibly partitioned) query execution.
+
+    ``worker_compiles`` / ``worker_graph_bytes`` are per-process-worker
+    probes (empty for thread runs): how many CSR snapshot compilations
+    the partition triggered in its worker, and how many CSR bytes the
+    worker's graph instance owns privately (0 when attached to a shared
+    segment; -1 when the worker ran against a non-snapshot view).
+    """
 
     matches: tuple[Match, ...]
     stats: SearchStats
     partitions: int
     queue_seconds: float
     match_seconds: float
+    worker_compiles: tuple[int, ...] = ()
+    worker_graph_bytes: tuple[int, ...] = ()
 
 
 @dataclass(frozen=True)
 class ProcessSpec:
     """Everything a worker process needs to run one partition.
+
+    ``graph`` may be any in-process :data:`GraphView` *or* a
+    :class:`~repro.graphs.SharedSnapshot` handle; the latter pickles as
+    its segment name, so spawn-started workers receive a few hundred
+    bytes and attach to the one shared graph image
+    (:meth:`resolve_graph` performs the attach lazily in the worker).
 
     ``time_budget`` is the *remaining* per-query budget at fan-out time;
     each worker rebuilds its own absolute deadline from it, so process
@@ -69,43 +106,78 @@ class ProcessSpec:
 
     query: QueryGraph
     constraints: TemporalConstraints
-    graph: GraphView
+    graph: GraphView | SharedSnapshot
     algorithm: str
     limit: int | None = None
     time_budget: float | None = None
     collect_matches: bool = True
+    partition_strategy: str = "stride"
     options: dict[str, Any] = field(default_factory=dict)
+
+    def resolve_graph(self) -> GraphView:
+        """The matcher-facing graph view (attaching shared segments)."""
+        if isinstance(self.graph, SharedSnapshot):
+            return self.graph.snapshot()
+        return self.graph
+
+    def match_options(self, partition: tuple[int, int] | None) -> MatchOptions:
+        """The spec's knobs as one :class:`MatchOptions`."""
+        return MatchOptions(
+            limit=self.limit,
+            time_budget=self.time_budget,
+            collect_matches=self.collect_matches,
+            partition=partition,
+            partition_strategy=self.partition_strategy,
+        )
 
 
 #: Spec inherited by fork-started workers; set under the process lock of
-#: the executor that owns the fan-out (one process fan-out at a time).
+#: the executor that owns the fan-out (one process fan-out at a time)
+#: and epoch-stamped so a worker can detect staleness.
 _PROCESS_SPEC: ProcessSpec | None = None
+_PROCESS_EPOCH = 0
+
+#: Monotonic fan-out counter (parent process only).
+_EPOCH_COUNTER = itertools.count(1)
 
 
-def _set_process_spec(spec: ProcessSpec | None) -> None:
-    global _PROCESS_SPEC
+def _set_process_spec(spec: ProcessSpec | None, epoch: int) -> None:
+    global _PROCESS_SPEC, _PROCESS_EPOCH
     _PROCESS_SPEC = spec
+    _PROCESS_EPOCH = epoch
 
 
 def _run_partition_in_process(
-    index: int, count: int
-) -> tuple[tuple[Match, ...], SearchStats]:
-    """Worker-process entry point: run one partition to completion."""
+    index: int, count: int, epoch: int
+) -> tuple[tuple[Match, ...], SearchStats, int, int]:
+    """Worker-process entry point: run one partition to completion.
+
+    Returns the partition's matches and stats plus two fan-out probes:
+    the number of CSR compilations this partition triggered in the
+    worker (0 under snapshot/shared-snapshot shipping — the compile-once
+    guarantee) and the CSR bytes the worker's graph owns privately
+    (0 when attached to a shared-memory segment).
+    """
     spec = _PROCESS_SPEC
-    if spec is None:  # pragma: no cover - defensive; initializer sets it
-        raise RuntimeError("worker process has no query spec")
+    if spec is None or epoch != _PROCESS_EPOCH:
+        raise RuntimeError(
+            f"worker process spec is stale or missing (expected epoch "
+            f"{epoch}, have {_PROCESS_EPOCH}); the owning executor must "
+            "set the spec for every fan-out"
+        )
+    compile_floor = snapshot_compile_count()
+    graph = spec.resolve_graph()
     result = find_matches(
         spec.query,
         spec.constraints,
-        spec.graph,
+        graph,
         algorithm=spec.algorithm,
-        limit=spec.limit,
-        time_budget=spec.time_budget,
-        collect_matches=spec.collect_matches,
-        partition=(index, count),
+        options=spec.match_options((index, count)),
         **spec.options,
     )
-    return tuple(result.matches), result.stats
+    compiles = snapshot_compile_count() - compile_floor
+    owned = graph.owned_nbytes if isinstance(graph, GraphSnapshot) else -1
+    return tuple(result.matches), result.stats, compiles, owned
 
 
 def _merge_partitions(
@@ -169,6 +241,7 @@ class QueryExecutor:
         deadline: float | None = None,
         workers: int | None = None,
         collect_matches: bool = True,
+        partition_strategy: str = "stride",
         tracer: TraceSink | None = None,
     ) -> ExecutionOutcome:
         """Run *matcher* across the thread pool, merging partitions.
@@ -202,7 +275,12 @@ class QueryExecutor:
             )
 
         runner = cast(PartitionedMatcher, matcher)
-        base_ctx = RunContext(limit=limit, deadline=deadline, tracer=tr)
+        base_ctx = RunContext(
+            limit=limit,
+            deadline=deadline,
+            partition_strategy=partition_strategy,
+            tracer=tr,
+        )
 
         def run_partition(
             index: int,
@@ -245,8 +323,9 @@ class QueryExecutor:
         """Run *spec* across a fresh process pool, merging partitions.
 
         Serialised per executor: the spec travels to fork-started workers
-        through module state captured at fork time, which supports one
-        fan-out at a time.  With one worker the query runs inline.
+        through epoch-stamped module state captured at fork time, which
+        supports one fan-out at a time.  With one worker the query runs
+        inline.
         """
         requested = self.max_workers if workers is None else workers
         count = max(1, min(requested, self.max_workers))
@@ -255,11 +334,9 @@ class QueryExecutor:
             result = find_matches(
                 spec.query,
                 spec.constraints,
-                spec.graph,
+                spec.resolve_graph(),
                 algorithm=spec.algorithm,
-                limit=spec.limit,
-                time_budget=spec.time_budget,
-                collect_matches=spec.collect_matches,
+                options=spec.match_options(None),
                 **spec.options,
             )
             finished = time.perf_counter()
@@ -277,39 +354,54 @@ class QueryExecutor:
             context = multiprocessing.get_context()
         forked = context.get_start_method() == "fork"
         with self._process_lock:
-            _set_process_spec(spec)
+            epoch = next(_EPOCH_COUNTER)
+            _set_process_spec(spec, epoch)
             try:
                 pool = ProcessPoolExecutor(
                     max_workers=count,
                     mp_context=context,
                     initializer=None if forked else _set_process_spec,
-                    initargs=() if forked else (spec,),
+                    initargs=() if forked else (spec, epoch),
                 )
                 started = time.perf_counter()
                 with pool:
                     futures = [
-                        pool.submit(_run_partition_in_process, index, count)
+                        pool.submit(
+                            _run_partition_in_process, index, count, epoch
+                        )
                         for index in range(count)
                     ]
                     parts = [future.result() for future in futures]
                 finished = time.perf_counter()
             finally:
-                _set_process_spec(None)
-        matches_merged, stats_merged = _merge_partitions(parts, spec.limit)
+                _set_process_spec(None, epoch)
+        matches_merged, stats_merged = _merge_partitions(
+            [(matches, stats) for matches, stats, _, _ in parts], spec.limit
+        )
         return ExecutionOutcome(
             matches=matches_merged,
             stats=stats_merged,
             partitions=count,
             queue_seconds=0.0,
             match_seconds=finished - started,
+            worker_compiles=tuple(compiles for _, _, compiles, _ in parts),
+            worker_graph_bytes=tuple(owned for _, _, _, owned in parts),
         )
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut the thread pool down (idempotent)."""
+        """Shut the pools down and drop any fan-out state (idempotent).
+
+        Clearing the module-level spec here is a belt-and-braces
+        companion to the per-fan-out ``finally``: a process that builds
+        sequential services must never leak one service's spec (and its
+        graph reference) into the next pool's forked workers.
+        """
         self._threads.shutdown(wait=True)
+        with self._process_lock:
+            _set_process_spec(None, next(_EPOCH_COUNTER))
 
     def __enter__(self) -> "QueryExecutor":
         return self

@@ -7,6 +7,14 @@ The amortization premise of the service is that a data graph is loaded
 never resets, even across a drop — cache keys embed ``(name, version)``,
 so replacing a graph implicitly invalidates every plan and result cached
 against the old snapshot without any cache traversal.
+
+With ``share_snapshots=True`` the registry additionally exports each
+compiled snapshot into a :class:`~repro.graphs.SharedSnapshot`
+shared-memory segment at registration time, so the process-pool executor
+can ship segment *names* to workers instead of pickled CSR buffers.
+Replacing or dropping a graph releases the old segment's registry
+reference; in-flight fan-outs keep it alive through their own
+``addref``/``close`` pairs (refcounted unlink).
 """
 
 from __future__ import annotations
@@ -17,6 +25,7 @@ from dataclasses import dataclass
 from ..errors import UnknownGraphError
 from ..graphs import (
     GraphSnapshot,
+    SharedSnapshot,
     TemporalGraph,
     ensure_snapshot,
     snapshot_write_barrier,
@@ -28,23 +37,26 @@ __all__ = ["GraphHandle", "GraphRegistry"]
 
 @dataclass(frozen=True)
 class GraphHandle:
-    """One registered graph: ``(name, version, graph, snapshot)``.
+    """One registered graph: ``(name, version, graph, snapshot[, shared])``.
 
     ``snapshot`` is the graph's frozen CSR compilation, produced exactly
     once per ``(graph, version)`` at registration time; queries, plan
     preparation, and the process-pool executor all consume the snapshot
     (compact to pickle, safe to share lock-free across threads), never
-    the mutable builder graph.
+    the mutable builder graph.  ``shared`` is the snapshot's
+    shared-memory export when the registry was built with
+    ``share_snapshots=True`` (``None`` otherwise).
     """
 
     name: str
     version: int
     graph: TemporalGraph
     snapshot: GraphSnapshot
+    shared: SharedSnapshot | None = None
 
     def describe(self) -> dict[str, object]:
         """Plain-data summary for server responses."""
-        return {
+        payload: dict[str, object] = {
             "name": self.name,
             "version": self.version,
             "num_vertices": self.graph.num_vertices,
@@ -52,12 +64,17 @@ class GraphHandle:
             "num_static_edges": self.graph.num_static_edges,
             "fingerprint": self.snapshot.fingerprint,
         }
+        if self.shared is not None:
+            payload["shared_segment"] = self.shared.name
+            payload["shared_nbytes"] = self.shared.nbytes
+        return payload
 
 
 class GraphRegistry:
     """Thread-safe mapping of graph names to versioned snapshots."""
 
-    def __init__(self) -> None:
+    def __init__(self, share_snapshots: bool = False) -> None:
+        self.share_snapshots = share_snapshots
         self._handles: dict[str, GraphHandle] = {}
         self._versions: dict[str, int] = {}
         self._lock = threading.Lock()
@@ -68,11 +85,14 @@ class GraphRegistry:
         Returns the new handle; a previously registered snapshot under the
         same name is replaced atomically (in-flight queries holding the
         old handle keep matching against the old snapshot — graphs are
-        never mutated in place).
+        never mutated in place; an old *shared segment* likewise stays
+        mapped until its last in-flight reference closes).
 
         The CSR snapshot is compiled here, outside the registry lock and
         exactly once per ``(graph, version)`` (``freeze()`` caches on the
         graph, so re-registering the same object reuses its compilation).
+        Under ``share_snapshots`` the compiled payload is also exported
+        into a shared-memory segment, once per registration.
         """
         snapshot = ensure_snapshot(graph)
         if sanitize_enabled():
@@ -81,14 +101,24 @@ class GraphRegistry:
             # gets the write-barrier wrapped snapshot, so any
             # post-compile mutation anywhere in the service raises.
             snapshot = snapshot_write_barrier(snapshot)
+        shared = (
+            SharedSnapshot.export(snapshot) if self.share_snapshots else None
+        )
         with self._lock:
             version = self._versions.get(name, 0) + 1
             self._versions[name] = version
             handle = GraphHandle(
-                name=name, version=version, graph=graph, snapshot=snapshot
+                name=name,
+                version=version,
+                graph=graph,
+                snapshot=snapshot,
+                shared=shared,
             )
+            previous = self._handles.get(name)
             self._handles[name] = handle
-            return handle
+        if previous is not None and previous.shared is not None:
+            previous.shared.close()
+        return handle
 
     def get(self, name: str) -> GraphHandle:
         """The current handle for *name*; raises :class:`UnknownGraphError`."""
@@ -106,7 +136,18 @@ class GraphRegistry:
         with self._lock:
             if name not in self._handles:
                 raise UnknownGraphError(f"unknown graph {name!r}")
-            del self._handles[name]
+            handle = self._handles.pop(name)
+        if handle.shared is not None:
+            handle.shared.close()
+
+    def close(self) -> None:
+        """Drop every graph, releasing all shared segments (idempotent)."""
+        with self._lock:
+            handles = list(self._handles.values())
+            self._handles.clear()
+        for handle in handles:
+            if handle.shared is not None:
+                handle.shared.close()
 
     def names(self) -> tuple[str, ...]:
         """Sorted names of the registered graphs."""

@@ -85,6 +85,15 @@ class ServiceConfig:
     #: sampling); a request's ``trace: true`` forces tracing regardless.
     trace_sample_rate: float = 0.0
     trace_store_size: int = 32
+    #: Export registered snapshots into shared memory so process-pool
+    #: workers attach to one graph image by name instead of each
+    #: deserialising a pickled CSR copy.  Only takes effect with
+    #: ``pool="process"`` (thread workers already share the snapshot).
+    share_snapshots: bool = True
+    #: Hard cap on one JSONL request line; longer lines get a structured
+    #: error response instead of being parsed (protocol back-pressure
+    #: against unbounded payloads).
+    max_request_bytes: int = 1_000_000
 
 
 @dataclass(frozen=True)
@@ -106,6 +115,12 @@ class ServiceResult:
     partitions: int
     stats: SearchStats = field(repr=False, default_factory=SearchStats)
     trace_id: str | None = None
+    #: Per-worker fan-out probes from process-pool runs (empty for
+    #: thread runs): CSR compiles each worker triggered (0 under
+    #: snapshot shipping) and CSR bytes each worker's graph owns
+    #: privately (0 when attached to a shared-memory segment).
+    worker_compiles: tuple[int, ...] = ()
+    worker_graph_bytes: tuple[int, ...] = ()
 
     def to_dict(self, include_matches: bool = True) -> dict[str, Any]:
         """Plain-data view used for JSONL responses."""
@@ -125,6 +140,9 @@ class ServiceResult:
         }
         if self.trace_id is not None:
             payload["trace_id"] = self.trace_id
+        if self.worker_compiles:
+            payload["worker_compiles"] = list(self.worker_compiles)
+            payload["worker_graph_bytes"] = list(self.worker_graph_bytes)
         if include_matches:
             payload["matches"] = [
                 {
@@ -146,7 +164,11 @@ class TCSMService:
     ) -> None:
         self.config = config or ServiceConfig()
         self.metrics = metrics or MetricsRegistry()
-        self.graphs = GraphRegistry()
+        self.graphs = GraphRegistry(
+            share_snapshots=(
+                self.config.pool == "process" and self.config.share_snapshots
+            )
+        )
         self.plans = PlanCache(capacity=self.config.plan_cache_size)
         self.results: ResultCache[ServiceResult] = ResultCache(
             capacity=self.config.result_cache_size
@@ -356,6 +378,7 @@ class TCSMService:
         use_result_cache: bool = True,
         options: dict[str, Any] | None = None,
         plan: str | None = None,
+        partition_strategy: str | None = None,
         trace: bool = False,
     ) -> ServiceResult:
         """Execute one query end to end through the serving stack.
@@ -368,6 +391,13 @@ class TCSMService:
         ``plan`` selects the matching-order planner (``"paper"`` or
         ``"cost"``); it is folded into the matcher options, so plan and
         result caches key distinct plans separately.
+
+        ``partition_strategy`` chooses how fan-out carves the root
+        candidates (``"stride"``, ``"range"`` or ``"label"``; see
+        :mod:`repro.core.partition`).  Any strategy returns the same
+        match multiset, but with a ``limit`` the enumeration order
+        decides *which* matches come back, so the result cache keys on
+        it.
 
         ``trace=True`` forces tracing for this query; otherwise the
         configured sample rate decides.  Traced queries bypass the result
@@ -384,6 +414,7 @@ class TCSMService:
         options = dict(options) if options else {}
         if plan is not None:
             options["plan"] = plan
+        strategy = partition_strategy or "stride"
         self._admit()
         try:
             handle = self.graphs.get(graph_name)
@@ -392,7 +423,9 @@ class TCSMService:
             pattern_hash = pattern_fingerprint(query, constraints)
             options_hash = options_fingerprint(options)
             match_opts = MatchOptions(
-                limit=limit, collect_matches=collect_matches
+                limit=limit,
+                collect_matches=collect_matches,
+                partition_strategy=strategy,
             )
             result_key = ResultKey(
                 graph_name=handle.name,
@@ -449,19 +482,32 @@ class TCSMService:
                 time.monotonic() + budget if budget is not None else None
             )
             if self.config.pool == "process":
-                # Workers receive the compact immutable snapshot, never
-                # the mutable dict-backed builder graph.
-                spec = ProcessSpec(
-                    query=query,
-                    constraints=constraints,
-                    graph=handle.snapshot,
-                    algorithm=algo,
-                    limit=limit,
-                    time_budget=budget,
-                    collect_matches=collect_matches,
-                    options=options,
-                )
-                outcome = self.executor.run_process(spec, workers=workers)
+                # Workers receive the shared-memory segment handle when
+                # the registry exported one (it pickles as the segment
+                # *name*, so workers attach to the single graph image);
+                # otherwise the compact immutable snapshot — never the
+                # mutable dict-backed builder graph.  The addref/close
+                # pair keeps a just-replaced segment mapped until this
+                # in-flight fan-out completes.
+                shared = handle.shared
+                if shared is not None:
+                    shared.addref()
+                try:
+                    spec = ProcessSpec(
+                        query=query,
+                        constraints=constraints,
+                        graph=shared if shared is not None else handle.snapshot,
+                        algorithm=algo,
+                        limit=limit,
+                        time_budget=budget,
+                        collect_matches=collect_matches,
+                        partition_strategy=strategy,
+                        options=options,
+                    )
+                    outcome = self.executor.run_process(spec, workers=workers)
+                finally:
+                    if shared is not None:
+                        shared.close()
             else:
                 # Process-pool runs stay untraced (spans cannot cross the
                 # fork boundary); the thread pool records partition spans
@@ -474,6 +520,7 @@ class TCSMService:
                             deadline=deadline,
                             workers=workers,
                             collect_matches=collect_matches,
+                            partition_strategy=strategy,
                             tracer=tracer,
                         )
                         span.annotate(
@@ -487,6 +534,7 @@ class TCSMService:
                         deadline=deadline,
                         workers=workers,
                         collect_matches=collect_matches,
+                        partition_strategy=strategy,
                     )
                 # Merge prepare-time filter counters exactly once per
                 # query (not per partition, which would multiply them).
@@ -516,6 +564,8 @@ class TCSMService:
                 partitions=outcome.partitions,
                 stats=outcome.stats,
                 trace_id=trace_id,
+                worker_compiles=outcome.worker_compiles,
+                worker_graph_bytes=outcome.worker_graph_bytes,
             )
             if use_result_cache and not timed_out and not traced:
                 self.results.put(result_key, result)
@@ -704,6 +754,9 @@ class TCSMService:
         plan = request.get("plan")
         if plan is not None:
             plan = str(plan)
+        strategy = request.get("partition_strategy")
+        if strategy is not None:
+            strategy = str(strategy)
         result = self.query(
             str(request["graph"]),
             query,
@@ -714,6 +767,7 @@ class TCSMService:
             workers=workers,
             collect_matches=not count_only,
             plan=plan,
+            partition_strategy=strategy,
             trace=bool(request.get("trace", False)),
         )
         return result.to_dict(include_matches=not count_only)
@@ -773,8 +827,9 @@ class TCSMService:
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool down and release shared segments (idempotent)."""
         self.executor.close()
+        self.graphs.close()
 
     def __enter__(self) -> "TCSMService":
         return self
@@ -791,15 +846,22 @@ def serve_stdio(
     """Serve newline-delimited JSON requests until EOF or ``shutdown``.
 
     Each input line is one request object; each output line is exactly
-    one response object (malformed JSON yields an error response, not a
-    crash).  Returns the number of requests served.
+    one response object (malformed JSON or an oversized line yields an
+    error response, not a crash).  Returns the number of requests
+    served.
     """
     served = 0
+    max_bytes = service.config.max_request_bytes
     for line in in_stream:
         line = line.strip()
         if not line:
             continue
         try:
+            if len(line) > max_bytes:
+                raise ValueError(
+                    f"request line exceeds max_request_bytes "
+                    f"({len(line)} > {max_bytes})"
+                )
             request = json.loads(line)
             if not isinstance(request, dict):
                 raise ValueError("request must be a JSON object")

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.baselines.csm import CSMMatcherBase, connected_edge_order
-from repro.core import find_matches
+from repro.core import MatchOptions, find_matches
 from repro.datasets import TOY_EXPECTED_MATCH_COUNT, toy_instance, toy_query
 from repro.errors import AlgorithmError
 from repro.graphs import QueryGraph, TemporalConstraints, TemporalGraph
@@ -78,7 +78,10 @@ class TestDeltaSemantics:
 
     def test_limit_stops_stream(self):
         query, tc, graph, _, _ = toy_instance()
-        result = find_matches(query, tc, graph, algorithm="graphflow", limit=1)
+        result = find_matches(
+            query, tc, graph, algorithm="graphflow",
+            options=MatchOptions(limit=1),
+        )
         assert result.num_matches == 1
         assert result.stats.budget_exhausted
 

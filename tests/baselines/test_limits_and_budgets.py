@@ -3,7 +3,7 @@
 import pytest
 
 from repro.baselines import BASELINE_NAMES
-from repro.core import find_matches
+from repro.core import MatchOptions, find_matches
 from repro.datasets import toy_instance
 
 
@@ -17,14 +17,15 @@ class TestBudgets:
     def test_zero_time_budget_stops(self, toy, algo):
         query, tc, graph, _, _ = toy
         result = find_matches(query, tc, graph, algorithm=algo,
-                              time_budget=0.0)
+                              options=MatchOptions(time_budget=0.0))
         assert result.stats.budget_exhausted
         assert result.num_matches == 0
 
     @pytest.mark.parametrize("algo", BASELINE_NAMES)
     def test_limit_one(self, toy, algo):
         query, tc, graph, _, _ = toy
-        result = find_matches(query, tc, graph, algorithm=algo, limit=1)
+        result = find_matches(query, tc, graph, algorithm=algo,
+                              options=MatchOptions(limit=1))
         assert result.num_matches == 1
         assert result.stats.budget_exhausted
 

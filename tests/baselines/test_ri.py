@@ -4,7 +4,7 @@ import pytest
 
 from repro.baselines import greatest_constraint_first_order
 from repro.baselines.ri import RIMatcher
-from repro.core import brute_force_matches, find_matches
+from repro.core import MatchOptions, brute_force_matches, find_matches
 from repro.datasets import TOY_EXPECTED_MATCH_COUNT, random_instance, toy_instance
 from repro.errors import AlgorithmError
 from repro.graphs import QueryGraph, TemporalConstraints
@@ -76,7 +76,8 @@ class TestRIDS:
 
     def test_limit_respected(self):
         query, tc, graph, _, _ = toy_instance()
-        result = find_matches(query, tc, graph, algorithm="ri-ds", limit=1)
+        result = find_matches(query, tc, graph, algorithm="ri-ds",
+                              options=MatchOptions(limit=1))
         assert result.num_matches == 1
         assert result.stats.budget_exhausted
 

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core import (
+    MatchOptions,
     available_algorithms,
     count_matches,
     create_matcher,
@@ -109,7 +110,8 @@ class TestFindMatches:
     def test_time_budget_zero_stops_early(self, toy):
         query, tc, graph, _, _ = toy
         result = find_matches(
-            query, tc, graph, algorithm="tcsm-eve", time_budget=0.0
+            query, tc, graph, algorithm="tcsm-eve",
+            options=MatchOptions(time_budget=0.0),
         )
         assert result.stats.budget_exhausted
         assert result.num_matches == 0

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import FilterStats, SearchStats, find_matches
+from repro.core import FilterStats, MatchOptions, SearchStats, find_matches
 from repro.datasets import toy_instance
 
 TCSM = ("tcsm-v2v", "tcsm-e2e", "tcsm-eve")
@@ -138,7 +138,8 @@ class TestLiveCounters:
         merged = SearchStats()
         for index in range(3):
             part = find_matches(
-                query, tc, graph, algorithm=algo, partition=(index, 3)
+                query, tc, graph, algorithm=algo,
+                options=MatchOptions(partition=(index, 3)),
             )
             merged.merge(part.stats)
         # Run-time filters see every candidate exactly once across slices.

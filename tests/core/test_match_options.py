@@ -106,9 +106,10 @@ class TestRunContext:
 
     def test_resolve_folds_legacy_keywords(self):
         stats = SearchStats()
-        ctx = resolve_run_context(
-            None, limit=4, stats=stats, deadline=1.0, partition=(0, 2)
-        )
+        with pytest.warns(DeprecationWarning, match="RunContext"):
+            ctx = resolve_run_context(  # reprolint: disable=R018
+                None, limit=4, stats=stats, deadline=1.0, partition=(0, 2)
+            )
         assert ctx.limit == 4 and ctx.deadline == 1.0
         assert ctx.partition == (0, 2)
         assert ctx.stats is stats
@@ -130,9 +131,10 @@ class TestFindMatchesShim:
             query, tc, graph, algorithm=algo,
             options=MatchOptions(limit=2, tighten=True),
         )
-        via_keywords = find_matches(
-            query, tc, graph, algorithm=algo, limit=2, tighten=True
-        )
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            via_keywords = find_matches(  # reprolint: disable=R018
+                query, tc, graph, algorithm=algo, limit=2, tighten=True
+            )
         assert set(via_options.matches) == set(via_keywords.matches)
         assert via_options.stats.matches == via_keywords.stats.matches
         assert via_options.truncated == via_keywords.truncated
@@ -140,11 +142,11 @@ class TestFindMatchesShim:
     def test_options_plus_legacy_keyword_is_an_error(self, toy):
         query, tc, graph, _, _ = toy
         with pytest.raises(TypeError, match="not both"):
-            find_matches(
+            find_matches(  # reprolint: disable=R018
                 query, tc, graph, options=MatchOptions(limit=2), limit=2
             )
         with pytest.raises(TypeError, match="not both"):
-            find_matches(
+            find_matches(  # reprolint: disable=R018
                 query, tc, graph, options=MatchOptions(), trace=True
             )
 
@@ -168,7 +170,11 @@ class TestFindMatchesShim:
         assert count_matches(
             query, tc, graph, options=MatchOptions(collect_matches=True)
         ) == baseline
-        assert count_matches(query, tc, graph, limit=1) == 1
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            count = count_matches(  # reprolint: disable=R018
+                query, tc, graph, limit=1
+            )
+        assert count == 1
 
 
 class TestTraceOption:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import find_matches, is_valid_match
+from repro.core import MatchOptions, find_matches, is_valid_match
 from repro.datasets import TOY_EXPECTED_MATCH_COUNT, toy_instance
 
 ALGORITHMS = ("brute-force", "tcsm-v2v", "tcsm-e2e", "tcsm-eve")
@@ -85,21 +85,24 @@ class TestLimits:
     @pytest.mark.parametrize("algo", ALGORITHMS)
     def test_limit_one(self, toy, algo):
         query, tc, graph, _, _ = toy
-        result = find_matches(query, tc, graph, algorithm=algo, limit=1)
+        result = find_matches(query, tc, graph, algorithm=algo,
+                              options=MatchOptions(limit=1))
         assert result.num_matches == 1
         assert result.stats.budget_exhausted
 
     @pytest.mark.parametrize("algo", ALGORITHMS)
     def test_limit_larger_than_result(self, toy, algo):
         query, tc, graph, _, _ = toy
-        result = find_matches(query, tc, graph, algorithm=algo, limit=100)
+        result = find_matches(query, tc, graph, algorithm=algo,
+                              options=MatchOptions(limit=100))
         assert result.num_matches == TOY_EXPECTED_MATCH_COUNT
         assert not result.stats.budget_exhausted
 
     def test_collect_matches_false_still_counts(self, toy):
         query, tc, graph, _, _ = toy
         result = find_matches(
-            query, tc, graph, algorithm="tcsm-eve", collect_matches=False
+            query, tc, graph, algorithm="tcsm-eve",
+            options=MatchOptions(collect_matches=False),
         )
         assert result.matches == []
         assert result.stats.matches == TOY_EXPECTED_MATCH_COUNT
@@ -111,7 +114,8 @@ class TestOptions:
         for algo in ALGORITHMS[1:]:
             plain = find_matches(query, tc, graph, algorithm=algo)
             tightened = find_matches(
-                query, tc, graph, algorithm=algo, tighten=True
+                query, tc, graph, algorithm=algo,
+                options=MatchOptions(tighten=True),
             )
             assert set(plain.matches) == set(tightened.matches)
 

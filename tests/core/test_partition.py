@@ -3,11 +3,17 @@
 import pytest
 
 from repro.core import (
+    MatchOptions,
     create_matcher,
     find_matches,
     supports_partition,
 )
-from repro.core.partition import check_partition, partition_slice
+from repro.core.partition import (
+    PARTITION_STRATEGIES,
+    check_partition,
+    check_partition_strategy,
+    partition_slice,
+)
 from repro.datasets import toy_instance
 from repro.errors import AlgorithmError
 
@@ -46,6 +52,93 @@ class TestPartitionSlice:
             partition_slice({2, 1}, None)  # type: ignore[arg-type]
 
 
+class TestPartitionStrategies:
+    @pytest.mark.parametrize("strategy", PARTITION_STRATEGIES)
+    @pytest.mark.parametrize("count", (1, 2, 4, 7))
+    def test_disjoint_and_exhaustive(self, strategy, count):
+        population = set(range(23))
+        slices = [
+            partition_slice(
+                population,
+                (i, count),
+                strategy=strategy,
+                label_of=lambda v: v % 3,
+            )
+            for i in range(count)
+        ]
+        flattened = [item for piece in slices for item in piece]
+        assert len(flattened) == len(population)
+        assert set(flattened) == population
+
+    def test_stride_interleaves(self):
+        assert partition_slice(range(6), (0, 2), strategy="stride") == [
+            0, 2, 4,
+        ]
+        assert partition_slice(range(6), (1, 2), strategy="stride") == [
+            1, 3, 5,
+        ]
+
+    def test_range_is_contiguous(self):
+        assert partition_slice(range(6), (0, 2), strategy="range") == [
+            0, 1, 2,
+        ]
+        assert partition_slice(range(6), (1, 2), strategy="range") == [
+            3, 4, 5,
+        ]
+
+    def test_label_groups_stay_together_when_they_fit(self):
+        # Six vertices, two labels, two partitions: each partition is
+        # one label's whole candidate group.
+        label_of = {0: "a", 3: "a", 5: "a", 1: "b", 2: "b", 4: "b"}.get
+        lo = partition_slice(
+            range(6), (0, 2), strategy="label", label_of=label_of
+        )
+        hi = partition_slice(
+            range(6), (1, 2), strategy="label", label_of=label_of
+        )
+        assert {label_of(v) for v in lo} == {"a"}
+        assert {label_of(v) for v in hi} == {"b"}
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(AlgorithmError, match="strategy"):
+            check_partition_strategy("zigzag")
+        with pytest.raises(AlgorithmError, match="strategy"):
+            MatchOptions(partition_strategy="zigzag")
+
+    def test_strategy_discriminates_cache_hashes(self):
+        hashes = {
+            MatchOptions(
+                partition=(0, 2), partition_strategy=s
+            ).canonical_hash()
+            for s in PARTITION_STRATEGIES
+        }
+        assert len(hashes) == len(PARTITION_STRATEGIES)
+
+
+class TestStrategyEquivalence:
+    """Every strategy partitions the *answer* identically: the union of
+    the per-partition multisets is exactly the full run, for every TCSM
+    algorithm."""
+
+    @pytest.mark.parametrize("algo", CORE_ALGORITHMS)
+    @pytest.mark.parametrize("strategy", PARTITION_STRATEGIES)
+    @pytest.mark.parametrize("count", (2, 3))
+    def test_union_equals_full_run(self, toy, algo, strategy, count):
+        query, tc, graph, _, _ = toy
+        full = find_matches(query, tc, graph, algorithm=algo)
+        combined = []
+        for index in range(count):
+            part = find_matches(
+                query, tc, graph, algorithm=algo,
+                options=MatchOptions(
+                    partition=(index, count),
+                    partition_strategy=strategy,
+                ),
+            )
+            combined.extend(part.matches)
+        assert sorted(combined) == sorted(full.matches)
+
+
 class TestEnginePartitioning:
     @pytest.mark.parametrize("algo", CORE_ALGORITHMS)
     @pytest.mark.parametrize("count", (2, 3))
@@ -55,7 +148,8 @@ class TestEnginePartitioning:
         combined = []
         for index in range(count):
             part = find_matches(
-                query, tc, graph, algorithm=algo, partition=(index, count)
+                query, tc, graph, algorithm=algo,
+                options=MatchOptions(partition=(index, count)),
             )
             combined.extend(part.matches)
         assert sorted(combined) == sorted(full.matches)
@@ -75,13 +169,16 @@ class TestEnginePartitioning:
         query, tc, graph, _, _ = toy
         with pytest.raises(AlgorithmError, match="partition"):
             find_matches(
-                query, tc, graph, algorithm="ri-ds", partition=(0, 2)
+                query, tc, graph, algorithm="ri-ds",
+                options=MatchOptions(partition=(0, 2)),
             )
 
     def test_invalid_partition_rejected_before_search(self, toy):
         query, tc, graph, _, _ = toy
         with pytest.raises(AlgorithmError):
-            find_matches(query, tc, graph, partition=(5, 2))
+            find_matches(
+                query, tc, graph, options=MatchOptions(partition=(5, 2))
+            )
 
 
 class TestMatcherReuse:
@@ -105,7 +202,9 @@ class TestMatcherReuse:
 class TestOutcomeFlags:
     def test_zero_budget_sets_timed_out(self, toy):
         query, tc, graph, _, _ = toy
-        result = find_matches(query, tc, graph, time_budget=0.0)
+        result = find_matches(
+            query, tc, graph, options=MatchOptions(time_budget=0.0)
+        )
         assert result.timed_out
         assert not result.truncated
         assert result.stats.deadline_hit
@@ -113,7 +212,9 @@ class TestOutcomeFlags:
 
     def test_limit_sets_truncated_not_timed_out(self, toy):
         query, tc, graph, _, _ = toy
-        result = find_matches(query, tc, graph, limit=1)
+        result = find_matches(
+            query, tc, graph, options=MatchOptions(limit=1)
+        )
         assert result.truncated
         assert not result.timed_out
         assert not result.stats.deadline_hit
@@ -128,7 +229,8 @@ class TestOutcomeFlags:
     def test_timed_out_across_algorithms(self, toy, algo):
         query, tc, graph, _, _ = toy
         result = find_matches(
-            query, tc, graph, algorithm=algo, time_budget=0.0
+            query, tc, graph, algorithm=algo,
+            options=MatchOptions(time_budget=0.0),
         )
         assert result.timed_out
 

@@ -10,6 +10,7 @@ import hypothesis.strategies as st
 from hypothesis import given, settings
 
 from repro.core import (
+    MatchOptions,
     brute_force_matches,
     build_tcq,
     build_tcq_plus,
@@ -109,7 +110,8 @@ def test_stn_closure_never_changes_matches(instance):
     plain = set(find_matches(query, tc, graph, algorithm="tcsm-eve").matches)
     tightened = set(
         find_matches(
-            query, tc, graph, algorithm="tcsm-eve", tighten=True
+            query, tc, graph, algorithm="tcsm-eve",
+            options=MatchOptions(tighten=True),
         ).matches
     )
     assert plain == tightened
@@ -150,6 +152,7 @@ def test_limit_is_prefix_of_full_run(instance, limit):
     query, tc, graph = instance
     full = find_matches(query, tc, graph, algorithm="tcsm-eve").matches
     limited = find_matches(
-        query, tc, graph, algorithm="tcsm-eve", limit=limit
+        query, tc, graph, algorithm="tcsm-eve",
+        options=MatchOptions(limit=limit),
     ).matches
     assert limited == full[: min(limit, len(full))]

@@ -11,7 +11,7 @@ one backend.
 
 import pytest
 
-from repro.core import find_matches
+from repro.core import MatchOptions, find_matches
 from repro.datasets import random_instance
 from repro.graphs import (
     QueryBuilder,
@@ -79,14 +79,15 @@ def test_backends_agree_with_edge_labels(algorithm):
 def test_backends_agree_under_match_limit(algorithm):
     query, constraints, graph = random_instance(seed=3)
     compiled = find_matches(
-        query, constraints, graph, algorithm=algorithm, limit=2
+        query, constraints, graph, algorithm=algorithm,
+        options=MatchOptions(limit=2),
     )
     plain = find_matches(
         query,
         constraints,
         graph,
         algorithm=algorithm,
-        limit=2,
+        options=MatchOptions(limit=2),
         compile_graph=False,
     )
     # Deterministic order means truncation cuts at the same prefix.

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.core import find_matches
+from repro.core import MatchOptions, find_matches
 from repro.datasets import toy_constraints, toy_instance
 from repro.errors import ConstraintError, InfeasibleConstraintsError
 from repro.graphs import Constraint, TemporalConstraints
@@ -208,7 +208,8 @@ class TestSTNEdgeCases:
         assert not infeasible.is_feasible()
         with pytest.raises(InfeasibleConstraintsError):
             find_matches(
-                query, infeasible, graph, algorithm="tcsm-e2e", tighten=True
+                query, infeasible, graph, algorithm="tcsm-e2e",
+                options=MatchOptions(tighten=True),
             )
 
     @pytest.mark.parametrize(

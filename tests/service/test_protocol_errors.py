@@ -1,0 +1,218 @@
+"""Error paths of the JSONL protocol: structured responses, never
+tracebacks.
+
+Every malformed, incomplete, oversized, or stale request must come back
+as a single JSON object with ``status`` set to ``error`` or
+``rejected`` and a human-readable ``error`` string — and the server
+must keep serving afterwards.  These tests pin that contract for both
+the synchronous ``serve_stdio`` loop and the async front door, and for
+``submit()`` called directly.
+"""
+
+import asyncio
+import io
+import json
+
+import pytest
+
+from repro.graphs import pattern_to_dict
+from repro.service import ServiceConfig, TCSMService, serve_stdio
+from repro.service.async_front import serve_stdio_async
+
+
+@pytest.fixture()
+def service(cm_graph):
+    with TCSMService(ServiceConfig(max_workers=2)) as svc:
+        svc.load_graph("cm", cm_graph)
+        yield svc
+
+
+def _query_request(workload, **extra):
+    query, constraints = workload
+    request = {
+        "op": "query",
+        "graph": "cm",
+        "pattern": pattern_to_dict(query, constraints),
+    }
+    request.update(extra)
+    return request
+
+
+def _run_lines(service, lines):
+    out = io.StringIO()
+    served = serve_stdio(
+        service, io.StringIO("\n".join(lines) + "\n"), out
+    )
+    return served, [json.loads(s) for s in out.getvalue().splitlines()]
+
+
+def _assert_structured_error(response, status="error"):
+    assert response["status"] == status
+    assert isinstance(response["error"], str)
+    assert "Traceback" not in response["error"]
+
+
+class TestSubmitErrorPaths:
+    def test_unknown_op_is_structured(self, service):
+        response = service.submit({"op": "frobnicate"})
+        _assert_structured_error(response)
+        assert "unknown op" in response["error"]
+        assert response["op"] == "frobnicate"
+
+    def test_non_string_op_is_structured(self, service):
+        response = service.submit({"op": 17})
+        _assert_structured_error(response)
+
+    def test_query_missing_graph_field(self, service, workload):
+        request = _query_request(workload)
+        del request["graph"]
+        _assert_structured_error(service.submit(request))
+
+    def test_query_missing_pattern_field(self, service):
+        response = service.submit({"op": "query", "graph": "cm"})
+        _assert_structured_error(response)
+        assert "pattern" in response["error"]
+
+    def test_query_with_malformed_pattern(self, service):
+        response = service.submit(
+            {"op": "query", "graph": "cm", "pattern": {"bogus": 1}}
+        )
+        _assert_structured_error(response)
+
+    def test_query_with_non_numeric_limit(self, service, workload):
+        response = service.submit(_query_request(workload, limit="many"))
+        _assert_structured_error(response)
+
+    def test_load_graph_missing_path(self, service):
+        response = service.submit({"op": "load_graph", "name": "g"})
+        _assert_structured_error(response)
+
+    def test_drop_graph_missing_name(self, service):
+        _assert_structured_error(service.submit({"op": "drop_graph"}))
+
+    def test_unknown_trace_id(self, service):
+        response = service.submit({"op": "trace", "trace_id": "nope"})
+        _assert_structured_error(response)
+        assert "unknown trace id" in response["error"]
+
+    def test_query_after_drop_graph_is_error_not_crash(
+        self, cm_graph, workload
+    ):
+        with TCSMService(ServiceConfig(max_workers=2)) as svc:
+            svc.load_graph("cm", cm_graph)
+            request = _query_request(workload)
+            assert svc.submit(request)["status"] == "ok"
+            assert svc.submit({"op": "drop_graph", "name": "cm"})[
+                "status"
+            ] == "ok"
+            response = svc.submit(request)
+            _assert_structured_error(response)
+            assert "cm" in response["error"]
+            # The service survives: unrelated ops keep working.
+            assert svc.submit({"op": "ping"})["status"] == "ok"
+
+    def test_error_response_echoes_request_id(self, service):
+        response = service.submit({"op": "frobnicate", "id": "req-7"})
+        assert response["id"] == "req-7"
+        _assert_structured_error(response)
+
+
+class TestServeStdioErrorPaths:
+    def test_malformed_json_line(self, service):
+        served, responses = _run_lines(
+            service, ['{"op": "ping"}', "{not json", '{"op": "ping"}']
+        )
+        assert served == 3
+        assert responses[0]["status"] == "ok"
+        _assert_structured_error(responses[1])
+        assert "invalid request line" in responses[1]["error"]
+        assert responses[2]["status"] == "ok"
+
+    def test_non_object_line(self, service):
+        served, responses = _run_lines(service, ["[1, 2, 3]", '"ping"'])
+        assert served == 2
+        for response in responses:
+            _assert_structured_error(response)
+            assert "JSON object" in response["error"]
+
+    def test_oversized_line_is_rejected_not_parsed(self, cm_graph):
+        config = ServiceConfig(max_workers=2, max_request_bytes=256)
+        with TCSMService(config) as svc:
+            svc.load_graph("cm", cm_graph)
+            big = json.dumps({"op": "ping", "pad": "x" * 1024})
+            served, responses = _run_lines(svc, [big, '{"op": "ping"}'])
+        assert served == 2
+        _assert_structured_error(responses[0])
+        assert "max_request_bytes" in responses[0]["error"]
+        assert responses[1]["status"] == "ok"
+
+    def test_blank_lines_are_skipped_silently(self, service):
+        served, responses = _run_lines(
+            service, ["", '{"op": "ping"}', "   ", '{"op": "ping"}']
+        )
+        assert served == 2
+        assert len(responses) == 2
+
+    def test_query_after_drop_over_the_wire(self, cm_graph, workload):
+        with TCSMService(ServiceConfig(max_workers=2)) as svc:
+            svc.load_graph("cm", cm_graph)
+            lines = [
+                json.dumps(_query_request(workload, id=0)),
+                json.dumps({"op": "drop_graph", "name": "cm", "id": 1}),
+                json.dumps(_query_request(workload, id=2)),
+                json.dumps({"op": "shutdown", "id": 3}),
+            ]
+            served, responses = _run_lines(svc, lines)
+        assert served == 4
+        assert [r["id"] for r in responses] == [0, 1, 2, 3]
+        assert responses[0]["status"] == "ok"
+        assert responses[1]["status"] == "ok"
+        _assert_structured_error(responses[2])
+        assert responses[3]["status"] == "ok"
+
+
+class TestAsyncFrontErrorParity:
+    """The async loop answers error paths with the same envelopes as the
+    synchronous loop."""
+
+    def _run_async(self, service, lines):
+        out = io.StringIO()
+        served = asyncio.run(
+            serve_stdio_async(
+                service, io.StringIO("\n".join(lines) + "\n"), out
+            )
+        )
+        return served, [
+            json.loads(s) for s in out.getvalue().splitlines()
+        ]
+
+    def test_same_envelopes_as_sync_loop(self, cm_graph, workload):
+        lines = [
+            '{"op": "ping", "id": 0}',
+            "{not json",
+            '{"op": "frobnicate", "id": 2}',
+            json.dumps({"op": "query", "graph": "missing", "id": 3}),
+            json.dumps({"op": "shutdown", "id": 4}),
+        ]
+        config = ServiceConfig(max_workers=2)
+        with TCSMService(config) as svc:
+            svc.load_graph("cm", cm_graph)
+            sync_served, sync_responses = _run_lines(svc, lines)
+        with TCSMService(config) as svc:
+            svc.load_graph("cm", cm_graph)
+            async_served, async_responses = self._run_async(svc, lines)
+        assert async_served == sync_served == 5
+        assert async_responses == sync_responses
+
+    def test_oversized_line_async(self, cm_graph):
+        config = ServiceConfig(max_workers=2, max_request_bytes=256)
+        with TCSMService(config) as svc:
+            svc.load_graph("cm", cm_graph)
+            big = json.dumps({"op": "ping", "pad": "x" * 1024})
+            served, responses = self._run_async(
+                svc, [big, '{"op": "ping"}']
+            )
+        assert served == 2
+        _assert_structured_error(responses[0])
+        assert "max_request_bytes" in responses[0]["error"]
+        assert responses[1]["status"] == "ok"

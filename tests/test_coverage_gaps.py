@@ -4,7 +4,7 @@ import doctest
 
 import pytest
 
-from repro.core import find_matches
+from repro.core import MatchOptions, RunContext, find_matches
 from repro.datasets import toy_instance
 from repro.experiments import render_series
 from repro.graphs import TemporalGraph
@@ -59,7 +59,8 @@ class TestEngineCombinations:
     def test_limit_with_collect_false(self):
         query, tc, graph, _, _ = toy_instance()
         result = find_matches(
-            query, tc, graph, limit=1, collect_matches=False
+            query, tc, graph,
+            options=MatchOptions(limit=1, collect_matches=False),
         )
         assert result.matches == []
         assert result.stats.matches == 1
@@ -68,7 +69,8 @@ class TestEngineCombinations:
     def test_tighten_with_baseline(self):
         query, tc, graph, _, _ = toy_instance()
         result = find_matches(
-            query, tc, graph, algorithm="ri-ds", tighten=True
+            query, tc, graph, algorithm="ri-ds",
+            options=MatchOptions(tighten=True),
         )
         assert result.num_matches == 2
 
@@ -79,8 +81,8 @@ class TestEngineCombinations:
         matcher = create_matcher("tcsm-eve", query, tc, graph)
         matcher.prepare()
         stats = SearchStats()
-        first = sum(1 for _ in matcher.run(stats=stats))
-        second = sum(1 for _ in matcher.run(stats=stats))
+        first = sum(1 for _ in matcher.run(RunContext(stats=stats)))
+        second = sum(1 for _ in matcher.run(RunContext(stats=stats)))
         assert first == second == 2
         # Counters accumulate across runs on the same stats object.
         assert stats.matches == 4

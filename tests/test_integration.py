@@ -9,7 +9,7 @@ other on realistic graphs where the oracle is too slow.
 
 import pytest
 
-from repro.core import count_matches, find_matches, is_valid_match
+from repro.core import MatchOptions, count_matches, find_matches, is_valid_match
 from repro.datasets import load_dataset, paper_workloads
 
 
@@ -26,7 +26,8 @@ class TestWorkloadGrid:
         _, _, query, constraints = workload
         counts = {
             algo: count_matches(
-                query, constraints, graph, algorithm=algo, time_budget=30
+                query, constraints, graph, algorithm=algo,
+                options=MatchOptions(time_budget=30),
             )
             for algo in ("tcsm-v2v", "tcsm-e2e", "tcsm-eve")
         }
@@ -41,11 +42,11 @@ class TestWorkloadGrid:
                 continue
             eve = find_matches(
                 query, constraints, graph, algorithm="tcsm-eve",
-                time_budget=30,
+                options=MatchOptions(time_budget=30),
             )
             gf = find_matches(
                 query, constraints, graph, algorithm="graphflow",
-                time_budget=60,
+                options=MatchOptions(time_budget=60),
             )
             assert not eve.stats.budget_exhausted
             assert not gf.stats.budget_exhausted
@@ -59,7 +60,7 @@ class TestWorkloadGrid:
                 continue
             result = find_matches(
                 query, constraints, graph, algorithm="tcsm-eve",
-                time_budget=30,
+                options=MatchOptions(time_budget=30),
             )
             for match in result.matches:
                 assert is_valid_match(query, constraints, graph, match)

@@ -1,0 +1,99 @@
+"""R018: no legacy keyword arguments on the blessed matching entry points.
+
+``find_matches``/``count_matches`` grew an ``options=MatchOptions(...)``
+parameter and ``Matcher.run`` takes a ``RunContext``; the flat keyword
+forms (``limit=``, ``time_budget=``, ``tighten=``, ``collect_matches=``,
+``partition=``, ``trace=`` and ``run(limit=/stats=/deadline=/partition=)``)
+are deprecation shims scheduled for removal.  First-party code must not
+lean on them — every in-repo caller passes the structured options object,
+so the shims can be deleted without a sweep.  Tests that pin the shim
+behaviour itself carry a ``# reprolint: disable=R018`` pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from ..context import FileContext
+from ..findings import Finding
+from ..registry import Rule, register_rule
+
+__all__ = ["LegacyKeywordCallRule"]
+
+#: Entry points that accept ``options=`` and the legacy keywords their
+#: shim still tolerates.
+_OPTIONS_ENTRY_POINTS = {
+    "find_matches": {
+        "limit",
+        "time_budget",
+        "tighten",
+        "collect_matches",
+        "partition",
+        "trace",
+    },
+    "count_matches": {
+        "limit",
+        "time_budget",
+        "tighten",
+        "partition",
+        "trace",
+    },
+}
+
+#: ``Matcher.run`` keywords shimmed into ``RunContext``.
+_RUN_LEGACY_KEYWORDS = {"limit", "stats", "deadline", "partition"}
+
+
+def _call_name(node: ast.Call) -> str | None:
+    """Bare or attribute call target name (``f(...)`` or ``obj.f(...)``)."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+@register_rule
+class LegacyKeywordCallRule(Rule):
+    id = "R018"
+    name = "legacy-match-kwargs"
+    description = (
+        "First-party calls must use options=MatchOptions(...) / "
+        "RunContext, not the deprecated flat keywords on "
+        "find_matches/count_matches/Matcher.run."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name is None:
+                continue
+            legacy: set[str] | None = None
+            if name in _OPTIONS_ENTRY_POINTS:
+                legacy = _OPTIONS_ENTRY_POINTS[name]
+                replacement = "options=MatchOptions(...)"
+            elif name == "run" and isinstance(node.func, ast.Attribute):
+                legacy = _RUN_LEGACY_KEYWORDS
+                replacement = "a RunContext positional argument"
+            if legacy is None:
+                continue
+            offenders = sorted(
+                keyword.arg
+                for keyword in node.keywords
+                if keyword.arg in legacy
+            )
+            if not offenders:
+                continue
+            if ctx.pragmas.is_disabled(self.id, node.lineno):
+                continue
+            yield self.finding(
+                ctx,
+                node.lineno,
+                node.col_offset,
+                f"{name}() called with deprecated keyword(s) "
+                f"{', '.join(offenders)}; pass {replacement} instead",
+            )

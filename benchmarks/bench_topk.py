@@ -1,0 +1,220 @@
+"""Sink pipeline bars: limit early-exit and estimate-vs-exact speedup.
+
+The unified result-sink refactor makes two performance promises, pinned
+here on a dense synthetic graph (~80 vertices, out-degree 12, ten
+timestamps per pair — a few hundred thousand matches):
+
+* **Early exit is genuine.** A ``limit=1`` run raises
+  :class:`~repro.core.sinks.StopEnumeration` out of the DFS the moment
+  the first match lands in the sink, so it must expand *strictly fewer*
+  timestamps than the unlimited enumeration — not just return fewer
+  matches after doing the same work.
+* **Estimation skips enumeration.** ``mode="estimate"`` answers from
+  ``probes`` root-to-leaf HT samples without enumerating anything; on a
+  graph dense enough that exact counting grinds, it must be at least
+  10x faster.
+
+Also records the exact top-k path (``order_by="earliest"``) for
+context: the bounded heap sees the full enumeration, so its win is
+memory and ordering, not wall-clock.
+
+Runs standalone (``python benchmarks/bench_topk.py``, exits non-zero on
+regression, writes ``BENCH_topk.json`` for the CI artifact) and under
+pytest.
+"""
+
+import json
+import random
+import time
+from pathlib import Path
+
+from repro.core import MatchOptions, MatchResult, find_matches
+from repro.graphs import (
+    GraphSnapshot,
+    QueryGraph,
+    TemporalConstraints,
+    TemporalGraph,
+    ensure_snapshot,
+)
+
+#: Dense synthetic graph: enough matches that exact counting grinds.
+NUM_VERTICES = 80
+OUT_DEGREE = 12
+TIMES_PER_PAIR = 10
+TIME_HORIZON = 10_000
+GRAPH_SEED = 7
+
+#: Three-edge A-B-A-B path under a linear chain of gap constraints.
+GAP = 2_000
+
+ALGORITHM = "tcsm-eve"
+
+TOP_K = 10
+
+PROBES = 128
+ESTIMATE_SEED = 0
+
+#: Floor pinned by the issue: sampling must beat exact counting by 10x.
+MIN_ESTIMATE_SPEEDUP = 10.0
+
+REPEATS = 2
+
+OUT_PATH = Path("BENCH_topk.json")
+
+
+def dense_graph(
+    n: int = NUM_VERTICES,
+    degree: int = OUT_DEGREE,
+    times_per_pair: int = TIMES_PER_PAIR,
+    seed: int = GRAPH_SEED,
+) -> "GraphSnapshot":
+    """A two-label random graph with many timestamps per vertex pair."""
+    rng = random.Random(seed)
+    labels = ["A" if i % 2 == 0 else "B" for i in range(n)]
+    graph = TemporalGraph(labels)
+    for u in range(n):
+        targets = rng.sample([v for v in range(n) if v != u], degree)
+        for v in targets:
+            for _ in range(times_per_pair):
+                graph.add_edge(u, v, rng.randrange(0, TIME_HORIZON))
+    return ensure_snapshot(graph)
+
+
+def _best_run(fn) -> tuple[float, "MatchResult"]:
+    best_seconds = float("inf")
+    result = None
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        result = fn()
+        best_seconds = min(best_seconds, time.perf_counter() - started)
+    assert result is not None
+    return best_seconds, result
+
+
+def measure() -> dict[str, object]:
+    """Full / limit=1 / top-k / count / estimate runs, as one report."""
+    graph = dense_graph()
+    query = QueryGraph(["A", "B", "A", "B"], [(0, 1), (1, 2), (2, 3)])
+    constraints = TemporalConstraints(
+        [(0, 1, GAP), (1, 2, GAP)], num_edges=query.num_edges
+    )
+
+    def run(options: MatchOptions, **kwargs: object) -> "MatchResult":
+        return find_matches(
+            query,
+            constraints,
+            graph,
+            algorithm=ALGORITHM,
+            options=options,
+            **kwargs,
+        )
+
+    count_seconds, count = _best_run(lambda: run(MatchOptions(mode="count")))
+    one_seconds, one = _best_run(lambda: run(MatchOptions(limit=1)))
+    topk_seconds, topk = _best_run(
+        lambda: run(MatchOptions(limit=TOP_K, order_by="earliest"))
+    )
+    estimate_seconds, estimate = _best_run(
+        lambda: run(
+            MatchOptions(mode="estimate"),
+            probes=PROBES,
+            seed=ESTIMATE_SEED,
+        )
+    )
+
+    assert estimate.estimate is not None
+    exact = count.stats.matches
+    relative_error = abs(estimate.estimate.count - exact) / max(1, exact)
+    return {
+        "algorithm": ALGORITHM,
+        "temporal_edges": float(graph.num_temporal_edges),
+        "matches_total": float(exact),
+        "expanded_full": float(count.stats.timestamps_expanded),
+        "expanded_limit1": float(one.stats.timestamps_expanded),
+        "limit1_truncated": bool(one.truncated_by_limit),
+        "topk_returned": float(len(topk.matches)),
+        "topk_ordered": bool(topk.ordered),
+        "seconds_count": count_seconds,
+        "seconds_limit1": one_seconds,
+        "seconds_topk": topk_seconds,
+        "seconds_estimate": estimate_seconds,
+        "estimate_count": float(estimate.estimate.count),
+        "estimate_ci_low": float(estimate.estimate.ci_low),
+        "estimate_ci_high": float(estimate.estimate.ci_high),
+        "estimate_probes": float(PROBES),
+        "estimate_relative_error": relative_error,
+        "estimate_speedup": count_seconds / max(1e-9, estimate_seconds),
+    }
+
+
+def check(report: dict[str, object]) -> list[str]:
+    """Regression messages (empty when the report meets the bars)."""
+    failures: list[str] = []
+    expanded_full = report["expanded_full"]
+    expanded_limit1 = report["expanded_limit1"]
+    assert isinstance(expanded_full, float)
+    assert isinstance(expanded_limit1, float)
+    if not expanded_limit1 < expanded_full:
+        failures.append(
+            f"limit=1 expanded {expanded_limit1:.0f} timestamps, not "
+            f"strictly fewer than the full run's {expanded_full:.0f} — "
+            "the sink's StopEnumeration is not reaching the DFS"
+        )
+    if not report["limit1_truncated"]:
+        failures.append("limit=1 run did not tag truncated_by_limit")
+    speedup = report["estimate_speedup"]
+    assert isinstance(speedup, float)
+    if speedup < MIN_ESTIMATE_SPEEDUP:
+        failures.append(
+            f"estimate speedup {speedup:.1f}x below the "
+            f"{MIN_ESTIMATE_SPEEDUP:.0f}x floor over exact counting"
+        )
+    topk_returned = report["topk_returned"]
+    assert isinstance(topk_returned, float)
+    if int(topk_returned) != TOP_K or not report["topk_ordered"]:
+        failures.append(
+            f"top-k run returned {report['topk_returned']:.0f} matches "
+            f"(ordered={report['topk_ordered']}), wanted {TOP_K} ordered"
+        )
+    return failures
+
+
+def test_topk_early_exit_and_estimate_speedup() -> None:
+    report = measure()
+    assert check(report) == [], check(report)
+
+
+def main() -> int:
+    report = measure()
+    print(f"algorithm:          {report['algorithm']}")
+    print(f"temporal edges:     {report['temporal_edges']:.0f}")
+    print(f"matches (exact):    {report['matches_total']:.0f}")
+    print(
+        f"expanded full/limit=1: {report['expanded_full']:.0f} / "
+        f"{report['expanded_limit1']:.0f}"
+    )
+    print(
+        f"seconds count/limit=1/topk: {report['seconds_count']:.4f} / "
+        f"{report['seconds_limit1']:.4f} / {report['seconds_topk']:.4f}"
+    )
+    print(
+        f"count vs estimate:  {report['seconds_count']:.4f}s vs "
+        f"{report['seconds_estimate']:.4f}s "
+        f"({report['estimate_speedup']:.1f}x)"
+    )
+    print(
+        f"estimate:           ~{report['estimate_count']:.0f} "
+        f"(95% CI [{report['estimate_ci_low']:.0f}, "
+        f"{report['estimate_ci_high']:.0f}], "
+        f"rel err {report['estimate_relative_error']:.1%})"
+    )
+    failures = check(report)
+    for failure in failures:
+        print(f"REGRESSION: {failure}")
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote report -> {OUT_PATH}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

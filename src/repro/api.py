@@ -31,6 +31,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any
 
 from .core import (
+    CountEstimate,
     MatchOptions,
     Matcher,
     MatchResult,
@@ -46,6 +47,7 @@ if TYPE_CHECKING:
     from .service import ServiceConfig, TCSMService
 
 __all__ = [
+    "CountEstimate",
     "MatchOptions",
     "MatchResult",
     "RunContext",

@@ -74,6 +74,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="stop after this many matches")
     match.add_argument("--time-budget", type=float, default=None,
                        help="wall-clock budget in seconds")
+    match.add_argument("--order-by", default="any",
+                       choices=("any", "earliest"),
+                       help="result order: 'earliest' keeps the top-limit "
+                            "matches by latest edge timestamp")
+    match.add_argument("--mode", default="enumerate",
+                       choices=("enumerate", "count", "estimate"),
+                       help="answer shape: enumerate matches, count "
+                            "exactly, or estimate via HT sampling")
     match.add_argument("--count-only", action="store_true",
                        help="print only the match count")
     match.add_argument("--json", action="store_true",
@@ -190,6 +198,21 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=("stride", "range", "label"),
                         help="candidate partitioning strategy for "
                              "fan-out (query op)")
+    submit.add_argument("--order-by", default=None,
+                        choices=("any", "earliest"),
+                        help="result order: 'earliest' returns the exact "
+                             "top-limit matches by latest edge timestamp "
+                             "(query op)")
+    submit.add_argument("--mode", default=None,
+                        choices=("enumerate", "count", "estimate"),
+                        help="answer shape: enumerate matches, count "
+                             "exactly, or estimate via HT sampling "
+                             "(query op)")
+    submit.add_argument("--probes", type=int, default=None,
+                        help="HT sampling probes for --mode estimate "
+                             "(service default: 200)")
+    submit.add_argument("--estimate-seed", type=int, default=None,
+                        help="RNG seed for --mode estimate (default 0)")
     submit.add_argument("--count-only", action="store_true",
                         help="request match counts without match payloads")
     submit.add_argument("--trace", action="store_true",
@@ -259,6 +282,7 @@ def _cmd_match(args: argparse.Namespace) -> int:
     if any(d.severity == "error" for d in diagnostics):
         print("error: pattern cannot match this graph", file=sys.stderr)
         return 2
+    mode = "count" if args.count_only and args.mode == "enumerate" else args.mode
     result = find_matches(
         query,
         constraints,
@@ -267,10 +291,21 @@ def _cmd_match(args: argparse.Namespace) -> int:
         options=MatchOptions(
             limit=args.limit,
             time_budget=args.time_budget,
-            collect_matches=not args.count_only,
+            collect_matches=not args.count_only and mode == "enumerate",
+            order_by=args.order_by,
+            mode=mode,
         ),
     )
-    if args.count_only:
+    if result.estimate is not None:
+        est = result.estimate
+        if args.json:
+            print(json.dumps(est.to_dict()))
+        else:
+            print(f"~{est.count:.1f} matches "
+                  f"(95% CI [{est.ci_low:.1f}, {est.ci_high:.1f}], "
+                  f"{est.probes} probes)")
+        return 0
+    if args.count_only or mode == "count":
         print(result.stats.matches)
         return 0
     if args.output:
@@ -456,6 +491,14 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             request["workers"] = args.workers
         if args.partition_strategy is not None:
             request["partition_strategy"] = args.partition_strategy
+        if args.order_by is not None:
+            request["order_by"] = args.order_by
+        if args.mode is not None:
+            request["mode"] = args.mode
+        if args.probes is not None:
+            request["probes"] = args.probes
+        if args.estimate_seed is not None:
+            request["seed"] = args.estimate_seed
         if args.count_only:
             request["count_only"] = True
         if args.trace:

@@ -10,10 +10,24 @@ from .engine import (
     count_matches,
     create_matcher,
     find_matches,
+    invoke_run,
+    invoke_run_sink,
     register_algorithm,
     supports_partition,
 )
-from .estimate import estimate_match_count
+from .results import CountEstimate, MatchSet
+from .sinks import (
+    BoundedQueueSink,
+    CollectSink,
+    CountSink,
+    ResultSink,
+    StopEnumeration,
+    TopKEarliestSink,
+    build_sink,
+    drain_into_sink,
+    match_sort_key,
+)
+from .estimate import estimate_match_count, estimate_with_ci
 from .eve import EVEMatcher
 from .explain import constraint_slack, explain_match
 from .filters import (
@@ -61,7 +75,11 @@ from .windows import (
 )
 
 __all__ = [
+    "BoundedQueueSink",
     "BruteForceMatcher",
+    "CollectSink",
+    "CountEstimate",
+    "CountSink",
     "Diagnostic",
     "lint_pattern",
     "E2EMatcher",
@@ -70,7 +88,11 @@ __all__ = [
     "Match",
     "MatchOptions",
     "MatchResult",
+    "MatchSet",
     "Matcher",
+    "ResultSink",
+    "StopEnumeration",
+    "TopKEarliestSink",
     "NO_WINDOW",
     "PLAN_CHOICES",
     "PartitionedMatcher",
@@ -96,7 +118,13 @@ __all__ = [
     "constraint_slices",
     "count_matches",
     "count_motif",
+    "build_sink",
+    "drain_into_sink",
     "estimate_match_count",
+    "estimate_with_ci",
+    "invoke_run",
+    "invoke_run_sink",
+    "match_sort_key",
     "explain_match",
     "ordered_motif_constraints",
     "count_timestamp_assignments",

@@ -25,6 +25,7 @@ from ..obs import TraceSink
 from .match import Match
 from .options import RunContext, resolve_run_context
 from .partition import partition_slice
+from .sinks import CollectSink, ResultSink, StopEnumeration
 from .stats import SearchStats
 
 __all__ = ["BruteForceMatcher", "brute_force_matches"]
@@ -82,15 +83,35 @@ class BruteForceMatcher:
         keywords are the legacy shim.  ``ctx.partition=(index, count)``
         restricts the search to the slice of the first query vertex's
         candidates owned by that partition (see
-        :mod:`repro.core.partition`).
+        :mod:`repro.core.partition`).  Compat facade over
+        :meth:`run_sink`: the returned generator replays the collected
+        prefix.
         """
         context = resolve_run_context(
             ctx, limit=limit, stats=stats, deadline=deadline, partition=partition
         )
-        return self._run(context)
+        return self._run_collected(context)
 
-    def _run(self, ctx: RunContext) -> Iterator[Match]:
-        limit = ctx.limit
+    def _run_collected(self, ctx: RunContext) -> Iterator[Match]:
+        sink = CollectSink(limit=ctx.limit)
+        self.run_sink(ctx, sink)
+        yield from sink.finish()
+
+    def run_sink(self, ctx: RunContext, sink: ResultSink) -> None:
+        """Push every match into *sink* — the primary entry point.
+
+        A satisfied sink raises :class:`StopEnumeration`, which unwinds
+        the recursion directly; the stop is recorded on ``ctx.stats`` as
+        ``budget_exhausted`` + ``limit_hit``.
+        """
+        try:
+            self._run_sink(ctx, sink)
+        except StopEnumeration:
+            ctx.stats.budget_exhausted = True
+            if not ctx.stats.deadline_hit:
+                ctx.stats.limit_hit = True
+
+    def _run_sink(self, ctx: RunContext, sink: ResultSink) -> None:
         deadline = ctx.deadline
         partition = ctx.partition
         search_stats = ctx.stats
@@ -101,7 +122,6 @@ class BruteForceMatcher:
         # Read-only view: positions below `u` are always bound in id order.
         bound = cast("list[int]", vertex_map)
         used: set[int] = set()
-        emitted = 0
 
         # Edges checkable once vertex u is bound (both endpoints <= u).
         edges_closing_at: list[list[int]] = [[] for _ in range(n)]
@@ -136,15 +156,16 @@ class BruteForceMatcher:
                 label_of=graph.label,
             )
 
-        def dfs(u: int) -> Iterator[Match]:
+        def dfs(u: int) -> None:
             if deadline is not None and time.monotonic() > deadline:
                 search_stats.budget_exhausted = True
                 search_stats.deadline_hit = True
-                return
+                raise StopEnumeration
             if u == n:
                 full_map = cast(tuple[int, ...], tuple(vertex_map))
                 for times in assignments(full_map):
-                    yield Match.from_vertex_map(query, full_map, times)
+                    search_stats.matches += 1
+                    sink.accept(Match.from_vertex_map(query, full_map, times))
                 return
             base: Collection[int]
             if u == 0 and root_candidates is not None:
@@ -166,17 +187,11 @@ class BruteForceMatcher:
                     continue
                 vertex_map[u] = v
                 used.add(v)
-                yield from dfs(u + 1)
+                dfs(u + 1)
                 used.discard(v)
                 vertex_map[u] = None
 
-        for match in dfs(0):
-            emitted += 1
-            search_stats.matches += 1
-            yield match
-            if limit is not None and emitted >= limit:
-                search_stats.budget_exhausted = True
-                return
+        dfs(0)
 
 
 def brute_force_matches(
@@ -185,6 +200,15 @@ def brute_force_matches(
     graph: GraphView,
     limit: int | None = None,
 ) -> list[Match]:
-    """All matches of the instance, as a list (convenience wrapper)."""
+    """All matches of the instance, as a list (convenience wrapper).
+
+    This is the differential-testing reference path: it deliberately
+    accumulates a plain list through the compat ``run`` facade instead
+    of configuring a sink, so the oracle's answer shares no result-path
+    code with the pipeline under test.
+    """
     matcher = BruteForceMatcher(query, constraints, graph)
-    return list(matcher.run(RunContext(limit=limit)))
+    matches: list[Match] = []
+    for match in matcher.run(RunContext(limit=limit)):
+        matches.append(match)  # reprolint: disable=R019 -- oracle reference path stays sink-free by design
+    return matches

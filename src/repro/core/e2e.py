@@ -31,6 +31,7 @@ from .match import Match
 from .options import RunContext, resolve_run_context
 from .partition import partition_slice
 from .planner import plan_costs, validate_plan
+from .sinks import CollectSink, ResultSink, StopEnumeration
 from .stats import SearchStats
 from .tcq_plus import TCQPlus, build_tcq_plus
 from .windows import (
@@ -198,23 +199,45 @@ class E2EMatcher:
         deadline: float | None = None,
         partition: tuple[int, int] | None = None,
     ) -> Iterator[Match]:
-        """Yield all matches (generator; stops early at limit/deadline).
+        """Yield all matches (compat facade over :meth:`run_sink`).
 
         Run-time state arrives as one :class:`RunContext`; the individual
         keywords are the legacy shim.  ``ctx.partition=(index, count)``
         restricts the search to the slice of the *root* edge's candidate
         pairs owned by that partition (see :mod:`repro.core.partition`);
         the ``count`` partitions jointly enumerate exactly the
-        unpartitioned match set, disjointly.
+        unpartitioned match set, disjointly.  ``ctx.limit`` and the
+        deadline still stop the search early; the returned generator
+        replays the collected prefix.
         """
         context = resolve_run_context(
             ctx, limit=limit, stats=stats, deadline=deadline, partition=partition
         )
         self.prepare()
-        return self._run(context)
+        return self._run_collected(context)
 
-    def _run(self, ctx: RunContext) -> Iterator[Match]:
-        limit = ctx.limit
+    def _run_collected(self, ctx: RunContext) -> Iterator[Match]:
+        sink = CollectSink(limit=ctx.limit)
+        self.run_sink(ctx, sink)
+        yield from sink.finish()
+
+    def run_sink(self, ctx: RunContext, sink: ResultSink) -> None:
+        """Push every match into *sink* — the primary entry point.
+
+        A satisfied sink raises :class:`StopEnumeration`, which unwinds
+        the DFS recursion directly (no further candidates generated, no
+        further timestamps expanded); the stop is recorded on
+        ``ctx.stats`` as ``budget_exhausted`` + ``limit_hit``.
+        """
+        self.prepare()
+        try:
+            self._run_sink(ctx, sink)
+        except StopEnumeration:
+            ctx.stats.budget_exhausted = True
+            if not ctx.stats.deadline_hit:
+                ctx.stats.limit_hit = True
+
+    def _run_sink(self, ctx: RunContext, sink: ResultSink) -> None:
         deadline = ctx.deadline
         partition = ctx.partition
         search_stats = ctx.stats
@@ -232,7 +255,6 @@ class E2EMatcher:
         edge_map: list[TemporalEdge | None] = [None] * m
         vertex_map: list[int | None] = [None] * n
         used: set[int] = set()
-        emitted = 0
         edge_times: list[int | None] = [None] * m
         # Read-only view of edge_times: a constraint is checked only at the
         # position where its later edge binds, so both reads are bound.
@@ -342,16 +364,18 @@ class E2EMatcher:
                     for t in admissible_times(edge_index, du, dv, window):
                         yield TemporalEdge(du, dv, t)
 
-        def dfs(pos: int) -> Iterator[Match]:
-            nonlocal emitted
+        def dfs(pos: int) -> None:
             if deadline is not None and time.monotonic() > deadline:
                 search_stats.budget_exhausted = True
                 search_stats.deadline_hit = True
-                return
+                raise StopEnumeration
             if pos == m:
-                yield Match(
-                    cast("tuple[TemporalEdge, ...]", tuple(edge_map)),
-                    cast("tuple[int, ...]", tuple(vertex_map)),
+                search_stats.matches += 1
+                sink.accept(
+                    Match(
+                        cast("tuple[TemporalEdge, ...]", tuple(edge_map)),
+                        cast("tuple[int, ...]", tuple(vertex_map)),
+                    )
                 )
                 return
             search_stats.nodes_expanded += 1
@@ -362,7 +386,7 @@ class E2EMatcher:
                 if deadline is not None and time.monotonic() > deadline:
                     search_stats.budget_exhausted = True
                     search_stats.deadline_hit = True
-                    return
+                    raise StopEnumeration
                 search_stats.candidates_generated += 1
                 search_stats.validations += 1
                 # Injectivity: a newly bound data vertex must be fresh and
@@ -401,7 +425,7 @@ class E2EMatcher:
                     vertex_map[qb] = cand.v
                     used.add(cand.v)
                 produced = True
-                yield from dfs(pos + 1)
+                dfs(pos + 1)
                 if new_a:
                     used.discard(cand.u)
                     vertex_map[qa] = None
@@ -410,15 +434,7 @@ class E2EMatcher:
                     vertex_map[qb] = None
                 edge_map[edge_index] = None
                 edge_times[edge_index] = None
-                if limit is not None and emitted >= limit:
-                    return
             if not produced:
                 search_stats.record_fail(pos + 1)
 
-        for match in dfs(0):
-            emitted += 1
-            search_stats.matches += 1
-            yield match
-            if limit is not None and emitted >= limit:
-                search_stats.budget_exhausted = True
-                return
+        dfs(0)

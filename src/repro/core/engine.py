@@ -27,7 +27,6 @@ import inspect
 import time
 import warnings
 from collections.abc import Callable, Iterator
-from dataclasses import dataclass, field
 from typing import Any, Protocol, cast
 
 from ..errors import AlgorithmError, UnknownAlgorithmError
@@ -42,13 +41,17 @@ from ..obs import NULL_TRACER, TraceSink, Tracer, sanitize_enabled
 
 from .bruteforce import BruteForceMatcher
 from .e2e import E2EMatcher
+from .estimate import estimate_with_ci
 from .eve import EVEMatcher
 from .match import Match
 from .options import MatchOptions, RunContext
+from .results import CountEstimate, MatchResult
+from .sinks import ResultSink, StopEnumeration, build_sink, drain_into_sink
 from .stats import SearchStats
 from .v2v import V2VMatcher
 
 __all__ = [
+    "CountEstimate",
     "MatchOptions",
     "Matcher",
     "MatchResult",
@@ -59,6 +62,7 @@ __all__ = [
     "create_matcher",
     "find_matches",
     "invoke_run",
+    "invoke_run_sink",
     "prepare_matcher",
     "register_algorithm",
     "supports_partition",
@@ -176,6 +180,23 @@ def invoke_run(matcher: Matcher, ctx: RunContext) -> Iterator[Match]:
     )
 
 
+def invoke_run_sink(matcher: Matcher, ctx: RunContext, sink: ResultSink) -> None:
+    """Run *matcher* pushing every match into *sink*.
+
+    Sink-native matchers (the three TCSM algorithms and the oracle) get
+    the sink handed straight to their DFS, so a satisfied sink's
+    :class:`StopEnumeration` unwinds the recursion — a genuine early
+    exit.  Pull-based matchers (the CSM baselines, third-party code) are
+    bridged by draining their ``run`` generator into the sink; closing
+    the generator on early exit unwinds *their* stack the same way.
+    """
+    run_sink = getattr(matcher, "run_sink", None)
+    if callable(run_sink):
+        run_sink(ctx, sink)
+        return
+    drain_into_sink(invoke_run(matcher, ctx), sink, ctx.stats)
+
+
 def prepare_matcher(matcher: Matcher, tracer: TraceSink) -> None:
     """Run ``matcher.prepare``, forwarding the tracer when accepted.
 
@@ -249,41 +270,6 @@ def create_matcher(
             f"unknown algorithm {algorithm!r}; available: {known}"
         ) from None
     return factory(query, constraints, graph, **options)
-
-
-@dataclass
-class MatchResult:
-    """Outcome of one engine run.
-
-    ``timed_out`` is set when the wall-clock deadline expired mid-search
-    and ``truncated`` when a match limit stopped the run; either way the
-    returned matches are a correct *prefix* of the full result set rather
-    than a silently-short answer.  ``trace`` carries the tracer of a
-    traced run (``None`` otherwise).
-    """
-
-    algorithm: str
-    matches: list[Match]
-    stats: SearchStats = field(default_factory=SearchStats)
-    build_seconds: float = 0.0
-    match_seconds: float = 0.0
-    timed_out: bool = False
-    truncated: bool = False
-    trace: Tracer | None = None
-
-    @property
-    def total_seconds(self) -> float:
-        return self.build_seconds + self.match_seconds
-
-    @property
-    def num_matches(self) -> int:
-        """Matches found, whether or not match objects were retained.
-
-        Falls back to ``stats.matches`` when the run counted without
-        collecting (``collect_matches=False``), where ``len(matches)``
-        would wrongly read 0.
-        """
-        return len(self.matches) or self.stats.matches
 
 
 def _resolve_options(
@@ -396,6 +382,27 @@ def find_matches(
     if opts.tighten:
         with tr.span("stn-closure", constraints=len(constraints)):
             constraints = constraints.closed()
+
+    if opts.mode == "estimate":
+        # Sampled answering never enumerates: the HT estimator probes the
+        # EVE search structure directly and returns count + CI.  The
+        # requested algorithm/matcher is irrelevant to the estimate.
+        probes = int(matcher_options.pop("probes", 200))
+        seed = int(matcher_options.pop("seed", 0))
+        est_start = time.perf_counter()
+        with tr.span("estimate", probes=probes):
+            estimate = estimate_with_ci(
+                query, constraints, graph, probes=probes, seed=seed
+            )
+        return MatchResult(
+            algorithm="ht-estimate",
+            matches=[],
+            stats=SearchStats(),
+            build_seconds=0.0,
+            match_seconds=time.perf_counter() - est_start,
+            estimate=estimate,
+            trace=tracer,
+        )
     if (
         matcher is None
         and (opts.sanitize or sanitize_enabled())
@@ -435,22 +442,31 @@ def find_matches(
             f"matcher {matcher.name!r} does not support partitioned "
             "execution"
         )
-    ctx = RunContext(
+    sink = build_sink(
+        mode=opts.mode,
+        order_by=opts.order_by,
         limit=opts.limit,
+        collect=opts.collect_matches,
+    )
+    # Exact top-k earliest needs the *full* enumeration (the heap keeps
+    # the k best); a context limit would make pull-based matchers stop
+    # at the first k found instead.  Every other sink enforces its own
+    # limit, so the context limit is only kept for the pull-based shim.
+    ctx_limit = opts.limit
+    if opts.order_by == "earliest":
+        ctx_limit = None
+    ctx = RunContext(
+        limit=ctx_limit,
         deadline=deadline,
         partition=opts.partition,
         partition_strategy=opts.partition_strategy,
         stats=stats,
         tracer=tr,
     )
-    run = invoke_run(matcher, ctx)
 
-    matches: list[Match] = []
     match_start = time.perf_counter()
     with tr.span("enumerate", algorithm=matcher.name) as enum_span:
-        for match in run:
-            if opts.collect_matches:
-                matches.append(match)
+        invoke_run_sink(matcher, ctx, sink)
         enum_span.annotate(
             matches=stats.matches,
             timestamps_expanded=stats.timestamps_expanded,
@@ -458,6 +474,10 @@ def find_matches(
         )
     match_seconds = time.perf_counter() - match_start
 
+    matches: list[Match] = sink.finish()
+    truncated_by_limit = stats.limit_hit or bool(
+        getattr(sink, "overflowed", False)
+    )
     result = MatchResult(
         algorithm=matcher.name,
         matches=matches,
@@ -465,7 +485,10 @@ def find_matches(
         build_seconds=build_seconds,
         match_seconds=match_seconds,
         timed_out=stats.deadline_hit,
-        truncated=stats.budget_exhausted and not stats.deadline_hit,
+        truncated=truncated_by_limit
+        or (stats.budget_exhausted and not stats.deadline_hit),
+        truncated_by_limit=truncated_by_limit,
+        ordered=opts.order_by == "earliest",
         trace=tracer,
     )
     return result
@@ -482,11 +505,15 @@ def count_matches(
 ) -> int:
     """Number of matches (does not retain match objects).
 
+    A thin sink configuration: the run is forced to ``mode="count"``
+    (a :class:`~repro.core.sinks.CountSink`), so match objects are
+    never built up regardless of the caller's ``collect_matches``.
     Accepts the same legacy keywords as :func:`find_matches` (same
     deprecation shim: they warn, and both-forms-at-once is an error).
     """
     if options is not None:
-        options = options.replace(collect_matches=False)
+        mode = "estimate" if options.mode == "estimate" else "count"
+        options = options.replace(collect_matches=False, mode=mode)
     else:
         legacy = {
             key: kwargs.pop(key)
@@ -509,7 +536,7 @@ def count_matches(
                 DeprecationWarning,
                 stacklevel=2,
             )
-        options = MatchOptions(collect_matches=False, **legacy)
+        options = MatchOptions(collect_matches=False, mode="count", **legacy)
     result = find_matches(
         query,
         constraints,
@@ -518,6 +545,8 @@ def count_matches(
         options=options,
         **kwargs,
     )
+    if result.estimate is not None:
+        return result.num_matches
     return result.stats.matches
 
 

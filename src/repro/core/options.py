@@ -63,6 +63,19 @@ class MatchOptions:
         :mod:`repro.core.planner` pick the cheapest order under the data
         graph's statistics.  Either way the match multiset is identical;
         only enumeration cost changes.
+    order_by:
+        Result ordering: ``"any"`` (default, emission order — with a
+        ``limit`` the run stops after the first k found) or
+        ``"earliest"`` (ascending by each match's latest edge
+        timestamp; with a ``limit`` the *exact* k earliest of the full
+        enumeration are kept via a bounded heap — no early exit, but a
+        deterministic answer across executors and partitionings).
+    mode:
+        Answering mode: ``"enumerate"`` (default, return matches),
+        ``"count"`` (exact count, match objects never retained) or
+        ``"estimate"`` (Horvitz-Thompson sampled count with a
+        confidence interval, no enumeration at all; see
+        :mod:`repro.core.estimate`).
     trace:
         Record per-phase spans into a fresh tracer, returned on
         ``MatchResult.trace``.
@@ -81,10 +94,21 @@ class MatchOptions:
     plan: str = "paper"
     trace: bool = False
     sanitize: bool = False
+    order_by: str = "any"
+    mode: str = "enumerate"
 
     def __post_init__(self) -> None:
         if self.limit is not None and self.limit < 0:
             raise AlgorithmError(f"limit must be >= 0, not {self.limit}")
+        if self.order_by not in ("any", "earliest"):
+            raise AlgorithmError(
+                f'order_by must be "any" or "earliest", not {self.order_by!r}'
+            )
+        if self.mode not in ("enumerate", "count", "estimate"):
+            raise AlgorithmError(
+                'mode must be "enumerate", "count" or "estimate", '
+                f"not {self.mode!r}"
+            )
         validate_plan(self.plan)
         check_partition_strategy(self.partition_strategy)
         if self.partition is not None:
@@ -98,10 +122,13 @@ class MatchOptions:
     def canonical_hash(self) -> str:
         """Stable hex digest of the *result-shaping* fields.
 
-        Covers ``limit``, ``tighten``, ``collect_matches``, ``partition``
-        and ``plan`` — the fields that change which answer comes back
-        (``plan`` changes enumeration *order*, and with a ``limit`` the
-        order decides which matches are returned).  ``time_budget`` is
+        Covers ``limit``, ``tighten``, ``collect_matches``, ``partition``,
+        ``plan``, ``order_by`` and ``mode`` — the fields that change
+        which answer comes back (``plan`` changes enumeration *order*,
+        and with a ``limit`` the order decides which matches are
+        returned; ``order_by``/``mode`` change the result's shape
+        outright, so a cached complete enumeration is never served for
+        a ``limit=k`` request nor vice versa).  ``time_budget`` is
         excluded because only budget-independent (complete) results are
         ever cached, and ``trace``/``sanitize`` because observability
         and runtime checking never change the answer.  Equal options
@@ -118,6 +145,8 @@ class MatchOptions:
                 ),
                 "partition_strategy": self.partition_strategy,
                 "plan": self.plan,
+                "order_by": self.order_by,
+                "mode": self.mode,
             },
             sort_keys=True,
             separators=(",", ":"),

@@ -1,4 +1,10 @@
-"""Match-set post-processing: grouping, summarising, exporting.
+"""Match results and post-processing: outcomes, grouping, exporting.
+
+:class:`MatchResult` is the outcome every engine entry point returns —
+the matches the configured sink retained, the search statistics, the
+timing split, and the truncation causes (deadline vs. limit, kept as
+*distinct* fields).  ``mode="estimate"`` runs return no matches but a
+:class:`CountEstimate` instead.
 
 Enumeration semantics count every timestamp combination as a distinct
 match (Definition 4), so a single suspicious ring with busy edges can
@@ -14,13 +20,94 @@ import csv
 import json
 from collections import Counter
 from collections.abc import Iterable, Iterator, Mapping
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..graphs import QueryGraph
+from ..obs import Tracer
 
 from .match import Match
+from .stats import SearchStats
 
-__all__ = ["MatchSet"]
+__all__ = ["CountEstimate", "MatchResult", "MatchSet"]
+
+
+@dataclass(frozen=True)
+class CountEstimate:
+    """An HT match-count estimate with its normal confidence interval.
+
+    ``count`` is the Horvitz-Thompson point estimate (mean of the
+    per-probe inverse-probability weights); ``stderr`` the standard
+    error of that mean over the probes; ``ci_low``/``ci_high`` the
+    normal-approximation interval at ``confidence`` (clamped at 0 —
+    a match count cannot be negative).  The interval quantifies probe
+    variance only: with few probes on a skewed instance it can still
+    miss the true count, which is the usual HT caveat.
+    """
+
+    count: float
+    ci_low: float
+    ci_high: float
+    stderr: float
+    probes: int
+    confidence: float = 0.95
+
+    def to_dict(self) -> dict[str, float | int]:
+        return {
+            "count": self.count,
+            "ci_low": self.ci_low,
+            "ci_high": self.ci_high,
+            "stderr": self.stderr,
+            "probes": self.probes,
+            "confidence": self.confidence,
+        }
+
+
+@dataclass
+class MatchResult:
+    """Outcome of one engine run.
+
+    ``timed_out`` is set when the wall-clock deadline expired mid-search
+    and ``truncated_by_limit`` when the match limit shaped the returned
+    set (early exit for unordered limits; k-of-N selection for exact
+    top-k) — the two causes are distinct fields, both tagged in JSONL
+    responses.  Either way the returned matches are a well-defined
+    subset of the full result set rather than a silently-short answer.
+    ``truncated`` is the legacy alias for limit truncation.  ``ordered``
+    marks an ``order_by="earliest"`` run (matches sorted ascending by
+    their latest edge timestamp); ``estimate`` carries the
+    :class:`CountEstimate` of a ``mode="estimate"`` run (``None``
+    otherwise).  ``trace`` carries the tracer of a traced run.
+    """
+
+    algorithm: str
+    matches: list[Match]
+    stats: SearchStats = field(default_factory=SearchStats)
+    build_seconds: float = 0.0
+    match_seconds: float = 0.0
+    timed_out: bool = False
+    truncated: bool = False
+    truncated_by_limit: bool = False
+    ordered: bool = False
+    estimate: CountEstimate | None = None
+    trace: Tracer | None = None
+
+    @property
+    def total_seconds(self) -> float:
+        return self.build_seconds + self.match_seconds
+
+    @property
+    def num_matches(self) -> int:
+        """Matches found, whether or not match objects were retained.
+
+        Falls back to ``stats.matches`` when the run counted without
+        collecting (``mode="count"`` / ``collect_matches=False``), where
+        ``len(matches)`` would wrongly read 0, and to the rounded point
+        estimate for ``mode="estimate"`` runs, which never enumerate.
+        """
+        if self.estimate is not None:
+            return int(round(self.estimate.count))
+        return len(self.matches) or self.stats.matches
 
 
 class MatchSet:

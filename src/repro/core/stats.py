@@ -85,6 +85,12 @@ class SearchStats:
         distinguish a *timed-out* run from one merely *truncated* by a
         match limit — the service layer tags responses with exactly this
         split.
+    limit_hit:
+        Set when the early stop was caused by the match limit — i.e. a
+        satisfied result sink raised ``StopEnumeration`` (also a subset
+        of ``budget_exhausted``, and disjoint from ``deadline_hit`` in
+        any single run).  Together the two flags split the old
+        conflated ``truncated`` reading into its two causes.
     timestamps_expanded:
         Temporal-edge timestamps materialised from candidate pairs (the
         expansion cost edge-based matchers pay per pair and V2V pays at
@@ -110,6 +116,7 @@ class SearchStats:
     matches: int = 0
     budget_exhausted: bool = False
     deadline_hit: bool = False
+    limit_hit: bool = False
     timestamps_expanded: int = 0
     timestamps_skipped: int = 0
     filters: dict[str, FilterStats] = field(default_factory=dict)
@@ -150,6 +157,7 @@ class SearchStats:
         self.matches += other.matches
         self.budget_exhausted |= other.budget_exhausted
         self.deadline_hit |= other.deadline_hit
+        self.limit_hit |= other.limit_hit
         self.timestamps_expanded += other.timestamps_expanded
         self.timestamps_skipped += other.timestamps_skipped
         for name, bucket in other.filters.items():

@@ -30,6 +30,7 @@ from .match import Match
 from .options import RunContext, resolve_run_context
 from .partition import partition_slice
 from .planner import plan_costs, validate_plan
+from .sinks import CollectSink, ResultSink, StopEnumeration
 from .stats import SearchStats
 from .tcq import TCQ, build_tcq
 from .timestamps import iter_timestamp_assignments, windows_compatible
@@ -203,7 +204,7 @@ class V2VMatcher:
         deadline: float | None = None,
         partition: tuple[int, int] | None = None,
     ) -> Iterator[Match]:
-        """Yield all matches (generator; stops early at limit/deadline).
+        """Yield all matches (compat facade over :meth:`run_sink`).
 
         Run-time state arrives as one :class:`RunContext`; the individual
         keywords are the legacy shim.  ``ctx.partition=(index, count)``
@@ -211,15 +212,37 @@ class V2VMatcher:
         candidates owned by that partition (see
         :mod:`repro.core.partition`); the ``count`` partitions jointly
         enumerate exactly the unpartitioned match set, disjointly.
+        ``ctx.limit`` and the deadline still stop the search early; the
+        returned generator replays the collected prefix.
         """
         context = resolve_run_context(
             ctx, limit=limit, stats=stats, deadline=deadline, partition=partition
         )
         self.prepare()
-        return self._run(context)
+        return self._run_collected(context)
 
-    def _run(self, ctx: RunContext) -> Iterator[Match]:
-        limit = ctx.limit
+    def _run_collected(self, ctx: RunContext) -> Iterator[Match]:
+        sink = CollectSink(limit=ctx.limit)
+        self.run_sink(ctx, sink)
+        yield from sink.finish()
+
+    def run_sink(self, ctx: RunContext, sink: ResultSink) -> None:
+        """Push every match into *sink* — the primary entry point.
+
+        A satisfied sink raises :class:`StopEnumeration`, which unwinds
+        the DFS recursion directly (no further candidates generated, no
+        further timestamps expanded); the stop is recorded on
+        ``ctx.stats`` as ``budget_exhausted`` + ``limit_hit``.
+        """
+        self.prepare()
+        try:
+            self._run_sink(ctx, sink)
+        except StopEnumeration:
+            ctx.stats.budget_exhausted = True
+            if not ctx.stats.deadline_hit:
+                ctx.stats.limit_hit = True
+
+    def _run_sink(self, ctx: RunContext, sink: ResultSink) -> None:
         deadline = ctx.deadline
         partition = ctx.partition
         search_stats = ctx.stats
@@ -235,7 +258,6 @@ class V2VMatcher:
         # since the TCQ order matches prec/forward vertices first.
         bound = cast("list[int]", vertex_map)
         used: set[int] = set()
-        emitted = 0
         root_candidates: list[int] | None = None
         if partition is not None:
             root_candidates = partition_slice(
@@ -287,14 +309,13 @@ class V2VMatcher:
                     return False
             return True
 
-        def dfs(pos: int) -> Iterator[Match]:
-            nonlocal emitted
+        def dfs(pos: int) -> None:
             if deadline is not None and time.monotonic() > deadline:
                 search_stats.budget_exhausted = True
                 search_stats.deadline_hit = True
-                return
+                raise StopEnumeration
             if pos == n:
-                yield from self._emit_matches(vertex_map, search_stats, pos)
+                self._emit_matches(vertex_map, search_stats, pos, sink)
                 return
             search_stats.nodes_expanded += 1
             u = tcq.order[pos]
@@ -329,7 +350,7 @@ class V2VMatcher:
                 if deadline is not None and time.monotonic() > deadline:
                     search_stats.budget_exhausted = True
                     search_stats.deadline_hit = True
-                    return
+                    raise StopEnumeration
                 search_stats.candidates_generated += 1
                 intersect_counters.considered += 1
                 if self.intersect_candidates or u_prec is None:
@@ -361,28 +382,21 @@ class V2VMatcher:
                     continue
                 produced = True
                 used.add(v)
-                yield from dfs(pos + 1)
+                dfs(pos + 1)
                 used.discard(v)
                 vertex_map[u] = None
-                if limit is not None and emitted >= limit:
-                    return
             if not produced:
                 search_stats.record_fail(pos + 1)
 
-        for match in dfs(0):
-            emitted += 1
-            search_stats.matches += 1
-            yield match
-            if limit is not None and emitted >= limit:
-                search_stats.budget_exhausted = True
-                return
+        dfs(0)
 
     def _emit_matches(
         self,
         vertex_map: list[int | None],
         stats: SearchStats,
         pos: int,
-    ) -> Iterator[Match]:
+        sink: ResultSink,
+    ) -> None:
         """Joint timestamp enumeration for a complete vertex embedding.
 
         With the window kernel on, one interval-propagation pass over the
@@ -421,7 +435,8 @@ class V2VMatcher:
                 options, self.constraints, use_windows=self.use_windows
             ):
                 any_assignment = True
-                yield Match.from_vertex_map(self.query, final_map, times)
+                stats.matches += 1
+                sink.accept(Match.from_vertex_map(self.query, final_map, times))
         if not any_assignment:
             join_counters.pruned += 1
             stats.record_fail(pos)

@@ -54,7 +54,8 @@ from ..core import (
     find_matches,
     supports_partition,
 )
-from ..core.engine import invoke_run
+from ..core.engine import invoke_run_sink
+from ..core.sinks import build_sink, match_sort_key
 from ..graphs import (
     GraphSnapshot,
     GraphView,
@@ -72,6 +73,11 @@ __all__ = ["ExecutionOutcome", "ProcessSpec", "QueryExecutor"]
 class ExecutionOutcome:
     """Merged result of one (possibly partitioned) query execution.
 
+    ``truncated_by_limit`` is set when the match limit shaped the
+    returned set (early exit for unordered limits, k-of-N selection for
+    exact top-k); ``ordered`` marks an ``order_by="earliest"`` run whose
+    merged matches are globally sorted ascending by latest edge time.
+
     ``worker_compiles`` / ``worker_graph_bytes`` are per-process-worker
     probes (empty for thread runs): how many CSR snapshot compilations
     the partition triggered in its worker, and how many CSR bytes the
@@ -84,6 +90,8 @@ class ExecutionOutcome:
     partitions: int
     queue_seconds: float
     match_seconds: float
+    truncated_by_limit: bool = False
+    ordered: bool = False
     worker_compiles: tuple[int, ...] = ()
     worker_graph_bytes: tuple[int, ...] = ()
 
@@ -112,6 +120,8 @@ class ProcessSpec:
     time_budget: float | None = None
     collect_matches: bool = True
     partition_strategy: str = "stride"
+    order_by: str = "any"
+    mode: str = "enumerate"
     options: dict[str, Any] = field(default_factory=dict)
 
     def resolve_graph(self) -> GraphView:
@@ -128,6 +138,8 @@ class ProcessSpec:
             collect_matches=self.collect_matches,
             partition=partition,
             partition_strategy=self.partition_strategy,
+            order_by=self.order_by,
+            mode=self.mode,
         )
 
 
@@ -183,23 +195,41 @@ def _run_partition_in_process(
 def _merge_partitions(
     parts: list[tuple[tuple[Match, ...], SearchStats]],
     limit: int | None,
-) -> tuple[tuple[Match, ...], SearchStats]:
-    """Concatenate partition results in order and merge their stats.
+    order_by: str = "any",
+) -> tuple[tuple[Match, ...], SearchStats, bool]:
+    """Merge partition results into one outcome; returns the truncation flag.
 
-    When a global *limit* is set, each partition may have returned up to
-    *limit* matches; the merged prefix is re-truncated so the outcome
-    honours the limit exactly, and the truncation is flagged.
+    ``order_by="any"``: partition results are concatenated in partition
+    order; with a global *limit* each partition may have returned up to
+    *limit* matches, so the merged prefix is re-truncated and the
+    truncation flagged.
+
+    ``order_by="earliest"``: each partition carries its own *exact*
+    top-k (a per-partition bounded heap — partitions are disjoint and
+    jointly exhaustive); the global exact top-k is the k smallest of
+    the union under :func:`~repro.core.sinks.match_sort_key`, a
+    deterministic multiset identical to the top-k of an unpartitioned
+    full enumeration for every partition strategy and worker count.
     """
     matches: list[Match] = []
     stats = SearchStats()
     for part_matches, part_stats in parts:
         matches.extend(part_matches)
         stats.merge(part_stats)
-    if limit is not None and stats.matches >= limit:
+    truncated = stats.limit_hit
+    if order_by == "earliest":
+        matches.sort(key=match_sort_key)
+        if limit is not None and len(matches) > limit:
+            del matches[limit:]
+        if limit is not None and stats.matches > limit:
+            truncated = True
+    elif limit is not None and stats.matches >= limit:
         matches = matches[:limit]
         stats.matches = limit
         stats.budget_exhausted = True
-    return tuple(matches), stats
+        stats.limit_hit = True
+        truncated = True
+    return tuple(matches), stats, truncated
 
 
 class QueryExecutor:
@@ -242,41 +272,60 @@ class QueryExecutor:
         workers: int | None = None,
         collect_matches: bool = True,
         partition_strategy: str = "stride",
+        order_by: str = "any",
+        mode: str = "enumerate",
         tracer: TraceSink | None = None,
     ) -> ExecutionOutcome:
         """Run *matcher* across the thread pool, merging partitions.
 
         The matcher must already be prepared (the plan cache guarantees
-        this); per-run state is local to ``run()``, so all partitions
-        share the one matcher object safely.  When *tracer* is given,
-        each fanned-out slice runs inside a ``partition:<i>/<n>`` span
-        (recorded on its worker thread).
+        this); per-run state is local to each run, so all partitions
+        share the one matcher object safely.  Every partition enumerates
+        into its own sink built from (*mode*, *order_by*, *limit*) — for
+        ``order_by="earliest"`` that is a per-partition bounded top-k
+        heap whose union merges into the exact global top-k.  When
+        *tracer* is given, each fanned-out slice runs inside a
+        ``partition:<i>/<n>`` span (recorded on its worker thread).
         """
         tr = tracer if tracer is not None else NULL_TRACER
         enqueued = time.perf_counter()
         count = self.effective_workers(matcher, workers)
+        ordered = order_by == "earliest"
+        # Exact top-k needs the full (per-partition) enumeration; a
+        # context limit would stop pull-based matchers at the first k.
+        ctx_limit = None if ordered else limit
+
+        def make_sink() -> Any:
+            return build_sink(
+                mode=mode,
+                order_by=order_by,
+                limit=limit,
+                collect=collect_matches,
+            )
+
         if count == 1:
             stats = SearchStats()
             ctx = RunContext(
-                limit=limit, deadline=deadline, stats=stats, tracer=tr
+                limit=ctx_limit, deadline=deadline, stats=stats, tracer=tr
             )
+            sink = make_sink()
             started = time.perf_counter()
-            matches: list[Match] = []
-            for match in invoke_run(matcher, ctx):
-                if collect_matches:
-                    matches.append(match)
+            invoke_run_sink(matcher, ctx, sink)
             finished = time.perf_counter()
             return ExecutionOutcome(
-                matches=tuple(matches),
+                matches=tuple(sink.finish()),
                 stats=stats,
                 partitions=1,
                 queue_seconds=max(0.0, started - enqueued),
                 match_seconds=finished - started,
+                truncated_by_limit=stats.limit_hit
+                or bool(getattr(sink, "overflowed", False)),
+                ordered=ordered,
             )
 
         runner = cast(PartitionedMatcher, matcher)
         base_ctx = RunContext(
-            limit=limit,
+            limit=ctx_limit,
             deadline=deadline,
             partition_strategy=partition_strategy,
             tracer=tr,
@@ -287,15 +336,13 @@ class QueryExecutor:
         ) -> tuple[float, tuple[Match, ...], SearchStats]:
             started = time.perf_counter()
             ctx = base_ctx.with_partition(index, count)
-            out: list[Match] = []
+            sink = make_sink()
             with tr.span(
                 f"partition:{index}/{count}", algorithm=matcher.name
             ) as span:
-                for match in invoke_run(runner, ctx):
-                    if collect_matches:
-                        out.append(match)
+                invoke_run_sink(runner, ctx, sink)
                 span.annotate(matches=ctx.stats.matches)
-            return started, tuple(out), ctx.stats
+            return started, tuple(sink.finish()), ctx.stats
 
         futures = [
             self._threads.submit(run_partition, index) for index in range(count)
@@ -303,8 +350,8 @@ class QueryExecutor:
         results = [future.result() for future in futures]
         finished = time.perf_counter()
         first_start = min(started for started, _, _ in results)
-        matches_merged, stats_merged = _merge_partitions(
-            [(part, stats) for _, part, stats in results], limit
+        matches_merged, stats_merged, truncated = _merge_partitions(
+            [(part, stats) for _, part, stats in results], limit, order_by
         )
         return ExecutionOutcome(
             matches=matches_merged,
@@ -312,6 +359,8 @@ class QueryExecutor:
             partitions=count,
             queue_seconds=max(0.0, first_start - enqueued),
             match_seconds=finished - first_start,
+            truncated_by_limit=truncated,
+            ordered=ordered,
         )
 
     # ------------------------------------------------------------------
@@ -346,6 +395,8 @@ class QueryExecutor:
                 partitions=1,
                 queue_seconds=0.0,
                 match_seconds=finished - started,
+                truncated_by_limit=result.truncated_by_limit,
+                ordered=result.ordered,
             )
 
         if "fork" in multiprocessing.get_all_start_methods():
@@ -375,8 +426,10 @@ class QueryExecutor:
                 finished = time.perf_counter()
             finally:
                 _set_process_spec(None, epoch)
-        matches_merged, stats_merged = _merge_partitions(
-            [(matches, stats) for matches, stats, _, _ in parts], spec.limit
+        matches_merged, stats_merged, truncated = _merge_partitions(
+            [(matches, stats) for matches, stats, _, _ in parts],
+            spec.limit,
+            spec.order_by,
         )
         return ExecutionOutcome(
             matches=matches_merged,
@@ -384,6 +437,8 @@ class QueryExecutor:
             partitions=count,
             queue_seconds=0.0,
             match_seconds=finished - started,
+            truncated_by_limit=truncated,
+            ordered=spec.order_by == "earliest",
             worker_compiles=tuple(compiles for _, _, compiles, _ in parts),
             worker_graph_bytes=tuple(owned for _, _, _, owned in parts),
         )

@@ -25,7 +25,14 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import IO, Any
 
-from ..core import Match, MatchOptions, SearchStats, create_matcher
+from ..core import (
+    CountEstimate,
+    Match,
+    MatchOptions,
+    SearchStats,
+    create_matcher,
+    find_matches,
+)
 from ..core.engine import prepare_matcher
 from ..errors import (
     AdmissionError,
@@ -98,7 +105,17 @@ class ServiceConfig:
 
 @dataclass(frozen=True)
 class ServiceResult:
-    """Outcome of one service query, with provenance and timings."""
+    """Outcome of one service query, with provenance and timings.
+
+    Truncation is reported by cause: ``truncated_by_deadline`` (the
+    wall-clock budget expired; alias ``timed_out``) and
+    ``truncated_by_limit`` (the match limit shaped the returned set) are
+    distinct fields, both tagged in JSONL responses.  ``truncated`` is
+    the legacy alias for limit truncation.  ``ordered`` marks an
+    ``order_by="earliest"`` answer; ``estimate`` carries the
+    ``mode="estimate"`` count + confidence interval (``None``
+    otherwise).
+    """
 
     graph: str
     graph_version: int
@@ -113,6 +130,10 @@ class ServiceResult:
     queue_seconds: float
     match_seconds: float
     partitions: int
+    truncated_by_limit: bool = False
+    truncated_by_deadline: bool = False
+    ordered: bool = False
+    estimate: CountEstimate | None = None
     stats: SearchStats = field(repr=False, default_factory=SearchStats)
     trace_id: str | None = None
     #: Per-worker fan-out probes from process-pool runs (empty for
@@ -131,6 +152,9 @@ class ServiceResult:
             "match_count": self.match_count,
             "timed_out": self.timed_out,
             "truncated": self.truncated,
+            "truncated_by_limit": self.truncated_by_limit,
+            "truncated_by_deadline": self.truncated_by_deadline,
+            "ordered": self.ordered,
             "plan_cache": self.plan_cache,
             "result_cache": self.result_cache,
             "build_seconds": self.build_seconds,
@@ -138,6 +162,8 @@ class ServiceResult:
             "match_seconds": self.match_seconds,
             "partitions": self.partitions,
         }
+        if self.estimate is not None:
+            payload["estimate"] = self.estimate.to_dict()
         if self.trace_id is not None:
             payload["trace_id"] = self.trace_id
         if self.worker_compiles:
@@ -379,6 +405,8 @@ class TCSMService:
         options: dict[str, Any] | None = None,
         plan: str | None = None,
         partition_strategy: str | None = None,
+        order_by: str | None = None,
+        mode: str | None = None,
         trace: bool = False,
     ) -> ServiceResult:
         """Execute one query end to end through the serving stack.
@@ -386,7 +414,20 @@ class TCSMService:
         ``time_budget`` defaults to the config's per-query budget; pass
         ``None`` explicitly for an unbounded run.  On deadline expiry the
         partial prefix comes back tagged ``timed_out`` (and is excluded
-        from the result cache); a match ``limit`` tags ``truncated``.
+        from the result cache); a match ``limit`` tags ``truncated``
+        (and, precisely, ``truncated_by_limit``).
+
+        ``order_by="earliest"`` returns the exact global top-``limit``
+        matches ordered by latest edge timestamp (ties broken by the full
+        timestamp/vertex/edge vector), merged across partitions; without
+        a ``limit`` it returns the full set, sorted.  ``mode`` selects
+        the answer shape: ``"enumerate"`` (default), ``"count"`` (no
+        match payloads) or ``"estimate"`` (HT sampling estimate with a
+        95% CI — never enumerates, never touches the plan or result
+        cache; tune with ``options={"probes": ..., "seed": ...}``).  All
+        three, plus ``limit``, are part of the result-cache key, so a
+        cached full enumeration can never answer a ``limit=k`` query and
+        estimates never pollute exact entries.
 
         ``plan`` selects the matching-order planner (``"paper"`` or
         ``"cost"``); it is folded into the matcher options, so plan and
@@ -415,17 +456,39 @@ class TCSMService:
         if plan is not None:
             options["plan"] = plan
         strategy = partition_strategy or "stride"
+        order = (order_by or "any").lower()
+        answer_mode = (mode or "enumerate").lower()
+        if answer_mode == "count":
+            collect_matches = False
         self._admit()
         try:
             handle = self.graphs.get(graph_name)
             traced = trace or self._sampler.should_sample()
             tracer = Tracer() if traced else None
             pattern_hash = pattern_fingerprint(query, constraints)
+            if answer_mode == "estimate":
+                # Estimation short-circuits the whole enumeration stack:
+                # no plan, no fan-out, and — critically — no result-cache
+                # read or write, so approximate counts never masquerade
+                # as exact entries.
+                result = self._estimate(
+                    handle,
+                    query,
+                    constraints,
+                    options,
+                    tracer,
+                    pattern_hash,
+                    budget,
+                )
+                self._meter(result.algorithm, result, result_hit=False)
+                return result
             options_hash = options_fingerprint(options)
             match_opts = MatchOptions(
                 limit=limit,
                 collect_matches=collect_matches,
                 partition_strategy=strategy,
+                order_by=order,
+                mode=answer_mode,
             )
             result_key = ResultKey(
                 graph_name=handle.name,
@@ -502,6 +565,8 @@ class TCSMService:
                         time_budget=budget,
                         collect_matches=collect_matches,
                         partition_strategy=strategy,
+                        order_by=order,
+                        mode=answer_mode,
                         options=options,
                     )
                     outcome = self.executor.run_process(spec, workers=workers)
@@ -521,6 +586,8 @@ class TCSMService:
                             workers=workers,
                             collect_matches=collect_matches,
                             partition_strategy=strategy,
+                            order_by=order,
+                            mode=answer_mode,
                             tracer=tracer,
                         )
                         span.annotate(
@@ -535,6 +602,8 @@ class TCSMService:
                         workers=workers,
                         collect_matches=collect_matches,
                         partition_strategy=strategy,
+                        order_by=order,
+                        mode=answer_mode,
                     )
                 # Merge prepare-time filter counters exactly once per
                 # query (not per partition, which would multiply them).
@@ -548,14 +617,24 @@ class TCSMService:
                     tracer, handle, algo, pattern_hash
                 )
             timed_out = outcome.stats.deadline_hit
+            truncated_by_limit = outcome.truncated_by_limit or (
+                outcome.stats.budget_exhausted and not timed_out
+            )
             result = ServiceResult(
                 graph=handle.name,
                 graph_version=handle.version,
                 algorithm=algo,
                 matches=outcome.matches,
-                match_count=outcome.stats.matches,
+                match_count=(
+                    len(outcome.matches)
+                    if collect_matches
+                    else outcome.stats.matches
+                ),
                 timed_out=timed_out,
-                truncated=outcome.stats.budget_exhausted and not timed_out,
+                truncated=truncated_by_limit,
+                truncated_by_limit=truncated_by_limit,
+                truncated_by_deadline=timed_out,
+                ordered=outcome.ordered,
                 plan_cache="hit" if plan_hit else "miss",
                 result_cache="miss" if use_result_cache else "bypass",
                 build_seconds=0.0 if plan_hit else plan.build_seconds,
@@ -573,6 +652,61 @@ class TCSMService:
             return result
         finally:
             self._release()
+
+    def _estimate(
+        self,
+        handle: GraphHandle,
+        query: QueryGraph,
+        constraints: TemporalConstraints,
+        options: dict[str, Any],
+        tracer: Tracer | None,
+        pattern_hash: str,
+        budget: float | None,
+    ) -> ServiceResult:
+        """Answer a ``mode="estimate"`` query via HT sampling.
+
+        Runs :func:`find_matches` directly against the handle's frozen
+        snapshot — no plan cache (there is no plan), no executor fan-out,
+        and the result is never written to the exact-result cache.  The
+        probe count bounds the work; *budget* rides along for parity
+        with the enumeration path.
+        """
+        opts = dict(options)
+        opts.pop("plan", None)
+        probes = int(opts.pop("probes", 200))
+        seed = int(opts.pop("seed", 0))
+        engine_result = find_matches(  # reprolint: disable=R009 -- budget rides in MatchOptions(time_budget=...)
+            query,
+            constraints,
+            handle.snapshot,
+            options=MatchOptions(mode="estimate", time_budget=budget),
+            tracer=tracer,
+            probes=probes,
+            seed=seed,
+        )
+        trace_id: str | None = None
+        if tracer is not None:
+            trace_id = self._retain_trace(
+                tracer, handle, engine_result.algorithm, pattern_hash
+            )
+        return ServiceResult(
+            graph=handle.name,
+            graph_version=handle.version,
+            algorithm=engine_result.algorithm,
+            matches=(),
+            match_count=engine_result.num_matches,
+            timed_out=False,
+            truncated=False,
+            plan_cache="bypass",
+            result_cache="bypass",
+            build_seconds=engine_result.build_seconds,
+            queue_seconds=0.0,
+            match_seconds=engine_result.match_seconds,
+            partitions=1,
+            estimate=engine_result.estimate,
+            stats=engine_result.stats,
+            trace_id=trace_id,
+        )
 
     def _retain_trace(
         self,
@@ -612,8 +746,10 @@ class TCSMService:
             return
         if result.timed_out:
             self.metrics.inc("queries_timed_out")
-        if result.truncated:
+        if result.truncated_by_limit or result.truncated:
             self.metrics.inc("queries_truncated")
+        if result.estimate is not None:
+            self.metrics.inc("queries_estimated")
         self.metrics.observe("queue_seconds", result.queue_seconds)
         self.metrics.observe("match_seconds", result.match_seconds)
         self.metrics.observe(
@@ -757,6 +893,19 @@ class TCSMService:
         strategy = request.get("partition_strategy")
         if strategy is not None:
             strategy = str(strategy)
+        order_by = request.get("order_by")
+        if order_by is not None:
+            order_by = str(order_by)
+        mode = request.get("mode")
+        if mode is not None:
+            mode = str(mode)
+        options: dict[str, Any] | None = None
+        if (mode or "enumerate").lower() == "estimate":
+            options = {}
+            if "probes" in request:
+                options["probes"] = int(request["probes"])
+            if "seed" in request:
+                options["seed"] = int(request["seed"])
         result = self.query(
             str(request["graph"]),
             query,
@@ -766,11 +915,17 @@ class TCSMService:
             time_budget=budget,
             workers=workers,
             collect_matches=not count_only,
+            options=options,
             plan=plan,
             partition_strategy=strategy,
+            order_by=order_by,
+            mode=mode,
             trace=bool(request.get("trace", False)),
         )
-        return result.to_dict(include_matches=not count_only)
+        include_matches = (
+            not count_only and (mode or "enumerate").lower() == "enumerate"
+        )
+        return result.to_dict(include_matches=include_matches)
 
     def _handle_subscribe(self, request: dict[str, Any]) -> dict[str, Any]:
         if "pattern" in request:

@@ -293,10 +293,12 @@ class StreamingEngine:
         edge: TemporalEdge,
         edge_start: float,
     ) -> None:
-        """Queue one emission, dropping the oldest past capacity."""
+        """Queue one emission; the bounded sink drops the oldest past
+        capacity (and counts the drop) so ingest never blocks on a slow
+        consumer."""
         assert_lock_held(self._lock, "StreamingEngine._lock")
         latency = time.perf_counter() - edge_start
-        sub.queue.append(
+        sub.queue.accept(
             Emission(
                 subscription_id=sub.id,
                 seq=sub.next_seq,
@@ -309,9 +311,6 @@ class StreamingEngine:
         sub.matches_emitted += 1
         sub.stats.matches += 1
         sub.last_latency_seconds = latency
-        if len(sub.queue) > sub.options.queue_capacity:
-            sub.queue.popleft()
-            sub.emissions_dropped += 1
 
     def _open_partial_locked(
         self, sub: Subscription, edge: TemporalEdge
@@ -361,11 +360,7 @@ class StreamingEngine:
                 raise UnknownSubscriptionError(
                     f"unknown subscription {sub_id!r}"
                 )
-            budget = len(sub.queue) if max_items is None else max_items
-            drained: list[Emission] = []
-            while sub.queue and len(drained) < budget:
-                drained.append(sub.queue.popleft())
-            return drained
+            return sub.queue.drain(max_items)
 
     # ------------------------------------------------------------------
     # introspection

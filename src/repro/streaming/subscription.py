@@ -28,12 +28,12 @@ Infeasible constraint sets are rejected at subscribe time
 from __future__ import annotations
 
 import math
-from collections import deque
 from collections.abc import Hashable
 from dataclasses import dataclass, field
 from typing import Any
 
 from ..core.match import Match
+from ..core.sinks import BoundedQueueSink
 from ..core.stats import SearchStats
 from ..core.windows import WindowBounds, build_edge_window_plan
 from ..errors import StreamingError
@@ -143,12 +143,14 @@ class Subscription:
     #: never expire).
     max_span: float
     stats: SearchStats = field(default_factory=SearchStats)
-    queue: deque[Emission] = field(default_factory=deque)
+    #: Undelivered emissions, buffered by the shared drop-oldest sink
+    #: from :mod:`repro.core.sinks` (capacity =
+    #: ``options.queue_capacity``; drops counted by the sink itself).
+    queue: BoundedQueueSink[Emission] = field(init=False)
     #: Min-heap of ``(expiry_time, token)`` for live partial candidacies.
     partials: list[tuple[float, int]] = field(default_factory=list)
     next_seq: int = 0
     matches_emitted: int = 0
-    emissions_dropped: int = 0
     edges_seen: int = 0
     searches: int = 0
     searches_skipped: int = 0
@@ -157,6 +159,14 @@ class Subscription:
     search_seconds: float = 0.0
     #: Append-to-emission latency of the most recent emission.
     last_latency_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.queue = BoundedQueueSink(self.options.queue_capacity)
+
+    @property
+    def emissions_dropped(self) -> int:
+        """Oldest-first drops the bounded queue made past its capacity."""
+        return self.queue.dropped
 
     def describe(self) -> dict[str, Any]:
         """Plain-data summary for ``metrics_snapshot`` / JSONL responses."""

@@ -1,0 +1,240 @@
+"""Unit tests for the pluggable result sinks (`repro.core.sinks`)."""
+
+import random
+
+import pytest
+
+from repro.core.sinks import (
+    BoundedQueueSink,
+    CollectSink,
+    CountSink,
+    StopEnumeration,
+    TopKEarliestSink,
+    build_sink,
+    drain_into_sink,
+    match_sort_key,
+)
+from repro.core.match import Match
+from repro.core.stats import SearchStats
+from repro.errors import AlgorithmError
+from repro.graphs import TemporalEdge
+
+
+def make_match(times, vertices=None):
+    """A two-edge match with the given per-edge timestamps."""
+    if vertices is None:
+        vertices = (0, 1, 2)
+    edges = (
+        TemporalEdge(vertices[0], vertices[1], times[0]),
+        TemporalEdge(vertices[1], vertices[2], times[1]),
+    )
+    return Match(edge_map=edges, vertex_map=tuple(vertices))
+
+
+class TestMatchSortKey:
+    def test_primary_key_is_latest_edge_time(self):
+        late_first_edge = make_match((9, 10))
+        early_everywhere = make_match((1, 2))
+        assert match_sort_key(early_everywhere) < match_sort_key(
+            late_first_edge
+        )
+
+    def test_ties_break_on_timestamp_vector_then_vertices(self):
+        a = make_match((1, 5))
+        b = make_match((2, 5))
+        assert match_sort_key(a) < match_sort_key(b)
+        same_times_other_vertices = make_match((1, 5), vertices=(3, 4, 5))
+        assert match_sort_key(a) < match_sort_key(same_times_other_vertices)
+
+    def test_total_order_is_deterministic(self):
+        rng = random.Random(5)
+        matches = [
+            make_match(
+                (rng.randrange(10), rng.randrange(10)),
+                vertices=(i, i + 1, i + 2),
+            )
+            for i in range(30)
+        ]
+        once = sorted(matches, key=match_sort_key)
+        again = sorted(list(reversed(matches)), key=match_sort_key)
+        assert once == again
+
+
+class TestCollectSink:
+    def test_collects_in_emission_order(self):
+        sink = CollectSink()
+        emitted = [make_match((3, 4)), make_match((1, 2))]
+        for m in emitted:
+            sink.accept(m)
+        assert sink.finish() == emitted
+
+    def test_limit_raises_stop_on_kth_match(self):
+        sink = CollectSink(limit=2)
+        sink.accept(make_match((1, 2)))
+        with pytest.raises(StopEnumeration):
+            sink.accept(make_match((3, 4)))
+        assert len(sink.finish()) == 2
+
+    def test_limit_zero_is_satisfied_immediately(self):
+        sink = CollectSink(limit=0)
+        with pytest.raises(StopEnumeration):
+            sink.accept(make_match((1, 2)))
+        assert sink.finish() == []
+
+    def test_ordered_finish_sorts_by_sort_key(self):
+        sink = CollectSink(ordered=True)
+        sink.accept(make_match((9, 10)))
+        sink.accept(make_match((1, 2)))
+        out = sink.finish()
+        assert [match_sort_key(m) for m in out] == sorted(
+            match_sort_key(m) for m in out
+        )
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(AlgorithmError):
+            CollectSink(limit=-1)
+
+
+class TestCountSink:
+    def test_counts_without_retaining(self):
+        sink = CountSink()
+        for i in range(5):
+            sink.accept(make_match((i, i + 1)))
+        assert sink.count == 5
+        assert sink.finish() == []
+
+    def test_limit_stops_counting(self):
+        sink = CountSink(limit=3)
+        sink.accept(make_match((1, 2)))
+        sink.accept(make_match((1, 2)))
+        with pytest.raises(StopEnumeration):
+            sink.accept(make_match((1, 2)))
+        assert sink.count == 3
+
+
+class TestTopKEarliestSink:
+    def test_keeps_k_earliest_of_any_emission_order(self):
+        rng = random.Random(17)
+        matches = [
+            make_match(
+                (rng.randrange(100), rng.randrange(100)),
+                vertices=(i, i + 1, i + 2),
+            )
+            for i in range(50)
+        ]
+        sink = TopKEarliestSink(7)
+        for m in matches:
+            sink.accept(m)  # never raises: must see everything
+        expected = sorted(matches, key=match_sort_key)[:7]
+        assert sink.finish() == expected
+        assert sink.overflowed
+
+    def test_underfull_heap_returns_everything_sorted(self):
+        sink = TopKEarliestSink(10)
+        sink.accept(make_match((5, 6)))
+        sink.accept(make_match((1, 2)))
+        out = sink.finish()
+        assert len(out) == 2
+        assert match_sort_key(out[0]) < match_sort_key(out[1])
+        assert not sink.overflowed
+
+    def test_k_zero_counts_but_keeps_nothing(self):
+        sink = TopKEarliestSink(0)
+        sink.accept(make_match((1, 2)))
+        assert sink.finish() == []
+        assert sink.seen == 1
+        assert sink.overflowed
+
+
+class TestBoundedQueueSink:
+    def test_drop_oldest_counts_drops(self):
+        sink = BoundedQueueSink(2)
+        for item in ("a", "b", "c", "d"):
+            sink.accept(item)
+        assert sink.dropped == 2
+        assert sink.finish() == ["c", "d"]
+
+    def test_drain_partial_then_rest(self):
+        sink = BoundedQueueSink(10)
+        for item in range(5):
+            sink.accept(item)
+        assert sink.drain(2) == [0, 1]
+        assert len(sink) == 3
+        assert sink.drain() == [2, 3, 4]
+        assert len(sink) == 0
+
+    def test_drain_clamps_nonpositive_and_overlong(self):
+        sink = BoundedQueueSink(10)
+        sink.accept("x")
+        assert sink.drain(0) == []
+        assert sink.drain(99) == ["x"]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(AlgorithmError):
+            BoundedQueueSink(0)
+
+
+class TestBuildSink:
+    def test_count_mode_and_collect_false_give_count_sink(self):
+        assert isinstance(build_sink(mode="count"), CountSink)
+        assert isinstance(build_sink(collect=False), CountSink)
+
+    def test_earliest_with_limit_gives_bounded_heap(self):
+        sink = build_sink(order_by="earliest", limit=4)
+        assert isinstance(sink, TopKEarliestSink)
+        assert sink.k == 4
+
+    def test_earliest_without_limit_gives_ordered_collect(self):
+        sink = build_sink(order_by="earliest")
+        assert isinstance(sink, CollectSink)
+        assert sink.ordered
+
+    def test_default_is_plain_collect(self):
+        sink = build_sink(limit=3)
+        assert isinstance(sink, CollectSink)
+        assert not sink.ordered
+        assert sink.limit == 3
+
+    def test_estimate_mode_never_reaches_a_sink(self):
+        with pytest.raises(AlgorithmError):
+            build_sink(mode="estimate")
+
+
+class TestDrainIntoSink:
+    def test_closes_generator_on_early_exit(self):
+        closed = []
+
+        def producer():
+            try:
+                for i in range(100):
+                    yield make_match((i, i + 1))
+            finally:
+                closed.append(True)
+
+        stats = SearchStats()
+        sink = CollectSink(limit=3)
+        drain_into_sink(producer(), sink, stats)
+        assert closed == [True]
+        assert len(sink.finish()) == 3
+        assert stats.limit_hit
+        assert stats.budget_exhausted
+
+    def test_exhausted_generator_sets_no_stop_flags(self):
+        stats = SearchStats()
+        sink = CollectSink()
+        drain_into_sink(
+            iter([make_match((1, 2)), make_match((3, 4))]), sink, stats
+        )
+        assert len(sink.finish()) == 2
+        assert not stats.limit_hit
+        assert not stats.budget_exhausted
+
+    def test_deadline_hit_suppresses_limit_flag(self):
+        stats = SearchStats()
+        stats.deadline_hit = True
+        sink = CollectSink(limit=1)
+        drain_into_sink(
+            iter([make_match((1, 2)), make_match((3, 4))]), sink, stats
+        )
+        assert stats.budget_exhausted
+        assert not stats.limit_hit

@@ -1732,6 +1732,93 @@ class TestR018:
 
 
 # ----------------------------------------------------------------------
+# R019 sink-protocol-bypass
+# ----------------------------------------------------------------------
+class TestR019:
+    def test_matches_append_in_matcher_flagged(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def enumerate_all(matcher, ctx):
+                matches = []
+                for match in matcher.run(ctx):
+                    matches.append(match)
+                return matches
+            """,
+            select=["R019"],
+        )
+        assert rule_ids(findings) == ["R019"]
+        assert "sink.accept" in findings[0].message
+
+    def test_self_matches_attribute_flagged(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            class Matcher:
+                def _emit(self, match):
+                    self._matches.append(match)
+            """,
+            select=["R019"],
+        )
+        assert rule_ids(findings) == ["R019"]
+
+    def test_sink_accept_and_other_lists_pass(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def emit(sink, match, order):
+                sink.accept(match)
+                order.append(match)
+            """,
+            select=["R019"],
+        )
+        assert findings == []
+
+    def test_sinks_module_is_exempt(self, tmp_path: Path) -> None:
+        # The sink implementation is the one place allowed to accumulate.
+        findings = lint_snippet(
+            tmp_path,
+            """
+            class CollectSink:
+                def accept(self, match):
+                    self.matches.append(match)
+            """,
+            relpath="src/repro/core/sinks.py",
+            select=["R019"],
+        )
+        assert findings == []
+
+    def test_out_of_scope_module_passes(self, tmp_path: Path) -> None:
+        # Result plumbing outside the matcher packages is not a matcher.
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def collect(result):
+                matches = []
+                matches.append(result)
+                return matches
+            """,
+            relpath="src/repro/service/fixture_mod.py",
+            select=["R019"],
+        )
+        assert findings == []
+
+    def test_pragma_suppresses(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def oracle(matcher, ctx):
+                matches = []
+                for match in matcher.run(ctx):
+                    matches.append(match)  # reprolint: disable=R019
+                return matches
+            """,
+            select=["R019"],
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
 # guarded-by pragma parsing + inventory
 # ----------------------------------------------------------------------
 class TestGuardedByPragma:

@@ -1,0 +1,84 @@
+"""R019: matchers must emit through the sink protocol, not a local list.
+
+The unified enumeration pipeline routes every emitted match through a
+:class:`repro.core.sinks.ResultSink` — that single seam is what makes
+``limit``, ``order_by`` and ``mode`` behave identically across matchers,
+and what lets a satisfied sink stop the DFS early.  A matcher-internal
+``matches.append(...)`` bypasses the seam: the match never reaches the
+sink, so limits don't fire, top-k heaps don't see it, and count-only
+runs silently retain memory.  Call ``sink.accept(match)`` instead.
+
+The accumulation that *implements* the sinks (``repro.core.sinks``) is
+exempt.  The brute-force oracle's reference path deliberately stays
+sink-free — sharing no result-path code with the pipeline under test is
+what makes it a trustworthy differential oracle — and escapes with a
+pragma::
+
+    matches.append(match)  # reprolint: disable=R019 -- oracle reference path
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from ..context import FileContext
+from ..findings import Finding
+from ..registry import Rule, register_rule
+
+__all__ = ["SinkProtocolBypassRule"]
+
+#: Receiver names that read as "the result accumulator".
+_ACCUMULATORS = {"matches", "_matches"}
+
+#: The module allowed to accumulate: it *is* the sink implementation.
+_EXEMPT_MODULES = {"repro.core.sinks"}
+
+
+def _accumulator_name(call: ast.Call) -> str | None:
+    """``matches``-like receiver of an ``.append`` call, or ``None``."""
+    func = call.func
+    if not (isinstance(func, ast.Attribute) and func.attr == "append"):
+        return None
+    receiver = func.value
+    if isinstance(receiver, ast.Name) and receiver.id in _ACCUMULATORS:
+        return receiver.id
+    if (
+        isinstance(receiver, ast.Attribute)
+        and receiver.attr in _ACCUMULATORS
+    ):
+        return receiver.attr
+    return None
+
+
+@register_rule
+class SinkProtocolBypassRule(Rule):
+    id = "R019"
+    name = "sink-protocol-bypass"
+    description = (
+        "Matcher code must push matches through sink.accept(), not "
+        "accumulate them in a matches list of its own."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        in_scope = ctx.module.startswith(
+            ("repro.core.", "repro.baselines.")
+        ) or ctx.module in ("repro.core", "repro.baselines")
+        if not in_scope or ctx.module in _EXEMPT_MODULES:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _accumulator_name(node)
+            if name is None:
+                continue
+            if ctx.pragmas.is_disabled(self.id, node.lineno):
+                continue
+            yield self.finding(
+                ctx,
+                node.lineno,
+                node.col_offset,
+                f"{name}.append(...) bypasses the result-sink protocol; "
+                "emit through sink.accept(match) so limit/order_by/mode "
+                "apply uniformly",
+            )

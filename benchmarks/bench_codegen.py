@@ -1,0 +1,162 @@
+"""Compiled-enumerator speedup bar: codegen must beat the interpreter.
+
+``MatchOptions(codegen=True)`` swaps the interpreted DFS for a
+specialised enumeration function generated per (query shape, matching
+order, window plan) — constraint checks unrolled, dead branches elided,
+STN-closure window bounds inlined as constants.  That machinery only
+earns its keep if it is actually faster, so this benchmark pins the
+wall-clock win on the Exp-1-style dense workload (the same graph shape
+``bench_topk.py`` uses: ~80 vertices, out-degree 12, ten timestamps per
+pair, a few hundred thousand matches):
+
+* **Speedup floor.** The compiled ``tcsm-eve`` count run must finish at
+  least ``MIN_SPEEDUP``x faster than the interpreted run (compile time
+  excluded — it is a prepare-time cost paid once per cached plan, and
+  is reported separately).
+* **Same answer.** Both runs must report the identical match count —
+  a fast wrong enumerator is worse than no enumerator (the full
+  bit-identical counter pin lives in
+  ``tests/core/test_codegen_equivalence.py``).
+
+The other two matchers are measured and reported for context but not
+held to the floor: their interpreted inner loops carry less per-step
+dispatch than EVE's vertex-prematch, so their codegen win is smaller.
+
+Runs standalone (``python benchmarks/bench_codegen.py``, exits non-zero
+on regression, writes ``BENCH_codegen.json`` for the CI artifact) and
+under pytest.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from bench_topk import GAP, dense_graph
+
+from repro.core import MatchOptions, MatchResult, find_matches
+from repro.core.engine import create_matcher
+from repro.graphs import QueryGraph, TemporalConstraints
+
+#: The matcher held to the speedup floor (and measured for context).
+ALGORITHM = "tcsm-eve"
+CONTEXT_ALGORITHMS = ("tcsm-e2e", "tcsm-v2v")
+
+#: Floor pinned by the issue: the compiled enumerator must be >= 1.3x
+#: faster than the interpreted matcher on the same prepared plan.
+MIN_SPEEDUP = 1.3
+
+REPEATS = 2
+
+OUT_PATH = Path("BENCH_codegen.json")
+
+
+def _best_run(fn) -> tuple[float, "MatchResult"]:
+    best_seconds = float("inf")
+    result = None
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        result = fn()
+        best_seconds = min(best_seconds, time.perf_counter() - started)
+    assert result is not None
+    return best_seconds, result
+
+
+def measure() -> dict[str, object]:
+    """Interpreted vs compiled count runs for all three matchers."""
+    graph = dense_graph()
+    query = QueryGraph(["A", "B", "A", "B"], [(0, 1), (1, 2), (2, 3)])
+    constraints = TemporalConstraints(
+        [(0, 1, GAP), (1, 2, GAP)], num_edges=query.num_edges
+    )
+
+    def run(algorithm: str, codegen: bool) -> "MatchResult":
+        return find_matches(
+            query,
+            constraints,
+            graph,
+            algorithm=algorithm,
+            options=MatchOptions(mode="count", codegen=codegen),
+        )
+
+    report: dict[str, object] = {
+        "algorithm": ALGORITHM,
+        "temporal_edges": float(graph.num_temporal_edges),
+        "min_speedup": MIN_SPEEDUP,
+    }
+    for algorithm in (ALGORITHM, *CONTEXT_ALGORITHMS):
+        interp_seconds, interp = _best_run(lambda a=algorithm: run(a, False))
+        compiled_seconds, compiled = _best_run(lambda a=algorithm: run(a, True))
+        key = algorithm.replace("tcsm-", "")
+        report[f"matches_{key}"] = float(interp.stats.matches)
+        report[f"matches_{key}_codegen"] = float(compiled.stats.matches)
+        report[f"seconds_{key}_interp"] = interp_seconds
+        report[f"seconds_{key}_codegen"] = compiled_seconds
+        report[f"speedup_{key}"] = interp_seconds / max(1e-9, compiled_seconds)
+
+    # Compile cost, reported separately: a one-off prepare-time expense
+    # amortised by the service's plan cache (compile once per PlanKey).
+    matcher = create_matcher(
+        ALGORITHM, query, constraints, graph, codegen=True
+    )
+    started = time.perf_counter()
+    matcher.prepare()
+    report["compile_seconds"] = time.perf_counter() - started
+    assert matcher.compiled_source is not None
+    report["compiled_source_lines"] = float(
+        matcher.compiled_source.count("\n")
+    )
+    return report
+
+
+def check(report: dict[str, object]) -> list[str]:
+    """Regression messages (empty when the report meets the bars)."""
+    failures: list[str] = []
+    key = ALGORITHM.replace("tcsm-", "")
+    speedup = report[f"speedup_{key}"]
+    assert isinstance(speedup, float)
+    if speedup < MIN_SPEEDUP:
+        failures.append(
+            f"codegen speedup {speedup:.2f}x on {ALGORITHM} is below the "
+            f"{MIN_SPEEDUP:.1f}x floor over the interpreted matcher"
+        )
+    for algorithm in (ALGORITHM, *CONTEXT_ALGORITHMS):
+        akey = algorithm.replace("tcsm-", "")
+        if report[f"matches_{akey}"] != report[f"matches_{akey}_codegen"]:
+            failures.append(
+                f"{algorithm} compiled run counted "
+                f"{report[f'matches_{akey}_codegen']:.0f} matches, "
+                f"interpreted counted {report[f'matches_{akey}']:.0f}"
+            )
+    return failures
+
+
+def test_codegen_speedup_floor() -> None:
+    report = measure()
+    assert check(report) == [], check(report)
+
+
+def main() -> int:
+    report = measure()
+    print(f"temporal edges: {report['temporal_edges']:.0f}")
+    for algorithm in (ALGORITHM, *CONTEXT_ALGORITHMS):
+        key = algorithm.replace("tcsm-", "")
+        print(
+            f"{algorithm}: interpreted {report[f'seconds_{key}_interp']:.3f}s"
+            f" / compiled {report[f'seconds_{key}_codegen']:.3f}s"
+            f" ({report[f'speedup_{key}']:.2f}x,"
+            f" {report[f'matches_{key}']:.0f} matches)"
+        )
+    print(
+        f"compile cost: {report['compile_seconds']:.3f}s for "
+        f"{report['compiled_source_lines']:.0f} generated lines"
+    )
+    failures = check(report)
+    for failure in failures:
+        print(f"REGRESSION: {failure}")
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote report -> {OUT_PATH}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,9 +14,12 @@ timestamps per pair — a few hundred thousand matches):
   graph dense enough that exact counting grinds, it must be at least
   10x faster.
 
-Also records the exact top-k path (``order_by="earliest"``) for
-context: the bounded heap sees the full enumeration, so its win is
-memory and ordering, not wall-clock.
+* **Top-k is not slower than enumerating.** The bounded heap sees the
+  full enumeration, so its win is memory and ordering — but its
+  non-admitting path (the overwhelmingly common case once the heap is
+  full) must stay allocation-free, so an
+  ``order_by="earliest", limit=k`` run must not exceed the wall clock
+  of a plain full enumeration that collects every match.
 
 Runs standalone (``python benchmarks/bench_topk.py``, exits non-zero on
 regression, writes ``BENCH_topk.json`` for the CI artifact) and under
@@ -110,6 +113,7 @@ def measure() -> dict[str, object]:
         )
 
     count_seconds, count = _best_run(lambda: run(MatchOptions(mode="count")))
+    full_seconds, full = _best_run(lambda: run(MatchOptions()))
     one_seconds, one = _best_run(lambda: run(MatchOptions(limit=1)))
     topk_seconds, topk = _best_run(
         lambda: run(MatchOptions(limit=TOP_K, order_by="earliest"))
@@ -123,6 +127,7 @@ def measure() -> dict[str, object]:
     )
 
     assert estimate.estimate is not None
+    assert len(full.matches) == count.stats.matches
     exact = count.stats.matches
     relative_error = abs(estimate.estimate.count - exact) / max(1, exact)
     return {
@@ -134,6 +139,7 @@ def measure() -> dict[str, object]:
         "limit1_truncated": bool(one.truncated_by_limit),
         "topk_returned": float(len(topk.matches)),
         "topk_ordered": bool(topk.ordered),
+        "seconds_full": full_seconds,
         "seconds_count": count_seconds,
         "seconds_limit1": one_seconds,
         "seconds_topk": topk_seconds,
@@ -176,6 +182,16 @@ def check(report: dict[str, object]) -> list[str]:
             f"top-k run returned {report['topk_returned']:.0f} matches "
             f"(ordered={report['topk_ordered']}), wanted {TOP_K} ordered"
         )
+    seconds_topk = report["seconds_topk"]
+    seconds_full = report["seconds_full"]
+    assert isinstance(seconds_topk, float)
+    assert isinstance(seconds_full, float)
+    if seconds_topk > seconds_full:
+        failures.append(
+            f"top-k took {seconds_topk:.4f}s, slower than the full "
+            f"enumeration's {seconds_full:.4f}s — the bounded heap's "
+            "non-admitting path is allocating per match again"
+        )
     return failures
 
 
@@ -194,7 +210,8 @@ def main() -> int:
         f"{report['expanded_limit1']:.0f}"
     )
     print(
-        f"seconds count/limit=1/topk: {report['seconds_count']:.4f} / "
+        f"seconds full/count/limit=1/topk: {report['seconds_full']:.4f} / "
+        f"{report['seconds_count']:.4f} / "
         f"{report['seconds_limit1']:.4f} / {report['seconds_topk']:.4f}"
     )
     print(

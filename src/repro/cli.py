@@ -82,6 +82,9 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("enumerate", "count", "estimate"),
                        help="answer shape: enumerate matches, count "
                             "exactly, or estimate via HT sampling")
+    match.add_argument("--codegen", action="store_true",
+                       help="compile a specialised enumerator for this "
+                            "(pattern, plan) before matching")
     match.add_argument("--count-only", action="store_true",
                        help="print only the match count")
     match.add_argument("--json", action="store_true",
@@ -163,6 +166,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="stop after this many matches")
     trace.add_argument("--time-budget", type=float, default=None,
                        help="wall-clock budget in seconds")
+    trace.add_argument("--codegen", action="store_true",
+                       help="compile a specialised enumerator (adds a "
+                            "codegen-compile span to the trace)")
     trace.add_argument("--tighten", action=argparse.BooleanOptionalAction,
                        default=True,
                        help="tighten constraints via STN closure first "
@@ -213,6 +219,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "(service default: 200)")
     submit.add_argument("--estimate-seed", type=int, default=None,
                         help="RNG seed for --mode estimate (default 0)")
+    submit.add_argument("--codegen", action="store_true",
+                        help="ask the service for a compiled enumerator "
+                             "(ignored by algorithms without support)")
     submit.add_argument("--count-only", action="store_true",
                         help="request match counts without match payloads")
     submit.add_argument("--trace", action="store_true",
@@ -294,6 +303,7 @@ def _cmd_match(args: argparse.Namespace) -> int:
             collect_matches=not args.count_only and mode == "enumerate",
             order_by=args.order_by,
             mode=mode,
+            codegen=args.codegen,
         ),
     )
     if result.estimate is not None:
@@ -331,9 +341,10 @@ def _cmd_match(args: argparse.Namespace) -> int:
             )
             print(f"vertices={list(match.vertex_map)} edges={edges}")
     truncated = " (stopped at budget)" if result.stats.budget_exhausted else ""
+    engine = f"{result.algorithm}+codegen" if args.codegen else result.algorithm
     print(
         f"# {result.num_matches} matches in "
-        f"{result.total_seconds:.3f}s with {result.algorithm}{truncated}",
+        f"{result.total_seconds:.3f}s with {engine}{truncated}",
         file=sys.stderr,
     )
     return 0
@@ -444,10 +455,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             limit=args.limit,
             time_budget=args.time_budget,
             tighten=args.tighten,
+            codegen=args.codegen,
         ),
         tracer=tracer,
     )
-    print(f"# traced {args.algorithm} on {source}: "
+    engine = f"{args.algorithm}+codegen" if args.codegen else args.algorithm
+    print(f"# traced {engine} on {source}: "
           f"{result.num_matches} matches in {result.total_seconds:.4f}s")
     print(render_span_tree(tracer))
     summary = result.stats.filter_summary()
@@ -499,6 +512,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             request["probes"] = args.probes
         if args.estimate_seed is not None:
             request["seed"] = args.estimate_seed
+        if args.codegen:
+            request["codegen"] = True
         if args.count_only:
             request["count_only"] = True
         if args.trace:

@@ -1,6 +1,7 @@
 """Core TCSM algorithms: TCQ/TCQ+ construction and the three matchers."""
 
 from .bruteforce import BruteForceMatcher, brute_force_matches
+from .codegen import CompiledPlan, compile_enumerator, set_codegen_listener
 from .e2e import E2EMatcher
 from .engine import (
     MatchResult,
@@ -13,6 +14,7 @@ from .engine import (
     invoke_run,
     invoke_run_sink,
     register_algorithm,
+    supports_codegen,
     supports_partition,
 )
 from .results import CountEstimate, MatchSet
@@ -78,6 +80,7 @@ __all__ = [
     "BoundedQueueSink",
     "BruteForceMatcher",
     "CollectSink",
+    "CompiledPlan",
     "CountEstimate",
     "CountSink",
     "Diagnostic",
@@ -114,6 +117,7 @@ __all__ = [
     "check_partition",
     "choose_edge_order",
     "choose_vertex_order",
+    "compile_enumerator",
     "constraint_slack",
     "constraint_slices",
     "count_matches",
@@ -147,6 +151,8 @@ __all__ = [
     "resolve_run_context",
     "score_edge_order",
     "score_vertex_order",
+    "set_codegen_listener",
+    "supports_codegen",
     "supports_partition",
     "tcq_from_order",
     "tcq_plus_from_order",

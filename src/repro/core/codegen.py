@@ -1,0 +1,906 @@
+"""Per-plan specialized enumerator compilation (``MatchOptions(codegen=True)``).
+
+The interpreted matchers walk generic TCQ/TCQ+ tables on every DFS step:
+each layer re-reads the matching order, re-discovers which endpoints are
+already bound, loops over the constraint tuples, and consults the window
+plan through two levels of helper calls.  All of that is *static* for a
+prepared plan — the order, the per-position bound/unbound split, the
+constraint gaps and the STN-closure window coefficients are fixed the
+moment ``prepare()`` finishes.  This module generates, per prepared
+matcher, one specialized Python enumeration function in which:
+
+* the DFS is unrolled into one nested function per matching position;
+* each position's candidate source is the single branch its statically
+  known bound-endpoint pattern selects (seed / extend-out / extend-in /
+  closing edge) — the other three branches are gone, as are the
+  ``is None`` boundness probes;
+* temporal-constraint checks are unrolled with the gap inlined as a
+  constant and the current timestamp substituted symbolically;
+* STN-closure window bounds are inlined as constants and the feasible
+  ``[lo, hi]`` slice of each sorted timestamp run is taken by direct
+  bisection on the snapshot's memoryview runs;
+* graph accessors, candidate sets and label constants are closed over
+  as entry-function locals, so the hot loop never touches a dict;
+* all ``SearchStats`` counters accumulate in local integers flushed in a
+  ``finally`` block — bit-identical totals to the interpreted path, even
+  when a satisfied sink raises :class:`StopEnumeration` mid-search.
+
+Matches are pushed through the existing :class:`ResultSink` protocol, so
+limit / top-k / count modes work unchanged, and every counter the
+interpreted matchers maintain is preserved exactly (the equivalence grid
+in ``tests/core/test_codegen_equivalence.py`` pins match multisets *and*
+pruning totals).  Shapes the generator does not support (currently:
+edge-based matching of self-loop query edges, or edgeless queries) fall
+back to the interpreted path silently — ``compile_enumerator`` returns
+``None`` and the matcher keeps its generic loop.
+
+``compile``/``exec`` of generated source is confined to this module by
+reprolint rule R020.  To inspect what was generated, register a debug
+listener::
+
+    from repro.core import codegen
+
+    codegen.set_codegen_listener(lambda plan: print(plan.source))
+
+or read ``matcher.compiled_source`` after ``prepare()``.  Generated
+sources are also registered with :mod:`linecache`, so tracebacks out of
+a compiled enumerator show real source lines.
+"""
+
+from __future__ import annotations
+
+import bisect
+import linecache
+import math
+import time
+from collections.abc import Callable, Hashable, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, cast
+
+from ..graphs import TemporalEdge
+
+from .match import Match
+from .options import RunContext
+from .partition import partition_slice
+from .sinks import ResultSink, StopEnumeration
+from .stats import SearchStats
+from .timestamps import iter_timestamp_assignments, windows_compatible
+from .windows import constraint_slices, propagate_run_windows, windowed_times
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .e2e import E2EMatcher
+    from .v2v import V2VMatcher
+
+__all__ = [
+    "CompiledPlan",
+    "compile_enumerator",
+    "set_codegen_listener",
+]
+
+#: Signature of the generated entry point.
+EntryFunction = Callable[[RunContext, ResultSink], None]
+
+#: Debug hook signature: called once per successful compilation.
+DebugListener = Callable[["CompiledPlan"], None]
+
+_LISTENER: DebugListener | None = None  # reprolint: disable=R016 -- debug hook, swapped only from tests/tooling
+
+
+def set_codegen_listener(listener: DebugListener | None) -> None:
+    """Register *listener* to observe every successful compilation.
+
+    The listener receives the :class:`CompiledPlan` (including its full
+    generated source) right before ``compile_enumerator`` returns.  Pass
+    ``None`` to remove it.  This is the debug hook documented in
+    ``docs/CODEGEN.md``; it is not meant for production use.
+    """
+    global _LISTENER
+    _LISTENER = listener
+
+
+@dataclass(frozen=True)
+class CompiledPlan:
+    """One specialized enumerator: the generated source and its entry.
+
+    ``entry(ctx, sink)`` has exactly the contract of the interpreted
+    ``Matcher._run_sink`` — it closes over the prepared matcher's
+    snapshot accessors and candidate sets, pushes matches into *sink*,
+    lets a satisfied sink's :class:`StopEnumeration` propagate, and
+    leaves bit-identical counters on ``ctx.stats``.
+    """
+
+    algorithm: str
+    source: str
+    entry: EntryFunction
+
+
+class _Writer:
+    """Tiny indented-source emitter for the generated module."""
+
+    def __init__(self) -> None:
+        self._lines: list[str] = []
+        self._depth = 0
+
+    def line(self, text: str = "") -> None:
+        self._lines.append("    " * self._depth + text if text else "")
+
+    def open(self, header: str) -> None:
+        self.line(header)
+        self._depth += 1
+
+    def close(self) -> None:
+        self._depth -= 1
+
+    def source(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+
+def _flush_fails(stats: SearchStats, fails: Sequence[int]) -> None:
+    """Merge layer-indexed local failure counts into *stats*.
+
+    Ascending layer order makes ``first_fail_layer`` the smallest layer
+    with a nonzero count — the same value the interpreted path's
+    incremental ``record_fail`` calls produce, independent of the order
+    failures occurred in.
+    """
+    for layer in range(1, len(fails)):
+        count = fails[layer]
+        if count:
+            stats.failed_enumerations += count
+            stats.fail_layers[layer] += count
+            if stats.first_fail_layer is None or layer < stats.first_fail_layer:
+                stats.first_fail_layer = layer
+
+
+def _num(value: float) -> str:
+    """Inline a finite numeric constant into generated source."""
+    return repr(value)
+
+
+def _deadline_check(w: _Writer) -> None:
+    w.open("if deadline is not None and mono() > deadline:")
+    w.line("stats.budget_exhausted = True")
+    w.line("stats.deadline_hit = True")
+    w.line("raise Stop")
+    w.close()
+
+
+def _emit_window(
+    w: _Writer, entries: Sequence[tuple[int, float, float]]
+) -> None:
+    """Inline ``feasible_window`` for one position's constant bounds."""
+    w.line("lo = NINF")
+    w.line("hi = PINF")
+    for other, hi_add, lo_sub in entries:
+        w.line(f"t_o = et[{other}]")
+        if hi_add < math.inf:
+            w.line(f"b = t_o + {_num(hi_add)}")
+            w.open("if b < hi:")
+            w.line("hi = b")
+            w.close()
+        if lo_sub < math.inf:
+            w.line(f"b = t_o - {_num(lo_sub)}")
+            w.open("if b > lo:")
+            w.line("lo = b")
+            w.close()
+
+
+# ----------------------------------------------------------------------
+# E2E / EVE generation (Algorithm 4 / 5 specialized per position)
+# ----------------------------------------------------------------------
+
+
+def _vmatch_label_consts(
+    matcher: "E2EMatcher", ns: dict[str, Any]
+) -> dict[tuple[int, int], tuple[tuple[int, list[str]], ...]]:
+    """Per (pos): for each vmatch entry, (query vertex, label alias names).
+
+    Label objects are arbitrary hashables, so they travel through the
+    exec namespace rather than being ``repr``-inlined.
+    """
+    plan: dict[tuple[int, int], tuple[tuple[int, list[str]], ...]] = {}
+    if not matcher.vertex_prematching:
+        return plan
+    for pos, entries in enumerate(matcher._vmatch_plan):
+        rendered: list[tuple[int, list[str]]] = []
+        for i, (u, labels) in enumerate(entries):
+            names: list[str] = []
+            for k, label in enumerate(sorted(labels, key=repr)):
+                name = f"_WL_{pos}_{i}_{k}"
+                ns[name] = label
+                names.append(name)
+            rendered.append((u, names))
+        plan[(pos, 0)] = tuple(rendered)
+    return plan
+
+
+def _compile_e2e(matcher: "E2EMatcher") -> CompiledPlan | None:
+    query = matcher.query
+    tcq = matcher.tcq_plus
+    pair_candidates = matcher.pair_candidates
+    assert tcq is not None and pair_candidates is not None
+    m = query.num_edges
+    n = query.num_vertices
+    if any(qa == qb for qa, qb in query.edges):
+        return None  # self-loop query edges keep the interpreted path
+    graph = matcher._view
+    data = graph.static_view()
+    window_plan = matcher._window_plan
+    edge_labels = query.edge_labels
+    intersect = matcher.intersect_candidates
+
+    ns: dict[str, Any] = {
+        "_PART_SLICE": partition_slice,
+        "_LAB": graph.label,
+        "_OUT": graph.out_neighbor_ids,
+        "_IN": graph.in_neighbor_ids,
+        "_TS": graph.timestamps_list,
+        "_TSL": graph.timestamps_with_label,
+        "_NLC": data.neighbor_label_counts,
+        "_BL": bisect.bisect_left,
+        "_BR": bisect.bisect_right,
+        "_MONO": time.monotonic,
+        "_STOP": StopEnumeration,
+        "_MATCH": Match,
+        "_TE": TemporalEdge,
+        "_NINF": -math.inf,
+        "_PINF": math.inf,
+        "_FLUSH_FAILS": _flush_fails,
+    }
+    for e in range(m):
+        ns[f"_PAIRS_{e}"] = pair_candidates[e]
+        if edge_labels[e] is not None:
+            ns[f"_EL_{e}"] = edge_labels[e]
+    vmatch_consts = _vmatch_label_consts(matcher, ns)
+
+    # Static per-position facts: which endpoints the earlier positions
+    # already bound (stack discipline makes this invariant at runtime).
+    bound: set[int] = set()
+    infos: list[tuple[int, int, int, bool, bool]] = []
+    for e in tcq.order:
+        qa, qb = query.edge(e)
+        infos.append((e, qa, qb, qa in bound, qb in bound))
+        bound.add(qa)
+        bound.add(qb)
+
+    # Intersect-off target labels per position (extend branches only).
+    for pos, (e, qa, qb, a_bound, b_bound) in enumerate(infos):
+        if not intersect:
+            if a_bound and not b_bound:
+                ns[f"_QL_{pos}"] = query.label(qb)
+            elif b_bound and not a_bound:
+                ns[f"_QL_{pos}"] = query.label(qa)
+
+    w = _Writer()
+    w.open("def _enumerate(ctx, sink):")
+    w.line("stats = ctx.stats")
+    w.line("deadline = ctx.deadline")
+    w.line("accept = sink.accept")
+    w.line('b_inj = stats.filter("injectivity")')
+    w.line('b_tmp = stats.filter("temporal")')
+    if matcher.vertex_prematching:
+        w.line('b_vm = stats.filter("vmatch")')
+    # Hoist every namespace constant into entry locals: the nested DFS
+    # functions reach them through fast closure cells, not dict lookups.
+    w.line("mono = _MONO")
+    w.line("Stop = _STOP")
+    w.line("Mk = _MATCH")
+    w.line("TE = _TE")
+    w.line("NINF = _NINF")
+    w.line("PINF = _PINF")
+    w.line("bl = _BL")
+    w.line("br = _BR")
+    w.line("tsl = _TS")
+    w.line("tsw = _TSL")
+    w.line("outn = _OUT")
+    w.line("inn = _IN")
+    if not intersect:
+        w.line("labf = _LAB")
+    if matcher.vertex_prematching:
+        w.line("nlc = _NLC")
+    for e in range(m):
+        w.line(f"pairs{e} = _PAIRS_{e}")
+        if edge_labels[e] is not None:
+            w.line(f"el{e} = _EL_{e}")
+    if not intersect:
+        for pos in range(m):
+            if f"_QL_{pos}" in ns:
+                w.line(f"ql{pos} = _QL_{pos}")
+    for (pos, _), entries in vmatch_consts.items():
+        for i, (_, names) in enumerate(entries):
+            for k, name in enumerate(names):
+                w.line(f"wl{pos}_{i}_{k} = {name}")
+    w.line(f"et = [0] * {m}")
+    w.line(f"vm = [0] * {n}")
+    w.line("used = set()")
+    w.line("used_add = used.add")
+    w.line("used_discard = used.discard")
+    counters = [
+        "cand_n",
+        "val_n",
+        "nodes_n",
+        "match_n",
+        "exp_n",
+        "skp_n",
+        "inj_c",
+        "inj_p",
+        "tmp_c",
+        "tmp_p",
+    ]
+    if matcher.vertex_prematching:
+        counters += ["vm_c", "vm_p"]
+    for name in counters:
+        w.line(f"{name} = 0")
+    w.line(f"fails = [0] * {m + 2}")
+    root_edge = tcq.order[0]
+    w.open("if ctx.partition is not None:")
+    w.line(
+        f"root_seed = _PART_SLICE(pairs{root_edge}, ctx.partition, "
+        "strategy=ctx.partition_strategy, "
+        "label_of=lambda pair: _LAB(pair[0]))"
+    )
+    w.close()
+    w.open("else:")
+    w.line(f"root_seed = pairs{root_edge}")
+    w.close()
+
+    nonlocal_decl = "nonlocal " + ", ".join(counters)
+
+    def emit_candidate_body(
+        pos: int,
+        e: int,
+        u_expr: str,
+        v_expr: str,
+        seed: bool,
+        new_a: bool,
+        new_b: bool,
+        qa: int,
+        qb: int,
+    ) -> None:
+        """The per-timestamp candidate validation + bind + recurse block."""
+        fail = f"fails[{pos + 1}] += 1"
+        _deadline_check(w)
+        w.line("cand_n += 1")
+        w.line("val_n += 1")
+        w.line("inj_c += 1")
+        if seed:
+            w.open(f"if {u_expr} == {v_expr}:")
+            w.line("inj_p += 1")
+            w.line(fail)
+            w.line("continue")
+            w.close()
+        w.line(f"et[{e}] = t")
+        w.line("tmp_c += 1")
+        for c in tcq.check_at[pos]:
+            later = "t" if c.later == e else f"et[{c.later}]"
+            earlier = "t" if c.earlier == e else f"et[{c.earlier}]"
+            w.line(f"d = {later} - {earlier}")
+            w.open(f"if d < 0 or d > {c.gap}:")
+            w.line("tmp_p += 1")
+            w.line(fail)
+            w.line("continue")
+            w.close()
+        if matcher.vertex_prematching:
+            w.line("vm_c += 1")
+            entries = vmatch_consts.get((pos, 0), ())
+            for i, (u, names) in enumerate(entries):
+                if not names:
+                    continue
+                arg = u_expr if u == qa else v_expr
+                w.line(f"nc = nlc({arg})")
+                cond = " or ".join(
+                    f"wl{pos}_{i}_{k} not in nc" for k in range(len(names))
+                )
+                w.open(f"if {cond}:")
+                w.line("vm_p += 1")
+                w.line(fail)
+                w.line("continue")
+                w.close()
+        if new_a:
+            w.line(f"vm[{qa}] = {u_expr}")
+            w.line(f"used_add({u_expr})")
+        if new_b:
+            w.line(f"vm[{qb}] = {v_expr}")
+            w.line(f"used_add({v_expr})")
+        w.line("produced = True")
+        if pos + 1 == m:
+            _deadline_check(w)
+            w.line("match_n += 1")
+            edges = ", ".join(
+                f"TE(vm[{ea}], vm[{eb}], et[{idx}])"
+                for idx, (ea, eb) in enumerate(query.edges)
+            )
+            verts = ", ".join(f"vm[{u}]" for u in range(n))
+            trailing = "," if m == 1 else ""
+            vtrailing = "," if n == 1 else ""
+            w.line(f"accept(Mk(({edges}{trailing}), ({verts}{vtrailing})))")
+        else:
+            w.line(f"d{pos + 1}()")
+        if new_a:
+            w.line(f"used_discard({u_expr})")
+        if new_b:
+            w.line(f"used_discard({v_expr})")
+
+    def emit_time_loop(
+        pos: int,
+        e: int,
+        windowed: bool,
+        src_expr: str,
+        body: Callable[[], None],
+    ) -> None:
+        """Fetch one pair's run, slice it to the window, loop timestamps."""
+        w.line(f"ts = {src_expr}")
+        if windowed:
+            w.line("i0 = bl(ts, lo)")
+            w.line("i1 = br(ts, hi)")
+            w.line("exp_n += i1 - i0")
+            w.line("skp_n += len(ts) - (i1 - i0)")
+            w.open("for t in ts[i0:i1]:")
+        else:
+            w.line("exp_n += len(ts)")
+            w.open("for t in ts:")
+        body()
+        w.close()
+
+    def run_expr(e: int, u: str, v: str) -> str:
+        if edge_labels[e] is None:
+            return f"tsl({u}, {v})"
+        return f"tsw({u}, {v}, el{e})"
+
+    for pos, (e, qa, qb, a_bound, b_bound) in enumerate(infos):
+        w.open(f"def d{pos}():")
+        w.line(nonlocal_decl)
+        _deadline_check(w)
+        w.line("nodes_n += 1")
+        w.line("produced = False")
+        entries = window_plan[pos] if window_plan is not None else ()
+        windowed = bool(entries)
+        if windowed:
+            _emit_window(w, entries)
+            w.open("if lo <= hi:")
+        if a_bound and b_bound:
+            # Closing edge: both endpoints pinned.
+            w.line(f"da = vm[{qa}]")
+            w.line(f"db = vm[{qb}]")
+            guard = f"if (da, db) in pairs{e}:" if intersect else None
+            if guard is not None:
+                w.open(guard)
+            emit_time_loop(
+                pos,
+                e,
+                windowed,
+                run_expr(e, "da", "db"),
+                lambda pos=pos, e=e, qa=qa, qb=qb: emit_candidate_body(
+                    pos, e, "da", "db", False, False, False, qa, qb
+                ),
+            )
+            if guard is not None:
+                w.close()
+        elif a_bound:
+            w.line(f"da = vm[{qa}]")
+            w.open("for x in outn(da):")
+            if intersect:
+                w.open(f"if (da, x) not in pairs{e}:")
+                w.line("continue")
+                w.close()
+            else:
+                w.open(f"if labf(x) != ql{pos}:")
+                w.line("continue")
+                w.close()
+            w.open("if x in used:")
+            w.line("continue")
+            w.close()
+            emit_time_loop(
+                pos,
+                e,
+                windowed,
+                run_expr(e, "da", "x"),
+                lambda pos=pos, e=e, qa=qa, qb=qb: emit_candidate_body(
+                    pos, e, "da", "x", False, False, True, qa, qb
+                ),
+            )
+            w.close()
+        elif b_bound:
+            w.line(f"db = vm[{qb}]")
+            w.open("for x in inn(db):")
+            if intersect:
+                w.open(f"if (x, db) not in pairs{e}:")
+                w.line("continue")
+                w.close()
+            else:
+                w.open(f"if labf(x) != ql{pos}:")
+                w.line("continue")
+                w.close()
+            w.open("if x in used:")
+            w.line("continue")
+            w.close()
+            emit_time_loop(
+                pos,
+                e,
+                windowed,
+                run_expr(e, "x", "db"),
+                lambda pos=pos, e=e, qa=qa, qb=qb: emit_candidate_body(
+                    pos, e, "x", "db", False, True, False, qa, qb
+                ),
+            )
+            w.close()
+        else:
+            # Seed edge of a (possibly disconnected) component; only the
+            # root position honours the partition slice.
+            seed_iter = "root_seed" if pos == 0 else f"pairs{e}"
+            w.open(f"for du, dv in {seed_iter}:")
+            if pos != 0:
+                # At the root nothing is bound yet: the used-check is a
+                # statically dead branch and is elided.
+                w.open("if du in used or dv in used:")
+                w.line("continue")
+                w.close()
+            emit_time_loop(
+                pos,
+                e,
+                windowed,
+                run_expr(e, "du", "dv"),
+                lambda pos=pos, e=e, qa=qa, qb=qb: emit_candidate_body(
+                    pos, e, "du", "dv", True, True, True, qa, qb
+                ),
+            )
+            w.close()
+        if windowed:
+            w.close()
+        w.open("if not produced:")
+        w.line(f"fails[{pos + 1}] += 1")
+        w.close()
+        w.close()  # def d{pos}
+
+    w.open("try:")
+    w.line("d0()")
+    w.close()
+    w.open("finally:")
+    w.line("stats.candidates_generated += cand_n")
+    w.line("stats.validations += val_n")
+    w.line("stats.nodes_expanded += nodes_n")
+    w.line("stats.matches += match_n")
+    w.line("stats.timestamps_expanded += exp_n")
+    w.line("stats.timestamps_skipped += skp_n")
+    w.line("b_inj.considered += inj_c")
+    w.line("b_inj.pruned += inj_p")
+    w.line("b_tmp.considered += tmp_c")
+    w.line("b_tmp.pruned += tmp_p")
+    if matcher.vertex_prematching:
+        w.line("b_vm.considered += vm_c")
+        w.line("b_vm.pruned += vm_p")
+    w.line("_FLUSH_FAILS(stats, fails)")
+    w.close()
+    w.close()  # def _enumerate
+
+    return _finish(matcher.name, w.source(), ns, m, n)
+
+
+# ----------------------------------------------------------------------
+# V2V generation (Algorithm 2 specialized per position)
+# ----------------------------------------------------------------------
+
+
+def _compile_v2v(matcher: "V2VMatcher") -> CompiledPlan | None:
+    query = matcher.query
+    tcq = matcher.tcq
+    candidates = matcher.candidates
+    assert tcq is not None and candidates is not None
+    m = query.num_edges
+    n = query.num_vertices
+    if m == 0 or n == 0:
+        return None  # degenerate shapes keep the interpreted path
+    graph = matcher._view
+    edge_labels = query.edge_labels
+    edge_endpoints = query.edges
+    intersect = matcher.intersect_candidates
+    use_kernel = matcher._dist is not None
+
+    ns: dict[str, Any] = {
+        "_PART_SLICE": partition_slice,
+        "_LAB": graph.label,
+        "_OUT": graph.out_neighbor_ids,
+        "_IN": graph.in_neighbor_ids,
+        "_HP": graph.has_pair,
+        "_TS": graph.timestamps_list,
+        "_TSL": graph.timestamps_with_label,
+        "_MONO": time.monotonic,
+        "_STOP": StopEnumeration,
+        "_MATCH": Match,
+        "_TE": TemporalEdge,
+        "_FLUSH_FAILS": _flush_fails,
+        "_CS": constraint_slices,
+        "_WC": windows_compatible,
+        "_PROP": propagate_run_windows,
+        "_WT": windowed_times,
+        "_ITER_TS": iter_timestamp_assignments,
+        "_CONS": matcher.constraints,
+        "_DIST": matcher._dist,
+    }
+    for u in range(n):
+        ns[f"_CANDS_{u}"] = candidates[u]
+    for e in range(m):
+        if edge_labels[e] is not None:
+            ns[f"_EL_{e}"] = edge_labels[e]
+    if not intersect:
+        for pos, u in enumerate(tcq.order):
+            ns[f"_QL_{pos}"] = query.label(u)
+
+    w = _Writer()
+    w.open("def _enumerate(ctx, sink):")
+    w.line("stats = ctx.stats")
+    w.line("deadline = ctx.deadline")
+    w.line("accept = sink.accept")
+    w.line('b_int = stats.filter("intersect")')
+    w.line('b_inj = stats.filter("injectivity")')
+    w.line('b_str = stats.filter("structure")')
+    w.line('b_tmp = stats.filter("temporal")')
+    w.line('b_join = stats.filter("timestamp-join")')
+    w.line("mono = _MONO")
+    w.line("Stop = _STOP")
+    w.line("Mk = _MATCH")
+    w.line("TE = _TE")
+    w.line("tsl = _TS")
+    w.line("tsw = _TSL")
+    w.line("outn = _OUT")
+    w.line("inn = _IN")
+    w.line("hp = _HP")
+    w.line("labf = _LAB")
+    w.line("wc = _WC")
+    if use_kernel:
+        w.line("cs = _CS")
+        w.line("prop = _PROP")
+        w.line("wt = _WT")
+        w.line("dist = _DIST")
+    w.line("iter_ts = _ITER_TS")
+    w.line("cons = _CONS")
+    for u in range(n):
+        w.line(f"cands{u} = _CANDS_{u}")
+    for e in range(m):
+        if edge_labels[e] is not None:
+            w.line(f"el{e} = _EL_{e}")
+    if not intersect:
+        for pos in range(n):
+            w.line(f"ql{pos} = _QL_{pos}")
+    w.line(f"vm = [0] * {n}")
+    w.line("used = set()")
+    w.line("used_add = used.add")
+    w.line("used_discard = used.discard")
+    counters = [
+        "cand_n",
+        "val_n",
+        "nodes_n",
+        "match_n",
+        "int_c",
+        "int_p",
+        "inj_c",
+        "inj_p",
+        "str_c",
+        "str_p",
+        "tmp_c",
+        "tmp_p",
+        "join_c",
+        "join_p",
+    ]
+    for name in counters:
+        w.line(f"{name} = 0")
+    w.line(f"fails = [0] * {n + 2}")
+    root_vertex = tcq.order[0]
+    w.open("if ctx.partition is not None:")
+    w.line(
+        f"root_seed = _PART_SLICE(cands{root_vertex}, ctx.partition, "
+        "strategy=ctx.partition_strategy, label_of=labf)"
+    )
+    w.close()
+    w.open("else:")
+    w.line(f"root_seed = cands{root_vertex}")
+    w.close()
+
+    nonlocal_decl = "nonlocal " + ", ".join(counters)
+
+    def run_expr(e: int, u: str, v: str) -> str:
+        if edge_labels[e] is None:
+            return f"tsl({u}, {v})"
+        return f"tsw({u}, {v}, el{e})"
+
+    # Leaf: joint timestamp enumeration over the complete embedding.
+    w.open("def leaf():")
+    w.line("nonlocal match_n, join_c, join_p")
+    _deadline_check(w)
+    for e, (eu, ev) in enumerate(edge_endpoints):
+        w.line(f"r{e} = {run_expr(e, f'vm[{eu}]', f'vm[{ev}]')}")
+    run_names = ", ".join(f"r{e}" for e in range(m))
+    total_len = " + ".join(f"len(r{e})" for e in range(m))
+    if use_kernel:
+        w.line(f"wins = prop([{run_names}], dist)")
+        w.open("if wins is None:")
+        w.line(f"stats.timestamps_skipped += {total_len}")
+        w.line("join_c += 1")
+        w.line("join_p += 1")
+        w.line(f"fails[{n}] += 1")
+        w.line("return")
+        w.close()
+        opts = ", ".join(f"wt(r{e}, wins[{e}], stats)" for e in range(m))
+        w.line(f"opts = [{opts}]")
+    else:
+        w.line(f"stats.timestamps_expanded += {total_len}")
+        w.line(f"opts = [{run_names}]")
+    w.line("join_c += 1")
+    w.line("produced = False")
+    verts = ", ".join(f"vm[{u}]" for u in range(n))
+    vtrailing = "," if n == 1 else ""
+    w.line(f"fm = ({verts}{vtrailing})")
+    w.open(
+        f"for times in iter_ts(opts, cons, use_windows={matcher.use_windows}):"
+    )
+    w.line("produced = True")
+    w.line("match_n += 1")
+    edges = ", ".join(
+        f"TE(fm[{eu}], fm[{ev}], times[{e}])"
+        for e, (eu, ev) in enumerate(edge_endpoints)
+    )
+    etrailing = "," if m == 1 else ""
+    w.line(f"accept(Mk(({edges}{etrailing}), fm))")
+    w.close()
+    w.open("if not produced:")
+    w.line("join_p += 1")
+    w.line(f"fails[{n}] += 1")
+    w.close()
+    w.close()  # def leaf
+
+    for pos, u in enumerate(tcq.order):
+        u_prec = tcq.prec[pos]
+        w.open(f"def d{pos}():")
+        w.line(nonlocal_decl)
+        _deadline_check(w)
+        w.line("nodes_n += 1")
+        w.line("produced = False")
+        if u_prec is None:
+            base = "root_seed" if pos == 0 else f"cands{u}"
+        else:
+            need_out, need_in = matcher._prec_needs[pos]
+            w.line(f"dp = vm[{u_prec}]")
+            if need_out and need_in:
+                w.line("base = [x for x in inn(dp) if hp(dp, x)]")
+                base = "base"
+            elif need_out:
+                base = "outn(dp)"
+            else:
+                base = "inn(dp)"
+        fail = f"fails[{pos + 1}] += 1"
+        w.open(f"for v in {base}:")
+        _deadline_check(w)
+        w.line("cand_n += 1")
+        w.line("int_c += 1")
+        if u_prec is not None:
+            # Seed positions iterate their own candidate set, so the
+            # membership test is statically true and elided (the counter
+            # stays, matching the interpreted stream).
+            if intersect:
+                w.open(f"if v not in cands{u}:")
+            else:
+                w.open(f"if labf(v) != ql{pos}:")
+            w.line("int_p += 1")
+            w.line(fail)
+            w.line("continue")
+            w.close()
+        w.line("inj_c += 1")
+        w.open("if v in used:")
+        w.line("inj_p += 1")
+        w.line(fail)
+        w.line("continue")
+        w.close()
+        w.line("val_n += 1")
+        w.line("str_c += 1")
+        for wv, need_uw, need_wu in matcher._fv_checks[pos]:
+            if need_uw:
+                w.open(f"if not hp(v, vm[{wv}]):")
+                w.line("str_p += 1")
+                w.line(fail)
+                w.line("continue")
+                w.close()
+            if need_wu:
+                w.open(f"if not hp(vm[{wv}], v):")
+                w.line("str_p += 1")
+                w.line(fail)
+                w.line("continue")
+                w.close()
+        w.line(f"vm[{u}] = v")
+        w.line("tmp_c += 1")
+        for c in tcq.check_at[pos]:
+            eu, ev = edge_endpoints[c.earlier]
+            lu, lv = edge_endpoints[c.later]
+            w.line(f"e_ts = {run_expr(c.earlier, f'vm[{eu}]', f'vm[{ev}]')}")
+            w.line(f"l_ts = {run_expr(c.later, f'vm[{lu}]', f'vm[{lv}]')}")
+            if use_kernel:
+                w.line(f"e_ts, l_ts = cs(e_ts, l_ts, {c.gap}, stats)")
+            else:
+                w.line(
+                    "stats.timestamps_expanded += len(e_ts) + len(l_ts)"
+                )
+            w.open(f"if not wc(e_ts, l_ts, {c.gap}):")
+            w.line("tmp_p += 1")
+            w.line(fail)
+            w.line("continue")
+            w.close()
+        w.line("produced = True")
+        w.line("used_add(v)")
+        if pos + 1 == n:
+            w.line("leaf()")
+        else:
+            w.line(f"d{pos + 1}()")
+        w.line("used_discard(v)")
+        w.close()  # for v
+        w.open("if not produced:")
+        w.line(fail)
+        w.close()
+        w.close()  # def d{pos}
+
+    w.open("try:")
+    w.line("d0()")
+    w.close()
+    w.open("finally:")
+    w.line("stats.candidates_generated += cand_n")
+    w.line("stats.validations += val_n")
+    w.line("stats.nodes_expanded += nodes_n")
+    w.line("stats.matches += match_n")
+    w.line("b_int.considered += int_c")
+    w.line("b_int.pruned += int_p")
+    w.line("b_inj.considered += inj_c")
+    w.line("b_inj.pruned += inj_p")
+    w.line("b_str.considered += str_c")
+    w.line("b_str.pruned += str_p")
+    w.line("b_tmp.considered += tmp_c")
+    w.line("b_tmp.pruned += tmp_p")
+    w.line("b_join.considered += join_c")
+    w.line("b_join.pruned += join_p")
+    w.line("_FLUSH_FAILS(stats, fails)")
+    w.close()
+    w.close()  # def _enumerate
+
+    return _finish(matcher.name, w.source(), ns, m, n)
+
+
+# ----------------------------------------------------------------------
+# shared finishing: compile, register with linecache, notify the hook
+# ----------------------------------------------------------------------
+
+
+def _finish(
+    algorithm: str, source: str, ns: dict[str, Any], m: int, n: int
+) -> CompiledPlan:
+    filename = f"<repro-codegen:{algorithm}:{m}e{n}v:{id(ns):x}>"
+    code = compile(source, filename, "exec")
+    exec(code, ns)  # noqa: S102 - confined to this module by reprolint R020
+    entry = cast(EntryFunction, ns["_enumerate"])
+    linecache.cache[filename] = (
+        len(source),
+        None,
+        source.splitlines(keepends=True),
+        filename,
+    )
+    plan = CompiledPlan(algorithm=algorithm, source=source, entry=entry)
+    listener = _LISTENER
+    if listener is not None:
+        listener(plan)
+    return plan
+
+
+def compile_enumerator(matcher: Any) -> CompiledPlan | None:
+    """Compile a specialized enumerator for a *prepared* matcher.
+
+    Dispatches on the matcher's plan tables (``tcq_plus`` for the
+    edge-based family, ``tcq`` for V2V) rather than concrete classes, so
+    the matcher modules can import this one without a cycle.  Returns
+    ``None`` — interpreted fallback — for matchers this generator does
+    not support or query shapes it deliberately bails on.
+    """
+    if getattr(matcher, "tcq_plus", None) is not None:
+        return _compile_e2e(cast("E2EMatcher", matcher))
+    if getattr(matcher, "tcq", None) is not None:
+        return _compile_v2v(cast("V2VMatcher", matcher))
+    return None
+
+
+#: Re-exported for the matchers' type annotations.
+Label = Hashable

@@ -26,7 +26,8 @@ from ..graphs import (
 )
 from ..obs import NULL_TRACER, TraceSink
 
-from .filters import initial_edge_candidate_pairs
+from .codegen import CompiledPlan, compile_enumerator
+from .filters import check_prefilter, initial_edge_candidate_pairs
 from .match import Match
 from .options import RunContext, resolve_run_context
 from .partition import partition_slice
@@ -74,10 +75,27 @@ class E2EMatcher:
         CSR :class:`~repro.graphs.GraphSnapshot` and the hot loops run
         against it; pass False to run directly against the mutable
         dict-backed graph (both paths are pinned equivalent by tests).
+    codegen:
+        When True, ``prepare`` compiles a specialized enumeration
+        function for the concrete (query shape, matching order, window
+        plan) via :mod:`repro.core.codegen` and ``run_sink`` dispatches
+        to it; match multisets and every ``SearchStats`` counter are
+        pinned bit-identical to the interpreted loop.  Shapes the
+        generator bails on fall back to the interpreted path silently.
+    prefilter:
+        ``"bitset"`` prunes LDF candidate *sources* with int-mask label
+        prefilters before the pair scan (see
+        :func:`repro.core.filters.initial_edge_candidate_pairs`);
+        ``"none"`` (default) keeps the plain scan.  Candidate sets are
+        identical either way.
     """
 
     name = "tcsm-e2e"
     supports_partition = True
+    #: :mod:`repro.core.codegen` has a specializing generator for this
+    #: matcher family (the engine consults this before forwarding the
+    #: ``codegen`` option to the constructor).
+    supports_codegen = True
 
     #: Subclass hook (TCSM-EVE): vertex pre-matching on newly introduced
     #: query vertices.  E2E performs no vertex look-ahead.
@@ -92,6 +110,8 @@ class E2EMatcher:
         use_window_kernel: bool = True,
         plan: str = "paper",
         compile_graph: bool = True,
+        codegen: bool = False,
+        prefilter: str = "none",
     ) -> None:
         if constraints.num_edges != query.num_edges:
             raise AlgorithmError(
@@ -112,6 +132,11 @@ class E2EMatcher:
         self.intersect_candidates = intersect_candidates
         self.use_window_kernel = use_window_kernel
         self.plan = validate_plan(plan)
+        self.codegen = codegen
+        self.prefilter = check_prefilter(prefilter)
+        #: Specialized enumerator compiled by ``prepare`` when
+        #: ``codegen`` is set; None means the interpreted loop runs.
+        self._compiled: CompiledPlan | None = None
         #: Per-position window bounds for the kernel (set by ``prepare``
         #: when ``use_window_kernel`` is on; None disables the kernel).
         self._window_plan: tuple[WindowBounds, ...] | None = None
@@ -135,7 +160,10 @@ class E2EMatcher:
                 self._view = ensure_snapshot(self.graph)
         with tr.span("candidate-filter:ldf", edges=self.query.num_edges) as sp:
             self.pair_candidates = initial_edge_candidate_pairs(
-                self.query, self._view, stats=self.prepare_stats
+                self.query,
+                self._view,
+                stats=self.prepare_stats,
+                prefilter=self.prefilter,
             )
             sp.annotate(**self.prepare_stats.filter("ldf").as_dict())
         self.tcq_plus = build_tcq_plus(
@@ -150,7 +178,21 @@ class E2EMatcher:
                 self.tcq_plus.order, self.constraints
             )
         self._vmatch_plan = self._build_vmatch_plan()
+        if self.codegen:
+            with tr.span("codegen-compile", algorithm=self.name) as sp:
+                self._compiled = compile_enumerator(self)
+                sp.annotate(compiled=self._compiled is not None)
         self._prepared = True
+
+    @property
+    def compiled_source(self) -> str | None:
+        """Generated source of the specialized enumerator, if compiled.
+
+        The debug hook documented in ``docs/CODEGEN.md``; ``None`` when
+        ``codegen`` is off, ``prepare`` has not run, or the generator
+        bailed on this query shape.
+        """
+        return None if self._compiled is None else self._compiled.source
 
     def _build_vmatch_plan(
         self,
@@ -231,7 +273,10 @@ class E2EMatcher:
         """
         self.prepare()
         try:
-            self._run_sink(ctx, sink)
+            if self._compiled is not None:
+                self._compiled.entry(ctx, sink)
+            else:
+                self._run_sink(ctx, sink)
         except StopEnumeration:
             ctx.stats.budget_exhausted = True
             if not ctx.stats.deadline_hit:

@@ -65,6 +65,7 @@ __all__ = [
     "invoke_run_sink",
     "prepare_matcher",
     "register_algorithm",
+    "supports_codegen",
     "supports_partition",
 ]
 
@@ -251,6 +252,22 @@ def available_algorithms(include_baselines: bool = True) -> tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
+def supports_codegen(algorithm: str) -> bool:
+    """True when *algorithm*'s factory has a specializing generator.
+
+    Registered matcher classes declare it with a ``supports_codegen``
+    class attribute (the three TCSM matchers); algorithms without one —
+    the oracle, the baselines — silently run interpreted under
+    ``MatchOptions(codegen=True)`` rather than choking on an unknown
+    constructor keyword.
+    """
+    key = algorithm.lower()
+    if key not in _REGISTRY:
+        _ensure_baselines_loaded()
+    factory = _REGISTRY.get(key)
+    return bool(getattr(factory, "supports_codegen", False))
+
+
 def create_matcher(
     algorithm: str,
     query: QueryGraph,
@@ -420,6 +437,11 @@ def find_matches(
         # working.  An explicit ``plan=`` matcher option wins.
         if opts.plan != "paper":
             matcher_options.setdefault("plan", opts.plan)
+        # Same contract for plan specialization: forwarded only to
+        # matchers that declare a generator, so codegen=True composes
+        # with every registered algorithm.
+        if opts.codegen and supports_codegen(algorithm):
+            matcher_options.setdefault("codegen", True)
         matcher = create_matcher(
             algorithm, query, constraints, graph, **matcher_options
         )

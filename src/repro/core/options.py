@@ -76,6 +76,15 @@ class MatchOptions:
         ``"estimate"`` (Horvitz-Thompson sampled count with a
         confidence interval, no enumeration at all; see
         :mod:`repro.core.estimate`).
+    codegen:
+        Compile a specialized enumeration function for the prepared
+        plan at ``prepare()`` time (see :mod:`repro.core.codegen`):
+        constraint checks unrolled per position, dead candidate
+        branches elided, STN window bounds inlined as constants.  The
+        match multiset and every ``SearchStats`` counter are pinned
+        bit-identical to the interpreted path; only wall clock
+        changes.  Algorithms without a specializing generator (the
+        baselines, ``brute-force``) silently run interpreted.
     trace:
         Record per-phase spans into a fresh tracer, returned on
         ``MatchResult.trace``.
@@ -96,6 +105,7 @@ class MatchOptions:
     sanitize: bool = False
     order_by: str = "any"
     mode: str = "enumerate"
+    codegen: bool = False
 
     def __post_init__(self) -> None:
         if self.limit is not None and self.limit < 0:
@@ -128,7 +138,11 @@ class MatchOptions:
         and with a ``limit`` the order decides which matches are
         returned; ``order_by``/``mode`` change the result's shape
         outright, so a cached complete enumeration is never served for
-        a ``limit=k`` request nor vice versa).  ``time_budget`` is
+        a ``limit=k`` request nor vice versa).  ``codegen`` is covered
+        too — not because it changes the answer (it is pinned not to)
+        but because the service's *plan* cache keys on this hash and a
+        compiled plan is a different artifact from an interpreted one.
+        ``time_budget`` is
         excluded because only budget-independent (complete) results are
         ever cached, and ``trace``/``sanitize`` because observability
         and runtime checking never change the answer.  Equal options
@@ -137,6 +151,7 @@ class MatchOptions:
         """
         payload = json.dumps(
             {
+                "codegen": self.codegen,
                 "limit": self.limit,
                 "tighten": self.tighten,
                 "collect_matches": self.collect_matches,

@@ -184,16 +184,35 @@ class TopKEarliestSink:
         self.k = k
         self.seen = 0
         self._heap: list[_HeapItem] = []
+        # Primary key (max edge timestamp) of the current worst kept
+        # match, cached so the common reject path below never touches
+        # the heap at all.  Meaningful only once the heap holds k items.
+        self._worst_primary = 0
 
     def accept(self, match: Match) -> None:
         self.seen += 1
         if self.k == 0:
             return
-        item = _HeapItem(match_sort_key(match), match)
-        if len(self._heap) < self.k:
-            heapq.heappush(self._heap, item)
-        elif item.key < self._heap[0].key:
-            heapq.heapreplace(self._heap, item)
+        heap = self._heap
+        if len(heap) >= self.k:
+            # Once the heap is full, most matches lose to the current
+            # worst on the primary key alone — decide that from the max
+            # edge timestamp before allocating the full tie-break key
+            # (timestamp vector + embedding tuples) and a heap entry.
+            latest = match.edge_map[0].t
+            for edge in match.edge_map:
+                if edge.t > latest:
+                    latest = edge.t
+            if latest > self._worst_primary:
+                return
+            item = _HeapItem(match_sort_key(match), match)
+            if item.key < heap[0].key:
+                heapq.heapreplace(heap, item)
+                self._worst_primary = heap[0].key[0]
+            return
+        heapq.heappush(heap, _HeapItem(match_sort_key(match), match))
+        if len(heap) == self.k:
+            self._worst_primary = heap[0].key[0]
 
     @property
     def overflowed(self) -> bool:

@@ -25,7 +25,8 @@ from ..graphs import (
 )
 from ..obs import NULL_TRACER, TraceSink
 
-from .filters import initial_vertex_candidates
+from .codegen import CompiledPlan, compile_enumerator
+from .filters import check_prefilter, initial_vertex_candidates
 from .match import Match
 from .options import RunContext, resolve_run_context
 from .partition import partition_slice
@@ -78,10 +79,26 @@ class V2VMatcher:
         graph directly (the equivalence tests pin that both paths
         produce identical match multisets and filter counters).  A
         :class:`GraphSnapshot` input is used as-is either way.
+    codegen:
+        When True, ``prepare`` compiles a specialized enumeration
+        function for the concrete (query shape, matching order, STN
+        closure) via :mod:`repro.core.codegen` and ``run_sink``
+        dispatches to it; match multisets and every ``SearchStats``
+        counter are pinned bit-identical to the interpreted loop.
+    prefilter:
+        ``"bitset"`` prunes NLF candidates with int-mask neighbour-label
+        prefilters before the full NLF check (see
+        :func:`repro.core.filters.initial_vertex_candidates`);
+        ``"none"`` (default) keeps the plain scan.  Candidate sets are
+        identical either way.
     """
 
     name = "tcsm-v2v"
     supports_partition = True
+    #: :mod:`repro.core.codegen` has a specializing generator for this
+    #: matcher (the engine consults this before forwarding the
+    #: ``codegen`` option to the constructor).
+    supports_codegen = True
 
     def __init__(
         self,
@@ -94,6 +111,8 @@ class V2VMatcher:
         use_window_kernel: bool = True,
         plan: str = "paper",
         compile_graph: bool = True,
+        codegen: bool = False,
+        prefilter: str = "none",
     ) -> None:
         if constraints.num_edges != query.num_edges:
             raise AlgorithmError(
@@ -112,6 +131,11 @@ class V2VMatcher:
         self.use_windows = use_windows
         self.use_window_kernel = use_window_kernel
         self.plan = validate_plan(plan)
+        self.codegen = codegen
+        self.prefilter = check_prefilter(prefilter)
+        #: Specialized enumerator compiled by ``prepare`` when
+        #: ``codegen`` is set; None means the interpreted loop runs.
+        self._compiled: CompiledPlan | None = None
         #: STN distance matrix for the window kernel (set by ``prepare``
         #: when ``use_window_kernel`` is on; None disables the kernel).
         self._dist: list[list[float]] | None = None
@@ -141,6 +165,7 @@ class V2VMatcher:
                 self._view,
                 count_based=self.count_based_nlf,
                 stats=self.prepare_stats,
+                prefilter=self.prefilter,
             )
             sp.annotate(**self.prepare_stats.filter("nlf").as_dict())
         self.tcq = build_tcq(
@@ -175,7 +200,21 @@ class V2VMatcher:
         # Per constraint edge: endpoint pair for quick lookup.
         self._edge_endpoints = self.query.edges
         self._required_edge_labels = self.query.edge_labels
+        if self.codegen:
+            with tr.span("codegen-compile", algorithm=self.name) as sp:
+                self._compiled = compile_enumerator(self)
+                sp.annotate(compiled=self._compiled is not None)
         self._prepared = True
+
+    @property
+    def compiled_source(self) -> str | None:
+        """Generated source of the specialized enumerator, if compiled.
+
+        The debug hook documented in ``docs/CODEGEN.md``; ``None`` when
+        ``codegen`` is off, ``prepare`` has not run, or the generator
+        bailed on this query shape.
+        """
+        return None if self._compiled is None else self._compiled.source
 
     def _edge_times(
         self, edge_index: int, du: int, dv: int
@@ -236,7 +275,10 @@ class V2VMatcher:
         """
         self.prepare()
         try:
-            self._run_sink(ctx, sink)
+            if self._compiled is not None:
+                self._compiled.entry(ctx, sink)
+            else:
+                self._run_sink(ctx, sink)
         except StopEnumeration:
             ctx.stats.budget_exhausted = True
             if not ctx.stats.deadline_hit:

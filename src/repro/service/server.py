@@ -32,6 +32,7 @@ from ..core import (
     SearchStats,
     create_matcher,
     find_matches,
+    supports_codegen,
 )
 from ..core.engine import prepare_matcher
 from ..errors import (
@@ -133,6 +134,9 @@ class ServiceResult:
     truncated_by_limit: bool = False
     truncated_by_deadline: bool = False
     ordered: bool = False
+    #: True when the answer was produced by a specialised compiled
+    #: enumerator (``codegen``) rather than the interpreted matcher.
+    codegen: bool = False
     estimate: CountEstimate | None = None
     stats: SearchStats = field(repr=False, default_factory=SearchStats)
     trace_id: str | None = None
@@ -155,6 +159,7 @@ class ServiceResult:
             "truncated_by_limit": self.truncated_by_limit,
             "truncated_by_deadline": self.truncated_by_deadline,
             "ordered": self.ordered,
+            "codegen": self.codegen,
             "plan_cache": self.plan_cache,
             "result_cache": self.result_cache,
             "build_seconds": self.build_seconds,
@@ -407,6 +412,7 @@ class TCSMService:
         partition_strategy: str | None = None,
         order_by: str | None = None,
         mode: str | None = None,
+        codegen: bool = False,
         trace: bool = False,
     ) -> ServiceResult:
         """Execute one query end to end through the serving stack.
@@ -440,6 +446,16 @@ class TCSMService:
         decides *which* matches come back, so the result cache keys on
         it.
 
+        ``codegen=True`` asks for a per-plan *compiled* enumerator
+        (:mod:`repro.core.codegen`): the plan cache compiles a
+        specialised enumeration function once per :class:`PlanKey` and
+        every later hit reuses it.  The flag is folded into both cache
+        keys (via the matcher options hash and
+        :meth:`MatchOptions.canonical_hash`), so compiled and
+        interpreted plans never alias; on algorithms without codegen
+        support (the baselines) the flag is ignored.  The result echoes
+        the *effective* setting in its ``codegen`` field.
+
         ``trace=True`` forces tracing for this query; otherwise the
         configured sample rate decides.  Traced queries bypass the result
         cache (both read and write) so the trace reflects a real
@@ -455,6 +471,12 @@ class TCSMService:
         options = dict(options) if options else {}
         if plan is not None:
             options["plan"] = plan
+        # Normalise the codegen request (kwarg or options entry) against
+        # algorithm support: baselines silently run interpreted.
+        wants_codegen = bool(codegen or options.pop("codegen", False))
+        use_codegen = wants_codegen and supports_codegen(algo)
+        if use_codegen:
+            options["codegen"] = True
         strategy = partition_strategy or "stride"
         order = (order_by or "any").lower()
         answer_mode = (mode or "enumerate").lower()
@@ -489,6 +511,7 @@ class TCSMService:
                 partition_strategy=strategy,
                 order_by=order,
                 mode=answer_mode,
+                codegen=use_codegen,
             )
             result_key = ResultKey(
                 graph_name=handle.name,
@@ -635,6 +658,7 @@ class TCSMService:
                 truncated_by_limit=truncated_by_limit,
                 truncated_by_deadline=timed_out,
                 ordered=outcome.ordered,
+                codegen=use_codegen,
                 plan_cache="hit" if plan_hit else "miss",
                 result_cache="miss" if use_result_cache else "bypass",
                 build_seconds=0.0 if plan_hit else plan.build_seconds,
@@ -920,6 +944,7 @@ class TCSMService:
             partition_strategy=strategy,
             order_by=order_by,
             mode=mode,
+            codegen=bool(request.get("codegen", False)),
             trace=bool(request.get("trace", False)),
         )
         include_matches = (

@@ -1819,6 +1819,91 @@ class TestR019:
 
 
 # ----------------------------------------------------------------------
+# R020 codegen-confinement
+# ----------------------------------------------------------------------
+class TestR020:
+    def test_exec_outside_codegen_flagged(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def run_snippet(snippet):
+                namespace = {}
+                exec(snippet, namespace)
+                return namespace
+            """,
+            select=["R020"],
+        )
+        assert rule_ids(findings) == ["R020"]
+        assert "repro.core.codegen" in findings[0].message
+
+    def test_compile_and_eval_flagged(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def build(source):
+                code = compile(source, "<x>", "exec")
+                return eval("1 + 1"), code
+            """,
+            select=["R020"],
+        )
+        assert rule_ids(findings) == ["R020", "R020"]
+
+    def test_flagged_everywhere_not_just_core(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def hot_patch(body):
+                exec(body)
+            """,
+            relpath="src/repro/service/fixture_mod.py",
+            select=["R020"],
+        )
+        assert rule_ids(findings) == ["R020"]
+
+    def test_codegen_module_is_exempt(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def finish(source, ns):
+                code = compile(source, "<repro-codegen>", "exec")
+                exec(code, ns)
+                return ns["_enumerate"]
+            """,
+            relpath="src/repro/core/codegen.py",
+            select=["R020"],
+        )
+        assert findings == []
+
+    def test_method_compile_calls_pass(self, tmp_path: Path) -> None:
+        # re.compile / snapshot.compile are attribute lookups, not the
+        # dynamic-execution builtins.
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import re
+
+            def prepare(graph):
+                pattern = re.compile("a+")
+                graph.compile()
+                return pattern
+            """,
+            select=["R020"],
+        )
+        assert findings == []
+
+    def test_pragma_suppresses(self, tmp_path: Path) -> None:
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def sandbox(snippet):
+                exec(snippet)  # reprolint: disable=R020 -- interactive sandbox
+            """,
+            select=["R020"],
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
 # guarded-by pragma parsing + inventory
 # ----------------------------------------------------------------------
 class TestGuardedByPragma:

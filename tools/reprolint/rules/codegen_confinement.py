@@ -1,0 +1,78 @@
+"""R020: dynamic code execution is confined to ``repro.core.codegen``.
+
+Per-plan specialised enumerators are built with ``compile()`` + ``exec``
+in exactly one place — :mod:`repro.core.codegen` — where the generated
+source is deterministic (a pure function of the prepared plan), is
+registered with :mod:`linecache` for tracebacks, and runs against a
+namespace the module controls completely.  Those properties are the
+whole safety argument for executing generated code, and they hold only
+because every call site lives behind one reviewed seam.
+
+A ``compile``/``exec``/``eval`` call anywhere else in the tree has none
+of those guarantees: it is either a second codegen path drifting from
+the first, or string evaluation of data that was never meant to be code.
+Route new code generation through ``repro.core.codegen``; for the rare
+deliberate exception (a REPL-style tool, say) escape with a pragma::
+
+    exec(snippet, ns)  # reprolint: disable=R020 -- interactive sandbox
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from ..context import FileContext
+from ..findings import Finding
+from ..registry import Rule, register_rule
+
+__all__ = ["CodegenConfinementRule"]
+
+#: Builtin callables that turn strings into running code.
+_DYNAMIC_EXEC = {"compile", "exec", "eval"}
+
+#: The one module allowed to call them: the codegen seam itself.
+_EXEMPT_MODULES = {"repro.core.codegen"}
+
+
+def _dynamic_call_name(call: ast.Call) -> str | None:
+    """``compile``/``exec``/``eval`` called as a bare builtin, or None.
+
+    Attribute calls (``re.compile``, ``graph.compile()``) are method
+    lookups on other objects and never reach the builtins, so only bare
+    :class:`ast.Name` callees count.
+    """
+    func = call.func
+    if isinstance(func, ast.Name) and func.id in _DYNAMIC_EXEC:
+        return func.id
+    return None
+
+
+@register_rule
+class CodegenConfinementRule(Rule):
+    id = "R020"
+    name = "codegen-confinement"
+    description = (
+        "compile()/exec()/eval() must not appear outside "
+        "repro.core.codegen, the one reviewed dynamic-code seam."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.module in _EXEMPT_MODULES:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _dynamic_call_name(node)
+            if name is None:
+                continue
+            if ctx.pragmas.is_disabled(self.id, node.lineno):
+                continue
+            yield self.finding(
+                ctx,
+                node.lineno,
+                node.col_offset,
+                f"{name}(...) executes dynamically built code outside "
+                "repro.core.codegen; generate code through that module's "
+                "reviewed seam instead",
+            )
